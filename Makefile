@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and worked example of the paper.
+repro:
+	$(GO) run ./cmd/tablegen -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clinicaltrial
+	$(GO) run ./examples/searchengine
+	$(GO) run ./examples/collaborative
+	$(GO) run ./examples/hippocratic
+	$(GO) run ./examples/rulehiding
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,539 @@
+package privacy3d
+
+// The benchmark harness regenerates every table and worked example of the
+// paper (see DESIGN.md's per-experiment index). Each benchmark reports, via
+// b.ReportMetric, the headline quantity of its experiment so `go test
+// -bench` output doubles as the measured side of EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"privacy3d/internal/anonymity"
+	"privacy3d/internal/core"
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/microagg"
+	"privacy3d/internal/noise"
+	"privacy3d/internal/pir"
+	"privacy3d/internal/risk"
+	"privacy3d/internal/sdcquery"
+	"privacy3d/internal/smc"
+)
+
+// BenchmarkTable1Anonymity — experiment E-T1a/E-T1b: verifying the
+// k-anonymity properties of the two Table 1 fixtures.
+func BenchmarkTable1Anonymity(b *testing.B) {
+	d1, d2 := dataset.Dataset1(), dataset.Dataset2()
+	var k1, k2 int
+	for i := 0; i < b.N; i++ {
+		k1 = anonymity.K(d1, d1.QuasiIdentifiers())
+		k2 = anonymity.K(d2, d2.QuasiIdentifiers())
+	}
+	b.ReportMetric(float64(k1), "k(dataset1)")
+	b.ReportMetric(float64(k2), "k(dataset2)")
+}
+
+// BenchmarkSection2Quadrants — experiment E-S2: the respondent-vs-owner
+// independence scenarios.
+func BenchmarkSection2Quadrants(b *testing.B) {
+	holds := 0
+	for i := 0; i < b.N; i++ {
+		rs, err := core.Section2Scenarios()
+		if err != nil {
+			b.Fatal(err)
+		}
+		holds = 0
+		for _, r := range rs {
+			if r.Holds {
+				holds++
+			}
+		}
+	}
+	b.ReportMetric(float64(holds), "quadrants-held")
+}
+
+// BenchmarkSection3Quadrants — experiment E-S3.
+func BenchmarkSection3Quadrants(b *testing.B) {
+	holds := 0
+	for i := 0; i < b.N; i++ {
+		rs, err := core.Section3Scenarios()
+		if err != nil {
+			b.Fatal(err)
+		}
+		holds = 0
+		for _, r := range rs {
+			if r.Holds {
+				holds++
+			}
+		}
+	}
+	b.ReportMetric(float64(holds), "quadrants-held")
+}
+
+// BenchmarkSection4Quadrants — experiment E-S4.
+func BenchmarkSection4Quadrants(b *testing.B) {
+	holds := 0
+	for i := 0; i < b.N; i++ {
+		rs, err := core.Section4Scenarios()
+		if err != nil {
+			b.Fatal(err)
+		}
+		holds = 0
+		for _, r := range rs {
+			if r.Holds {
+				holds++
+			}
+		}
+	}
+	b.ReportMetric(float64(holds), "quadrants-held")
+}
+
+// BenchmarkPIRStatsAttack — experiment E-S3c: the paper's PIR COUNT/AVG
+// attack on Dataset 2.
+func BenchmarkPIRStatsAttack(b *testing.B) {
+	d := dataset.Dataset2()
+	var xe, ye []float64
+	for e := 150.0; e <= 190; e += 5 {
+		xe = append(xe, e)
+	}
+	for e := 60.0; e <= 115; e += 5 {
+		ye = append(ye, e)
+	}
+	db, err := pir.BuildStatDB(d, "height", "weight", "blood_pressure", xe, ye, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		res, err := db.RangeStats(150, 165, 105, 115, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg, err = res.Avg()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(avg, "disclosed-bp-mmHg")
+}
+
+// BenchmarkTable2Scoring — experiment E-T2: the empirical regeneration of
+// the paper's Table 2. The reported metric is the number of rows whose
+// measured grades match the paper (8 = full reproduction).
+func BenchmarkTable2Scoring(b *testing.B) {
+	matched := 0
+	for i := 0; i < b.N; i++ {
+		ev, err := core.NewEvaluator(core.DefaultEvalConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms, err := ev.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		paper := core.PaperTable2()
+		matched = 0
+		for _, m := range ms {
+			if m.Grades == paper[m.Class] {
+				matched++
+			}
+		}
+	}
+	b.ReportMetric(float64(matched), "rows-matching-paper")
+}
+
+// BenchmarkUtilityVsDimensions — experiment E-X1 (Section 6): information
+// loss as privacy dimensions are added.
+func BenchmarkUtilityVsDimensions(b *testing.B) {
+	var last []core.UtilityRow
+	for i := 0; i < b.N; i++ {
+		rows, err := core.UtilityVsDimensions(3, 41)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.ReportMetric(last[1].InfoLoss, "loss-1dim")
+	b.ReportMetric(last[3].InfoLoss, "loss-3dim")
+}
+
+// BenchmarkMDAVSweep — experiment E-X2: the risk/utility trade-off of
+// microaggregation across k.
+func BenchmarkMDAVSweep(b *testing.B) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 600, Seed: 7})
+	for _, k := range []int{2, 3, 5, 10, 25} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var il, link float64
+			for i := 0; i < b.N; i++ {
+				masked, res, err := microagg.Mask(d, microagg.NewOptions(k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := risk.DistanceLinkage(d, masked, d.QuasiIdentifiers())
+				if err != nil {
+					b.Fatal(err)
+				}
+				il, link = res.IL(), rep.Rate
+			}
+			b.ReportMetric(il, "info-loss")
+			b.ReportMetric(link, "linkage-rate")
+		})
+	}
+}
+
+// BenchmarkNoiseReconstruction — substrate of E-S2c: AS2000 EM
+// reconstruction fidelity.
+func BenchmarkNoiseReconstruction(b *testing.B) {
+	rng := dataset.NewRand(13)
+	n := 2000
+	x := make([]float64, n)
+	w := make([]float64, n)
+	for i := range x {
+		x[i] = dataset.Normal(rng, 50, 10)
+		w[i] = x[i] + 15*rng.NormFloat64()
+	}
+	rec := noise.NewReconstructor(30, 15)
+	var tv float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rec.Reconstruct(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tv = res.TVDistanceTo(x)
+	}
+	b.ReportMetric(tv, "tv-to-truth")
+}
+
+// BenchmarkNoiseDisclosureSweep — experiment E-X3: the [11]
+// rare-combination disclosure effect across dimensionality.
+func BenchmarkNoiseDisclosureSweep(b *testing.B) {
+	for _, dims := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("dims=%d", dims), func(b *testing.B) {
+			d := dataset.SyntheticCensus(dataset.CensusConfig{N: 800, Dims: dims, Seed: 17})
+			cols := make([]int, dims)
+			for j := range cols {
+				cols[j] = j
+			}
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				m, err := noise.AddUncorrelated(d, cols, 0.05, dataset.NewRand(23))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := noise.SparseDisclosure(d.NumericMatrix(cols), m.NumericMatrix(cols), 4, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = rep.DisclosureRate
+			}
+			b.ReportMetric(rate, "disclosure-rate")
+		})
+	}
+}
+
+// BenchmarkPIRSchemes — experiment E-X4: retrieval cost of the PIR schemes
+// versus trivial download.
+func BenchmarkPIRSchemes(b *testing.B) {
+	blocks := make([][]byte, 256)
+	for i := range blocks {
+		blocks[i] = []byte{byte(i), byte(i >> 8), 0, 0}
+	}
+	b.Run("itpir-2server", func(b *testing.B) {
+		s0, _ := pir.NewITServer(blocks)
+		s1, _ := pir.NewITServer(blocks)
+		client, err := pir.NewITClient([]*pir.ITServer{s0, s1}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Retrieve(i % len(blocks)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(client.CommunicationBits()), "comm-bits")
+	})
+	b.Run("itpir-4server", func(b *testing.B) {
+		servers := make([]*pir.ITServer, 4)
+		for s := range servers {
+			servers[s], _ = pir.NewITServer(blocks)
+		}
+		client, err := pir.NewITClient(servers, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Retrieve(i % len(blocks)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(client.CommunicationBits()), "comm-bits")
+	})
+	b.Run("cpir-qr", func(b *testing.B) {
+		bits := make([]bool, 1024)
+		for i := range bits {
+			bits[i] = i%3 == 0
+		}
+		srv, err := pir.NewCPIRServer(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client, err := pir.NewCPIRClient(512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, cols := srv.Shape()
+			if _, err := client.RetrieveBit(srv, i%rows, i%cols); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trivial-download", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, blk := range blocks {
+				total += len(blk)
+			}
+			if total == 0 {
+				b.Fatal("empty")
+			}
+		}
+		b.ReportMetric(float64(len(blocks)*len(blocks[0])*8), "comm-bits")
+	})
+}
+
+// BenchmarkTrackerAttack and BenchmarkAuditVsTracker — experiment E-X5:
+// tracker success under size restriction vs auditing.
+func BenchmarkTrackerAttack(b *testing.B) {
+	var inferred float64
+	for i := 0; i < b.N; i++ {
+		srv, err := sdcquery.NewServer(dataset.Dataset2(), sdcquery.Config{Protection: sdcquery.SizeRestriction, MinSetSize: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := sdcquery.NewTracker(srv,
+			sdcquery.Predicate{{Col: "height", Op: sdcquery.Lt, V: 176}},
+			sdcquery.Cond{Col: "weight", Op: sdcquery.Gt, V: 105})
+		res, err := tr.Infer("blood_pressure")
+		if err != nil {
+			b.Fatal(err)
+		}
+		inferred = res.Sum
+	}
+	b.ReportMetric(inferred, "disclosed-bp-mmHg")
+}
+
+func BenchmarkAuditVsTracker(b *testing.B) {
+	blocked := 0.0
+	for i := 0; i < b.N; i++ {
+		srv, err := sdcquery.NewServer(dataset.Dataset2(), sdcquery.Config{Protection: sdcquery.Auditing})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := sdcquery.NewTracker(srv,
+			sdcquery.Predicate{{Col: "height", Op: sdcquery.Lt, V: 176}},
+			sdcquery.Cond{Col: "weight", Op: sdcquery.Gt, V: 105})
+		if _, err := tr.Infer("blood_pressure"); err != nil {
+			blocked = 1
+		} else {
+			blocked = 0
+		}
+	}
+	b.ReportMetric(blocked, "attack-blocked")
+}
+
+// BenchmarkSecureID3 — substrate of E-S4a: the crypto-PPDM protocol.
+func BenchmarkSecureID3(b *testing.B) {
+	ev, err := core.NewEvaluator(core.DefaultEvalConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = ev
+	attrs := []dataset.Attribute{
+		{Name: "a", Kind: dataset.Nominal},
+		{Name: "b", Kind: dataset.Nominal},
+		{Name: "class", Kind: dataset.Nominal},
+	}
+	rng := dataset.NewRand(3)
+	parts := []*dataset.Dataset{dataset.New(attrs...), dataset.New(attrs...)}
+	for i := 0; i < 400; i++ {
+		a, bb := "x", "u"
+		if rng.Float64() < 0.5 {
+			a = "y"
+		}
+		if rng.Float64() < 0.5 {
+			bb = "v"
+		}
+		cl := "n"
+		if a == "y" && rng.Float64() < 0.8 {
+			cl = "p"
+		}
+		parts[i%2].MustAppend(a, bb, cl)
+	}
+	b.ResetTimer()
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		_, nw, err := smc.SecureID3(parts, "class", 4, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = len(nw.Transcript())
+	}
+	b.ReportMetric(float64(msgs), "protocol-msgs")
+}
+
+// BenchmarkSecureSum — the aggregation primitive of crypto PPDM.
+func BenchmarkSecureSum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nw, err := smc.NewNetwork(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := smc.SecureSum(nw, []smc.Elem{1, 2, 3, 4}, []uint64{1, 2, 3, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroaggregation measures the core masking path.
+func BenchmarkMicroaggregation(b *testing.B) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 2000, Seed: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := microagg.Mask(d, microagg.NewOptions(3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelines — the paper's Section 6 research question: compare
+// holistic compositions on the three dimensions and utility.
+func BenchmarkPipelines(b *testing.B) {
+	ev, err := core.NewEvaluator(core.DefaultEvalConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep core.PipelineReport
+	for i := 0; i < b.N; i++ {
+		rep, err = ev.EvaluatePipeline(core.RecommendedPipeline(3), core.Medium)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ok := 0.0
+	if rep.SatisfiesAll {
+		ok = 1
+	}
+	b.ReportMetric(ok, "satisfies-all-dims")
+	b.ReportMetric(rep.InfoLoss, "info-loss")
+}
+
+// BenchmarkPSI — the private-set-intersection substrate.
+func BenchmarkPSI(b *testing.B) {
+	setA := make([]string, 50)
+	setB := make([]string, 50)
+	for i := range setA {
+		setA[i] = fmt.Sprintf("patient-%03d", i)
+		setB[i] = fmt.Sprintf("patient-%03d", i+25)
+	}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		alice, err := smc.NewPSIParty(setA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bob, err := smc.NewPSIParty(setB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(smc.Intersect(alice, bob))
+	}
+	b.ReportMetric(float64(n), "intersection-size")
+}
+
+// BenchmarkSecureCompare — the millionaires' protocol.
+func BenchmarkSecureCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := smc.SecureCompare(uint32(i%256), 100, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMDAV compares variable-size against fixed-size grouping cost.
+func BenchmarkVMDAV(b *testing.B) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 1000, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := microagg.MaskVariable(d, microagg.NewOptions(3), 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbabilisticLinkage — the Fellegi–Sunter attack cost.
+func BenchmarkProbabilisticLinkage(b *testing.B) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 150, Seed: 5, ExtraQI: 2})
+	m, err := noise.AddUncorrelated(d, d.QuasiIdentifiers(), 0.2, dataset.NewRand(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		rep, err := risk.ProbabilisticLinkage(d, m, d.QuasiIdentifiers(), risk.ProbLinkageConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = rep.Rate
+	}
+	b.ReportMetric(rate, "linkage-rate")
+}
+
+// BenchmarkParseQuery — the query-language front end.
+func BenchmarkParseQuery(b *testing.B) {
+	const q = "SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105 AND aids = 'N'"
+	for i := 0; i < b.N; i++ {
+		if _, err := sdcquery.ParseQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroaggVariants — ablation E-X6: MDAV vs V-MDAV vs projected
+// optimal microaggregation at equal k.
+func BenchmarkMicroaggVariants(b *testing.B) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 800, Seed: 9})
+	run := func(b *testing.B, mask func() (microagg.Result, error)) {
+		var il float64
+		for i := 0; i < b.N; i++ {
+			res, err := mask()
+			if err != nil {
+				b.Fatal(err)
+			}
+			il = res.IL()
+		}
+		b.ReportMetric(il, "info-loss")
+	}
+	b.Run("mdav", func(b *testing.B) {
+		run(b, func() (microagg.Result, error) {
+			_, r, err := microagg.Mask(d, microagg.NewOptions(4))
+			return r, err
+		})
+	})
+	b.Run("vmdav", func(b *testing.B) {
+		run(b, func() (microagg.Result, error) {
+			_, r, err := microagg.MaskVariable(d, microagg.NewOptions(4), 0.2)
+			return r, err
+		})
+	})
+	b.Run("projection", func(b *testing.B) {
+		run(b, func() (microagg.Result, error) {
+			_, r, err := microagg.MaskProjection(d, microagg.NewOptions(4))
+			return r, err
+		})
+	})
+}

@@ -1,0 +1,118 @@
+// Command pird runs an information-theoretic PIR replica over HTTP, or
+// fetches a block privately from a set of replicas — the deployable face of
+// the user-privacy dimension.
+//
+//	pird serve -in blocks.csv -addr :9001
+//	pird fetch -servers http://a:9001,http://b:9002 -index 17
+//
+// The input file holds one block per line; every replica must serve the
+// identical file (replication is PIR's trust model: privacy holds as long
+// as the replicas do not collude).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"privacy3d/internal/pir"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pird: ")
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: pird serve|fetch [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "fetch":
+		err = fetch(os.Args[2:])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pird serve|fetch [flags]")
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadBlocks reads one block per line, padding to a common size.
+func loadBlocks(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines [][]byte
+	maxLen := 1
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		if len(line) > maxLen {
+			maxLen = len(line)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("no blocks in %s", path)
+	}
+	for i, l := range lines {
+		padded := make([]byte, maxLen)
+		copy(padded, l)
+		lines[i] = padded
+	}
+	return lines, nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "", "file with one block per line")
+	addr := fs.String("addr", ":9001", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	blocks, err := loadBlocks(*in)
+	if err != nil {
+		return err
+	}
+	srv, err := pir.NewITServer(blocks)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %d blocks of %d bytes on %s (POST /pir, GET /meta)",
+		srv.Blocks(), srv.BlockSize(), *addr)
+	return http.ListenAndServe(*addr, pir.NewHTTPServer(srv))
+}
+
+func fetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	servers := fs.String("servers", "", "comma-separated replica base URLs (≥ 2)")
+	index := fs.Int("index", 0, "block index to retrieve")
+	seed := fs.Uint64("seed", 1, "query randomness seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	urls := strings.Split(*servers, ",")
+	client, err := pir.NewHTTPClient(urls, nil, *seed)
+	if err != nil {
+		return err
+	}
+	block, err := client.Retrieve(*index)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", strings.TrimRight(string(block), "\x00"))
+	return nil
+}

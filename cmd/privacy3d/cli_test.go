@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"privacy3d/internal/core"
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/sdcquery"
+)
+
+func TestParseSchema(t *testing.T) {
+	attrs, err := parseSchema("height:qi:num,weight:qi:num,bp:conf:num,aids:conf:cat,edu:other:ord,name:id:cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 6 {
+		t.Fatalf("parsed %d attributes", len(attrs))
+	}
+	if attrs[0].Role != dataset.QuasiIdentifier || attrs[0].Kind != dataset.Numeric {
+		t.Errorf("attr 0 = %+v", attrs[0])
+	}
+	if attrs[3].Role != dataset.Confidential || attrs[3].Kind != dataset.Nominal {
+		t.Errorf("attr 3 = %+v", attrs[3])
+	}
+	if attrs[4].Kind != dataset.Ordinal || attrs[5].Role != dataset.Identifier {
+		t.Errorf("attrs 4/5 = %+v %+v", attrs[4], attrs[5])
+	}
+	for _, bad := range []string{"", "x", "x:qi", "x:king:num", "x:qi:blob"} {
+		if _, err := parseSchema(bad); err == nil {
+			t.Errorf("parseSchema(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseProtection(t *testing.T) {
+	want := map[string]sdcquery.Protection{
+		"none": sdcquery.NoProtection, "size": sdcquery.SizeRestriction,
+		"auditing": sdcquery.Auditing, "perturbation": sdcquery.Perturbation,
+		"camouflage": sdcquery.Camouflage, "overlap": sdcquery.OverlapRestriction,
+		"sample": sdcquery.RandomSample,
+	}
+	for name, p := range want {
+		got, err := parseProtection(name)
+		if err != nil || got != p {
+			t.Errorf("parseProtection(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseProtection("magic"); err == nil {
+		t.Error("accepted unknown protection")
+	}
+}
+
+func TestParseStages(t *testing.T) {
+	stages, err := parseStages("mdav:qi:k=3,noise:confidential:amp=0.35,swap:numeric:window=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("parsed %d stages", len(stages))
+	}
+	if stages[0].Method != "mdav" || stages[0].Target != "qi" || stages[0].K != 3 {
+		t.Errorf("stage 0 = %+v", stages[0])
+	}
+	if stages[1].Amplitude != 0.35 || stages[2].Window != 5 {
+		t.Errorf("stages 1/2 = %+v %+v", stages[1], stages[2])
+	}
+	for _, bad := range []string{"", "mdav", "mdav:qi:k", "mdav:qi:k=x", "mdav:qi:zap=1", "noise:qi:amp=x", "swap:qi:window=x"} {
+		if _, err := parseStages(bad); err == nil {
+			t.Errorf("parseStages(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseGrade(t *testing.T) {
+	cases := map[string]core.Grade{
+		"none": core.None, "low": core.Low, "medium": core.Medium,
+		"medium-high": core.MediumHigh, "high": core.High,
+	}
+	for name, g := range cases {
+		got, err := parseGrade(name)
+		if err != nil || got != g {
+			t.Errorf("parseGrade(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseGrade("ultra"); err == nil {
+		t.Error("accepted unknown grade")
+	}
+}

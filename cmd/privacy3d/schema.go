@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"privacy3d/internal/dataset"
+)
+
+// parseSchema parses the CLI schema syntax: a comma-separated list of
+// name:role:kind triples, e.g.
+//
+//	height:qi:num,weight:qi:num,blood_pressure:conf:num,aids:conf:cat
+//
+// Roles: id, qi, conf, other. Kinds: num, cat, ord.
+func parseSchema(spec string) ([]dataset.Attribute, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("empty -schema; expected name:role:kind[,...]")
+	}
+	var attrs []dataset.Attribute
+	for _, field := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(field), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("schema field %q: want name:role:kind", field)
+		}
+		a := dataset.Attribute{Name: parts[0]}
+		switch parts[1] {
+		case "id":
+			a.Role = dataset.Identifier
+		case "qi":
+			a.Role = dataset.QuasiIdentifier
+		case "conf":
+			a.Role = dataset.Confidential
+		case "other":
+			a.Role = dataset.NonConfidential
+		default:
+			return nil, fmt.Errorf("schema field %q: unknown role %q (want id, qi, conf, other)", field, parts[1])
+		}
+		switch parts[2] {
+		case "num":
+			a.Kind = dataset.Numeric
+		case "cat":
+			a.Kind = dataset.Nominal
+		case "ord":
+			a.Kind = dataset.Ordinal
+		default:
+			return nil, fmt.Errorf("schema field %q: unknown kind %q (want num, cat, ord)", field, parts[2])
+		}
+		attrs = append(attrs, a)
+	}
+	return attrs, nil
+}

@@ -1,0 +1,111 @@
+package privacy3d_test
+
+import (
+	"fmt"
+
+	"privacy3d"
+)
+
+// Example reproduces the paper's headline storyline in a few lines: check
+// the Table 1 fixtures, mask for k-anonymity, and measure re-identification.
+func Example() {
+	d1 := privacy3d.Dataset1()
+	d2 := privacy3d.Dataset2()
+	fmt.Println("Dataset 1 k-anonymity:", privacy3d.KAnonymity(d1, d1.QuasiIdentifiers()))
+	fmt.Println("Dataset 2 k-anonymity:", privacy3d.KAnonymity(d2, d2.QuasiIdentifiers()))
+
+	masked, _, err := privacy3d.Microaggregate(d2, privacy3d.MicroaggOptions(3))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("after microaggregation:", privacy3d.KAnonymity(masked, masked.QuasiIdentifiers()))
+	// Output:
+	// Dataset 1 k-anonymity: 3
+	// Dataset 2 k-anonymity: 1
+	// after microaggregation: 3
+}
+
+// ExampleParseQuery parses the exact queries of the paper's Section 3
+// attack and evaluates them against Dataset 2.
+func ExampleParseQuery() {
+	d := privacy3d.Dataset2()
+	count, _ := privacy3d.ParseQuery("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105")
+	avg, _ := privacy3d.ParseQuery("SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105")
+	c, _ := count.Evaluate(d)
+	a, _ := avg.Evaluate(d)
+	fmt.Printf("COUNT = %.0f, AVG = %.0f mmHg\n", c, a)
+	// Output:
+	// COUNT = 1, AVG = 146 mmHg
+}
+
+// ExampleSecureSum adds three private values without revealing them.
+func ExampleSecureSum() {
+	nw, err := privacy3d.NewSMCNetwork(3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	inputs := []privacy3d.FieldElem{
+		privacy3d.EncodeFieldInt(17),
+		privacy3d.EncodeFieldInt(5),
+		privacy3d.EncodeFieldInt(20),
+	}
+	total, err := privacy3d.SecureSum(nw, inputs, []uint64{1, 2, 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("joint total:", privacy3d.DecodeFieldInt(total))
+	// Output:
+	// joint total: 42
+}
+
+// ExampleNewTracker runs the Schlörer tracker against a size-restricted
+// statistical database, reproducing the classic inference-control failure.
+func ExampleNewTracker() {
+	srv, err := privacy3d.NewQueryServer(privacy3d.Dataset2(), privacy3d.ServerConfig{
+		Protection: privacy3d.SizeRestriction, MinSetSize: 3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tr := privacy3d.NewTracker(srv,
+		privacy3d.Predicate{{Col: "height", Op: privacy3d.Lt, V: 176}},
+		privacy3d.Cond{Col: "weight", Op: privacy3d.Gt, V: 105})
+	res, err := tr.Infer("blood_pressure")
+	if err != nil {
+		fmt.Println("blocked:", err)
+		return
+	}
+	fmt.Printf("tracked: %.0f record(s), blood pressure %.0f\n", res.Count, res.Sum)
+	// Output:
+	// tracked: 1 record(s), blood pressure 146
+}
+
+// ExampleNewITClient retrieves a block from replicated PIR servers without
+// revealing which one.
+func ExampleNewITClient() {
+	blocks := [][]byte{[]byte("alpha"), []byte("bravo"), []byte("charl")}
+	s1, _ := privacy3d.NewITServer(blocks)
+	s2, _ := privacy3d.NewITServer(blocks)
+	client, err := privacy3d.NewITClient([]*privacy3d.ITServer{s1, s2}, 7)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	block, _ := client.Retrieve(1)
+	fmt.Printf("%s\n", block)
+	// Output:
+	// bravo
+}
+
+// ExamplePaperTable2 prints a cell of the paper's qualitative scoring.
+func ExamplePaperTable2() {
+	paper := privacy3d.PaperTable2()
+	g := paper[privacy3d.ClassCryptoPPDM]
+	fmt.Println(g.Respondent, g.Owner, g.User)
+	// Output:
+	// high high none
+}

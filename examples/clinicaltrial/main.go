@@ -1,0 +1,80 @@
+// Clinicaltrial walks through the paper's own worked example: the two toy
+// patient datasets of Table 1, the spontaneous 3-anonymity of Dataset 1,
+// the re-identification risk of Dataset 2, its repair by generalization,
+// and the Section 3 PIR COUNT/AVG attack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privacy3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	d1, d2 := privacy3d.Dataset1(), privacy3d.Dataset2()
+
+	fmt.Println("== Dataset 1 (Table 1, left) ==")
+	fmt.Print(d1)
+	fmt.Printf("→ %s\n", privacy3d.AnalyzeAnonymity(d1))
+	qi := d1.QuasiIdentifiers()
+	conf := d1.ConfidentialAttrs()
+	fmt.Printf("→ spontaneously 3-anonymous: %v; 2-sensitive 3-anonymous: %v\n\n",
+		privacy3d.KAnonymity(d1, qi) >= 3,
+		privacy3d.IsPSensitiveKAnonymous(d1, qi, conf, 3, 2))
+
+	fmt.Println("== Dataset 2 (Table 1, right) ==")
+	fmt.Print(d2)
+	fmt.Printf("→ %s\n", privacy3d.AnalyzeAnonymity(d2))
+	fmt.Println("→ releasing even a single record violates respondent privacy")
+
+	// Repair Dataset 2 with minimal generalization (Samarati-style lattice
+	// search over interval hierarchies).
+	hh, err := privacy3d.NewNumericHierarchy("height", 100, 10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw, err := privacy3d.NewNumericHierarchy("weight", 0, 10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hier := map[int]*privacy3d.Hierarchy{
+		d2.Index("height"): hh,
+		d2.Index("weight"): hw,
+	}
+	anon, res, err := privacy3d.AnonymizeByGeneralization(d2, d2.QuasiIdentifiers(), hier, 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== Dataset 2 after minimal 3-anonymization (levels %v, height %d) ==\n", res.Levels, res.Height)
+	fmt.Print(anon)
+
+	// The Section 3 attack: PIR-protected statistical queries on the raw
+	// Dataset 2 re-identify the unique small-and-heavy respondent.
+	fmt.Println("\n== Section 3: the PIR COUNT/AVG attack on raw Dataset 2 ==")
+	var xe, ye []float64
+	for e := 150.0; e <= 190; e += 5 {
+		xe = append(xe, e)
+	}
+	for e := 60.0; e <= 115; e += 5 {
+		ye = append(ye, e)
+	}
+	db, err := privacy3d.BuildStatDB(d2, "height", "weight", "blood_pressure", xe, ye, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := db.RangeStats(150, 165, 105, 115, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avg, err := stats.Avg()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SELECT COUNT(*)            WHERE height < 165 AND weight > 105 → %.0f\n", stats.Count)
+	fmt.Printf("SELECT AVG(blood_pressure) WHERE height < 165 AND weight > 105 → %.0f\n", avg)
+	fmt.Printf("→ one respondent, blood pressure %.0f mmHg: serious hypertension disclosed,\n", avg)
+	fmt.Printf("  while the PIR servers observed only %d uniformly random retrievals.\n", stats.CellsRetrieved)
+	fmt.Println("→ user privacy without respondent privacy — the dimensions are independent.")
+}

@@ -1,0 +1,100 @@
+// Collaborative demonstrates the paper's owner-privacy dimension through
+// cryptographic PPDM: three hospitals jointly train a decision tree on the
+// union of their patient data without any of them revealing its records —
+// only uniformly random secret shares cross the wire. The computed analysis
+// is known to every party, which is exactly why the paper scores crypto
+// PPDM "none" on user privacy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privacy3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	// Three hospitals, each with a private shard of categorical patient
+	// data (horizontal partitioning, the Lindell–Pinkas setting).
+	attrs := []privacy3d.Attribute{
+		{Name: "smoker", Role: privacy3d.QuasiIdentifier, Kind: privacy3d.Nominal},
+		{Name: "bmi_band", Role: privacy3d.QuasiIdentifier, Kind: privacy3d.Nominal},
+		{Name: "hypertension", Role: privacy3d.Confidential, Kind: privacy3d.Nominal},
+	}
+	rng := privacy3d.NewRand(77)
+	hospitals := make([]*privacy3d.Dataset, 3)
+	for h := range hospitals {
+		hospitals[h] = privacy3d.NewDataset(attrs...)
+	}
+	for i := 0; i < 900; i++ {
+		smoker, bmi := "no", "mid"
+		if rng.Float64() < 0.4 {
+			smoker = "yes"
+		}
+		switch rng.IntN(3) {
+		case 0:
+			bmi = "low"
+		case 2:
+			bmi = "high"
+		}
+		p := 0.1
+		if smoker == "yes" {
+			p += 0.4
+		}
+		if bmi == "high" {
+			p += 0.3
+		}
+		ht := "N"
+		if rng.Float64() < p {
+			ht = "Y"
+		}
+		hospitals[i%3].MustAppend(smoker, bmi, ht)
+	}
+	for h, d := range hospitals {
+		fmt.Printf("hospital %d holds %d private records\n", h, d.Rows())
+	}
+
+	// Jointly train the tree; only secret shares travel.
+	tree, nw, err := privacy3d.SecureID3(hospitals, "hypertension", 4, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njoint decision tree trained (depth %d) — known to all parties\n", tree.Depth())
+
+	// Inspect the transcript: what did the wire carry?
+	transcript := nw.Transcript()
+	shares, small := 0, 0
+	for _, m := range transcript {
+		if m.Round != "share" {
+			continue
+		}
+		for _, e := range m.Payload {
+			shares++
+			if uint64(e) < 10_000 {
+				small++
+			}
+		}
+	}
+	fmt.Printf("protocol messages: %d; share payloads: %d; payloads small enough to be raw counts: %d\n",
+		len(transcript), shares, small)
+	fmt.Println("→ owner privacy: the transcript is uniformly random noise to any observer.")
+
+	// The secure-sum primitive on its own: pharmaceutical companies
+	// totalling adverse-event counts without disclosing individual counts.
+	nw2, err := privacy3d.NewSMCNetwork(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := []int64{17, 5, 11}
+	inputs := make([]privacy3d.FieldElem, len(counts))
+	for i, c := range counts {
+		inputs[i] = privacy3d.EncodeFieldInt(c)
+	}
+	total, err := privacy3d.SecureSum(nw2, inputs, []uint64{1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecure sum of private adverse-event counts %v = %d\n", counts, privacy3d.DecodeFieldInt(total))
+	fmt.Println("→ no user privacy though: the analysis (the sum) is known to all three parties.")
+}

@@ -1,0 +1,127 @@
+// Hippocratic builds the paper's Section 6 recipe for satisfying all three
+// privacy dimensions at once — the "hippocratic database" style pipeline:
+// a hospital's data is k-anonymized (respondent privacy), the remaining
+// attributes are perturbed PPDM-style (owner privacy), and the release is
+// served through PIR (user privacy). The example measures each dimension
+// before and after, and the utility price paid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"privacy3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	hospital := privacy3d.SyntheticTrial(privacy3d.TrialConfig{N: 600, Seed: 3})
+	qi := hospital.QuasiIdentifiers()
+	bp := []int{hospital.Index("blood_pressure")}
+
+	// The hippocratic substrate first: purpose-bound access with consent
+	// and an audit trail, the [3,4] machinery the pipeline sits on.
+	store, err := privacy3d.NewHippocraticStore(hospital, []privacy3d.HippocraticRule{
+		{Attribute: "height", Purpose: "research"},
+		{Attribute: "weight", Purpose: "research"},
+		{Attribute: "blood_pressure", Purpose: "research"},
+		{Attribute: "aids", Purpose: "research"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.ConsentAll("research")
+	if _, err := store.Access("insurer", "premium-pricing", []string{"blood_pressure"}); err != nil {
+		fmt.Printf("purpose limitation: insurer denied — %v\n", err)
+	}
+	fmt.Printf("audit trail entries so far: %d\n\n", len(store.Audit()))
+
+	fmt.Println("== Stage 0: raw interactive database ==")
+	link0, err := privacy3d.DistanceLinkage(hospital, hospital.Clone(), qi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("respondent: linkage %.2f | owner: everything released | user: every query logged\n", link0.Rate)
+
+	fmt.Println("\n== Stage 1: k-anonymize the quasi-identifiers (respondent privacy) ==")
+	masked, res, err := privacy3d.Microaggregate(hospital, privacy3d.MicroaggOptions(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	link1, err := privacy3d.DistanceLinkage(hospital, masked, qi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-anonymity: %d, linkage %.2f, information loss %.3f\n",
+		privacy3d.KAnonymity(masked, qi), link1.Rate, res.IL())
+
+	fmt.Println("\n== Stage 2: perturb the confidential attribute (owner privacy) ==")
+	release, err := privacy3d.AddNoise(masked, bp, 0.35, privacy3d.NewRand(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	il, err := privacy3d.MeasureInfoLoss(hospital, release, append(append([]int{}, qi...), bp...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overall information loss of the full release: %.3f\n", il.Overall())
+	// The noise is removable in distribution (not per record): a data
+	// miner can reconstruct f(blood pressure) for valid analyses.
+	sd := 0.35 * stddev(hospital.NumColumn(bp[0]))
+	rec, err := privacy3d.NewReconstructor(30, sd).Reconstruct(release.NumColumn(bp[0]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AS2000 reconstruction of the blood-pressure distribution: mean %.1f (true %.1f)\n",
+		rec.Mean(), mean(hospital.NumColumn(bp[0])))
+
+	fmt.Println("\n== Stage 3: serve the release through PIR (user privacy) ==")
+	blocks := make([][]byte, release.Rows())
+	for i := range blocks {
+		blocks[i] = []byte(fmt.Sprintf("%6.1f %6.1f %6.1f",
+			release.Float(i, 0), release.Float(i, 1), release.Float(i, bp[0])))
+	}
+	s0, err := privacy3d.NewITServer(blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s1, err := privacy3d.NewITServer(blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := privacy3d.NewITClient([]*privacy3d.ITServer{s0, s1}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	record, err := client.Retrieve(123)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("privately retrieved record 123: %q\n", record)
+	fmt.Printf("server 0 observed: %d uniformly random query vector(s)\n", len(s0.QueryLog()))
+
+	fmt.Println("\n== The three dimensions, end to end ==")
+	fmt.Printf("respondent: linkage %.2f → %.2f (k-anonymous release)\n", link0.Rate, link1.Rate)
+	fmt.Println("owner:      per-record values perturbed; only distributions reconstructible")
+	fmt.Println("user:       queries hidden by PIR; servers see uniform noise")
+	fmt.Printf("price:      information loss %.3f plus %d bits of PIR communication per lookup\n",
+		il.Overall(), client.CommunicationBits())
+}
+
+func mean(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+func stddev(x []float64) float64 {
+	m := mean(x)
+	var s float64
+	for _, v := range x {
+		s += (v - m) * (v - m)
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

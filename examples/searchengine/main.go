@@ -1,0 +1,108 @@
+// Searchengine reproduces the motivation of the paper's user-privacy
+// dimension: the August 2006 AOL incident, where a released query log let
+// observers profile users. A synthetic query log shows how much a plaintext
+// server learns; the same workload through keyword PIR shows the server
+// learning nothing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"privacy3d"
+
+	"privacy3d/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	// A synthetic search log: users with topical biases, Zipf popularity.
+	entries := dataset.SyntheticQueryLog(dataset.QueryLogConfig{
+		Users: 8, Queries: 400, Topics: 60, Seed: 2006,
+	})
+
+	fmt.Println("== Plaintext search engine: the server's query log profiles users ==")
+	profile := map[int]map[string]int{}
+	for _, e := range entries {
+		if profile[e.User] == nil {
+			profile[e.User] = map[string]int{}
+		}
+		profile[e.User][e.Query]++
+	}
+	users := make([]int, 0, len(profile))
+	for u := range profile {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	for _, u := range users[:4] {
+		top, n := topQuery(profile[u])
+		fmt.Printf("user %d: %d queries logged; most frequent: %q (%d times)\n",
+			u, total(profile[u]), top, n)
+	}
+	fmt.Println("→ every user is profiled from the log — the AOL scenario.")
+
+	// The same corpus behind keyword PIR: the user resolves keywords
+	// privately; the servers observe only uniform subset vectors.
+	fmt.Println("\n== The same index served through keyword PIR ==")
+	index := map[string][]byte{}
+	for t := 0; t < 60; t++ {
+		key := fmt.Sprintf("topic-%03d", t)
+		index[key] = []byte(fmt.Sprintf("results for %s", key))
+	}
+	db, err := privacy3d.NewKeywordDB(index, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lookups := 0
+	for _, e := range entries[:50] {
+		v, ok, err := db.Lookup(e.Query, uint64(lookups)+99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			lookups++
+			_ = v
+		}
+	}
+	srvLog := db.Servers()[0].QueryLog()
+	fmt.Printf("private lookups answered: %d\n", lookups)
+	fmt.Printf("what server 0 logged: %d uniform subset vectors of %d bits each\n",
+		len(srvLog), len(srvLog[0])*8)
+	ones := 0
+	for _, v := range srvLog {
+		for _, b := range v {
+			for k := 0; k < 8; k++ {
+				if b>>k&1 == 1 {
+					ones++
+				}
+			}
+		}
+	}
+	frac := float64(ones) / float64(len(srvLog)*len(srvLog[0])*8)
+	fmt.Printf("fraction of set bits in the logged vectors: %.3f (≈ 0.5 ⇒ independent of the keywords)\n", frac)
+	fmt.Println("→ user privacy: the paper argues it is the only privacy a public search index needs.")
+}
+
+func topQuery(m map[string]int) (string, int) {
+	keys := make([]string, 0, len(m))
+	for q := range m {
+		keys = append(keys, q)
+	}
+	sort.Strings(keys)
+	best, n := "", -1
+	for _, q := range keys {
+		if m[q] > n {
+			best, n = q, m[q]
+		}
+	}
+	return best, n
+}
+
+func total(m map[string]int) int {
+	s := 0
+	for _, n := range m {
+		s += n
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package privacy3d
+
+import (
+	"net/http/httptest"
+	"sort"
+	"testing"
+)
+
+func TestFacadePSIAndCompare(t *testing.T) {
+	alice, err := NewPSIParty([]string{"p1", "p2", "p3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewPSIParty([]string{"p2", "p4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := PSIIntersect(alice, bob)
+	sort.Strings(got)
+	if len(got) != 1 || got[0] != "p2" {
+		t.Errorf("intersection = %v", got)
+	}
+	greater, err := SecureCompare(9, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !greater {
+		t.Error("9 > 4 not detected")
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	eval, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eval.EvaluatePipeline(RecommendedPipeline(3), GradeMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SatisfiesAll {
+		t.Errorf("recommended pipeline fails: %+v", rep)
+	}
+}
+
+func TestFacadeProbabilisticLinkage(t *testing.T) {
+	d := SyntheticTrial(TrialConfig{N: 80, Seed: 4, ExtraQI: 2})
+	rep, err := ProbabilisticLinkage(d, d.Clone(), d.QuasiIdentifiers(), ProbLinkageConfig{Tolerance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rate < 0.9 {
+		t.Errorf("identity probabilistic linkage = %v", rep.Rate)
+	}
+}
+
+func TestFacadeHTTPPIR(t *testing.T) {
+	blocks := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")}
+	s1, err := NewITServer(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewITServer(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := httptest.NewServer(NewPIRHTTPServer(s1))
+	defer h1.Close()
+	h2 := httptest.NewServer(NewPIRHTTPServer(s2))
+	defer h2.Close()
+	client, err := NewPIRHTTPClient([]string{h1.URL, h2.URL}, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "bb" {
+		t.Errorf("retrieved %q", got)
+	}
+}
+
+func TestFacadeOverlapProtection(t *testing.T) {
+	srv, err := NewQueryServer(Dataset2(), ServerConfig{Protection: OverlapRestriction, MinSetSize: 2, MaxOverlap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(srv,
+		Predicate{{Col: "height", Op: Lt, V: 176}},
+		Cond{Col: "weight", Op: Gt, V: 105})
+	if _, err := tr.Infer("blood_pressure"); err == nil {
+		t.Error("overlap restriction should block the tracker")
+	}
+}

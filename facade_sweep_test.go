@@ -1,0 +1,254 @@
+package privacy3d
+
+import (
+	"testing"
+	"time"
+)
+
+// The sweep test exercises every facade wrapper end to end on a small
+// workload, pinning the public API surface.
+
+func TestFacadeMaskingSweep(t *testing.T) {
+	d := SyntheticTrial(TrialConfig{N: 120, Seed: 2})
+	qi := d.QuasiIdentifiers()
+	rng := NewRand(3)
+
+	if _, _, err := MicroaggregateVariable(d, MicroaggOptions(3), 0.2); err != nil {
+		t.Errorf("MicroaggregateVariable: %v", err)
+	}
+	if _, err := Condense(d, qi, 2, rng); err != nil {
+		t.Errorf("Condense: %v", err)
+	}
+	if _, err := AddCorrelatedNoise(d, qi, 0.3, rng); err != nil {
+		t.Errorf("AddCorrelatedNoise: %v", err)
+	}
+	if _, err := RankSwap(d, qi, 5, rng); err != nil {
+		t.Errorf("RankSwap: %v", err)
+	}
+	if _, _, err := MondrianMask(d, qi, 4); err != nil {
+		t.Errorf("MondrianMask: %v", err)
+	}
+	if _, _, err := TopBottomCode(d, qi[0], 0.05, 0.95); err != nil {
+		t.Errorf("TopBottomCode: %v", err)
+	}
+	if _, err := RoundTo(d, qi, 5); err != nil {
+		t.Errorf("RoundTo: %v", err)
+	}
+	if _, _, err := EnforcePSensitive(d, 2, 2); err != nil {
+		t.Errorf("EnforcePSensitive: %v", err)
+	}
+	noisy, err := AddNoise(d, qi, 0.5, NewRand(7))
+	if err != nil {
+		t.Fatalf("AddNoise: %v", err)
+	}
+	levels := map[string]float64{}
+	for _, j := range qi {
+		levels[d.Attr(j).Name] = 5
+	}
+	if _, err := Denoise(noisy, qi, levels); err != nil {
+		t.Errorf("Denoise: %v", err)
+	}
+	if _, err := MeasureRegressionUtility(d, noisy, qi, d.Index("blood_pressure")); err != nil {
+		t.Errorf("MeasureRegressionUtility: %v", err)
+	}
+}
+
+func TestFacadeGeneralization(t *testing.T) {
+	d := Dataset2()
+	hh, err := NewNumericHierarchy("height", 100, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := NewNumericHierarchy("weight", 0, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := map[int]*Hierarchy{d.Index("height"): hh, d.Index("weight"): hw}
+	out, res, err := AnonymizeByGeneralization(d, d.QuasiIdentifiers(), hier, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KAnonymity(out, out.QuasiIdentifiers()) < 3 {
+		t.Error("generalization did not reach k=3")
+	}
+	if res.Height == 0 {
+		t.Error("expected non-trivial generalization height")
+	}
+}
+
+func TestFacadeCryptoSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("key generation in short mode")
+	}
+	key, err := GeneratePaillier(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &key.PaillierPublicKey
+	c, err := pk.Encrypt(pk.EncodeSigned(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := pk.Encrypt(pk.EncodeSigned(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := key.Decrypt(pk.AddCipher(c, one))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.DecodeSigned(m) != 42 {
+		t.Errorf("homomorphic sum = %d", pk.DecodeSigned(m))
+	}
+}
+
+func TestFacadeSecureID3AndVerticalNB(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "a", Kind: Nominal},
+		{Name: "label", Kind: Nominal},
+	}
+	rng := NewRand(5)
+	parts := []*Dataset{NewDataset(attrs...), NewDataset(attrs...)}
+	for i := 0; i < 200; i++ {
+		a, label := "x", "n"
+		if rng.Float64() < 0.5 {
+			a = "y"
+		}
+		if a == "y" && rng.Float64() < 0.8 {
+			label = "p"
+		}
+		parts[i%2].MustAppend(a, label)
+	}
+	tree, nw, err := SecureID3(parts, "label", 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree == nil || len(nw.Transcript()) == 0 {
+		t.Error("secure ID3 returned no tree or transcript")
+	}
+	// Vertical NB across the same parties (each sees its own column plus
+	// the label — a degenerate but valid vertical split).
+	vparts, err := TrainVerticalNB([]*Dataset{parts[0], parts[0]}, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := NewSMCNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ClassifyVertical(nw2, vparts, []string{"n", "p"}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "n" && got != "p" {
+		t.Errorf("classified %q", got)
+	}
+}
+
+func TestFacadeKeywordAndStatPIR(t *testing.T) {
+	db, err := NewKeywordDB(map[string][]byte{"k1": []byte("v1"), "k2": []byte("v2")}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Lookup("k2", 3)
+	if err != nil || !ok || string(v) != "v2" {
+		t.Errorf("keyword lookup = %q ok=%v err=%v", v, ok, err)
+	}
+	var xe, ye []float64
+	for e := 150.0; e <= 190; e += 5 {
+		xe = append(xe, e)
+	}
+	for e := 60.0; e <= 115; e += 5 {
+		ye = append(ye, e)
+	}
+	sdb, err := BuildStatDB(Dataset2(), "height", "weight", "blood_pressure", xe, ye, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sdb.RangeStats(150, 165, 105, 115, 5)
+	if err != nil || res.Count != 1 {
+		t.Errorf("stat PIR count = %v err=%v", res.Count, err)
+	}
+}
+
+func TestFacadeScenariosAndUtility(t *testing.T) {
+	for name, f := range map[string]func() ([]QuadrantResult, error){
+		"S2": Section2Scenarios, "S3": Section3Scenarios, "S4": Section4Scenarios,
+	} {
+		rs, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range rs {
+			if !r.Holds {
+				t.Errorf("%s/%s does not hold", name, r.ID)
+			}
+		}
+	}
+	rows, err := UtilityVsDimensions(3, 7)
+	if err != nil || len(rows) != 4 {
+		t.Errorf("UtilityVsDimensions: %d rows, err %v", len(rows), err)
+	}
+}
+
+func TestFacadeHippocratic(t *testing.T) {
+	store, err := NewHippocraticStore(Dataset2(), []HippocraticRule{
+		{Attribute: "height", Purpose: "research", Retention: 24 * time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.ConsentAll("research")
+	out, err := store.Access("analyst", "research", []string{"height"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 9 {
+		t.Errorf("hippocratic access rows = %d", out.Rows())
+	}
+	if len(store.Audit()) != 1 {
+		t.Error("access not audited")
+	}
+}
+
+func TestFacadeTreeTraining(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "x", Kind: Numeric},
+		{Name: "label", Kind: Nominal},
+	}
+	d := NewDataset(attrs...)
+	rng := NewRand(11)
+	for i := 0; i < 400; i++ {
+		x := rng.Float64() * 100
+		label := "lo"
+		if x > 50 {
+			label = "hi"
+		}
+		d.MustAppend(x, label)
+	}
+	tree, err := TrainTree(d, "label", TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc, _ := tree.Accuracy(d, "label"); acc < 0.98 {
+		t.Errorf("tree accuracy = %v", acc)
+	}
+	noisy := d.Clone()
+	for i := 0; i < noisy.Rows(); i++ {
+		noisy.SetFloat(i, 0, noisy.Float(i, 0)+20*rng.NormFloat64())
+	}
+	if _, err := TrainTreeOnReconstructed(noisy, "label", map[string]float64{"x": 20}, 20, TreeOptions{}); err != nil {
+		t.Errorf("TrainTreeOnReconstructed: %v", err)
+	}
+}
+
+func TestFacadeNewMaskings(t *testing.T) {
+	d := SyntheticTrial(TrialConfig{N: 150, Seed: 6})
+	qi := d.QuasiIdentifiers()
+	if _, _, err := MicroaggregateProjection(d, MicroaggOptions(3)); err != nil {
+		t.Errorf("MicroaggregateProjection: %v", err)
+	}
+	if _, err := AddMultiplicativeNoise(d, qi, 0.05, NewRand(9)); err != nil {
+		t.Errorf("AddMultiplicativeNoise: %v", err)
+	}
+}

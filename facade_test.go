@@ -1,0 +1,167 @@
+package privacy3d
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API end to end the way README's
+// quickstart does, guarding against drift between the facade and the
+// internal packages.
+
+func TestFacadeMaskingPipeline(t *testing.T) {
+	d := SyntheticTrial(TrialConfig{N: 200, Seed: 1})
+	masked, res, err := Microaggregate(d, MicroaggOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KAnonymity(masked, masked.QuasiIdentifiers()) < 3 {
+		t.Error("facade masking lost k-anonymity")
+	}
+	if res.IL() <= 0 {
+		t.Error("no information loss reported")
+	}
+	link, err := DistanceLinkage(d, masked, d.QuasiIdentifiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Rate > 1.0/3+0.01 {
+		t.Errorf("linkage %v above 1/k", link.Rate)
+	}
+	il, err := MeasureInfoLoss(d, masked, d.QuasiIdentifiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il.Overall() < 0 || il.Overall() > 1 {
+		t.Errorf("info loss out of range: %v", il.Overall())
+	}
+}
+
+func TestFacadeFixturesAndAnonymity(t *testing.T) {
+	if KAnonymity(Dataset1(), Dataset1().QuasiIdentifiers()) != 3 {
+		t.Error("Dataset1 should be 3-anonymous")
+	}
+	rep := AnalyzeAnonymity(Dataset2())
+	if rep.K != 1 {
+		t.Errorf("Dataset2 k = %d", rep.K)
+	}
+}
+
+func TestFacadeQueryServerAndTracker(t *testing.T) {
+	srv, err := NewQueryServer(Dataset2(), ServerConfig{Protection: SizeRestriction, MinSetSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(srv,
+		Predicate{{Col: "height", Op: Lt, V: 176}},
+		Cond{Col: "weight", Op: Gt, V: 105})
+	res, err := tr.Infer("blood_pressure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 146 || res.Count != 1 {
+		t.Errorf("tracker inferred count=%v sum=%v", res.Count, res.Sum)
+	}
+}
+
+func TestFacadeSMC(t *testing.T) {
+	nw, err := NewSMCNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := SecureSum(nw,
+		[]FieldElem{EncodeFieldInt(5), EncodeFieldInt(-2), EncodeFieldInt(4)},
+		[]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DecodeFieldInt(total) != 7 {
+		t.Errorf("secure sum = %d", DecodeFieldInt(total))
+	}
+}
+
+func TestFacadePIR(t *testing.T) {
+	blocks := [][]byte{{1}, {2}, {3}, {4}}
+	s0, err := NewITServer(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewITServer(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewITClient([]*ITServer{s0, s1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Retrieve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 {
+		t.Errorf("retrieved %v", got)
+	}
+}
+
+func TestFacadeFramework(t *testing.T) {
+	if len(Classes()) != 8 {
+		t.Error("expected the eight Table 2 classes")
+	}
+	paper := PaperTable2()
+	if paper[ClassPIR].User != GradeHigh {
+		t.Error("paper table broken")
+	}
+	rows, err := UtilityVsDimensions(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Errorf("utility rows = %d", len(rows))
+	}
+}
+
+func TestFacadeMining(t *testing.T) {
+	txs := []Transaction{
+		{"a", "b"}, {"a", "b"}, {"a", "b"}, {"a", "c"}, {"b", "c"},
+	}
+	rules, err := MineRules(txs, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	sanitised, rep, err := HideRules(txs, []SensitiveRule{{
+		Antecedent: Itemset{"a"}, Consequent: Itemset{"b"},
+	}}, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ItemsRemoved == 0 {
+		t.Error("hide removed nothing")
+	}
+	after, err := MineRules(sanitised, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range after {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == "a" && r.Consequent[0] == "b" {
+			t.Error("sensitive rule survived")
+		}
+	}
+}
+
+func TestFacadeWarner(t *testing.T) {
+	w, err := NewWarner(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(5)
+	truth := make([]bool, 10000)
+	for i := range truth {
+		truth[i] = rng.Float64() < 0.25
+	}
+	est := w.EstimateProportion(w.Randomize(truth, rng))
+	if est < 0.2 || est > 0.3 {
+		t.Errorf("estimate = %v", est)
+	}
+}

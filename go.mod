@@ -1,0 +1,3 @@
+module privacy3d
+
+go 1.23

@@ -1,0 +1,253 @@
+// Package anonymity implements the disclosure-protection properties the
+// paper's respondent-privacy dimension is measured by: k-anonymity
+// (Samarati & Sweeney 1998, Sweeney 2002), p-sensitive k-anonymity
+// (Truta & Vinay 2006, the stronger property footnote 3 of the paper calls
+// for), l-diversity, and t-closeness as an extension.
+//
+// All properties are evaluated over the equivalence classes induced by the
+// quasi-identifier attributes: the groups of records sharing one
+// combination of key-attribute values.
+package anonymity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// EquivalenceClass is one group of records sharing quasi-identifier values.
+type EquivalenceClass struct {
+	// Rows are the record indices in the dataset.
+	Rows []int
+	// Key is the canonical rendering of the shared quasi-identifier values.
+	Key string
+}
+
+// Classes partitions the dataset into equivalence classes over the given
+// columns (pass d.QuasiIdentifiers() for the standard notion). Classes are
+// sorted by key for determinism.
+func Classes(d *dataset.Dataset, cols []int) []EquivalenceClass {
+	groups := d.GroupBy(cols)
+	out := make([]EquivalenceClass, len(groups))
+	for g, rows := range groups {
+		out[g] = EquivalenceClass{Rows: rows, Key: d.KeyString(rows[0], cols)}
+	}
+	return out
+}
+
+// K returns the anonymity level of the dataset with respect to cols: the
+// size of the smallest equivalence class. An empty dataset has K = 0.
+func K(d *dataset.Dataset, cols []int) int {
+	if d.Rows() == 0 {
+		return 0
+	}
+	min := d.Rows()
+	for _, ec := range Classes(d, cols) {
+		if len(ec.Rows) < min {
+			min = len(ec.Rows)
+		}
+	}
+	return min
+}
+
+// IsKAnonymous reports whether every quasi-identifier combination appears at
+// least k times.
+func IsKAnonymous(d *dataset.Dataset, cols []int, k int) bool {
+	if k <= 1 {
+		return true
+	}
+	return K(d, cols) >= k
+}
+
+// DistinctValues returns, for each equivalence class, the number of distinct
+// values of the confidential column conf.
+func DistinctValues(d *dataset.Dataset, cols []int, conf int) []int {
+	classes := Classes(d, cols)
+	out := make([]int, len(classes))
+	for g, ec := range classes {
+		seen := map[string]bool{}
+		for _, i := range ec.Rows {
+			seen[d.KeyString(i, []int{conf})] = true
+		}
+		out[g] = len(seen)
+	}
+	return out
+}
+
+// PSensitivity returns the p-sensitivity level of the dataset: the minimum,
+// over equivalence classes and confidential attributes, of the number of
+// distinct confidential values within the class. A k-anonymous dataset with
+// PSensitivity ≥ p is p-sensitive k-anonymous (Truta & Vinay 2006): even an
+// intruder who locates a respondent's class cannot infer the confidential
+// value, because at least p candidates remain.
+func PSensitivity(d *dataset.Dataset, cols []int, confCols []int) int {
+	if d.Rows() == 0 || len(confCols) == 0 {
+		return 0
+	}
+	min := d.Rows()
+	for _, conf := range confCols {
+		for _, distinct := range DistinctValues(d, cols, conf) {
+			if distinct < min {
+				min = distinct
+			}
+		}
+	}
+	return min
+}
+
+// IsPSensitiveKAnonymous reports whether the dataset satisfies p-sensitive
+// k-anonymity with respect to the quasi-identifier columns cols and the
+// confidential columns confCols.
+func IsPSensitiveKAnonymous(d *dataset.Dataset, cols, confCols []int, k, p int) bool {
+	return IsKAnonymous(d, cols, k) && PSensitivity(d, cols, confCols) >= p
+}
+
+// LDiversity returns the l-diversity level for one confidential column:
+// min over classes of the number of distinct confidential values
+// (distinct l-diversity, Machanavajjhala et al.).
+func LDiversity(d *dataset.Dataset, cols []int, conf int) int {
+	if d.Rows() == 0 {
+		return 0
+	}
+	min := d.Rows()
+	for _, distinct := range DistinctValues(d, cols, conf) {
+		if distinct < min {
+			min = distinct
+		}
+	}
+	return min
+}
+
+// EntropyLDiversity returns the entropy l-diversity level: the minimum over
+// classes of 2^H(class confidential distribution). A class where one value
+// dominates scores close to 1 even if nominally diverse.
+func EntropyLDiversity(d *dataset.Dataset, cols []int, conf int) float64 {
+	classes := Classes(d, cols)
+	if len(classes) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, ec := range classes {
+		counts := map[string]float64{}
+		for _, i := range ec.Rows {
+			counts[d.KeyString(i, []int{conf})]++
+		}
+		p := make([]float64, 0, len(counts))
+		for _, c := range counts {
+			p = append(p, c/float64(len(ec.Rows)))
+		}
+		if l := math.Exp2(stats.Entropy(p)); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// TCloseness returns the t-closeness level of a categorical confidential
+// column: the maximum, over equivalence classes, of the total-variation
+// distance between the class distribution of the confidential attribute and
+// its global distribution. Smaller is better; a dataset satisfies
+// t-closeness when the returned value is ≤ t.
+func TCloseness(d *dataset.Dataset, cols []int, conf int) float64 {
+	if d.Rows() == 0 {
+		return 0
+	}
+	// Global distribution over the category list.
+	values := map[string]int{}
+	order := []string{}
+	for i := 0; i < d.Rows(); i++ {
+		v := d.KeyString(i, []int{conf})
+		if _, ok := values[v]; !ok {
+			values[v] = len(order)
+			order = append(order, v)
+		}
+	}
+	global := make([]float64, len(order))
+	for i := 0; i < d.Rows(); i++ {
+		global[values[d.KeyString(i, []int{conf})]]++
+	}
+	global = stats.Normalize(global)
+
+	var worst float64
+	for _, ec := range Classes(d, cols) {
+		local := make([]float64, len(order))
+		for _, i := range ec.Rows {
+			local[values[d.KeyString(i, []int{conf})]]++
+		}
+		local = stats.Normalize(local)
+		if tv := stats.TotalVariation(local, global); tv > worst {
+			worst = tv
+		}
+	}
+	return worst
+}
+
+// Report summarises the anonymity properties of a dataset.
+type Report struct {
+	K              int
+	PSensitivity   int
+	LDiversityMin  int     // min distinct l-diversity across confidential columns
+	TClosenessMax  float64 // max t over confidential columns
+	Classes        int
+	SingletonRatio float64 // fraction of records in singleton classes (unique respondents)
+}
+
+// Analyze computes a full anonymity report over the dataset's declared
+// quasi-identifier and confidential columns.
+func Analyze(d *dataset.Dataset) Report {
+	qi := d.QuasiIdentifiers()
+	conf := d.ConfidentialAttrs()
+	classes := Classes(d, qi)
+	var singles int
+	for _, ec := range classes {
+		if len(ec.Rows) == 1 {
+			singles++
+		}
+	}
+	r := Report{
+		K:            K(d, qi),
+		PSensitivity: PSensitivity(d, qi, conf),
+		Classes:      len(classes),
+	}
+	if d.Rows() > 0 {
+		r.SingletonRatio = float64(singles) / float64(d.Rows())
+	}
+	lmin := math.MaxInt
+	var tmax float64
+	for _, c := range conf {
+		if l := LDiversity(d, qi, c); l < lmin {
+			lmin = l
+		}
+		if t := TCloseness(d, qi, c); t > tmax {
+			tmax = t
+		}
+	}
+	if len(conf) == 0 {
+		lmin = 0
+	}
+	r.LDiversityMin = lmin
+	r.TClosenessMax = tmax
+	return r
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("k=%d p-sens=%d l-div=%d t-close=%.3f classes=%d singletons=%.1f%%",
+		r.K, r.PSensitivity, r.LDiversityMin, r.TClosenessMax, r.Classes, 100*r.SingletonRatio)
+}
+
+// UniqueRows returns the indices of records that are unique on cols —
+// the respondents at direct re-identification risk.
+func UniqueRows(d *dataset.Dataset, cols []int) []int {
+	var out []int
+	for _, ec := range Classes(d, cols) {
+		if len(ec.Rows) == 1 {
+			out = append(out, ec.Rows[0])
+		}
+	}
+	sort.Ints(out)
+	return out
+}

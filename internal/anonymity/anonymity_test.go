@@ -1,0 +1,224 @@
+package anonymity
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+func TestDataset1IsSpontaneously3Anonymous(t *testing.T) {
+	// Paper, Section 2: "the dataset turns out to spontaneously satisfy
+	// k-anonymity for k = 3 with respect to the key attributes".
+	d := dataset.Dataset1()
+	qi := d.QuasiIdentifiers()
+	if got := K(d, qi); got != 3 {
+		t.Errorf("K(Dataset1) = %d, want 3", got)
+	}
+	if !IsKAnonymous(d, qi, 3) {
+		t.Error("Dataset1 should be 3-anonymous")
+	}
+	if IsKAnonymous(d, qi, 4) {
+		t.Error("Dataset1 should not be 4-anonymous")
+	}
+}
+
+func TestDataset2ViolatesKAnonymity(t *testing.T) {
+	// Paper, Section 2: "The new dataset is no longer 3-anonymous with
+	// respect to the key attributes (height, weight)".
+	d := dataset.Dataset2()
+	qi := d.QuasiIdentifiers()
+	if got := K(d, qi); got != 1 {
+		t.Errorf("K(Dataset2) = %d, want 1", got)
+	}
+	uniq := UniqueRows(d, qi)
+	if len(uniq) == 0 {
+		t.Fatal("Dataset2 should contain unique respondents")
+	}
+	// The small-and-heavy patient (record 0 of the fixture) is unique.
+	found := false
+	for _, i := range uniq {
+		if d.Float(i, 0) < 165 && d.Float(i, 1) > 105 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the height<165 ∧ weight>105 respondent should be unique")
+	}
+}
+
+func TestKEdgeCases(t *testing.T) {
+	empty := dataset.New(dataset.TrialSchema()...)
+	if K(empty, empty.QuasiIdentifiers()) != 0 {
+		t.Error("K(empty) != 0")
+	}
+	if !IsKAnonymous(empty, empty.QuasiIdentifiers(), 1) {
+		t.Error("k=1 should always hold")
+	}
+}
+
+func TestClassesPartition(t *testing.T) {
+	d := dataset.Dataset1()
+	classes := Classes(d, d.QuasiIdentifiers())
+	if len(classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(classes))
+	}
+	total := 0
+	keys := map[string]bool{}
+	for _, ec := range classes {
+		total += len(ec.Rows)
+		if keys[ec.Key] {
+			t.Errorf("duplicate class key %q", ec.Key)
+		}
+		keys[ec.Key] = true
+	}
+	if total != d.Rows() {
+		t.Errorf("classes cover %d rows, want %d", total, d.Rows())
+	}
+}
+
+func TestPSensitivity(t *testing.T) {
+	// Footnote 3 of the paper: k-anonymity does not protect respondents
+	// when a class shares the confidential value; p-sensitivity counts
+	// distinct confidential values per class.
+	d := dataset.New(dataset.TrialSchema()...)
+	// One class, all three records share blood pressure but AIDS differs.
+	d.MustAppend(170.0, 70.0, 140.0, "Y")
+	d.MustAppend(170.0, 70.0, 140.0, "N")
+	d.MustAppend(170.0, 70.0, 140.0, "N")
+	qi := d.QuasiIdentifiers()
+	conf := d.ConfidentialAttrs()
+	if got := PSensitivity(d, qi, conf); got != 1 {
+		t.Errorf("PSensitivity = %d, want 1 (blood pressure constant)", got)
+	}
+	if IsPSensitiveKAnonymous(d, qi, conf, 3, 2) {
+		t.Error("should not be 2-sensitive 3-anonymous")
+	}
+	if !IsPSensitiveKAnonymous(d, qi, conf, 3, 1) {
+		t.Error("should be 1-sensitive 3-anonymous")
+	}
+}
+
+func TestDataset1PSensitivity(t *testing.T) {
+	d := dataset.Dataset1()
+	// Every class of the fixture has 3 distinct blood pressures and both
+	// AIDS statuses would need p=2; AIDS has at most 2 values so
+	// p-sensitivity is ≤ 2.
+	p := PSensitivity(d, d.QuasiIdentifiers(), d.ConfidentialAttrs())
+	if p < 2 {
+		t.Errorf("Dataset1 p-sensitivity = %d, want ≥ 2", p)
+	}
+}
+
+func TestLDiversity(t *testing.T) {
+	d := dataset.Dataset1()
+	qi := d.QuasiIdentifiers()
+	if l := LDiversity(d, qi, d.Index("blood_pressure")); l != 3 {
+		t.Errorf("l-diversity(bp) = %d, want 3", l)
+	}
+	if l := LDiversity(d, qi, d.Index("aids")); l != 2 {
+		t.Errorf("l-diversity(aids) = %d, want 2", l)
+	}
+}
+
+func TestEntropyLDiversity(t *testing.T) {
+	d := dataset.New(dataset.TrialSchema()...)
+	// Class with skewed AIDS distribution: 3 N, 1 Y → entropy l < 2.
+	d.MustAppend(170.0, 70.0, 120.0, "N")
+	d.MustAppend(170.0, 70.0, 121.0, "N")
+	d.MustAppend(170.0, 70.0, 122.0, "N")
+	d.MustAppend(170.0, 70.0, 123.0, "Y")
+	l := EntropyLDiversity(d, d.QuasiIdentifiers(), d.Index("aids"))
+	if l <= 1 || l >= 2 {
+		t.Errorf("entropy l-diversity = %v, want in (1,2)", l)
+	}
+	// Balanced class → exactly 2.
+	d2 := dataset.New(dataset.TrialSchema()...)
+	d2.MustAppend(170.0, 70.0, 120.0, "N")
+	d2.MustAppend(170.0, 70.0, 121.0, "Y")
+	if l := EntropyLDiversity(d2, d2.QuasiIdentifiers(), d2.Index("aids")); l < 1.999 {
+		t.Errorf("balanced entropy l-diversity = %v, want 2", l)
+	}
+}
+
+func TestTCloseness(t *testing.T) {
+	// All classes mirror the global distribution → t = 0.
+	d := dataset.New(dataset.TrialSchema()...)
+	d.MustAppend(170.0, 70.0, 120.0, "N")
+	d.MustAppend(170.0, 70.0, 120.0, "Y")
+	d.MustAppend(175.0, 80.0, 120.0, "N")
+	d.MustAppend(175.0, 80.0, 120.0, "Y")
+	if tc := TCloseness(d, d.QuasiIdentifiers(), d.Index("aids")); tc != 0 {
+		t.Errorf("t-closeness = %v, want 0", tc)
+	}
+	// A class concentrated on one value diverges from a 50/50 global.
+	d2 := dataset.New(dataset.TrialSchema()...)
+	d2.MustAppend(170.0, 70.0, 120.0, "N")
+	d2.MustAppend(170.0, 70.0, 120.0, "N")
+	d2.MustAppend(175.0, 80.0, 120.0, "Y")
+	d2.MustAppend(175.0, 80.0, 120.0, "Y")
+	if tc := TCloseness(d2, d2.QuasiIdentifiers(), d2.Index("aids")); tc != 0.5 {
+		t.Errorf("t-closeness = %v, want 0.5", tc)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	r := Analyze(dataset.Dataset2())
+	if r.K != 1 {
+		t.Errorf("report K = %d", r.K)
+	}
+	if r.SingletonRatio <= 0 {
+		t.Error("Dataset2 should have singleton classes")
+	}
+	if r.Classes < 5 {
+		t.Errorf("Dataset2 classes = %d, want several", r.Classes)
+	}
+	if s := r.String(); s == "" {
+		t.Error("empty report string")
+	}
+	// Empty dataset report is all-zero and does not divide by zero.
+	er := Analyze(dataset.New(dataset.TrialSchema()...))
+	if er.K != 0 || er.SingletonRatio != 0 {
+		t.Errorf("empty report = %+v", er)
+	}
+}
+
+func TestUniqueRowsSorted(t *testing.T) {
+	d := dataset.Dataset2()
+	uniq := UniqueRows(d, d.QuasiIdentifiers())
+	for i := 1; i < len(uniq); i++ {
+		if uniq[i-1] >= uniq[i] {
+			t.Fatalf("UniqueRows not sorted: %v", uniq)
+		}
+	}
+}
+
+func TestDiscernibilityMetric(t *testing.T) {
+	d := dataset.Dataset1() // 3 classes of 3 → DM = 27
+	if dm := DiscernibilityMetric(d, d.QuasiIdentifiers()); dm != 27 {
+		t.Errorf("DM(Dataset1) = %d, want 27", dm)
+	}
+	d2 := dataset.Dataset2()
+	// Classes: sizes 1,2,1,2,1,1,1 → DM = 1+4+1+4+1+1+1 = 13.
+	if dm := DiscernibilityMetric(d2, d2.QuasiIdentifiers()); dm != 13 {
+		t.Errorf("DM(Dataset2) = %d, want 13", dm)
+	}
+	// Coarser partitions cost more.
+	all := DiscernibilityMetric(d, nil) // empty cols → single class
+	if all != 81 {
+		t.Errorf("DM(single class) = %d, want 81", all)
+	}
+}
+
+func TestAverageClassSize(t *testing.T) {
+	d := dataset.Dataset1()
+	if c := AverageClassSize(d, d.QuasiIdentifiers(), 3); c != 1 {
+		t.Errorf("C_avg = %v, want 1 (all classes exactly k)", c)
+	}
+	if c := AverageClassSize(d, nil, 3); c != 3 {
+		t.Errorf("C_avg single class = %v, want 3", c)
+	}
+	empty := dataset.New(dataset.TrialSchema()...)
+	if c := AverageClassSize(empty, nil, 3); c != 0 {
+		t.Errorf("C_avg empty = %v", c)
+	}
+}

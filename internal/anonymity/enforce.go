@@ -1,0 +1,134 @@
+package anonymity
+
+import (
+	"fmt"
+	"sort"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// EnforcePSensitive upgrades a k-anonymous release to p-sensitive
+// k-anonymity (Truta & Vinay 2006, the paper's footnote 3): equivalence
+// classes whose confidential attributes carry fewer than p distinct values
+// are merged with their nearest class (by quasi-identifier centroid in
+// standardised space) until every class is both ≥ k in size and
+// p-sensitive. Merging recodes the quasi-identifiers of both classes to
+// their joint centroid, preserving k-anonymity.
+//
+// The quasi-identifiers must be numeric (centroid recoding); the dataset is
+// not modified — a masked clone is returned along with the number of merge
+// operations performed.
+func EnforcePSensitive(d *dataset.Dataset, k, p int) (*dataset.Dataset, int, error) {
+	if k < 1 || p < 1 {
+		return nil, 0, fmt.Errorf("anonymity: need k ≥ 1 and p ≥ 1, got k=%d p=%d", k, p)
+	}
+	qi := d.QuasiIdentifiers()
+	conf := d.ConfidentialAttrs()
+	if len(qi) == 0 || len(conf) == 0 {
+		return nil, 0, fmt.Errorf("anonymity: dataset needs quasi-identifier and confidential attributes")
+	}
+	for _, j := range qi {
+		if d.Attr(j).Kind != dataset.Numeric {
+			return nil, 0, fmt.Errorf("anonymity: EnforcePSensitive requires numeric quasi-identifiers; %q is %v",
+				d.Attr(j).Name, d.Attr(j).Kind)
+		}
+	}
+	// Check achievability: the whole dataset must itself be p-sensitive.
+	whole := make([]int, d.Rows())
+	for i := range whole {
+		whole[i] = i
+	}
+	if distinctWithin(d, whole, conf) < p {
+		return nil, 0, fmt.Errorf("anonymity: the dataset has fewer than p=%d distinct confidential values", p)
+	}
+	out := d.Clone()
+	// Standardised space for nearest-class search.
+	z, _, _ := stats.Standardize(d.NumericMatrix(qi))
+	// Current partition: start from the QI equivalence classes.
+	classes := [][]int{}
+	for _, ec := range Classes(out, qi) {
+		classes = append(classes, ec.Rows)
+	}
+	merges := 0
+	for {
+		// Find a violating class (too small or not p-sensitive).
+		violating := -1
+		for ci, rows := range classes {
+			if len(rows) < k || distinctWithin(out, rows, conf) < p {
+				violating = ci
+				break
+			}
+		}
+		if violating < 0 {
+			break
+		}
+		if len(classes) == 1 {
+			return nil, 0, fmt.Errorf("anonymity: cannot reach p-sensitive %d-anonymity (single class left)", k)
+		}
+		// Merge with the nearest other class.
+		vc := centroid(z, classes[violating])
+		best, bestD := -1, 0.0
+		for ci, rows := range classes {
+			if ci == violating {
+				continue
+			}
+			dd := stats.SquaredDist(vc, centroid(z, rows))
+			if best < 0 || dd < bestD {
+				best, bestD = ci, dd
+			}
+		}
+		merged := append(append([]int{}, classes[violating]...), classes[best]...)
+		sort.Ints(merged)
+		var next [][]int
+		for ci, rows := range classes {
+			if ci != violating && ci != best {
+				next = append(next, rows)
+			}
+		}
+		classes = append(next, merged)
+		merges++
+	}
+	// Recode each class's quasi-identifiers to the class centroid in the
+	// original space.
+	raw := d.NumericMatrix(qi)
+	for _, rows := range classes {
+		c := centroid(raw, rows)
+		for _, i := range rows {
+			for t, j := range qi {
+				out.SetFloat(i, j, c[t])
+			}
+		}
+	}
+	return out, merges, nil
+}
+
+func distinctWithin(d *dataset.Dataset, rows []int, confCols []int) int {
+	min := -1
+	for _, conf := range confCols {
+		seen := map[string]bool{}
+		for _, i := range rows {
+			seen[d.KeyString(i, []int{conf})] = true
+		}
+		if min < 0 || len(seen) < min {
+			min = len(seen)
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+func centroid(data [][]float64, rows []int) []float64 {
+	c := make([]float64, len(data[0]))
+	for _, i := range rows {
+		for j, v := range data[i] {
+			c[j] += v
+		}
+	}
+	for j := range c {
+		c[j] /= float64(len(rows))
+	}
+	return c
+}

@@ -1,0 +1,90 @@
+package anonymity
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+func TestEnforcePSensitiveOnMaskedTrial(t *testing.T) {
+	// A k-anonymous microaggregated release can still have classes whose
+	// AIDS values are constant; enforcement must repair them.
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 400, Seed: 21})
+	out, merges, err := EnforcePSensitive(d, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi := out.QuasiIdentifiers()
+	conf := out.ConfidentialAttrs()
+	if !IsPSensitiveKAnonymous(out, qi, conf, 3, 2) {
+		t.Errorf("result not 2-sensitive 3-anonymous: %s", Analyze(out))
+	}
+	if merges == 0 {
+		t.Error("expected merges on raw data (mostly singleton classes)")
+	}
+	// Confidential columns untouched.
+	for i := 0; i < d.Rows(); i++ {
+		if d.Cat(i, d.Index("aids")) != out.Cat(i, out.Index("aids")) {
+			t.Fatal("confidential value changed")
+		}
+	}
+	// Original untouched.
+	if dataset.EqualValues(d, out) {
+		t.Error("enforcement changed nothing")
+	}
+}
+
+func TestEnforcePSensitiveAlreadySatisfied(t *testing.T) {
+	d := dataset.Dataset1() // 3-anonymous, p-sensitivity ≥ 2
+	out, merges, err := EnforcePSensitive(d, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges != 0 {
+		t.Errorf("merges = %d on an already-compliant dataset", merges)
+	}
+	if !dataset.EqualValues(d, out) {
+		t.Error("compliant dataset was modified")
+	}
+}
+
+func TestEnforcePSensitiveRepairsDataset2(t *testing.T) {
+	d := dataset.Dataset2() // k = 1
+	out, _, err := EnforcePSensitive(d, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPSensitiveKAnonymous(out, out.QuasiIdentifiers(), out.ConfidentialAttrs(), 3, 2) {
+		t.Errorf("Dataset 2 not repaired: %s", Analyze(out))
+	}
+}
+
+func TestEnforcePSensitiveErrors(t *testing.T) {
+	d := dataset.Dataset2()
+	if _, _, err := EnforcePSensitive(d, 0, 2); err == nil {
+		t.Error("accepted k = 0")
+	}
+	if _, _, err := EnforcePSensitive(d, 3, 0); err == nil {
+		t.Error("accepted p = 0")
+	}
+	// Impossible p: more distinct values demanded than exist (aids has 2).
+	if _, _, err := EnforcePSensitive(d, 3, 5); err == nil {
+		t.Error("accepted unachievable p")
+	}
+	// Categorical quasi-identifiers unsupported.
+	attrs := []dataset.Attribute{
+		{Name: "city", Role: dataset.QuasiIdentifier, Kind: dataset.Nominal},
+		{Name: "x", Role: dataset.Confidential, Kind: dataset.Numeric},
+	}
+	c := dataset.New(attrs...)
+	c.MustAppend("bcn", 1.0)
+	if _, _, err := EnforcePSensitive(c, 1, 1); err == nil {
+		t.Error("accepted categorical quasi-identifier")
+	}
+	// No confidential columns.
+	nc := dataset.New(dataset.Attribute{Name: "x", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric})
+	nc.MustAppend(1.0)
+	if _, _, err := EnforcePSensitive(nc, 1, 1); err == nil {
+		t.Error("accepted dataset without confidential attributes")
+	}
+}

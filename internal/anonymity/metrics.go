@@ -1,0 +1,34 @@
+package anonymity
+
+import (
+	"privacy3d/internal/dataset"
+)
+
+// Utility metrics of a k-anonymous partition, from the k-anonymization
+// literature: lower is better for both.
+
+// DiscernibilityMetric returns Σ |EC|² over equivalence classes — the
+// classic DM cost: each record is charged the size of the class it became
+// indistinguishable within. The minimum for an n-record k-anonymous dataset
+// is ≈ n·k; the maximum (one class) is n².
+func DiscernibilityMetric(d *dataset.Dataset, cols []int) int {
+	var dm int
+	for _, ec := range Classes(d, cols) {
+		dm += len(ec.Rows) * len(ec.Rows)
+	}
+	return dm
+}
+
+// AverageClassSize returns C_avg = n / (number of classes · k) — the
+// normalised average equivalence-class size of LeFevre et al.; 1.0 means
+// every class is exactly size k.
+func AverageClassSize(d *dataset.Dataset, cols []int, k int) float64 {
+	if d.Rows() == 0 || k <= 0 {
+		return 0
+	}
+	classes := Classes(d, cols)
+	if len(classes) == 0 {
+		return 0
+	}
+	return float64(d.Rows()) / (float64(len(classes)) * float64(k))
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+func TestGradeOfThresholds(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  Grade
+	}{
+		{0, None}, {0.19, None}, {0.2, Low}, {0.39, Low},
+		{0.4, Medium}, {0.59, Medium}, {0.6, MediumHigh}, {0.79, MediumHigh},
+		{0.8, High}, {1, High},
+	}
+	for _, c := range cases {
+		if got := GradeOf(c.score); got != c.want {
+			t.Errorf("GradeOf(%v) = %v, want %v", c.score, got, c.want)
+		}
+	}
+}
+
+func TestDimensionAndGradeStrings(t *testing.T) {
+	if Respondent.String() != "respondent" || Owner.String() != "owner" || User.String() != "user" {
+		t.Error("dimension names wrong")
+	}
+	if MediumHigh.String() != "medium-high" {
+		t.Errorf("grade name = %q", MediumHigh)
+	}
+	if len(Dimensions()) != 3 {
+		t.Error("Dimensions() must list three")
+	}
+}
+
+func TestScoresGradesAccessors(t *testing.T) {
+	s := Scores{Respondent: 0.1, Owner: 0.5, User: 0.9}
+	if s.Get(Respondent) != 0.1 || s.Get(Owner) != 0.5 || s.Get(User) != 0.9 {
+		t.Error("Scores.Get wrong")
+	}
+	g := GradesOf(s)
+	if g.Get(Respondent) != None || g.Get(Owner) != Medium || g.Get(User) != High {
+		t.Errorf("GradesOf = %+v", g)
+	}
+}
+
+func TestClassesAndStrings(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 8 {
+		t.Fatalf("Classes() = %d rows, want 8 (Table 2)", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		name := c.String()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate class name %q", name)
+		}
+		seen[name] = true
+	}
+	if !PIR.HasPIR() || SDC.HasPIR() || !SDCPlusPIR.HasPIR() || CryptoPPDM.HasPIR() {
+		t.Error("HasPIR wrong")
+	}
+}
+
+func TestPaperTable2Complete(t *testing.T) {
+	paper := PaperTable2()
+	for _, c := range Classes() {
+		if _, ok := paper[c]; !ok {
+			t.Errorf("PaperTable2 missing %v", c)
+		}
+	}
+	// Spot-check the printed table.
+	if g := paper[CryptoPPDM]; g.Respondent != High || g.Owner != High || g.User != None {
+		t.Errorf("CryptoPPDM grades = %+v", g)
+	}
+	if g := paper[PIR]; g.Respondent != None || g.Owner != None || g.User != High {
+		t.Errorf("PIR grades = %+v", g)
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	cfg := DefaultEvalConfig()
+	cfg.N = 10
+	if _, err := NewEvaluator(cfg); err == nil {
+		t.Error("accepted tiny population")
+	}
+	cfg = DefaultEvalConfig()
+	cfg.SDCK = 1
+	if _, err := NewEvaluator(cfg); err == nil {
+		t.Error("accepted k = 1")
+	}
+	cfg = DefaultEvalConfig()
+	cfg.UseSpecificTypes = 99
+	if _, err := NewEvaluator(cfg); err == nil {
+		t.Error("accepted UseSpecificTypes > AnalysisTypes")
+	}
+}
+
+// TestTable2MatchesPaper is the headline reproduction: the empirical grades
+// of all eight technology classes coincide with the paper's Table 2.
+func TestTable2MatchesPaper(t *testing.T) {
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := PaperTable2()
+	ms, err := e.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 8 {
+		t.Fatalf("measured %d rows", len(ms))
+	}
+	for _, m := range ms {
+		want := paper[m.Class]
+		if m.Grades != want {
+			t.Errorf("%v: measured %+v, paper %+v (scores %+v)", m.Class, m.Grades, want, m.Scores)
+		}
+	}
+}
+
+func TestTable2KeyOrderings(t *testing.T) {
+	// Scale-free shape checks that hold regardless of grade thresholds.
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(c Class) Scores {
+		m, err := e.Evaluate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Scores
+	}
+	sdc, crypto, pirS := get(SDC), get(CryptoPPDM), get(PIR)
+	noise, generic := get(UseSpecificPPDM), get(GenericPPDM)
+	usePIR := get(UseSpecificPPDMPlusPIR)
+	if !(crypto.Owner > noise.Owner && noise.Owner > sdc.Owner && sdc.Owner > pirS.Owner) {
+		t.Errorf("owner ordering violated: crypto %v > use-specific %v > SDC %v > PIR %v",
+			crypto.Owner, noise.Owner, sdc.Owner, pirS.Owner)
+	}
+	if !(sdc.Respondent > noise.Respondent && sdc.Respondent > pirS.Respondent) {
+		t.Error("SDC should lead the masking rows on respondent privacy")
+	}
+	if crypto.User != 0 || sdc.User != 0 {
+		t.Error("non-PIR rows must have zero user privacy")
+	}
+	if pirS.User < 0.9 {
+		t.Errorf("PIR user privacy = %v, want ≈ 1", pirS.User)
+	}
+	if !(usePIR.User > 0.3 && usePIR.User < pirS.User) {
+		t.Errorf("use-specific+PIR user privacy %v should sit between none and PIR's %v", usePIR.User, pirS.User)
+	}
+	_ = generic
+}
+
+func TestEvaluateUnknownClass(t *testing.T) {
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(Class(99)); err == nil {
+		t.Error("accepted unknown class")
+	}
+}
+
+func TestSection2Scenarios(t *testing.T) {
+	rs, err := Section2Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("Section 2 has %d scenarios, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if !r.Holds {
+			t.Errorf("%s does not hold: %v", r.ID, r.Facts)
+		}
+		if len(r.Facts) == 0 || r.Claim == "" {
+			t.Errorf("%s lacks facts or claim", r.ID)
+		}
+	}
+}
+
+func TestSection3Scenarios(t *testing.T) {
+	rs, err := Section3Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("Section 3 has %d scenarios, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if !r.Holds {
+			t.Errorf("%s does not hold: %v", r.ID, r.Facts)
+		}
+	}
+}
+
+func TestSection4Scenarios(t *testing.T) {
+	rs, err := Section4Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("Section 4 has %d scenarios, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if !r.Holds {
+			t.Errorf("%s does not hold: %v", r.ID, r.Facts)
+		}
+	}
+}
+
+func TestUtilityVsDimensionsMonotone(t *testing.T) {
+	rows, err := UtilityVsDimensions(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Information loss rises (weakly) as data-distorting dimensions are
+	// added, and the raw release loses nothing.
+	if rows[0].InfoLoss != 0 {
+		t.Errorf("raw release info loss = %v", rows[0].InfoLoss)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].InfoLoss+1e-9 < rows[i-1].InfoLoss {
+			t.Errorf("info loss decreased at stage %d: %v → %v", i, rows[i-1].InfoLoss, rows[i].InfoLoss)
+		}
+	}
+	// The third dimension costs communication, not extra distortion.
+	if rows[3].InfoLoss != rows[2].InfoLoss {
+		t.Error("PIR stage should not change data utility")
+	}
+	if rows[3].CommBits == 0 {
+		t.Error("PIR stage should report communication cost")
+	}
+	if _, err := UtilityVsDimensions(1, 1); err == nil {
+		t.Error("accepted k = 1")
+	}
+}
+
+func TestNewEvaluatorForCustomDataset(t *testing.T) {
+	// A census-like dataset with a different schema still evaluates; the
+	// qualitative orderings hold even off the default workload.
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 800, Dims: 5, Seed: 77, Corr: 0.3})
+	ev, err := NewEvaluatorFor(d, DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc, err := ev.Evaluate(SDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pirM, err := ev.Evaluate(PIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypto, err := ev.Evaluate(CryptoPPDM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(crypto.Scores.Owner > sdc.Scores.Owner && sdc.Scores.Owner > pirM.Scores.Owner) {
+		t.Errorf("owner ordering violated on custom data: crypto %v, sdc %v, pir %v",
+			crypto.Scores.Owner, sdc.Scores.Owner, pirM.Scores.Owner)
+	}
+	if pirM.Scores.Respondent != 0 || pirM.Scores.User < 0.9 {
+		t.Errorf("PIR scores off on custom data: %+v", pirM.Scores)
+	}
+}
+
+func TestNewEvaluatorForValidation(t *testing.T) {
+	cfg := DefaultEvalConfig()
+	if _, err := NewEvaluatorFor(nil, cfg); err == nil {
+		t.Error("accepted nil dataset")
+	}
+	small := dataset.SyntheticCensus(dataset.CensusConfig{N: 99, Dims: 4, Seed: 1})
+	if _, err := NewEvaluatorFor(small, cfg); err == nil {
+		t.Error("accepted tiny dataset")
+	}
+	// Only one numeric quasi-identifier.
+	oneQI := dataset.New(
+		dataset.Attribute{Name: "a", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric},
+		dataset.Attribute{Name: "c", Role: dataset.Confidential, Kind: dataset.Numeric},
+	)
+	for i := 0; i < 150; i++ {
+		oneQI.MustAppend(float64(i), float64(i))
+	}
+	if _, err := NewEvaluatorFor(oneQI, cfg); err == nil {
+		t.Error("accepted a single numeric quasi-identifier")
+	}
+	// No numeric confidential attribute.
+	noConf := dataset.New(
+		dataset.Attribute{Name: "a", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric},
+		dataset.Attribute{Name: "b", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric},
+		dataset.Attribute{Name: "c", Role: dataset.Confidential, Kind: dataset.Nominal},
+	)
+	for i := 0; i < 150; i++ {
+		noConf.MustAppend(float64(i), float64(i), "x")
+	}
+	if _, err := NewEvaluatorFor(noConf, cfg); err == nil {
+		t.Error("accepted dataset without numeric confidential attribute")
+	}
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/microagg"
+	"privacy3d/internal/noise"
+	"privacy3d/internal/pir"
+	"privacy3d/internal/risk"
+	"privacy3d/internal/sdcquery"
+	"privacy3d/internal/smc"
+	"privacy3d/internal/stats"
+)
+
+// EvalConfig parameterises the empirical Table 2 evaluation. The defaults
+// (see DefaultEvalConfig) are the calibration used throughout
+// EXPERIMENTS.md; the masking parameters are representative settings of
+// each technology class, chosen once and applied to every dimension.
+type EvalConfig struct {
+	// Population size and shape of the synthetic clinical-trial workload.
+	N       int
+	ExtraQI int
+	Seed    uint64
+
+	// SDCK is the microaggregation group size of the SDC row.
+	SDCK int
+	// NoiseAmplitude is the relative noise of the use-specific PPDM row
+	// (Agrawal–Srikant-style noise addition).
+	NoiseAmplitude float64
+	// CondenseK is the condensation group size of the generic PPDM row.
+	CondenseK int
+
+	// BinsPerDim controls the rare-combination disclosure measurement.
+	BinsPerDim int
+
+	// UserGameTrials is the number of rounds of the query-inference game.
+	UserGameTrials int
+	// AnalysisTypes (M) and UseSpecificTypes (m ≤ M) parameterise the
+	// query-intent game that separates use-specific from generic PPDM
+	// under PIR.
+	AnalysisTypes    int
+	UseSpecificTypes int
+}
+
+// DefaultEvalConfig returns the calibration used by the experiments.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{
+		N: 1500, ExtraQI: 4, Seed: 20070923,
+		SDCK: 3, NoiseAmplitude: 0.35, CondenseK: 2,
+		BinsPerDim:     3,
+		UserGameTrials: 400, AnalysisTypes: 16, UseSpecificTypes: 2,
+	}
+}
+
+// Measurement is the empirical score and grade of one technology class.
+type Measurement struct {
+	Class  Class
+	Scores Scores
+	Grades Grades
+}
+
+// Evaluator runs the attack simulations behind the Table 2 reproduction.
+type Evaluator struct {
+	cfg      EvalConfig
+	original *dataset.Dataset
+	qi       []int
+}
+
+// NewEvaluator builds the standard synthetic evaluation workload.
+func NewEvaluator(cfg EvalConfig) (*Evaluator, error) {
+	if cfg.N < 100 {
+		return nil, fmt.Errorf("core: evaluation population must be ≥ 100, got %d", cfg.N)
+	}
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: cfg.N, Seed: cfg.Seed, ExtraQI: cfg.ExtraQI})
+	return NewEvaluatorFor(d, cfg)
+}
+
+// NewEvaluatorFor runs the same three-dimensional attack battery on a
+// caller-provided dataset — "where would each technology class land on MY
+// data?". The dataset needs at least 100 records, at least two numeric
+// quasi-identifiers and at least one numeric confidential attribute.
+func NewEvaluatorFor(d *dataset.Dataset, cfg EvalConfig) (*Evaluator, error) {
+	if cfg.SDCK < 2 || cfg.CondenseK < 2 {
+		return nil, fmt.Errorf("core: group sizes must be ≥ 2")
+	}
+	if cfg.UseSpecificTypes < 1 || cfg.UseSpecificTypes > cfg.AnalysisTypes {
+		return nil, fmt.Errorf("core: need 1 ≤ UseSpecificTypes ≤ AnalysisTypes")
+	}
+	if d == nil || d.Rows() < 100 {
+		return nil, fmt.Errorf("core: evaluation dataset needs ≥ 100 records")
+	}
+	numericQI := 0
+	for _, j := range d.QuasiIdentifiers() {
+		if d.Attr(j).Kind == dataset.Numeric {
+			numericQI++
+		}
+	}
+	if numericQI < 2 {
+		return nil, fmt.Errorf("core: evaluation dataset needs ≥ 2 numeric quasi-identifiers, has %d", numericQI)
+	}
+	confNumeric := false
+	for _, j := range d.ConfidentialAttrs() {
+		if d.Attr(j).Kind == dataset.Numeric {
+			confNumeric = true
+			break
+		}
+	}
+	if !confNumeric {
+		return nil, fmt.Errorf("core: evaluation dataset needs a numeric confidential attribute")
+	}
+	return &Evaluator{cfg: cfg, original: d, qi: d.QuasiIdentifiers()}, nil
+}
+
+// Workload exposes the synthetic population (e.g. for reporting).
+func (e *Evaluator) Workload() *dataset.Dataset { return e.original }
+
+// Evaluate measures one technology class on the three dimensions.
+func (e *Evaluator) Evaluate(c Class) (Measurement, error) {
+	var s Scores
+	var err error
+	switch c {
+	case SDC, SDCPlusPIR:
+		s, err = e.scoreRelease(e.maskSDC)
+	case UseSpecificPPDM, UseSpecificPPDMPlusPIR:
+		s, err = e.scoreRelease(e.maskNoise)
+	case GenericPPDM, GenericPPDMPlusPIR:
+		s, err = e.scoreRelease(e.maskCondense)
+	case PIR:
+		s, err = e.scoreRelease(e.maskIdentity)
+	case CryptoPPDM:
+		s, err = e.scoreCrypto()
+	default:
+		return Measurement{}, fmt.Errorf("core: unknown technology class %v", c)
+	}
+	if err != nil {
+		return Measurement{}, err
+	}
+	s.User, err = e.userScore(c)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Class: c, Scores: s, Grades: GradesOf(s)}, nil
+}
+
+// Table2 evaluates every class, in paper order.
+func (e *Evaluator) Table2() ([]Measurement, error) {
+	out := make([]Measurement, 0, len(Classes()))
+	for _, c := range Classes() {
+		m, err := e.Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// --- releases ---------------------------------------------------------
+
+func (e *Evaluator) maskSDC() (*dataset.Dataset, error) {
+	m, _, err := microagg.Mask(e.original, microagg.NewOptions(e.cfg.SDCK))
+	return m, err
+}
+
+// numericCols returns every numeric column: PPDM maskings perturb the whole
+// numeric record (owner-focused protection of the dataset as an asset),
+// whereas SDC masks only the quasi-identifiers (respondent-focused).
+func (e *Evaluator) numericCols() []int {
+	var cols []int
+	for j := 0; j < e.original.Cols(); j++ {
+		if e.original.Attr(j).Kind == dataset.Numeric {
+			cols = append(cols, j)
+		}
+	}
+	return cols
+}
+
+func (e *Evaluator) maskNoise() (*dataset.Dataset, error) {
+	rng := dataset.NewRand(e.cfg.Seed ^ 0xa11ce)
+	return noise.AddUncorrelated(e.original, e.numericCols(), e.cfg.NoiseAmplitude, rng)
+}
+
+func (e *Evaluator) maskCondense() (*dataset.Dataset, error) {
+	rng := dataset.NewRand(e.cfg.Seed ^ 0xb0b)
+	return microagg.Condense(e.original, e.numericCols(), e.cfg.CondenseK, rng)
+}
+
+func (e *Evaluator) maskIdentity() (*dataset.Dataset, error) {
+	return e.original.Clone(), nil
+}
+
+// --- respondent and owner scores on a record-level release -------------
+
+// scoreRelease measures respondent and owner privacy of a released dataset.
+//
+// Respondent privacy = 1 − max(linkage, rare-combination disclosure): the
+// stronger of the two re-identification attacks the paper discusses
+// (distance-based record linkage with external identified data, and the
+// sparse-cell disclosure of [11]).
+//
+// Owner privacy = 1 − (tight + loose value recovery)/2 over the masked
+// attributes: the fraction of the owner's cell values an adversary recovers
+// from the release within 1 % (tight) and 25 % (loose) of a standard
+// deviation.
+func (e *Evaluator) scoreRelease(mask func() (*dataset.Dataset, error)) (Scores, error) {
+	var s Scores
+	released, err := mask()
+	if err != nil {
+		return s, err
+	}
+	link, err := risk.DistanceLinkage(e.original, released, e.qi)
+	if err != nil {
+		return s, err
+	}
+	sparseRep, err := noise.SparseDisclosure(
+		e.original.NumericMatrix(e.qi), released.NumericMatrix(e.qi), e.cfg.BinsPerDim, 1)
+	if err != nil {
+		return s, err
+	}
+	reid := link.Rate
+	if sparseRep.DisclosureRate > reid {
+		reid = sparseRep.DisclosureRate
+	}
+	s.Respondent = clamp01(1 - reid)
+
+	numeric := e.numericCols()
+	tight, err := risk.IntervalDisclosure(e.original, released, numeric, 1)
+	if err != nil {
+		return s, err
+	}
+	loose, err := risk.IntervalDisclosure(e.original, released, numeric, 25)
+	if err != nil {
+		return s, err
+	}
+	s.Owner = clamp01(1 - (tight+loose)/2)
+	return s, nil
+}
+
+// scoreCrypto measures respondent and owner privacy of crypto PPDM from the
+// protocol transcript of a secure ID3 run over a horizontal partition of the
+// workload: nothing record-level is released, and the transcript consists of
+// uniformly random shares. Recovery is measured as the fraction of share
+// payloads small enough to be raw counts — the only conceivable record-level
+// leak in the protocol's message space.
+func (e *Evaluator) scoreCrypto() (Scores, error) {
+	var s Scores
+	parts := e.cryptoPartition(3)
+	_, nw, err := smc.SecureID3(parts, "risk_band", 4, e.cfg.Seed)
+	if err != nil {
+		return s, err
+	}
+	var payloads, small int
+	for _, m := range nw.Transcript() {
+		if m.Round != "share" {
+			continue
+		}
+		for _, el := range m.Payload {
+			payloads++
+			if uint64(el) <= uint64(e.cfg.N) {
+				small++
+			}
+		}
+	}
+	if payloads == 0 {
+		return s, fmt.Errorf("core: empty crypto transcript")
+	}
+	leak := float64(small) / float64(payloads)
+	s.Respondent = clamp01(1 - leak)
+	s.Owner = clamp01(1 - leak)
+	return s, nil
+}
+
+// cryptoPartition discretises the workload into the categorical schema
+// secure ID3 requires and splits it across parties: the first two numeric
+// quasi-identifiers become quartile bands and the first numeric confidential
+// attribute becomes a median-split risk label. This is schema-agnostic so
+// NewEvaluatorFor works on any qualifying dataset.
+func (e *Evaluator) cryptoPartition(parties int) []*dataset.Dataset {
+	var qiNum []int
+	for _, j := range e.qi {
+		if e.original.Attr(j).Kind == dataset.Numeric {
+			qiNum = append(qiNum, j)
+		}
+	}
+	confJ := -1
+	for _, j := range e.original.ConfidentialAttrs() {
+		if e.original.Attr(j).Kind == dataset.Numeric {
+			confJ = j
+			break
+		}
+	}
+	a, b := qiNum[0], qiNum[1]
+	attrs := []dataset.Attribute{
+		{Name: "qi1_band", Role: dataset.QuasiIdentifier, Kind: dataset.Nominal},
+		{Name: "qi2_band", Role: dataset.QuasiIdentifier, Kind: dataset.Nominal},
+		{Name: "risk_band", Role: dataset.Confidential, Kind: dataset.Nominal},
+	}
+	parts := make([]*dataset.Dataset, parties)
+	for p := range parts {
+		parts[p] = dataset.New(attrs...)
+	}
+	band := quartileBander(e.original.NumColumn(a))
+	band2 := quartileBander(e.original.NumColumn(b))
+	cut := stats.Quantile(e.original.NumColumn(confJ), 0.75)
+	for i := 0; i < e.original.Rows(); i++ {
+		risk := "normal"
+		if e.original.Float(i, confJ) > cut {
+			risk = "elevated"
+		}
+		parts[i%parties].MustAppend(
+			band(e.original.Float(i, a)),
+			band2(e.original.Float(i, b)),
+			risk,
+		)
+	}
+	return parts
+}
+
+// quartileBander maps values to one of four quartile labels.
+func quartileBander(col []float64) func(float64) string {
+	q1 := stats.Quantile(col, 0.25)
+	q2 := stats.Quantile(col, 0.5)
+	q3 := stats.Quantile(col, 0.75)
+	return func(v float64) string {
+		switch {
+		case v < q1:
+			return "b0"
+		case v < q2:
+			return "b1"
+		case v < q3:
+			return "b2"
+		default:
+			return "b3"
+		}
+	}
+}
+
+// --- user-privacy score -------------------------------------------------
+
+// userScore plays two query-inference games and returns the lower score:
+//
+// Index game — the user retrieves a secret cell; the server guesses it from
+// its own view. Without PIR the server reads the query itself (success 1);
+// with PIR each server sees a uniformly random subset vector.
+//
+// Intent game — the user runs a secret analysis out of M types; a
+// use-specific release supports only m ≪ M types, so the server's guess
+// succeeds with probability 1/m instead of 1/M — the paper's "some clue on
+// the queries made by the user". Crypto PPDM reveals the analysis to every
+// party by construction (success 1).
+//
+// The score is the normalised complement of the server's advantage over
+// random guessing: 1 − (success − 1/M)/(1 − 1/M).
+func (e *Evaluator) userScore(c Class) (float64, error) {
+	idx, err := e.indexGame(c)
+	if err != nil {
+		return 0, err
+	}
+	intent := e.intentGame(c)
+	if intent < idx {
+		return intent, nil
+	}
+	return idx, nil
+}
+
+func (e *Evaluator) indexGame(c Class) (float64, error) {
+	const blocks = 64
+	trials := e.cfg.UserGameTrials
+	rng := rand.New(rand.NewPCG(e.cfg.Seed^0x5151, 7))
+	success := 0
+	if c == CryptoPPDM {
+		// The joint computation is known to every party.
+		return advantageScore(1, blocks), nil
+	}
+	if !c.HasPIR() {
+		// Plaintext interactive queries: the owner logs the query and
+		// reads the target off it — reproduce with the sdcquery server.
+		srv, err := sdcquery.NewServer(e.original, sdcquery.Config{Protection: sdcquery.NoProtection})
+		if err != nil {
+			return 0, err
+		}
+		qiName := e.original.Attr(e.qi[0]).Name
+		for t := 0; t < trials; t++ {
+			secret := rng.IntN(blocks)
+			q := sdcquery.Query{Agg: sdcquery.Count, Where: sdcquery.Predicate{
+				{Col: qiName, Op: sdcquery.Ge, V: float64(secret)},
+			}}
+			if _, err := srv.Ask(q); err != nil {
+				return 0, err
+			}
+			log := srv.Log()
+			seen := int(log[len(log)-1].Where[0].V)
+			if seen == secret {
+				success++
+			}
+		}
+		return advantageScore(float64(success)/float64(trials), blocks), nil
+	}
+	// PIR rows: two replicated servers; the adversary is server 0 and
+	// guesses uniformly among the set bits of the subset it received.
+	blockData := make([][]byte, blocks)
+	for i := range blockData {
+		blockData[i] = []byte{byte(i)}
+	}
+	s0, err := pir.NewITServer(blockData)
+	if err != nil {
+		return 0, err
+	}
+	s1, err := pir.NewITServer(blockData)
+	if err != nil {
+		return 0, err
+	}
+	client, err := pir.NewITClient([]*pir.ITServer{s0, s1}, e.cfg.Seed^0xc11e)
+	if err != nil {
+		return 0, err
+	}
+	for t := 0; t < trials; t++ {
+		secret := rng.IntN(blocks)
+		if _, err := client.Retrieve(secret); err != nil {
+			return 0, err
+		}
+		log := s0.QueryLog()
+		v := log[len(log)-1]
+		var set []int
+		for i := 0; i < blocks; i++ {
+			if v[i>>3]>>(i&7)&1 == 1 {
+				set = append(set, i)
+			}
+		}
+		var guess int
+		if len(set) == 0 {
+			guess = rng.IntN(blocks)
+		} else {
+			guess = set[rng.IntN(len(set))]
+		}
+		if guess == secret {
+			success++
+		}
+	}
+	return advantageScore(float64(success)/float64(trials), blocks), nil
+}
+
+func (e *Evaluator) intentGame(c Class) float64 {
+	m := e.cfg.AnalysisTypes
+	switch c {
+	case CryptoPPDM:
+		return advantageScore(1, e.cfg.AnalysisTypes)
+	case UseSpecificPPDM, UseSpecificPPDMPlusPIR:
+		m = e.cfg.UseSpecificTypes
+	}
+	if !c.HasPIR() && c != CryptoPPDM {
+		// Queries are visible anyway; the index game already returns 0.
+		return advantageScore(1, e.cfg.AnalysisTypes)
+	}
+	// The user draws an analysis uniformly from the m supported types; the
+	// server guesses uniformly within the supported set.
+	rng := rand.New(rand.NewPCG(e.cfg.Seed^uint64(c)<<8, 13))
+	success := 0
+	for t := 0; t < e.cfg.UserGameTrials; t++ {
+		secret := rng.IntN(m)
+		if rng.IntN(m) == secret {
+			success++
+		}
+	}
+	return advantageScore(float64(success)/float64(e.cfg.UserGameTrials), e.cfg.AnalysisTypes)
+}
+
+// advantageScore converts a guessing success rate into a privacy score:
+// 1 − normalised advantage over the 1/M random-guess baseline.
+func advantageScore(success float64, m int) float64 {
+	base := 1 / float64(m)
+	adv := (success - base) / (1 - base)
+	return clamp01(1 - adv)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRecommendedPipelineSatisfiesAllThreeDimensions(t *testing.T) {
+	// The paper's Section 6 conclusion: k-anonymization + PPDM noise + PIR
+	// fulfills the three privacy dimensions simultaneously (here: at least
+	// "medium" on each).
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.EvaluatePipeline(RecommendedPipeline(3), Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SatisfiesAll {
+		t.Errorf("recommended pipeline does not satisfy all dimensions: %+v", rep)
+	}
+	if rep.Grades.User < High {
+		t.Errorf("PIR access should give high user privacy, got %v", rep.Grades.User)
+	}
+	if rep.InfoLoss <= 0 || rep.InfoLoss > 0.5 {
+		t.Errorf("info loss = %v, want small but positive", rep.InfoLoss)
+	}
+}
+
+func TestPlaintextPipelineFailsUserDimension(t *testing.T) {
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RecommendedPipeline(3)
+	p.ServeViaPIR = false
+	rep, err := e.EvaluatePipeline(p, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SatisfiesAll {
+		t.Error("plaintext access cannot satisfy the user dimension")
+	}
+	if rep.Grades.User != None {
+		t.Errorf("user grade = %v, want none", rep.Grades.User)
+	}
+}
+
+func TestPipelineAlternativeComposition(t *testing.T) {
+	// An alternative holistic solution: condensation of everything + PIR.
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pipeline{
+		Name: "condense-all + PIR",
+		Stages: []Stage{
+			{Method: "condense", Target: "numeric", K: 2},
+		},
+		ServeViaPIR: true,
+	}
+	rep, err := e.EvaluatePipeline(p, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SatisfiesAll {
+		t.Errorf("condensation+PIR should reach medium on all dimensions: %+v", rep.Scores)
+	}
+}
+
+func TestPipelineStageErrors(t *testing.T) {
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Pipeline{Name: "bad", Stages: []Stage{{Method: "zap"}}}
+	if _, err := e.EvaluatePipeline(bad, Medium); err == nil {
+		t.Error("accepted unknown stage method")
+	}
+	badTarget := Pipeline{Name: "bad", Stages: []Stage{{Method: "mdav", Target: "moon", K: 3}}}
+	if _, err := e.EvaluatePipeline(badTarget, Medium); err == nil {
+		t.Error("accepted unknown stage target")
+	}
+}
+
+func TestStageColumnResolution(t *testing.T) {
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Workload()
+	qiStage := Stage{Method: "mdav", K: 3}
+	cols, err := qiStage.columnsFor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != len(d.QuasiIdentifiers()) {
+		t.Errorf("qi target resolved %d columns", len(cols))
+	}
+	confStage := Stage{Method: "noise", Target: "confidential"}
+	cols, err = confStage.columnsFor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 { // blood_pressure is the only numeric confidential column
+		t.Errorf("confidential target resolved %d columns, want 1", len(cols))
+	}
+	explicit := Stage{Method: "noise", Columns: []int{0}}
+	cols, _ = explicit.columnsFor(d)
+	if len(cols) != 1 || cols[0] != 0 {
+		t.Errorf("explicit columns = %v", cols)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// Class is one of the eight technology classes scored in the paper's
+// Table 2.
+type Class int
+
+const (
+	// SDC is statistical disclosure control by data masking ([17,26]).
+	SDC Class = iota
+	// UseSpecificPPDM is non-cryptographic PPDM designed for one analysis
+	// class, e.g. noise addition for decision trees ([5]) or rule hiding
+	// ([25]).
+	UseSpecificPPDM
+	// GenericPPDM is non-cryptographic PPDM supporting broad analyses,
+	// e.g. condensation/k-anonymization ([1,2]).
+	GenericPPDM
+	// CryptoPPDM is secure-multiparty-computation PPDM ([18,19]).
+	CryptoPPDM
+	// PIR is private information retrieval on its own ([8]).
+	PIR
+	// SDCPlusPIR serves SDC-masked data through PIR.
+	SDCPlusPIR
+	// UseSpecificPPDMPlusPIR serves use-specific-PPDM data through PIR.
+	UseSpecificPPDMPlusPIR
+	// GenericPPDMPlusPIR serves generic-PPDM data through PIR.
+	GenericPPDMPlusPIR
+)
+
+// Classes lists the Table 2 rows in paper order.
+func Classes() []Class {
+	return []Class{SDC, UseSpecificPPDM, GenericPPDM, CryptoPPDM, PIR,
+		SDCPlusPIR, UseSpecificPPDMPlusPIR, GenericPPDMPlusPIR}
+}
+
+// String names the class as in Table 2.
+func (c Class) String() string {
+	switch c {
+	case SDC:
+		return "SDC"
+	case UseSpecificPPDM:
+		return "Use-specific non-crypto PPDM"
+	case GenericPPDM:
+		return "Generic non-crypto PPDM"
+	case CryptoPPDM:
+		return "Crypto PPDM"
+	case PIR:
+		return "PIR"
+	case SDCPlusPIR:
+		return "SDC + PIR"
+	case UseSpecificPPDMPlusPIR:
+		return "Use-specific non-crypto PPDM + PIR"
+	case GenericPPDMPlusPIR:
+		return "Generic non-crypto PPDM + PIR"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// HasPIR reports whether the class serves its release through PIR.
+func (c Class) HasPIR() bool {
+	switch c {
+	case PIR, SDCPlusPIR, UseSpecificPPDMPlusPIR, GenericPPDMPlusPIR:
+		return true
+	}
+	return false
+}
+
+// PaperTable2 returns the qualitative grades the paper assigns in Table 2.
+// This is the ground truth the empirical evaluation is compared against.
+func PaperTable2() map[Class]Grades {
+	return map[Class]Grades{
+		SDC:                    {Respondent: MediumHigh, Owner: Medium, User: None},
+		UseSpecificPPDM:        {Respondent: Medium, Owner: MediumHigh, User: None},
+		GenericPPDM:            {Respondent: Medium, Owner: MediumHigh, User: None},
+		CryptoPPDM:             {Respondent: High, Owner: High, User: None},
+		PIR:                    {Respondent: None, Owner: None, User: High},
+		SDCPlusPIR:             {Respondent: MediumHigh, Owner: Medium, User: High},
+		UseSpecificPPDMPlusPIR: {Respondent: Medium, Owner: MediumHigh, User: Medium},
+		GenericPPDMPlusPIR:     {Respondent: Medium, Owner: MediumHigh, User: High},
+	}
+}
+
+// Note: the paper writes "medium-high" for SDC respondent privacy as a
+// range "medium-high"; we encode the ranges by their single tabulated
+// grades exactly as printed in Table 2 of the paper.

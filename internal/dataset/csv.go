@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row. Numeric cells are written
+// with %g formatting; categorical cells verbatim.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(d.attrs))
+	for j, a := range d.attrs {
+		header[j] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	rec := make([]string, len(d.attrs))
+	for i := 0; i < d.rows; i++ {
+		for j := range d.attrs {
+			if d.nums[j] != nil {
+				rec[j] = strconv.FormatFloat(d.nums[j][i], 'g', -1, 64)
+			} else {
+				rec[j] = d.cats[j][i]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads records into a dataset with the given schema. The first CSV
+// row must be a header whose names match the schema in order.
+func ReadCSV(r io.Reader, attrs []Attribute) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(attrs)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	for j, a := range attrs {
+		if header[j] != a.Name {
+			return nil, fmt.Errorf("dataset: csv header %q does not match attribute %q", header[j], a.Name)
+		}
+	}
+	d := New(attrs...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv: %w", err)
+		}
+		vals := make([]any, len(attrs))
+		for j, a := range attrs {
+			if a.Kind == Numeric {
+				v, err := strconv.ParseFloat(rec[j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: csv line %d, attribute %q: %w", line, a.Name, err)
+				}
+				vals[j] = v
+			} else {
+				vals[j] = rec[j]
+			}
+		}
+		if err := d.Append(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

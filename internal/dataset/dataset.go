@@ -1,0 +1,470 @@
+// Package dataset provides the tabular data model shared by every privacy
+// technology in this repository: attribute roles (identifier,
+// quasi-identifier, confidential, non-confidential), typed columns, views,
+// and the toy fixtures from Table 1 of Domingo-Ferrer (SDM 2007).
+//
+// The model is deliberately simple — a column-oriented table of float64 and
+// string columns — because every statistical disclosure control and
+// privacy-preserving data mining method in the paper operates on flat
+// microdata files.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Role classifies an attribute by its disclosure function, following the
+// terminology of Samarati (2001) and Dalenius (1986) used in the paper.
+type Role int
+
+const (
+	// Identifier attributes unambiguously identify a respondent (name,
+	// social security number). They must be suppressed before release.
+	Identifier Role = iota
+	// QuasiIdentifier ("key") attributes identify a respondent with some
+	// ambiguity when combined (height, weight, ZIP code, birth date).
+	QuasiIdentifier
+	// Confidential attributes carry the sensitive information the intruder
+	// wants to learn (blood pressure, AIDS status, salary).
+	Confidential
+	// NonConfidential attributes are neither identifying nor sensitive.
+	NonConfidential
+)
+
+// String returns the conventional SDC name of the role.
+func (r Role) String() string {
+	switch r {
+	case Identifier:
+		return "identifier"
+	case QuasiIdentifier:
+		return "quasi-identifier"
+	case Confidential:
+		return "confidential"
+	case NonConfidential:
+		return "non-confidential"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Kind is the value domain of an attribute.
+type Kind int
+
+const (
+	// Numeric attributes take real values and support arithmetic.
+	Numeric Kind = iota
+	// Ordinal attributes are categorical with a total order (education
+	// level). Values are stored as strings; the order is the order in
+	// which categories are declared on the Attribute.
+	Ordinal
+	// Nominal attributes are categorical without an order (diagnosis).
+	Nominal
+)
+
+// String returns the name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Ordinal:
+		return "ordinal"
+	case Nominal:
+		return "nominal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute describes one column of a Dataset.
+type Attribute struct {
+	Name string
+	Role Role
+	Kind Kind
+	// Categories fixes the ordered domain of an Ordinal attribute. It is
+	// optional for Nominal attributes and ignored for Numeric ones.
+	Categories []string
+}
+
+// Dataset is a column-oriented table of microdata. Numeric attributes are
+// stored in float64 columns, categorical ones in string columns; exactly one
+// of the two is non-nil per attribute. A Dataset is not safe for concurrent
+// mutation.
+type Dataset struct {
+	attrs []Attribute
+	nums  [][]float64 // nums[j] non-nil iff attrs[j].Kind == Numeric
+	cats  [][]string  // cats[j] non-nil iff attrs[j].Kind != Numeric
+	rows  int
+}
+
+// New creates an empty dataset with the given schema.
+func New(attrs ...Attribute) *Dataset {
+	d := &Dataset{attrs: append([]Attribute(nil), attrs...)}
+	d.nums = make([][]float64, len(attrs))
+	d.cats = make([][]string, len(attrs))
+	for j, a := range attrs {
+		if a.Kind == Numeric {
+			d.nums[j] = []float64{}
+		} else {
+			d.cats[j] = []string{}
+		}
+	}
+	return d
+}
+
+// Rows returns the number of records.
+func (d *Dataset) Rows() int { return d.rows }
+
+// Cols returns the number of attributes.
+func (d *Dataset) Cols() int { return len(d.attrs) }
+
+// Attrs returns the schema. The returned slice must not be modified.
+func (d *Dataset) Attrs() []Attribute { return d.attrs }
+
+// Attr returns the attribute at column j.
+func (d *Dataset) Attr(j int) Attribute { return d.attrs[j] }
+
+// Index returns the column index of the named attribute, or -1.
+func (d *Dataset) Index(name string) int {
+	for j, a := range d.attrs {
+		if a.Name == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// ColumnsByRole returns the indices of all attributes with the given role.
+func (d *Dataset) ColumnsByRole(r Role) []int {
+	var idx []int
+	for j, a := range d.attrs {
+		if a.Role == r {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+// QuasiIdentifiers returns the indices of the quasi-identifier attributes.
+func (d *Dataset) QuasiIdentifiers() []int { return d.ColumnsByRole(QuasiIdentifier) }
+
+// ConfidentialAttrs returns the indices of the confidential attributes.
+func (d *Dataset) ConfidentialAttrs() []int { return d.ColumnsByRole(Confidential) }
+
+// ErrSchema reports a value/schema mismatch when appending records.
+var ErrSchema = errors.New("dataset: value does not match schema")
+
+// Append adds one record. vals must have one entry per attribute: float64
+// (or int) for numeric attributes, string for categorical ones.
+func (d *Dataset) Append(vals ...any) error {
+	if len(vals) != len(d.attrs) {
+		return fmt.Errorf("%w: got %d values for %d attributes", ErrSchema, len(vals), len(d.attrs))
+	}
+	// Validate before mutating so a failed append leaves d unchanged.
+	fs := make([]float64, len(vals))
+	ss := make([]string, len(vals))
+	for j, v := range vals {
+		if d.attrs[j].Kind == Numeric {
+			switch x := v.(type) {
+			case float64:
+				fs[j] = x
+			case int:
+				fs[j] = float64(x)
+			default:
+				return fmt.Errorf("%w: attribute %q is numeric, got %T", ErrSchema, d.attrs[j].Name, v)
+			}
+		} else {
+			s, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("%w: attribute %q is categorical, got %T", ErrSchema, d.attrs[j].Name, v)
+			}
+			ss[j] = s
+		}
+	}
+	for j := range d.attrs {
+		if d.attrs[j].Kind == Numeric {
+			d.nums[j] = append(d.nums[j], fs[j])
+		} else {
+			d.cats[j] = append(d.cats[j], ss[j])
+		}
+	}
+	d.rows++
+	return nil
+}
+
+// MustAppend is Append that panics on schema mismatch. Intended for fixtures
+// and tests where the schema is statically known.
+func (d *Dataset) MustAppend(vals ...any) {
+	if err := d.Append(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Float returns the numeric value at (row i, column j).
+// It panics if the column is not numeric, mirroring slice indexing.
+func (d *Dataset) Float(i, j int) float64 {
+	if d.nums[j] == nil {
+		panic(fmt.Sprintf("dataset: attribute %q is not numeric", d.attrs[j].Name))
+	}
+	return d.nums[j][i]
+}
+
+// SetFloat updates the numeric value at (row i, column j).
+func (d *Dataset) SetFloat(i, j int, v float64) {
+	if d.nums[j] == nil {
+		panic(fmt.Sprintf("dataset: attribute %q is not numeric", d.attrs[j].Name))
+	}
+	d.nums[j][i] = v
+}
+
+// Cat returns the categorical value at (row i, column j).
+func (d *Dataset) Cat(i, j int) string {
+	if d.cats[j] == nil {
+		panic(fmt.Sprintf("dataset: attribute %q is not categorical", d.attrs[j].Name))
+	}
+	return d.cats[j][i]
+}
+
+// SetCat updates the categorical value at (row i, column j).
+func (d *Dataset) SetCat(i, j int, v string) {
+	if d.cats[j] == nil {
+		panic(fmt.Sprintf("dataset: attribute %q is not categorical", d.attrs[j].Name))
+	}
+	d.cats[j][i] = v
+}
+
+// Value returns the value at (row i, column j) as float64 or string.
+func (d *Dataset) Value(i, j int) any {
+	if d.nums[j] != nil {
+		return d.nums[j][i]
+	}
+	return d.cats[j][i]
+}
+
+// NumColumn returns the backing slice of a numeric column. Mutating the
+// returned slice mutates the dataset.
+func (d *Dataset) NumColumn(j int) []float64 {
+	if d.nums[j] == nil {
+		panic(fmt.Sprintf("dataset: attribute %q is not numeric", d.attrs[j].Name))
+	}
+	return d.nums[j]
+}
+
+// CatColumn returns the backing slice of a categorical column.
+func (d *Dataset) CatColumn(j int) []string {
+	if d.cats[j] == nil {
+		panic(fmt.Sprintf("dataset: attribute %q is not categorical", d.attrs[j].Name))
+	}
+	return d.cats[j]
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	c := New(d.attrs...)
+	c.rows = d.rows
+	for j := range d.attrs {
+		if d.nums[j] != nil {
+			c.nums[j] = append([]float64(nil), d.nums[j]...)
+		} else {
+			c.cats[j] = append([]string(nil), d.cats[j]...)
+		}
+	}
+	return c
+}
+
+// Select returns a new dataset with only the given rows (in order, repeats
+// allowed). Row indices out of range panic, mirroring slice indexing.
+func (d *Dataset) Select(rows []int) *Dataset {
+	c := New(d.attrs...)
+	for _, i := range rows {
+		vals := make([]any, len(d.attrs))
+		for j := range d.attrs {
+			vals[j] = d.Value(i, j)
+		}
+		c.MustAppend(vals...)
+	}
+	return c
+}
+
+// Project returns a new dataset with only the given columns.
+func (d *Dataset) Project(cols []int) *Dataset {
+	attrs := make([]Attribute, len(cols))
+	for k, j := range cols {
+		attrs[k] = d.attrs[j]
+	}
+	c := New(attrs...)
+	c.rows = d.rows
+	for k, j := range cols {
+		if d.nums[j] != nil {
+			c.nums[k] = append([]float64(nil), d.nums[j]...)
+		} else {
+			c.cats[k] = append([]string(nil), d.cats[j]...)
+		}
+	}
+	return c
+}
+
+// DropRole returns a copy of the dataset without attributes of the given
+// role. It is typically used to strip Identifier columns before release.
+func (d *Dataset) DropRole(r Role) *Dataset {
+	var keep []int
+	for j, a := range d.attrs {
+		if a.Role != r {
+			keep = append(keep, j)
+		}
+	}
+	return d.Project(keep)
+}
+
+// NumericMatrix extracts the given numeric columns as a row-major matrix.
+func (d *Dataset) NumericMatrix(cols []int) [][]float64 {
+	m := make([][]float64, d.rows)
+	for i := range m {
+		row := make([]float64, len(cols))
+		for k, j := range cols {
+			row[k] = d.Float(i, j)
+		}
+		m[i] = row
+	}
+	return m
+}
+
+// SetNumericMatrix writes a row-major matrix back into the given numeric
+// columns. The matrix must have Rows() rows and len(cols) columns.
+func (d *Dataset) SetNumericMatrix(cols []int, m [][]float64) error {
+	if len(m) != d.rows {
+		return fmt.Errorf("dataset: matrix has %d rows, dataset has %d", len(m), d.rows)
+	}
+	for i, row := range m {
+		if len(row) != len(cols) {
+			return fmt.Errorf("dataset: matrix row %d has %d values for %d columns", i, len(row), len(cols))
+		}
+		for k, j := range cols {
+			d.SetFloat(i, j, row[k])
+		}
+	}
+	return nil
+}
+
+// KeyString renders the values of the given columns at row i as a canonical
+// string, usable as a map key for grouping (equivalence classes).
+func (d *Dataset) KeyString(i int, cols []int) string {
+	var b strings.Builder
+	for k, j := range cols {
+		if k > 0 {
+			b.WriteByte('\x1f') // unit separator: cannot appear in data
+		}
+		if d.nums[j] != nil {
+			// Canonical float formatting; -0 normalised to 0 so that
+			// equal-valued keys always collide.
+			v := d.nums[j][i]
+			if v == 0 {
+				v = 0
+			}
+			fmt.Fprintf(&b, "%g", v)
+		} else {
+			b.WriteString(d.cats[j][i])
+		}
+	}
+	return b.String()
+}
+
+// GroupBy partitions row indices by their KeyString over cols. Groups are
+// returned sorted by key for determinism.
+func (d *Dataset) GroupBy(cols []int) [][]int {
+	byKey := map[string][]int{}
+	for i := 0; i < d.rows; i++ {
+		k := d.KeyString(i, cols)
+		byKey[k] = append(byKey[k], i)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	groups := make([][]int, len(keys))
+	for g, k := range keys {
+		groups[g] = byKey[k]
+	}
+	return groups
+}
+
+// EqualValues reports whether two datasets have the same schema names/kinds
+// and identical cell values (floats compared exactly; NaN equals NaN).
+func EqualValues(a, b *Dataset) bool {
+	if a.rows != b.rows || len(a.attrs) != len(b.attrs) {
+		return false
+	}
+	for j := range a.attrs {
+		if a.attrs[j].Name != b.attrs[j].Name || a.attrs[j].Kind != b.attrs[j].Kind {
+			return false
+		}
+	}
+	for j := range a.attrs {
+		if a.nums[j] != nil {
+			for i := 0; i < a.rows; i++ {
+				x, y := a.nums[j][i], b.nums[j][i]
+				if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+					return false
+				}
+			}
+		} else {
+			for i := 0; i < a.rows; i++ {
+				if a.cats[j][i] != b.cats[j][i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// String renders a small dataset as an aligned text table (for examples and
+// debugging; not intended for large data).
+func (d *Dataset) String() string {
+	var b strings.Builder
+	widths := make([]int, len(d.attrs))
+	cells := make([][]string, d.rows+1)
+	header := make([]string, len(d.attrs))
+	for j, a := range d.attrs {
+		header[j] = a.Name
+		widths[j] = len(a.Name)
+	}
+	cells[0] = header
+	for i := 0; i < d.rows; i++ {
+		row := make([]string, len(d.attrs))
+		for j := range d.attrs {
+			var s string
+			if d.nums[j] != nil {
+				s = trimFloat(d.nums[j][i])
+			} else {
+				s = d.cats[j][i]
+			}
+			row[j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+		cells[i+1] = row
+	}
+	for _, row := range cells {
+		for j, s := range row {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			for p := len(s); p < widths[j]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}

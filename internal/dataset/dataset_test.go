@@ -1,0 +1,408 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() []Attribute {
+	return []Attribute{
+		{Name: "x", Role: QuasiIdentifier, Kind: Numeric},
+		{Name: "y", Role: Confidential, Kind: Numeric},
+		{Name: "c", Role: Confidential, Kind: Nominal},
+	}
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	d := New(testSchema()...)
+	if err := d.Append(1.5, 2, "a"); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := d.Append(3, 4.25, "b"); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if d.Rows() != 2 || d.Cols() != 3 {
+		t.Fatalf("Rows/Cols = %d/%d, want 2/3", d.Rows(), d.Cols())
+	}
+	if got := d.Float(0, 0); got != 1.5 {
+		t.Errorf("Float(0,0) = %v, want 1.5", got)
+	}
+	if got := d.Float(1, 1); got != 4.25 {
+		t.Errorf("Float(1,1) = %v, want 4.25", got)
+	}
+	if got := d.Cat(1, 2); got != "b" {
+		t.Errorf("Cat(1,2) = %q, want b", got)
+	}
+	if got := d.Value(0, 2); got != "a" {
+		t.Errorf("Value(0,2) = %v, want a", got)
+	}
+	if got := d.Value(0, 0); got != 1.5 {
+		t.Errorf("Value(0,0) = %v, want 1.5", got)
+	}
+}
+
+func TestAppendSchemaMismatch(t *testing.T) {
+	d := New(testSchema()...)
+	cases := [][]any{
+		{1.0, 2.0},           // too few
+		{1.0, 2.0, "a", "b"}, // too many
+		{"oops", 2.0, "a"},   // wrong type numeric
+		{1.0, 2.0, 42},       // wrong type categorical
+	}
+	for _, vals := range cases {
+		if err := d.Append(vals...); err == nil {
+			t.Errorf("Append(%v) succeeded, want error", vals)
+		}
+	}
+	if d.Rows() != 0 {
+		t.Errorf("failed appends mutated dataset: Rows = %d", d.Rows())
+	}
+}
+
+func TestRolesAndIndex(t *testing.T) {
+	d := Dataset1()
+	if qi := d.QuasiIdentifiers(); len(qi) != 2 || qi[0] != 0 || qi[1] != 1 {
+		t.Errorf("QuasiIdentifiers = %v, want [0 1]", qi)
+	}
+	if cf := d.ConfidentialAttrs(); len(cf) != 2 || cf[0] != 2 || cf[1] != 3 {
+		t.Errorf("ConfidentialAttrs = %v, want [2 3]", cf)
+	}
+	if j := d.Index("weight"); j != 1 {
+		t.Errorf("Index(weight) = %d, want 1", j)
+	}
+	if j := d.Index("nope"); j != -1 {
+		t.Errorf("Index(nope) = %d, want -1", j)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := Dataset1()
+	c := d.Clone()
+	if !EqualValues(d, c) {
+		t.Fatal("clone differs from original")
+	}
+	c.SetFloat(0, 0, -1)
+	c.SetCat(0, 3, "Z")
+	if d.Float(0, 0) == -1 || d.Cat(0, 3) == "Z" {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	d := Dataset2()
+	s := d.Select([]int{0, 0, 8})
+	if s.Rows() != 3 {
+		t.Fatalf("Select rows = %d, want 3", s.Rows())
+	}
+	if s.Float(0, 2) != 146 || s.Float(1, 2) != 146 {
+		t.Errorf("selected rows lost values: %v %v", s.Float(0, 2), s.Float(1, 2))
+	}
+	p := d.Project([]int{1, 3})
+	if p.Cols() != 2 || p.Attr(0).Name != "weight" || p.Attr(1).Name != "aids" {
+		t.Errorf("Project schema wrong: %+v", p.Attrs())
+	}
+	if p.Rows() != d.Rows() {
+		t.Errorf("Project rows = %d, want %d", p.Rows(), d.Rows())
+	}
+	if p.Float(0, 0) != 108 {
+		t.Errorf("projected value = %v, want 108", p.Float(0, 0))
+	}
+}
+
+func TestDropRole(t *testing.T) {
+	attrs := append([]Attribute{{Name: "name", Role: Identifier, Kind: Nominal}}, TrialSchema()...)
+	d := New(attrs...)
+	d.MustAppend("alice", 170.0, 70.0, 135.0, "N")
+	r := d.DropRole(Identifier)
+	if r.Cols() != 4 || r.Index("name") != -1 {
+		t.Errorf("DropRole kept identifier: %+v", r.Attrs())
+	}
+	if r.Float(0, 0) != 170 {
+		t.Errorf("DropRole lost values")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	d := Dataset1()
+	groups := d.GroupBy(d.QuasiIdentifiers())
+	if len(groups) != 3 {
+		t.Fatalf("GroupBy: %d groups, want 3", len(groups))
+	}
+	for _, g := range groups {
+		if len(g) != 3 {
+			t.Errorf("group size %d, want 3", len(g))
+		}
+	}
+	d2 := Dataset2()
+	groups2 := d2.GroupBy(d2.QuasiIdentifiers())
+	min := d2.Rows()
+	for _, g := range groups2 {
+		if len(g) < min {
+			min = len(g)
+		}
+	}
+	if min != 1 {
+		t.Errorf("Dataset2 min group = %d, want 1 (not k-anonymous)", min)
+	}
+}
+
+func TestGroupByCoversAllRows(t *testing.T) {
+	d := SyntheticTrial(TrialConfig{N: 200, Seed: 7})
+	groups := d.GroupBy(d.QuasiIdentifiers())
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("row %d appears in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != d.Rows() {
+		t.Errorf("groups cover %d rows, want %d", len(seen), d.Rows())
+	}
+}
+
+func TestNumericMatrixRoundTrip(t *testing.T) {
+	d := Dataset1()
+	cols := d.QuasiIdentifiers()
+	m := d.NumericMatrix(cols)
+	for i := range m {
+		for k := range m[i] {
+			m[i][k] += 1
+		}
+	}
+	if err := d.SetNumericMatrix(cols, m); err != nil {
+		t.Fatalf("SetNumericMatrix: %v", err)
+	}
+	if d.Float(0, 0) != 171 {
+		t.Errorf("write-back failed: %v", d.Float(0, 0))
+	}
+	if err := d.SetNumericMatrix(cols, m[:2]); err == nil {
+		t.Error("SetNumericMatrix accepted wrong row count")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Dataset2()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, TrialSchema())
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !EqualValues(d, got) {
+		t.Error("CSV round trip changed values")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), TrialSchema()); err == nil {
+		t.Error("ReadCSV accepted wrong header")
+	}
+	bad := "height,weight,blood_pressure,aids\nxx,70,120,N\n"
+	if _, err := ReadCSV(strings.NewReader(bad), TrialSchema()); err == nil {
+		t.Error("ReadCSV accepted non-numeric cell")
+	}
+}
+
+func TestTable1Fixtures(t *testing.T) {
+	d1, d2 := Dataset1(), Dataset2()
+	if d1.Rows() != 9 || d2.Rows() != 9 {
+		t.Fatalf("fixtures must have 9 records each, got %d and %d", d1.Rows(), d2.Rows())
+	}
+	// Dataset 2 has exactly one record with height<165 and weight>105,
+	// with blood pressure 146 (the paper's PIR attack target).
+	var hits []int
+	for i := 0; i < d2.Rows(); i++ {
+		if d2.Float(i, 0) < 165 && d2.Float(i, 1) > 105 {
+			hits = append(hits, i)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("Dataset2: %d records with height<165 ∧ weight>105, want 1", len(hits))
+	}
+	if bp := d2.Float(hits[0], 2); bp != 146 {
+		t.Errorf("target blood pressure = %v, want 146", bp)
+	}
+}
+
+func TestKeyStringSeparatorSafety(t *testing.T) {
+	// Two rows whose concatenated values collide without a separator must
+	// get distinct keys.
+	d := New(
+		Attribute{Name: "a", Kind: Nominal},
+		Attribute{Name: "b", Kind: Nominal},
+	)
+	d.MustAppend("ab", "c")
+	d.MustAppend("a", "bc")
+	if d.KeyString(0, []int{0, 1}) == d.KeyString(1, []int{0, 1}) {
+		t.Error("KeyString collides across different rows")
+	}
+}
+
+func TestKeyStringNegativeZero(t *testing.T) {
+	d := New(Attribute{Name: "a", Kind: Numeric})
+	d.MustAppend(0.0)
+	d.MustAppend(math.Copysign(0, -1))
+	if d.KeyString(0, []int{0}) != d.KeyString(1, []int{0}) {
+		t.Error("KeyString distinguishes 0 and -0")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Dataset1().String()
+	if !strings.Contains(s, "height") || !strings.Contains(s, "170") {
+		t.Errorf("String() missing content:\n%s", s)
+	}
+}
+
+func TestSyntheticTrialShape(t *testing.T) {
+	d := SyntheticTrial(TrialConfig{N: 500, Seed: 1, ExtraQI: 2})
+	if d.Rows() != 500 {
+		t.Fatalf("rows = %d", d.Rows())
+	}
+	if got := len(d.QuasiIdentifiers()); got != 4 {
+		t.Errorf("QIs = %d, want 4", got)
+	}
+	// Determinism: same seed, same data.
+	e := SyntheticTrial(TrialConfig{N: 500, Seed: 1, ExtraQI: 2})
+	if !EqualValues(d, e) {
+		t.Error("SyntheticTrial is not deterministic for a fixed seed")
+	}
+	f := SyntheticTrial(TrialConfig{N: 500, Seed: 2, ExtraQI: 2})
+	if EqualValues(d, f) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticCensusCorrelation(t *testing.T) {
+	d := SyntheticCensus(CensusConfig{N: 4000, Dims: 4, Seed: 3, Corr: 0.9})
+	// Columns should be positively correlated through the latent factor.
+	x, y := d.NumColumn(0), d.NumColumn(1)
+	var sx, sy, sxy, sxx, syy float64
+	n := float64(len(x))
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	for i := range x {
+		sxy += (x[i] - mx) * (y[i] - my)
+		sxx += (x[i] - mx) * (x[i] - mx)
+		syy += (y[i] - my) * (y[i] - my)
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	if r < 0.5 {
+		t.Errorf("latent-factor correlation = %.3f, want > 0.5", r)
+	}
+}
+
+func TestSyntheticQueryLog(t *testing.T) {
+	log := SyntheticQueryLog(QueryLogConfig{Users: 10, Queries: 300, Topics: 50, Seed: 9})
+	if len(log) != 300 {
+		t.Fatalf("len = %d", len(log))
+	}
+	users := map[int]bool{}
+	for _, e := range log {
+		if e.User < 0 || e.User >= 10 {
+			t.Fatalf("user %d out of range", e.User)
+		}
+		users[e.User] = true
+		if !strings.HasPrefix(e.Query, "topic-") {
+			t.Fatalf("query %q malformed", e.Query)
+		}
+	}
+	if len(users) < 5 {
+		t.Errorf("only %d distinct users in log", len(users))
+	}
+}
+
+func TestSelectRoundTripProperty(t *testing.T) {
+	// Property: selecting all rows in order is identity.
+	f := func(seed uint64) bool {
+		d := SyntheticTrial(TrialConfig{N: 50, Seed: seed % 1000})
+		rows := make([]int, d.Rows())
+		for i := range rows {
+			rows[i] = i
+		}
+		return EqualValues(d, d.Select(rows))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleAndSplit(t *testing.T) {
+	d := SyntheticTrial(TrialConfig{N: 100, Seed: 8})
+	sh := d.Shuffle(NewRand(1))
+	if sh.Rows() != d.Rows() {
+		t.Fatalf("shuffle changed row count")
+	}
+	if EqualValues(d, sh) {
+		t.Error("shuffle left order unchanged (astronomically unlikely)")
+	}
+	// Same multiset of records: sort both by a key column and compare.
+	train, test, err := d.Split(0.7, NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Rows() != 70 || test.Rows() != 30 {
+		t.Errorf("split sizes = %d/%d", train.Rows(), test.Rows())
+	}
+	if _, _, err := d.Split(0, nil); err == nil {
+		t.Error("accepted fraction 0")
+	}
+	if _, _, err := d.Split(1, nil); err == nil {
+		t.Error("accepted fraction 1")
+	}
+	tiny := d.Select([]int{0})
+	if _, _, err := tiny.Split(0.5, nil); err == nil {
+		t.Error("accepted split leaving an empty side")
+	}
+	// Deterministic split without rng keeps order.
+	tr2, _, err := d.Split(0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Float(0, 0) != d.Float(0, 0) {
+		t.Error("nil-rng split should preserve order")
+	}
+}
+
+func TestFolds(t *testing.T) {
+	d := SyntheticTrial(TrialConfig{N: 53, Seed: 9})
+	folds, err := d.Folds(5, NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		if len(f) < 10 || len(f) > 11 {
+			t.Errorf("fold size %d not near-equal", len(f))
+		}
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("row %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 53 {
+		t.Errorf("folds cover %d of 53 rows", len(seen))
+	}
+	if _, err := d.Folds(1, nil); err == nil {
+		t.Error("accepted k = 1")
+	}
+	if _, err := d.Folds(54, nil); err == nil {
+		t.Error("accepted k > rows")
+	}
+}

@@ -1,0 +1,80 @@
+package dataset
+
+// This file encodes the two toy patient datasets of Table 1 in
+// Domingo-Ferrer (SDM 2007). Both share the same schema: the records were
+// obtained in a clinical trial of a hypertension drug, direct identifiers
+// have already been suppressed, (height, weight) are the quasi-identifier
+// ("key") attributes and (blood pressure, AIDS) are confidential.
+//
+// Dataset 1 (Table 1, left) spontaneously satisfies 3-anonymity with respect
+// to (height, weight). Dataset 2 (Table 1, right) does not: it contains
+// unique quasi-identifier combinations, among them a single individual
+// shorter than 165 cm and heavier than 105 kg whose systolic blood pressure
+// is 146 mmHg — the respondent re-identified by the paper's PIR attack in
+// Section 3.
+
+// TrialSchema returns the attribute schema of the Table 1 patient datasets.
+func TrialSchema() []Attribute {
+	return []Attribute{
+		{Name: "height", Role: QuasiIdentifier, Kind: Numeric},
+		{Name: "weight", Role: QuasiIdentifier, Kind: Numeric},
+		{Name: "blood_pressure", Role: Confidential, Kind: Numeric},
+		{Name: "aids", Role: Confidential, Kind: Nominal, Categories: []string{"N", "Y"}},
+	}
+}
+
+// Dataset1 returns patient data set no. 1 (Table 1, left): nine records,
+// three distinct (height, weight) combinations each shared by three
+// patients, hence spontaneously 3-anonymous on the quasi-identifiers.
+//
+// The published table reproduces only the properties of the records (the
+// scanned text does not preserve the cell values); the values below realise
+// exactly the structure the paper states: 3 groups × 3 records, with the
+// confidential attributes varying inside each group.
+func Dataset1() *Dataset {
+	d := New(TrialSchema()...)
+	rows := []struct {
+		h, w, bp float64
+		aids     string
+	}{
+		{170, 70, 135, "Y"},
+		{170, 70, 142, "N"},
+		{170, 70, 128, "N"},
+		{175, 80, 151, "N"},
+		{175, 80, 139, "Y"},
+		{175, 80, 144, "N"},
+		{180, 95, 147, "N"},
+		{180, 95, 160, "Y"},
+		{180, 95, 141, "N"},
+	}
+	for _, r := range rows {
+		d.MustAppend(r.h, r.w, r.bp, r.aids)
+	}
+	return d
+}
+
+// Dataset2 returns patient data set no. 2 (Table 1, right): nine records
+// that are NOT 3-anonymous on (height, weight). It contains exactly one
+// individual with height < 165 and weight > 105, whose systolic blood
+// pressure is 146 mmHg — the value returned by the paper's second PIR query.
+func Dataset2() *Dataset {
+	d := New(TrialSchema()...)
+	rows := []struct {
+		h, w, bp float64
+		aids     string
+	}{
+		{160, 108, 146, "N"}, // the unique small-and-heavy respondent
+		{170, 70, 135, "Y"},
+		{170, 70, 142, "N"},
+		{172, 74, 128, "N"},
+		{175, 80, 151, "N"},
+		{175, 80, 139, "Y"},
+		{178, 86, 144, "N"},
+		{180, 95, 147, "Y"},
+		{182, 98, 141, "N"},
+	}
+	for _, r := range rows {
+		d.MustAppend(r.h, r.w, r.bp, r.aids)
+	}
+	return d
+}

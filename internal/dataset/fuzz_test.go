@@ -1,0 +1,37 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the CSV reader with arbitrary input: it must never
+// panic, and anything it accepts must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Dataset2().WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("height,weight,blood_pressure,aids\n1,2,3,Y\n")
+	f.Add("height,weight\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input), TrialSchema())
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := d.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted input failed to serialise: %v", err)
+		}
+		back, err := ReadCSV(&out, TrialSchema())
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if !EqualValues(d, back) {
+			t.Fatal("round trip changed values")
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Shuffle returns a copy of d with rows in uniformly random order.
+func (d *Dataset) Shuffle(rng *rand.Rand) *Dataset {
+	rows := make([]int, d.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	rng.Shuffle(len(rows), func(a, b int) { rows[a], rows[b] = rows[b], rows[a] })
+	return d.Select(rows)
+}
+
+// Split partitions d into a training and a test set, with the first
+// fraction of rows (after shuffling with rng, if non-nil) going to train.
+// fraction must lie strictly between 0 and 1, and both sides must end up
+// non-empty.
+func (d *Dataset) Split(fraction float64, rng *rand.Rand) (train, test *Dataset, err error) {
+	if !(fraction > 0 && fraction < 1) {
+		return nil, nil, fmt.Errorf("dataset: split fraction must be in (0,1), got %g", fraction)
+	}
+	src := d
+	if rng != nil {
+		src = d.Shuffle(rng)
+	}
+	cut := int(float64(src.Rows()) * fraction)
+	if cut == 0 || cut == src.Rows() {
+		return nil, nil, fmt.Errorf("dataset: split of %d rows at %g leaves an empty side", d.Rows(), fraction)
+	}
+	trainRows := make([]int, cut)
+	testRows := make([]int, src.Rows()-cut)
+	for i := range trainRows {
+		trainRows[i] = i
+	}
+	for i := range testRows {
+		testRows[i] = cut + i
+	}
+	return src.Select(trainRows), src.Select(testRows), nil
+}
+
+// Folds partitions row indices into k near-equal folds for cross
+// validation, shuffled by rng when non-nil.
+func (d *Dataset) Folds(k int, rng *rand.Rand) ([][]int, error) {
+	if k < 2 || k > d.Rows() {
+		return nil, fmt.Errorf("dataset: need 2 ≤ k ≤ rows (%d), got %d", d.Rows(), k)
+	}
+	rows := make([]int, d.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(rows), func(a, b int) { rows[a], rows[b] = rows[b], rows[a] })
+	}
+	folds := make([][]int, k)
+	for i, r := range rows {
+		folds[i%k] = append(folds[i%k], r)
+	}
+	return folds, nil
+}

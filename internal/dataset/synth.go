@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Synthetic data generators. The paper's scenarios involve patient microdata
+// (clinical trials), census-like multi-attribute microdata, and Internet
+// search-engine query logs (the AOL incident); these generators produce the
+// closest synthetic equivalents with controllable size, dimensionality and
+// seed, so every experiment is deterministic.
+
+// NewRand returns the deterministic PRNG used throughout the repository.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Normal draws a normal variate with the given mean and standard deviation.
+func Normal(rng *rand.Rand, mean, sd float64) float64 {
+	return mean + sd*rng.NormFloat64()
+}
+
+// TrialConfig parameterises SyntheticTrial.
+type TrialConfig struct {
+	N    int    // number of patients
+	Seed uint64 // PRNG seed
+	// ExtraQI adds this many additional numeric quasi-identifier columns
+	// (age, income, …) to raise dimensionality; see experiment E-X3.
+	ExtraQI int
+}
+
+// SyntheticTrial generates a clinical-trial dataset with the same schema
+// roles as Table 1: numeric quasi-identifiers (height, weight, plus optional
+// extras), a numeric confidential attribute (systolic blood pressure,
+// correlated with weight as in real hypertension cohorts), and a nominal
+// confidential attribute (AIDS status, rare).
+func SyntheticTrial(cfg TrialConfig) *Dataset {
+	if cfg.N <= 0 {
+		cfg.N = 1000
+	}
+	rng := NewRand(cfg.Seed)
+	attrs := []Attribute{
+		{Name: "height", Role: QuasiIdentifier, Kind: Numeric},
+		{Name: "weight", Role: QuasiIdentifier, Kind: Numeric},
+	}
+	for e := 0; e < cfg.ExtraQI; e++ {
+		attrs = append(attrs, Attribute{Name: fmt.Sprintf("qi%d", e+3), Role: QuasiIdentifier, Kind: Numeric})
+	}
+	attrs = append(attrs,
+		Attribute{Name: "blood_pressure", Role: Confidential, Kind: Numeric},
+		Attribute{Name: "aids", Role: Confidential, Kind: Nominal, Categories: []string{"N", "Y"}},
+	)
+	d := New(attrs...)
+	for i := 0; i < cfg.N; i++ {
+		h := Normal(rng, 170, 9)
+		// Weight correlates with height (BMI around 25 with spread).
+		bmi := Normal(rng, 25.5, 3.5)
+		w := bmi * (h / 100) * (h / 100)
+		vals := []any{round1(h), round1(w)}
+		for e := 0; e < cfg.ExtraQI; e++ {
+			vals = append(vals, round1(Normal(rng, 50, 15)))
+		}
+		// Hypertensive cohort: systolic pressure elevated, correlated
+		// with weight.
+		bp := Normal(rng, 120+0.35*(w-70), 9)
+		aids := "N"
+		if rng.Float64() < 0.08 {
+			aids = "Y"
+		}
+		vals = append(vals, round1(bp), aids)
+		d.MustAppend(vals...)
+	}
+	return d
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+// CensusConfig parameterises SyntheticCensus.
+type CensusConfig struct {
+	N    int
+	Dims int // number of numeric attributes (>= 2)
+	Seed uint64
+	// Corr in [0,1) introduces pairwise correlation between consecutive
+	// attributes via a shared latent factor.
+	Corr float64
+}
+
+// SyntheticCensus generates an all-numeric microdata file of Dims columns,
+// the standard workload of microaggregation/noise-addition papers
+// (Domingo-Ferrer & Mateo-Sanz 2002 use similar census-like numeric files).
+// The first half of the columns are quasi-identifiers, the rest confidential.
+func SyntheticCensus(cfg CensusConfig) *Dataset {
+	if cfg.N <= 0 {
+		cfg.N = 1000
+	}
+	if cfg.Dims < 2 {
+		cfg.Dims = 2
+	}
+	rng := NewRand(cfg.Seed)
+	attrs := make([]Attribute, cfg.Dims)
+	for j := range attrs {
+		role := QuasiIdentifier
+		if j >= cfg.Dims/2 {
+			role = Confidential
+		}
+		attrs[j] = Attribute{Name: fmt.Sprintf("v%d", j+1), Role: role, Kind: Numeric}
+	}
+	d := New(attrs...)
+	for i := 0; i < cfg.N; i++ {
+		latent := rng.NormFloat64()
+		vals := make([]any, cfg.Dims)
+		for j := 0; j < cfg.Dims; j++ {
+			mean := 100 * float64(j+1)
+			sd := 10 * float64(j+1)
+			z := math.Sqrt(1-cfg.Corr*cfg.Corr)*rng.NormFloat64() + cfg.Corr*latent
+			vals[j] = mean + sd*z
+		}
+		d.MustAppend(vals...)
+	}
+	return d
+}
+
+// QueryLogConfig parameterises SyntheticQueryLog.
+type QueryLogConfig struct {
+	Users   int
+	Queries int // total queries
+	Topics  int // distinct query strings, Zipf-distributed popularity
+	Seed    uint64
+}
+
+// QueryLogEntry is one entry of a synthetic search-engine query log — the
+// artefact whose disclosure (AOL, August 2006) motivates the paper's user
+// privacy dimension.
+type QueryLogEntry struct {
+	User  int
+	Query string
+}
+
+// SyntheticQueryLog generates a query log where users issue Zipf-distributed
+// queries with per-user topical bias, so that an observer of the raw log can
+// profile users — the situation PIR is meant to prevent.
+func SyntheticQueryLog(cfg QueryLogConfig) []QueryLogEntry {
+	if cfg.Users <= 0 {
+		cfg.Users = 50
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 1000
+	}
+	if cfg.Topics <= 0 {
+		cfg.Topics = 200
+	}
+	rng := NewRand(cfg.Seed)
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(cfg.Topics-1))
+	// Each user favours a small set of topics.
+	favs := make([][]int, cfg.Users)
+	for u := range favs {
+		n := 3 + rng.IntN(5)
+		favs[u] = make([]int, n)
+		for k := range favs[u] {
+			favs[u][k] = int(zipf.Uint64())
+		}
+	}
+	log := make([]QueryLogEntry, cfg.Queries)
+	for q := range log {
+		u := rng.IntN(cfg.Users)
+		var topic int
+		if rng.Float64() < 0.6 {
+			topic = favs[u][rng.IntN(len(favs[u]))]
+		} else {
+			topic = int(zipf.Uint64())
+		}
+		log[q] = QueryLogEntry{User: u, Query: fmt.Sprintf("topic-%03d", topic)}
+	}
+	return log
+}

@@ -1,0 +1,67 @@
+package generalize
+
+import (
+	"fmt"
+	"math"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// Non-perturbative coarsening maskings from the SDC handbook (Hundepool et
+// al., the paper's [17]): top/bottom coding collapses the tails of a
+// numeric attribute (where outliers — the most identifiable respondents —
+// live) and rounding publishes values on a coarse lattice.
+
+// TopBottomCode clamps a numeric column at its lowerQ and upperQ quantiles
+// (e.g. 0.05 and 0.95): values below/above are recoded to the quantile
+// itself. It returns the masked clone and the number of recoded cells.
+func TopBottomCode(d *dataset.Dataset, col int, lowerQ, upperQ float64) (*dataset.Dataset, int, error) {
+	if d.Rows() == 0 {
+		return nil, 0, fmt.Errorf("generalize: empty dataset")
+	}
+	if !(0 <= lowerQ && lowerQ < upperQ && upperQ <= 1) {
+		return nil, 0, fmt.Errorf("generalize: need 0 ≤ lowerQ < upperQ ≤ 1, got %g and %g", lowerQ, upperQ)
+	}
+	if d.Attr(col).Kind != dataset.Numeric {
+		return nil, 0, fmt.Errorf("generalize: column %q is not numeric", d.Attr(col).Name)
+	}
+	x := d.NumColumn(col)
+	lo := stats.Quantile(x, lowerQ)
+	hi := stats.Quantile(x, upperQ)
+	out := d.Clone()
+	oc := out.NumColumn(col)
+	recoded := 0
+	for i, v := range oc {
+		switch {
+		case v < lo:
+			oc[i] = lo
+			recoded++
+		case v > hi:
+			oc[i] = hi
+			recoded++
+		}
+	}
+	return out, recoded, nil
+}
+
+// RoundTo publishes the given numeric columns rounded to the nearest
+// multiple of base (e.g. salaries to the nearest 1000).
+func RoundTo(d *dataset.Dataset, cols []int, base float64) (*dataset.Dataset, error) {
+	if base <= 0 {
+		return nil, fmt.Errorf("generalize: rounding base must be > 0, got %g", base)
+	}
+	for _, j := range cols {
+		if d.Attr(j).Kind != dataset.Numeric {
+			return nil, fmt.Errorf("generalize: column %q is not numeric", d.Attr(j).Name)
+		}
+	}
+	out := d.Clone()
+	for _, j := range cols {
+		oc := out.NumColumn(j)
+		for i, v := range oc {
+			oc[i] = math.Round(v/base) * base
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package generalize
+
+import (
+	"math"
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+func TestTopBottomCode(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 1000, Dims: 1, Seed: 3})
+	out, recoded, err := TopBottomCode(d, 0, 0.05, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recoded == 0 {
+		t.Fatal("no cells recoded")
+	}
+	// Roughly 10% of cells clamp.
+	if frac := float64(recoded) / 1000; frac < 0.05 || frac > 0.15 {
+		t.Errorf("recoded fraction = %v, want ≈ 0.10", frac)
+	}
+	lo := stats.Quantile(d.NumColumn(0), 0.05)
+	hi := stats.Quantile(d.NumColumn(0), 0.95)
+	mn, mx := stats.MinMax(out.NumColumn(0))
+	if mn < lo || mx > hi {
+		t.Errorf("output range [%v, %v] exceeds [%v, %v]", mn, mx, lo, hi)
+	}
+	// Interior values untouched.
+	for i := 0; i < d.Rows(); i++ {
+		v := d.Float(i, 0)
+		if v >= lo && v <= hi && out.Float(i, 0) != v {
+			t.Fatalf("interior value changed at row %d", i)
+		}
+	}
+}
+
+func TestTopBottomCodeValidation(t *testing.T) {
+	d := dataset.Dataset1()
+	if _, _, err := TopBottomCode(d, 0, 0.9, 0.1); err == nil {
+		t.Error("accepted inverted quantiles")
+	}
+	if _, _, err := TopBottomCode(d, d.Index("aids"), 0.05, 0.95); err == nil {
+		t.Error("accepted categorical column")
+	}
+	empty := dataset.New(dataset.TrialSchema()...)
+	if _, _, err := TopBottomCode(empty, 0, 0.05, 0.95); err == nil {
+		t.Error("accepted empty dataset")
+	}
+}
+
+func TestRoundTo(t *testing.T) {
+	d := dataset.Dataset2()
+	out, err := RoundTo(d, []int{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < out.Rows(); i++ {
+		for _, j := range []int{0, 1} {
+			v := out.Float(i, j)
+			if math.Mod(v, 10) != 0 {
+				t.Fatalf("value %v not a multiple of 10", v)
+			}
+			if math.Abs(v-d.Float(i, j)) > 5 {
+				t.Fatalf("rounding moved %v → %v", d.Float(i, j), v)
+			}
+		}
+	}
+	// Rounding coarsens quasi-identifiers: anonymity cannot decrease.
+	if _, err := RoundTo(d, []int{0}, 0); err == nil {
+		t.Error("accepted base 0")
+	}
+	if _, err := RoundTo(d, []int{d.Index("aids")}, 10); err == nil {
+		t.Error("accepted categorical column")
+	}
+}

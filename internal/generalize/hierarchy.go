@@ -1,0 +1,99 @@
+// Package generalize implements k-anonymization through generalization and
+// suppression, the masking family of Samarati & Sweeney (1998) and the
+// "k-anonymity: algorithms and hardness" line of work the paper cites as
+// [2]: value generalization hierarchies, global recoding over a
+// generalization lattice, local suppression, and Mondrian-style
+// multidimensional partitioning for numeric attributes.
+package generalize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hierarchy is a value generalization hierarchy for one attribute.
+//
+// Levels run from 0 to Levels()-1: level 0 is the original value, each
+// higher level is more general, and the top level suppresses the value to
+// "*". Categorical hierarchies are given as explicit per-level maps; numeric
+// hierarchies recode values into intervals whose width doubles per level.
+type Hierarchy struct {
+	// Name of the attribute the hierarchy applies to.
+	Name string
+	// levels[l] maps a base value to its generalization at level l+1
+	// (categorical hierarchies only).
+	levels []map[string]string
+	// Interval hierarchies (numeric attributes).
+	numeric bool
+	base    float64 // interval width at level 1
+	min     float64 // alignment origin for intervals
+	total   int     // total number of levels including 0 and the "*" top
+}
+
+// NewCategoricalHierarchy builds a hierarchy from explicit per-level maps.
+// maps[l] gives the generalization of each base value at level l+1; every
+// base value must appear in every map. A final "*" suppression level is
+// added implicitly.
+func NewCategoricalHierarchy(name string, baseValues []string, maps []map[string]string) (*Hierarchy, error) {
+	for l, m := range maps {
+		for _, v := range baseValues {
+			if _, ok := m[v]; !ok {
+				return nil, fmt.Errorf("generalize: hierarchy %q level %d misses value %q", name, l+1, v)
+			}
+		}
+	}
+	return &Hierarchy{
+		Name:   name,
+		levels: append([]map[string]string(nil), maps...),
+		total:  len(maps) + 2, // identity + maps + "*"
+	}, nil
+}
+
+// NewNumericHierarchy builds an interval hierarchy for a numeric attribute:
+// level l ∈ [1, intervalLevels] recodes v into the interval of width
+// base·2^(l-1) containing it, aligned at min. A final "*" suppression level
+// is added implicitly.
+func NewNumericHierarchy(name string, min, base float64, intervalLevels int) (*Hierarchy, error) {
+	if base <= 0 || intervalLevels < 1 {
+		return nil, fmt.Errorf("generalize: numeric hierarchy %q needs base > 0 and intervalLevels ≥ 1", name)
+	}
+	return &Hierarchy{
+		Name: name, numeric: true, base: base, min: min,
+		total: intervalLevels + 2, // identity + intervals + "*"
+	}, nil
+}
+
+// Levels returns the total number of levels (identity through "*").
+func (h *Hierarchy) Levels() int { return h.total }
+
+// Numeric reports whether the hierarchy is interval-based.
+func (h *Hierarchy) Numeric() bool { return h.numeric }
+
+// GeneralizeString recodes a base categorical value to the given level.
+// Levels at or above the top return "*"; unknown values generalize to "*".
+func (h *Hierarchy) GeneralizeString(v string, level int) string {
+	if level <= 0 {
+		return v
+	}
+	if level >= h.total-1 || level-1 >= len(h.levels) {
+		return "*"
+	}
+	if g, ok := h.levels[level-1][v]; ok {
+		return g
+	}
+	return "*"
+}
+
+// GeneralizeFloat recodes a numeric value to the interval label of the given
+// level; level 0 renders the exact value, the top level returns "*".
+func (h *Hierarchy) GeneralizeFloat(v float64, level int) string {
+	if level <= 0 {
+		return fmt.Sprintf("%g", v)
+	}
+	if !h.numeric || level >= h.total-1 {
+		return "*"
+	}
+	w := h.base * math.Pow(2, float64(level-1))
+	lo := h.min + math.Floor((v-h.min)/w)*w
+	return fmt.Sprintf("[%g,%g)", lo, lo+w)
+}

@@ -1,0 +1,96 @@
+package generalize
+
+import (
+	"fmt"
+
+	"privacy3d/internal/anonymity"
+	"privacy3d/internal/dataset"
+)
+
+// LatticeResult describes the minimal generalization found by Anonymize.
+type LatticeResult struct {
+	// Levels is the chosen generalization level per quasi-identifier
+	// column (parallel to the qiCols passed in).
+	Levels []int
+	// Suppressed is the number of records removed by local suppression.
+	Suppressed int
+	// Height is the sum of levels — the lattice height of the solution,
+	// the standard minimality criterion of Samarati's algorithm.
+	Height int
+}
+
+// Anonymize searches the generalization lattice breadth-first by height and
+// returns the first (minimum-height) level vector that makes the dataset
+// k-anonymous after suppressing at most maxSuppress records. Ties at equal
+// height resolve to the lexicographically smallest vector, so results are
+// deterministic.
+func Anonymize(d *dataset.Dataset, qiCols []int, hierarchies map[int]*Hierarchy, k, maxSuppress int) (*dataset.Dataset, LatticeResult, error) {
+	if k < 1 {
+		return nil, LatticeResult{}, fmt.Errorf("generalize: k must be ≥ 1, got %d", k)
+	}
+	maxLv := make([]int, len(qiCols))
+	totalHeight := 0
+	for idx, j := range qiCols {
+		h, ok := hierarchies[j]
+		if !ok {
+			return nil, LatticeResult{}, fmt.Errorf("generalize: no hierarchy for column %q", d.Attr(j).Name)
+		}
+		maxLv[idx] = h.Levels() - 1
+		totalHeight += maxLv[idx]
+	}
+	for height := 0; height <= totalHeight; height++ {
+		for _, levels := range vectorsOfHeight(maxLv, height) {
+			recoded, err := Recode(d, qiCols, hierarchies, levels)
+			if err != nil {
+				return nil, LatticeResult{}, err
+			}
+			kept, suppressed := SuppressSmallClasses(recoded, qiCols, k)
+			if suppressed <= maxSuppress && kept.Rows() > 0 && anonymity.IsKAnonymous(kept, qiCols, k) {
+				return kept, LatticeResult{Levels: levels, Suppressed: suppressed, Height: height}, nil
+			}
+		}
+	}
+	return nil, LatticeResult{}, fmt.Errorf("generalize: no generalization achieves %d-anonymity with ≤ %d suppressions", k, maxSuppress)
+}
+
+// vectorsOfHeight enumerates, in lexicographic order, every level vector
+// bounded by maxLv whose components sum to height.
+func vectorsOfHeight(maxLv []int, height int) [][]int {
+	var out [][]int
+	cur := make([]int, len(maxLv))
+	var rec func(pos, remaining int)
+	rec = func(pos, remaining int) {
+		if pos == len(maxLv) {
+			if remaining == 0 {
+				out = append(out, append([]int(nil), cur...))
+			}
+			return
+		}
+		hi := maxLv[pos]
+		if hi > remaining {
+			hi = remaining
+		}
+		for v := 0; v <= hi; v++ {
+			cur[pos] = v
+			rec(pos+1, remaining-v)
+		}
+	}
+	rec(0, height)
+	return out
+}
+
+// Precision returns the Prec information-loss measure of a generalization:
+// the average, over quasi-identifier cells, of level/maxLevel. 0 means no
+// generalization, 1 means everything suppressed.
+func Precision(levels []int, maxLv []int) float64 {
+	if len(levels) == 0 {
+		return 0
+	}
+	var s float64
+	for i, l := range levels {
+		if maxLv[i] > 0 {
+			s += float64(l) / float64(maxLv[i])
+		}
+	}
+	return s / float64(len(levels))
+}

@@ -1,0 +1,192 @@
+package generalize
+
+import (
+	"fmt"
+	"sort"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// MondrianGroups recursively partitions the rows of a numeric matrix by
+// median cuts on the dimension of widest (range-normalised) spread, stopping
+// when a cut would leave a side with fewer than k records. The result is a
+// k-anonymous multidimensional partition (LeFevre et al.'s Mondrian, the
+// style of multidimensional recoding covered by the paper's citation [2]).
+func MondrianGroups(data [][]float64, k int) ([][]int, error) {
+	if err := validateMondrian(len(data), k); err != nil {
+		return nil, err
+	}
+	all := make([]int, len(data))
+	for i := range all {
+		all[i] = i
+	}
+	// Global ranges for normalising spread comparisons.
+	dims := len(data[0])
+	gmin, gmax := colRanges(data, all, dims)
+	var groups [][]int
+	var split func(rows []int)
+	split = func(rows []int) {
+		if len(rows) < 2*k {
+			g := append([]int(nil), rows...)
+			sort.Ints(g)
+			groups = append(groups, g)
+			return
+		}
+		lmin, lmax := colRanges(data, rows, dims)
+		// Widest normalised dimension.
+		best, bestSpread := -1, 0.0
+		for j := 0; j < dims; j++ {
+			denom := gmax[j] - gmin[j]
+			if denom == 0 {
+				continue
+			}
+			if s := (lmax[j] - lmin[j]) / denom; s > bestSpread {
+				best, bestSpread = j, s
+			}
+		}
+		if best < 0 { // all values identical; cannot cut
+			g := append([]int(nil), rows...)
+			sort.Ints(g)
+			groups = append(groups, g)
+			return
+		}
+		// Median cut on dimension best.
+		sorted := append([]int(nil), rows...)
+		sort.SliceStable(sorted, func(a, b int) bool { return data[sorted[a]][best] < data[sorted[b]][best] })
+		mid := len(sorted) / 2
+		// Keep equal values on one side to get a well-defined cut.
+		cutVal := data[sorted[mid]][best]
+		lo := mid
+		for lo > 0 && data[sorted[lo-1]][best] == cutVal {
+			lo--
+		}
+		hi := mid
+		for hi < len(sorted) && data[sorted[hi]][best] == cutVal {
+			hi++
+		}
+		left, right := sorted[:mid], sorted[mid:]
+		if lo >= k && len(sorted)-lo >= k {
+			left, right = sorted[:lo], sorted[lo:]
+		} else if hi >= k && len(sorted)-hi >= k {
+			left, right = sorted[:hi], sorted[hi:]
+		}
+		if len(left) < k || len(right) < k {
+			g := append([]int(nil), rows...)
+			sort.Ints(g)
+			groups = append(groups, g)
+			return
+		}
+		split(left)
+		split(right)
+	}
+	split(all)
+	return groups, nil
+}
+
+func validateMondrian(n, k int) error {
+	if k < 2 {
+		return fmt.Errorf("generalize: Mondrian needs k ≥ 2, got %d", k)
+	}
+	if n < k {
+		return fmt.Errorf("generalize: Mondrian has %d records, need at least k=%d", n, k)
+	}
+	return nil
+}
+
+func colRanges(data [][]float64, rows []int, dims int) (mins, maxs []float64) {
+	mins = make([]float64, dims)
+	maxs = make([]float64, dims)
+	for j := 0; j < dims; j++ {
+		mins[j], maxs[j] = data[rows[0]][j], data[rows[0]][j]
+	}
+	for _, i := range rows[1:] {
+		for j := 0; j < dims; j++ {
+			if data[i][j] < mins[j] {
+				mins[j] = data[i][j]
+			}
+			if data[i][j] > maxs[j] {
+				maxs[j] = data[i][j]
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// MondrianMask k-anonymizes the numeric quasi-identifier columns of d by
+// Mondrian partitioning, recoding each partition's values to interval
+// labels "[lo,hi]" (the columns become Nominal). It returns the masked
+// dataset and the partition.
+func MondrianMask(d *dataset.Dataset, qiCols []int, k int) (*dataset.Dataset, [][]int, error) {
+	for _, j := range qiCols {
+		if d.Attr(j).Kind != dataset.Numeric {
+			return nil, nil, fmt.Errorf("generalize: Mondrian requires numeric quasi-identifiers; %q is %v", d.Attr(j).Name, d.Attr(j).Kind)
+		}
+	}
+	data := d.NumericMatrix(qiCols)
+	groups, err := MondrianGroups(data, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs := append([]dataset.Attribute(nil), d.Attrs()...)
+	for _, j := range qiCols {
+		attrs[j] = dataset.Attribute{Name: attrs[j].Name, Role: dataset.QuasiIdentifier, Kind: dataset.Nominal}
+	}
+	out := dataset.New(attrs...)
+	labels := make([]string, d.Rows()*len(qiCols))
+	label := func(i, jj int) *string { return &labels[i*len(qiCols)+jj] }
+	for _, g := range groups {
+		mins, maxs := colRanges(data, g, len(qiCols))
+		for jj := range qiCols {
+			lab := fmt.Sprintf("[%g,%g]", mins[jj], maxs[jj])
+			for _, i := range g {
+				*label(i, jj) = lab
+			}
+		}
+	}
+	qiPos := map[int]int{}
+	for jj, j := range qiCols {
+		qiPos[j] = jj
+	}
+	for i := 0; i < d.Rows(); i++ {
+		vals := make([]any, d.Cols())
+		for j := 0; j < d.Cols(); j++ {
+			if jj, ok := qiPos[j]; ok {
+				vals[j] = *label(i, jj)
+			} else {
+				vals[j] = d.Value(i, j)
+			}
+		}
+		if err := out.Append(vals...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, groups, nil
+}
+
+// MondrianIL returns the normalised within-partition sum of squared errors
+// of a Mondrian partition in standardised space, comparable to
+// microaggregation's IL measure.
+func MondrianIL(data [][]float64, groups [][]int) float64 {
+	z, _, _ := stats.Standardize(data)
+	var sse, sst float64
+	grand := stats.ColumnMeans(z)
+	for _, row := range z {
+		sse0 := stats.SquaredDist(row, grand)
+		sst += sse0
+	}
+	for _, g := range groups {
+		sub := make([][]float64, len(g))
+		for t, i := range g {
+			sub[t] = z[i]
+		}
+		c := stats.ColumnMeans(sub)
+		for _, row := range sub {
+			sse += stats.SquaredDist(row, c)
+		}
+	}
+	if sst == 0 {
+		return 0
+	}
+	return sse / sst
+}

@@ -1,0 +1,72 @@
+package generalize
+
+import (
+	"fmt"
+	"sort"
+
+	"privacy3d/internal/dataset"
+)
+
+// Recode applies the given generalization level to each quasi-identifier
+// column, producing a dataset where those columns become Nominal string
+// columns holding generalized labels. hierarchies maps QI column index (in
+// d) to its hierarchy; levels is parallel to qiCols.
+func Recode(d *dataset.Dataset, qiCols []int, hierarchies map[int]*Hierarchy, levels []int) (*dataset.Dataset, error) {
+	if len(levels) != len(qiCols) {
+		return nil, fmt.Errorf("generalize: %d levels for %d quasi-identifier columns", len(levels), len(qiCols))
+	}
+	for idx, j := range qiCols {
+		h, ok := hierarchies[j]
+		if !ok {
+			return nil, fmt.Errorf("generalize: no hierarchy for column %q", d.Attr(j).Name)
+		}
+		if levels[idx] < 0 || levels[idx] >= h.Levels() {
+			return nil, fmt.Errorf("generalize: level %d out of range [0,%d) for %q", levels[idx], h.Levels(), d.Attr(j).Name)
+		}
+	}
+	// Build the output schema: QI columns become Nominal.
+	attrs := append([]dataset.Attribute(nil), d.Attrs()...)
+	isQI := map[int]int{}
+	for idx, j := range qiCols {
+		isQI[j] = idx
+		attrs[j] = dataset.Attribute{Name: attrs[j].Name, Role: dataset.QuasiIdentifier, Kind: dataset.Nominal}
+	}
+	out := dataset.New(attrs...)
+	for i := 0; i < d.Rows(); i++ {
+		vals := make([]any, d.Cols())
+		for j := 0; j < d.Cols(); j++ {
+			idx, qi := isQI[j]
+			if !qi {
+				vals[j] = d.Value(i, j)
+				continue
+			}
+			h := hierarchies[j]
+			if d.Attr(j).Kind == dataset.Numeric {
+				vals[j] = h.GeneralizeFloat(d.Float(i, j), levels[idx])
+			} else {
+				vals[j] = h.GeneralizeString(d.Cat(i, j), levels[idx])
+			}
+		}
+		if err := out.Append(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SuppressSmallClasses removes every record whose quasi-identifier
+// equivalence class (over qiCols) has fewer than k members, returning the
+// surviving dataset and the number of suppressed records. This is the
+// "local suppression" companion of global recoding.
+func SuppressSmallClasses(d *dataset.Dataset, qiCols []int, k int) (*dataset.Dataset, int) {
+	groups := d.GroupBy(qiCols)
+	var keep []int
+	for _, g := range groups {
+		if len(g) >= k {
+			keep = append(keep, g...)
+		}
+	}
+	// Preserve original record order.
+	sort.Ints(keep)
+	return d.Select(keep), d.Rows() - len(keep)
+}

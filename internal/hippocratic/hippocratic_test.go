@@ -1,0 +1,221 @@
+package hippocratic
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"privacy3d/internal/anonymity"
+	"privacy3d/internal/dataset"
+)
+
+func testRules() []Rule {
+	return []Rule{
+		{Attribute: "height", Purpose: "treatment", Retention: 365 * 24 * time.Hour},
+		{Attribute: "weight", Purpose: "treatment", Retention: 365 * 24 * time.Hour},
+		{Attribute: "blood_pressure", Purpose: "treatment", Retention: 365 * 24 * time.Hour},
+		{Attribute: "height", Purpose: "research", Retention: 90 * 24 * time.Hour},
+		{Attribute: "weight", Purpose: "research", Retention: 90 * 24 * time.Hour},
+		{Attribute: "blood_pressure", Purpose: "research", Retention: 90 * 24 * time.Hour},
+		{Attribute: "aids", Purpose: "research", Retention: 90 * 24 * time.Hour},
+		{Attribute: "aids", Purpose: "treatment", Recipients: []string{"dr-house"}, Retention: 365 * 24 * time.Hour},
+	}
+}
+
+func fixedClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
+}
+
+func TestStoreValidation(t *testing.T) {
+	if _, err := NewStore(nil, nil); err == nil {
+		t.Error("accepted nil dataset")
+	}
+	d := dataset.Dataset2()
+	if _, err := NewStore(d, []Rule{{Attribute: "nope", Purpose: "x"}}); err == nil {
+		t.Error("accepted rule for unknown attribute")
+	}
+	if _, err := NewStore(d, []Rule{{Attribute: "height"}}); err == nil {
+		t.Error("accepted rule without purpose")
+	}
+}
+
+func TestPurposeLimitation(t *testing.T) {
+	s, err := NewStore(dataset.Dataset2(), testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ConsentAll("treatment")
+	// AIDS status is not permitted for an undeclared purpose.
+	if _, err := s.Access("nurse", "marketing", []string{"height"}); err == nil {
+		t.Error("undeclared purpose allowed")
+	}
+	// Recipient restriction on aids/treatment.
+	if _, err := s.Access("nurse", "treatment", []string{"aids"}); err == nil {
+		t.Error("unauthorised recipient allowed")
+	}
+	if _, err := s.Access("dr-house", "treatment", []string{"aids"}); err != nil {
+		t.Errorf("authorised recipient denied: %v", err)
+	}
+	// Unknown attribute and empty request.
+	if _, err := s.Access("nurse", "treatment", []string{"ghost"}); err == nil {
+		t.Error("unknown attribute allowed")
+	}
+	if _, err := s.Access("nurse", "treatment", nil); err == nil {
+		t.Error("empty request allowed")
+	}
+}
+
+func TestConsentFiltering(t *testing.T) {
+	s, err := NewStore(dataset.Dataset2(), testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only rows 0..3 consent to research.
+	for i := 0; i < 4; i++ {
+		if err := s.Consent(i, "research", true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.Access("analyst", "research", []string{"height", "blood_pressure"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 4 {
+		t.Errorf("access returned %d rows, want 4 consenting", out.Rows())
+	}
+	if out.Cols() != 2 {
+		t.Errorf("access returned %d columns, want 2", out.Cols())
+	}
+	// Withdrawal is honoured.
+	if err := s.Consent(0, "research", false); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = s.Access("analyst", "research", []string{"height"})
+	if out.Rows() != 3 {
+		t.Errorf("after withdrawal: %d rows, want 3", out.Rows())
+	}
+	if err := s.Consent(99, "research", true); err == nil {
+		t.Error("accepted out-of-range row")
+	}
+}
+
+func TestRetention(t *testing.T) {
+	now := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	clock := now
+	s, err := NewStore(dataset.Dataset2(), testRules(), WithClock(func() time.Time { return clock }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ConsentAll("research")
+	s.ConsentAll("treatment")
+	// Within retention: all rows visible.
+	out, err := s.Access("analyst", "research", []string{"height"})
+	if err != nil || out.Rows() != 9 {
+		t.Fatalf("fresh access: %d rows, err %v", out.Rows(), err)
+	}
+	// 91 days later the research purpose (90-day retention) sees nothing,
+	// while treatment (365-day) still works.
+	clock = now.Add(91 * 24 * time.Hour)
+	out, err = s.Access("analyst", "research", []string{"height"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 0 {
+		t.Errorf("expired research access returned %d rows", out.Rows())
+	}
+	out, err = s.Access("nurse", "treatment", []string{"height"})
+	if err != nil || out.Rows() != 9 {
+		t.Errorf("treatment access within retention: %d rows, err %v", out.Rows(), err)
+	}
+	// After the longest retention, the sweep purges physically.
+	clock = now.Add(400 * 24 * time.Hour)
+	purged := s.RetentionSweep()
+	if purged != 9 || s.Rows() != 0 {
+		t.Errorf("sweep purged %d, store has %d rows", purged, s.Rows())
+	}
+	// Sweeping again is a no-op.
+	if s.RetentionSweep() != 0 {
+		t.Error("second sweep purged records")
+	}
+}
+
+func TestAuditTrailComplete(t *testing.T) {
+	s, err := NewStore(dataset.Dataset2(), testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ConsentAll("treatment")
+	s.Access("nurse", "treatment", []string{"height"})  //nolint:errcheck
+	s.Access("nurse", "marketing", []string{"height"})  //nolint:errcheck
+	s.Access("dr-house", "treatment", []string{"aids"}) //nolint:errcheck
+	audit := s.Audit()
+	if len(audit) != 3 {
+		t.Fatalf("audit has %d entries, want 3", len(audit))
+	}
+	if audit[0].Denied || audit[0].Rows != 9 {
+		t.Errorf("first access audited wrong: %+v", audit[0])
+	}
+	if !audit[1].Denied || !strings.Contains(audit[1].Reason, "marketing") {
+		t.Errorf("denial audited wrong: %+v", audit[1])
+	}
+	if audit[2].Recipient != "dr-house" {
+		t.Errorf("recipient audited wrong: %+v", audit[2])
+	}
+}
+
+func TestAnalyticsReleaseIntegratesBothMaskings(t *testing.T) {
+	// The paper's claim about hippocratic databases: k-anonymization for
+	// respondent privacy plus noise PPDM for owner privacy, in one release.
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 300, Seed: 31})
+	rules := []Rule{
+		{Attribute: "height", Purpose: "research"},
+		{Attribute: "weight", Purpose: "research"},
+		{Attribute: "blood_pressure", Purpose: "research"},
+		{Attribute: "aids", Purpose: "research"},
+	}
+	s, err := NewStore(d, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ConsentAll("research")
+	rel, err := s.AnalyticsRelease("analyst", "research", 3, 0.35, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := anonymity.K(rel, rel.QuasiIdentifiers()); got < 3 {
+		t.Errorf("release k = %d, want ≥ 3", got)
+	}
+	// Blood pressure must be perturbed (owner privacy): exact matches with
+	// any original value become rare.
+	bp := rel.Index("blood_pressure")
+	orig := map[float64]bool{}
+	for i := 0; i < d.Rows(); i++ {
+		orig[d.Float(i, d.Index("blood_pressure"))] = true
+	}
+	exact := 0
+	for i := 0; i < rel.Rows(); i++ {
+		if orig[rel.Float(i, bp)] {
+			exact++
+		}
+	}
+	if float64(exact)/float64(rel.Rows()) > 0.05 {
+		t.Errorf("%d of %d released blood pressures are exact originals", exact, rel.Rows())
+	}
+	// Access was audited.
+	if len(s.Audit()) == 0 {
+		t.Error("analytics release not audited")
+	}
+}
+
+func TestAnalyticsReleaseNeedsConsentMass(t *testing.T) {
+	s, err := NewStore(dataset.Dataset2(), testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 consenting records but k = 3.
+	s.Consent(0, "research", true) //nolint:errcheck
+	s.Consent(1, "research", true) //nolint:errcheck
+	if _, err := s.AnalyticsRelease("analyst", "research", 3, 0.3, 1); err == nil {
+		t.Error("release with insufficient consenting records allowed")
+	}
+}

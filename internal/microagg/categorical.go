@@ -1,0 +1,115 @@
+package microagg
+
+import (
+	"fmt"
+	"sort"
+
+	"privacy3d/internal/dataset"
+)
+
+// Categorical microaggregation (Domingo-Ferrer & Torra 2005, [12] in the
+// paper): ordinal attributes aggregate to the group median category,
+// nominal attributes to the group mode. Distances: ordinal = rank distance
+// over the declared category order; nominal = 0/1.
+
+// MaskCategorical microaggregates a single categorical column of d with
+// minimum group size k, grouping records by categorical distance, and
+// returns the masked clone. Numeric columns are untouched.
+func MaskCategorical(d *dataset.Dataset, col, k int) (*dataset.Dataset, error) {
+	if err := validateK(d.Rows(), k); err != nil {
+		return nil, err
+	}
+	a := d.Attr(col)
+	if a.Kind == dataset.Numeric {
+		return nil, fmt.Errorf("microagg: column %q is numeric; use Mask", a.Name)
+	}
+	vals := d.CatColumn(col)
+	out := d.Clone()
+	switch a.Kind {
+	case dataset.Ordinal:
+		rank, order, err := ordinalRanks(a, vals)
+		if err != nil {
+			return nil, err
+		}
+		// Sort records by rank; fixed-size groups along the order; the
+		// remainder merges into the last group (size ≤ 2k-1).
+		idx := make([]int, len(vals))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool { return rank[idx[x]] < rank[idx[y]] })
+		for start := 0; start < len(idx); {
+			end := start + k
+			if len(idx)-end < k {
+				end = len(idx)
+			}
+			g := idx[start:end]
+			// Median rank of the group.
+			rs := make([]int, len(g))
+			for t, i := range g {
+				rs[t] = rank[i]
+			}
+			sort.Ints(rs)
+			med := rs[len(rs)/2]
+			for _, i := range g {
+				out.SetCat(i, col, order[med])
+			}
+			start = end
+		}
+	default: // Nominal: group equal values; small value-classes merge into a rest group mapped to the global mode.
+		counts := map[string]int{}
+		for _, v := range vals {
+			counts[v]++
+		}
+		mode := globalMode(counts)
+		for i, v := range vals {
+			if counts[v] < k {
+				out.SetCat(i, col, mode)
+			}
+		}
+	}
+	return out, nil
+}
+
+func ordinalRanks(a dataset.Attribute, vals []string) (rank []int, order []string, err error) {
+	order = a.Categories
+	if len(order) == 0 {
+		// Derive the order from sorted distinct values.
+		seen := map[string]bool{}
+		for _, v := range vals {
+			if !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+			}
+		}
+		sort.Strings(order)
+	}
+	pos := make(map[string]int, len(order))
+	for r, v := range order {
+		pos[v] = r
+	}
+	rank = make([]int, len(vals))
+	for i, v := range vals {
+		r, ok := pos[v]
+		if !ok {
+			return nil, nil, fmt.Errorf("microagg: value %q not in category order of %q", v, a.Name)
+		}
+		rank[i] = r
+	}
+	return rank, order, nil
+}
+
+func globalMode(counts map[string]int) string {
+	keys := make([]string, 0, len(counts))
+	for v := range counts {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys) // deterministic tie-break
+	best, bestC := "", -1
+	for _, v := range keys {
+		if counts[v] > bestC {
+			best, bestC = v, counts[v]
+		}
+	}
+	return best
+}

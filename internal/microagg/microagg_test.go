@@ -1,0 +1,289 @@
+package microagg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privacy3d/internal/anonymity"
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+func TestMDAVGroupsInvariants(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 237, Seed: 5})
+	data := d.NumericMatrix(d.QuasiIdentifiers())
+	for _, k := range []int{2, 3, 4, 5, 10} {
+		groups, err := MDAVGroups(data, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !GroupSizesValid(groups, k) {
+			sizes := make([]int, len(groups))
+			for i, g := range groups {
+				sizes[i] = len(g)
+			}
+			t.Errorf("k=%d: invalid group sizes %v", k, sizes)
+		}
+		seen := map[int]bool{}
+		total := 0
+		for _, g := range groups {
+			for _, i := range g {
+				if seen[i] {
+					t.Fatalf("k=%d: record %d in two groups", k, i)
+				}
+				seen[i] = true
+				total++
+			}
+		}
+		if total != len(data) {
+			t.Errorf("k=%d: partition covers %d of %d records", k, total, len(data))
+		}
+	}
+}
+
+func TestMDAVErrors(t *testing.T) {
+	data := [][]float64{{1, 2}, {3, 4}}
+	if _, err := MDAVGroups(data, 1); err == nil {
+		t.Error("accepted k=1")
+	}
+	if _, err := MDAVGroups(data, 3); err == nil {
+		t.Error("accepted k > n")
+	}
+}
+
+func TestMaskYieldsKAnonymity(t *testing.T) {
+	// Paper, Section 2: "microaggregation/condensation with minimum group
+	// size k on the key attributes guarantees k-anonymity".
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 500, Seed: 11})
+	for _, k := range []int{3, 5} {
+		masked, res, err := Mask(d, NewOptions(k))
+		if err != nil {
+			t.Fatalf("Mask k=%d: %v", k, err)
+		}
+		if got := anonymity.K(masked, masked.QuasiIdentifiers()); got < k {
+			t.Errorf("masked anonymity = %d, want ≥ %d", got, k)
+		}
+		if il := res.IL(); il <= 0 || il >= 1 {
+			t.Errorf("k=%d IL = %v, want in (0,1)", k, il)
+		}
+		// Confidential columns untouched.
+		for i := 0; i < d.Rows(); i++ {
+			if d.Float(i, d.Index("blood_pressure")) != masked.Float(i, masked.Index("blood_pressure")) {
+				t.Fatal("Mask modified a confidential column")
+			}
+		}
+		// Original untouched.
+		if dataset.EqualValues(d, masked) {
+			t.Error("masking changed nothing")
+		}
+	}
+}
+
+func TestMaskPreservesMeans(t *testing.T) {
+	// Centroid replacement preserves column means exactly.
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 300, Seed: 3})
+	masked, _, err := Mask(d, NewOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range d.QuasiIdentifiers() {
+		mo := stats.Mean(d.NumColumn(j))
+		mm := stats.Mean(masked.NumColumn(j))
+		if math.Abs(mo-mm) > 1e-9 {
+			t.Errorf("column %d mean drifted: %v → %v", j, mo, mm)
+		}
+	}
+}
+
+func TestILIncreasesWithK(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 400, Dims: 4, Seed: 17, Corr: 0.4})
+	var prev float64
+	for _, k := range []int{2, 5, 20} {
+		_, res, err := Mask(d, Options{K: k, Columns: []int{0, 1, 2, 3}, Standardize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IL() < prev {
+			t.Errorf("IL not monotone: k=%d IL=%v < previous %v", k, res.IL(), prev)
+		}
+		prev = res.IL()
+	}
+}
+
+func TestMaskNoColumns(t *testing.T) {
+	d := dataset.New(dataset.Attribute{Name: "x", Role: dataset.Confidential, Kind: dataset.Numeric})
+	d.MustAppend(1.0)
+	if _, _, err := Mask(d, NewOptions(2)); err == nil {
+		t.Error("Mask accepted dataset without quasi-identifiers")
+	}
+}
+
+func TestOptimalUnivariateBeatsOrEqualsMDAV(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 150, Seed: 23})
+	x := d.NumColumn(0)
+	k := 3
+	opt, err := OptimalUnivariateGroups(x, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !GroupSizesValid(opt, k) {
+		t.Error("optimal groups violate size bounds")
+	}
+	// Compare with MDAV on the 1-D data.
+	col := make([][]float64, len(x))
+	for i, v := range x {
+		col[i] = []float64{v}
+	}
+	heur, err := MDAVGroups(col, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, h := UnivariateSSE(x, opt), UnivariateSSE(x, heur); o > h+1e-9 {
+		t.Errorf("optimal SSE %v > heuristic SSE %v", o, h)
+	}
+}
+
+func TestOptimalUnivariateKnownCase(t *testing.T) {
+	// Two well-separated clusters of 3: optimal partition is obvious.
+	x := []float64{0, 1, 2, 100, 101, 102}
+	groups, err := OptimalUnivariateGroups(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if got := UnivariateSSE(x, groups); math.Abs(got-4) > 1e-12 {
+		t.Errorf("SSE = %v, want 4", got)
+	}
+}
+
+func TestOptimalUnivariatePartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := dataset.SyntheticTrial(dataset.TrialConfig{N: 40 + int(seed%30), Seed: seed})
+		x := d.NumColumn(1)
+		groups, err := OptimalUnivariateGroups(x, 2+int(seed%3))
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, g := range groups {
+			for _, i := range g {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		return len(seen) == len(x) && GroupSizesValid(groups, 2+int(seed%3))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondensePreservesMomentsAndAnonymity(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 600, Dims: 3, Seed: 31, Corr: 0.6})
+	rng := dataset.NewRand(99)
+	cols := []int{0, 1, 2}
+	masked, err := Condense(d, cols, 25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Means approximately preserved.
+	for _, j := range cols {
+		mo, mm := stats.Mean(d.NumColumn(j)), stats.Mean(masked.NumColumn(j))
+		if math.Abs(mo-mm)/math.Abs(mo) > 0.05 {
+			t.Errorf("column %d mean drifted too much: %v → %v", j, mo, mm)
+		}
+	}
+	// Covariance structure approximately preserved (the Aggarwal–Yu
+	// property the paper relies on for utility).
+	co := stats.CovarianceMatrix(d.NumericMatrix(cols))
+	cm := stats.CovarianceMatrix(masked.NumericMatrix(cols))
+	for a := range co {
+		for b := range co[a] {
+			denom := math.Max(math.Abs(co[a][b]), 1)
+			if math.Abs(co[a][b]-cm[a][b])/denom > 0.35 {
+				t.Errorf("cov[%d][%d] drifted: %v → %v", a, b, co[a][b], cm[a][b])
+			}
+		}
+	}
+	// Synthetic records differ from originals (owner privacy).
+	if dataset.EqualValues(d, masked) {
+		t.Error("condensation returned the original data")
+	}
+}
+
+func TestCondenseErrors(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 10, Dims: 2, Seed: 1})
+	if _, err := Condense(d, []int{0, 1}, 50, dataset.NewRand(1)); err == nil {
+		t.Error("Condense accepted k > n")
+	}
+	e := dataset.New(dataset.Attribute{Name: "x", Role: dataset.Confidential, Kind: dataset.Numeric})
+	if _, err := Condense(e, nil, 2, dataset.NewRand(1)); err == nil {
+		t.Error("Condense accepted dataset without quasi-identifiers")
+	}
+}
+
+func TestMaskCategoricalNominal(t *testing.T) {
+	attrs := []dataset.Attribute{
+		{Name: "city", Role: dataset.QuasiIdentifier, Kind: dataset.Nominal},
+	}
+	d := dataset.New(attrs...)
+	for i := 0; i < 5; i++ {
+		d.MustAppend("barcelona")
+	}
+	for i := 0; i < 4; i++ {
+		d.MustAppend("tarragona")
+	}
+	d.MustAppend("girona") // unique value: must be recoded
+	out, err := MaskCategorical(d, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := anonymity.K(out, []int{0}); got < 3 {
+		t.Errorf("masked nominal k = %d, want ≥ 3", got)
+	}
+	if out.Cat(9, 0) != "barcelona" {
+		t.Errorf("rare value recoded to %q, want global mode", out.Cat(9, 0))
+	}
+}
+
+func TestMaskCategoricalOrdinal(t *testing.T) {
+	attrs := []dataset.Attribute{
+		{Name: "edu", Role: dataset.QuasiIdentifier, Kind: dataset.Ordinal,
+			Categories: []string{"primary", "secondary", "bachelor", "master", "phd"}},
+	}
+	d := dataset.New(attrs...)
+	for _, v := range []string{"primary", "primary", "secondary", "master", "phd", "phd", "bachelor"} {
+		d.MustAppend(v)
+	}
+	out, err := MaskCategorical(d, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := anonymity.K(out, []int{0}); got < 3 {
+		t.Errorf("masked ordinal k = %d, want ≥ 3", got)
+	}
+	// Values must come from the declared category set.
+	valid := map[string]bool{"primary": true, "secondary": true, "bachelor": true, "master": true, "phd": true}
+	for i := 0; i < out.Rows(); i++ {
+		if !valid[out.Cat(i, 0)] {
+			t.Errorf("masked value %q not a category", out.Cat(i, 0))
+		}
+	}
+}
+
+func TestMaskCategoricalErrors(t *testing.T) {
+	d := dataset.Dataset1()
+	if _, err := MaskCategorical(d, d.Index("height"), 3); err == nil {
+		t.Error("accepted numeric column")
+	}
+	small := dataset.New(dataset.Attribute{Name: "c", Kind: dataset.Nominal})
+	small.MustAppend("x")
+	if _, err := MaskCategorical(small, 0, 3); err == nil {
+		t.Error("accepted k > n")
+	}
+}

@@ -1,0 +1,58 @@
+package microagg
+
+import (
+	"fmt"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// Projection-based microaggregation (the single-axis variant studied by
+// Domingo-Ferrer & Mateo-Sanz 2002, [10] in the paper): the records are
+// projected onto the first principal component of the standardised data,
+// partitioned *optimally* along that axis with the Hansen–Mukherjee dynamic
+// program, and each multivariate group is replaced by its centroid. On
+// strongly correlated data the one-dimensional optimal partition can beat
+// the MDAV heuristic; on isotropic data MDAV usually wins — the trade-off
+// the literature reports, and an easy A/B via the shared Result type.
+func ProjectionGroups(data [][]float64, k int) ([][]int, error) {
+	if err := validateK(len(data), k); err != nil {
+		return nil, err
+	}
+	pc, err := stats.PrincipalComponent(data)
+	if err != nil {
+		return nil, fmt.Errorf("microagg: principal component: %w", err)
+	}
+	scores := make([]float64, len(data))
+	means := stats.ColumnMeans(data)
+	for i, row := range data {
+		var s float64
+		for j, v := range row {
+			s += (v - means[j]) * pc[j]
+		}
+		scores[i] = s
+	}
+	return OptimalUnivariateGroups(scores, k)
+}
+
+// MaskProjection microaggregates the selected columns with projection
+// grouping, mirroring Mask.
+func MaskProjection(d *dataset.Dataset, opt Options) (*dataset.Dataset, Result, error) {
+	cols := opt.Columns
+	if cols == nil {
+		cols = d.QuasiIdentifiers()
+	}
+	if len(cols) == 0 {
+		return nil, Result{}, fmt.Errorf("microagg: no columns to mask")
+	}
+	raw := d.NumericMatrix(cols)
+	space := raw
+	if opt.Standardize {
+		space, _, _ = stats.Standardize(raw)
+	}
+	groups, err := ProjectionGroups(space, opt.K)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return aggregate(d, cols, raw, space, groups)
+}

@@ -1,0 +1,107 @@
+package microagg
+
+import (
+	"sort"
+)
+
+// OptimalUnivariateGroups computes the optimal (minimum-SSE) univariate
+// microaggregation partition of x with group sizes in [k, 2k-1], using the
+// Hansen–Mukherjee shortest-path dynamic program over the sorted values.
+// It returns groups of original indices.
+func OptimalUnivariateGroups(x []float64, k int) ([][]int, error) {
+	n := len(x)
+	if err := validateK(n, k); err != nil {
+		return nil, err
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	sorted := make([]float64, n)
+	for r, i := range idx {
+		sorted[r] = x[i]
+	}
+	// Prefix sums for O(1) group SSE.
+	pre := make([]float64, n+1)
+	pre2 := make([]float64, n+1)
+	for i, v := range sorted {
+		pre[i+1] = pre[i] + v
+		pre2[i+1] = pre2[i] + v*v
+	}
+	sse := func(a, b int) float64 { // records a..b-1 of sorted order
+		m := float64(b - a)
+		s := pre[b] - pre[a]
+		return (pre2[b] - pre2[a]) - s*s/m
+	}
+	const inf = 1e308
+	cost := make([]float64, n+1)
+	prev := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		cost[i] = inf
+		prev[i] = -1
+	}
+	for i := 0; i <= n; i++ {
+		if cost[i] == inf && i != 0 {
+			continue
+		}
+		for size := k; size <= 2*k-1 && i+size <= n; size++ {
+			j := i + size
+			// Disallow leaving a tail shorter than k.
+			if n-j != 0 && n-j < k {
+				continue
+			}
+			if c := cost[i] + sse(i, j); c < cost[j] {
+				cost[j] = c
+				prev[j] = i
+			}
+		}
+	}
+	if prev[n] == -1 && n != 0 {
+		// Should not happen for n ≥ k, but guard against logic drift.
+		return nil, errNoPartition(n, k)
+	}
+	// Backtrack into groups of original indices.
+	var bounds []int
+	for j := n; j > 0; j = prev[j] {
+		bounds = append(bounds, j)
+	}
+	sort.Ints(bounds)
+	groups := make([][]int, 0, len(bounds))
+	start := 0
+	for _, b := range bounds {
+		g := make([]int, 0, b-start)
+		for r := start; r < b; r++ {
+			g = append(g, idx[r])
+		}
+		sort.Ints(g)
+		groups = append(groups, g)
+		start = b
+	}
+	return groups, nil
+}
+
+type errNoPartitionT struct{ n, k int }
+
+func (e errNoPartitionT) Error() string {
+	return "microagg: no feasible univariate partition"
+}
+
+func errNoPartition(n, k int) error { return errNoPartitionT{n, k} }
+
+// UnivariateSSE returns the within-group SSE of a partition of x.
+func UnivariateSSE(x []float64, groups [][]int) float64 {
+	var total float64
+	for _, g := range groups {
+		var mean float64
+		for _, i := range g {
+			mean += x[i]
+		}
+		mean /= float64(len(g))
+		for _, i := range g {
+			d := x[i] - mean
+			total += d * d
+		}
+	}
+	return total
+}

@@ -1,0 +1,193 @@
+package microagg
+
+import (
+	"fmt"
+	"sort"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// VMDAVGroups implements V-MDAV (Solanas & Martínez-Ballesté), the
+// variable-group-size variant of MDAV: after forming each k-record group
+// around the farthest-from-centroid record, nearby unassigned records are
+// absorbed into the group (up to size 2k−1) when they are closer to the
+// group than to the rest of the data, scaled by gamma. Variable group sizes
+// track local density and typically lose less information on clustered
+// data than fixed-size MDAV.
+//
+// gamma ≥ 0 controls extension eagerness; gamma = 0 reduces to never
+// extending (fixed-size groups except the tail), a common default is 0.2.
+func VMDAVGroups(data [][]float64, k int, gamma float64) ([][]int, error) {
+	if err := validateK(len(data), k); err != nil {
+		return nil, err
+	}
+	if gamma < 0 {
+		gamma = 0
+	}
+	unassigned := map[int]bool{}
+	for i := range data {
+		unassigned[i] = true
+	}
+	// Typical nearest-neighbour spacing (squared): isolated seeds whose
+	// nearest neighbour lies far beyond it would force cross-cluster
+	// groups; they are deferred and attached to the closest finished group
+	// instead.
+	medNN := medianNearestNeighbor(data)
+	const stragglerFactor = 25 // 5× the typical spacing, squared
+	var stragglers []int
+	var groups [][]int
+	for len(unassigned) >= k {
+		rows := keysOf(unassigned)
+		centroid := centroidOf(data, rows)
+		// Seed: farthest unassigned record from the global centroid.
+		seed := farthest(data, rows, centroid)
+		if len(rows) > 1 && medNN > 0 &&
+			minDistToOthers(data, rows, seed) > stragglerFactor*medNN {
+			stragglers = append(stragglers, seed)
+			delete(unassigned, seed)
+			continue
+		}
+		// Take the k-1 nearest unassigned records to the seed.
+		group, _ := takeNearest(data, rows, data[seed], k, seed)
+		for _, i := range group {
+			delete(unassigned, i)
+		}
+		// Extension phase: absorb close records while |group| < 2k-1. A
+		// candidate joins when it is much closer to the group than to the
+		// remaining data (the V-MDAV rule, d_in < γ·d_out) or when it lies
+		// within the group's own spread — the latter absorbs straggler
+		// pairs whose mutual proximity would otherwise suppress d_out.
+		for len(group) < 2*k-1 && len(unassigned) > 0 {
+			rest := keysOf(unassigned)
+			gc := centroidOf(data, group)
+			intraMax := 0.0
+			for _, i := range group {
+				if d := stats.SquaredDist(data[i], gc); d > intraMax {
+					intraMax = d
+				}
+			}
+			// Candidate: nearest unassigned record to the group centroid.
+			cand, dIn := nearest(data, rest, gc)
+			// Distance from candidate to its nearest other unassigned
+			// record.
+			dOut := minDistToOthers(data, rest, cand)
+			if dIn < gamma*dOut || dIn <= 2*intraMax {
+				group = append(group, cand)
+				delete(unassigned, cand)
+				continue
+			}
+			break
+		}
+		sort.Ints(group)
+		groups = append(groups, group)
+	}
+	// Tail: attach leftovers and deferred stragglers to their nearest
+	// group's centroid. At least one group always exists because n ≥ k and
+	// at most n−1 records can be deferred before a full group forms.
+	leftovers := append(keysOf(unassigned), stragglers...)
+	if len(leftovers) > 0 {
+		if len(groups) == 0 {
+			// Degenerate case (every record isolated): one group of all.
+			sort.Ints(leftovers)
+			return [][]int{leftovers}, nil
+		}
+		centroids := make([][]float64, len(groups))
+		for g, rows := range groups {
+			centroids[g] = centroidOf(data, rows)
+		}
+		for _, i := range leftovers {
+			best, bestD := 0, stats.SquaredDist(data[i], centroids[0])
+			for g := 1; g < len(centroids); g++ {
+				if d := stats.SquaredDist(data[i], centroids[g]); d < bestD {
+					best, bestD = g, d
+				}
+			}
+			groups[best] = append(groups[best], i)
+			sort.Ints(groups[best])
+		}
+	}
+	return groups, nil
+}
+
+// medianNearestNeighbor returns the median squared nearest-neighbour
+// distance of the data (0 for fewer than 2 records).
+func medianNearestNeighbor(data [][]float64) float64 {
+	if len(data) < 2 {
+		return 0
+	}
+	nn := make([]float64, len(data))
+	for i := range data {
+		best := -1.0
+		for j := range data {
+			if i == j {
+				continue
+			}
+			d := stats.SquaredDist(data[i], data[j])
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		nn[i] = best
+	}
+	sort.Float64s(nn)
+	return nn[len(nn)/2]
+}
+
+func keysOf(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func nearest(data [][]float64, rows []int, from []float64) (idx int, dist float64) {
+	idx, dist = rows[0], stats.SquaredDist(data[rows[0]], from)
+	for _, i := range rows[1:] {
+		if d := stats.SquaredDist(data[i], from); d < dist {
+			idx, dist = i, d
+		}
+	}
+	return idx, dist
+}
+
+func minDistToOthers(data [][]float64, rows []int, self int) float64 {
+	best := -1.0
+	for _, i := range rows {
+		if i == self {
+			continue
+		}
+		d := stats.SquaredDist(data[i], data[self])
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// MaskVariable microaggregates the selected columns with V-MDAV grouping,
+// mirroring Mask but with variable group sizes driven by gamma.
+func MaskVariable(d *dataset.Dataset, opt Options, gamma float64) (*dataset.Dataset, Result, error) {
+	cols := opt.Columns
+	if cols == nil {
+		cols = d.QuasiIdentifiers()
+	}
+	if len(cols) == 0 {
+		return nil, Result{}, fmt.Errorf("microagg: no columns to mask")
+	}
+	raw := d.NumericMatrix(cols)
+	space := raw
+	if opt.Standardize {
+		space, _, _ = stats.Standardize(raw)
+	}
+	groups, err := VMDAVGroups(space, opt.K, gamma)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return aggregate(d, cols, raw, space, groups)
+}

@@ -1,0 +1,183 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Transaction is one market-basket transaction: a set of item names.
+type Transaction []string
+
+// Itemset is a sorted list of items treated as a set.
+type Itemset []string
+
+// Key returns the canonical string form of the itemset.
+func (s Itemset) Key() string { return strings.Join(s, "\x1f") }
+
+// Contains reports whether the transaction holds every item of s.
+func contains(tr map[string]bool, s Itemset) bool {
+	for _, it := range s {
+		if !tr[it] {
+			return false
+		}
+	}
+	return true
+}
+
+// FrequentItemset pairs an itemset with its support count.
+type FrequentItemset struct {
+	Items   Itemset
+	Support int
+}
+
+// Apriori mines all itemsets with support ≥ minSupport (absolute count)
+// using the classic level-wise algorithm.
+func Apriori(txs []Transaction, minSupport int) ([]FrequentItemset, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("mining: minSupport must be ≥ 1, got %d", minSupport)
+	}
+	sets := make([]map[string]bool, len(txs))
+	for i, tr := range txs {
+		m := make(map[string]bool, len(tr))
+		for _, it := range tr {
+			m[it] = true
+		}
+		sets[i] = m
+	}
+	// L1.
+	counts := map[string]int{}
+	for _, m := range sets {
+		for it := range m {
+			counts[it]++
+		}
+	}
+	var level []Itemset
+	var out []FrequentItemset
+	items := make([]string, 0, len(counts))
+	for it := range counts {
+		items = append(items, it)
+	}
+	sort.Strings(items)
+	for _, it := range items {
+		if counts[it] >= minSupport {
+			s := Itemset{it}
+			level = append(level, s)
+			out = append(out, FrequentItemset{Items: s, Support: counts[it]})
+		}
+	}
+	// Level-wise extension.
+	for len(level) > 0 {
+		cands := candidates(level)
+		var next []Itemset
+		for _, c := range cands {
+			sup := 0
+			for _, m := range sets {
+				if contains(m, c) {
+					sup++
+				}
+			}
+			if sup >= minSupport {
+				next = append(next, c)
+				out = append(out, FrequentItemset{Items: c, Support: sup})
+			}
+		}
+		level = next
+	}
+	return out, nil
+}
+
+// candidates joins k-itemsets sharing a (k-1)-prefix, the Apriori-gen step.
+func candidates(level []Itemset) []Itemset {
+	var out []Itemset
+	seen := map[string]bool{}
+	for a := 0; a < len(level); a++ {
+		for b := a + 1; b < len(level); b++ {
+			x, y := level[a], level[b]
+			if len(x) != len(y) {
+				continue
+			}
+			join := false
+			if len(x) == 1 {
+				join = true
+			} else {
+				join = Itemset(x[:len(x)-1]).Key() == Itemset(y[:len(y)-1]).Key()
+			}
+			if !join {
+				continue
+			}
+			merged := append(append(Itemset{}, x...), y[len(y)-1])
+			sort.Strings(merged)
+			if k := merged.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, merged)
+			}
+		}
+	}
+	return out
+}
+
+// Rule is an association rule A ⇒ B with support and confidence.
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	Support    int     // transactions containing A ∪ B
+	Confidence float64 // Support / count(A)
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	return fmt.Sprintf("{%s} => {%s} (sup=%d conf=%.2f)",
+		strings.Join(r.Antecedent, ","), strings.Join(r.Consequent, ","), r.Support, r.Confidence)
+}
+
+// MineRules derives all association rules with the given minimum support
+// (absolute) and confidence from the transactions, with single-item
+// consequents (the standard formulation rule hiding targets).
+func MineRules(txs []Transaction, minSupport int, minConfidence float64) ([]Rule, error) {
+	if minConfidence <= 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("mining: minConfidence must be in (0,1], got %g", minConfidence)
+	}
+	freq, err := Apriori(txs, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	supports := map[string]int{}
+	for _, f := range freq {
+		supports[f.Items.Key()] = f.Support
+	}
+	var rules []Rule
+	for _, f := range freq {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for drop := range f.Items {
+			ant := make(Itemset, 0, len(f.Items)-1)
+			for t, it := range f.Items {
+				if t != drop {
+					ant = append(ant, it)
+				}
+			}
+			antSup, ok := supports[ant.Key()]
+			if !ok || antSup == 0 {
+				continue
+			}
+			conf := float64(f.Support) / float64(antSup)
+			if conf >= minConfidence {
+				rules = append(rules, Rule{
+					Antecedent: ant,
+					Consequent: Itemset{f.Items[drop]},
+					Support:    f.Support,
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(rules, func(a, b int) bool {
+		if rules[a].Support != rules[b].Support {
+			return rules[a].Support > rules[b].Support
+		}
+		return rules[a].String() < rules[b].String()
+	})
+	return rules, nil
+}

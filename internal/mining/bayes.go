@@ -1,0 +1,175 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// NaiveBayes is a Gaussian/categorical naive Bayes classifier: numeric
+// attributes are modelled per class as Gaussians, categorical attributes as
+// Laplace-smoothed multinomials.
+type NaiveBayes struct {
+	target  string
+	classes []string
+	prior   map[string]float64
+	// gauss[class][attr] = (mean, sd); cat[class][attr][value] = prob.
+	gauss map[string]map[string][2]float64
+	cat   map[string]map[string]map[string]float64
+	// catDomain[attr] = number of distinct values, for smoothing.
+	catDomain map[string]int
+}
+
+// TrainNaiveBayes fits the classifier on d for a categorical target.
+func TrainNaiveBayes(d *dataset.Dataset, target string) (*NaiveBayes, error) {
+	tj := d.Index(target)
+	if tj < 0 {
+		return nil, fmt.Errorf("mining: unknown target %q", target)
+	}
+	if d.Attr(tj).Kind == dataset.Numeric {
+		return nil, fmt.Errorf("mining: target %q must be categorical", target)
+	}
+	if d.Rows() == 0 {
+		return nil, fmt.Errorf("mining: empty training set")
+	}
+	nb := &NaiveBayes{
+		target:    target,
+		prior:     map[string]float64{},
+		gauss:     map[string]map[string][2]float64{},
+		cat:       map[string]map[string]map[string]float64{},
+		catDomain: map[string]int{},
+	}
+	byClass := map[string][]int{}
+	for i := 0; i < d.Rows(); i++ {
+		c := d.Cat(i, tj)
+		byClass[c] = append(byClass[c], i)
+	}
+	for c := range byClass {
+		nb.classes = append(nb.classes, c)
+	}
+	sort.Strings(nb.classes)
+	// Categorical domains for smoothing.
+	for j := 0; j < d.Cols(); j++ {
+		if j == tj || d.Attr(j).Kind == dataset.Numeric {
+			continue
+		}
+		vals := map[string]bool{}
+		for i := 0; i < d.Rows(); i++ {
+			vals[d.Cat(i, j)] = true
+		}
+		nb.catDomain[d.Attr(j).Name] = len(vals)
+	}
+	n := float64(d.Rows())
+	for _, c := range nb.classes {
+		rows := byClass[c]
+		nb.prior[c] = float64(len(rows)) / n
+		nb.gauss[c] = map[string][2]float64{}
+		nb.cat[c] = map[string]map[string]float64{}
+		for j := 0; j < d.Cols(); j++ {
+			if j == tj {
+				continue
+			}
+			name := d.Attr(j).Name
+			if d.Attr(j).Kind == dataset.Numeric {
+				xs := make([]float64, len(rows))
+				for t, i := range rows {
+					xs[t] = d.Float(i, j)
+				}
+				sd := stats.StdDev(xs)
+				if sd < 1e-9 {
+					sd = 1e-9
+				}
+				nb.gauss[c][name] = [2]float64{stats.Mean(xs), sd}
+			} else {
+				counts := map[string]float64{}
+				for _, i := range rows {
+					counts[d.Cat(i, j)]++
+				}
+				probs := map[string]float64{}
+				dom := float64(nb.catDomain[name])
+				for v, cnt := range counts {
+					probs[v] = (cnt + 1) / (float64(len(rows)) + dom)
+				}
+				nb.cat[c][name] = probs
+			}
+		}
+	}
+	return nb, nil
+}
+
+// Classes returns the class labels seen at training time, sorted.
+func (nb *NaiveBayes) Classes() []string { return append([]string(nil), nb.classes...) }
+
+// LogPrior returns log P(class); unknown classes get a large negative score.
+func (nb *NaiveBayes) LogPrior(class string) float64 {
+	p, ok := nb.prior[class]
+	if !ok || p == 0 {
+		return -1e6
+	}
+	return math.Log(p)
+}
+
+// LogScoreFeaturesOnly returns Σ_j log P(feature_j | class) for record i of
+// d, excluding the class prior — the additive share a party contributes in
+// the vertically partitioned secure classification protocol.
+func (nb *NaiveBayes) LogScoreFeaturesOnly(d *dataset.Dataset, i int, class string) float64 {
+	var lp float64
+	for j := 0; j < d.Cols(); j++ {
+		name := d.Attr(j).Name
+		if name == nb.target {
+			continue
+		}
+		if d.Attr(j).Kind == dataset.Numeric {
+			g, ok := nb.gauss[class][name]
+			if !ok {
+				continue
+			}
+			z := (d.Float(i, j) - g[0]) / g[1]
+			lp += -z*z/2 - math.Log(g[1])
+		} else {
+			probs, ok := nb.cat[class][name]
+			if !ok {
+				continue
+			}
+			p, seen := probs[d.Cat(i, j)]
+			if !seen {
+				p = 1 / (float64(nb.catDomain[name]) + 1)
+			}
+			lp += math.Log(p)
+		}
+	}
+	return lp
+}
+
+// Predict classifies record i of d by maximum posterior log-probability.
+func (nb *NaiveBayes) Predict(d *dataset.Dataset, i int) string {
+	best, bestLP := "", math.Inf(-1)
+	for _, c := range nb.classes {
+		lp := nb.LogPrior(c) + nb.LogScoreFeaturesOnly(d, i, c)
+		if lp > bestLP {
+			best, bestLP = c, lp
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of records of d classified correctly.
+func (nb *NaiveBayes) Accuracy(d *dataset.Dataset) (float64, error) {
+	tj := d.Index(nb.target)
+	if tj < 0 {
+		return 0, fmt.Errorf("mining: evaluation set lacks target %q", nb.target)
+	}
+	if d.Rows() == 0 {
+		return 0, fmt.Errorf("mining: empty evaluation set")
+	}
+	var hits float64
+	for i := 0; i < d.Rows(); i++ {
+		if nb.Predict(d, i) == d.Cat(i, tj) {
+			hits++
+		}
+	}
+	return hits / float64(d.Rows()), nil
+}

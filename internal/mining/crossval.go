@@ -1,0 +1,52 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privacy3d/internal/dataset"
+)
+
+// CrossValidateTree estimates a decision tree's generalisation accuracy by
+// k-fold cross validation, the standard protocol for the utility
+// comparisons in the PPDM experiments (train on k−1 folds, test on the held
+// out one, average).
+func CrossValidateTree(d *dataset.Dataset, target string, folds int, opt TreeOptions, rng *rand.Rand) (float64, error) {
+	return crossValidate(d, target, folds, rng, func(train *dataset.Dataset) (accuracyScorer, error) {
+		return TrainTree(train, target, opt)
+	})
+}
+
+type accuracyScorer interface {
+	Accuracy(*dataset.Dataset, string) (float64, error)
+}
+
+func crossValidate(d *dataset.Dataset, target string, folds int, rng *rand.Rand,
+	train func(*dataset.Dataset) (accuracyScorer, error)) (float64, error) {
+	if d.Index(target) < 0 {
+		return 0, fmt.Errorf("mining: unknown target %q", target)
+	}
+	idx, err := d.Folds(folds, rng)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for f := range idx {
+		var trainRows []int
+		for g, rows := range idx {
+			if g != f {
+				trainRows = append(trainRows, rows...)
+			}
+		}
+		model, err := train(d.Select(trainRows))
+		if err != nil {
+			return 0, fmt.Errorf("mining: fold %d: %w", f, err)
+		}
+		acc, err := model.Accuracy(d.Select(idx[f]), target)
+		if err != nil {
+			return 0, fmt.Errorf("mining: fold %d: %w", f, err)
+		}
+		total += acc
+	}
+	return total / float64(folds), nil
+}

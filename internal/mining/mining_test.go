@@ -1,0 +1,298 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+// labeled builds a classification dataset: class "hi" iff
+// 0.6·x1 + 0.4·x2 + ε > threshold, a smooth boundary both classifiers can
+// approximate.
+func labeled(n int, seed uint64, noiseSD float64) *dataset.Dataset {
+	rng := dataset.NewRand(seed)
+	attrs := []dataset.Attribute{
+		{Name: "x1", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric},
+		{Name: "x2", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric},
+		{Name: "seg", Role: dataset.NonConfidential, Kind: dataset.Nominal},
+		{Name: "class", Role: dataset.Confidential, Kind: dataset.Nominal},
+	}
+	d := dataset.New(attrs...)
+	for i := 0; i < n; i++ {
+		x1 := dataset.Normal(rng, 50, 15)
+		x2 := dataset.Normal(rng, 30, 10)
+		seg := "a"
+		if rng.Float64() < 0.5 {
+			seg = "b"
+		}
+		score := 0.6*x1 + 0.4*x2 + dataset.Normal(rng, 0, noiseSD)
+		class := "lo"
+		if score > 42 {
+			class = "hi"
+		}
+		d.MustAppend(x1, x2, seg, class)
+	}
+	return d
+}
+
+func TestTrainTreeLearnsBoundary(t *testing.T) {
+	train := labeled(1500, 1, 2)
+	test := labeled(600, 2, 2)
+	tree, err := TrainTree(train, "class", TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tree.Accuracy(test, "class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("tree accuracy = %v, want ≥ 0.9", acc)
+	}
+	if tree.Depth() == 0 {
+		t.Error("tree degenerated to a leaf")
+	}
+}
+
+func TestTrainTreeCategoricalSplit(t *testing.T) {
+	// Class fully determined by a categorical attribute.
+	attrs := []dataset.Attribute{
+		{Name: "color", Kind: dataset.Nominal},
+		{Name: "class", Kind: dataset.Nominal},
+	}
+	d := dataset.New(attrs...)
+	for i := 0; i < 30; i++ {
+		if i%2 == 0 {
+			d.MustAppend("red", "warm")
+		} else {
+			d.MustAppend("blue", "cold")
+		}
+	}
+	tree, err := TrainTree(d, "class", TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := tree.Accuracy(d, "class")
+	if acc != 1 {
+		t.Errorf("deterministic mapping accuracy = %v, want 1", acc)
+	}
+	// Unseen category falls back to majority default.
+	probe := dataset.New(attrs...)
+	probe.MustAppend("green", "warm")
+	if got := tree.Predict(probe, 0); got != "warm" && got != "cold" {
+		t.Errorf("unseen category predicted %q", got)
+	}
+}
+
+func TestTrainTreeValidation(t *testing.T) {
+	d := labeled(50, 3, 1)
+	if _, err := TrainTree(d, "nope", TreeOptions{}); err == nil {
+		t.Error("accepted unknown target")
+	}
+	if _, err := TrainTree(d, "x1", TreeOptions{}); err == nil {
+		t.Error("accepted numeric target")
+	}
+	empty := dataset.New(d.Attrs()...)
+	if _, err := TrainTree(empty, "class", TreeOptions{}); err == nil {
+		t.Error("accepted empty training set")
+	}
+	if _, err := (&TreeNode{Leaf: true, Class: "x"}).Accuracy(empty, "class"); err == nil {
+		t.Error("accepted empty evaluation set")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	train := labeled(800, 5, 5)
+	tree, err := TrainTree(train, "class", TreeOptions{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 2 {
+		t.Errorf("depth = %d, want ≤ 2", tree.Depth())
+	}
+}
+
+func TestReconstructedTreeBeatsNaiveNoisyTraining(t *testing.T) {
+	// The AS2000 claim the paper leans on: decision trees "properly run on
+	// the masked data" after distribution reconstruction. Add heavy noise
+	// to the training attributes, then compare a tree trained directly on
+	// the noisy data with one trained via reconstruction, both evaluated
+	// on clean test data.
+	clean := labeled(3000, 7, 1)
+	test := labeled(1000, 8, 1)
+	rng := dataset.NewRand(9)
+	sd1 := 30.0
+	sd2 := 20.0
+	noisy := clean.Clone()
+	for i := 0; i < noisy.Rows(); i++ {
+		noisy.SetFloat(i, 0, noisy.Float(i, 0)+sd1*rng.NormFloat64())
+		noisy.SetFloat(i, 1, noisy.Float(i, 1)+sd2*rng.NormFloat64())
+	}
+	naive, err := TrainTree(noisy, "class", TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := TrainTreeOnReconstructed(noisy, "class",
+		map[string]float64{"x1": sd1, "x2": sd2}, 30, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accNaive, _ := naive.Accuracy(test, "class")
+	accRec, _ := rec.Accuracy(test, "class")
+	if accRec <= accNaive {
+		t.Errorf("reconstruction did not help: naive %v vs reconstructed %v", accNaive, accRec)
+	}
+	if accRec < 0.8 {
+		t.Errorf("reconstructed-tree accuracy = %v, want ≥ 0.8", accRec)
+	}
+}
+
+func TestReconstructedTreeValidation(t *testing.T) {
+	d := labeled(50, 11, 1)
+	if _, err := TrainTreeOnReconstructed(d, "nope", nil, 10, TreeOptions{}); err == nil {
+		t.Error("accepted unknown target")
+	}
+	if _, err := TrainTreeOnReconstructed(d, "x1", nil, 10, TreeOptions{}); err == nil {
+		t.Error("accepted numeric target")
+	}
+	// Missing noiseSD entries mean "no noise on that column" — allowed.
+	if _, err := TrainTreeOnReconstructed(d, "class", map[string]float64{}, 10, TreeOptions{}); err != nil {
+		t.Errorf("no-noise training failed: %v", err)
+	}
+}
+
+func TestAprioriKnownLattice(t *testing.T) {
+	txs := []Transaction{
+		{"bread", "milk"},
+		{"bread", "diapers", "beer", "eggs"},
+		{"milk", "diapers", "beer", "cola"},
+		{"bread", "milk", "diapers", "beer"},
+		{"bread", "milk", "diapers", "cola"},
+	}
+	freq, err := Apriori(txs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySet := map[string]int{}
+	for _, f := range freq {
+		bySet[f.Items.Key()] = f.Support
+	}
+	checks := map[string]int{
+		"bread":           4,
+		"milk":            4,
+		"diapers":         4,
+		"beer":            3,
+		"beer\x1fdiapers": 3,
+		"bread\x1fmilk":   3,
+		"diapers\x1fmilk": 3,
+	}
+	for k, want := range checks {
+		if got := bySet[k]; got != want {
+			t.Errorf("support(%q) = %d, want %d", k, got, want)
+		}
+	}
+	if _, ok := bySet["beer\x1fmilk"]; ok {
+		t.Error("beer+milk should be infrequent at minsup 3")
+	}
+	if _, err := Apriori(txs, 0); err == nil {
+		t.Error("accepted minSupport 0")
+	}
+}
+
+func TestMineRules(t *testing.T) {
+	txs := []Transaction{
+		{"bread", "milk"},
+		{"bread", "diapers", "beer", "eggs"},
+		{"milk", "diapers", "beer", "cola"},
+		{"bread", "milk", "diapers", "beer"},
+		{"bread", "milk", "diapers", "cola"},
+	}
+	rules, err := MineRules(txs, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == "beer" &&
+			r.Consequent[0] == "diapers" {
+			found = true
+			if r.Confidence != 1 {
+				t.Errorf("conf(beer⇒diapers) = %v, want 1", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Error("beer ⇒ diapers not mined")
+	}
+	if _, err := MineRules(txs, 3, 0); err == nil {
+		t.Error("accepted minConfidence 0")
+	}
+	if _, err := MineRules(txs, 3, 1.5); err == nil {
+		t.Error("accepted minConfidence > 1")
+	}
+}
+
+func TestNaiveBayes(t *testing.T) {
+	train := labeled(2000, 13, 2)
+	test := labeled(800, 14, 2)
+	nb, err := TrainNaiveBayes(train, "class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := nb.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("naive Bayes accuracy = %v, want ≥ 0.85", acc)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	d := labeled(30, 15, 1)
+	if _, err := TrainNaiveBayes(d, "nope"); err == nil {
+		t.Error("accepted unknown target")
+	}
+	if _, err := TrainNaiveBayes(d, "x1"); err == nil {
+		t.Error("accepted numeric target")
+	}
+	empty := dataset.New(d.Attrs()...)
+	if _, err := TrainNaiveBayes(empty, "class"); err == nil {
+		t.Error("accepted empty training set")
+	}
+}
+
+func TestNaiveBayesHandlesUnseenCategory(t *testing.T) {
+	train := labeled(500, 16, 1)
+	nb, err := TrainNaiveBayes(train, "class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := dataset.New(train.Attrs()...)
+	probe.MustAppend(55.0, 32.0, "never-seen", "hi")
+	got := nb.Predict(probe, 0)
+	if got != "hi" && got != "lo" {
+		t.Errorf("prediction %q not a known class", got)
+	}
+	if math.IsNaN(float64(len(got))) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestCrossValidateTree(t *testing.T) {
+	d := labeled(600, 21, 2)
+	acc, err := CrossValidateTree(d, "class", 5, TreeOptions{}, dataset.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 || acc > 1 {
+		t.Errorf("cross-validated accuracy = %v", acc)
+	}
+	if _, err := CrossValidateTree(d, "nope", 5, TreeOptions{}, nil); err == nil {
+		t.Error("accepted unknown target")
+	}
+	if _, err := CrossValidateTree(d, "class", 1, TreeOptions{}, nil); err == nil {
+		t.Error("accepted 1 fold")
+	}
+}

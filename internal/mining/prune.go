@@ -1,0 +1,72 @@
+package mining
+
+import (
+	"fmt"
+
+	"privacy3d/internal/dataset"
+)
+
+// Prune applies reduced-error pruning: every subtree whose replacement by a
+// majority-class leaf does not increase error on the validation set is
+// collapsed, bottom-up. AS2000-style training on reconstructed data needs
+// this — the corrected records carry only marginal information, so an
+// unpruned tree overfits assignment noise.
+func Prune(t *TreeNode, val *dataset.Dataset, target string) (*TreeNode, error) {
+	tj := val.Index(target)
+	if tj < 0 {
+		return nil, fmt.Errorf("mining: validation set lacks target %q", target)
+	}
+	rows := make([]int, val.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	return pruneNode(t, val, tj, rows), nil
+}
+
+func pruneNode(t *TreeNode, val *dataset.Dataset, tj int, rows []int) *TreeNode {
+	if t.Leaf {
+		return t
+	}
+	j := val.Index(t.Attr)
+	if j < 0 {
+		// Attribute absent from validation data: play safe, collapse.
+		return &TreeNode{Leaf: true, Class: t.Default}
+	}
+	// Route validation rows and prune children first.
+	if t.Branches != nil {
+		byVal := map[string][]int{}
+		for _, i := range rows {
+			v := val.Cat(i, j)
+			byVal[v] = append(byVal[v], i)
+		}
+		for v, child := range t.Branches {
+			t.Branches[v] = pruneNode(child, val, tj, byVal[v])
+		}
+	} else {
+		var left, right []int
+		for _, i := range rows {
+			if val.Float(i, j) <= t.Threshold {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		t.Left = pruneNode(t.Left, val, tj, left)
+		t.Right = pruneNode(t.Right, val, tj, right)
+	}
+	// Compare subtree errors with a majority leaf on this node's rows.
+	subErr := 0
+	leafErr := 0
+	for _, i := range rows {
+		if t.Predict(val, i) != val.Cat(i, tj) {
+			subErr++
+		}
+		if t.Default != val.Cat(i, tj) {
+			leafErr++
+		}
+	}
+	if leafErr <= subErr {
+		return &TreeNode{Leaf: true, Class: t.Default}
+	}
+	return t
+}

@@ -1,0 +1,128 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/noise"
+)
+
+// TrainTreeOnReconstructed implements the Agrawal–Srikant (SIGMOD 2000)
+// "ByClass" privacy-preserving decision-tree construction: the miner only
+// holds noise-added training data, reconstructs the per-class distribution
+// of each numeric attribute with the Bayesian EM procedure, replaces each
+// class's noisy attribute values by the matching quantiles of the
+// reconstructed distribution, and trains an ordinary tree on the corrected
+// data. noiseSD values give the (known) noise standard deviation per numeric
+// column name.
+func TrainTreeOnReconstructed(noisy *dataset.Dataset, target string, noiseSD map[string]float64, bins int, opt TreeOptions) (*TreeNode, error) {
+	tj := noisy.Index(target)
+	if tj < 0 {
+		return nil, fmt.Errorf("mining: unknown target %q", target)
+	}
+	if noisy.Attr(tj).Kind == dataset.Numeric {
+		return nil, fmt.Errorf("mining: target %q must be categorical", target)
+	}
+	corrected := noisy.Clone()
+	// Partition rows by class.
+	byClass := map[string][]int{}
+	for i := 0; i < noisy.Rows(); i++ {
+		c := noisy.Cat(i, tj)
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for j := 0; j < noisy.Cols(); j++ {
+		if j == tj || noisy.Attr(j).Kind != dataset.Numeric {
+			continue
+		}
+		sd, ok := noiseSD[noisy.Attr(j).Name]
+		if !ok || sd <= 0 {
+			continue // attribute released without noise
+		}
+		// One shared support per attribute: all per-class reconstructions
+		// land on the same bin grid, so corrected values cannot
+		// fingerprint a class by its private quantile grid.
+		col := noisy.NumColumn(j)
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		lo -= 2 * sd
+		hi += 2 * sd
+		for _, c := range classes {
+			rows := byClass[c]
+			if len(rows) < 10 {
+				continue // too little data to reconstruct
+			}
+			w := make([]float64, len(rows))
+			for t, i := range rows {
+				w[t] = noisy.Float(i, j)
+			}
+			rec, err := noise.NewReconstructor(bins, sd).ReconstructRange(w, lo, hi)
+			if err != nil {
+				return nil, fmt.Errorf("mining: reconstruct %q class %q: %w", noisy.Attr(j).Name, c, err)
+			}
+			// Replace noisy values by reconstructed quantiles, keeping
+			// each record's rank within its class.
+			order := make([]int, len(rows))
+			for t := range order {
+				order[t] = t
+			}
+			sort.SliceStable(order, func(a, b int) bool { return w[order[a]] < w[order[b]] })
+			q := quantilesFromDistribution(rec, len(rows))
+			for rnk, t := range order {
+				corrected.SetFloat(rows[t], j, q[rnk])
+			}
+		}
+	}
+	// The corrected records carry marginal information only (within-class
+	// ranks come from the noisy data), so an unpruned tree overfits. Hold
+	// out 30 % for reduced-error pruning, as AS2000 rely on pruning.
+	n := corrected.Rows()
+	cut := n * 7 / 10
+	if cut < 1 || cut >= n {
+		return TrainTree(corrected, target, opt)
+	}
+	trainRows := make([]int, 0, cut)
+	valRows := make([]int, 0, n-cut)
+	// Stride split so both parts cover all classes regardless of order.
+	for i := 0; i < n; i++ {
+		if i%10 < 7 {
+			trainRows = append(trainRows, i)
+		} else {
+			valRows = append(valRows, i)
+		}
+	}
+	tree, err := TrainTree(corrected.Select(trainRows), target, opt)
+	if err != nil {
+		return nil, err
+	}
+	return Prune(tree, corrected.Select(valRows), target)
+}
+
+// quantilesFromDistribution returns n values spaced at the (r+0.5)/n
+// quantiles of the reconstructed distribution.
+func quantilesFromDistribution(rec *noise.ReconstructResult, n int) []float64 {
+	out := make([]float64, n)
+	cum := 0.0
+	b := 0
+	for r := 0; r < n; r++ {
+		p := (float64(r) + 0.5) / float64(n)
+		for b < len(rec.Probs)-1 && cum+rec.Probs[b] < p {
+			cum += rec.Probs[b]
+			b++
+		}
+		out[r] = rec.Support[b]
+	}
+	return out
+}

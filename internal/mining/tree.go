@@ -1,0 +1,301 @@
+// Package mining provides the data-mining substrate the PPDM methods are
+// evaluated on: ID3-style decision trees (plain, and trained over
+// Agrawal–Srikant reconstructed distributions — the designated use of the
+// paper's [5]), Apriori association-rule mining (the substrate of rule
+// hiding, [25]) and a naive Bayes classifier.
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"privacy3d/internal/dataset"
+)
+
+// TreeNode is a node of a decision tree. Leaves carry a Class; internal
+// nodes split on an attribute, either by threshold (numeric) or by value
+// (categorical).
+type TreeNode struct {
+	// Leaf fields.
+	Leaf  bool
+	Class string
+	// Split fields.
+	Attr      string
+	Threshold float64   // numeric split: left if value <= Threshold
+	Left      *TreeNode // numeric branches
+	Right     *TreeNode
+	Branches  map[string]*TreeNode // categorical branches by value
+	// Default handles unseen categorical values at prediction time.
+	Default string
+}
+
+// TreeOptions bounds tree growth.
+type TreeOptions struct {
+	MaxDepth   int // default 6
+	MinSamples int // default 4: do not split smaller nodes
+}
+
+func (o *TreeOptions) normalize() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 6
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 4
+	}
+}
+
+// TrainTree builds an ID3/C4.5-style decision tree predicting the
+// categorical target column from every other column (numeric attributes use
+// the best binary threshold split; categorical ones split per value).
+func TrainTree(d *dataset.Dataset, target string, opt TreeOptions) (*TreeNode, error) {
+	opt.normalize()
+	tj := d.Index(target)
+	if tj < 0 {
+		return nil, fmt.Errorf("mining: unknown target %q", target)
+	}
+	if d.Attr(tj).Kind == dataset.Numeric {
+		return nil, fmt.Errorf("mining: target %q must be categorical", target)
+	}
+	if d.Rows() == 0 {
+		return nil, fmt.Errorf("mining: empty training set")
+	}
+	rows := make([]int, d.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	var features []int
+	for j := 0; j < d.Cols(); j++ {
+		if j != tj {
+			features = append(features, j)
+		}
+	}
+	return grow(d, tj, rows, features, opt.MaxDepth, opt.MinSamples), nil
+}
+
+func grow(d *dataset.Dataset, tj int, rows, features []int, depth, minSamples int) *TreeNode {
+	maj, pure := majorityClass(d, tj, rows)
+	if pure || depth == 0 || len(rows) < minSamples || len(features) == 0 {
+		return &TreeNode{Leaf: true, Class: maj}
+	}
+	baseH := classEntropy(d, tj, rows)
+	bestGain := 1e-9
+	var bestAttr = -1
+	var bestThreshold float64
+	var bestIsNum bool
+	for _, j := range features {
+		if d.Attr(j).Kind == dataset.Numeric {
+			th, gain := bestNumericSplit(d, tj, j, rows, baseH)
+			if gain > bestGain {
+				bestGain, bestAttr, bestThreshold, bestIsNum = gain, j, th, true
+			}
+		} else {
+			gain := categoricalGain(d, tj, j, rows, baseH)
+			if gain > bestGain {
+				bestGain, bestAttr, bestIsNum = gain, j, false
+			}
+		}
+	}
+	if bestAttr < 0 {
+		return &TreeNode{Leaf: true, Class: maj}
+	}
+	node := &TreeNode{Attr: d.Attr(bestAttr).Name, Default: maj}
+	if bestIsNum {
+		node.Threshold = bestThreshold
+		var left, right []int
+		for _, i := range rows {
+			if d.Float(i, bestAttr) <= bestThreshold {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			return &TreeNode{Leaf: true, Class: maj}
+		}
+		node.Left = grow(d, tj, left, features, depth-1, minSamples)
+		node.Right = grow(d, tj, right, features, depth-1, minSamples)
+		return node
+	}
+	node.Branches = map[string]*TreeNode{}
+	byVal := map[string][]int{}
+	for _, i := range rows {
+		v := d.Cat(i, bestAttr)
+		byVal[v] = append(byVal[v], i)
+	}
+	// Categorical attributes are consumed once per path (ID3 style).
+	var rest []int
+	for _, j := range features {
+		if j != bestAttr {
+			rest = append(rest, j)
+		}
+	}
+	for v, sub := range byVal {
+		node.Branches[v] = grow(d, tj, sub, rest, depth-1, minSamples)
+	}
+	return node
+}
+
+func majorityClass(d *dataset.Dataset, tj int, rows []int) (string, bool) {
+	counts := map[string]int{}
+	for _, i := range rows {
+		counts[d.Cat(i, tj)]++
+	}
+	keys := make([]string, 0, len(counts))
+	for v := range counts {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	best, bestC := "", -1
+	for _, v := range keys {
+		if counts[v] > bestC {
+			best, bestC = v, counts[v]
+		}
+	}
+	return best, len(counts) <= 1
+}
+
+func classEntropy(d *dataset.Dataset, tj int, rows []int) float64 {
+	counts := map[string]float64{}
+	for _, i := range rows {
+		counts[d.Cat(i, tj)]++
+	}
+	n := float64(len(rows))
+	var h float64
+	for _, c := range counts {
+		p := c / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+func bestNumericSplit(d *dataset.Dataset, tj, j int, rows []int, baseH float64) (threshold, gain float64) {
+	type pair struct {
+		v float64
+		c string
+	}
+	ps := make([]pair, len(rows))
+	for t, i := range rows {
+		ps[t] = pair{d.Float(i, j), d.Cat(i, tj)}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].v < ps[b].v })
+	total := map[string]float64{}
+	for _, p := range ps {
+		total[p.c]++
+	}
+	left := map[string]float64{}
+	n := float64(len(ps))
+	bestGain := -1.0
+	var bestTh float64
+	var nl float64
+	for t := 0; t < len(ps)-1; t++ {
+		left[ps[t].c]++
+		nl++
+		if ps[t].v == ps[t+1].v {
+			continue
+		}
+		hl, hr := 0.0, 0.0
+		for c, cnt := range total {
+			l := left[c]
+			r := cnt - l
+			if l > 0 {
+				p := l / nl
+				hl -= p * math.Log2(p)
+			}
+			if r > 0 {
+				p := r / (n - nl)
+				hr -= p * math.Log2(p)
+			}
+		}
+		g := baseH - (nl/n*hl + (n-nl)/n*hr)
+		if g > bestGain {
+			bestGain = g
+			bestTh = (ps[t].v + ps[t+1].v) / 2
+		}
+	}
+	return bestTh, bestGain
+}
+
+func categoricalGain(d *dataset.Dataset, tj, j int, rows []int, baseH float64) float64 {
+	byVal := map[string][]int{}
+	for _, i := range rows {
+		byVal[d.Cat(i, j)] = append(byVal[d.Cat(i, j)], i)
+	}
+	if len(byVal) < 2 {
+		return -1
+	}
+	n := float64(len(rows))
+	var cond float64
+	for _, sub := range byVal {
+		cond += float64(len(sub)) / n * classEntropy(d, tj, sub)
+	}
+	return baseH - cond
+}
+
+// Predict classifies record i of d.
+func (t *TreeNode) Predict(d *dataset.Dataset, i int) string {
+	node := t
+	for !node.Leaf {
+		j := d.Index(node.Attr)
+		if j < 0 {
+			return node.Default
+		}
+		if node.Branches != nil {
+			next, ok := node.Branches[d.Cat(i, j)]
+			if !ok {
+				return node.Default
+			}
+			node = next
+			continue
+		}
+		if d.Float(i, j) <= node.Threshold {
+			node = node.Left
+		} else {
+			node = node.Right
+		}
+	}
+	return node.Class
+}
+
+// Accuracy returns the fraction of records of d whose target column the
+// tree predicts correctly.
+func (t *TreeNode) Accuracy(d *dataset.Dataset, target string) (float64, error) {
+	tj := d.Index(target)
+	if tj < 0 {
+		return 0, fmt.Errorf("mining: unknown target %q", target)
+	}
+	if d.Rows() == 0 {
+		return 0, fmt.Errorf("mining: empty evaluation set")
+	}
+	var hits float64
+	for i := 0; i < d.Rows(); i++ {
+		if t.Predict(d, i) == d.Cat(i, tj) {
+			hits++
+		}
+	}
+	return hits / float64(d.Rows()), nil
+}
+
+// Depth returns the depth of the tree (a single leaf has depth 0).
+func (t *TreeNode) Depth() int {
+	if t.Leaf {
+		return 0
+	}
+	max := 0
+	if t.Left != nil {
+		if d := t.Left.Depth(); d > max {
+			max = d
+		}
+	}
+	if t.Right != nil {
+		if d := t.Right.Depth(); d > max {
+			max = d
+		}
+	}
+	for _, b := range t.Branches {
+		if d := b.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,313 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+func TestAddUncorrelatedPreservesMeanApprox(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 3000, Dims: 2, Seed: 1})
+	rng := dataset.NewRand(2)
+	m, err := AddUncorrelated(d, []int{0, 1}, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		mo, mm := stats.Mean(d.NumColumn(j)), stats.Mean(m.NumColumn(j))
+		if math.Abs(mo-mm)/math.Abs(mo) > 0.02 {
+			t.Errorf("col %d mean drifted %v → %v", j, mo, mm)
+		}
+		// Variance inflated by roughly (1 + amplitude²).
+		vo, vm := stats.Variance(d.NumColumn(j)), stats.Variance(m.NumColumn(j))
+		if vm <= vo {
+			t.Errorf("col %d variance should inflate: %v → %v", j, vo, vm)
+		}
+	}
+	if dataset.EqualValues(d, m) {
+		t.Error("no noise added")
+	}
+	if _, err := AddUncorrelated(d, []int{0}, -1, rng); err == nil {
+		t.Error("accepted negative amplitude")
+	}
+}
+
+func TestAddUncorrelatedZeroAmplitudeIsIdentity(t *testing.T) {
+	d := dataset.Dataset1()
+	m, err := AddUncorrelated(d, d.QuasiIdentifiers(), 0, dataset.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dataset.EqualValues(d, m) {
+		t.Error("amplitude 0 changed data")
+	}
+}
+
+func TestAddCorrelatedPreservesCorrelation(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 5000, Dims: 3, Seed: 5, Corr: 0.8})
+	cols := []int{0, 1, 2}
+	rng := dataset.NewRand(7)
+	m, err := AddCorrelated(d, cols, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := stats.Correlation(d.NumColumn(0), d.NumColumn(1))
+	rm := stats.Correlation(m.NumColumn(0), m.NumColumn(1))
+	if math.Abs(ro-rm) > 0.07 {
+		t.Errorf("correlation drifted %v → %v under correlated noise", ro, rm)
+	}
+	// Uncorrelated noise at the same amplitude attenuates the correlation
+	// toward 0 by factor 1/(1+a²); verify correlated masking does better.
+	mu, err := AddUncorrelated(d, cols, 0.5, dataset.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru := stats.Correlation(mu.NumColumn(0), mu.NumColumn(1))
+	if math.Abs(ro-rm) > math.Abs(ro-ru) {
+		t.Errorf("correlated noise (Δ=%v) should preserve correlation better than uncorrelated (Δ=%v)",
+			math.Abs(ro-rm), math.Abs(ro-ru))
+	}
+	if _, err := AddCorrelated(d, nil, 0.5, rng); err == nil {
+		t.Error("accepted empty column list")
+	}
+	if _, err := AddCorrelated(d, cols, -0.1, rng); err == nil {
+		t.Error("accepted negative amplitude")
+	}
+}
+
+func TestLaplaceSymmetricZeroMean(t *testing.T) {
+	rng := dataset.NewRand(11)
+	var s float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		s += Laplace(rng, 2)
+	}
+	if math.Abs(s/float64(n)) > 0.1 {
+		t.Errorf("Laplace mean = %v, want ≈ 0", s/float64(n))
+	}
+}
+
+func TestReconstructBimodal(t *testing.T) {
+	// AS2000's headline property: the original distribution is recoverable
+	// from noisy data. Use a bimodal X that plain noisy data obscures.
+	rng := dataset.NewRand(13)
+	n := 4000
+	x := make([]float64, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = dataset.Normal(rng, -5, 1)
+		} else {
+			x[i] = dataset.Normal(rng, 5, 1)
+		}
+	}
+	noiseSD := 2.0
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = x[i] + noiseSD*rng.NormFloat64()
+	}
+	rec := NewReconstructor(40, noiseSD)
+	res, err := rec.Reconstruct(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Error("no EM iterations ran")
+	}
+	// Reconstruction should be closer to the true distribution than the
+	// raw noisy histogram is.
+	tvRec := res.TVDistanceTo(x)
+	empNoisy := res.TVDistanceTo(w)
+	if tvRec >= empNoisy {
+		t.Errorf("reconstruction TV %v not better than noisy empirical TV %v", tvRec, empNoisy)
+	}
+	// Mean preserved.
+	if math.Abs(res.Mean()-stats.Mean(x)) > 0.5 {
+		t.Errorf("reconstructed mean %v vs true %v", res.Mean(), stats.Mean(x))
+	}
+	// The reconstructed CDF should show the bimodal gap: little mass near 0.
+	massMiddle := res.CDFAt(2) - res.CDFAt(-2)
+	if massMiddle > 0.15 {
+		t.Errorf("reconstruction did not recover bimodality: middle mass %v", massMiddle)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	if _, err := NewReconstructor(10, 1).Reconstruct(nil); err == nil {
+		t.Error("accepted empty sample")
+	}
+	if _, err := NewReconstructor(0, 1).Reconstruct([]float64{1}); err == nil {
+		t.Error("accepted 0 bins")
+	}
+	if _, err := NewReconstructor(10, 0).Reconstruct([]float64{1}); err == nil {
+		t.Error("accepted 0 noise sd")
+	}
+}
+
+func TestSparseDisclosureDimensionalityEffect(t *testing.T) {
+	// The [11] effect: with fixed relative noise, higher dimensionality
+	// yields a higher rare-combination disclosure rate.
+	rate := func(dims int) float64 {
+		d := dataset.SyntheticCensus(dataset.CensusConfig{N: 800, Dims: dims, Seed: 17})
+		cols := make([]int, dims)
+		for j := range cols {
+			cols[j] = j
+		}
+		m, err := AddUncorrelated(d, cols, 0.05, dataset.NewRand(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := SparseDisclosure(d.NumericMatrix(cols), m.NumericMatrix(cols), 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.DisclosureRate
+	}
+	r2, r8 := rate(2), rate(8)
+	if r8 <= r2 {
+		t.Errorf("disclosure rate should grow with dimension: d=2 → %v, d=8 → %v", r2, r8)
+	}
+}
+
+func TestSparseDisclosureNoiseEffect(t *testing.T) {
+	// More noise, less disclosure.
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 800, Dims: 6, Seed: 29})
+	cols := []int{0, 1, 2, 3, 4, 5}
+	orig := d.NumericMatrix(cols)
+	rate := func(amp float64) float64 {
+		m, err := AddUncorrelated(d, cols, amp, dataset.NewRand(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := SparseDisclosure(orig, m.NumericMatrix(cols), 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.DisclosureRate
+	}
+	low, high := rate(0.02), rate(1.5)
+	if high >= low {
+		t.Errorf("disclosure should drop with noise: amp 0.02 → %v, amp 1.5 → %v", low, high)
+	}
+}
+
+func TestSparseDisclosureValidation(t *testing.T) {
+	if _, err := SparseDisclosure(nil, nil, 4, 1); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := SparseDisclosure([][]float64{{1}}, [][]float64{}, 4, 1); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	// Constant column must not divide by zero.
+	o := [][]float64{{1, 5}, {2, 5}}
+	m := [][]float64{{1, 5}, {2, 5}}
+	rep, err := SparseDisclosure(o, m, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RetentionRate != 1 {
+		t.Errorf("identity masking retention = %v, want 1", rep.RetentionRate)
+	}
+}
+
+func TestDenoiseImprovesValueRecovery(t *testing.T) {
+	// The attack the masking literature warns about: with heavy noise, the
+	// shrinkage estimate is closer to the truth (in mean squared error)
+	// than the raw noisy values.
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 3000, Dims: 2, Seed: 41})
+	cols := []int{0, 1}
+	amp := 1.0
+	m, err := AddUncorrelated(d, cols, amp, dataset.NewRand(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := map[string]float64{}
+	for _, j := range cols {
+		levels[d.Attr(j).Name] = amp * stats.StdDev(d.NumColumn(j))
+	}
+	den, err := Denoise(m, cols, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := func(rel *dataset.Dataset) float64 {
+		var s float64
+		for _, j := range cols {
+			oc, rc := d.NumColumn(j), rel.NumColumn(j)
+			for i := range oc {
+				diff := oc[i] - rc[i]
+				s += diff * diff
+			}
+		}
+		return s
+	}
+	if mse(den) >= mse(m) {
+		t.Errorf("denoising did not reduce MSE: %v vs %v", mse(den), mse(m))
+	}
+}
+
+func TestDenoiseValidation(t *testing.T) {
+	d := dataset.Dataset1()
+	if _, err := Denoise(d, nil, nil); err == nil {
+		t.Error("accepted empty columns")
+	}
+	if _, err := Denoise(d, []int{0}, map[string]float64{}); err == nil {
+		t.Error("accepted missing noise level")
+	}
+	if _, err := Denoise(d, []int{0}, map[string]float64{"height": -1}); err == nil {
+		t.Error("accepted negative noise level")
+	}
+	if _, err := Denoise(d, []int{d.Index("aids")}, map[string]float64{"aids": 1}); err == nil {
+		t.Error("accepted categorical column")
+	}
+	// Noise dominating the signal shrinks to the mean, not beyond.
+	one := dataset.New(dataset.Attribute{Name: "x", Kind: dataset.Numeric})
+	one.MustAppend(1.0)
+	one.MustAppend(2.0)
+	out, err := Denoise(one, []int{0}, map[string]float64{"x": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Float(0, 0) != 1.5 || out.Float(1, 0) != 1.5 {
+		t.Errorf("over-noised denoise = %v, %v (want both 1.5)", out.Float(0, 0), out.Float(1, 0))
+	}
+}
+
+func TestAddMultiplicative(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 2000, Dims: 1, Seed: 51})
+	m, err := AddMultiplicative(d, []int{0}, 0.1, dataset.NewRand(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signs preserved, relative perturbation bounded in probability.
+	big, small := 0.0, 0.0
+	for i := 0; i < d.Rows(); i++ {
+		o, n := d.Float(i, 0), m.Float(i, 0)
+		if o*n < 0 {
+			t.Fatal("multiplicative noise flipped a sign")
+		}
+		rel := math.Abs(n-o) / math.Abs(o)
+		if math.Abs(o) > 100 {
+			big += rel
+		} else {
+			small += rel
+		}
+	}
+	if big == 0 {
+		t.Error("no large values perturbed")
+	}
+	if _, err := AddMultiplicative(d, []int{0}, -1, dataset.NewRand(1)); err == nil {
+		t.Error("accepted negative sigma")
+	}
+	d2 := dataset.Dataset1()
+	if _, err := AddMultiplicative(d2, []int{d2.Index("aids")}, 0.1, dataset.NewRand(1)); err == nil {
+		t.Error("accepted categorical column")
+	}
+	same, err := AddMultiplicative(d, []int{0}, 0, dataset.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dataset.EqualValues(d, same) {
+		t.Error("sigma 0 changed values")
+	}
+}

@@ -1,0 +1,203 @@
+package pir
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Single-server computational PIR following Kushilevitz & Ostrovsky (1997):
+// the database is an s×t bit matrix; the client sends one group element per
+// column, quadratic residues everywhere except a quadratic non-residue at
+// the target column; the server returns one element per row,
+// z_r = Π_c x_c^{M[r][c]} mod N; the client, knowing the factorization,
+// tests the residuosity of z at the target row — z is a non-residue exactly
+// when the target bit is 1. Communication O((s+t)·|N|) ≪ database size.
+
+// CPIRServer holds the public bit matrix. Answer and QueryLog are safe for
+// concurrent use.
+type CPIRServer struct {
+	rows, cols int
+	bits       [][]bool
+	mu         sync.Mutex
+	// queryLog records the column-vector queries received.
+	queryLog [][]*big.Int
+}
+
+// NewCPIRServer builds a server over data laid out row-major as bits. The
+// matrix shape is chosen near-square for balanced communication.
+func NewCPIRServer(bits []bool) (*CPIRServer, error) {
+	if len(bits) == 0 {
+		return nil, fmt.Errorf("pir: empty bit database")
+	}
+	cols := 1
+	for cols*cols < len(bits) {
+		cols++
+	}
+	rows := (len(bits) + cols - 1) / cols
+	m := make([][]bool, rows)
+	for r := range m {
+		m[r] = make([]bool, cols)
+		for c := range m[r] {
+			if idx := r*cols + c; idx < len(bits) {
+				m[r][c] = bits[idx]
+			}
+		}
+	}
+	return &CPIRServer{rows: rows, cols: cols, bits: m}, nil
+}
+
+// Shape returns the matrix dimensions.
+func (s *CPIRServer) Shape() (rows, cols int) { return s.rows, s.cols }
+
+// Answer computes the per-row products for a column query modulo n.
+func (s *CPIRServer) Answer(query []*big.Int, n *big.Int) ([]*big.Int, error) {
+	if len(query) != s.cols {
+		return nil, fmt.Errorf("pir: query has %d columns, want %d", len(query), s.cols)
+	}
+	s.mu.Lock()
+	s.queryLog = append(s.queryLog, append([]*big.Int(nil), query...))
+	s.mu.Unlock()
+	out := make([]*big.Int, s.rows)
+	for r := 0; r < s.rows; r++ {
+		z := big.NewInt(1)
+		for c := 0; c < s.cols; c++ {
+			if s.bits[r][c] {
+				z.Mul(z, query[c])
+				z.Mod(z, n)
+			}
+		}
+		out[r] = z
+	}
+	return out, nil
+}
+
+// QueryLog returns a copy of the queries the server has seen.
+func (s *CPIRServer) QueryLog() [][]*big.Int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]*big.Int(nil), s.queryLog...)
+}
+
+// CPIRClient holds the trapdoor (factorization of N).
+type CPIRClient struct {
+	N, p, q *big.Int
+}
+
+// NewCPIRClient generates a Blum-like modulus of the given size (≥ 256 bits;
+// small sizes for tests only).
+func NewCPIRClient(bits int) (*CPIRClient, error) {
+	if bits < 256 {
+		return nil, fmt.Errorf("pir: modulus must be ≥ 256 bits, got %d", bits)
+	}
+	p, err := rand.Prime(rand.Reader, bits/2)
+	if err != nil {
+		return nil, fmt.Errorf("pir: keygen: %w", err)
+	}
+	q, err := rand.Prime(rand.Reader, bits/2)
+	if err != nil {
+		return nil, fmt.Errorf("pir: keygen: %w", err)
+	}
+	for p.Cmp(q) == 0 {
+		q, err = rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("pir: keygen: %w", err)
+		}
+	}
+	return &CPIRClient{N: new(big.Int).Mul(p, q), p: p, q: q}, nil
+}
+
+// isQR reports whether z is a quadratic residue modulo N (using the
+// factorization). gcd(z, N) = 1 is assumed for honest executions.
+func (c *CPIRClient) isQR(z *big.Int) bool {
+	return big.Jacobi(z, c.p) == 1 && big.Jacobi(z, c.q) == 1
+}
+
+// randomQR returns a uniformly random quadratic residue mod N.
+func (c *CPIRClient) randomQR() (*big.Int, error) {
+	for {
+		r, err := rand.Int(rand.Reader, c.N)
+		if err != nil {
+			return nil, fmt.Errorf("pir: randomness: %w", err)
+		}
+		if r.Sign() == 0 || new(big.Int).GCD(nil, nil, r, c.N).Cmp(big.NewInt(1)) != 0 {
+			continue
+		}
+		return r.Mul(r, r).Mod(r, c.N), nil
+	}
+}
+
+// randomQNR returns a random non-residue with Jacobi symbol +1 (so it is
+// indistinguishable from a residue without the factorization).
+func (c *CPIRClient) randomQNR() (*big.Int, error) {
+	for {
+		r, err := rand.Int(rand.Reader, c.N)
+		if err != nil {
+			return nil, fmt.Errorf("pir: randomness: %w", err)
+		}
+		if r.Sign() == 0 || new(big.Int).GCD(nil, nil, r, c.N).Cmp(big.NewInt(1)) != 0 {
+			continue
+		}
+		if big.Jacobi(r, c.p) == -1 && big.Jacobi(r, c.q) == -1 {
+			return r, nil
+		}
+	}
+}
+
+// RetrieveBit privately fetches bit (row, col) from the server.
+func (c *CPIRClient) RetrieveBit(srv *CPIRServer, row, col int) (bool, error) {
+	rows, cols := srv.Shape()
+	if row < 0 || row >= rows || col < 0 || col >= cols {
+		return false, fmt.Errorf("pir: position (%d,%d) out of %dx%d matrix", row, col, rows, cols)
+	}
+	query := make([]*big.Int, cols)
+	for j := 0; j < cols; j++ {
+		var err error
+		if j == col {
+			query[j], err = c.randomQNR()
+		} else {
+			query[j], err = c.randomQR()
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	answers, err := srv.Answer(query, c.N)
+	if err != nil {
+		return false, err
+	}
+	// Product of residues is a residue; it is a non-residue iff the QNR
+	// factor appears an odd number of times, i.e. iff M[row][col] = 1.
+	return !c.isQR(answers[row]), nil
+}
+
+// RetrieveByte fetches 8 consecutive bits starting at bit offset (one PIR
+// query per bit — the textbook scheme; batching is an optimisation outside
+// the scope of this reproduction).
+func (c *CPIRClient) RetrieveByte(srv *CPIRServer, bitOffset int) (byte, error) {
+	_, cols := srv.Shape()
+	var out byte
+	for b := 0; b < 8; b++ {
+		idx := bitOffset + b
+		bit, err := c.RetrieveBit(srv, idx/cols, idx%cols)
+		if err != nil {
+			return 0, err
+		}
+		if bit {
+			out |= 1 << b
+		}
+	}
+	return out, nil
+}
+
+// BytesToBits expands a byte slice into its little-endian bit sequence.
+func BytesToBits(data []byte) []bool {
+	bits := make([]bool, len(data)*8)
+	for i, by := range data {
+		for b := 0; b < 8; b++ {
+			bits[i*8+b] = by>>b&1 == 1
+		}
+	}
+	return bits
+}

@@ -1,0 +1,183 @@
+package pir
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+)
+
+// newSubsetRNG derives a per-retrieval PRNG so repeated retrievals use
+// fresh, reproducible subsets.
+func newSubsetRNG(seed, counter uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, counter*0x9e3779b97f4a7c15+1))
+}
+
+// HTTP transport for the information-theoretic PIR scheme, so the
+// replicated servers can run as separate processes (or hosts, which is what
+// non-collusion requires in a real deployment). The wire format is JSON:
+// POST /pir with {"subset": base64}, responding {"block": base64}.
+
+// HTTPServer adapts an ITServer to net/http.
+type HTTPServer struct {
+	srv *ITServer
+}
+
+// NewHTTPServer wraps an IT-PIR server for HTTP serving.
+func NewHTTPServer(srv *ITServer) *HTTPServer { return &HTTPServer{srv: srv} }
+
+type pirRequest struct {
+	Subset []byte `json:"subset"`
+}
+
+type pirResponse struct {
+	Block []byte `json:"block"`
+}
+
+type pirMeta struct {
+	Blocks    int `json:"blocks"`
+	BlockSize int `json:"block_size"`
+}
+
+// ServeHTTP handles POST /pir (answer a subset query) and GET /meta
+// (public database shape).
+func (h *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/meta":
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(pirMeta{Blocks: h.srv.Blocks(), BlockSize: h.srv.BlockSize()}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case r.Method == http.MethodPost && r.URL.Path == "/pir":
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var req pirRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		block, err := h.srv.Answer(req.Subset)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(pirResponse{Block: block}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// HTTPClient retrieves blocks privately from replicated HTTP PIR servers.
+type HTTPClient struct {
+	urls      []string
+	client    *http.Client
+	blocks    int
+	blockSize int
+	seed      uint64
+	retrieves uint64
+}
+
+// NewHTTPClient connects to k ≥ 2 server base URLs and fetches the database
+// shape from the first one (public metadata; all replicas must agree).
+func NewHTTPClient(urls []string, client *http.Client, seed uint64) (*HTTPClient, error) {
+	if len(urls) < 2 {
+		return nil, fmt.Errorf("pir: HTTP PIR needs ≥ 2 server URLs, got %d", len(urls))
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	c := &HTTPClient{urls: urls, client: client, seed: seed}
+	for i, u := range urls {
+		resp, err := client.Get(u + "/meta")
+		if err != nil {
+			return nil, fmt.Errorf("pir: fetch meta from server %d: %w", i, err)
+		}
+		var meta pirMeta
+		err = json.NewDecoder(resp.Body).Decode(&meta)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("pir: decode meta from server %d: %w", i, err)
+		}
+		if i == 0 {
+			c.blocks, c.blockSize = meta.Blocks, meta.BlockSize
+			continue
+		}
+		if meta.Blocks != c.blocks || meta.BlockSize != c.blockSize {
+			return nil, fmt.Errorf("pir: server %d shape %d×%d disagrees with %d×%d",
+				i, meta.Blocks, meta.BlockSize, c.blocks, c.blockSize)
+		}
+	}
+	if c.blocks == 0 {
+		return nil, fmt.Errorf("pir: servers report an empty database")
+	}
+	return c, nil
+}
+
+// Blocks returns the database size.
+func (c *HTTPClient) Blocks() int { return c.blocks }
+
+// Retrieve privately fetches a block over HTTP, mirroring ITClient.Retrieve.
+func (c *HTTPClient) Retrieve(index int) ([]byte, error) {
+	if index < 0 || index >= c.blocks {
+		return nil, fmt.Errorf("pir: index %d out of range [0,%d)", index, c.blocks)
+	}
+	c.retrieves++
+	rng := newSubsetRNG(c.seed, c.retrieves)
+	vecLen := (c.blocks + 7) / 8
+	k := len(c.urls)
+	subsets := make([][]byte, k)
+	last := make([]byte, vecLen)
+	for s := 0; s < k-1; s++ {
+		v := make([]byte, vecLen)
+		for j := range v {
+			v[j] = byte(rng.Uint64())
+		}
+		if c.blocks%8 != 0 {
+			v[vecLen-1] &= byte(1<<(c.blocks%8)) - 1
+		}
+		subsets[s] = v
+		for j := range last {
+			last[j] ^= v[j]
+		}
+	}
+	last[index>>3] ^= 1 << (index & 7)
+	subsets[k-1] = last
+
+	out := make([]byte, c.blockSize)
+	for s, u := range c.urls {
+		body, err := json.Marshal(pirRequest{Subset: subsets[s]})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.client.Post(u+"/pir", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("pir: query server %d: %w", s, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return nil, fmt.Errorf("pir: server %d returned %s: %s", s, resp.Status, msg)
+		}
+		var pr pirResponse
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("pir: decode answer from server %d: %w", s, err)
+		}
+		if len(pr.Block) != c.blockSize {
+			return nil, fmt.Errorf("pir: server %d answered %d bytes, want %d", s, len(pr.Block), c.blockSize)
+		}
+		for j := range out {
+			out[j] ^= pr.Block[j]
+		}
+	}
+	return out, nil
+}

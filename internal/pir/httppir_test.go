@@ -1,0 +1,132 @@
+package pir
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newHTTPPair(t *testing.T, blocks [][]byte) (urls []string, servers []*ITServer, cleanup func()) {
+	t.Helper()
+	var close1, close2 func()
+	s1, err := NewITServer(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewITServer(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := httptest.NewServer(NewHTTPServer(s1))
+	h2 := httptest.NewServer(NewHTTPServer(s2))
+	close1, close2 = h1.Close, h2.Close
+	return []string{h1.URL, h2.URL}, []*ITServer{s1, s2}, func() { close1(); close2() }
+}
+
+func TestHTTPPIRRoundTrip(t *testing.T) {
+	blocks := testBlocks(40, 24, 4)
+	urls, _, cleanup := newHTTPPair(t, blocks)
+	defer cleanup()
+	client, err := NewHTTPClient(urls, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Blocks() != 40 {
+		t.Errorf("Blocks = %d", client.Blocks())
+	}
+	for _, idx := range []int{0, 13, 39} {
+		got, err := client.Retrieve(idx)
+		if err != nil {
+			t.Fatalf("Retrieve(%d): %v", idx, err)
+		}
+		if !bytes.Equal(got, blocks[idx]) {
+			t.Errorf("block %d mismatch over HTTP", idx)
+		}
+	}
+	if _, err := client.Retrieve(40); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+}
+
+func TestHTTPPIRServerSeesOnlySubsets(t *testing.T) {
+	blocks := testBlocks(32, 8, 5)
+	urls, servers, cleanup := newHTTPPair(t, blocks)
+	defer cleanup()
+	client, err := NewHTTPClient(urls, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Retrieve(17); err != nil {
+		t.Fatal(err)
+	}
+	// Each underlying server logged exactly one subset vector of the
+	// right width — nothing else crossed the wire.
+	for i, s := range servers {
+		log := s.QueryLog()
+		if len(log) != 1 {
+			t.Errorf("server %d logged %d queries", i, len(log))
+		}
+		if len(log[0]) != 4 {
+			t.Errorf("server %d subset width %d bytes, want 4", i, len(log[0]))
+		}
+	}
+}
+
+func TestHTTPPIRValidation(t *testing.T) {
+	blocks := testBlocks(8, 4, 6)
+	urls, _, cleanup := newHTTPPair(t, blocks)
+	defer cleanup()
+	if _, err := NewHTTPClient(urls[:1], nil, 1); err == nil {
+		t.Error("accepted a single URL")
+	}
+	// Mismatched replicas are rejected at connect time.
+	other, err := NewITServer(testBlocks(9, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3 := httptest.NewServer(NewHTTPServer(other))
+	defer h3.Close()
+	if _, err := NewHTTPClient([]string{urls[0], h3.URL}, nil, 1); err == nil {
+		t.Error("accepted replicas with different shapes")
+	}
+	// Unreachable server.
+	if _, err := NewHTTPClient([]string{urls[0], "http://127.0.0.1:1"}, nil, 1); err == nil {
+		t.Error("accepted unreachable server")
+	}
+}
+
+func TestHTTPServerRejectsBadRequests(t *testing.T) {
+	blocks := testBlocks(8, 4, 8)
+	srv, _ := NewITServer(blocks)
+	h := httptest.NewServer(NewHTTPServer(srv))
+	defer h.Close()
+	// Wrong path.
+	resp, err := http.Get(h.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope = %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	resp, err = http.Post(h.URL+"/pir", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d", resp.StatusCode)
+	}
+	// Wrong subset width.
+	resp, err = http.Post(h.URL+"/pir", "application/json", strings.NewReader(`{"subset":"AAAA"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong width = %d", resp.StatusCode)
+	}
+}

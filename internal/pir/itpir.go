@@ -1,0 +1,154 @@
+// Package pir implements private information retrieval, the technology of
+// the paper's user-privacy dimension ([8], Chor, Goldreich, Kushilevitz &
+// Sudan): the multi-server information-theoretic XOR scheme, a single-server
+// computational scheme based on quadratic residuosity (Kushilevitz &
+// Ostrovsky), keyword PIR on top of either, and a PIR-backed statistical
+// query layer that reproduces the paper's Section 3 attack scenario.
+//
+// Every server records the query vectors it receives; the user-privacy
+// evaluator inspects those logs to verify that a server's view is
+// statistically independent of the retrieved index.
+package pir
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+)
+
+// ITServer is one server of the information-theoretic scheme. All servers
+// hold the same replicated database of equal-size blocks. Answer and
+// QueryLog are safe for concurrent use (the HTTP transport serves requests
+// concurrently).
+type ITServer struct {
+	blocks [][]byte
+	mu     sync.Mutex
+	// queryLog records every subset vector received (one bit per block).
+	queryLog [][]byte
+}
+
+// NewITServer creates a server over the given block database. Blocks must
+// be non-empty and equally sized.
+func NewITServer(blocks [][]byte) (*ITServer, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("pir: empty database")
+	}
+	size := len(blocks[0])
+	if size == 0 {
+		return nil, fmt.Errorf("pir: zero-size blocks")
+	}
+	for i, b := range blocks {
+		if len(b) != size {
+			return nil, fmt.Errorf("pir: block %d has %d bytes, want %d", i, len(b), size)
+		}
+	}
+	cp := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		cp[i] = append([]byte(nil), b...)
+	}
+	return &ITServer{blocks: cp}, nil
+}
+
+// Blocks returns the number of database blocks.
+func (s *ITServer) Blocks() int { return len(s.blocks) }
+
+// BlockSize returns the size of each block in bytes.
+func (s *ITServer) BlockSize() int { return len(s.blocks[0]) }
+
+// Answer XORs together the blocks selected by the subset bit vector
+// (subset[i>>3]>>(i&7)&1 selects block i) and logs the query.
+func (s *ITServer) Answer(subset []byte) ([]byte, error) {
+	if len(subset) != (len(s.blocks)+7)/8 {
+		return nil, fmt.Errorf("pir: subset vector has %d bytes, want %d", len(subset), (len(s.blocks)+7)/8)
+	}
+	s.mu.Lock()
+	s.queryLog = append(s.queryLog, append([]byte(nil), subset...))
+	s.mu.Unlock()
+	out := make([]byte, len(s.blocks[0]))
+	for i, b := range s.blocks {
+		if subset[i>>3]>>(i&7)&1 == 1 {
+			for j := range out {
+				out[j] ^= b[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// QueryLog returns a copy of the subset vectors this server has observed —
+// its entire view of all users' activity.
+func (s *ITServer) QueryLog() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.queryLog...)
+}
+
+// ITClient retrieves blocks privately from k ≥ 2 non-colluding replicated
+// servers.
+type ITClient struct {
+	servers []*ITServer
+	rng     *rand.Rand
+}
+
+// NewITClient wires a client to its servers.
+func NewITClient(servers []*ITServer, seed uint64) (*ITClient, error) {
+	if len(servers) < 2 {
+		return nil, fmt.Errorf("pir: information-theoretic PIR needs ≥ 2 servers, got %d", len(servers))
+	}
+	n, bs := servers[0].Blocks(), servers[0].BlockSize()
+	for i, s := range servers {
+		if s.Blocks() != n || s.BlockSize() != bs {
+			return nil, fmt.Errorf("pir: server %d database shape differs", i)
+		}
+	}
+	return &ITClient{servers: servers, rng: rand.New(rand.NewPCG(seed, seed^0xdeadbeef))}, nil
+}
+
+// Retrieve privately fetches block index: the client sends k−1 uniformly
+// random subsets and one subset correcting their XOR to {index}; the XOR of
+// all answers is the block. Each individual server sees a uniformly random
+// subset regardless of index.
+func (c *ITClient) Retrieve(index int) ([]byte, error) {
+	n := c.servers[0].Blocks()
+	if index < 0 || index >= n {
+		return nil, fmt.Errorf("pir: index %d out of range [0,%d)", index, n)
+	}
+	vecLen := (n + 7) / 8
+	k := len(c.servers)
+	subsets := make([][]byte, k)
+	last := make([]byte, vecLen)
+	for s := 0; s < k-1; s++ {
+		v := make([]byte, vecLen)
+		for j := range v {
+			v[j] = byte(c.rng.Uint64())
+		}
+		// Mask tail bits beyond n for cleanliness.
+		if n%8 != 0 {
+			v[vecLen-1] &= byte(1<<(n%8)) - 1
+		}
+		subsets[s] = v
+		for j := range last {
+			last[j] ^= v[j]
+		}
+	}
+	last[index>>3] ^= 1 << (index & 7)
+	subsets[k-1] = last
+	out := make([]byte, c.servers[0].BlockSize())
+	for s, srv := range c.servers {
+		ans, err := srv.Answer(subsets[s])
+		if err != nil {
+			return nil, fmt.Errorf("pir: server %d: %w", s, err)
+		}
+		for j := range out {
+			out[j] ^= ans[j]
+		}
+	}
+	return out, nil
+}
+
+// CommunicationBits returns the total client↔server communication of one
+// retrieval in bits: k subset vectors up, k blocks down.
+func (c *ITClient) CommunicationBits() int {
+	n := c.servers[0].Blocks()
+	return len(c.servers) * (((n + 7) / 8 * 8) + c.servers[0].BlockSize()*8)
+}

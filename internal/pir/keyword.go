@@ -1,0 +1,90 @@
+package pir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keyword PIR (Chor, Gilboa & Naor style, simplified): the server publishes
+// the sorted key directory as public metadata; the client maps its keyword
+// to an index locally and retrieves the value block by index PIR. The
+// servers never see the keyword, only the index-PIR query vectors.
+
+// KeywordDB prepares a replicated keyword→value database for k IT-PIR
+// servers. Values are padded to a common block size.
+type KeywordDB struct {
+	keys    []string
+	servers []*ITServer
+}
+
+// NewKeywordDB builds the directory and k replicated servers.
+func NewKeywordDB(entries map[string][]byte, numServers int) (*KeywordDB, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("pir: empty keyword database")
+	}
+	if numServers < 2 {
+		return nil, fmt.Errorf("pir: need ≥ 2 servers, got %d", numServers)
+	}
+	keys := make([]string, 0, len(entries))
+	maxLen := 0
+	for k, v := range entries {
+		keys = append(keys, k)
+		if len(v) > maxLen {
+			maxLen = len(v)
+		}
+	}
+	sort.Strings(keys)
+	if maxLen == 0 {
+		maxLen = 1
+	}
+	// Block layout: 2-byte length prefix + padded value.
+	blocks := make([][]byte, len(keys))
+	for i, k := range keys {
+		v := entries[k]
+		if len(v) > 0xffff {
+			return nil, fmt.Errorf("pir: value for %q exceeds 65535 bytes", k)
+		}
+		b := make([]byte, 2+maxLen)
+		b[0] = byte(len(v))
+		b[1] = byte(len(v) >> 8)
+		copy(b[2:], v)
+		blocks[i] = b
+	}
+	servers := make([]*ITServer, numServers)
+	for s := range servers {
+		srv, err := NewITServer(blocks)
+		if err != nil {
+			return nil, err
+		}
+		servers[s] = srv
+	}
+	return &KeywordDB{keys: keys, servers: servers}, nil
+}
+
+// Directory returns the public sorted key list.
+func (db *KeywordDB) Directory() []string { return append([]string(nil), db.keys...) }
+
+// Servers exposes the underlying IT-PIR servers (e.g. to read query logs).
+func (db *KeywordDB) Servers() []*ITServer { return db.servers }
+
+// Lookup privately retrieves the value for key. ok is false when the key is
+// not in the directory — determined locally, with no query sent at all.
+func (db *KeywordDB) Lookup(key string, seed uint64) (value []byte, ok bool, err error) {
+	i := sort.SearchStrings(db.keys, key)
+	if i >= len(db.keys) || db.keys[i] != key {
+		return nil, false, nil
+	}
+	client, err := NewITClient(db.servers, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	block, err := client.Retrieve(i)
+	if err != nil {
+		return nil, false, err
+	}
+	n := int(block[0]) | int(block[1])<<8
+	if n > len(block)-2 {
+		return nil, false, fmt.Errorf("pir: corrupt block length %d", n)
+	}
+	return append([]byte(nil), block[2:2+n]...), true, nil
+}

@@ -1,0 +1,163 @@
+package pir
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"privacy3d/internal/dataset"
+)
+
+// StatDB is the PIR-backed statistical database of the paper's Section 3
+// scenario ("assuming PIR protocols existed for those query types"): the
+// owner publishes a public two-dimensional bucketing grid over two numeric
+// attributes and serves, through replicated IT-PIR servers, one block per
+// grid cell holding (COUNT, SUM(target)) of the records in that cell. A
+// user can then evaluate COUNT and AVG over any grid-aligned rectangle by
+// privately retrieving the covered cells — the servers never learn which
+// region was queried. This realises user privacy; whether it violates
+// respondent privacy depends solely on the data, which is exactly the
+// paper's point.
+type StatDB struct {
+	xEdges, yEdges []float64
+	servers        []*ITServer
+}
+
+const statBlockSize = 12 // uint32 count + float64 sum
+
+// BuildStatDB aggregates dataset d on the grid defined by the sorted edge
+// vectors (cells are [e_i, e_{i+1})) and replicates the cell table across
+// numServers IT-PIR servers. Records outside the grid are ignored.
+func BuildStatDB(d *dataset.Dataset, xAttr, yAttr, targetAttr string, xEdges, yEdges []float64, numServers int) (*StatDB, error) {
+	xj, yj, tj := d.Index(xAttr), d.Index(yAttr), d.Index(targetAttr)
+	if xj < 0 || yj < 0 || tj < 0 {
+		return nil, fmt.Errorf("pir: unknown attribute among %q, %q, %q", xAttr, yAttr, targetAttr)
+	}
+	if len(xEdges) < 2 || len(yEdges) < 2 {
+		return nil, fmt.Errorf("pir: each grid axis needs ≥ 2 edges")
+	}
+	if !sort.Float64sAreSorted(xEdges) || !sort.Float64sAreSorted(yEdges) {
+		return nil, fmt.Errorf("pir: grid edges must be sorted")
+	}
+	nx, ny := len(xEdges)-1, len(yEdges)-1
+	counts := make([]uint32, nx*ny)
+	sums := make([]float64, nx*ny)
+	for i := 0; i < d.Rows(); i++ {
+		xi := cellOf(xEdges, d.Float(i, xj))
+		yi := cellOf(yEdges, d.Float(i, yj))
+		if xi < 0 || yi < 0 {
+			continue
+		}
+		counts[xi*ny+yi]++
+		sums[xi*ny+yi] += d.Float(i, tj)
+	}
+	blocks := make([][]byte, nx*ny)
+	for c := range blocks {
+		b := make([]byte, statBlockSize)
+		binary.LittleEndian.PutUint32(b, counts[c])
+		binary.LittleEndian.PutUint64(b[4:], math.Float64bits(sums[c]))
+		blocks[c] = b
+	}
+	servers := make([]*ITServer, numServers)
+	for s := range servers {
+		srv, err := NewITServer(blocks)
+		if err != nil {
+			return nil, err
+		}
+		servers[s] = srv
+	}
+	return &StatDB{
+		xEdges:  append([]float64(nil), xEdges...),
+		yEdges:  append([]float64(nil), yEdges...),
+		servers: servers,
+	}, nil
+}
+
+func cellOf(edges []float64, v float64) int {
+	if v < edges[0] || v >= edges[len(edges)-1] {
+		return -1
+	}
+	// Rightmost edge ≤ v.
+	i := sort.SearchFloat64s(edges, v)
+	if i < len(edges) && edges[i] == v {
+		return i
+	}
+	return i - 1
+}
+
+// Servers exposes the replicated servers (for query-log inspection).
+func (db *StatDB) Servers() []*ITServer { return db.servers }
+
+// Grid returns the public grid edges.
+func (db *StatDB) Grid() (x, y []float64) {
+	return append([]float64(nil), db.xEdges...), append([]float64(nil), db.yEdges...)
+}
+
+// StatResult is the outcome of a private range-statistics query.
+type StatResult struct {
+	Count float64
+	Sum   float64
+	// CellsRetrieved is the number of PIR retrievals spent.
+	CellsRetrieved int
+}
+
+// Avg returns Sum/Count, or an error for an empty region.
+func (r StatResult) Avg() (float64, error) {
+	if r.Count == 0 {
+		return 0, fmt.Errorf("pir: AVG over empty region")
+	}
+	return r.Sum / r.Count, nil
+}
+
+// RangeStats privately evaluates COUNT and SUM over the grid-aligned
+// rectangle [xLo, xHi) × [yLo, yHi). The bounds must coincide with grid
+// edges; otherwise an error is returned (a client rounding silently would
+// misreport the predicate it evaluated).
+func (db *StatDB) RangeStats(xLo, xHi, yLo, yHi float64, seed uint64) (StatResult, error) {
+	var res StatResult
+	x0, err := edgeIndex(db.xEdges, xLo)
+	if err != nil {
+		return res, err
+	}
+	x1, err := edgeIndex(db.xEdges, xHi)
+	if err != nil {
+		return res, err
+	}
+	y0, err := edgeIndex(db.yEdges, yLo)
+	if err != nil {
+		return res, err
+	}
+	y1, err := edgeIndex(db.yEdges, yHi)
+	if err != nil {
+		return res, err
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return res, fmt.Errorf("pir: empty rectangle")
+	}
+	client, err := NewITClient(db.servers, seed)
+	if err != nil {
+		return res, err
+	}
+	ny := len(db.yEdges) - 1
+	for xi := x0; xi < x1; xi++ {
+		for yi := y0; yi < y1; yi++ {
+			block, err := client.Retrieve(xi*ny + yi)
+			if err != nil {
+				return res, err
+			}
+			res.CellsRetrieved++
+			res.Count += float64(binary.LittleEndian.Uint32(block))
+			res.Sum += math.Float64frombits(binary.LittleEndian.Uint64(block[4:]))
+		}
+	}
+	return res, nil
+}
+
+func edgeIndex(edges []float64, v float64) (int, error) {
+	i := sort.SearchFloat64s(edges, v)
+	if i >= len(edges) || edges[i] != v {
+		return 0, fmt.Errorf("pir: bound %g is not a grid edge", v)
+	}
+	return i, nil
+}

@@ -1,0 +1,164 @@
+// Package randresp implements randomized-response protocols: Warner's
+// classic single-attribute scheme and the multi-attribute scheme of
+// Du & Zhan (KDD 2003), the paper's citation [13]. The paper's footnote 1
+// observes that although [13] claims respondent privacy, the randomizing
+// device realistically sits with the data owner — so in the
+// three-dimensional framework randomized response is scored as an
+// owner-privacy (PPDM) technology.
+package randresp
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Warner is Warner's randomized response for one binary attribute: with
+// probability P the respondent answers truthfully, with probability 1-P they
+// answer the opposite. P must be in (0,1) and ≠ 0.5 (at 0.5 the answers
+// carry no information).
+type Warner struct {
+	P float64
+}
+
+// NewWarner validates and returns a Warner scheme.
+func NewWarner(p float64) (*Warner, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("randresp: truth probability must be in (0,1), got %g", p)
+	}
+	if p == 0.5 {
+		return nil, fmt.Errorf("randresp: truth probability 0.5 makes responses uninformative")
+	}
+	return &Warner{P: p}, nil
+}
+
+// Randomize perturbs a slice of binary answers.
+func (w *Warner) Randomize(truth []bool, rng *rand.Rand) []bool {
+	out := make([]bool, len(truth))
+	for i, v := range truth {
+		if rng.Float64() < w.P {
+			out[i] = v
+		} else {
+			out[i] = !v
+		}
+	}
+	return out
+}
+
+// EstimateProportion returns the unbiased estimate of the true proportion of
+// "true" answers from randomized responses: π̂ = (λ + P − 1)/(2P − 1) where λ
+// is the observed proportion. The estimate is clamped to [0,1].
+func (w *Warner) EstimateProportion(responses []bool) float64 {
+	if len(responses) == 0 {
+		return 0
+	}
+	var yes float64
+	for _, v := range responses {
+		if v {
+			yes++
+		}
+	}
+	lambda := yes / float64(len(responses))
+	pi := (lambda + w.P - 1) / (2*w.P - 1)
+	if pi < 0 {
+		return 0
+	}
+	if pi > 1 {
+		return 1
+	}
+	return pi
+}
+
+// PrivacyLevel returns the respondent's plausible deniability: the posterior
+// probability that a respondent's true value equals their reported value,
+// assuming a uniform prior. 0.5 is perfect deniability, 1 is none.
+func (w *Warner) PrivacyLevel() float64 {
+	if w.P >= 0.5 {
+		return w.P
+	}
+	return 1 - w.P
+}
+
+// MultiAttribute is the Du–Zhan extension: each respondent's whole binary
+// attribute vector is either reported truthfully (probability P) or fully
+// complemented (probability 1−P). Joint proportions of attribute patterns
+// remain estimable, which is what their privacy-preserving decision-tree
+// construction needs.
+type MultiAttribute struct {
+	W Warner
+}
+
+// NewMultiAttribute validates and returns the scheme.
+func NewMultiAttribute(p float64) (*MultiAttribute, error) {
+	w, err := NewWarner(p)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiAttribute{W: *w}, nil
+}
+
+// Randomize perturbs a matrix of binary records (rows = respondents).
+func (m *MultiAttribute) Randomize(truth [][]bool, rng *rand.Rand) [][]bool {
+	out := make([][]bool, len(truth))
+	for i, row := range truth {
+		r := make([]bool, len(row))
+		flip := rng.Float64() >= m.W.P
+		for j, v := range row {
+			if flip {
+				r[j] = !v
+			} else {
+				r[j] = v
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// EstimatePatternProportion estimates the true proportion of records
+// matching the given full pattern from randomized records: with the
+// whole-vector scheme, P(observe pattern) = P·π(pattern) + (1−P)·π(¬pattern),
+// and P(observe ¬pattern) = P·π(¬pattern) + (1−P)·π(pattern) restricted to
+// the two complementary patterns. Solving with the observed frequencies of
+// pattern and its complement gives the unbiased estimator below.
+func (m *MultiAttribute) EstimatePatternProportion(responses [][]bool, pattern []bool) (float64, error) {
+	if len(responses) == 0 {
+		return 0, fmt.Errorf("randresp: no responses")
+	}
+	comp := make([]bool, len(pattern))
+	for i, v := range pattern {
+		comp[i] = !v
+	}
+	var obsPat, obsComp float64
+	for _, row := range responses {
+		if len(row) != len(pattern) {
+			return 0, fmt.Errorf("randresp: response width %d != pattern width %d", len(row), len(pattern))
+		}
+		if equalBool(row, pattern) {
+			obsPat++
+		} else if equalBool(row, comp) {
+			obsComp++
+		}
+	}
+	n := float64(len(responses))
+	lam := obsPat / n
+	mu := obsComp / n
+	p := m.W.P
+	// lam = p·π + (1−p)·ρ ; mu = p·ρ + (1−p)·π  ⇒ π = (p·lam − (1−p)·mu)/(2p−1).
+	pi := (p*lam - (1-p)*mu) / (2*p - 1)
+	if pi < 0 {
+		pi = 0
+	}
+	if pi > 1 {
+		pi = 1
+	}
+	return pi, nil
+}
+
+func equalBool(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

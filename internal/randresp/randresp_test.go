@@ -1,0 +1,109 @@
+package randresp
+
+import (
+	"math"
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+func TestWarnerValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1, 0.5} {
+		if _, err := NewWarner(p); err == nil {
+			t.Errorf("NewWarner(%v) accepted", p)
+		}
+	}
+	if _, err := NewWarner(0.8); err != nil {
+		t.Errorf("NewWarner(0.8): %v", err)
+	}
+}
+
+func TestWarnerUnbiasedEstimate(t *testing.T) {
+	rng := dataset.NewRand(42)
+	w, _ := NewWarner(0.75)
+	n := 50000
+	truth := make([]bool, n)
+	for i := range truth {
+		truth[i] = rng.Float64() < 0.3
+	}
+	resp := w.Randomize(truth, rng)
+	// Responses themselves must be biased away from 0.3…
+	var rawYes float64
+	for _, v := range resp {
+		if v {
+			rawYes++
+		}
+	}
+	raw := rawYes / float64(n)
+	if math.Abs(raw-0.3) < 0.05 {
+		t.Errorf("raw responses too close to truth: %v", raw)
+	}
+	// …but the estimator recovers it.
+	if est := w.EstimateProportion(resp); math.Abs(est-0.3) > 0.02 {
+		t.Errorf("estimate = %v, want ≈ 0.3", est)
+	}
+}
+
+func TestWarnerPrivacyLevel(t *testing.T) {
+	w, _ := NewWarner(0.9)
+	if w.PrivacyLevel() != 0.9 {
+		t.Errorf("PrivacyLevel = %v", w.PrivacyLevel())
+	}
+	w2, _ := NewWarner(0.1)
+	if w2.PrivacyLevel() != 0.9 {
+		t.Errorf("PrivacyLevel(0.1) = %v (symmetry)", w2.PrivacyLevel())
+	}
+}
+
+func TestWarnerEstimateClamps(t *testing.T) {
+	w, _ := NewWarner(0.9)
+	allYes := []bool{true, true, true, true}
+	if est := w.EstimateProportion(allYes); est != 1 {
+		t.Errorf("estimate = %v, want clamp to 1", est)
+	}
+	if est := w.EstimateProportion(nil); est != 0 {
+		t.Errorf("empty responses estimate = %v", est)
+	}
+}
+
+func TestMultiAttributeRecoversJointPattern(t *testing.T) {
+	rng := dataset.NewRand(7)
+	m, err := NewMultiAttribute(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 60000
+	truth := make([][]bool, n)
+	pattern := []bool{true, false, true}
+	planted := 0.2
+	for i := range truth {
+		if rng.Float64() < planted {
+			truth[i] = []bool{true, false, true}
+			continue
+		}
+		truth[i] = []bool{rng.Float64() < 0.5, true, rng.Float64() < 0.5}
+	}
+	resp := m.Randomize(truth, rng)
+	est, err := m.EstimatePatternProportion(resp, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True pattern proportion: planted + background hits (background has
+	// second bit true, so never matches the pattern).
+	if math.Abs(est-planted) > 0.02 {
+		t.Errorf("pattern estimate = %v, want ≈ %v", est, planted)
+	}
+}
+
+func TestMultiAttributeErrors(t *testing.T) {
+	if _, err := NewMultiAttribute(0.5); err == nil {
+		t.Error("accepted p = 0.5")
+	}
+	m, _ := NewMultiAttribute(0.8)
+	if _, err := m.EstimatePatternProportion(nil, []bool{true}); err == nil {
+		t.Error("accepted empty responses")
+	}
+	if _, err := m.EstimatePatternProportion([][]bool{{true, false}}, []bool{true}); err == nil {
+		t.Error("accepted width mismatch")
+	}
+}

@@ -1,0 +1,97 @@
+package risk
+
+import (
+	"fmt"
+	"strings"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/noise"
+)
+
+// Assessment is the complete disclosure-risk / data-utility report of a
+// masked release, combining every attack and loss measure in this package —
+// the one-call answer to "is this release safe enough and useful enough?".
+type Assessment struct {
+	// DistanceLinkage and ProbabilisticLinkage are the two
+	// re-identification attacks (rates in [0,1]).
+	DistanceLinkage      float64
+	ProbabilisticLinkage float64
+	// RareDisclosure is the rare-combination (sparse-cell) disclosure rate.
+	RareDisclosure float64
+	// TightRecovery and LooseRecovery are the value-recovery rates within
+	// ±1 % and ±25 % of a standard deviation.
+	TightRecovery, LooseRecovery float64
+	// Loss is the information-loss battery; Overall() summarises it.
+	Loss InfoLoss
+	// Score is the combined risk/utility score (lower is better):
+	// 0.5·max(linkage attacks, rare disclosure) + 0.5·Loss.Overall().
+	Score float64
+}
+
+// AssessConfig tunes the assessment.
+type AssessConfig struct {
+	// BinsPerDim for the rare-combination measurement (default 3).
+	BinsPerDim int
+	// SkipProbabilistic disables the O(n²) Fellegi–Sunter attack (useful
+	// above a few thousand records).
+	SkipProbabilistic bool
+}
+
+// Assess runs the full battery over the given numeric columns.
+func Assess(original, masked *dataset.Dataset, cols []int, cfg AssessConfig) (Assessment, error) {
+	var a Assessment
+	if cfg.BinsPerDim <= 0 {
+		cfg.BinsPerDim = 3
+	}
+	link, err := DistanceLinkage(original, masked, cols)
+	if err != nil {
+		return a, err
+	}
+	a.DistanceLinkage = link.Rate
+	if !cfg.SkipProbabilistic && len(cols) <= 32 {
+		pl, err := ProbabilisticLinkage(original, masked, cols, ProbLinkageConfig{})
+		if err != nil {
+			return a, err
+		}
+		a.ProbabilisticLinkage = pl.Rate
+	}
+	sparse, err := noise.SparseDisclosure(
+		original.NumericMatrix(cols), masked.NumericMatrix(cols), cfg.BinsPerDim, 1)
+	if err != nil {
+		return a, err
+	}
+	a.RareDisclosure = sparse.DisclosureRate
+	a.TightRecovery, err = IntervalDisclosure(original, masked, cols, 1)
+	if err != nil {
+		return a, err
+	}
+	a.LooseRecovery, err = IntervalDisclosure(original, masked, cols, 25)
+	if err != nil {
+		return a, err
+	}
+	a.Loss, err = MeasureInfoLoss(original, masked, cols)
+	if err != nil {
+		return a, err
+	}
+	risk := a.DistanceLinkage
+	if a.ProbabilisticLinkage > risk {
+		risk = a.ProbabilisticLinkage
+	}
+	if a.RareDisclosure > risk {
+		risk = a.RareDisclosure
+	}
+	a.Score = Score(risk, a.Loss.Overall())
+	return a, nil
+}
+
+// String renders the assessment as a compact multi-line report.
+func (a Assessment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "re-identification: distance %.3f, probabilistic %.3f, rare-combination %.3f\n",
+		a.DistanceLinkage, a.ProbabilisticLinkage, a.RareDisclosure)
+	fmt.Fprintf(&b, "value recovery:    ±1%% sd %.3f, ±25%% sd %.3f\n", a.TightRecovery, a.LooseRecovery)
+	fmt.Fprintf(&b, "information loss:  %.4f (IL1s %.3f, KS %.3f, corrΔ %.3f)\n",
+		a.Loss.Overall(), a.Loss.IL1s, a.Loss.KSDist, a.Loss.CorrDelta)
+	fmt.Fprintf(&b, "combined score:    %.4f (lower is better)", a.Score)
+	return b.String()
+}

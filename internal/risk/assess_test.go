@@ -1,0 +1,69 @@
+package risk
+
+import (
+	"strings"
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/microagg"
+)
+
+func TestAssessIdentityRelease(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 150, Seed: 3, ExtraQI: 2})
+	a, err := Assess(d, d.Clone(), d.QuasiIdentifiers(), AssessConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DistanceLinkage < 0.99 || a.TightRecovery != 1 {
+		t.Errorf("identity release under-reported: %+v", a)
+	}
+	if a.Loss.Overall() != 0 {
+		t.Errorf("identity info loss = %v", a.Loss.Overall())
+	}
+	if a.Score < 0.49 {
+		t.Errorf("identity score = %v, want ≈ 0.5 (max risk, zero loss)", a.Score)
+	}
+	if s := a.String(); !strings.Contains(s, "combined score") {
+		t.Errorf("report malformed:\n%s", s)
+	}
+}
+
+func TestAssessMaskedReleaseScoresBetter(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 200, Seed: 5})
+	masked, _, err := microagg.Mask(d, microagg.NewOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Assess(d, d.Clone(), d.QuasiIdentifiers(), AssessConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Assess(d, masked, d.QuasiIdentifiers(), AssessConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Score >= raw.Score {
+		t.Errorf("masked score %v not better than raw %v", good.Score, raw.Score)
+	}
+	if good.DistanceLinkage > 1.0/3+0.01 {
+		t.Errorf("masked linkage %v above 1/k", good.DistanceLinkage)
+	}
+}
+
+func TestAssessSkipProbabilistic(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 120, Seed: 7})
+	a, err := Assess(d, d.Clone(), d.QuasiIdentifiers(), AssessConfig{SkipProbabilistic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ProbabilisticLinkage != 0 {
+		t.Errorf("probabilistic linkage ran despite skip: %v", a.ProbabilisticLinkage)
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	d := dataset.Dataset1()
+	if _, err := Assess(d, d.Select([]int{0}), d.QuasiIdentifiers(), AssessConfig{}); err == nil {
+		t.Error("accepted row mismatch")
+	}
+}

@@ -1,0 +1,110 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// InfoLoss aggregates the standard information-loss components for numeric
+// maskings. All components are normalised to [0,1] (clamped), so they can be
+// averaged and traded off against disclosure risk on the same scale, as in
+// the score of Domingo-Ferrer & Torra.
+type InfoLoss struct {
+	// IL1s is the mean per-cell absolute discrepancy |x−x′| / (√2·S_j).
+	IL1s float64
+	// MeanDelta is the mean relative drift of column means.
+	MeanDelta float64
+	// VarDelta is the mean relative drift of column variances.
+	VarDelta float64
+	// CorrDelta is the mean absolute drift of pairwise correlations.
+	CorrDelta float64
+	// KSDist is the mean per-column two-sample Kolmogorov–Smirnov
+	// statistic between original and masked marginals.
+	KSDist float64
+}
+
+// Overall returns the average of the five components — the single
+// information-loss figure reported by the experiments.
+func (il InfoLoss) Overall() float64 {
+	return (il.IL1s + il.MeanDelta + il.VarDelta + il.CorrDelta + il.KSDist) / 5
+}
+
+// MeasureInfoLoss compares original and masked datasets over the given
+// numeric columns.
+func MeasureInfoLoss(original, masked *dataset.Dataset, cols []int) (InfoLoss, error) {
+	var il InfoLoss
+	if original.Rows() != masked.Rows() || original.Rows() == 0 {
+		return il, fmt.Errorf("risk: datasets must be non-empty with equal rows")
+	}
+	if len(cols) == 0 {
+		return il, fmt.Errorf("risk: no columns to measure")
+	}
+	n := float64(original.Rows())
+	var il1, meanD, varD, ks float64
+	for _, j := range cols {
+		oc := original.NumColumn(j)
+		mc := masked.NumColumn(j)
+		sd := stats.StdDev(oc)
+		if sd > 0 {
+			var s float64
+			for i := range oc {
+				s += math.Abs(oc[i] - mc[i])
+			}
+			il1 += clamp01(s / n / (math.Sqrt2 * sd))
+		}
+		om, mm := stats.Mean(oc), stats.Mean(mc)
+		if sd > 0 {
+			meanD += clamp01(math.Abs(om-mm) / sd)
+		}
+		ov, mv := stats.Variance(oc), stats.Variance(mc)
+		if ov > 0 {
+			varD += clamp01(math.Abs(ov-mv) / ov)
+		}
+		ks += stats.KolmogorovSmirnov(oc, mc)
+	}
+	p := float64(len(cols))
+	il.IL1s = il1 / p
+	il.MeanDelta = meanD / p
+	il.VarDelta = varD / p
+	il.KSDist = ks / p
+	// Pairwise correlation drift.
+	if len(cols) >= 2 {
+		var s float64
+		var pairs int
+		for a := 0; a < len(cols); a++ {
+			for b := a + 1; b < len(cols); b++ {
+				ro := stats.Correlation(original.NumColumn(cols[a]), original.NumColumn(cols[b]))
+				rm := stats.Correlation(masked.NumColumn(cols[a]), masked.NumColumn(cols[b]))
+				if math.IsNaN(ro) || math.IsNaN(rm) {
+					continue
+				}
+				s += clamp01(math.Abs(ro - rm))
+				pairs++
+			}
+		}
+		if pairs > 0 {
+			il.CorrDelta = s / float64(pairs)
+		}
+	}
+	return il, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Score combines disclosure risk and information loss with equal weights,
+// the overall masking-quality score of the SDC evaluation tradition
+// (lower is better).
+func Score(disclosureRisk, infoLoss float64) float64 {
+	return 0.5*clamp01(disclosureRisk) + 0.5*clamp01(infoLoss)
+}

@@ -1,0 +1,149 @@
+// Package risk implements the disclosure-risk and information-loss metrics
+// used to score maskings empirically: distance-based record linkage,
+// interval disclosure, and the IL1s / moment-based information-loss measures
+// of the SDC literature (Domingo-Ferrer & Torra; Hundepool et al., the
+// paper's [17]). The three-dimensional evaluator in internal/core is built
+// on these measurements.
+package risk
+
+import (
+	"fmt"
+	"math"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// LinkageReport is the outcome of a distance-based record-linkage attack.
+type LinkageReport struct {
+	// Linked is the expected number of correct original→masked matches,
+	// counting a match among t equidistant candidates as 1/t (the
+	// intruder guesses uniformly among ties).
+	Linked float64
+	// Rate is Linked / number of attacked records.
+	Rate float64
+	// Attacked is the number of records attacked.
+	Attacked int
+}
+
+// DistanceLinkage runs the standard distance-based record-linkage attack of
+// the SDC evaluation framework: the intruder holds the original
+// quasi-identifier values (external identified data) and links each original
+// record to the nearest masked record in standardised space. A link is
+// correct when the true counterpart is among the nearest candidates; ties
+// count fractionally.
+//
+// original and masked must have the same rows in the same order, and cols
+// must be numeric in both.
+func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageReport, error) {
+	var rep LinkageReport
+	if original.Rows() != masked.Rows() {
+		return rep, fmt.Errorf("risk: original has %d rows, masked %d", original.Rows(), masked.Rows())
+	}
+	if original.Rows() == 0 {
+		return rep, fmt.Errorf("risk: empty dataset")
+	}
+	if len(cols) == 0 {
+		return rep, fmt.Errorf("risk: no linkage columns")
+	}
+	o := original.NumericMatrix(cols)
+	m := masked.NumericMatrix(cols)
+	// Standardise both on the original's moments so distances are
+	// comparable across attributes.
+	_, means, sds := stats.Standardize(o)
+	std := func(row []float64) []float64 {
+		z := make([]float64, len(row))
+		for j, v := range row {
+			z[j] = v - means[j]
+			if sds[j] > 0 {
+				z[j] /= sds[j]
+			}
+		}
+		return z
+	}
+	zm := make([][]float64, len(m))
+	for i, row := range m {
+		zm[i] = std(row)
+	}
+	const eps = 1e-12
+	for i, row := range o {
+		zo := std(row)
+		best := math.Inf(1)
+		var ties []int
+		for t, cand := range zm {
+			d := stats.SquaredDist(zo, cand)
+			switch {
+			case d < best-eps:
+				best = d
+				ties = ties[:0]
+				ties = append(ties, t)
+			case d <= best+eps:
+				ties = append(ties, t)
+			}
+		}
+		for _, t := range ties {
+			if t == i {
+				rep.Linked += 1 / float64(len(ties))
+			}
+		}
+		rep.Attacked++
+	}
+	rep.Rate = rep.Linked / float64(rep.Attacked)
+	return rep, nil
+}
+
+// IntervalDisclosure returns the fraction of masked numeric values that fall
+// within ±p percent of the original value — the "interval disclosure" risk
+// measure: even without an exact link, a narrow interval around the released
+// value discloses the original.
+func IntervalDisclosure(original, masked *dataset.Dataset, cols []int, p float64) (float64, error) {
+	if original.Rows() != masked.Rows() || original.Rows() == 0 {
+		return 0, fmt.Errorf("risk: datasets must be non-empty with equal rows")
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("risk: interval width must be > 0, got %g", p)
+	}
+	var hits, total float64
+	for _, j := range cols {
+		oc := original.NumColumn(j)
+		mc := masked.NumColumn(j)
+		sd := stats.StdDev(oc)
+		for i := range oc {
+			// Interval of half-width p% of the attribute spread.
+			if math.Abs(mc[i]-oc[i]) <= p/100*sd {
+				hits++
+			}
+			total++
+		}
+	}
+	return hits / total, nil
+}
+
+// MeanRecordDistance returns the average standardised Euclidean distance
+// between each original record and its masked counterpart over cols — a raw
+// measure of how far the released records sit from the owner's true data
+// (large distance = the owner has given little away).
+func MeanRecordDistance(original, masked *dataset.Dataset, cols []int) (float64, error) {
+	if original.Rows() != masked.Rows() || original.Rows() == 0 {
+		return 0, fmt.Errorf("risk: datasets must be non-empty with equal rows")
+	}
+	o := original.NumericMatrix(cols)
+	m := masked.NumericMatrix(cols)
+	sds := make([]float64, len(cols))
+	for j, c := range cols {
+		sds[j] = stats.StdDev(original.NumColumn(c))
+	}
+	var s float64
+	for i := range o {
+		var d float64
+		for j := range cols {
+			diff := o[i][j] - m[i][j]
+			if sds[j] > 0 {
+				diff /= sds[j]
+			}
+			d += diff * diff
+		}
+		s += math.Sqrt(d)
+	}
+	return s / float64(len(o)), nil
+}

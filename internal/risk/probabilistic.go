@@ -1,0 +1,169 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// Probabilistic record linkage in the Fellegi–Sunter tradition: the intruder
+// compares every (original, masked) record pair on per-attribute agreement,
+// fits the match/non-match mixture with EM (without using the true
+// correspondence), and links each original record to the masked record with
+// the highest match weight. It complements DistanceLinkage: distance-based
+// linkage is the geometric attack, probabilistic linkage the statistical
+// one; SDC evaluation practice reports the stronger of the two.
+
+// ProbLinkageConfig parameterises ProbabilisticLinkage.
+type ProbLinkageConfig struct {
+	// Tolerance is the per-attribute agreement threshold in standard
+	// deviations of the original column (default 0.1).
+	Tolerance float64
+	// MaxIter bounds the EM iterations (default 50).
+	MaxIter int
+}
+
+// ProbabilisticLinkage runs the attack over the given numeric columns.
+// It returns the same report shape as DistanceLinkage.
+func ProbabilisticLinkage(original, masked *dataset.Dataset, cols []int, cfg ProbLinkageConfig) (LinkageReport, error) {
+	var rep LinkageReport
+	if original.Rows() != masked.Rows() || original.Rows() == 0 {
+		return rep, fmt.Errorf("risk: datasets must be non-empty with equal rows")
+	}
+	if len(cols) == 0 {
+		return rep, fmt.Errorf("risk: no linkage columns")
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.1
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 50
+	}
+	n := original.Rows()
+	p := len(cols)
+	o := original.NumericMatrix(cols)
+	m := masked.NumericMatrix(cols)
+	tol := make([]float64, p)
+	for k, c := range cols {
+		sd := stats.StdDev(original.NumColumn(c))
+		if sd == 0 {
+			sd = 1
+		}
+		tol[k] = cfg.Tolerance * sd
+	}
+	// Agreement patterns for all pairs, packed as bit masks (p ≤ 32).
+	if p > 32 {
+		return rep, fmt.Errorf("risk: probabilistic linkage supports ≤ 32 columns, got %d", p)
+	}
+	agree := make([]uint32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var mask uint32
+			for k := 0; k < p; k++ {
+				if math.Abs(o[i][k]-m[j][k]) <= tol[k] {
+					mask |= 1 << k
+				}
+			}
+			agree[i*n+j] = mask
+		}
+	}
+	// EM over the mixture of match / non-match pair classes.
+	mProb := make([]float64, p) // P(agree_k | match)
+	uProb := make([]float64, p) // P(agree_k | non-match)
+	for k := 0; k < p; k++ {
+		mProb[k] = 0.9
+		uProb[k] = 0.1
+	}
+	lambda := 1 / float64(n) // prior match prevalence: n matches among n² pairs
+	total := float64(len(agree))
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		var sumG float64
+		gSumAgree := make([]float64, p)
+		uSumAgree := make([]float64, p)
+		var sumU float64
+		for _, mask := range agree {
+			pm, pu := lambda, 1-lambda
+			for k := 0; k < p; k++ {
+				if mask>>k&1 == 1 {
+					pm *= mProb[k]
+					pu *= uProb[k]
+				} else {
+					pm *= 1 - mProb[k]
+					pu *= 1 - uProb[k]
+				}
+			}
+			g := pm / (pm + pu + 1e-300)
+			sumG += g
+			sumU += 1 - g
+			for k := 0; k < p; k++ {
+				if mask>>k&1 == 1 {
+					gSumAgree[k] += g
+					uSumAgree[k] += 1 - g
+				}
+			}
+		}
+		newLambda := sumG / total
+		moved := math.Abs(newLambda - lambda)
+		lambda = clampProb(newLambda)
+		for k := 0; k < p; k++ {
+			nm := clampProb(gSumAgree[k] / (sumG + 1e-300))
+			nu := clampProb(uSumAgree[k] / (sumU + 1e-300))
+			moved += math.Abs(nm-mProb[k]) + math.Abs(nu-uProb[k])
+			mProb[k], uProb[k] = nm, nu
+		}
+		if moved < 1e-6 {
+			break
+		}
+	}
+	// Link: per original record, pick the masked record(s) with max weight.
+	weights := make([]float64, p*2)
+	for k := 0; k < p; k++ {
+		weights[2*k] = math.Log((mProb[k] + 1e-12) / (uProb[k] + 1e-12))           // agree
+		weights[2*k+1] = math.Log((1 - mProb[k] + 1e-12) / (1 - uProb[k] + 1e-12)) // disagree
+	}
+	const eps = 1e-9
+	for i := 0; i < n; i++ {
+		best := math.Inf(-1)
+		var ties []int
+		for j := 0; j < n; j++ {
+			mask := agree[i*n+j]
+			var w float64
+			for k := 0; k < p; k++ {
+				if mask>>k&1 == 1 {
+					w += weights[2*k]
+				} else {
+					w += weights[2*k+1]
+				}
+			}
+			switch {
+			case w > best+eps:
+				best = w
+				ties = ties[:0]
+				ties = append(ties, j)
+			case w >= best-eps:
+				ties = append(ties, j)
+			}
+		}
+		for _, j := range ties {
+			if j == i {
+				rep.Linked += 1 / float64(len(ties))
+			}
+		}
+		rep.Attacked++
+	}
+	rep.Rate = rep.Linked / float64(rep.Attacked)
+	return rep, nil
+}
+
+func clampProb(v float64) float64 {
+	const lo, hi = 1e-6, 1 - 1e-6
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

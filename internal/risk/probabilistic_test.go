@@ -1,0 +1,78 @@
+package risk
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/noise"
+)
+
+func TestProbabilisticLinkageIdentity(t *testing.T) {
+	// Four quasi-identifiers and a tight tolerance: full-agreement ties
+	// between distinct respondents are essentially impossible, so the
+	// unmasked release links perfectly.
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 120, Seed: 2, ExtraQI: 2})
+	rep, err := ProbabilisticLinkage(d, d.Clone(), d.QuasiIdentifiers(), ProbLinkageConfig{Tolerance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rate < 0.95 {
+		t.Errorf("identity-mask probabilistic linkage = %v, want ≈ 1", rep.Rate)
+	}
+}
+
+func TestProbabilisticLinkageDegradesWithNoise(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 150, Seed: 3, ExtraQI: 2})
+	cols := d.QuasiIdentifiers()
+	rate := func(amp float64) float64 {
+		m, err := noise.AddUncorrelated(d, cols, amp, dataset.NewRand(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ProbabilisticLinkage(d, m, cols, ProbLinkageConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Rate
+	}
+	light, heavy := rate(0.02), rate(2.0)
+	if heavy >= light {
+		t.Errorf("probabilistic linkage should fall with noise: %v (light) vs %v (heavy)", light, heavy)
+	}
+	if light < 0.5 {
+		t.Errorf("light-noise linkage = %v, want high", light)
+	}
+}
+
+func TestProbabilisticLinkageFindsLinksDistanceMisses(t *testing.T) {
+	// One column is wrecked with enormous noise while the others stay
+	// clean. EM should learn that the wrecked column has u ≈ m (no
+	// discriminating power) and still link via the clean columns.
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 100, Seed: 7, ExtraQI: 2})
+	cols := d.QuasiIdentifiers()
+	m, err := noise.AddUncorrelated(d, cols[:1], 50, dataset.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ProbabilisticLinkage(d, m, cols, ProbLinkageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rate < 0.8 {
+		t.Errorf("probabilistic linkage = %v despite 3 clean columns", rep.Rate)
+	}
+}
+
+func TestProbabilisticLinkageValidation(t *testing.T) {
+	d := dataset.Dataset1()
+	if _, err := ProbabilisticLinkage(d, d.Select([]int{0}), d.QuasiIdentifiers(), ProbLinkageConfig{}); err == nil {
+		t.Error("accepted row mismatch")
+	}
+	if _, err := ProbabilisticLinkage(d, d, nil, ProbLinkageConfig{}); err == nil {
+		t.Error("accepted empty columns")
+	}
+	wide := make([]int, 33)
+	if _, err := ProbabilisticLinkage(d, d, wide, ProbLinkageConfig{}); err == nil {
+		t.Error("accepted > 32 columns")
+	}
+}

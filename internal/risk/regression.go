@@ -1,0 +1,57 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// RegressionUtility measures analytical validity the way data users
+// experience it: fit the same linear regression (target on regressors) on
+// the original and on the masked release and compare. Good maskings keep
+// the fitted coefficients and explanatory power close; this is the
+// "designated user analyses" utility notion of the paper's Section 2.
+type RegressionUtility struct {
+	// CoefDistance is the Euclidean distance between coefficient vectors,
+	// normalised by the original coefficient norm.
+	CoefDistance float64
+	// R2Original and R2Masked are the fits' explanatory powers.
+	R2Original, R2Masked float64
+}
+
+// MeasureRegressionUtility fits target ~ regressors on both datasets.
+func MeasureRegressionUtility(original, masked *dataset.Dataset, regressors []int, target int) (RegressionUtility, error) {
+	var out RegressionUtility
+	if original.Rows() != masked.Rows() || original.Rows() == 0 {
+		return out, fmt.Errorf("risk: datasets must be non-empty with equal rows")
+	}
+	if len(regressors) == 0 {
+		return out, fmt.Errorf("risk: no regressors")
+	}
+	fit := func(d *dataset.Dataset) (*stats.OLSResult, error) {
+		return stats.OLS(d.NumericMatrix(regressors), d.NumColumn(target))
+	}
+	mo, err := fit(original)
+	if err != nil {
+		return out, err
+	}
+	mm, err := fit(masked)
+	if err != nil {
+		return out, err
+	}
+	var dist, norm float64
+	for j := range mo.Coeffs {
+		d := mo.Coeffs[j] - mm.Coeffs[j]
+		dist += d * d
+		norm += mo.Coeffs[j] * mo.Coeffs[j]
+	}
+	out.CoefDistance = math.Sqrt(dist)
+	if norm > 0 {
+		out.CoefDistance /= math.Sqrt(norm)
+	}
+	out.R2Original = mo.R2
+	out.R2Masked = mm.R2
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package risk
+
+import (
+	"math"
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/microagg"
+	"privacy3d/internal/noise"
+	"privacy3d/internal/swap"
+)
+
+func TestLinkageIdentityMaskIsFullyLinked(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 120, Seed: 1})
+	rep, err := DistanceLinkage(d, d.Clone(), d.QuasiIdentifiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With continuous synthetic data ties are essentially absent, so every
+	// record links to itself.
+	if rep.Rate < 0.99 {
+		t.Errorf("identity mask linkage = %v, want ≈ 1", rep.Rate)
+	}
+	if rep.Attacked != d.Rows() {
+		t.Errorf("attacked %d of %d", rep.Attacked, d.Rows())
+	}
+}
+
+func TestLinkageMicroaggregationBoundedByK(t *testing.T) {
+	// Centroid-masked data leaves ≥ k equidistant candidates per original
+	// record, so expected linkage ≤ 1/k.
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 300, Seed: 2})
+	k := 5
+	masked, _, err := microagg.Mask(d, microagg.NewOptions(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DistanceLinkage(d, masked, d.QuasiIdentifiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rate > 1/float64(k)+0.01 {
+		t.Errorf("linkage after %d-anonymisation = %v, want ≤ 1/%d", k, rep.Rate, k)
+	}
+	if rep.Rate <= 0 {
+		t.Error("linkage should remain positive (ties include the target)")
+	}
+}
+
+func TestLinkageDecreasesWithNoise(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 250, Seed: 3})
+	cols := d.QuasiIdentifiers()
+	rate := func(amp float64) float64 {
+		m, err := noise.AddUncorrelated(d, cols, amp, dataset.NewRand(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := DistanceLinkage(d, m, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Rate
+	}
+	low, high := rate(0.05), rate(2.0)
+	if high >= low {
+		t.Errorf("linkage should drop with noise: %v (low) vs %v (high)", low, high)
+	}
+}
+
+func TestLinkageErrors(t *testing.T) {
+	d := dataset.Dataset1()
+	short := d.Select([]int{0, 1})
+	if _, err := DistanceLinkage(d, short, d.QuasiIdentifiers()); err == nil {
+		t.Error("accepted row mismatch")
+	}
+	empty := dataset.New(dataset.TrialSchema()...)
+	if _, err := DistanceLinkage(empty, empty, empty.QuasiIdentifiers()); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if _, err := DistanceLinkage(d, d, nil); err == nil {
+		t.Error("accepted empty column list")
+	}
+}
+
+func TestIntervalDisclosure(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 200, Seed: 5})
+	cols := d.QuasiIdentifiers()
+	full, err := IntervalDisclosure(d, d.Clone(), cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 1 {
+		t.Errorf("identity interval disclosure = %v, want 1", full)
+	}
+	m, err := noise.AddUncorrelated(d, cols, 3, dataset.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := IntervalDisclosure(d, m, cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy >= full {
+		t.Errorf("interval disclosure should drop under noise: %v", noisy)
+	}
+	if _, err := IntervalDisclosure(d, m, cols, 0); err == nil {
+		t.Error("accepted p = 0")
+	}
+}
+
+func TestMeanRecordDistance(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 150, Seed: 7})
+	cols := d.QuasiIdentifiers()
+	zero, err := MeanRecordDistance(d, d.Clone(), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Errorf("identity distance = %v, want 0", zero)
+	}
+	m, _ := noise.AddUncorrelated(d, cols, 1, dataset.NewRand(8))
+	far, err := MeanRecordDistance(d, m, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far <= 0 {
+		t.Errorf("noisy distance = %v, want > 0", far)
+	}
+}
+
+func TestInfoLossIdentityIsZero(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 100, Seed: 9})
+	il, err := MeasureInfoLoss(d, d.Clone(), d.QuasiIdentifiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if il.Overall() != 0 {
+		t.Errorf("identity info loss = %+v", il)
+	}
+}
+
+func TestInfoLossOrdersMaskings(t *testing.T) {
+	// Rank swapping with a small window preserves marginals exactly
+	// (KS = 0, mean/var delta = 0); heavy noise does not. Info loss must
+	// rank them accordingly.
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 400, Seed: 10})
+	cols := d.QuasiIdentifiers()
+	sw, err := swap.RankSwap(d, cols, 2, dataset.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := noise.AddUncorrelated(d, cols, 2, dataset.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilSwap, err := MeasureInfoLoss(d, sw, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilNoise, err := MeasureInfoLoss(d, ns, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ilSwap.KSDist != 0 {
+		t.Errorf("rank swap KS = %v, want 0 (marginals preserved)", ilSwap.KSDist)
+	}
+	if ilSwap.Overall() >= ilNoise.Overall() {
+		t.Errorf("rank swap loss %v should be below heavy-noise loss %v", ilSwap.Overall(), ilNoise.Overall())
+	}
+}
+
+func TestInfoLossErrors(t *testing.T) {
+	d := dataset.Dataset1()
+	if _, err := MeasureInfoLoss(d, d.Select([]int{0}), d.QuasiIdentifiers()); err == nil {
+		t.Error("accepted row mismatch")
+	}
+	if _, err := MeasureInfoLoss(d, d, nil); err == nil {
+		t.Error("accepted empty columns")
+	}
+}
+
+func TestScore(t *testing.T) {
+	if s := Score(0, 0); s != 0 {
+		t.Errorf("Score(0,0) = %v", s)
+	}
+	if s := Score(1, 1); s != 1 {
+		t.Errorf("Score(1,1) = %v", s)
+	}
+	if s := Score(2, -1); s != 0.5 {
+		t.Errorf("Score clamps: got %v, want 0.5", s)
+	}
+	if math.Abs(Score(0.4, 0.6)-0.5) > 1e-12 {
+		t.Error("Score should average risk and loss")
+	}
+}
+
+func TestRiskUtilityTradeoffAcrossK(t *testing.T) {
+	// The fundamental SDC trade-off on which experiment E-X2 rests:
+	// larger k lowers linkage risk and raises information loss.
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 300, Seed: 12})
+	cols := d.QuasiIdentifiers()
+	var prevRisk, prevLoss float64
+	for idx, k := range []int{2, 8, 25} {
+		m, _, err := microagg.Mask(d, microagg.NewOptions(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := DistanceLinkage(d, m, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		il, err := MeasureInfoLoss(d, m, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx > 0 {
+			if rep.Rate > prevRisk+1e-9 {
+				t.Errorf("k=%d: risk rose from %v to %v", k, prevRisk, rep.Rate)
+			}
+			if il.Overall() < prevLoss-1e-9 {
+				t.Errorf("k=%d: loss fell from %v to %v", k, prevLoss, il.Overall())
+			}
+		}
+		prevRisk, prevLoss = rep.Rate, il.Overall()
+	}
+}

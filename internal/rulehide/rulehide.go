@@ -1,0 +1,183 @@
+// Package rulehide implements association-rule hiding in the style of
+// Verykios, Elmagarmid, Bertino, Saygin & Dasseni (TKDE 2004), the paper's
+// citation [25]: a data owner sanitises a transaction database before
+// release so that designated sensitive rules can no longer be mined at the
+// given support/confidence thresholds, while distorting the database as
+// little as possible. In the three-dimensional framework this is a
+// use-specific non-crypto PPDM technology: it protects the owner's
+// strategic knowledge (the sensitive rules), at some utility cost to other
+// rules (side effects).
+package rulehide
+
+import (
+	"fmt"
+	"sort"
+
+	"privacy3d/internal/mining"
+)
+
+// SensitiveRule designates a rule to hide.
+type SensitiveRule struct {
+	Antecedent mining.Itemset
+	Consequent mining.Itemset
+}
+
+// Report summarises a sanitisation run.
+type Report struct {
+	// ItemsRemoved counts item deletions applied to transactions.
+	ItemsRemoved int
+	// Hidden lists the sensitive rules successfully hidden.
+	Hidden []SensitiveRule
+	// SideEffects counts non-sensitive rules minable before sanitisation
+	// but lost afterwards (at the same thresholds).
+	SideEffects int
+	// GhostRules counts rules minable only after sanitisation.
+	GhostRules int
+}
+
+// Hide sanitises the transactions so every sensitive rule falls below
+// minSupport (absolute) or minConfidence, by deleting consequent items from
+// supporting transactions (the support-reduction strategy of [25]). The
+// input is not modified.
+func Hide(txs []mining.Transaction, sensitive []SensitiveRule, minSupport int, minConfidence float64) ([]mining.Transaction, Report, error) {
+	var rep Report
+	if minSupport < 1 {
+		return nil, rep, fmt.Errorf("rulehide: minSupport must be ≥ 1, got %d", minSupport)
+	}
+	if minConfidence <= 0 || minConfidence > 1 {
+		return nil, rep, fmt.Errorf("rulehide: minConfidence must be in (0,1], got %g", minConfidence)
+	}
+	for _, s := range sensitive {
+		if len(s.Antecedent) == 0 || len(s.Consequent) == 0 {
+			return nil, rep, fmt.Errorf("rulehide: sensitive rule needs non-empty antecedent and consequent")
+		}
+	}
+	before, err := mining.MineRules(txs, minSupport, minConfidence)
+	if err != nil {
+		return nil, rep, err
+	}
+	// Working copy as item sets.
+	work := make([]map[string]bool, len(txs))
+	for i, tr := range txs {
+		m := make(map[string]bool, len(tr))
+		for _, it := range tr {
+			m[it] = true
+		}
+		work[i] = m
+	}
+	for _, s := range sensitive {
+		for {
+			sup, conf := measure(work, s)
+			if sup < minSupport || conf < minConfidence {
+				rep.Hidden = append(rep.Hidden, s)
+				break
+			}
+			// Choose the shortest supporting transaction (minimum
+			// collateral damage) and delete one consequent item.
+			victim := -1
+			for i, m := range work {
+				if supports(m, s.Antecedent) && supports(m, s.Consequent) {
+					if victim < 0 || len(m) < len(work[victim]) {
+						victim = i
+					}
+				}
+			}
+			if victim < 0 {
+				// No support left; rule is hidden by definition.
+				rep.Hidden = append(rep.Hidden, s)
+				break
+			}
+			// Deterministic choice: lexicographically smallest
+			// consequent item present.
+			items := append(mining.Itemset(nil), s.Consequent...)
+			sort.Strings(items)
+			delete(work[victim], items[0])
+			rep.ItemsRemoved++
+		}
+	}
+	out := make([]mining.Transaction, len(work))
+	for i, m := range work {
+		tr := make(mining.Transaction, 0, len(m))
+		for it := range m {
+			tr = append(tr, it)
+		}
+		sort.Strings(tr)
+		out[i] = tr
+	}
+	after, err := mining.MineRules(out, minSupport, minConfidence)
+	if err != nil {
+		return nil, rep, err
+	}
+	sens := map[string]bool{}
+	for _, s := range sensitive {
+		sens[ruleKey(s.Antecedent, s.Consequent)] = true
+	}
+	beforeSet := map[string]bool{}
+	for _, r := range before {
+		beforeSet[ruleKey(r.Antecedent, r.Consequent)] = true
+	}
+	afterSet := map[string]bool{}
+	for _, r := range after {
+		afterSet[ruleKey(r.Antecedent, r.Consequent)] = true
+	}
+	for k := range beforeSet {
+		if !afterSet[k] && !sens[k] {
+			rep.SideEffects++
+		}
+	}
+	for k := range afterSet {
+		if !beforeSet[k] {
+			rep.GhostRules++
+		}
+	}
+	return out, rep, nil
+}
+
+// IsHidden reports whether the rule cannot be mined from txs at the given
+// thresholds.
+func IsHidden(txs []mining.Transaction, s SensitiveRule, minSupport int, minConfidence float64) (bool, error) {
+	rules, err := mining.MineRules(txs, minSupport, minConfidence)
+	if err != nil {
+		return false, err
+	}
+	key := ruleKey(s.Antecedent, s.Consequent)
+	for _, r := range rules {
+		if ruleKey(r.Antecedent, r.Consequent) == key {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func measure(work []map[string]bool, s SensitiveRule) (sup int, conf float64) {
+	antSup := 0
+	for _, m := range work {
+		if supports(m, s.Antecedent) {
+			antSup++
+			if supports(m, s.Consequent) {
+				sup++
+			}
+		}
+	}
+	if antSup > 0 {
+		conf = float64(sup) / float64(antSup)
+	}
+	return sup, conf
+}
+
+func supports(m map[string]bool, items mining.Itemset) bool {
+	for _, it := range items {
+		if !m[it] {
+			return false
+		}
+	}
+	return true
+}
+
+func ruleKey(a, c mining.Itemset) string {
+	as := append(mining.Itemset(nil), a...)
+	cs := append(mining.Itemset(nil), c...)
+	sort.Strings(as)
+	sort.Strings(cs)
+	return as.Key() + "=>" + cs.Key()
+}

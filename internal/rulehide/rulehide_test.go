@@ -1,0 +1,171 @@
+package rulehide
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/mining"
+)
+
+func basket() []mining.Transaction {
+	return []mining.Transaction{
+		{"bread", "milk"},
+		{"bread", "diapers", "beer", "eggs"},
+		{"milk", "diapers", "beer", "cola"},
+		{"bread", "milk", "diapers", "beer"},
+		{"bread", "milk", "diapers", "cola"},
+		{"bread", "diapers", "beer"},
+		{"milk", "diapers", "beer"},
+	}
+}
+
+func TestHideSensitiveRule(t *testing.T) {
+	txs := basket()
+	s := SensitiveRule{Antecedent: mining.Itemset{"beer"}, Consequent: mining.Itemset{"diapers"}}
+	// Rule must be minable before.
+	hidden, err := IsHidden(txs, s, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden {
+		t.Fatal("beer ⇒ diapers should be minable before sanitisation")
+	}
+	out, rep, err := Hide(txs, []SensitiveRule{s}, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden, err = IsHidden(out, s, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hidden {
+		t.Error("rule still minable after sanitisation")
+	}
+	if rep.ItemsRemoved == 0 {
+		t.Error("sanitisation should have removed items")
+	}
+	if len(rep.Hidden) != 1 {
+		t.Errorf("hidden rules = %d, want 1", len(rep.Hidden))
+	}
+	// Input untouched.
+	if len(txs[1]) != 4 {
+		t.Error("Hide modified its input")
+	}
+	// Transaction count unchanged (item deletion, not record deletion).
+	if len(out) != len(txs) {
+		t.Errorf("transactions %d → %d", len(txs), len(out))
+	}
+}
+
+func TestHideMinimalDistortion(t *testing.T) {
+	txs := basket()
+	s := SensitiveRule{Antecedent: mining.Itemset{"beer"}, Consequent: mining.Itemset{"diapers"}}
+	out, rep2, err := Hide(txs, []SensitiveRule{s}, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Items removed should be small relative to total items.
+	total := 0
+	for _, tr := range txs {
+		total += len(tr)
+	}
+	if rep2.ItemsRemoved > total/3 {
+		t.Errorf("removed %d of %d items — excessive distortion", rep2.ItemsRemoved, total)
+	}
+	// Non-sensitive structure largely intact: bread⇒milk style rules may
+	// persist; at minimum mining still works.
+	if _, err := mining.MineRules(out, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHideAlreadyHiddenRuleIsNoop(t *testing.T) {
+	txs := basket()
+	s := SensitiveRule{Antecedent: mining.Itemset{"eggs"}, Consequent: mining.Itemset{"cola"}}
+	out, rep, err := Hide(txs, []SensitiveRule{s}, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ItemsRemoved != 0 {
+		t.Errorf("no-op hide removed %d items", rep.ItemsRemoved)
+	}
+	for i := range txs {
+		if len(out[i]) != len(txs[i]) {
+			t.Error("transactions changed for already-hidden rule")
+		}
+	}
+}
+
+func TestHideValidation(t *testing.T) {
+	txs := basket()
+	if _, _, err := Hide(txs, nil, 0, 0.5); err == nil {
+		t.Error("accepted minSupport 0")
+	}
+	if _, _, err := Hide(txs, nil, 2, 0); err == nil {
+		t.Error("accepted minConfidence 0")
+	}
+	bad := []SensitiveRule{{Antecedent: nil, Consequent: mining.Itemset{"x"}}}
+	if _, _, err := Hide(txs, bad, 2, 0.5); err == nil {
+		t.Error("accepted empty antecedent")
+	}
+}
+
+func TestHideMultipleRules(t *testing.T) {
+	txs := basket()
+	rules := []SensitiveRule{
+		{Antecedent: mining.Itemset{"beer"}, Consequent: mining.Itemset{"diapers"}},
+		{Antecedent: mining.Itemset{"bread"}, Consequent: mining.Itemset{"milk"}},
+	}
+	out, rep, err := Hide(txs, rules, 3, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Hidden) != 2 {
+		t.Fatalf("hidden %d rules, want 2", len(rep.Hidden))
+	}
+	for _, s := range rules {
+		h, err := IsHidden(out, s, 3, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h {
+			t.Errorf("rule %v=>%v still minable", s.Antecedent, s.Consequent)
+		}
+	}
+}
+
+func TestHideOnSyntheticBaskets(t *testing.T) {
+	// Larger randomized workload: plant a strong rule, hide it.
+	rng := dataset.NewRand(3)
+	var txs []mining.Transaction
+	for i := 0; i < 300; i++ {
+		tr := mining.Transaction{}
+		if rng.Float64() < 0.4 {
+			tr = append(tr, "razor", "blades")
+		}
+		if rng.Float64() < 0.5 {
+			tr = append(tr, "soap")
+		}
+		if rng.Float64() < 0.3 {
+			tr = append(tr, "towel")
+		}
+		if len(tr) == 0 {
+			tr = append(tr, "misc")
+		}
+		txs = append(txs, tr)
+	}
+	s := SensitiveRule{Antecedent: mining.Itemset{"razor"}, Consequent: mining.Itemset{"blades"}}
+	if h, _ := IsHidden(txs, s, 20, 0.8); h {
+		t.Fatal("planted rule not minable")
+	}
+	out, rep, err := Hide(txs, []SensitiveRule{s}, 20, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := IsHidden(out, s, 20, 0.8); !h {
+		t.Error("planted rule survived sanitisation")
+	}
+	if rep.ItemsRemoved == 0 {
+		t.Error("expected removals")
+	}
+}

@@ -1,0 +1,88 @@
+package sdcquery
+
+import (
+	"math"
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+// Property test of the auditor's safety invariant: whatever sequence of
+// random statistical queries is answered, the system of answered queries
+// never determines a single record's confidential value. This is the
+// Chin–Ozsoyoglu guarantee the tracker tests exercise only pointwise.
+
+func TestAuditingNeverDisclosesUnderRandomWorkload(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 40, Seed: 19})
+	for trial := 0; trial < 10; trial++ {
+		srv, err := NewServer(d, Config{Protection: Auditing, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := dataset.NewRand(uint64(trial) * 7)
+		// Record the answered sums to rebuild the adversary's system.
+		var answered [][]float64
+		for q := 0; q < 40; q++ {
+			// Random conjunctive predicate over the quasi-identifiers.
+			var pred Predicate
+			if rng.Float64() < 0.8 {
+				pred = append(pred, Cond{Col: "height", Op: randOp(rng), V: 150 + 40*rng.Float64()})
+			}
+			if rng.Float64() < 0.8 {
+				pred = append(pred, Cond{Col: "weight", Op: randOp(rng), V: 50 + 60*rng.Float64()})
+			}
+			query := Query{Agg: Sum, Attr: "blood_pressure", Where: pred}
+			a, err := srv.Ask(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Denied {
+				continue
+			}
+			rows, err := pred.QuerySet(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			indicator := make([]float64, d.Rows()+1)
+			for _, i := range rows {
+				indicator[i] = 1
+			}
+			indicator[d.Rows()] = a.Value
+			answered = append(answered, indicator)
+		}
+		if len(answered) == 0 {
+			continue
+		}
+		// Adversary's best effort: full Gaussian elimination. No row may
+		// end up with a single non-zero coefficient.
+		stats.GaussianEliminate(answered, d.Rows())
+		for _, r := range answered {
+			nz := 0
+			for c := 0; c < d.Rows(); c++ {
+				if math.Abs(r[c]) > 1e-9 {
+					nz++
+					if nz > 1 {
+						break
+					}
+				}
+			}
+			if nz == 1 {
+				t.Fatalf("trial %d: an answered-query combination discloses a record", trial)
+			}
+		}
+	}
+}
+
+func randOp(rng interface{ IntN(int) int }) Op {
+	switch rng.IntN(4) {
+	case 0:
+		return Lt
+	case 1:
+		return Le
+	case 2:
+		return Gt
+	default:
+		return Ge
+	}
+}

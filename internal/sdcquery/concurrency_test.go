@@ -1,0 +1,39 @@
+package sdcquery
+
+import (
+	"sync"
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+// The HTTP front end serves requests concurrently; the Server must be safe
+// under parallel Ask/Log traffic (run with -race).
+func TestServerConcurrentAsk(t *testing.T) {
+	srv, err := NewServer(dataset.SyntheticTrial(dataset.TrialConfig{N: 200, Seed: 1}),
+		Config{Protection: Auditing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := Query{Agg: Count, Where: Predicate{
+					{Col: "height", Op: Ge, V: float64(140 + (w*25+i)%60)},
+				}}
+				if _, err := srv.Ask(q); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = srv.Log()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(srv.Log()); got != 200 {
+		t.Errorf("log has %d entries, want 200", got)
+	}
+}

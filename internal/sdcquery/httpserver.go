@@ -1,0 +1,130 @@
+package sdcquery
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTP front end for the protected statistical database, so the "owner sees
+// every query" property of Section 3 is tangible: the /log endpoint IS the
+// owner's complete view of the users' activity.
+//
+//	POST /query  — structured JSON query
+//	POST /sql    — raw query text in the paper's dialect
+//	GET  /log    — the owner's query log
+
+// QueryJSON is the structured wire format of /query.
+type QueryJSON struct {
+	Agg   string     `json:"agg"`  // COUNT, SUM or AVG
+	Attr  string     `json:"attr"` // ignored for COUNT
+	Where []CondJSON `json:"where"`
+}
+
+// CondJSON is one predicate condition on the wire.
+type CondJSON struct {
+	Col string  `json:"col"`
+	Op  string  `json:"op"` // <, <=, >, >=, =, !=
+	V   float64 `json:"v"`
+	S   string  `json:"s"`
+}
+
+// AnswerJSON is the response of /query and /sql.
+type AnswerJSON struct {
+	Denied   bool    `json:"denied,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	Lo       float64 `json:"lo,omitempty"`
+	Hi       float64 `json:"hi,omitempty"`
+	Interval bool    `json:"interval,omitempty"`
+}
+
+// ToQuery converts the wire format into a Query.
+func (q QueryJSON) ToQuery() (Query, error) {
+	var out Query
+	switch q.Agg {
+	case "COUNT":
+		out.Agg = Count
+	case "SUM":
+		out.Agg = Sum
+	case "AVG":
+		out.Agg = Avg
+	default:
+		return out, fmt.Errorf("sdcquery: unknown aggregate %q", q.Agg)
+	}
+	out.Attr = q.Attr
+	for _, c := range q.Where {
+		var op Op
+		switch c.Op {
+		case "<":
+			op = Lt
+		case "<=":
+			op = Le
+		case ">":
+			op = Gt
+		case ">=":
+			op = Ge
+		case "=", "==":
+			op = Eq
+		case "!=":
+			op = Ne
+		default:
+			return out, fmt.Errorf("sdcquery: unknown operator %q", c.Op)
+		}
+		out.Where = append(out.Where, Cond{Col: c.Col, Op: op, V: c.V, S: c.S})
+	}
+	return out, nil
+}
+
+// NewHTTPHandler wraps a Server in the HTTP API.
+func NewHTTPHandler(srv *Server) http.Handler {
+	mux := http.NewServeMux()
+	answer := func(w http.ResponseWriter, q Query) {
+		a, err := srv.Ask(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// Encoding a flat struct to a ResponseWriter cannot fail in a way
+		// the handler can still report; ignore the error deliberately.
+		_ = json.NewEncoder(w).Encode(AnswerJSON{
+			Denied: a.Denied, Reason: a.Reason, Value: a.Value,
+			Lo: a.Lo, Hi: a.Hi, Interval: a.Interval,
+		})
+	}
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var qj QueryJSON
+		if err := json.NewDecoder(r.Body).Decode(&qj); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q, err := qj.ToQuery()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		answer(w, q)
+	})
+	mux.HandleFunc("POST /sql", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q, err := ParseQuery(string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		answer(w, q)
+	})
+	mux.HandleFunc("GET /log", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for i, q := range srv.Log() {
+			fmt.Fprintf(w, "%4d  %s\n", i+1, q)
+		}
+	})
+	return mux
+}

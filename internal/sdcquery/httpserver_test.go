@@ -1,0 +1,136 @@
+package sdcquery
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+func newTestHTTP(t *testing.T, prot Protection) (*httptest.Server, *Server) {
+	t.Helper()
+	srv, err := NewServer(dataset.Dataset2(), Config{Protection: prot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := httptest.NewServer(NewHTTPHandler(srv))
+	t.Cleanup(h.Close)
+	return h, srv
+}
+
+func postJSON(t *testing.T, url string, body string) AnswerJSON {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var a AnswerJSON
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestHTTPQueryEndpoint(t *testing.T) {
+	h, _ := newTestHTTP(t, NoProtection)
+	a := postJSON(t, h.URL+"/query", `{
+		"agg": "AVG", "attr": "blood_pressure",
+		"where": [
+			{"col": "height", "op": "<", "v": 165},
+			{"col": "weight", "op": ">", "v": 105}
+		]}`)
+	if a.Denied || a.Value != 146 {
+		t.Errorf("answer = %+v, want 146", a)
+	}
+}
+
+func TestHTTPSQLEndpoint(t *testing.T) {
+	h, _ := newTestHTTP(t, NoProtection)
+	a := postJSON(t, h.URL+"/sql",
+		"SELECT COUNT(*) WHERE height < 165 AND weight > 105")
+	if a.Denied || a.Value != 1 {
+		t.Errorf("answer = %+v, want COUNT 1", a)
+	}
+}
+
+func TestHTTPDenialPropagates(t *testing.T) {
+	h, _ := newTestHTTP(t, Auditing)
+	a := postJSON(t, h.URL+"/sql",
+		"SELECT AVG(blood_pressure) WHERE height < 165 AND weight > 105")
+	if !a.Denied {
+		t.Error("singleton AVG should be denied under auditing")
+	}
+	if a.Reason == "" {
+		t.Error("denial lacks a reason")
+	}
+}
+
+func TestHTTPLogShowsEverything(t *testing.T) {
+	h, srv := newTestHTTP(t, NoProtection)
+	postJSON(t, h.URL+"/sql", "SELECT COUNT(*) WHERE height < 170")
+	postJSON(t, h.URL+"/sql", "SELECT COUNT(*) WHERE height >= 170")
+	resp, err := http.Get(h.URL + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if !strings.Contains(out, "height < 170") || !strings.Contains(out, "height >= 170") {
+		t.Errorf("log missing queries:\n%s", out)
+	}
+	if len(srv.Log()) != 2 {
+		t.Errorf("server log has %d entries", len(srv.Log()))
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	h, _ := newTestHTTP(t, NoProtection)
+	// Malformed JSON.
+	resp, err := http.Post(h.URL+"/query", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON status = %d", resp.StatusCode)
+	}
+	// Unknown aggregate.
+	resp, err = http.Post(h.URL+"/query", "application/json", strings.NewReader(`{"agg":"MEDIAN"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown aggregate status = %d", resp.StatusCode)
+	}
+	// Bad SQL.
+	resp, err = http.Post(h.URL+"/sql", "text/plain", strings.NewReader("DROP TABLE patients"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad SQL status = %d", resp.StatusCode)
+	}
+	// Unknown path.
+	resp, err = http.Get(h.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+}

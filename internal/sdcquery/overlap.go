@@ -1,0 +1,65 @@
+package sdcquery
+
+import "fmt"
+
+// Overlap control (Dobkin, Jones & Lipton 1979): a further inference-control
+// strategy for interactive statistical databases — deny any query whose
+// query set overlaps a previously answered query set in more than
+// MaxOverlap records. Difference attacks like the tracker need highly
+// overlapping query pairs, so bounding pairwise overlap blocks them without
+// maintaining the full linear system the auditor needs.
+
+// OverlapController wraps answered query sets and enforces the bound.
+type OverlapController struct {
+	maxOverlap int
+	minSetSize int
+	answered   [][]int
+}
+
+// NewOverlapController builds a controller. minSetSize plays the usual
+// size-restriction role; maxOverlap bounds pairwise intersections.
+func NewOverlapController(minSetSize, maxOverlap int) (*OverlapController, error) {
+	if minSetSize < 1 {
+		return nil, fmt.Errorf("sdcquery: minSetSize must be ≥ 1, got %d", minSetSize)
+	}
+	if maxOverlap < 0 {
+		return nil, fmt.Errorf("sdcquery: maxOverlap must be ≥ 0, got %d", maxOverlap)
+	}
+	return &OverlapController{maxOverlap: maxOverlap, minSetSize: minSetSize}, nil
+}
+
+// Admit decides whether a query with the given query set may be answered;
+// admitted sets are remembered. rows must be sorted ascending (QuerySet
+// returns them that way).
+func (oc *OverlapController) Admit(rows []int) (bool, string) {
+	if len(rows) < oc.minSetSize {
+		return false, fmt.Sprintf("query set size %d below %d", len(rows), oc.minSetSize)
+	}
+	for _, prev := range oc.answered {
+		if ov := sortedOverlap(prev, rows); ov > oc.maxOverlap {
+			return false, fmt.Sprintf("overlap %d with an answered query exceeds %d", ov, oc.maxOverlap)
+		}
+	}
+	oc.answered = append(oc.answered, append([]int(nil), rows...))
+	return true, ""
+}
+
+// Answered returns how many query sets have been admitted.
+func (oc *OverlapController) Answered() int { return len(oc.answered) }
+
+func sortedOverlap(a, b []int) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package sdcquery
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+func TestOverlapControllerBasics(t *testing.T) {
+	oc, err := NewOverlapController(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := oc.Admit([]int{1, 2, 3}); !ok {
+		t.Fatal("first query should be admitted")
+	}
+	// Disjoint set: fine.
+	if ok, _ := oc.Admit([]int{4, 5, 6}); !ok {
+		t.Error("disjoint query denied")
+	}
+	// Overlap of exactly 1: allowed at MaxOverlap 1.
+	if ok, _ := oc.Admit([]int{3, 7, 8}); !ok {
+		t.Error("overlap-1 query denied with MaxOverlap 1")
+	}
+	// Overlap of 2 with the first: denied.
+	if ok, reason := oc.Admit([]int{1, 2, 9}); ok {
+		t.Error("overlap-2 query admitted")
+	} else if reason == "" {
+		t.Error("denial without reason")
+	}
+	// Too small: denied and not remembered.
+	before := oc.Answered()
+	if ok, _ := oc.Admit([]int{42}); ok {
+		t.Error("undersized query admitted")
+	}
+	if oc.Answered() != before {
+		t.Error("denied query was remembered")
+	}
+}
+
+func TestOverlapControllerValidation(t *testing.T) {
+	if _, err := NewOverlapController(0, 1); err == nil {
+		t.Error("accepted minSetSize 0")
+	}
+	if _, err := NewOverlapController(1, -1); err == nil {
+		t.Error("accepted negative overlap")
+	}
+}
+
+func TestSortedOverlap(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 2},
+		{[]int{}, []int{1}, 0},
+		{[]int{5}, []int{5}, 1},
+		{[]int{1, 3, 5}, []int{2, 4, 6}, 0},
+	}
+	for _, c := range cases {
+		if got := sortedOverlap(c.a, c.b); got != c.want {
+			t.Errorf("sortedOverlap(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOverlapRestrictionBlocksTracker(t *testing.T) {
+	// The tracker's padded queries A and A∧¬B overlap in |A∧¬B| records —
+	// far above any small MaxOverlap — so overlap control stops the attack
+	// at its second query.
+	srv, err := NewServer(dataset.Dataset2(), Config{Protection: OverlapRestriction, MinSetSize: 2, MaxOverlap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(srv,
+		Predicate{{Col: "height", Op: Lt, V: 176}},
+		Cond{Col: "weight", Op: Gt, V: 105})
+	if _, err := tr.Infer("blood_pressure"); err == nil {
+		t.Error("overlap restriction failed to block the tracker")
+	}
+}
+
+func TestOverlapRestrictionAllowsDisjointWorkload(t *testing.T) {
+	srv, err := NewServer(dataset.Dataset2(), Config{Protection: OverlapRestriction, MinSetSize: 2, MaxOverlap: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv.Ask(Query{Agg: Count, Where: Predicate{{Col: "height", Op: Lt, V: 175}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Denied {
+		t.Fatalf("first query denied: %s", a.Reason)
+	}
+	b, err := srv.Ask(Query{Agg: Count, Where: Predicate{{Col: "height", Op: Ge, V: 175}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Denied {
+		t.Errorf("disjoint query denied: %s", b.Reason)
+	}
+	if a.Value+b.Value != 9 {
+		t.Errorf("counts %v + %v != 9", a.Value, b.Value)
+	}
+}

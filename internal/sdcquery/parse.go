@@ -1,0 +1,257 @@
+package sdcquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseQuery parses the SQL-ish statistical query dialect the paper writes
+// its examples in:
+//
+//	SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105
+//	SELECT AVG(blood_pressure) WHERE height < 165
+//	SUM(salary) WHERE dept = 'research' AND age >= 40
+//
+// Grammar (case-insensitive keywords):
+//
+//	query  := [SELECT] agg '(' attr | '*' ')' [FROM ident] [WHERE conds]
+//	conds  := cond (AND cond)*
+//	cond   := ident op (number | string)
+//	op     := '<' | '<=' | '>' | '>=' | '=' | '==' | '!=' | '<>'
+//
+// String literals use single or double quotes. The FROM clause is accepted
+// and ignored (the server is bound to one table).
+func ParseQuery(input string) (Query, error) {
+	p := &parser{toks: lex(input)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, fmt.Errorf("sdcquery: parse %q: %w", input, err)
+	}
+	return q, nil
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokOp
+	tokLParen
+	tokRParen
+	tokStar
+	tokEOF
+	tokError
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*"})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || (c == '<' && s[j] == '>')) {
+				j++
+			}
+			toks = append(toks, token{tokOp, s[i:j]})
+			i = j
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(s) && s[j] != quote {
+				j++
+			}
+			if j >= len(s) {
+				toks = append(toks, token{tokError, "unterminated string"})
+				return toks
+			}
+			toks = append(toks, token{tokString, s[i+1 : j]})
+			i = j + 1
+		case c == '-' || c == '.' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(s) && (s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
+				s[j] == '+' || s[j] == '-' || (s[j] >= '0' && s[j] <= '9')) {
+				// Allow +/- only right after an exponent marker.
+				if (s[j] == '+' || s[j] == '-') && !(s[j-1] == 'e' || s[j-1] == 'E') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(s) && (s[j] == '_' || unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j]))) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			toks = append(toks, token{tokError, fmt.Sprintf("unexpected character %q", c)})
+			return toks
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind == tokError {
+		return t, fmt.Errorf("%s", t.text)
+	}
+	if t.kind != kind {
+		return t, fmt.Errorf("expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	var q Query
+	t, err := p.expect(tokIdent, "SELECT or aggregate")
+	if err != nil {
+		return q, err
+	}
+	if strings.EqualFold(t.text, "select") {
+		t, err = p.expect(tokIdent, "aggregate")
+		if err != nil {
+			return q, err
+		}
+	}
+	switch strings.ToUpper(t.text) {
+	case "COUNT":
+		q.Agg = Count
+	case "SUM":
+		q.Agg = Sum
+	case "AVG":
+		q.Agg = Avg
+	default:
+		return q, fmt.Errorf("unknown aggregate %q", t.text)
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return q, err
+	}
+	arg := p.next()
+	switch arg.kind {
+	case tokStar:
+		if q.Agg != Count {
+			return q, fmt.Errorf("%v requires an attribute, not '*'", q.Agg)
+		}
+	case tokIdent:
+		q.Attr = arg.text
+	default:
+		return q, fmt.Errorf("expected attribute or '*', got %q", arg.text)
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return q, err
+	}
+	// Optional FROM ident (ignored).
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "from") {
+		p.next()
+		if _, err := p.expect(tokIdent, "table name"); err != nil {
+			return q, err
+		}
+	}
+	// Optional WHERE.
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "where") {
+		p.next()
+		for {
+			cond, err := p.parseCond()
+			if err != nil {
+				return q, err
+			}
+			q.Where = append(q.Where, cond)
+			t := p.peek()
+			if t.kind == tokIdent && strings.EqualFold(t.text, "and") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if t := p.next(); t.kind != tokEOF {
+		return q, fmt.Errorf("unexpected trailing input %q", t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	var c Cond
+	col, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return c, err
+	}
+	c.Col = col.text
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return c, err
+	}
+	switch opTok.text {
+	case "<":
+		c.Op = Lt
+	case "<=":
+		c.Op = Le
+	case ">":
+		c.Op = Gt
+	case ">=":
+		c.Op = Ge
+	case "=", "==":
+		c.Op = Eq
+	case "!=", "<>":
+		c.Op = Ne
+	default:
+		return c, fmt.Errorf("unknown operator %q", opTok.text)
+	}
+	v := p.next()
+	switch v.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(v.text, 64)
+		if err != nil {
+			return c, fmt.Errorf("bad number %q: %w", v.text, err)
+		}
+		c.V = f
+	case tokString:
+		c.S = v.text
+	case tokIdent:
+		// Bare words compare as strings (aids = Y).
+		c.S = v.text
+	default:
+		return c, fmt.Errorf("expected value, got %q", v.text)
+	}
+	return c, nil
+}

@@ -1,0 +1,137 @@
+package sdcquery
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+func TestParseQueryPaperExamples(t *testing.T) {
+	// The two queries of the paper's Section 3, verbatim.
+	q1, err := ParseQuery("SELECT COUNT(*) FROM Dataset2 WHERE height < 165 AND weight > 105")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Agg != Count || len(q1.Where) != 2 {
+		t.Fatalf("parsed %+v", q1)
+	}
+	q2, err := ParseQuery("SELECT AVG(blood_pressure) FROM Dataset2 WHERE height < 165 AND weight > 105")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Agg != Avg || q2.Attr != "blood_pressure" {
+		t.Fatalf("parsed %+v", q2)
+	}
+	// Evaluating them reproduces the attack numbers.
+	d := dataset.Dataset2()
+	c, err := q1.Evaluate(d)
+	if err != nil || c != 1 {
+		t.Errorf("COUNT = %v (err %v)", c, err)
+	}
+	a, err := q2.Evaluate(d)
+	if err != nil || a != 146 {
+		t.Errorf("AVG = %v (err %v)", a, err)
+	}
+}
+
+func TestParseQueryForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		agg  Agg
+		attr string
+		n    int // conditions
+	}{
+		{"COUNT(*)", Count, "", 0},
+		{"count(*) where x = 1", Count, "", 1},
+		{"SUM(salary) WHERE dept = 'research' AND age >= 40", Sum, "salary", 2},
+		{"select avg(bp) from t", Avg, "bp", 0},
+		{`AVG(x) WHERE name != "bob"`, Avg, "x", 1},
+		{"COUNT(*) WHERE aids = Y", Count, "", 1},
+		{"SUM(x) WHERE v <> 3", Sum, "x", 1},
+		{"SUM(x) WHERE v <= -2.5e3", Sum, "x", 1},
+	}
+	for _, c := range cases {
+		q, err := ParseQuery(c.in)
+		if err != nil {
+			t.Errorf("ParseQuery(%q): %v", c.in, err)
+			continue
+		}
+		if q.Agg != c.agg || q.Attr != c.attr || len(q.Where) != c.n {
+			t.Errorf("ParseQuery(%q) = %+v", c.in, q)
+		}
+	}
+}
+
+func TestParseQueryValues(t *testing.T) {
+	q, err := ParseQuery("SUM(x) WHERE v <= -2.5e3 AND w = 'a b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].V != -2500 {
+		t.Errorf("numeric value = %v", q.Where[0].V)
+	}
+	if q.Where[1].S != "a b" {
+		t.Errorf("string value = %q", q.Where[1].S)
+	}
+	if q.Where[1].Op != Eq {
+		t.Errorf("op = %v", q.Where[1].Op)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE x",
+		"SELECT MEDIAN(x)",
+		"AVG(*)",
+		"SUM(x",
+		"SUM(x) WHERE",
+		"SUM(x) WHERE a <",
+		"SUM(x) WHERE a ~ 3",
+		"SUM(x) WHERE a = 'unterminated",
+		"COUNT(*) garbage",
+		"SUM(x) WHERE a = 3 AND",
+		"SELECT",
+	}
+	for _, in := range bad {
+		if _, err := ParseQuery(in); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	// Query.String() output is itself parseable (modulo the SELECT prefix
+	// convention), keeping logs replayable.
+	orig := Query{Agg: Avg, Attr: "blood_pressure", Where: Predicate{
+		{Col: "height", Op: Lt, V: 165},
+		{Col: "aids", Op: Eq, S: "Y"},
+	}}
+	parsed, err := ParseQuery(orig.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", orig.String(), err)
+	}
+	if parsed.Agg != orig.Agg || parsed.Attr != orig.Attr || len(parsed.Where) != 2 {
+		t.Errorf("round trip: %+v", parsed)
+	}
+	if parsed.Where[1].S != "Y" {
+		t.Errorf("categorical condition lost: %+v", parsed.Where[1])
+	}
+}
+
+func FuzzParseQuery(f *testing.F) {
+	f.Add("SELECT COUNT(*) WHERE height < 165 AND weight > 105")
+	f.Add("SUM(x) WHERE a = 'b'")
+	f.Add("AVG(")
+	f.Add("'")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Must never panic; errors are fine.
+		q, err := ParseQuery(input)
+		if err == nil {
+			// A successfully parsed query must render and reparse.
+			if _, err := ParseQuery(q.String()); err != nil {
+				t.Skip() // string rendering of odd identifiers may not reparse
+			}
+		}
+	})
+}

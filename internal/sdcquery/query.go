@@ -1,0 +1,254 @@
+// Package sdcquery implements the interactive statistical database of the
+// paper's Section 3: users submit statistical queries (COUNT, SUM, AVG with
+// predicates) and the data owner applies an inference-control strategy —
+// query-set-size restriction, Chin–Ozsoyoglu auditing ([7]), output
+// perturbation (Duncan & Mukherjee, [14]) or interval camouflage (Gopal,
+// Garfinkel & Goes, [16]). The server records every query it sees, which is
+// precisely why this architecture offers no user privacy: "All SDC methods
+// for interactive statistical databases assume that the data owner ...
+// exactly knows the queries submitted by users."
+//
+// The package also implements the Schlörer tracker attack ([22]) that makes
+// size restriction alone insufficient.
+package sdcquery
+
+import (
+	"fmt"
+	"strings"
+
+	"privacy3d/internal/dataset"
+)
+
+// Op is a comparison operator in a query predicate.
+type Op int
+
+const (
+	Lt Op = iota // <
+	Le           // <=
+	Gt           // >
+	Ge           // >=
+	Eq           // ==
+	Ne           // !=
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Negate returns the complementary operator (¬(x < v) ≡ x >= v, …), the
+// property the individual tracker attack exploits to express set
+// differences with pure conjunctions.
+func (o Op) Negate() Op {
+	switch o {
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	case Eq:
+		return Ne
+	default:
+		return Eq
+	}
+}
+
+// Cond is one atomic condition: column OP value. For numeric columns V is
+// used; for categorical columns S is used and only Eq/Ne are meaningful.
+type Cond struct {
+	Col string
+	Op  Op
+	V   float64
+	S   string
+}
+
+// Negate returns the logical complement of the condition.
+func (c Cond) Negate() Cond {
+	c.Op = c.Op.Negate()
+	return c
+}
+
+// String renders the condition.
+func (c Cond) String() string {
+	if c.S != "" {
+		return fmt.Sprintf("%s %s %q", c.Col, c.Op, c.S)
+	}
+	return fmt.Sprintf("%s %s %g", c.Col, c.Op, c.V)
+}
+
+// Predicate is a conjunction of conditions; the empty predicate matches
+// every record.
+type Predicate []Cond
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	if len(p) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(p))
+	for i, c := range p {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// And returns p extended with extra conditions.
+func (p Predicate) And(conds ...Cond) Predicate {
+	out := make(Predicate, 0, len(p)+len(conds))
+	out = append(out, p...)
+	out = append(out, conds...)
+	return out
+}
+
+// Match reports whether record i of d satisfies the predicate. Unknown
+// columns or operator/kind mismatches yield an error.
+func (p Predicate) Match(d *dataset.Dataset, i int) (bool, error) {
+	for _, c := range p {
+		j := d.Index(c.Col)
+		if j < 0 {
+			return false, fmt.Errorf("sdcquery: unknown column %q", c.Col)
+		}
+		if d.Attr(j).Kind == dataset.Numeric {
+			v := d.Float(i, j)
+			ok := false
+			switch c.Op {
+			case Lt:
+				ok = v < c.V
+			case Le:
+				ok = v <= c.V
+			case Gt:
+				ok = v > c.V
+			case Ge:
+				ok = v >= c.V
+			case Eq:
+				ok = v == c.V
+			case Ne:
+				ok = v != c.V
+			}
+			if !ok {
+				return false, nil
+			}
+		} else {
+			s := d.Cat(i, j)
+			var ok bool
+			switch c.Op {
+			case Eq:
+				ok = s == c.S
+			case Ne:
+				ok = s != c.S
+			default:
+				return false, fmt.Errorf("sdcquery: operator %s not valid for categorical column %q", c.Op, c.Col)
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// QuerySet returns the indices of records matching the predicate.
+func (p Predicate) QuerySet(d *dataset.Dataset) ([]int, error) {
+	var rows []int
+	for i := 0; i < d.Rows(); i++ {
+		ok, err := p.Match(d, i)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, i)
+		}
+	}
+	return rows, nil
+}
+
+// Agg is the aggregate function of a statistical query.
+type Agg int
+
+const (
+	Count Agg = iota
+	Sum
+	Avg
+)
+
+// String renders the aggregate name.
+func (a Agg) String() string {
+	switch a {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Query is one statistical query: Agg(Attr) WHERE Where. COUNT ignores Attr.
+type Query struct {
+	Agg   Agg
+	Attr  string
+	Where Predicate
+}
+
+// String renders the query in SQL-ish form (used as the canonical key for
+// logging and camouflage determinism).
+func (q Query) String() string {
+	attr := q.Attr
+	if q.Agg == Count {
+		attr = "*"
+	}
+	return fmt.Sprintf("SELECT %s(%s) WHERE %s", q.Agg, attr, q.Where)
+}
+
+// Evaluate computes the true (unprotected) answer of the query on d.
+func (q Query) Evaluate(d *dataset.Dataset) (float64, error) {
+	rows, err := q.Where.QuerySet(d)
+	if err != nil {
+		return 0, err
+	}
+	if q.Agg == Count {
+		return float64(len(rows)), nil
+	}
+	j := d.Index(q.Attr)
+	if j < 0 {
+		return 0, fmt.Errorf("sdcquery: unknown attribute %q", q.Attr)
+	}
+	if d.Attr(j).Kind != dataset.Numeric {
+		return 0, fmt.Errorf("sdcquery: %s over non-numeric attribute %q", q.Agg, q.Attr)
+	}
+	var s float64
+	for _, i := range rows {
+		s += d.Float(i, j)
+	}
+	switch q.Agg {
+	case Sum:
+		return s, nil
+	case Avg:
+		if len(rows) == 0 {
+			return 0, fmt.Errorf("sdcquery: AVG over empty query set")
+		}
+		return s / float64(len(rows)), nil
+	default:
+		return 0, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
+	}
+}

@@ -1,0 +1,317 @@
+package sdcquery
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+// smallHeavy is the predicate of the paper's Section 3 PIR attack:
+// height < 165 AND weight > 105 isolates one record of Dataset 2.
+func smallHeavy() Predicate {
+	return Predicate{
+		{Col: "height", Op: Lt, V: 165},
+		{Col: "weight", Op: Gt, V: 105},
+	}
+}
+
+func TestPredicateMatch(t *testing.T) {
+	d := dataset.Dataset2()
+	rows, err := smallHeavy().QuerySet(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("query set = %v, want exactly 1 record", rows)
+	}
+	if d.Float(rows[0], d.Index("blood_pressure")) != 146 {
+		t.Errorf("target blood pressure = %v, want 146", d.Float(rows[0], 2))
+	}
+	// Empty predicate matches everything.
+	all, err := Predicate{}.QuerySet(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != d.Rows() {
+		t.Errorf("TRUE predicate matched %d of %d", len(all), d.Rows())
+	}
+}
+
+func TestPredicateCategoricalAndErrors(t *testing.T) {
+	d := dataset.Dataset2()
+	p := Predicate{{Col: "aids", Op: Eq, S: "Y"}}
+	rows, err := p.QuerySet(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("aids=Y matched %d, want 3", len(rows))
+	}
+	if _, err := (Predicate{{Col: "nope", Op: Eq, V: 1}}).QuerySet(d); err == nil {
+		t.Error("accepted unknown column")
+	}
+	if _, err := (Predicate{{Col: "aids", Op: Lt, S: "Y"}}).QuerySet(d); err == nil {
+		t.Error("accepted < on categorical column")
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	cases := map[Op]Op{Lt: Ge, Le: Gt, Gt: Le, Ge: Lt, Eq: Ne, Ne: Eq}
+	for op, want := range cases {
+		if got := op.Negate(); got != want {
+			t.Errorf("%v.Negate() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestQueryEvaluate(t *testing.T) {
+	d := dataset.Dataset2()
+	count, err := Query{Agg: Count, Where: smallHeavy()}.Evaluate(d)
+	if err != nil || count != 1 {
+		t.Errorf("COUNT = %v (err %v), want 1", count, err)
+	}
+	avg, err := Query{Agg: Avg, Attr: "blood_pressure", Where: smallHeavy()}.Evaluate(d)
+	if err != nil || avg != 146 {
+		t.Errorf("AVG = %v (err %v), want 146", avg, err)
+	}
+	sum, err := Query{Agg: Sum, Attr: "blood_pressure", Where: Predicate{}}.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 0; i < d.Rows(); i++ {
+		want += d.Float(i, 2)
+	}
+	if sum != want {
+		t.Errorf("SUM = %v, want %v", sum, want)
+	}
+	if _, err := (Query{Agg: Sum, Attr: "aids", Where: Predicate{}}).Evaluate(d); err == nil {
+		t.Error("accepted SUM over categorical attribute")
+	}
+	if _, err := (Query{Agg: Avg, Attr: "blood_pressure", Where: Predicate{{Col: "height", Op: Lt, V: 0}}}).Evaluate(d); err == nil {
+		t.Error("accepted AVG over empty set")
+	}
+	if _, err := (Query{Agg: Sum, Attr: "nope", Where: Predicate{}}).Evaluate(d); err == nil {
+		t.Error("accepted unknown attribute")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{Agg: Avg, Attr: "blood_pressure", Where: smallHeavy()}
+	s := q.String()
+	if !strings.Contains(s, "AVG(blood_pressure)") || !strings.Contains(s, "height < 165") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestServerLogsEverything(t *testing.T) {
+	srv, err := NewServer(dataset.Dataset2(), Config{Protection: NoProtection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Query{
+		{Agg: Count, Where: smallHeavy()},
+		{Agg: Avg, Attr: "blood_pressure", Where: smallHeavy()},
+	}
+	for _, q := range qs {
+		if _, err := srv.Ask(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(srv.Log()) != 2 {
+		t.Fatalf("log length = %d", len(srv.Log()))
+	}
+	if srv.Log()[1].Agg != Avg {
+		t.Error("log order wrong")
+	}
+}
+
+func TestNoProtectionReproducesPaperAttack(t *testing.T) {
+	// Section 3 of the paper: the two statistical queries isolate the
+	// unique small-and-heavy respondent and return blood pressure 146.
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: NoProtection})
+	c, err := srv.Ask(Query{Agg: Count, Where: smallHeavy()})
+	if err != nil || c.Denied {
+		t.Fatalf("COUNT denied or failed: %+v %v", c, err)
+	}
+	if c.Value != 1 {
+		t.Fatalf("COUNT = %v, want 1", c.Value)
+	}
+	a, err := srv.Ask(Query{Agg: Avg, Attr: "blood_pressure", Where: smallHeavy()})
+	if err != nil || a.Denied {
+		t.Fatalf("AVG denied or failed: %+v %v", a, err)
+	}
+	if a.Value != 146 {
+		t.Errorf("AVG = %v, want 146 (the re-identified hypertensive patient)", a.Value)
+	}
+}
+
+func TestSizeRestrictionBlocksSmallSets(t *testing.T) {
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: SizeRestriction, MinSetSize: 3})
+	a, err := srv.Ask(Query{Agg: Count, Where: smallHeavy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Denied {
+		t.Error("singleton query set should be denied")
+	}
+	// Large-but-not-complement-revealing set passes.
+	big, err := srv.Ask(Query{Agg: Count, Where: Predicate{{Col: "height", Op: Gt, V: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COUNT over all rows has complement size 0 < 3 → denied too
+	// (the complete set reveals the complement trivially).
+	if !big.Denied {
+		t.Error("all-records query should be denied under two-sided size restriction")
+	}
+	mid, err := srv.Ask(Query{Agg: Count, Where: Predicate{{Col: "height", Op: Ge, V: 175}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Denied {
+		t.Errorf("mid-size query denied: %s", mid.Reason)
+	}
+	if mid.Value != 5 {
+		t.Errorf("COUNT(height ≥ 175) = %v, want 5", mid.Value)
+	}
+}
+
+func TestTrackerDefeatsSizeRestriction(t *testing.T) {
+	// The individual tracker expresses the restricted predicate A ∧ B as a
+	// difference of two allowed queries and recovers the target's blood
+	// pressure exactly — size restriction alone is not enough ([22]).
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: SizeRestriction, MinSetSize: 3})
+	tr := NewTracker(srv, Predicate{{Col: "height", Op: Lt, V: 176}}, Cond{Col: "weight", Op: Gt, V: 105})
+	res, err := tr.Infer("blood_pressure")
+	if err != nil {
+		t.Fatalf("tracker blocked: %v", err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("tracker count = %v, want 1", res.Count)
+	}
+	if res.Sum != 146 {
+		t.Errorf("tracker inferred %v, want 146", res.Sum)
+	}
+	if res.Queries != 4 {
+		t.Errorf("tracker used %d queries, want 4", res.Queries)
+	}
+}
+
+func TestAuditingBlocksTracker(t *testing.T) {
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: Auditing})
+	tr := NewTracker(srv, Predicate{{Col: "height", Op: Lt, V: 176}}, Cond{Col: "weight", Op: Gt, V: 105})
+	if _, err := tr.Infer("blood_pressure"); err == nil {
+		t.Error("auditing should deny one of the tracker's queries")
+	}
+}
+
+func TestAuditingAllowsSafeQueries(t *testing.T) {
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: Auditing})
+	a, err := srv.Ask(Query{Agg: Sum, Attr: "blood_pressure", Where: Predicate{{Col: "height", Op: Ge, V: 175}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Denied {
+		t.Errorf("safe sum denied: %s", a.Reason)
+	}
+	b, err := srv.Ask(Query{Agg: Sum, Attr: "blood_pressure", Where: Predicate{{Col: "height", Op: Lt, V: 175}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Denied {
+		t.Errorf("disjoint sum denied: %s", b.Reason)
+	}
+}
+
+func TestAuditingBlocksSingletonAvg(t *testing.T) {
+	// AVG over a singleton is an immediate disclosure; auditing must deny.
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: Auditing})
+	a, err := srv.Ask(Query{Agg: Avg, Attr: "blood_pressure", Where: smallHeavy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Denied {
+		t.Error("singleton AVG should be denied by auditing")
+	}
+}
+
+func TestAuditingBlocksDifferenceAttackOnSums(t *testing.T) {
+	// SUM(height<176) then SUM(height<176 ∧ weight≤105): the difference
+	// isolates the target. The second query must be denied.
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: Auditing})
+	q1 := Query{Agg: Sum, Attr: "blood_pressure", Where: Predicate{{Col: "height", Op: Lt, V: 176}}}
+	a1, err := srv.Ask(q1)
+	if err != nil || a1.Denied {
+		t.Fatalf("first sum: %+v %v", a1, err)
+	}
+	q2 := Query{Agg: Sum, Attr: "blood_pressure",
+		Where: Predicate{{Col: "height", Op: Lt, V: 176}, {Col: "weight", Op: Le, V: 105}}}
+	a2, err := srv.Ask(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Denied {
+		t.Error("difference attack second query should be denied")
+	}
+}
+
+func TestPerturbationAddsNoiseButTracksTruth(t *testing.T) {
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: Perturbation, NoiseSD: 2, Seed: 7})
+	q := Query{Agg: Sum, Attr: "blood_pressure", Where: Predicate{{Col: "height", Op: Ge, V: 175}}}
+	truth, _ := q.Evaluate(dataset.Dataset2())
+	var deviations int
+	for i := 0; i < 20; i++ {
+		a, err := srv.Ask(q)
+		if err != nil || a.Denied {
+			t.Fatalf("perturbed query failed: %+v %v", a, err)
+		}
+		if a.Value != truth {
+			deviations++
+		}
+		if math.Abs(a.Value-truth) > 60 {
+			t.Errorf("perturbation too large: %v vs %v", a.Value, truth)
+		}
+	}
+	if deviations == 0 {
+		t.Error("perturbation never changed the answer")
+	}
+}
+
+func TestCamouflageIntervalContainsTruth(t *testing.T) {
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: Camouflage, CamouflageWidth: 0.05})
+	q := Query{Agg: Avg, Attr: "blood_pressure", Where: Predicate{{Col: "height", Op: Ge, V: 175}}}
+	truth, _ := q.Evaluate(dataset.Dataset2())
+	a, err := srv.Ask(q)
+	if err != nil || a.Denied || !a.Interval {
+		t.Fatalf("camouflage answer: %+v %v", a, err)
+	}
+	if truth < a.Lo || truth > a.Hi {
+		t.Errorf("interval [%v,%v] misses truth %v", a.Lo, a.Hi, truth)
+	}
+	if a.Lo == truth || a.Hi == truth || (a.Lo+a.Hi)/2 == truth {
+		t.Error("interval should not pinpoint the truth")
+	}
+	// Determinism: repeating the query yields the identical interval
+	// (no averaging attack).
+	b, _ := srv.Ask(q)
+	if b.Lo != a.Lo || b.Hi != a.Hi {
+		t.Error("camouflage interval not deterministic per query")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, Config{}); err == nil {
+		t.Error("accepted nil dataset")
+	}
+	empty := dataset.New(dataset.TrialSchema()...)
+	if _, err := NewServer(empty, Config{}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	srv, _ := NewServer(dataset.Dataset2(), Config{Protection: NoProtection})
+	if _, err := srv.Ask(Query{Agg: Sum, Attr: "aids", Where: Predicate{}}); err == nil {
+		t.Error("accepted invalid query")
+	}
+}

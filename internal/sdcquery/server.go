@@ -1,0 +1,386 @@
+package sdcquery
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"sync"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/noise"
+	"privacy3d/internal/stats"
+)
+
+// Protection selects the inference-control strategy of a Server. The three
+// non-trivial strategies correspond to the paper's "perturbing, restricting
+// or replacing by intervals the answers to certain queries" ([7,14,16]).
+type Protection int
+
+const (
+	// NoProtection answers every query exactly (the raw search-engine-like
+	// database with neither respondent nor user privacy).
+	NoProtection Protection = iota
+	// SizeRestriction denies queries whose query set has fewer than
+	// MinSetSize or more than n-MinSetSize records.
+	SizeRestriction
+	// Auditing tracks answered queries and denies any query whose answer,
+	// combined with the history, would fully determine one record's
+	// confidential value (Chin & Ozsoyoglu 1982).
+	Auditing
+	// Perturbation answers with additive noise (Duncan & Mukherjee 2000).
+	Perturbation
+	// Camouflage answers with an interval guaranteed to contain the true
+	// value (CVC, Gopal et al. 2002).
+	Camouflage
+	// OverlapRestriction denies queries overlapping a previously answered
+	// query set in more than MaxOverlap records (Dobkin, Jones & Lipton
+	// 1979), on top of the MinSetSize bound.
+	OverlapRestriction
+	// RandomSample answers each query over a query-keyed pseudo-random
+	// subsample of the query set (Denning 1980): difference attacks stop
+	// working because the two differenced queries draw different samples,
+	// while aggregate answers stay approximately right (scaled back up).
+	RandomSample
+)
+
+// String names the protection.
+func (p Protection) String() string {
+	switch p {
+	case NoProtection:
+		return "none"
+	case SizeRestriction:
+		return "size-restriction"
+	case Auditing:
+		return "auditing"
+	case Perturbation:
+		return "perturbation"
+	case Camouflage:
+		return "camouflage"
+	case OverlapRestriction:
+		return "overlap-restriction"
+	case RandomSample:
+		return "random-sample"
+	default:
+		return fmt.Sprintf("Protection(%d)", int(p))
+	}
+}
+
+// Answer is the server's response to a query.
+type Answer struct {
+	// Denied reports that the protection refused the query; Reason says why.
+	Denied bool
+	Reason string
+	// Value is the (possibly perturbed) point answer when not denied and
+	// not camouflaged.
+	Value float64
+	// Lo/Hi bound the answer under Camouflage (Lo ≤ true ≤ Hi).
+	Lo, Hi float64
+	// Interval reports that Lo/Hi carry the answer.
+	Interval bool
+}
+
+// Config parameterises a Server.
+type Config struct {
+	Protection Protection
+	// MinSetSize is the query-set-size threshold for SizeRestriction
+	// (default 3, also used by Auditing as a first filter if > 0).
+	MinSetSize int
+	// NoiseSD is the absolute standard deviation of Laplace perturbation
+	// noise (default: 1).
+	NoiseSD float64
+	// CamouflageWidth is the half-width of camouflage intervals as a
+	// fraction of the answer magnitude (default 0.1).
+	CamouflageWidth float64
+	// MaxOverlap bounds pairwise query-set intersections under
+	// OverlapRestriction (default 1).
+	MaxOverlap int
+	// SampleRate is the inclusion probability of RandomSample
+	// (default 0.8).
+	SampleRate float64
+	// Seed drives the perturbation noise.
+	Seed uint64
+}
+
+// Server is an interactively queryable statistical database. It records
+// every query submitted — the total absence of user privacy that Section 3
+// of the paper builds on.
+// Server is safe for concurrent use: Ask and Log are serialised by an
+// internal mutex (the HTTP front end serves requests concurrently).
+type Server struct {
+	mu      sync.Mutex
+	d       *dataset.Dataset
+	cfg     Config
+	rng     *rand.Rand
+	log     []Query
+	audn    *auditor
+	overlap *OverlapController
+}
+
+// NewServer wraps a dataset in a protected query interface.
+func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
+	if d == nil || d.Rows() == 0 {
+		return nil, fmt.Errorf("sdcquery: server needs a non-empty dataset")
+	}
+	if cfg.MinSetSize <= 0 {
+		cfg.MinSetSize = 3
+	}
+	if cfg.NoiseSD <= 0 {
+		cfg.NoiseSD = 1
+	}
+	if cfg.CamouflageWidth <= 0 {
+		cfg.CamouflageWidth = 0.1
+	}
+	if cfg.MaxOverlap <= 0 {
+		cfg.MaxOverlap = 1
+	}
+	if cfg.SampleRate <= 0 || cfg.SampleRate > 1 {
+		cfg.SampleRate = 0.8
+	}
+	oc, err := NewOverlapController(cfg.MinSetSize, cfg.MaxOverlap)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		d:       d,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5)),
+		audn:    newAuditor(d.Rows()),
+		overlap: oc,
+	}, nil
+}
+
+// Log returns a copy of the queries the server has observed, in submission
+// order. The user-privacy evaluator reads this: for a plaintext statistical
+// server the log IS the user's query stream.
+func (s *Server) Log() []Query {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Query(nil), s.log...)
+}
+
+// Rows exposes the database size (public metadata).
+func (s *Server) Rows() int { return s.d.Rows() }
+
+// Ask submits a query. Every query is logged before protection runs: the
+// owner sees denied queries too.
+func (s *Server) Ask(q Query) (Answer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, q)
+	rows, err := q.Where.QuerySet(s.d)
+	if err != nil {
+		return Answer{}, err
+	}
+	switch s.cfg.Protection {
+	case NoProtection:
+		return s.exact(q)
+	case SizeRestriction:
+		if len(rows) < s.cfg.MinSetSize || len(rows) > s.d.Rows()-s.cfg.MinSetSize {
+			return Answer{Denied: true, Reason: fmt.Sprintf("query set size %d outside [%d,%d]",
+				len(rows), s.cfg.MinSetSize, s.d.Rows()-s.cfg.MinSetSize)}, nil
+		}
+		return s.exact(q)
+	case Auditing:
+		return s.audited(q, rows)
+	case Perturbation:
+		a, err := s.exact(q)
+		if err != nil || a.Denied {
+			return a, err
+		}
+		a.Value += noise.Laplace(s.rng, s.cfg.NoiseSD)
+		return a, nil
+	case Camouflage:
+		a, err := s.exact(q)
+		if err != nil || a.Denied {
+			return a, err
+		}
+		return s.camouflage(q, a.Value), nil
+	case OverlapRestriction:
+		if ok, reason := s.overlap.Admit(rows); !ok {
+			return Answer{Denied: true, Reason: "overlap control: " + reason}, nil
+		}
+		return s.exact(q)
+	case RandomSample:
+		return s.sampled(q, rows)
+	default:
+		return Answer{}, fmt.Errorf("sdcquery: unknown protection %v", s.cfg.Protection)
+	}
+}
+
+func (s *Server) exact(q Query) (Answer, error) {
+	v, err := q.Evaluate(s.d)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Value: v}, nil
+}
+
+// camouflage returns an interval that contains the true value but whose
+// midpoint is a deterministic, query-keyed offset from it, so repeating the
+// query gains the user nothing and the exact value is never released.
+func (s *Server) camouflage(q Query, v float64) Answer {
+	w := s.cfg.CamouflageWidth * maxAbs(v, 1)
+	h := fnv.New64a()
+	h.Write([]byte(q.String()))
+	// Deterministic offset in [-w/2, w/2].
+	off := (float64(h.Sum64()%1_000_003)/1_000_003 - 0.5) * w
+	return Answer{Interval: true, Lo: v + off - w, Hi: v + off + w}
+}
+
+func maxAbs(v, floor float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// sampled answers a query from a pseudo-random subsample of its query set,
+// following Denning's random sample queries: the inclusion coin of record i
+// is keyed on BOTH the query and the record, so overlapping queries draw
+// independent samples and difference attacks no longer telescope — while
+// repeating the same query returns the same answer (no averaging attack)
+// and every aggregate remains an unbiased scaled estimate.
+func (s *Server) sampled(q Query, rows []int) (Answer, error) {
+	qh := fnv.New64a()
+	qh.Write([]byte(q.String()))
+	qkey := qh.Sum64() ^ s.cfg.Seed
+	included := rows[:0:0]
+	for _, i := range rows {
+		h := (uint64(i) + 0x9e3779b97f4a7c15) * 0xff51afd7ed558ccd
+		h ^= qkey
+		h ^= h >> 33
+		h *= 0xc4ceb9fe1a85ec53
+		h ^= h >> 33
+		if float64(h%1_000_003)/1_000_003 < s.cfg.SampleRate {
+			included = append(included, i)
+		}
+	}
+	j := -1
+	if q.Agg != Count {
+		j = s.d.Index(q.Attr)
+		if j < 0 {
+			return Answer{}, fmt.Errorf("sdcquery: unknown attribute %q", q.Attr)
+		}
+		if s.d.Attr(j).Kind != dataset.Numeric {
+			return Answer{}, fmt.Errorf("sdcquery: %s over non-numeric attribute %q", q.Agg, q.Attr)
+		}
+	}
+	switch q.Agg {
+	case Count:
+		return Answer{Value: float64(len(included)) / s.cfg.SampleRate}, nil
+	case Sum:
+		var sum float64
+		for _, i := range included {
+			sum += s.d.Float(i, j)
+		}
+		return Answer{Value: sum / s.cfg.SampleRate}, nil
+	case Avg:
+		if len(included) == 0 {
+			return Answer{Denied: true, Reason: "random sample: empty sample"}, nil
+		}
+		var sum float64
+		for _, i := range included {
+			sum += s.d.Float(i, j)
+		}
+		return Answer{Value: sum / float64(len(included))}, nil
+	default:
+		return Answer{}, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
+	}
+}
+
+// audited runs the Chin–Ozsoyoglu check: the query is answered only if the
+// linear system of all answered SUM/AVG/COUNT queries, extended with this
+// one, still leaves every record's confidential value undetermined.
+func (s *Server) audited(q Query, rows []int) (Answer, error) {
+	v, err := q.Evaluate(s.d)
+	if err != nil {
+		return Answer{}, err
+	}
+	indicator := make([]float64, s.d.Rows())
+	for _, i := range rows {
+		indicator[i] = 1
+	}
+	key := q.Attr
+	switch q.Agg {
+	case Count:
+		// COUNT discloses membership cardinality, not values; track it
+		// under a reserved key so COUNT+AVG combinations are caught via
+		// the derived SUM below.
+		key = "*count*"
+	case Avg:
+		// AVG(set) with known |set| is SUM(set); audit the sum.
+		v = v * float64(len(rows))
+	}
+	if s.audn.wouldDisclose(key, indicator, v) {
+		return Answer{Denied: true, Reason: "auditing: answering would disclose an individual value"}, nil
+	}
+	s.audn.commit(key, indicator, v)
+	if q.Agg == Avg {
+		if len(rows) == 0 {
+			return Answer{Denied: true, Reason: "auditing: empty query set"}, nil
+		}
+		return Answer{Value: v / float64(len(rows))}, nil
+	}
+	return Answer{Value: v}, nil
+}
+
+// auditor keeps, per audited attribute, the linear system of answered
+// queries: each row is the query-set indicator vector with the answer as the
+// right-hand side. A record's value is disclosed when reduced row echelon
+// form contains a row with exactly one non-zero coefficient.
+type auditor struct {
+	n       int
+	systems map[string][][]float64
+}
+
+func newAuditor(n int) *auditor {
+	return &auditor{n: n, systems: map[string][][]float64{}}
+}
+
+func (a *auditor) wouldDisclose(attr string, indicator []float64, answer float64) bool {
+	rows := cloneSystem(a.systems[attr])
+	rows = append(rows, augment(indicator, answer))
+	return disclosesAny(rows, a.n)
+}
+
+func (a *auditor) commit(attr string, indicator []float64, answer float64) {
+	a.systems[attr] = append(a.systems[attr], augment(indicator, answer))
+}
+
+func augment(indicator []float64, answer float64) []float64 {
+	row := make([]float64, len(indicator)+1)
+	copy(row, indicator)
+	row[len(indicator)] = answer
+	return row
+}
+
+func cloneSystem(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+func disclosesAny(rows [][]float64, n int) bool {
+	stats.GaussianEliminate(rows, n)
+	const eps = 1e-9
+	for _, r := range rows {
+		nz := 0
+		for c := 0; c < n; c++ {
+			if r[c] > eps || r[c] < -eps {
+				nz++
+				if nz > 1 {
+					break
+				}
+			}
+		}
+		if nz == 1 {
+			return true
+		}
+	}
+	return false
+}

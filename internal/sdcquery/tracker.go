@@ -1,0 +1,81 @@
+package sdcquery
+
+import (
+	"fmt"
+)
+
+// Tracker implements Schlörer's individual tracker attack ([22] in the
+// paper): a target respondent is pinned down by a predicate C = A ∧ B whose
+// query set is too small to be answered under size restriction, but the
+// padded queries A and A ∧ ¬B are both large enough. Then
+//
+//	COUNT(C) = COUNT(A) − COUNT(A ∧ ¬B)
+//	SUM(C)   = SUM(A)   − SUM(A ∧ ¬B)
+//
+// and with COUNT(C) = 1 the target's confidential value is SUM(C). The
+// attack defeats pure query-set-size restriction; the auditing protection
+// catches it because the two answered sums linearly determine one record.
+type Tracker struct {
+	srv *Server
+	// A is the padding predicate; B the narrowing condition.
+	A Predicate
+	B Cond
+}
+
+// NewTracker prepares an individual tracker for target predicate A ∧ B.
+func NewTracker(srv *Server, a Predicate, b Cond) *Tracker {
+	return &Tracker{srv: srv, A: a, B: b}
+}
+
+// TrackerResult reports the values inferred by the attack.
+type TrackerResult struct {
+	// Count is the inferred COUNT of the restricted predicate A ∧ B.
+	Count float64
+	// Sum is the inferred SUM(attr) over A ∧ B; with Count == 1 it is the
+	// target's confidential value.
+	Sum float64
+	// Queries is the number of queries spent.
+	Queries int
+}
+
+// Infer runs the attack against attribute attr. It returns an error if any
+// of the padded queries is denied — i.e. the protection withstood the
+// tracker.
+func (t *Tracker) Infer(attr string) (TrackerResult, error) {
+	var res TrackerResult
+	notB := t.B.Negate()
+	ask := func(q Query) (float64, error) {
+		res.Queries++
+		a, err := t.srv.Ask(q)
+		if err != nil {
+			return 0, err
+		}
+		if a.Denied {
+			return 0, fmt.Errorf("sdcquery: tracker query denied: %s (%s)", q, a.Reason)
+		}
+		if a.Interval {
+			// Camouflage answers: use the midpoint estimate.
+			return (a.Lo + a.Hi) / 2, nil
+		}
+		return a.Value, nil
+	}
+	cA, err := ask(Query{Agg: Count, Where: t.A})
+	if err != nil {
+		return res, err
+	}
+	cANotB, err := ask(Query{Agg: Count, Where: t.A.And(notB)})
+	if err != nil {
+		return res, err
+	}
+	sA, err := ask(Query{Agg: Sum, Attr: attr, Where: t.A})
+	if err != nil {
+		return res, err
+	}
+	sANotB, err := ask(Query{Agg: Sum, Attr: attr, Where: t.A.And(notB)})
+	if err != nil {
+		return res, err
+	}
+	res.Count = cA - cANotB
+	res.Sum = sA - sANotB
+	return res, nil
+}

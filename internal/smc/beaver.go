@@ -1,0 +1,121 @@
+package smc
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+)
+
+// Beaver-triple multiplication: with addition of additive shares being
+// local, secure multiplication is the missing primitive for evaluating
+// arbitrary arithmetic circuits over shared values. A trusted dealer (or an
+// offline preprocessing phase) hands each party shares of a random triple
+// (a, b, c) with c = a·b; the parties then open d = x−a and e = y−b and
+// compute shares of x·y = c + d·b + e·a + d·e locally. The opened values
+// are uniformly random, so the transcript leaks nothing about x or y.
+
+// BeaverTriple is one party's share of a multiplication triple.
+type BeaverTriple struct {
+	A, B, C Elem
+}
+
+// DealBeaverTriples plays the trusted dealer: it returns per-party shares
+// of n random triples.
+func DealBeaverTriples(parties, n int, rng *rand.Rand) ([][]BeaverTriple, error) {
+	if parties < 2 {
+		return nil, fmt.Errorf("smc: beaver triples need ≥ 2 parties, got %d", parties)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("smc: need ≥ 1 triple, got %d", n)
+	}
+	out := make([][]BeaverTriple, parties)
+	for p := range out {
+		out[p] = make([]BeaverTriple, n)
+	}
+	for t := 0; t < n; t++ {
+		a := RandomElem(rng)
+		b := RandomElem(rng)
+		c := Mul(a, b)
+		as, err := AdditiveShare(a, parties, rng)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := AdditiveShare(b, parties, rng)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := AdditiveShare(c, parties, rng)
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < parties; p++ {
+			out[p][t] = BeaverTriple{A: as[p], B: bs[p], C: cs[p]}
+		}
+	}
+	return out, nil
+}
+
+// SecureMultiply multiplies two additively shared values: party i holds
+// xShares[i], yShares[i] and triples[i]; all parties run concurrently over
+// the network and each ends with a share of x·y (the function returns the
+// shares in party order). Round label "open" carries the masked openings
+// d = x−a and e = y−b, which are uniform.
+func SecureMultiply(nw *Network, xShares, yShares []Elem, triples []BeaverTriple) ([]Elem, error) {
+	n := nw.Parties()
+	if len(xShares) != n || len(yShares) != n || len(triples) != n {
+		return nil, fmt.Errorf("smc: need %d shares and triples", n)
+	}
+	out := make([]Elem, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out[id], errs[id] = beaverParty(nw, id, xShares[id], yShares[id], triples[id])
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func beaverParty(nw *Network, id int, x, y Elem, t BeaverTriple) (Elem, error) {
+	n := nw.Parties()
+	dShare := Sub(x, t.A)
+	eShare := Sub(y, t.B)
+	// Broadcast local d and e shares; everyone reconstructs d and e.
+	for to := 0; to < n; to++ {
+		if to == id {
+			continue
+		}
+		if err := nw.Send(id, to, "open", []Elem{dShare, eShare}); err != nil {
+			return 0, err
+		}
+	}
+	d, e := dShare, eShare
+	for from := 0; from < n; from++ {
+		if from == id {
+			continue
+		}
+		p, err := nw.Recv(id, from)
+		if err != nil {
+			return 0, err
+		}
+		if len(p) != 2 {
+			return 0, fmt.Errorf("smc: malformed opening from party %d", from)
+		}
+		d = Add(d, p[0])
+		e = Add(e, p[1])
+	}
+	// Share of x·y = c + d·b + e·a (+ d·e once, by party 0).
+	z := Add(t.C, Add(Mul(d, t.B), Mul(e, t.A)))
+	if id == 0 {
+		z = Add(z, Mul(d, e))
+	}
+	return z, nil
+}

@@ -1,0 +1,130 @@
+package smc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"privacy3d/internal/dataset"
+)
+
+func TestSecureMultiplyCorrect(t *testing.T) {
+	rng := dataset.NewRand(1)
+	x := EncodeInt(1234)
+	y := EncodeInt(5678)
+	const parties = 3
+	xs, err := AdditiveShare(x, parties, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys, err := AdditiveShare(y, parties, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples, err := DealBeaverTriples(parties, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := make([]BeaverTriple, parties)
+	for p := range tr {
+		tr[p] = triples[p][0]
+	}
+	nw, err := NewNetwork(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := SecureMultiply(nw, xs, ys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AdditiveReconstruct(zs); got != Mul(x, y) {
+		t.Errorf("secure product = %d, want %d", got, Mul(x, y))
+	}
+}
+
+func TestSecureMultiplyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := dataset.NewRand(seed)
+		parties := 2 + int(seed%3)
+		x, y := RandomElem(rng), RandomElem(rng)
+		xs, err := AdditiveShare(x, parties, rng)
+		if err != nil {
+			return false
+		}
+		ys, err := AdditiveShare(y, parties, rng)
+		if err != nil {
+			return false
+		}
+		triples, err := DealBeaverTriples(parties, 1, rng)
+		if err != nil {
+			return false
+		}
+		tr := make([]BeaverTriple, parties)
+		for p := range tr {
+			tr[p] = triples[p][0]
+		}
+		nw, err := NewNetwork(parties)
+		if err != nil {
+			return false
+		}
+		zs, err := SecureMultiply(nw, xs, ys, tr)
+		return err == nil && AdditiveReconstruct(zs) == Mul(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecureMultiplyOpeningsAreMasked(t *testing.T) {
+	// The opened values d = x−a and e = y−b must not equal the inputs
+	// themselves (a, b are uniform). Run once and inspect the transcript.
+	rng := dataset.NewRand(9)
+	x := EncodeInt(42)
+	y := EncodeInt(99)
+	xs, _ := AdditiveShare(x, 2, rng)
+	ys, _ := AdditiveShare(y, 2, rng)
+	triples, _ := DealBeaverTriples(2, 1, rng)
+	nw, _ := NewNetwork(2)
+	if _, err := SecureMultiply(nw, xs, ys, []BeaverTriple{triples[0][0], triples[1][0]}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range nw.Transcript() {
+		for _, e := range m.Payload {
+			if e == x || e == y {
+				t.Error("an unmasked input crossed the wire")
+			}
+		}
+	}
+}
+
+func TestBeaverDealValidation(t *testing.T) {
+	rng := dataset.NewRand(3)
+	if _, err := DealBeaverTriples(1, 1, rng); err == nil {
+		t.Error("accepted 1 party")
+	}
+	if _, err := DealBeaverTriples(2, 0, rng); err == nil {
+		t.Error("accepted 0 triples")
+	}
+	nw, _ := NewNetwork(2)
+	if _, err := SecureMultiply(nw, []Elem{1}, []Elem{1, 2}, []BeaverTriple{{}, {}}); err == nil {
+		t.Error("accepted mismatched shares")
+	}
+}
+
+func TestBeaverTriplesConsistent(t *testing.T) {
+	rng := dataset.NewRand(7)
+	triples, err := DealBeaverTriples(4, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < 8; ti++ {
+		var a, b, c Elem
+		for p := 0; p < 4; p++ {
+			a = Add(a, triples[p][ti].A)
+			b = Add(b, triples[p][ti].B)
+			c = Add(c, triples[p][ti].C)
+		}
+		if Mul(a, b) != c {
+			t.Fatalf("triple %d inconsistent", ti)
+		}
+	}
+}

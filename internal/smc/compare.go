@@ -1,0 +1,96 @@
+package smc
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// Secure comparison — Yao's millionaires' problem — built from 1-out-of-2
+// oblivious transfer: Bob prepares, for every possible value a of Alice's
+// input over a small domain, the answer bit [a > b]; the table is key-wrapped
+// so that Alice can open exactly one row, selected bit-by-bit through ℓ
+// oblivious transfers (the standard 1-of-N OT from log N 1-of-2 OTs).
+// Alice learns only whether her value exceeds Bob's; Bob learns nothing.
+
+// SecureCompare runs the protocol for a, b in [0, 2^bits). bits ≤ 16 keeps
+// the table practical (the construction is exponential in bits by design —
+// it trades computation for conceptual simplicity, as in the original Yao
+// formulation).
+func SecureCompare(a, b uint32, bits int) (aliceGreater bool, err error) {
+	if bits < 1 || bits > 16 {
+		return false, fmt.Errorf("smc: compare supports 1..16 bits, got %d", bits)
+	}
+	n := uint32(1) << bits
+	if a >= n || b >= n {
+		return false, fmt.Errorf("smc: inputs must be below 2^%d", bits)
+	}
+
+	// Bob's side: per-bit key pairs and the wrapped truth table.
+	type keyPair struct{ k0, k1 []byte }
+	keys := make([]keyPair, bits)
+	for i := range keys {
+		keys[i] = keyPair{randomKey(), randomKey()}
+	}
+	table := make([][]byte, n)
+	for idx := uint32(0); idx < n; idx++ {
+		val := byte(0)
+		if idx > b {
+			val = 1
+		}
+		// Wrap the answer bit under the keys matching idx's bits.
+		pad := byte(0)
+		for i := 0; i < bits; i++ {
+			k := keys[i].k0
+			if idx>>i&1 == 1 {
+				k = keys[i].k1
+			}
+			pad ^= deriveByte(k, idx)
+		}
+		table[idx] = []byte{val ^ pad}
+	}
+
+	// Alice obtains, via one OT per bit, the key matching each bit of a.
+	aliceKeys := make([][]byte, bits)
+	for i := 0; i < bits; i++ {
+		sender := &OTSender{M0: keys[i].k0, M1: keys[i].k1}
+		m1, err := sender.OTStart()
+		if err != nil {
+			return false, err
+		}
+		choice := int(a >> i & 1)
+		m2, st, err := OTChoose(m1, choice)
+		if err != nil {
+			return false, err
+		}
+		m3, err := sender.OTTransfer(m1, m2)
+		if err != nil {
+			return false, err
+		}
+		aliceKeys[i] = st.OTFinish(m3)
+	}
+
+	// Alice opens exactly row a.
+	pad := byte(0)
+	for i := 0; i < bits; i++ {
+		pad ^= deriveByte(aliceKeys[i], a)
+	}
+	return table[a][0]^pad == 1, nil
+}
+
+func randomKey() []byte {
+	k := make([]byte, 16)
+	if _, err := rand.Read(k); err != nil {
+		// crypto/rand failure is unrecoverable process state.
+		panic(fmt.Sprintf("smc: randomness unavailable: %v", err))
+	}
+	return k
+}
+
+// deriveByte expands a key and a row index into one pad byte.
+func deriveByte(key []byte, row uint32) byte {
+	h := sha256.New()
+	h.Write(key)
+	h.Write([]byte{byte(row), byte(row >> 8), byte(row >> 16), byte(row >> 24)})
+	return h.Sum(nil)[0]
+}

@@ -1,0 +1,115 @@
+// Package smc is the secure multiparty computation substrate behind the
+// paper's cryptographic PPDM dimension ([18,19], Lindell & Pinkas): a prime
+// field, additive and Shamir secret sharing, secure sum, the Paillier
+// homomorphic cryptosystem, oblivious transfer, a two-party secure scalar
+// product, and a secure ID3 protocol over horizontally partitioned data.
+//
+// All parties run in-process and exchange messages through a recording
+// network; the evaluators of internal/core measure owner and user privacy
+// from those transcripts only, honouring the semi-honest adversary model.
+package smc
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// P is the field modulus, the Mersenne prime 2^61 − 1. It is large enough
+// for the aggregate statistics the protocols share (counts and scaled sums)
+// and small enough for fast uint64 arithmetic.
+const P uint64 = (1 << 61) - 1
+
+// Elem is an element of GF(P), always kept in [0, P).
+type Elem uint64
+
+// Reduce maps any uint64 into the field.
+func Reduce(x uint64) Elem { return Elem(x % P) }
+
+// Add returns a + b mod P.
+func Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b) // cannot overflow: both < 2^61
+	if s >= P {
+		s -= P
+	}
+	return Elem(s)
+}
+
+// Sub returns a − b mod P.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + Elem(P) - b
+}
+
+// Neg returns −a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(P) - a
+}
+
+// Mul returns a·b mod P using 128-bit intermediate arithmetic.
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// Reduce 128-bit value mod 2^61−1: x = hi·2^64 + lo.
+	// 2^64 ≡ 2^3 (mod 2^61−1), so x ≡ hi·8 + lo (with further folding).
+	r := (lo & P) + (lo >> 61) + ((hi << 3) & P) + (hi >> 58)
+	r = (r & P) + (r >> 61)
+	if r >= P {
+		r -= P
+	}
+	return Elem(r)
+}
+
+// Pow returns a^e mod P.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a (a ≠ 0) via Fermat.
+func Inv(a Elem) (Elem, error) {
+	if a == 0 {
+		return 0, fmt.Errorf("smc: zero has no inverse")
+	}
+	return Pow(a, P-2), nil
+}
+
+// RandomElem draws a uniform field element.
+func RandomElem(rng *rand.Rand) Elem {
+	for {
+		v := rng.Uint64() & ((1 << 61) - 1)
+		if v < P {
+			return Elem(v)
+		}
+	}
+}
+
+// EncodeInt embeds a (possibly negative) integer into the field; values are
+// taken mod P with negatives mapped to P − |v|.
+func EncodeInt(v int64) Elem {
+	if v >= 0 {
+		return Reduce(uint64(v))
+	}
+	return Neg(Reduce(uint64(-v)))
+}
+
+// DecodeInt interprets a field element as a signed integer in
+// (−P/2, P/2] — the inverse of EncodeInt for values of moderate magnitude.
+func DecodeInt(e Elem) int64 {
+	if uint64(e) > P/2 {
+		return -int64(P - uint64(e))
+	}
+	return int64(e)
+}

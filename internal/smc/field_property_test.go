@@ -1,0 +1,118 @@
+package smc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"privacy3d/internal/dataset"
+)
+
+// Algebraic laws of GF(P), checked with testing/quick. These underpin every
+// protocol in the package: a single broken law would silently corrupt
+// shares.
+
+func randTriple(seed uint64) (a, b, c Elem) {
+	rng := dataset.NewRand(seed)
+	return RandomElem(rng), RandomElem(rng), RandomElem(rng)
+}
+
+func TestFieldAdditionLaws(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b, c := randTriple(seed)
+		if Add(a, b) != Add(b, a) {
+			return false
+		}
+		if Add(Add(a, b), c) != Add(a, Add(b, c)) {
+			return false
+		}
+		if Add(a, 0) != a {
+			return false
+		}
+		return Add(a, Neg(a)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldMultiplicationLaws(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b, c := randTriple(seed)
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		if Mul(a, 1) != a {
+			return false
+		}
+		// Distributivity.
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldInverseLaw(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := dataset.NewRand(seed)
+		a := RandomElem(rng)
+		if a == 0 {
+			a = 1
+		}
+		inv, err := Inv(a)
+		return err == nil && Mul(a, inv) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubIsAddNeg(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b, _ := randTriple(seed)
+		return Sub(a, b) == Add(a, Neg(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdditiveSharingReconstructsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := dataset.NewRand(seed)
+		secret := RandomElem(rng)
+		n := 2 + int(seed%6)
+		shares, err := AdditiveShare(secret, n, rng)
+		return err == nil && AdditiveReconstruct(shares) == secret
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecureSumMatchesPlainSumProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := dataset.NewRand(seed)
+		n := 2 + int(seed%4)
+		inputs := make([]Elem, n)
+		seeds := make([]uint64, n)
+		var want Elem
+		for i := range inputs {
+			inputs[i] = RandomElem(rng)
+			want = Add(want, inputs[i])
+			seeds[i] = seed + uint64(i)
+		}
+		nw, err := NewNetwork(n)
+		if err != nil {
+			return false
+		}
+		got, err := SecureSum(nw, inputs, seeds)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package smc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is one point-to-point protocol message. Payloads are field
+// elements (the protocols in this package exchange nothing else), so the
+// transcript is exactly what a wire eavesdropper — or a semi-honest party
+// keeping its view — would record.
+type Message struct {
+	From, To int
+	Round    string
+	Payload  []Elem
+}
+
+// Network connects n in-process parties with buffered channels and records
+// every message in a transcript. It is safe for concurrent use by the
+// parties it connects.
+type Network struct {
+	n     int
+	links [][]chan []Elem // links[from][to]
+	mu    sync.Mutex
+	log   []Message
+}
+
+// NewNetwork creates a network for n parties (IDs 0..n-1).
+func NewNetwork(n int) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("smc: network needs ≥ 2 parties, got %d", n)
+	}
+	links := make([][]chan []Elem, n)
+	for i := range links {
+		links[i] = make([]chan []Elem, n)
+		for j := range links[i] {
+			if i != j {
+				links[i][j] = make(chan []Elem, 64)
+			}
+		}
+	}
+	return &Network{n: n, links: links}, nil
+}
+
+// Parties returns the number of connected parties.
+func (nw *Network) Parties() int { return nw.n }
+
+// Send transmits a payload from one party to another, recording it.
+func (nw *Network) Send(from, to int, round string, payload []Elem) error {
+	if from == to || from < 0 || to < 0 || from >= nw.n || to >= nw.n {
+		return fmt.Errorf("smc: invalid send %d → %d", from, to)
+	}
+	cp := append([]Elem(nil), payload...)
+	nw.mu.Lock()
+	nw.log = append(nw.log, Message{From: from, To: to, Round: round, Payload: cp})
+	nw.mu.Unlock()
+	nw.links[from][to] <- cp
+	return nil
+}
+
+// Recv blocks until a payload arrives from the given party.
+func (nw *Network) Recv(to, from int) ([]Elem, error) {
+	if from == to || from < 0 || to < 0 || from >= nw.n || to >= nw.n {
+		return nil, fmt.Errorf("smc: invalid recv %d ← %d", to, from)
+	}
+	return <-nw.links[from][to], nil
+}
+
+// Transcript returns a copy of every message sent so far.
+func (nw *Network) Transcript() []Message {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]Message, len(nw.log))
+	copy(out, nw.log)
+	return out
+}
+
+// ViewOf returns the messages party id sent or received — its protocol view,
+// the object the semi-honest security argument is about.
+func (nw *Network) ViewOf(id int) []Message {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	var out []Message
+	for _, m := range nw.log {
+		if m.From == id || m.To == id {
+			out = append(out, m)
+		}
+	}
+	return out
+}

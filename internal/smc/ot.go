@@ -1,0 +1,159 @@
+package smc
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+)
+
+// Bellare–Micali 1-out-of-2 oblivious transfer over a multiplicative group
+// mod a well-known prime. The sender holds two messages; the receiver holds
+// a choice bit and learns exactly the chosen message, while the sender
+// learns nothing about the choice. Oblivious transfer is the foundational
+// primitive of the cryptographic PPDM line ([18,19]); it is exercised here
+// both standalone and inside the secure-comparison step of the examples.
+
+// otPrime is the 768-bit MODP prime of RFC 2409 (Oakley group 1), with
+// generator 2. Safe-prime structure gives a large prime-order subgroup.
+var otPrime, _ = new(big.Int).SetString(
+	"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"+
+		"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"+
+		"4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF", 16)
+
+var otGen = big.NewInt(2)
+
+// OTSender holds the sender's two byte-string messages (equal length).
+type OTSender struct {
+	M0, M1 []byte
+}
+
+// OTMessage1 is the sender's first flow: a random group element C.
+type OTMessage1 struct{ C *big.Int }
+
+// OTMessage2 is the receiver's flow: its public key PK0 (PK1 = C/PK0).
+type OTMessage2 struct{ PK0 *big.Int }
+
+// OTMessage3 is the sender's final flow: two hashed-ElGamal ciphertexts.
+type OTMessage3 struct {
+	R0, R1 *big.Int
+	E0, E1 []byte
+}
+
+// OTReceiverState carries the receiver's secret between flows.
+type OTReceiverState struct {
+	choice int
+	k      *big.Int
+}
+
+// OTStart begins the protocol on the sender side.
+func (s *OTSender) OTStart() (*OTMessage1, error) {
+	if len(s.M0) != len(s.M1) {
+		return nil, fmt.Errorf("smc: OT messages must have equal length (%d vs %d)", len(s.M0), len(s.M1))
+	}
+	c, err := randGroupElem()
+	if err != nil {
+		return nil, err
+	}
+	return &OTMessage1{C: c}, nil
+}
+
+// OTChoose is the receiver's response for the given choice bit (0 or 1).
+func OTChoose(m1 *OTMessage1, choice int) (*OTMessage2, *OTReceiverState, error) {
+	if choice != 0 && choice != 1 {
+		return nil, nil, fmt.Errorf("smc: OT choice must be 0 or 1, got %d", choice)
+	}
+	k, err := rand.Int(rand.Reader, otPrime)
+	if err != nil {
+		return nil, nil, fmt.Errorf("smc: OT choose: %w", err)
+	}
+	pkChosen := new(big.Int).Exp(otGen, k, otPrime)
+	var pk0 *big.Int
+	if choice == 0 {
+		pk0 = pkChosen
+	} else {
+		// PK0 = C / PK1 so that PK1 = C / PK0 = pkChosen.
+		inv := new(big.Int).ModInverse(pkChosen, otPrime)
+		pk0 = new(big.Int).Mod(new(big.Int).Mul(m1.C, inv), otPrime)
+	}
+	return &OTMessage2{PK0: pk0}, &OTReceiverState{choice: choice, k: k}, nil
+}
+
+// OTTransfer is the sender's final flow.
+func (s *OTSender) OTTransfer(m1 *OTMessage1, m2 *OTMessage2) (*OTMessage3, error) {
+	if m2.PK0.Sign() <= 0 || m2.PK0.Cmp(otPrime) >= 0 {
+		return nil, fmt.Errorf("smc: OT public key out of range")
+	}
+	pk0 := m2.PK0
+	inv := new(big.Int).ModInverse(pk0, otPrime)
+	if inv == nil {
+		return nil, fmt.Errorf("smc: OT public key not invertible")
+	}
+	pk1 := new(big.Int).Mod(new(big.Int).Mul(m1.C, inv), otPrime)
+	r0, err := rand.Int(rand.Reader, otPrime)
+	if err != nil {
+		return nil, fmt.Errorf("smc: OT transfer: %w", err)
+	}
+	r1, err := rand.Int(rand.Reader, otPrime)
+	if err != nil {
+		return nil, fmt.Errorf("smc: OT transfer: %w", err)
+	}
+	g0 := new(big.Int).Exp(otGen, r0, otPrime)
+	g1 := new(big.Int).Exp(otGen, r1, otPrime)
+	k0 := new(big.Int).Exp(pk0, r0, otPrime)
+	k1 := new(big.Int).Exp(pk1, r1, otPrime)
+	return &OTMessage3{
+		R0: g0, R1: g1,
+		E0: xorPad(s.M0, k0),
+		E1: xorPad(s.M1, k1),
+	}, nil
+}
+
+// OTFinish recovers the chosen message on the receiver side.
+func (st *OTReceiverState) OTFinish(m3 *OTMessage3) []byte {
+	var g *big.Int
+	var e []byte
+	if st.choice == 0 {
+		g, e = m3.R0, m3.E0
+	} else {
+		g, e = m3.R1, m3.E1
+	}
+	key := new(big.Int).Exp(g, st.k, otPrime)
+	return xorPad(e, key)
+}
+
+// xorPad XORs data with an SHA-256-expanded pad derived from the group
+// element.
+func xorPad(data []byte, key *big.Int) []byte {
+	out := make([]byte, len(data))
+	seed := key.Bytes()
+	var counter [1]byte
+	off := 0
+	for off < len(data) {
+		h := sha256.New()
+		h.Write(seed)
+		h.Write(counter[:])
+		block := h.Sum(nil)
+		for _, b := range block {
+			if off >= len(data) {
+				break
+			}
+			out[off] = data[off] ^ b
+			off++
+		}
+		counter[0]++
+	}
+	return out
+}
+
+func randGroupElem() (*big.Int, error) {
+	for {
+		c, err := rand.Int(rand.Reader, otPrime)
+		if err != nil {
+			return nil, fmt.Errorf("smc: OT randomness: %w", err)
+		}
+		if c.Sign() > 0 {
+			return c, nil
+		}
+	}
+}

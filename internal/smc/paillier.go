@@ -1,0 +1,131 @@
+package smc
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+)
+
+// Paillier implements the Paillier additively homomorphic cryptosystem used
+// by two-party PPDM protocols (secure scalar product, private aggregation).
+// Enc(m1)·Enc(m2) = Enc(m1+m2 mod n) and Enc(m)^k = Enc(k·m mod n).
+
+// PaillierPublicKey holds n and the derived constants.
+type PaillierPublicKey struct {
+	N  *big.Int // modulus
+	N2 *big.Int // n²
+	G  *big.Int // generator, fixed to n+1
+}
+
+// PaillierPrivateKey holds the decryption trapdoor.
+type PaillierPrivateKey struct {
+	PaillierPublicKey
+	lambda *big.Int // lcm(p−1, q−1)
+	mu     *big.Int // (L(g^lambda mod n²))⁻¹ mod n
+}
+
+// GeneratePaillier creates a key pair with the given modulus bit size
+// (≥ 256; use ≥ 2048 for real deployments, smaller for tests).
+func GeneratePaillier(bits int) (*PaillierPrivateKey, error) {
+	if bits < 256 {
+		return nil, fmt.Errorf("smc: paillier modulus must be ≥ 256 bits, got %d", bits)
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("smc: paillier keygen: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("smc: paillier keygen: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		n2 := new(big.Int).Mul(n, n)
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		qm1 := new(big.Int).Sub(q, big.NewInt(1))
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+		g := new(big.Int).Add(n, big.NewInt(1))
+		// mu = (L(g^lambda mod n²))⁻¹ mod n with L(x) = (x−1)/n.
+		glambda := new(big.Int).Exp(g, lambda, n2)
+		l := paillierL(glambda, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue // degenerate pair, retry
+		}
+		return &PaillierPrivateKey{
+			PaillierPublicKey: PaillierPublicKey{N: n, N2: n2, G: g},
+			lambda:            lambda,
+			mu:                mu,
+		}, nil
+	}
+}
+
+func paillierL(x, n *big.Int) *big.Int {
+	return new(big.Int).Div(new(big.Int).Sub(x, big.NewInt(1)), n)
+}
+
+// Encrypt encrypts m ∈ [0, n) with fresh randomness.
+func (pk *PaillierPublicKey) Encrypt(m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("smc: paillier plaintext out of range")
+	}
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("smc: paillier encrypt: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(big.NewInt(1)) == 0 {
+			break
+		}
+	}
+	// c = g^m · r^n mod n²; with g = n+1, g^m = 1 + m·n (mod n²).
+	gm := new(big.Int).Mod(new(big.Int).Add(big.NewInt(1), new(big.Int).Mul(m, pk.N)), pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	return new(big.Int).Mod(new(big.Int).Mul(gm, rn), pk.N2), nil
+}
+
+// Decrypt recovers the plaintext.
+func (sk *PaillierPrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, fmt.Errorf("smc: paillier ciphertext out of range")
+	}
+	clambda := new(big.Int).Exp(c, sk.lambda, sk.N2)
+	l := paillierL(clambda, sk.N)
+	return new(big.Int).Mod(new(big.Int).Mul(l, sk.mu), sk.N), nil
+}
+
+// AddCipher returns an encryption of the sum of the two plaintexts.
+func (pk *PaillierPublicKey) AddCipher(c1, c2 *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Mul(c1, c2), pk.N2)
+}
+
+// MulConst returns an encryption of k·m given an encryption of m.
+func (pk *PaillierPublicKey) MulConst(c, k *big.Int) *big.Int {
+	kk := new(big.Int).Mod(k, pk.N)
+	return new(big.Int).Exp(c, kk, pk.N2)
+}
+
+// EncodeSigned maps a signed integer into [0, n) (two's-complement style
+// around n), so homomorphic sums of moderate magnitude decode correctly.
+func (pk *PaillierPublicKey) EncodeSigned(v int64) *big.Int {
+	b := big.NewInt(v)
+	if v < 0 {
+		b.Add(b, pk.N)
+	}
+	return b
+}
+
+// DecodeSigned inverts EncodeSigned for |value| < n/2.
+func (pk *PaillierPublicKey) DecodeSigned(m *big.Int) int64 {
+	half := new(big.Int).Rsh(pk.N, 1)
+	if m.Cmp(half) > 0 {
+		return -new(big.Int).Sub(pk.N, m).Int64()
+	}
+	return m.Int64()
+}

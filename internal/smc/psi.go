@@ -1,0 +1,99 @@
+package smc
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+)
+
+// Private set intersection (PSI) in the Diffie–Hellman style of Meadows /
+// Huberman–Franklin–Hogg: Alice and Bob each hold a private set of strings
+// and learn the intersection (and nothing else, under DDH in the random
+// oracle model, semi-honest). PSI is the core primitive of crypto PPDM over
+// vertically partitioned data — e.g. two hospitals finding common patients
+// before a joint study — and complements the horizontal-partition secure
+// ID3 protocol in this package.
+//
+// Protocol: with H hashing into the group, Alice sends {H(a)^α}, Bob
+// responds with {H(a)^{αβ}} (re-randomised order would hide positions; the
+// simulation keeps order for testability) and sends {H(b)^β}; Alice
+// computes {H(b)^{βα}} and intersects the two double-exponentiated sets.
+
+// psiPrime reuses the 768-bit MODP group of the OT implementation.
+var psiPrime = otPrime
+
+// hashToGroup maps a string to a group element by hashing and squaring
+// (squaring lands in the quadratic-residue subgroup).
+func hashToGroup(s string) *big.Int {
+	h := sha256.Sum256([]byte(s))
+	x := new(big.Int).SetBytes(h[:])
+	x.Mod(x, psiPrime)
+	if x.Sign() == 0 {
+		x.SetInt64(4)
+	}
+	return x.Mul(x, x).Mod(x, psiPrime)
+}
+
+// PSIParty holds one side's secret exponent and set.
+type PSIParty struct {
+	set      []string
+	exponent *big.Int
+}
+
+// NewPSIParty creates a party over its private set.
+func NewPSIParty(set []string) (*PSIParty, error) {
+	if len(set) == 0 {
+		return nil, fmt.Errorf("smc: PSI set must be non-empty")
+	}
+	// Exponent in [1, p−2].
+	e, err := rand.Int(rand.Reader, new(big.Int).Sub(psiPrime, big.NewInt(2)))
+	if err != nil {
+		return nil, fmt.Errorf("smc: PSI keygen: %w", err)
+	}
+	e.Add(e, big.NewInt(1))
+	return &PSIParty{set: append([]string(nil), set...), exponent: e}, nil
+}
+
+// Blind returns the party's set hashed into the group and raised to its
+// secret exponent — the first protocol flow.
+func (p *PSIParty) Blind() []*big.Int {
+	out := make([]*big.Int, len(p.set))
+	for i, s := range p.set {
+		out[i] = new(big.Int).Exp(hashToGroup(s), p.exponent, psiPrime)
+	}
+	return out
+}
+
+// Exponentiate raises the peer's blinded elements to this party's secret
+// exponent — the second protocol flow.
+func (p *PSIParty) Exponentiate(blinded []*big.Int) []*big.Int {
+	out := make([]*big.Int, len(blinded))
+	for i, x := range blinded {
+		out[i] = new(big.Int).Exp(x, p.exponent, psiPrime)
+	}
+	return out
+}
+
+// Intersect runs the full protocol between two parties and returns Alice's
+// view of the intersection (the actual strings, since she knows which of
+// her elements produced each double-blinded value).
+func Intersect(alice, bob *PSIParty) []string {
+	// Flow 1: each blinds its own set.
+	aBlind := alice.Blind()
+	bBlind := bob.Blind()
+	// Flow 2: each exponentiates the other's blinded set.
+	aDouble := bob.Exponentiate(aBlind)   // H(a)^{αβ}, aligned with alice.set
+	bDouble := alice.Exponentiate(bBlind) // H(b)^{βα}
+	inB := map[string]bool{}
+	for _, x := range bDouble {
+		inB[string(x.Bytes())] = true
+	}
+	var out []string
+	for i, x := range aDouble {
+		if inB[string(x.Bytes())] {
+			out = append(out, alice.set[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package smc
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+)
+
+// SecureScalarProduct is the standard two-party Paillier protocol for
+// vertically partitioned PPDM: Alice holds x, Bob holds y, and the parties
+// end with additive shares of ⟨x, y⟩ — Alice learns sA, Bob holds sB with
+// sA + sB = ⟨x, y⟩, and neither learns the other's vector.
+//
+// Flow: Alice sends Enc(x_i); Bob computes Enc(⟨x,y⟩) homomorphically,
+// blinds it with a random r (his share is −r), and returns it; Alice
+// decrypts her share.
+type SecureScalarProduct struct {
+	Key *PaillierPrivateKey // Alice's key pair
+}
+
+// NewSecureScalarProduct generates a protocol instance with a fresh key of
+// the given modulus size.
+func NewSecureScalarProduct(bits int) (*SecureScalarProduct, error) {
+	key, err := GeneratePaillier(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &SecureScalarProduct{Key: key}, nil
+}
+
+// Run executes the protocol for integer vectors x (Alice's) and y (Bob's)
+// and returns the two output shares. The magnitude of the true scalar
+// product must stay below n/4 for correct signed decoding.
+func (sp *SecureScalarProduct) Run(x, y []int64) (aliceShare, bobShare int64, err error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0, 0, fmt.Errorf("smc: scalar product needs equal non-empty vectors (%d vs %d)", len(x), len(y))
+	}
+	pk := &sp.Key.PaillierPublicKey
+	// Alice → Bob: encryptions of x.
+	cx := make([]*big.Int, len(x))
+	for i, v := range x {
+		c, err := pk.Encrypt(pk.EncodeSigned(v))
+		if err != nil {
+			return 0, 0, err
+		}
+		cx[i] = c
+	}
+	// Bob: Enc(Σ x_i·y_i) = Π Enc(x_i)^{y_i}, blinded with r.
+	acc, err := pk.Encrypt(big.NewInt(0))
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, c := range cx {
+		acc = pk.AddCipher(acc, pk.MulConst(c, big.NewInt(y[i])))
+	}
+	// Blinding r chosen below 2^62 so both shares fit in int64 while still
+	// statistically hiding scalar products of moderate magnitude (callers
+	// keep |⟨x,y⟩| ≪ 2^62; the ciphertext modulus is far larger).
+	rBound := new(big.Int).Lsh(big.NewInt(1), 62)
+	r, err := rand.Int(rand.Reader, rBound)
+	if err != nil {
+		return 0, 0, fmt.Errorf("smc: scalar product blinding: %w", err)
+	}
+	cr, err := pk.Encrypt(new(big.Int).Mod(r, pk.N))
+	if err != nil {
+		return 0, 0, err
+	}
+	blinded := pk.AddCipher(acc, cr)
+	// Alice decrypts s + r; her share is that value, Bob's is −r.
+	m, err := sp.Key.Decrypt(blinded)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Decode s + r as a signed value. r < n/8 and |s| < n/4 keeps it exact.
+	sPlusR := pk.DecodeSigned(m)
+	return sPlusR, -r.Int64(), nil
+}

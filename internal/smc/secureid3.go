@@ -1,0 +1,265 @@
+package smc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/mining"
+)
+
+// SecureID3 builds an ID3 decision tree over horizontally partitioned data
+// in the spirit of Lindell & Pinkas (CRYPTO 2000) and the secure-sum-based
+// distributed ID3 protocols that followed: each party holds a private subset
+// of the records; at every tree node the per-class and per-attribute-value
+// counts needed for the information-gain computation are aggregated with the
+// SecureSum protocol, so no party reveals its local counts, only the
+// aggregate statistics implied by the (public) output tree are learned.
+//
+// All feature columns and the target must be categorical; the resulting
+// tree is identical to centralized ID3 over the union of the partitions
+// (verified by the test suite), which is exactly the crypto-PPDM promise:
+// same analysis output, no pooling of the data.
+//
+// The function returns the tree and the network whose transcript records
+// every protocol message (for the owner-privacy evaluator).
+func SecureID3(parts []*dataset.Dataset, target string, maxDepth int, seed uint64) (*mining.TreeNode, *Network, error) {
+	if len(parts) < 2 {
+		return nil, nil, fmt.Errorf("smc: secure ID3 needs ≥ 2 parties, got %d", len(parts))
+	}
+	if maxDepth <= 0 {
+		maxDepth = 6
+	}
+	schema := parts[0].Attrs()
+	tj := parts[0].Index(target)
+	if tj < 0 {
+		return nil, nil, fmt.Errorf("smc: unknown target %q", target)
+	}
+	for pi, p := range parts {
+		if p.Cols() != len(schema) {
+			return nil, nil, fmt.Errorf("smc: party %d schema width mismatch", pi)
+		}
+		for j, a := range p.Attrs() {
+			if a.Name != schema[j].Name || a.Kind != schema[j].Kind {
+				return nil, nil, fmt.Errorf("smc: party %d schema mismatch at column %d", pi, j)
+			}
+			if a.Kind == dataset.Numeric {
+				return nil, nil, fmt.Errorf("smc: secure ID3 requires categorical attributes; %q is numeric", a.Name)
+			}
+		}
+	}
+	nw, err := NewNetwork(len(parts))
+	if err != nil {
+		return nil, nil, err
+	}
+	// Public metadata: class and attribute-value domains (union across
+	// parties; domain knowledge, not record knowledge).
+	classes := domainOf(parts, tj)
+	if len(classes) == 0 {
+		return nil, nil, fmt.Errorf("smc: no training records")
+	}
+	domains := map[int][]string{}
+	var features []int
+	for j := range schema {
+		if j == tj {
+			continue
+		}
+		features = append(features, j)
+		domains[j] = domainOf(parts, j)
+	}
+	b := &id3Builder{
+		parts: parts, tj: tj, classes: classes, domains: domains,
+		nw: nw, seed: seed,
+	}
+	rowsets := make([][]int, len(parts))
+	for pi, p := range parts {
+		rows := make([]int, p.Rows())
+		for i := range rows {
+			rows[i] = i
+		}
+		rowsets[pi] = rows
+	}
+	root, err := b.grow(rowsets, features, maxDepth)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, nw, nil
+}
+
+type id3Builder struct {
+	parts   []*dataset.Dataset
+	tj      int
+	classes []string
+	domains map[int][]string
+	nw      *Network
+	seed    uint64
+	calls   uint64
+}
+
+// secureCounts aggregates, via the secure-sum protocol, each party's local
+// count vector computed by the local closure.
+func (b *id3Builder) secureCounts(width int, local func(party int) []Elem) ([]int64, error) {
+	inputs := make([][]Elem, len(b.parts))
+	seeds := make([]uint64, len(b.parts))
+	for pi := range b.parts {
+		inputs[pi] = local(pi)
+		if len(inputs[pi]) != width {
+			return nil, fmt.Errorf("smc: local count width %d, want %d", len(inputs[pi]), width)
+		}
+		b.calls++
+		seeds[pi] = b.seed ^ (b.calls * 0x9e3779b97f4a7c15) ^ uint64(pi)<<32
+	}
+	agg, err := SecureSumVector(b.nw, inputs, seeds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, width)
+	for i, e := range agg {
+		out[i] = DecodeInt(e)
+	}
+	return out, nil
+}
+
+func (b *id3Builder) grow(rowsets [][]int, features []int, depth int) (*mining.TreeNode, error) {
+	// Aggregate class counts securely.
+	classCounts, err := b.secureCounts(len(b.classes), func(pi int) []Elem {
+		v := make([]Elem, len(b.classes))
+		p := b.parts[pi]
+		for _, i := range rowsets[pi] {
+			v[indexOf(b.classes, p.Cat(i, b.tj))]++
+		}
+		return v
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	maj, majC := "", int64(-1)
+	nonzero := 0
+	for c, cnt := range classCounts {
+		total += cnt
+		if cnt > 0 {
+			nonzero++
+		}
+		if cnt > majC {
+			maj, majC = b.classes[c], cnt
+		}
+	}
+	if total == 0 {
+		return &mining.TreeNode{Leaf: true, Class: b.classes[0]}, nil
+	}
+	if nonzero <= 1 || depth == 0 || len(features) == 0 || total < 4 {
+		return &mining.TreeNode{Leaf: true, Class: maj}, nil
+	}
+	baseH := entropyOf(classCounts, total)
+	// Pick the best attribute by aggregated conditional entropy.
+	bestGain := 1e-9
+	bestAttr := -1
+	var bestCounts []int64
+	for _, j := range features {
+		dom := b.domains[j]
+		width := len(dom) * len(b.classes)
+		counts, err := b.secureCounts(width, func(pi int) []Elem {
+			v := make([]Elem, width)
+			p := b.parts[pi]
+			for _, i := range rowsets[pi] {
+				vi := indexOf(dom, p.Cat(i, j))
+				ci := indexOf(b.classes, p.Cat(i, b.tj))
+				v[vi*len(b.classes)+ci]++
+			}
+			return v
+		})
+		if err != nil {
+			return nil, err
+		}
+		var cond float64
+		for vi := range dom {
+			var sub int64
+			for ci := range b.classes {
+				sub += counts[vi*len(b.classes)+ci]
+			}
+			if sub == 0 {
+				continue
+			}
+			cond += float64(sub) / float64(total) *
+				entropyOf(counts[vi*len(b.classes):(vi+1)*len(b.classes)], sub)
+		}
+		if g := baseH - cond; g > bestGain {
+			bestGain, bestAttr, bestCounts = g, j, counts
+		}
+	}
+	if bestAttr < 0 {
+		return &mining.TreeNode{Leaf: true, Class: maj}, nil
+	}
+	node := &mining.TreeNode{
+		Attr:     b.parts[0].Attr(bestAttr).Name,
+		Default:  maj,
+		Branches: map[string]*mining.TreeNode{},
+	}
+	var rest []int
+	for _, j := range features {
+		if j != bestAttr {
+			rest = append(rest, j)
+		}
+	}
+	dom := b.domains[bestAttr]
+	for vi, val := range dom {
+		var branchTotal int64
+		for ci := range b.classes {
+			branchTotal += bestCounts[vi*len(b.classes)+ci]
+		}
+		if branchTotal == 0 {
+			continue
+		}
+		sub := make([][]int, len(b.parts))
+		for pi, p := range b.parts {
+			for _, i := range rowsets[pi] {
+				if p.Cat(i, bestAttr) == val {
+					sub[pi] = append(sub[pi], i)
+				}
+			}
+		}
+		child, err := b.grow(sub, rest, depth-1)
+		if err != nil {
+			return nil, err
+		}
+		node.Branches[val] = child
+	}
+	return node, nil
+}
+
+func domainOf(parts []*dataset.Dataset, j int) []string {
+	seen := map[string]bool{}
+	for _, p := range parts {
+		for i := 0; i < p.Rows(); i++ {
+			seen[p.Cat(i, j)] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func indexOf(xs []string, v string) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func entropyOf(counts []int64, total int64) float64 {
+	var h float64
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / float64(total)
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,143 @@
+package smc
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/mining"
+)
+
+// categoricalPatients builds a categorical-only clinical dataset where the
+// outcome depends on two attributes, split horizontally into nParts.
+func categoricalPatients(n int, seed uint64, nParts int) (union *dataset.Dataset, parts []*dataset.Dataset) {
+	rng := dataset.NewRand(seed)
+	attrs := []dataset.Attribute{
+		{Name: "smoker", Role: dataset.QuasiIdentifier, Kind: dataset.Nominal},
+		{Name: "bmi_band", Role: dataset.QuasiIdentifier, Kind: dataset.Nominal},
+		{Name: "age_band", Role: dataset.QuasiIdentifier, Kind: dataset.Nominal},
+		{Name: "hypertension", Role: dataset.Confidential, Kind: dataset.Nominal},
+	}
+	union = dataset.New(attrs...)
+	parts = make([]*dataset.Dataset, nParts)
+	for p := range parts {
+		parts[p] = dataset.New(attrs...)
+	}
+	bmis := []string{"low", "mid", "high"}
+	ages := []string{"young", "mid", "old"}
+	for i := 0; i < n; i++ {
+		smoker := "no"
+		if rng.Float64() < 0.4 {
+			smoker = "yes"
+		}
+		bmi := bmis[rng.IntN(3)]
+		age := ages[rng.IntN(3)]
+		risk := 0.1
+		if smoker == "yes" {
+			risk += 0.4
+		}
+		if bmi == "high" {
+			risk += 0.35
+		}
+		ht := "N"
+		if rng.Float64() < risk {
+			ht = "Y"
+		}
+		union.MustAppend(smoker, bmi, age, ht)
+		parts[i%nParts].MustAppend(smoker, bmi, age, ht)
+	}
+	return union, parts
+}
+
+func TestSecureID3MatchesCentralized(t *testing.T) {
+	// The crypto-PPDM promise: the distributed protocol computes exactly
+	// the analysis a trusted third party would, without pooling data.
+	union, parts := categoricalPatients(600, 5, 3)
+	secure, nw, err := SecureID3(parts, "hypertension", 6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := mining.TrainTree(union, "hypertension", mining.TreeOptions{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same predictions on every record.
+	for i := 0; i < union.Rows(); i++ {
+		if secure.Predict(union, i) != central.Predict(union, i) {
+			t.Fatalf("prediction mismatch at record %d: secure %q vs central %q",
+				i, secure.Predict(union, i), central.Predict(union, i))
+		}
+	}
+	if len(nw.Transcript()) == 0 {
+		t.Error("no protocol messages recorded")
+	}
+}
+
+func TestSecureID3AccuratePredictions(t *testing.T) {
+	_, parts := categoricalPatients(900, 7, 3)
+	test, _ := categoricalPatients(400, 8, 2)
+	secure, _, err := SecureID3(parts, "hypertension", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := secure.Accuracy(test, "hypertension")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Errorf("secure ID3 accuracy = %v, want ≥ 0.6", acc)
+	}
+}
+
+func TestSecureID3TranscriptSharesAreNotLocalCounts(t *testing.T) {
+	// The share-round payloads are uniform field elements, not the small
+	// integers local counts would be: overwhelmingly they exceed any
+	// realistic count. This is the measurable owner-privacy property.
+	_, parts := categoricalPatients(300, 11, 2)
+	_, nw, err := SecureID3(parts, "hypertension", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shareMsgs, smallPayloads int
+	for _, m := range nw.Transcript() {
+		if m.Round != "share" {
+			continue
+		}
+		for _, e := range m.Payload {
+			shareMsgs++
+			if uint64(e) < 1000 {
+				smallPayloads++
+			}
+		}
+	}
+	if shareMsgs == 0 {
+		t.Fatal("no share messages found")
+	}
+	if frac := float64(smallPayloads) / float64(shareMsgs); frac > 0.01 {
+		t.Errorf("%.2f%% of share payloads look like raw counts — masking broken", 100*frac)
+	}
+}
+
+func TestSecureID3Validation(t *testing.T) {
+	union, parts := categoricalPatients(50, 13, 2)
+	if _, _, err := SecureID3(parts[:1], "hypertension", 4, 1); err == nil {
+		t.Error("accepted a single party")
+	}
+	if _, _, err := SecureID3(parts, "nope", 4, 1); err == nil {
+		t.Error("accepted unknown target")
+	}
+	// Numeric attribute rejected.
+	numAttrs := append([]dataset.Attribute{{Name: "x", Kind: dataset.Numeric}}, union.Attrs()...)
+	bad1 := dataset.New(numAttrs...)
+	bad1.MustAppend(1.0, "no", "low", "young", "N")
+	bad2 := dataset.New(numAttrs...)
+	bad2.MustAppend(2.0, "yes", "mid", "old", "Y")
+	if _, _, err := SecureID3([]*dataset.Dataset{bad1, bad2}, "hypertension", 4, 1); err == nil {
+		t.Error("accepted numeric attribute")
+	}
+	// Schema mismatch.
+	other := dataset.New(dataset.Attribute{Name: "z", Kind: dataset.Nominal})
+	other.MustAppend("v")
+	if _, _, err := SecureID3([]*dataset.Dataset{parts[0], other}, "hypertension", 4, 1); err == nil {
+		t.Error("accepted schema mismatch")
+	}
+}

@@ -1,0 +1,136 @@
+package smc
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+)
+
+// SecureSum computes the sum of the parties' private inputs using additive
+// secret sharing: each party splits its input into one share per party,
+// distributes them, locally sums the shares it received, and broadcasts the
+// partial sum. Every value on the wire except the final partial sums is
+// uniformly random, so no party (and no wire observer) learns anything
+// beyond the total — the owner-privacy guarantee the paper ascribes to
+// cryptographic PPDM.
+//
+// inputs[i] is party i's private value. The function runs one goroutine per
+// party over the given network and returns the common output. Each party
+// seeds its own PRNG from seeds[i] (crypto-grade randomness is not needed
+// for the reproducibility experiments, but callers can pass arbitrary
+// seeds).
+func SecureSum(nw *Network, inputs []Elem, seeds []uint64) (Elem, error) {
+	n := nw.Parties()
+	if len(inputs) != n || len(seeds) != n {
+		return 0, fmt.Errorf("smc: need %d inputs and seeds, got %d and %d", n, len(inputs), len(seeds))
+	}
+	results := make([]Elem, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id], errs[id] = secureSumParty(nw, id, inputs[id], rand.New(rand.NewPCG(seeds[id], 0x5eed)))
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	// All parties obtain the same total; return party 0's.
+	for id := 1; id < n; id++ {
+		if results[id] != results[0] {
+			return 0, fmt.Errorf("smc: parties disagree on the sum")
+		}
+	}
+	return results[0], nil
+}
+
+func secureSumParty(nw *Network, id int, input Elem, rng *rand.Rand) (Elem, error) {
+	n := nw.Parties()
+	shares, err := AdditiveShare(input, n, rng)
+	if err != nil {
+		return 0, err
+	}
+	// Distribute shares (keep own).
+	for to := 0; to < n; to++ {
+		if to == id {
+			continue
+		}
+		if err := nw.Send(id, to, "share", []Elem{shares[to]}); err != nil {
+			return 0, err
+		}
+	}
+	partial := shares[id]
+	for from := 0; from < n; from++ {
+		if from == id {
+			continue
+		}
+		p, err := nw.Recv(id, from)
+		if err != nil {
+			return 0, err
+		}
+		if len(p) != 1 {
+			return 0, fmt.Errorf("smc: malformed share from %d", from)
+		}
+		partial = Add(partial, p[0])
+	}
+	// Broadcast partial sums.
+	for to := 0; to < n; to++ {
+		if to == id {
+			continue
+		}
+		if err := nw.Send(id, to, "partial", []Elem{partial}); err != nil {
+			return 0, err
+		}
+	}
+	total := partial
+	for from := 0; from < n; from++ {
+		if from == id {
+			continue
+		}
+		p, err := nw.Recv(id, from)
+		if err != nil {
+			return 0, err
+		}
+		if len(p) != 1 {
+			return 0, fmt.Errorf("smc: malformed partial from %d", from)
+		}
+		total = Add(total, p[0])
+	}
+	return total, nil
+}
+
+// SecureSumVector runs SecureSum coordinate-wise over vectors of private
+// inputs (inputs[i] is party i's vector; all must share one length). It is
+// the aggregation primitive secure ID3 uses for per-class count vectors.
+func SecureSumVector(nw *Network, inputs [][]Elem, seeds []uint64) ([]Elem, error) {
+	n := nw.Parties()
+	if len(inputs) != n {
+		return nil, fmt.Errorf("smc: need %d input vectors, got %d", n, len(inputs))
+	}
+	width := len(inputs[0])
+	for i, v := range inputs {
+		if len(v) != width {
+			return nil, fmt.Errorf("smc: party %d vector has %d entries, want %d", i, len(v), width)
+		}
+	}
+	out := make([]Elem, width)
+	for c := 0; c < width; c++ {
+		col := make([]Elem, n)
+		colSeeds := make([]uint64, n)
+		for i := range col {
+			col[i] = inputs[i][c]
+			colSeeds[i] = seeds[i]*1000003 + uint64(c)
+		}
+		s, err := SecureSum(nw, col, colSeeds)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = s
+	}
+	return out, nil
+}

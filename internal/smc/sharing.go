@@ -1,0 +1,97 @@
+package smc
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// AdditiveShare splits secret into n uniformly random additive shares
+// summing to the secret mod P.
+func AdditiveShare(secret Elem, n int, rng *rand.Rand) ([]Elem, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("smc: additive sharing needs ≥ 2 shares, got %d", n)
+	}
+	shares := make([]Elem, n)
+	acc := Elem(0)
+	for i := 0; i < n-1; i++ {
+		shares[i] = RandomElem(rng)
+		acc = Add(acc, shares[i])
+	}
+	shares[n-1] = Sub(secret, acc)
+	return shares, nil
+}
+
+// AdditiveReconstruct sums shares back into the secret.
+func AdditiveReconstruct(shares []Elem) Elem {
+	var s Elem
+	for _, sh := range shares {
+		s = Add(s, sh)
+	}
+	return s
+}
+
+// ShamirShare splits secret into n shares with threshold t (any t shares
+// reconstruct; fewer reveal nothing). Share i is (x=i+1, f(i+1)) for a
+// random degree-(t−1) polynomial f with f(0) = secret.
+func ShamirShare(secret Elem, n, t int, rng *rand.Rand) ([]Elem, error) {
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("smc: threshold %d out of range [1,%d]", t, n)
+	}
+	if uint64(n) >= P {
+		return nil, fmt.Errorf("smc: too many shares")
+	}
+	coeffs := make([]Elem, t)
+	coeffs[0] = secret
+	for i := 1; i < t; i++ {
+		coeffs[i] = RandomElem(rng)
+	}
+	shares := make([]Elem, n)
+	for i := 0; i < n; i++ {
+		x := Elem(uint64(i + 1))
+		// Horner evaluation.
+		v := Elem(0)
+		for c := t - 1; c >= 0; c-- {
+			v = Add(Mul(v, x), coeffs[c])
+		}
+		shares[i] = v
+	}
+	return shares, nil
+}
+
+// ShamirReconstruct recovers the secret from t shares given by their
+// 1-based indices (the x-coordinates) and values.
+func ShamirReconstruct(indices []int, values []Elem) (Elem, error) {
+	if len(indices) != len(values) || len(indices) == 0 {
+		return 0, fmt.Errorf("smc: need equal non-zero numbers of indices and values")
+	}
+	seen := map[int]bool{}
+	for _, ix := range indices {
+		if ix < 1 {
+			return 0, fmt.Errorf("smc: share index %d must be ≥ 1", ix)
+		}
+		if seen[ix] {
+			return 0, fmt.Errorf("smc: duplicate share index %d", ix)
+		}
+		seen[ix] = true
+	}
+	// Lagrange interpolation at x = 0.
+	var secret Elem
+	for i := range indices {
+		xi := Elem(uint64(indices[i]))
+		num, den := Elem(1), Elem(1)
+		for j := range indices {
+			if j == i {
+				continue
+			}
+			xj := Elem(uint64(indices[j]))
+			num = Mul(num, Neg(xj))     // (0 − xj)
+			den = Mul(den, Sub(xi, xj)) // (xi − xj)
+		}
+		invDen, err := Inv(den)
+		if err != nil {
+			return 0, err
+		}
+		secret = Add(secret, Mul(values[i], Mul(num, invDen)))
+	}
+	return secret, nil
+}

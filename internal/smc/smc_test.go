@@ -1,0 +1,355 @@
+package smc
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"privacy3d/internal/dataset"
+)
+
+func TestFieldArithmetic(t *testing.T) {
+	if Add(Elem(P-1), 1) != 0 {
+		t.Error("Add wraparound failed")
+	}
+	if Sub(0, 1) != Elem(P-1) {
+		t.Error("Sub wraparound failed")
+	}
+	if Neg(0) != 0 || Neg(1) != Elem(P-1) {
+		t.Error("Neg failed")
+	}
+	if Mul(2, 3) != 6 {
+		t.Error("Mul small failed")
+	}
+	// (P-1)² ≡ 1 (mod P).
+	if Mul(Elem(P-1), Elem(P-1)) != 1 {
+		t.Error("Mul large failed")
+	}
+	if Pow(2, 61) != Mul(2, Pow(2, 60)) {
+		t.Error("Pow inconsistent")
+	}
+	inv, err := Inv(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Mul(inv, 12345) != 1 {
+		t.Error("Inv failed")
+	}
+	if _, err := Inv(0); err == nil {
+		t.Error("Inv(0) accepted")
+	}
+}
+
+func TestFieldMulMatchesBigInt(t *testing.T) {
+	rng := dataset.NewRand(1)
+	pb := new(big.Int).SetUint64(P)
+	for i := 0; i < 200; i++ {
+		a, b := RandomElem(rng), RandomElem(rng)
+		got := Mul(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(uint64(a)), new(big.Int).SetUint64(uint64(b)))
+		want.Mod(want, pb)
+		if want.Uint64() != uint64(got) {
+			t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want.Uint64())
+		}
+	}
+}
+
+func TestEncodeDecodeInt(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 123456789, -987654321} {
+		if got := DecodeInt(EncodeInt(v)); got != v {
+			t.Errorf("round trip %d → %d", v, got)
+		}
+	}
+}
+
+func TestAdditiveSharing(t *testing.T) {
+	rng := dataset.NewRand(2)
+	secret := Elem(424242)
+	shares, err := AdditiveShare(secret, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AdditiveReconstruct(shares) != secret {
+		t.Error("reconstruction failed")
+	}
+	// Any 4 shares are uniform-looking: removing one changes the sum.
+	if AdditiveReconstruct(shares[:4]) == secret {
+		t.Error("partial shares should not reconstruct (overwhelmingly)")
+	}
+	if _, err := AdditiveShare(secret, 1, rng); err == nil {
+		t.Error("accepted n = 1")
+	}
+}
+
+func TestShamirSharing(t *testing.T) {
+	rng := dataset.NewRand(3)
+	secret := Elem(31337)
+	shares, err := ShamirShare(secret, 6, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any 3 shares reconstruct.
+	got, err := ShamirReconstruct([]int{2, 4, 6}, []Elem{shares[1], shares[3], shares[5]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != secret {
+		t.Errorf("reconstructed %d, want %d", got, secret)
+	}
+	// A different triple too.
+	got2, _ := ShamirReconstruct([]int{1, 2, 3}, shares[:3])
+	if got2 != secret {
+		t.Errorf("reconstructed %d, want %d", got2, secret)
+	}
+	// Errors.
+	if _, err := ShamirShare(secret, 3, 4, rng); err == nil {
+		t.Error("accepted t > n")
+	}
+	if _, err := ShamirReconstruct([]int{1, 1}, shares[:2]); err == nil {
+		t.Error("accepted duplicate indices")
+	}
+	if _, err := ShamirReconstruct([]int{0}, shares[:1]); err == nil {
+		t.Error("accepted index 0")
+	}
+}
+
+func TestShamirThresholdProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := dataset.NewRand(seed)
+		secret := RandomElem(rng)
+		n := 4 + int(seed%4)
+		th := 2 + int(seed%3)
+		shares, err := ShamirShare(secret, n, th, rng)
+		if err != nil {
+			return false
+		}
+		idx := make([]int, th)
+		vals := make([]Elem, th)
+		for i := 0; i < th; i++ {
+			idx[i] = i + 1
+			vals[i] = shares[i]
+		}
+		got, err := ShamirReconstruct(idx, vals)
+		return err == nil && got == secret
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecureSum(t *testing.T) {
+	nw, err := NewNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []Elem{EncodeInt(10), EncodeInt(20), EncodeInt(-5), EncodeInt(17)}
+	total, err := SecureSum(nw, inputs, []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DecodeInt(total) != 42 {
+		t.Errorf("secure sum = %d, want 42", DecodeInt(total))
+	}
+}
+
+func TestSecureSumTranscriptHidesInputs(t *testing.T) {
+	// The transcript must not contain any party's raw input in the share
+	// round: all first-round payloads are uniformly random field elements.
+	nw, _ := NewNetwork(3)
+	secret := Elem(123456789)
+	if _, err := SecureSum(nw, []Elem{secret, 1, 2}, []uint64{7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range nw.Transcript() {
+		if m.Round != "share" {
+			continue
+		}
+		for _, e := range m.Payload {
+			if e == secret {
+				t.Error("a raw input appeared in a share message")
+			}
+		}
+	}
+	// Each party's view excludes messages between the other two.
+	v0 := nw.ViewOf(0)
+	for _, m := range v0 {
+		if m.From != 0 && m.To != 0 {
+			t.Error("ViewOf(0) leaked a third-party message")
+		}
+	}
+	if len(v0) == 0 {
+		t.Error("empty view")
+	}
+}
+
+func TestSecureSumVector(t *testing.T) {
+	nw, _ := NewNetwork(3)
+	inputs := [][]Elem{
+		{1, 2, 3},
+		{10, 20, 30},
+		{100, 200, 300},
+	}
+	out, err := SecureSumVector(nw, inputs, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Elem{111, 222, 333}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("coordinate %d = %d, want %d", i, out[i], want[i])
+		}
+	}
+	if _, err := SecureSumVector(nw, inputs[:2], []uint64{1, 2, 3}); err == nil {
+		t.Error("accepted wrong party count")
+	}
+	bad := [][]Elem{{1}, {1, 2}, {1}}
+	if _, err := SecureSumVector(nw, bad, []uint64{1, 2, 3}); err == nil {
+		t.Error("accepted ragged vectors")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(1); err == nil {
+		t.Error("accepted 1-party network")
+	}
+	nw, _ := NewNetwork(2)
+	if err := nw.Send(0, 0, "x", nil); err == nil {
+		t.Error("accepted self-send")
+	}
+	if err := nw.Send(0, 5, "x", nil); err == nil {
+		t.Error("accepted out-of-range recipient")
+	}
+	if _, err := nw.Recv(0, 0); err == nil {
+		t.Error("accepted self-recv")
+	}
+}
+
+func TestPaillierRoundTripAndHomomorphism(t *testing.T) {
+	key, err := GeneratePaillier(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &key.PaillierPublicKey
+	m1, m2 := big.NewInt(123456), big.NewInt(654321)
+	c1, err := pk.Encrypt(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := pk.Encrypt(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decrypt round trip.
+	d1, err := key.Decrypt(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Cmp(m1) != 0 {
+		t.Errorf("decrypt = %v, want %v", d1, m1)
+	}
+	// Additive homomorphism.
+	sum, err := key.Decrypt(pk.AddCipher(c1, c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Int64() != 777777 {
+		t.Errorf("homomorphic sum = %v, want 777777", sum)
+	}
+	// Scalar multiplication.
+	tripled, err := key.Decrypt(pk.MulConst(c1, big.NewInt(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tripled.Int64() != 370368 {
+		t.Errorf("homomorphic 3x = %v", tripled)
+	}
+	// Semantic security smoke check: same plaintext, different ciphertext.
+	c1b, _ := pk.Encrypt(m1)
+	if c1.Cmp(c1b) == 0 {
+		t.Error("deterministic encryption")
+	}
+	// Signed encoding.
+	if got := pk.DecodeSigned(pk.EncodeSigned(-42)); got != -42 {
+		t.Errorf("signed round trip = %d", got)
+	}
+	// Validation.
+	if _, err := pk.Encrypt(big.NewInt(-1)); err == nil {
+		t.Error("accepted negative plaintext")
+	}
+	if _, err := GeneratePaillier(128); err == nil {
+		t.Error("accepted tiny modulus")
+	}
+}
+
+func TestOTTransfersChosenMessageOnly(t *testing.T) {
+	sender := &OTSender{M0: []byte("respondent-privacy"), M1: []byte("owner-privacy!!!!!")}
+	for choice := 0; choice <= 1; choice++ {
+		m1, err := sender.OTStart()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, st, err := OTChoose(m1, choice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m3, err := sender.OTTransfer(m1, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := st.OTFinish(m3)
+		want := sender.M0
+		other := sender.M1
+		if choice == 1 {
+			want, other = sender.M1, sender.M0
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("choice %d: got %q, want %q", choice, got, want)
+		}
+		// Decrypting the other branch with our key must fail.
+		var wrong []byte
+		if choice == 0 {
+			wrong = (&OTReceiverState{choice: 1, k: st.k}).OTFinish(m3)
+		} else {
+			wrong = (&OTReceiverState{choice: 0, k: st.k}).OTFinish(m3)
+		}
+		if bytes.Equal(wrong, other) {
+			t.Error("receiver decrypted the unchosen message")
+		}
+	}
+	// Validation.
+	if _, _, err := OTChoose(&OTMessage1{C: big.NewInt(5)}, 2); err == nil {
+		t.Error("accepted choice 2")
+	}
+	bad := &OTSender{M0: []byte("a"), M1: []byte("toolong")}
+	if _, err := bad.OTStart(); err == nil {
+		t.Error("accepted unequal message lengths")
+	}
+}
+
+func TestSecureScalarProduct(t *testing.T) {
+	sp, err := NewSecureScalarProduct(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []int64{1, -2, 3, 4}
+	y := []int64{5, 6, -7, 8}
+	want := int64(1*5 - 2*6 - 3*7 + 4*8)
+	a, b, err := sp.Run(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a+b != want {
+		t.Errorf("shares sum to %d, want %d", a+b, want)
+	}
+	// Neither share alone equals the product (blinded).
+	if a == want || b == want {
+		t.Error("a share leaked the scalar product")
+	}
+	if _, _, err := sp.Run([]int64{1}, []int64{1, 2}); err == nil {
+		t.Error("accepted mismatched vectors")
+	}
+	if _, _, err := sp.Run(nil, nil); err == nil {
+		t.Error("accepted empty vectors")
+	}
+}

@@ -1,0 +1,162 @@
+package smc
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/mining"
+)
+
+// verticalSplit builds a labeled dataset and splits its feature columns
+// between two parties, both keeping the shared label.
+func verticalSplit(n int, seed uint64) (full, partA, partB *dataset.Dataset) {
+	rng := dataset.NewRand(seed)
+	fullAttrs := []dataset.Attribute{
+		{Name: "clinical_x", Kind: dataset.Numeric},
+		{Name: "clinical_y", Kind: dataset.Numeric},
+		{Name: "demo_age", Kind: dataset.Numeric},
+		{Name: "demo_region", Kind: dataset.Nominal},
+		{Name: "label", Kind: dataset.Nominal},
+	}
+	full = dataset.New(fullAttrs...)
+	partA = dataset.New(fullAttrs[0], fullAttrs[1], fullAttrs[4])
+	partB = dataset.New(fullAttrs[2], fullAttrs[3], fullAttrs[4])
+	regions := []string{"north", "south"}
+	for i := 0; i < n; i++ {
+		cx := dataset.Normal(rng, 10, 3)
+		cy := dataset.Normal(rng, 5, 2)
+		age := dataset.Normal(rng, 45, 12)
+		region := regions[rng.IntN(2)]
+		score := 0.5*cx + 0.3*cy + 0.1*age
+		label := "lo"
+		if score+dataset.Normal(rng, 0, 0.6) > 11 {
+			label = "hi"
+		}
+		full.MustAppend(cx, cy, age, region, label)
+		partA.MustAppend(cx, cy, label)
+		partB.MustAppend(age, region, label)
+	}
+	return full, partA, partB
+}
+
+func TestVerticalNBMatchesJointModel(t *testing.T) {
+	full, a, b := verticalSplit(1200, 3)
+	parties, err := TrainVerticalNB([]*dataset.Dataset{a, b}, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := mining.TrainNaiveBayes(full, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	const probes = 60
+	for row := 0; row < probes; row++ {
+		got, err := ClassifyVertical(nw, parties, parties[0].Classes(), row, uint64(row))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == joint.Predict(full, row) {
+			agree++
+		}
+	}
+	// The secure protocol computes the same naive Bayes decision up to
+	// fixed-point rounding; demand near-perfect agreement.
+	if agree < probes-2 {
+		t.Errorf("secure vertical NB agreed with joint model on %d/%d probes", agree, probes)
+	}
+	if len(nw.Transcript()) == 0 {
+		t.Error("no protocol traffic recorded")
+	}
+}
+
+func TestVerticalNBAccuracy(t *testing.T) {
+	_, a, b := verticalSplit(1500, 5)
+	test, _, _ := verticalSplit(400, 6)
+	parties, err := TrainVerticalNB([]*dataset.Dataset{a, b}, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classification needs the test features split the same way.
+	_, ta, tb := verticalSplit(400, 6)
+	testParties := []*VerticalNBParty{
+		{nb: parties[0].nb, d: ta},
+		{nb: parties[1].nb, d: tb},
+	}
+	nw, _ := NewNetwork(2)
+	hits := 0
+	const probes = 80
+	tj := test.Index("label")
+	for row := 0; row < probes; row++ {
+		got, err := ClassifyVertical(nw, testParties, parties[0].Classes(), row, uint64(row)*7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == test.Cat(row, tj) {
+			hits++
+		}
+	}
+	if float64(hits)/probes < 0.75 {
+		t.Errorf("secure vertical NB accuracy = %d/%d, want ≥ 0.75", hits, probes)
+	}
+}
+
+func TestVerticalNBTranscriptHidesScores(t *testing.T) {
+	_, a, b := verticalSplit(500, 9)
+	parties, err := TrainVerticalNB([]*dataset.Dataset{a, b}, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := NewNetwork(2)
+	if _, err := ClassifyVertical(nw, parties, parties[0].Classes(), 0, 11); err != nil {
+		t.Fatal(err)
+	}
+	// Share-round payloads must be uniform field elements, not the small
+	// fixed-point scores (|score|·2^20 ≲ 2^27 ≪ 2^61).
+	small := 0
+	total := 0
+	for _, m := range nw.Transcript() {
+		if m.Round != "share" {
+			continue
+		}
+		for _, e := range m.Payload {
+			total++
+			if v := DecodeInt(e); v > -(1<<30) && v < 1<<30 {
+				small++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no share traffic")
+	}
+	if small > 0 {
+		t.Errorf("%d of %d share payloads look like raw scores", small, total)
+	}
+}
+
+func TestVerticalNBValidation(t *testing.T) {
+	_, a, b := verticalSplit(100, 13)
+	if _, err := TrainVerticalNB([]*dataset.Dataset{a}, "label"); err == nil {
+		t.Error("accepted a single party")
+	}
+	short := a.Select([]int{0, 1, 2})
+	if _, err := TrainVerticalNB([]*dataset.Dataset{short, b}, "label"); err == nil {
+		t.Error("accepted misaligned row counts")
+	}
+	if _, err := TrainVerticalNB([]*dataset.Dataset{a, b}, "nope"); err == nil {
+		t.Error("accepted missing target")
+	}
+	parties, _ := TrainVerticalNB([]*dataset.Dataset{a, b}, "label")
+	nw, _ := NewNetwork(3)
+	if _, err := ClassifyVertical(nw, parties, parties[0].Classes(), 0, 1); err == nil {
+		t.Error("accepted party/network mismatch")
+	}
+	nw2, _ := NewNetwork(2)
+	if _, err := ClassifyVertical(nw2, parties, nil, 0, 1); err == nil {
+		t.Error("accepted empty class list")
+	}
+}

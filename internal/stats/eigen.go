@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// JacobiEigen computes the eigenvalues and eigenvectors of a real symmetric
+// matrix by the classical Jacobi rotation method. It returns the
+// eigenvalues in descending order with the matching eigenvectors as the
+// COLUMNS of vecs (vecs[i][j] is component i of eigenvector j).
+func JacobiEigen(a [][]float64) (values []float64, vecs [][]float64, err error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("stats: empty matrix")
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, nil, fmt.Errorf("stats: matrix is not square")
+		}
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a[i][j]-a[j][i]) > 1e-9*(1+math.Abs(a[i][j])) {
+				return nil, nil, fmt.Errorf("stats: matrix is not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	m := CloneMatrix(a)
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Largest off-diagonal magnitude.
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				// Rotation angle.
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation to m (both sides) and accumulate in v.
+				for i := 0; i < n; i++ {
+					mip, miq := m[i][p], m[i][q]
+					m[i][p] = c*mip - s*miq
+					m[i][q] = s*mip + c*miq
+				}
+				for j := 0; j < n; j++ {
+					mpj, mqj := m[p][j], m[q][j]
+					m[p][j] = c*mpj - s*mqj
+					m[q][j] = s*mpj + c*mqj
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	// Extract and sort by descending eigenvalue.
+	type pair struct {
+		val float64
+		idx int
+	}
+	ps := make([]pair, n)
+	for i := 0; i < n; i++ {
+		ps[i] = pair{m[i][i], i}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ps[j].val > ps[i].val {
+				ps[i], ps[j] = ps[j], ps[i]
+			}
+		}
+	}
+	values = make([]float64, n)
+	vecs = NewMatrix(n, n)
+	for k, p := range ps {
+		values[k] = p.val
+		for i := 0; i < n; i++ {
+			vecs[i][k] = v[i][p.idx]
+		}
+	}
+	return values, vecs, nil
+}
+
+// PrincipalComponent returns the unit eigenvector of the covariance matrix
+// of row-major data with the largest eigenvalue — the direction of maximum
+// variance.
+func PrincipalComponent(data [][]float64) ([]float64, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("stats: empty data")
+	}
+	cov := CovarianceMatrix(data)
+	_, vecs, err := JacobiEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	p := len(cov)
+	pc := make([]float64, p)
+	for i := 0; i < p; i++ {
+		pc[i] = vecs[i][0]
+	}
+	return pc, nil
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width 1-D histogram over [Min, Max). Values outside
+// the range are clamped into the first/last bin, so masked data that drifts
+// slightly outside the original support still counts.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+	N        int64
+}
+
+// NewHistogram builds a histogram with the given number of bins. It returns
+// an error for invalid ranges or bin counts.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs bins > 0, got %d", bins)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("stats: histogram needs min < max, got [%g, %g)", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int64, bins)}, nil
+}
+
+// Bin returns the bin index of v (clamped to the valid range).
+func (h *Histogram) Bin(v float64) int {
+	b := int(math.Floor((v - h.Min) / (h.Max - h.Min) * float64(len(h.Counts))))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.Counts[h.Bin(v)]++
+	h.N++
+}
+
+// AddAll records a slice of observations.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, v := range xs {
+		h.Add(v)
+	}
+}
+
+// Probabilities returns the normalised bin frequencies.
+func (h *Histogram) Probabilities() []float64 {
+	p := make([]float64, len(h.Counts))
+	if h.N == 0 {
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(h.N)
+	}
+	return p
+}
+
+// Center returns the midpoint value of bin b.
+func (h *Histogram) Center(b int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(b)+0.5)*w
+}
+
+// MultiHistogram is a fixed-width multidimensional histogram used to detect
+// the rare-combination disclosure effect of Domingo-Ferrer, Sebé & Castellà
+// (PSD 2004): in high dimension, cells with a single record are "sparse
+// cells" whose reconstruction re-discloses the respondent.
+type MultiHistogram struct {
+	Mins, Maxs []float64
+	BinsPerDim int
+	Cells      map[string]int64
+	N          int64
+}
+
+// NewMultiHistogram builds a d-dimensional histogram with binsPerDim bins
+// per axis over the given per-dimension ranges.
+func NewMultiHistogram(mins, maxs []float64, binsPerDim int) (*MultiHistogram, error) {
+	if len(mins) != len(maxs) || len(mins) == 0 {
+		return nil, fmt.Errorf("stats: multihistogram dims mismatch: %d vs %d", len(mins), len(maxs))
+	}
+	if binsPerDim <= 0 {
+		return nil, fmt.Errorf("stats: multihistogram needs bins > 0, got %d", binsPerDim)
+	}
+	for j := range mins {
+		if !(mins[j] < maxs[j]) {
+			return nil, fmt.Errorf("stats: multihistogram dim %d has empty range [%g, %g)", j, mins[j], maxs[j])
+		}
+	}
+	return &MultiHistogram{
+		Mins: append([]float64(nil), mins...), Maxs: append([]float64(nil), maxs...),
+		BinsPerDim: binsPerDim, Cells: map[string]int64{},
+	}, nil
+}
+
+// CellKey returns the cell identifier of a point.
+func (h *MultiHistogram) CellKey(p []float64) string {
+	key := make([]byte, 0, 4*len(p))
+	for j, v := range p {
+		b := int(math.Floor((v - h.Mins[j]) / (h.Maxs[j] - h.Mins[j]) * float64(h.BinsPerDim)))
+		if b < 0 {
+			b = 0
+		}
+		if b >= h.BinsPerDim {
+			b = h.BinsPerDim - 1
+		}
+		key = append(key, byte(b), byte(b>>8), ',', byte(j))
+	}
+	return string(key)
+}
+
+// Add records one multidimensional observation.
+func (h *MultiHistogram) Add(p []float64) {
+	h.Cells[h.CellKey(p)]++
+	h.N++
+}
+
+// SparseCells returns the keys of cells holding at most threshold records —
+// the rare attribute combinations whose disclosure matters.
+func (h *MultiHistogram) SparseCells(threshold int64) map[string]int64 {
+	out := map[string]int64{}
+	for k, c := range h.Cells {
+		if c <= threshold {
+			out[k] = c
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Small dense linear algebra over [][]float64, sufficient for the masking
+// methods (correlated noise needs a Cholesky factor; auditing needs Gaussian
+// elimination; record linkage needs matrix-vector products).
+
+// ErrNotSPD is returned by Cholesky for matrices that are not symmetric
+// positive definite.
+var ErrNotSPD = errors.New("stats: matrix is not symmetric positive definite")
+
+// ErrSingular is returned by Solve for singular systems.
+var ErrSingular = errors.New("stats: singular matrix")
+
+// NewMatrix allocates an r×c zero matrix.
+func NewMatrix(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	buf := make([]float64, r*c)
+	for i := range m {
+		m[i], buf = buf[:c:c], buf[c:]
+	}
+	return m
+}
+
+// CloneMatrix deep-copies a matrix.
+func CloneMatrix(a [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = append([]float64(nil), a[i]...)
+	}
+	return out
+}
+
+// MatMul returns a×b; it panics on shape mismatch (programming error).
+func MatMul(a, b [][]float64) [][]float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	n, k, m := len(a), len(b), len(b[0])
+	if len(a[0]) != k {
+		panic(fmt.Sprintf("stats: MatMul shape mismatch %dx%d · %dx%d", n, len(a[0]), k, m))
+	}
+	out := NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for t := 0; t < k; t++ {
+			ait := a[i][t]
+			if ait == 0 {
+				continue
+			}
+			bt := b[t]
+			oi := out[i]
+			for j := 0; j < m; j++ {
+				oi[j] += ait * bt[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns a·x.
+func MatVec(a [][]float64, x []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, row := range a {
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a [][]float64) [][]float64 {
+	if len(a) == 0 {
+		return nil
+	}
+	out := NewMatrix(len(a[0]), len(a))
+	for i, row := range a {
+		for j, v := range row {
+			out[j][i] = v
+		}
+	}
+	return out
+}
+
+// Cholesky returns the lower-triangular L with L·Lᵀ = a for a symmetric
+// positive definite matrix a.
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("stats: Cholesky needs a square matrix, row %d has %d columns", i, len(a[i]))
+		}
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotSPD
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// Solve solves a·x = b by Gaussian elimination with partial pivoting.
+// a and b are not modified.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("stats: Solve shape mismatch: %d equations, %d rhs", n, len(b))
+	}
+	// Augmented working copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// GaussianEliminate reduces an augmented system (rows of length cols+1) to
+// reduced row echelon form in place and returns the pivot column of each
+// row (or -1 for zero rows). It is the engine of the Chin–Ozsoyoglu query
+// auditor: a variable (record) is fully disclosed when some reduced row has
+// exactly one non-zero coefficient.
+func GaussianEliminate(rows [][]float64, cols int) []int {
+	const eps = 1e-9
+	pivots := make([]int, len(rows))
+	for i := range pivots {
+		pivots[i] = -1
+	}
+	r := 0
+	for c := 0; c < cols && r < len(rows); c++ {
+		// Find pivot.
+		piv := -1
+		best := eps
+		for i := r; i < len(rows); i++ {
+			if math.Abs(rows[i][c]) > best {
+				best = math.Abs(rows[i][c])
+				piv = i
+			}
+		}
+		if piv < 0 {
+			continue
+		}
+		rows[r], rows[piv] = rows[piv], rows[r]
+		// Normalise pivot row.
+		f := rows[r][c]
+		for j := c; j <= cols; j++ {
+			rows[r][j] /= f
+		}
+		// Eliminate everywhere else (full reduction).
+		for i := range rows {
+			if i == r {
+				continue
+			}
+			g := rows[i][c]
+			if math.Abs(g) < eps {
+				continue
+			}
+			for j := c; j <= cols; j++ {
+				rows[i][j] -= g * rows[r][j]
+			}
+		}
+		pivots[r] = c
+		r++
+	}
+	return pivots
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) [][]float64 {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// MaxAbsDiff returns the max absolute elementwise difference of two
+// same-shaped matrices.
+func MaxAbsDiff(a, b [][]float64) float64 {
+	var d float64
+	for i := range a {
+		for j := range a[i] {
+			if v := math.Abs(a[i][j] - b[i][j]); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}

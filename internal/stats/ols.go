@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// OLSResult is a fitted ordinary-least-squares linear model
+// y = β₀ + β·x.
+type OLSResult struct {
+	// Coeffs holds β₀ followed by one coefficient per regressor.
+	Coeffs []float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+}
+
+// OLS fits y on the columns of x (row-major, rows = observations) with an
+// intercept, via the normal equations. It requires more observations than
+// regressors and a non-singular design.
+func OLS(x [][]float64, y []float64) (*OLSResult, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: OLS needs matching non-empty x and y (%d vs %d)", n, len(y))
+	}
+	p := len(x[0]) + 1 // regressors + intercept
+	if n <= p {
+		return nil, fmt.Errorf("stats: OLS needs more observations (%d) than parameters (%d)", n, p)
+	}
+	// Design matrix with leading 1s; accumulate XᵀX and Xᵀy.
+	xtx := NewMatrix(p, p)
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	for i := 0; i < n; i++ {
+		row[0] = 1
+		copy(row[1:], x[i])
+		for a := 0; a < p; a++ {
+			xty[a] += row[a] * y[i]
+			for b := a; b < p; b++ {
+				xtx[a][b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+	coeffs, err := Solve(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS design is singular: %w", err)
+	}
+	// R².
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := coeffs[0]
+		for j, v := range x[i] {
+			pred += coeffs[j+1] * v
+		}
+		d := y[i] - pred
+		ssRes += d * d
+		t := y[i] - my
+		ssTot += t * t
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	if math.IsNaN(r2) {
+		r2 = 0
+	}
+	return &OLSResult{Coeffs: coeffs, R2: r2}, nil
+}
+
+// Predict evaluates the fitted model on one observation.
+func (m *OLSResult) Predict(x []float64) float64 {
+	pred := m.Coeffs[0]
+	for j, v := range x {
+		pred += m.Coeffs[j+1] * v
+	}
+	return pred
+}

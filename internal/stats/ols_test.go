@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestOLSRecoversKnownModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = 3 + 2*a - 5*b + 0.01*rng.NormFloat64()
+	}
+	m, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -5}
+	for j := range want {
+		if math.Abs(m.Coeffs[j]-want[j]) > 0.01 {
+			t.Errorf("coeff %d = %v, want %v", j, m.Coeffs[j], want[j])
+		}
+	}
+	if m.R2 < 0.999 {
+		t.Errorf("R² = %v", m.R2)
+	}
+	// Prediction.
+	if p := m.Predict([]float64{1, 1}); math.Abs(p-0) > 0.05 {
+		t.Errorf("Predict(1,1) = %v, want ≈ 0", p)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("accepted empty data")
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	// Too few observations.
+	if _, err := OLS([][]float64{{1, 2}, {3, 4}}, []float64{1, 2}); err == nil {
+		t.Error("accepted n ≤ p")
+	}
+	// Singular design: duplicated column.
+	x := make([][]float64, 10)
+	y := make([]float64, 10)
+	for i := range x {
+		x[i] = []float64{float64(i), float64(i)}
+		y[i] = float64(i)
+	}
+	if _, err := OLS(x, y); err == nil {
+		t.Error("accepted singular design")
+	}
+}
+
+func TestOLSConstantTarget(t *testing.T) {
+	x := make([][]float64, 10)
+	y := make([]float64, 10)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		y[i] = 7
+	}
+	m, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coeffs[0]-7) > 1e-9 || math.Abs(m.Coeffs[1]) > 1e-9 {
+		t.Errorf("coeffs = %v", m.Coeffs)
+	}
+	if m.R2 != 0 {
+		t.Errorf("R² of constant target = %v, want 0 by convention", m.R2)
+	}
+}

@@ -1,0 +1,334 @@
+// Package stats provides the descriptive statistics, distribution distances
+// and small dense linear algebra that the masking, reconstruction and
+// disclosure-risk modules are built on. Go's standard library has no
+// statistics package, so this is the "thin dataframe/statistics ecosystem"
+// substrate built from scratch.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance (divide by n); NaN for empty input.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// SampleVariance returns the unbiased sample variance (divide by n-1);
+// NaN for inputs of length < 2.
+func SampleVariance(x []float64) float64 {
+	if len(x) < 2 {
+		return math.NaN()
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x)-1)
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// Covariance returns the population covariance of two equal-length slices.
+func Covariance(x, y []float64) float64 {
+	if len(x) == 0 || len(x) != len(y) {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var s float64
+	for i := range x {
+		s += (x[i] - mx) * (y[i] - my)
+	}
+	return s / float64(len(x))
+}
+
+// Correlation returns the Pearson correlation coefficient; NaN if either
+// variable is constant.
+func Correlation(x, y []float64) float64 {
+	sx, sy := StdDev(x), StdDev(y)
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return Covariance(x, y) / (sx * sy)
+}
+
+// MinMax returns the extrema of x; (NaN, NaN) for empty input.
+func MinMax(x []float64) (min, max float64) {
+	if len(x) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of x using linear
+// interpolation between order statistics (type-7, the R default).
+func Quantile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	h := p * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[lo]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// Median returns the 0.5-quantile.
+func Median(x []float64) float64 { return Quantile(x, 0.5) }
+
+// CovarianceMatrix returns the population covariance matrix of row-major
+// data (rows = observations, columns = variables).
+func CovarianceMatrix(data [][]float64) [][]float64 {
+	if len(data) == 0 {
+		return nil
+	}
+	p := len(data[0])
+	means := make([]float64, p)
+	for _, row := range data {
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	n := float64(len(data))
+	for j := range means {
+		means[j] /= n
+	}
+	cov := NewMatrix(p, p)
+	for _, row := range data {
+		for a := 0; a < p; a++ {
+			da := row[a] - means[a]
+			for b := a; b < p; b++ {
+				cov[a][b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := a; b < p; b++ {
+			cov[a][b] /= n
+			cov[b][a] = cov[a][b]
+		}
+	}
+	return cov
+}
+
+// ColumnMeans returns the per-column means of row-major data.
+func ColumnMeans(data [][]float64) []float64 {
+	if len(data) == 0 {
+		return nil
+	}
+	p := len(data[0])
+	means := make([]float64, p)
+	for _, row := range data {
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(len(data))
+	}
+	return means
+}
+
+// EuclideanDist returns the Euclidean distance between two vectors.
+func EuclideanDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredDist returns the squared Euclidean distance (no sqrt), the
+// work-horse of microaggregation inner loops.
+func SquaredDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Standardize returns (x - mean)/sd per column, along with the means and
+// sds used, so callers can standardise query points consistently. Columns
+// with zero variance are left centred but unscaled.
+func Standardize(data [][]float64) (z [][]float64, means, sds []float64) {
+	if len(data) == 0 {
+		return nil, nil, nil
+	}
+	p := len(data[0])
+	means = ColumnMeans(data)
+	sds = make([]float64, p)
+	for _, row := range data {
+		for j, v := range row {
+			d := v - means[j]
+			sds[j] += d * d
+		}
+	}
+	for j := range sds {
+		sds[j] = math.Sqrt(sds[j] / float64(len(data)))
+	}
+	z = make([][]float64, len(data))
+	for i, row := range data {
+		zr := make([]float64, p)
+		for j, v := range row {
+			zr[j] = v - means[j]
+			if sds[j] > 0 {
+				zr[j] /= sds[j]
+			}
+		}
+		z[i] = zr
+	}
+	return z, means, sds
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic
+// sup_x |F1(x) - F2(x)|.
+func KolmogorovSmirnov(x, y []float64) float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return math.NaN()
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	var d float64
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		vx, vy := xs[i], ys[j]
+		// Advance past ties on both sides before comparing the CDFs, so
+		// equal values never produce a spurious gap.
+		if vx <= vy {
+			for i < len(xs) && xs[i] == vx {
+				i++
+			}
+		}
+		if vy <= vx {
+			for j < len(ys) && ys[j] == vy {
+				j++
+			}
+		}
+		diff := math.Abs(float64(i)/float64(len(xs)) - float64(j)/float64(len(ys)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// TotalVariation returns half the L1 distance between two discrete
+// distributions given as aligned probability vectors.
+func TotalVariation(p, q []float64) float64 {
+	var s float64
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}
+
+// Hellinger returns the Hellinger distance between two aligned discrete
+// probability vectors (in [0,1]).
+func Hellinger(p, q []float64) float64 {
+	var s float64
+	for i := range p {
+		d := math.Sqrt(p[i]) - math.Sqrt(q[i])
+		s += d * d
+	}
+	return math.Sqrt(s / 2)
+}
+
+// Entropy returns the Shannon entropy (bits) of a probability vector,
+// treating 0·log 0 as 0.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h
+}
+
+// Normalize scales a non-negative vector to sum to 1. Vectors summing to 0
+// become uniform.
+func Normalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	if s == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(x))
+		}
+		return out
+	}
+	for i, v := range x {
+		out[i] = v / s
+	}
+	return out
+}
+
+// Rank returns the 0-based ranks of x (ties broken by original index),
+// i.e. rank[i] is the position of x[i] in the sorted order.
+func Rank(x []float64) []int {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	rank := make([]int, len(x))
+	for r, i := range idx {
+		rank[i] = r
+	}
+	return rank
+}

@@ -1,0 +1,454 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(x); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if sd := StdDev(x); sd != 2 {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+	if sv := SampleVariance(x); !almostEq(sv, 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", sv, 32.0/7)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) || !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty inputs should yield NaN")
+	}
+	if !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Error("SampleVariance of singleton should be NaN")
+	}
+	if !math.IsNaN(Covariance([]float64{1}, []float64{1, 2})) {
+		t.Error("Covariance with length mismatch should be NaN")
+	}
+	mn, mx := MinMax(nil)
+	if !math.IsNaN(mn) || !math.IsNaN(mx) {
+		t.Error("MinMax(nil) should be NaN, NaN")
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(x, y); !almostEq(c, 1, 1e-12) {
+		t.Errorf("Correlation = %v, want 1", c)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(x, yneg); !almostEq(c, -1, 1e-12) {
+		t.Errorf("Correlation = %v, want -1", c)
+	}
+	if !math.IsNaN(Correlation(x, []float64{3, 3, 3, 3, 3})) {
+		t.Error("Correlation with constant should be NaN")
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	x := []float64{3, 1, 2}
+	if m := Median(x); m != 2 {
+		t.Errorf("Median = %v, want 2", m)
+	}
+	if q := Quantile(x, 0); q != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", q)
+	}
+	if q := Quantile(x, 1); q != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", q)
+	}
+	// Interpolation: quartile of {1,2,3,4}.
+	if q := Quantile([]float64{1, 2, 3, 4}, 0.25); !almostEq(q, 1.75, 1e-12) {
+		t.Errorf("Quantile(0.25) = %v, want 1.75", q)
+	}
+	// Input must not be mutated.
+	if x[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestCovarianceMatrix(t *testing.T) {
+	data := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	cov := CovarianceMatrix(data)
+	want := [][]float64{{2.0 / 3, 4.0 / 3}, {4.0 / 3, 8.0 / 3}}
+	if MaxAbsDiff(cov, want) > 1e-12 {
+		t.Errorf("CovarianceMatrix = %v, want %v", cov, want)
+	}
+	if cov[0][1] != cov[1][0] {
+		t.Error("covariance matrix not symmetric")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	data := [][]float64{{1, 5}, {3, 5}, {5, 5}}
+	z, means, sds := Standardize(data)
+	if means[0] != 3 || means[1] != 5 {
+		t.Errorf("means = %v", means)
+	}
+	if sds[1] != 0 {
+		t.Errorf("constant column sd = %v, want 0", sds[1])
+	}
+	if !almostEq(Mean([]float64{z[0][0], z[1][0], z[2][0]}), 0, 1e-12) {
+		t.Error("standardised column mean != 0")
+	}
+	if !almostEq(StdDev([]float64{z[0][0], z[1][0], z[2][0]}), 1, 1e-12) {
+		t.Error("standardised column sd != 1")
+	}
+	// Constant column centred to zero but not scaled (no division by 0).
+	if z[0][1] != 0 || math.IsNaN(z[0][1]) {
+		t.Errorf("constant column standardised to %v", z[0][1])
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(x, x); d != 0 {
+		t.Errorf("KS(x,x) = %v, want 0", d)
+	}
+	y := []float64{11, 12, 13, 14, 15}
+	if d := KolmogorovSmirnov(x, y); d != 1 {
+		t.Errorf("KS disjoint = %v, want 1", d)
+	}
+}
+
+func TestDistancesAndEntropy(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{1, 0}
+	if d := TotalVariation(p, q); d != 0.5 {
+		t.Errorf("TV = %v, want 0.5", d)
+	}
+	if d := Hellinger(p, p); d != 0 {
+		t.Errorf("Hellinger(p,p) = %v", d)
+	}
+	if h := Entropy(p); !almostEq(h, 1, 1e-12) {
+		t.Errorf("Entropy = %v, want 1", h)
+	}
+	if h := Entropy(q); h != 0 {
+		t.Errorf("Entropy = %v, want 0", h)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{2, 2})
+	if p[0] != 0.5 || p[1] != 0.5 {
+		t.Errorf("Normalize = %v", p)
+	}
+	u := Normalize([]float64{0, 0, 0, 0})
+	for _, v := range u {
+		if v != 0.25 {
+			t.Errorf("Normalize zero vector = %v, want uniform", u)
+			break
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	r := Rank([]float64{30, 10, 20})
+	want := []int{2, 0, 1}
+	for i := range r {
+		if r[i] != want[i] {
+			t.Fatalf("Rank = %v, want %v", r, want)
+		}
+	}
+	// Ties: stable by index.
+	r = Rank([]float64{5, 5, 1})
+	if r[2] != 0 || r[0] != 1 || r[1] != 2 {
+		t.Errorf("Rank with ties = %v", r)
+	}
+}
+
+func TestMatMulTranspose(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}}
+	b := [][]float64{{5, 6}, {7, 8}}
+	got := MatMul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	if MaxAbsDiff(got, want) != 0 {
+		t.Errorf("MatMul = %v", got)
+	}
+	at := Transpose(a)
+	if at[0][1] != 3 || at[1][0] != 2 {
+		t.Errorf("Transpose = %v", at)
+	}
+	if v := MatVec(a, []float64{1, 1}); v[0] != 3 || v[1] != 7 {
+		t.Errorf("MatVec = %v", v)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := [][]float64{{4, 2}, {2, 3}}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	if MaxAbsDiff(MatMul(l, Transpose(l)), a) > 1e-12 {
+		t.Errorf("L·Lᵀ != A: L = %v", l)
+	}
+	if _, err := Cholesky([][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Error("Cholesky accepted non-SPD matrix")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 3, 1e-9) {
+		t.Errorf("Solve = %v, want [1 3]", x)
+	}
+	if _, err := Solve([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}); err == nil {
+		t.Error("Solve accepted singular system")
+	}
+	// Inputs unchanged.
+	if a[0][0] != 2 {
+		t.Error("Solve mutated its input")
+	}
+}
+
+func TestGaussianEliminateDisclosure(t *testing.T) {
+	// Queries: x1+x2 = 10, x2 = 4 → x1 fully determined: after reduction
+	// some row must have a single non-zero coefficient at column 0.
+	rows := [][]float64{
+		{1, 1, 10},
+		{0, 1, 4},
+	}
+	GaussianEliminate(rows, 2)
+	found := false
+	for _, r := range rows {
+		nz := 0
+		col := -1
+		for c := 0; c < 2; c++ {
+			if math.Abs(r[c]) > 1e-9 {
+				nz++
+				col = c
+			}
+		}
+		if nz == 1 && col == 0 && almostEq(r[2]/r[col], 6, 1e-9) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("elimination did not disclose x1 = 6: %v", rows)
+	}
+}
+
+func TestCholeskyPropertyRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.IntN(4)
+		b := NewMatrix(n, n)
+		for i := range b {
+			for j := range b[i] {
+				b[i][j] = rng.NormFloat64()
+			}
+		}
+		// A = B·Bᵀ + n·I is SPD.
+		a := MatMul(b, Transpose(b))
+		for i := 0; i < n; i++ {
+			a[i][i] += float64(n)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky on SPD failed: %v", err)
+		}
+		if MaxAbsDiff(MatMul(l, Transpose(l)), a) > 1e-8 {
+			t.Fatalf("trial %d: L·Lᵀ != A", trial)
+		}
+	}
+}
+
+func TestSolveProperty(t *testing.T) {
+	// Property: Solve(a, a·x) recovers x for well-conditioned a.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 2 + int(seed%4)
+		a := NewMatrix(n, n)
+		for i := range a {
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonal dominance
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, err := Solve(a, MatVec(a, x))
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 5, 9.99, -3, 42})
+	if h.N != 7 {
+		t.Errorf("N = %d", h.N)
+	}
+	if h.Counts[0] != 3 { // 0, 1.9 and clamped -3
+		t.Errorf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99 and clamped 42
+		t.Errorf("bin 4 = %d, want 2", h.Counts[4])
+	}
+	p := h.Probabilities()
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	if !almostEq(s, 1, 1e-12) {
+		t.Errorf("probabilities sum to %v", s)
+	}
+	if c := h.Center(0); c != 1 {
+		t.Errorf("Center(0) = %v, want 1", c)
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("NewHistogram accepted empty range")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("NewHistogram accepted 0 bins")
+	}
+}
+
+func TestMultiHistogramSparseCells(t *testing.T) {
+	h, err := NewMultiHistogram([]float64{0, 0}, []float64{10, 10}, 10)
+	if err != nil {
+		t.Fatalf("NewMultiHistogram: %v", err)
+	}
+	// Three points in one cell, one isolated point.
+	h.Add([]float64{1.1, 1.1})
+	h.Add([]float64{1.2, 1.3})
+	h.Add([]float64{1.4, 1.2})
+	h.Add([]float64{9.5, 9.5})
+	sparse := h.SparseCells(1)
+	if len(sparse) != 1 {
+		t.Errorf("sparse cells = %d, want 1", len(sparse))
+	}
+	if h.N != 4 {
+		t.Errorf("N = %d", h.N)
+	}
+	if _, err := NewMultiHistogram([]float64{0}, []float64{1, 2}, 4); err == nil {
+		t.Error("NewMultiHistogram accepted dim mismatch")
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if d := EuclideanDist([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Errorf("EuclideanDist = %v, want 5", d)
+	}
+	if d := SquaredDist([]float64{0, 0}, []float64{3, 4}); d != 25 {
+		t.Errorf("SquaredDist = %v, want 25", d)
+	}
+}
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 3 and 1 with eigenvectors along
+	// (1,1)/√2 and (1,−1)/√2.
+	vals, vecs, err := JacobiEigen([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-9) || !almostEq(vals[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// First eigenvector proportional to (1,1).
+	if !almostEq(math.Abs(vecs[0][0]), math.Sqrt2/2, 1e-9) ||
+		!almostEq(vecs[0][0], vecs[1][0], 1e-9) {
+		t.Errorf("first eigenvector = (%v, %v)", vecs[0][0], vecs[1][0])
+	}
+}
+
+func TestJacobiEigenReconstructs(t *testing.T) {
+	// A = V·diag(λ)·Vᵀ for random symmetric matrices.
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.IntN(4)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				a[i][j] = rng.NormFloat64()
+				a[j][i] = a[i][j]
+			}
+		}
+		vals, vecs, err := JacobiEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct.
+		lam := NewMatrix(n, n)
+		for i := range vals {
+			lam[i][i] = vals[i]
+		}
+		recon := MatMul(MatMul(vecs, lam), Transpose(vecs))
+		if MaxAbsDiff(recon, a) > 1e-8 {
+			t.Fatalf("trial %d: reconstruction error %v", trial, MaxAbsDiff(recon, a))
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenValidation(t *testing.T) {
+	if _, _, err := JacobiEigen(nil); err == nil {
+		t.Error("accepted empty matrix")
+	}
+	if _, _, err := JacobiEigen([][]float64{{1, 2}}); err == nil {
+		t.Error("accepted non-square matrix")
+	}
+	if _, _, err := JacobiEigen([][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Error("accepted asymmetric matrix")
+	}
+}
+
+func TestPrincipalComponentDirection(t *testing.T) {
+	// Data stretched along (1,1): the PC must align with it.
+	rng := rand.New(rand.NewPCG(7, 8))
+	data := make([][]float64, 500)
+	for i := range data {
+		t1 := rng.NormFloat64() * 10
+		t2 := rng.NormFloat64()
+		data[i] = []float64{t1 + t2, t1 - t2}
+	}
+	pc, err := PrincipalComponent(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |cos angle to (1,1)/√2| ≈ 1.
+	dot := (pc[0] + pc[1]) / math.Sqrt2
+	if math.Abs(dot) < 0.99 {
+		t.Errorf("PC = %v, not aligned with (1,1)", pc)
+	}
+	if _, err := PrincipalComponent(nil); err == nil {
+		t.Error("accepted empty data")
+	}
+}

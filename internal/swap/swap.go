@@ -1,0 +1,108 @@
+// Package swap implements data-swapping maskings: rank swapping for numeric
+// attributes and PRAM (post-randomization) for categorical ones. Both are
+// classical SDC masking methods from the Hundepool et al. handbook and
+// Willenborg & DeWaal, the paper's citations [17] and [26].
+package swap
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"privacy3d/internal/dataset"
+)
+
+// RankSwap masks the given numeric columns by rank swapping: values are
+// sorted, and each value is swapped with a partner whose rank differs by at
+// most p percent of n. Marginal distributions are preserved exactly (the
+// multiset of values never changes) while the link between records and
+// values is broken.
+func RankSwap(d *dataset.Dataset, cols []int, p float64, rng *rand.Rand) (*dataset.Dataset, error) {
+	if p <= 0 || p > 100 {
+		return nil, fmt.Errorf("swap: swap range p must be in (0,100], got %g", p)
+	}
+	out := d.Clone()
+	n := d.Rows()
+	window := int(float64(n) * p / 100)
+	if window < 1 {
+		window = 1
+	}
+	for _, j := range cols {
+		col := out.NumColumn(j)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return col[idx[a]] < col[idx[b]] })
+		swapped := make([]bool, n)
+		for r := 0; r < n; r++ {
+			if swapped[idx[r]] {
+				continue
+			}
+			// Pick a partner within the rank window among unswapped ranks.
+			hi := r + window
+			if hi >= n {
+				hi = n - 1
+			}
+			var cands []int
+			for s := r + 1; s <= hi; s++ {
+				if !swapped[idx[s]] {
+					cands = append(cands, s)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			s := cands[rng.IntN(len(cands))]
+			col[idx[r]], col[idx[s]] = col[idx[s]], col[idx[r]]
+			swapped[idx[r]], swapped[idx[s]] = true, true
+		}
+	}
+	return out, nil
+}
+
+// PRAM post-randomizes a categorical column: each value is replaced,
+// independently with probability change, by a value drawn from the column's
+// empirical distribution. The transition matrix is thus
+// P = (1-change)·I + change·Π with Π the marginal — the "invariant PRAM"
+// choice that keeps the expected marginal distribution unchanged.
+func PRAM(d *dataset.Dataset, col int, change float64, rng *rand.Rand) (*dataset.Dataset, error) {
+	if change < 0 || change > 1 {
+		return nil, fmt.Errorf("swap: change probability must be in [0,1], got %g", change)
+	}
+	if d.Attr(col).Kind == dataset.Numeric {
+		return nil, fmt.Errorf("swap: PRAM applies to categorical columns; %q is numeric", d.Attr(col).Name)
+	}
+	vals := d.CatColumn(col)
+	if len(vals) == 0 {
+		return d.Clone(), nil
+	}
+	// Empirical marginal for resampling.
+	pool := append([]string(nil), vals...)
+	out := d.Clone()
+	oc := out.CatColumn(col)
+	for i := range oc {
+		if rng.Float64() < change {
+			oc[i] = pool[rng.IntN(len(pool))]
+		}
+	}
+	return out, nil
+}
+
+// SameMultiset reports whether two float slices hold identical multisets —
+// the invariant rank swapping must preserve.
+func SameMultiset(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

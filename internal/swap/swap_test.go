@@ -1,0 +1,136 @@
+package swap
+
+import (
+	"math"
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/stats"
+)
+
+func TestRankSwapPreservesMarginals(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 400, Seed: 3})
+	cols := d.QuasiIdentifiers()
+	m, err := RankSwap(d, cols, 5, dataset.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range cols {
+		if !SameMultiset(d.NumColumn(j), m.NumColumn(j)) {
+			t.Errorf("column %d multiset changed", j)
+		}
+	}
+	if dataset.EqualValues(d, m) {
+		t.Error("rank swap changed nothing")
+	}
+}
+
+func TestRankSwapWindowBoundsDisplacement(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 1000, Dims: 1, Seed: 7})
+	m, err := RankSwap(d, []int{0}, 2, dataset.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each record's new rank must be within the window of its old rank.
+	oldRank := stats.Rank(d.NumColumn(0))
+	newRank := stats.Rank(m.NumColumn(0))
+	window := 1000 * 2 / 100
+	for i := range oldRank {
+		if diff := int(math.Abs(float64(oldRank[i] - newRank[i]))); diff > window+1 {
+			t.Fatalf("record %d moved %d ranks, window %d", i, diff, window)
+		}
+	}
+}
+
+func TestRankSwapSmallerWindowLowerDistortion(t *testing.T) {
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 600, Dims: 1, Seed: 11})
+	dist := func(p float64) float64 {
+		m, err := RankSwap(d, []int{0}, p, dataset.NewRand(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := 0; i < d.Rows(); i++ {
+			s += math.Abs(d.Float(i, 0) - m.Float(i, 0))
+		}
+		return s
+	}
+	if dist(1) >= dist(25) {
+		t.Error("small swap window should distort less than large window")
+	}
+}
+
+func TestRankSwapErrors(t *testing.T) {
+	d := dataset.Dataset1()
+	if _, err := RankSwap(d, []int{0}, 0, dataset.NewRand(1)); err == nil {
+		t.Error("accepted p = 0")
+	}
+	if _, err := RankSwap(d, []int{0}, 101, dataset.NewRand(1)); err == nil {
+		t.Error("accepted p > 100")
+	}
+}
+
+func TestPRAMKeepsMarginalApprox(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 5000, Seed: 13})
+	col := d.Index("aids")
+	m, err := PRAM(d, col, 0.3, dataset.NewRand(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(ds *dataset.Dataset) float64 {
+		c := 0
+		for i := 0; i < ds.Rows(); i++ {
+			if ds.Cat(i, col) == "Y" {
+				c++
+			}
+		}
+		return float64(c) / float64(ds.Rows())
+	}
+	if math.Abs(frac(d)-frac(m)) > 0.02 {
+		t.Errorf("PRAM marginal drifted: %v → %v", frac(d), frac(m))
+	}
+	// Some values must actually change.
+	changed := 0
+	for i := 0; i < d.Rows(); i++ {
+		if d.Cat(i, col) != m.Cat(i, col) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("PRAM changed nothing at change=0.3")
+	}
+}
+
+func TestPRAMEdgeCases(t *testing.T) {
+	d := dataset.Dataset1()
+	col := d.Index("aids")
+	same, err := PRAM(d, col, 0, dataset.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dataset.EqualValues(d, same) {
+		t.Error("change=0 altered data")
+	}
+	if _, err := PRAM(d, col, 1.5, dataset.NewRand(1)); err == nil {
+		t.Error("accepted change > 1")
+	}
+	if _, err := PRAM(d, d.Index("height"), 0.5, dataset.NewRand(1)); err == nil {
+		t.Error("accepted numeric column")
+	}
+	empty := dataset.New(dataset.Attribute{Name: "c", Kind: dataset.Nominal})
+	if _, err := PRAM(empty, 0, 0.5, dataset.NewRand(1)); err != nil {
+		t.Errorf("empty dataset: %v", err)
+	}
+}
+
+func TestSameMultiset(t *testing.T) {
+	if !SameMultiset([]float64{1, 2, 2}, []float64{2, 1, 2}) {
+		t.Error("permutation not recognised")
+	}
+	if SameMultiset([]float64{1, 2}, []float64{1, 3}) {
+		t.Error("different multisets reported equal")
+	}
+	if SameMultiset([]float64{1}, []float64{1, 1}) {
+		t.Error("length mismatch reported equal")
+	}
+}
