@@ -1,8 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples clean
+.PHONY: all build vet test race check bench repro examples clean
 
 all: build vet test
+
+# check is the pre-merge gate: vet, build, and the full test suite under the
+# race detector — the concurrent HTTP serving layer (internal/obs,
+# sdcquery/pir front ends) relies on -race to enforce its data-race
+# guarantees on every change.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

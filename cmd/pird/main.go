@@ -18,7 +18,9 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"privacy3d/internal/obs"
 	"privacy3d/internal/pir"
 )
 
@@ -80,6 +82,8 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	in := fs.String("in", "", "file with one block per line")
 	addr := fs.String("addr", ":9001", "listen address")
+	reqTimeout := fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
+	grace := fs.Duration("grace", obs.DefaultShutdownGrace, "graceful-shutdown drain window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,9 +95,21 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %d blocks of %d bytes on %s (POST /pir, GET /meta)",
+	logger := log.Default()
+	reg := obs.NewRegistry()
+	reg.Gauge("pir_query_log_depth", func() float64 { return float64(len(srv.QueryLog())) })
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", pir.NewHTTPServer(srv))
+	handler := obs.Chain(mux,
+		obs.Logging(logger),
+		obs.Instrument(reg, "/pir", "/meta", "/metrics"),
+		obs.Recover(reg, logger),
+		obs.Timeout(*reqTimeout),
+	)
+	logger.Printf("serving %d blocks of %d bytes on %s (POST /pir, GET /meta, GET /metrics)",
 		srv.Blocks(), srv.BlockSize(), *addr)
-	return http.ListenAndServe(*addr, pir.NewHTTPServer(srv))
+	return obs.Run(obs.NewServer(*addr, handler), logger, *grace)
 }
 
 func fetch(args []string) error {

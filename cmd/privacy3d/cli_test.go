@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"privacy3d/internal/core"
@@ -47,6 +48,38 @@ func TestParseProtection(t *testing.T) {
 	}
 	if _, err := parseProtection("magic"); err == nil {
 		t.Error("accepted unknown protection")
+	}
+}
+
+// TestProtectionHelpMatchesParser pins the fix for the drifting -protect
+// help text: the help string, the parser and the error message all derive
+// from one shared list, and that list covers every Protection the parser
+// accepts (including overlap and sample, which the old help omitted).
+func TestProtectionHelpMatchesParser(t *testing.T) {
+	names := protectionNames()
+	for _, want := range []string{"none", "size", "auditing", "perturbation", "camouflage", "overlap", "sample"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("protection list %q missing %q", names, want)
+		}
+	}
+	help := protectHelp("protection to serve under")
+	for _, p := range protections {
+		if !strings.Contains(help, p.name) {
+			t.Errorf("help %q missing accepted value %q", help, p.name)
+		}
+		if got, err := parseProtection(p.name); err != nil || got != p.p {
+			t.Errorf("parseProtection(%q) = %v, %v", p.name, got, err)
+		}
+	}
+	// The error message names every accepted value too.
+	_, err := parseProtection("magic")
+	if err == nil {
+		t.Fatal("accepted unknown protection")
+	}
+	for _, p := range protections {
+		if !strings.Contains(err.Error(), p.name) {
+			t.Errorf("error %q missing accepted value %q", err, p.name)
+		}
 	}
 }
 

@@ -4,44 +4,68 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"strings"
+	"time"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/obs"
 	"privacy3d/internal/sdcquery"
 )
 
-func parseProtection(name string) (sdcquery.Protection, error) {
-	switch name {
-	case "none":
-		return sdcquery.NoProtection, nil
-	case "size":
-		return sdcquery.SizeRestriction, nil
-	case "auditing":
-		return sdcquery.Auditing, nil
-	case "perturbation":
-		return sdcquery.Perturbation, nil
-	case "camouflage":
-		return sdcquery.Camouflage, nil
-	case "overlap":
-		return sdcquery.OverlapRestriction, nil
-	case "sample":
-		return sdcquery.RandomSample, nil
-	default:
-		return 0, fmt.Errorf("unknown protection %q (want none, size, auditing, perturbation, camouflage, overlap, sample)", name)
+// protections is the single source of truth for the -protect flag: the
+// parser, the help text of every subcommand and the error message all
+// derive from it, so they cannot drift apart.
+var protections = []struct {
+	name string
+	p    sdcquery.Protection
+}{
+	{"none", sdcquery.NoProtection},
+	{"size", sdcquery.SizeRestriction},
+	{"auditing", sdcquery.Auditing},
+	{"perturbation", sdcquery.Perturbation},
+	{"camouflage", sdcquery.Camouflage},
+	{"overlap", sdcquery.OverlapRestriction},
+	{"sample", sdcquery.RandomSample},
+}
+
+// protectionNames lists every accepted -protect value, comma-separated.
+func protectionNames() string {
+	names := make([]string, len(protections))
+	for i, p := range protections {
+		names[i] = p.name
 	}
+	return strings.Join(names, ", ")
+}
+
+// protectHelp is the shared -protect usage string.
+func protectHelp(doing string) string {
+	return fmt.Sprintf("%s: %s", doing, protectionNames())
+}
+
+func parseProtection(name string) (sdcquery.Protection, error) {
+	for _, p := range protections {
+		if p.name == name {
+			return p.p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown protection %q (want %s)", name, protectionNames())
 }
 
 // cmdServe exposes a protected statistical database over HTTP: POST /query
 // (structured JSON), POST /sql (raw query text); GET /log shows the owner's
 // view of all submitted queries (making the absence of user privacy
-// tangible).
+// tangible); GET /metrics exposes request, latency and answer-outcome
+// counters. The server runs with hardened timeouts and drains in-flight
+// queries on SIGINT/SIGTERM before exiting 0.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV file (default: the paper's Dataset 2)")
 	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
-	protect := fs.String("protect", "auditing", "none, size, auditing, perturbation or camouflage")
+	protect := fs.String("protect", "auditing", protectHelp("protection to serve under"))
 	addr := fs.String("addr", ":8733", "listen address")
 	minSize := fs.Int("minsize", 3, "query-set-size threshold")
+	reqTimeout := fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
+	grace := fs.Duration("grace", obs.DefaultShutdownGrace, "graceful-shutdown drain window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,9 +87,18 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %d records with %s protection on %s", d.Rows(), prot, *addr)
-	log.Printf("the owner sees every query at GET /log — the no-user-privacy side of Section 3")
-	return http.ListenAndServe(*addr, sdcquery.NewHTTPHandler(srv))
+	logger := log.Default()
+	reg := obs.NewRegistry()
+	handler := obs.Chain(sdcquery.NewObservedHandler(srv, reg),
+		obs.Logging(logger),
+		obs.Instrument(reg, "/query", "/sql", "/log", "/metrics"),
+		obs.Recover(reg, logger),
+		obs.Timeout(*reqTimeout),
+	)
+	logger.Printf("serving %d records with %s protection on %s", d.Rows(), prot, *addr)
+	logger.Printf("the owner sees every query at GET /log — the no-user-privacy side of Section 3")
+	logger.Printf("request and denial-rate counters at GET /metrics")
+	return obs.Run(obs.NewServer(*addr, handler), logger, *grace)
 }
 
 // cmdAttack demonstrates the Schlörer tracker against a protected server.
@@ -73,7 +106,7 @@ func cmdAttack(args []string) error {
 	fs := flag.NewFlagSet("attack", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV file (default: the paper's Dataset 2)")
 	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
-	protect := fs.String("protect", "size", "protection to attack")
+	protect := fs.String("protect", "size", protectHelp("protection to attack"))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,7 +153,7 @@ func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV file (default: the paper's Dataset 2)")
 	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
-	protect := fs.String("protect", "none", "protection to apply")
+	protect := fs.String("protect", "none", protectHelp("protection to apply"))
 	q := fs.String("q", "", "query, e.g. \"SELECT AVG(blood_pressure) WHERE height < 165\"")
 	if err := fs.Parse(args); err != nil {
 		return err

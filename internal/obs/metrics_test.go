@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Counter("hits").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("hits").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	c := reg.Counter("hits")
+	c.Add(-5) // negative adds are ignored: counters are monotonic
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter after Add(-5) = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	// Same name returns the same histogram regardless of bounds argument.
+	if reg.Histogram("lat", nil) != h {
+		t.Error("Histogram not idempotent by name")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("m"); got != "m" {
+		t.Errorf("Label no kv = %q", got)
+	}
+	if got := Label("m", "a", "1", "b", "x"); got != `m{a="1",b="x"}` {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestWriteToExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Label("reqs", "endpoint", "/q")).Add(3)
+	reg.Gauge("depth", func() float64 { return 7 })
+	h := reg.Histogram(Label("lat", "endpoint", "/q"), []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`reqs{endpoint="/q"} 3`,
+		`depth 7`,
+		`lat_bucket{endpoint="/q",le="0.1"} 1`,
+		`lat_bucket{endpoint="/q",le="1"} 2`,
+		`lat_bucket{endpoint="/q",le="+Inf"} 3`,
+		`lat_sum{endpoint="/q"} 2.55`,
+		`lat_count{endpoint="/q"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up").Inc()
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// Middleware wraps an http.Handler with one cross-cutting concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares so that the first argument is the outermost:
+// Chain(h, A, B) serves requests as A(B(h)).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// statusWriter records the status code and body size a handler produced, so
+// instrumentation and logging can observe the response without altering it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through so streaming handlers keep working under the wrap.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func wrap(w http.ResponseWriter) *statusWriter {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw // already wrapped by an outer middleware
+	}
+	return &statusWriter{ResponseWriter: w}
+}
+
+// Instrument counts requests and observes latency per endpoint and status
+// code. Only the given endpoints get their own series; anything else is
+// folded into "other" so unknown paths cannot blow up metric cardinality.
+func Instrument(reg *Registry, endpoints ...string) Middleware {
+	known := make(map[string]bool, len(endpoints))
+	for _, e := range endpoints {
+		known[e] = true
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			endpoint := r.URL.Path
+			if !known[endpoint] {
+				endpoint = "other"
+			}
+			sw := wrap(w)
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			elapsed := time.Since(start).Seconds()
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK // handler wrote nothing: implicit 200
+			}
+			reg.Counter(Label("http_requests_total",
+				"endpoint", endpoint, "status", strconv.Itoa(status))).Inc()
+			reg.Counter(Label("http_requests_total", "endpoint", endpoint)).Inc()
+			reg.Histogram(Label("http_request_seconds", "endpoint", endpoint),
+				DefaultLatencyBuckets).Observe(elapsed)
+		})
+	}
+}
+
+// Recover turns a handler panic into a 500 response and a counter bump
+// instead of a dead process. It must sit inside Instrument in the chain so
+// the 500 is observed, and outside the application handler.
+func Recover(reg *Registry, logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := wrap(w)
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if reg != nil {
+					reg.Counter(Label("http_panics_total", "endpoint", r.URL.Path)).Inc()
+				}
+				if logger != nil {
+					logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				}
+				if sw.status == 0 { // headers not sent yet: we can still answer
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// Timeout attaches a deadline to every request context so in-handler work
+// (and anything downstream honouring ctx) is bounded. d <= 0 disables it.
+func Timeout(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// Logging writes one structured line per request: method, path, status,
+// response bytes, duration and remote address.
+func Logging(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		if logger == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := wrap(w)
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			logger.Printf("method=%s path=%s status=%d bytes=%d duration=%s remote=%s",
+				r.Method, r.URL.Path, status, sw.bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+		})
+	}
+}

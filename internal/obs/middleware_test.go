@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInstrumentCountsAndBucketsUnknownPaths(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/fail", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	})
+	h := Chain(mux, Instrument(reg, "/ok", "/fail"))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	for _, path := range []string{"/ok", "/ok", "/fail", "/who-is-this"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	cases := map[string]int64{
+		Label("http_requests_total", "endpoint", "/ok"):                    2,
+		Label("http_requests_total", "endpoint", "/ok", "status", "200"):   2,
+		Label("http_requests_total", "endpoint", "/fail", "status", "400"): 1,
+		Label("http_requests_total", "endpoint", "other"):                  1,
+		Label("http_requests_total", "endpoint", "other", "status", "404"): 1,
+	}
+	for name, want := range cases {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Histogram(Label("http_request_seconds", "endpoint", "/ok"), nil).Count(); got != 2 {
+		t.Errorf("latency observations = %d, want 2", got)
+	}
+}
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	reg := NewRegistry()
+	var logged strings.Builder
+	logger := log.New(&logged, "", 0)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), Instrument(reg, "/boom"), Recover(reg, logger))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if got := reg.Counter(Label("http_panics_total", "endpoint", "/boom")).Value(); got != 1 {
+		t.Errorf("panic counter = %d", got)
+	}
+	// Instrument (outside Recover) observed the 500.
+	if got := reg.Counter(Label("http_requests_total", "endpoint", "/boom", "status", "500")).Value(); got != 1 {
+		t.Errorf("500 counter = %d", got)
+	}
+	if !strings.Contains(logged.String(), "kaboom") {
+		t.Error("panic value not logged")
+	}
+	// The server survived: a second request still works.
+	resp2, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+}
+
+func TestTimeoutSetsDeadline(t *testing.T) {
+	var hadDeadline bool
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, hadDeadline = r.Context().Deadline()
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+			t.Error("context never expired")
+		}
+	}), Timeout(10*time.Millisecond))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !hadDeadline {
+		t.Error("request context has no deadline")
+	}
+}
+
+func TestLoggingLine(t *testing.T) {
+	var out strings.Builder
+	logger := log.New(&out, "", 0)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short and stout")
+	}), Logging(logger))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/tea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	line := out.String()
+	for _, want := range []string{"method=GET", "path=/tea", "status=418", "bytes=15"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q: %s", want, line)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Server timeouts. ReadHeader guards against slowloris clients, Read/Write
+// bound a whole request/response exchange, Idle reaps keep-alive
+// connections, and MaxHeaderBytes caps header memory per connection.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 15 * time.Second
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+	DefaultMaxHeaderBytes    = 1 << 16
+	// DefaultShutdownGrace is how long Serve waits for in-flight requests
+	// to drain after a shutdown signal before cutting them off.
+	DefaultShutdownGrace = 10 * time.Second
+)
+
+// NewServer returns an http.Server with production timeouts set, replacing
+// the bare http.ListenAndServe pattern (which has none and can be held open
+// forever by a single slow client).
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+		MaxHeaderBytes:    DefaultMaxHeaderBytes,
+	}
+}
+
+// Serve runs srv on ln (or srv.Addr when ln is nil) until ctx is cancelled,
+// then shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to grace to finish, and only then are connections cut.
+// A clean drain returns nil.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, logger *log.Logger, grace time.Duration) error {
+	if grace <= 0 {
+		grace = DefaultShutdownGrace
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errc <- srv.Serve(ln)
+		} else {
+			errc <- srv.ListenAndServe()
+		}
+	}()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	if logger != nil {
+		logger.Printf("shutting down: draining in-flight requests (grace %s)", grace)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	// Serve/ListenAndServe has returned by now; a non-ErrServerClosed error
+	// means serving itself failed just as the signal arrived.
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	if err != nil {
+		return err
+	}
+	if logger != nil {
+		logger.Printf("shutdown complete")
+	}
+	return nil
+}
+
+// Run serves srv until SIGINT or SIGTERM, then drains gracefully — the
+// standard main-loop of both serving binaries. It returns nil on a clean
+// signal-triggered exit, so the process can exit 0.
+func Run(srv *http.Server, logger *log.Logger, grace time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return Serve(ctx, srv, nil, logger, grace)
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestNewServerHasTimeouts(t *testing.T) {
+	srv := NewServer(":0", http.NotFoundHandler())
+	if srv.ReadTimeout == 0 || srv.WriteTimeout == 0 || srv.IdleTimeout == 0 ||
+		srv.ReadHeaderTimeout == 0 || srv.MaxHeaderBytes == 0 {
+		t.Errorf("server missing hardening: %+v", srv)
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight starts a real server, parks a request
+// inside a slow handler, cancels the serve context (the SIGTERM path), and
+// checks that the in-flight request still completes and Serve returns nil.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln.Addr().String(), h)
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(ctx, srv, ln, nil, 5*time.Second) }()
+
+	body := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String())
+		if err != nil {
+			body <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		body <- string(b)
+	}()
+
+	<-entered
+	cancel() // SIGTERM equivalent: listener closes, in-flight request drains
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	if got := <-body; got != "drained" {
+		t.Errorf("in-flight request got %q, want %q", got, "drained")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v, want nil after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after shutdown")
+	}
+	// New connections are refused once shutdown began.
+	if _, err := http.Get("http://" + ln.Addr().String()); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+func TestServeReturnsListenError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Second server on the same address must fail immediately.
+	srv := NewServer(ln.Addr().String(), http.NotFoundHandler())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := Serve(ctx, srv, nil, nil, time.Second); err == nil {
+		t.Error("Serve on an occupied port returned nil")
+	}
+}

@@ -19,6 +19,10 @@ func newSubsetRNG(seed, counter uint64) *rand.Rand {
 // replicated servers can run as separate processes (or hosts, which is what
 // non-collusion requires in a real deployment). The wire format is JSON:
 // POST /pir with {"subset": base64}, responding {"block": base64}.
+//
+// Errors are JSON objects {"error": "..."} with a correct status code:
+// 400 for malformed input, 405 for a wrong method on a known path (with an
+// Allow header), 404 for an unknown path.
 
 // HTTPServer adapts an ITServer to net/http.
 type HTTPServer struct {
@@ -41,37 +45,60 @@ type pirMeta struct {
 	BlockSize int `json:"block_size"`
 }
 
+type pirError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a flat struct to a ResponseWriter cannot fail in a way the
+	// handler can still report; ignore the error deliberately.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, pirError{Error: msg})
+}
+
 // ServeHTTP handles POST /pir (answer a subset query) and GET /meta
-// (public database shape).
+// (public database shape). Route on path first so a wrong method on a
+// known path is a 405, not a 404.
 func (h *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch {
-	case r.Method == http.MethodGet && r.URL.Path == "/meta":
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(pirMeta{Blocks: h.srv.Blocks(), BlockSize: h.srv.BlockSize()}); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+	switch r.URL.Path {
+	case "/meta":
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed; use GET", r.Method))
+			return
 		}
-	case r.Method == http.MethodPost && r.URL.Path == "/pir":
+		writeJSON(w, http.StatusOK, pirMeta{Blocks: h.srv.Blocks(), BlockSize: h.srv.BlockSize()})
+	case "/pir":
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed; use POST", r.Method))
+			return
+		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		var req pirRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "malformed PIR request: "+err.Error())
 			return
 		}
 		block, err := h.srv.Answer(req.Subset)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(pirResponse{Block: block}); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		writeJSON(w, http.StatusOK, pirResponse{Block: block})
 	default:
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "unknown path "+r.URL.Path)
 	}
 }
 

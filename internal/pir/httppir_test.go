@@ -2,6 +2,7 @@ package pir
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -94,6 +95,65 @@ func TestHTTPPIRValidation(t *testing.T) {
 	// Unreachable server.
 	if _, err := NewHTTPClient([]string{urls[0], "http://127.0.0.1:1"}, nil, 1); err == nil {
 		t.Error("accepted unreachable server")
+	}
+}
+
+// TestHTTPServerStatusAndContentType pins the routing contract: JSON error
+// bodies, 400 for bad input, 405 (with Allow) for a wrong method on a known
+// path, 404 only for unknown paths.
+func TestHTTPServerStatusAndContentType(t *testing.T) {
+	srv, err := NewITServer(testBlocks(8, 4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := httptest.NewServer(NewHTTPServer(srv))
+	defer h.Close()
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantAllow  string
+	}{
+		{"meta", "GET", "/meta", "", 200, ""},
+		{"pir ok", "POST", "/pir", `{"subset":"AA=="}`, 200, ""},
+		{"meta wrong method", "POST", "/meta", "{}", 405, "GET"},
+		{"pir wrong method", "GET", "/pir", "", 405, "POST"},
+		{"pir malformed", "POST", "/pir", "{", 400, ""},
+		{"pir wrong width", "POST", "/pir", `{"subset":"AAAA"}`, 400, ""},
+		{"unknown path", "GET", "/nope", "", 404, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, h.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			if tc.wantAllow != "" && resp.Header.Get("Allow") != tc.wantAllow {
+				t.Errorf("Allow = %q, want %q", resp.Header.Get("Allow"), tc.wantAllow)
+			}
+			if tc.wantStatus >= 400 {
+				var e struct {
+					Error string `json:"error"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+					t.Errorf("error body not {\"error\": ...}: decode err %v", err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,15 +5,22 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"privacy3d/internal/obs"
 )
 
 // HTTP front end for the protected statistical database, so the "owner sees
 // every query" property of Section 3 is tangible: the /log endpoint IS the
 // owner's complete view of the users' activity.
 //
-//	POST /query  — structured JSON query
-//	POST /sql    — raw query text in the paper's dialect
-//	GET  /log    — the owner's query log
+//	POST /query   — structured JSON query
+//	POST /sql     — raw query text in the paper's dialect
+//	GET  /log     — the owner's query log
+//	GET  /metrics — request/outcome counters (when built with a Registry)
+//
+// All error responses are JSON objects {"error": "..."} with a correct
+// status code: 400 for malformed input, 405 for a wrong method (with an
+// Allow header), 404 for an unknown path.
 
 // QueryJSON is the structured wire format of /query.
 type QueryJSON struct {
@@ -30,14 +37,46 @@ type CondJSON struct {
 	S   string  `json:"s"`
 }
 
-// AnswerJSON is the response of /query and /sql.
+// AnswerJSON is the response of /query and /sql. The numeric fields are
+// deliberately NOT omitempty: a legitimate answer of 0 (COUNT over an empty
+// query set, a perturbed value landing on 0) must serialize as an explicit
+// "value":0, distinguishable from an absent field.
 type AnswerJSON struct {
 	Denied   bool    `json:"denied,omitempty"`
 	Reason   string  `json:"reason,omitempty"`
-	Value    float64 `json:"value,omitempty"`
-	Lo       float64 `json:"lo,omitempty"`
-	Hi       float64 `json:"hi,omitempty"`
+	Value    float64 `json:"value"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
 	Interval bool    `json:"interval,omitempty"`
+}
+
+// errorJSON is the uniform error body of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a flat struct to a ResponseWriter cannot fail in a way the
+	// handler can still report; ignore the error deliberately.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorJSON{Error: msg})
+}
+
+// requireMethod answers 405 with an Allow header unless the request uses
+// the given method.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed; use %s", r.Method, method))
+		return false
+	}
+	return true
 }
 
 // ToQuery converts the wire format into a Query.
@@ -77,54 +116,94 @@ func (q QueryJSON) ToQuery() (Query, error) {
 	return out, nil
 }
 
-// NewHTTPHandler wraps a Server in the HTTP API.
-func NewHTTPHandler(srv *Server) http.Handler {
-	mux := http.NewServeMux()
+// NewHTTPHandler wraps a Server in the HTTP API without metrics.
+func NewHTTPHandler(srv *Server) http.Handler { return NewObservedHandler(srv, nil) }
+
+// NewObservedHandler wraps a Server in the HTTP API and, when reg is
+// non-nil, counts answer outcomes (answered / denied / interval / error),
+// exposes the query-log depth as a gauge — the tracker-relevant signal: how
+// much history an auditor must reason over — and mounts reg at GET
+// /metrics.
+func NewObservedHandler(srv *Server, reg *obs.Registry) http.Handler {
+	outcome := func(name string) {
+		if reg != nil {
+			reg.Counter(obs.Label("sdcquery_answers_total", "outcome", name)).Inc()
+		}
+	}
+	if reg != nil {
+		reg.Gauge("sdcquery_log_depth", func() float64 { return float64(srv.LogDepth()) })
+	}
 	answer := func(w http.ResponseWriter, q Query) {
 		a, err := srv.Ask(q)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			outcome("error")
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		// Encoding a flat struct to a ResponseWriter cannot fail in a way
-		// the handler can still report; ignore the error deliberately.
-		_ = json.NewEncoder(w).Encode(AnswerJSON{
+		switch {
+		case a.Denied:
+			outcome("denied")
+		case a.Interval:
+			outcome("interval")
+		default:
+			outcome("answered")
+		}
+		writeJSON(w, http.StatusOK, AnswerJSON{
 			Denied: a.Denied, Reason: a.Reason, Value: a.Value,
 			Lo: a.Lo, Hi: a.Hi, Interval: a.Interval,
 		})
 	}
-	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
 		var qj QueryJSON
-		if err := json.NewDecoder(r.Body).Decode(&qj); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&qj); err != nil {
+			outcome("error")
+			writeError(w, http.StatusBadRequest, "malformed JSON query: "+err.Error())
 			return
 		}
 		q, err := qj.ToQuery()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			outcome("error")
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		answer(w, q)
 	})
-	mux.HandleFunc("POST /sql", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/sql", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			outcome("error")
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		q, err := ParseQuery(string(body))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			outcome("error")
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		answer(w, q)
 	})
-	mux.HandleFunc("GET /log", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/log", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		for i, q := range srv.Log() {
 			fmt.Fprintf(w, "%4d  %s\n", i+1, q)
 		}
+	})
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "unknown path "+r.URL.Path)
 	})
 	return mux
 }

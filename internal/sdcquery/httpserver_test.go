@@ -2,13 +2,16 @@ package sdcquery
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/obs"
 )
 
 func newTestHTTP(t *testing.T, prot Protection) (*httptest.Server, *Server) {
@@ -92,6 +95,211 @@ func TestHTTPLogShowsEverything(t *testing.T) {
 	}
 	if len(srv.Log()) != 2 {
 		t.Errorf("server log has %d entries", len(srv.Log()))
+	}
+}
+
+// TestZeroValueAnswerRoundTrips is the regression test for the omitempty
+// bug: a COUNT of 0 must serialize as an explicit "value":0, not vanish
+// from the JSON object.
+func TestZeroValueAnswerRoundTrips(t *testing.T) {
+	raw, err := json.Marshal(AnswerJSON{Value: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"value":0`) {
+		t.Errorf("zero answer serialized as %s — value field missing", raw)
+	}
+
+	h, _ := newTestHTTP(t, NoProtection)
+	resp, err := http.Post(h.URL+"/query", "application/json",
+		strings.NewReader(`{"agg":"COUNT","where":[{"col":"height","op":"<","v":-1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	if !strings.Contains(string(body), `"value":0`) {
+		t.Errorf(`empty COUNT answered %s, want explicit "value":0`, body)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(body, &fields); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fields["value"]; !ok || v != 0.0 {
+		t.Errorf("value field = %v (present %v), want 0", v, ok)
+	}
+}
+
+// TestHTTPStatusAndContentType pins every handler's status code and
+// Content-Type: JSON errors with correct 400/404/405, Allow on 405.
+func TestHTTPStatusAndContentType(t *testing.T) {
+	srv, err := NewServer(dataset.Dataset2(), Config{Protection: NoProtection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	h := httptest.NewServer(NewObservedHandler(srv, reg))
+	defer h.Close()
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCT     string
+		wantAllow  string
+	}{
+		{"valid query", "POST", "/query", `{"agg":"COUNT","where":[]}`, 200, "application/json", ""},
+		{"valid sql", "POST", "/sql", "SELECT COUNT(*) WHERE height < 180", 200, "application/json", ""},
+		{"malformed json", "POST", "/query", "{", 400, "application/json", ""},
+		{"unknown aggregate", "POST", "/query", `{"agg":"MEDIAN"}`, 400, "application/json", ""},
+		{"bad sql", "POST", "/sql", "DROP TABLE patients", 400, "application/json", ""},
+		{"query wrong method", "GET", "/query", "", 405, "application/json", "POST"},
+		{"sql wrong method", "PUT", "/sql", "x", 405, "application/json", "POST"},
+		{"log wrong method", "POST", "/log", "", 405, "application/json", "GET"},
+		{"unknown path", "GET", "/nope", "", 404, "application/json", ""},
+		{"log", "GET", "/log", "", 200, "text/plain; charset=utf-8", ""},
+		{"metrics", "GET", "/metrics", "", 200, "text/plain; charset=utf-8", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, h.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != tc.wantCT {
+				t.Errorf("Content-Type = %q, want %q", ct, tc.wantCT)
+			}
+			if tc.wantAllow != "" && resp.Header.Get("Allow") != tc.wantAllow {
+				t.Errorf("Allow = %q, want %q", resp.Header.Get("Allow"), tc.wantAllow)
+			}
+			if tc.wantStatus >= 400 {
+				var e struct {
+					Error string `json:"error"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+					t.Errorf("error body not {\"error\": ...}: decode err %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestHTTPServeConcurrentReconciles is the end-to-end exercise of serve
+// semantics under concurrency (run with -race): N goroutines mix /query,
+// /sql, /log and /metrics through the full middleware chain, then the
+// query log and the metrics counters must reconcile exactly — every
+// answered or denied request appears exactly once in both.
+func TestHTTPServeConcurrentReconciles(t *testing.T) {
+	srv, err := NewServer(dataset.SyntheticTrial(dataset.TrialConfig{N: 200, Seed: 1}),
+		Config{Protection: SizeRestriction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	handler := obs.Chain(NewObservedHandler(srv, reg),
+		obs.Instrument(reg, "/query", "/sql", "/log", "/metrics"),
+		obs.Recover(reg, nil),
+	)
+	h := httptest.NewServer(handler)
+	defer h.Close()
+
+	const workers, iters = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				threshold := 140 + (w*iters+i)%60
+				resp, err := http.Post(h.URL+"/query", "application/json",
+					strings.NewReader(fmt.Sprintf(
+						`{"agg":"COUNT","where":[{"col":"height","op":">=","v":%d}]}`, threshold)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				resp, err = http.Post(h.URL+"/sql", "text/plain",
+					strings.NewReader(fmt.Sprintf("SELECT AVG(height) WHERE height < %d", threshold)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if i%5 == 0 {
+					for _, path := range []string{"/log", "/metrics"} {
+						resp, err := http.Get(h.URL + path)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						resp.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const posts = workers * iters * 2
+	answered := reg.Counter(obs.Label("sdcquery_answers_total", "outcome", "answered")).Value()
+	denied := reg.Counter(obs.Label("sdcquery_answers_total", "outcome", "denied")).Value()
+	interval := reg.Counter(obs.Label("sdcquery_answers_total", "outcome", "interval")).Value()
+	errored := reg.Counter(obs.Label("sdcquery_answers_total", "outcome", "error")).Value()
+	if answered+denied+interval+errored != posts {
+		t.Errorf("outcomes %d+%d+%d+%d != %d posted queries",
+			answered, denied, interval, errored, posts)
+	}
+	if errored != 0 || interval != 0 {
+		t.Errorf("unexpected outcomes under size restriction: interval=%d error=%d", interval, errored)
+	}
+	if denied == 0 {
+		t.Error("size restriction never denied — thresholds too lax to exercise both outcomes")
+	}
+	if got := srv.LogDepth(); got != posts {
+		t.Errorf("query log depth = %d, want %d (every request logged exactly once)", got, posts)
+	}
+	for _, ep := range []string{"/query", "/sql"} {
+		want := int64(posts / 2)
+		if got := reg.Counter(obs.Label("http_requests_total", "endpoint", ep)).Value(); got != want {
+			t.Errorf("http_requests_total %s = %d, want %d", ep, got, want)
+		}
+	}
+
+	// The scrape view agrees with the in-memory counters.
+	resp, err := http.Get(h.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	scrape, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf(`sdcquery_answers_total{outcome="answered"} %d`, answered),
+		fmt.Sprintf(`sdcquery_answers_total{outcome="denied"} %d`, denied),
+		fmt.Sprintf("sdcquery_log_depth %d", posts),
+	} {
+		if !strings.Contains(string(scrape), want+"\n") {
+			t.Errorf("metrics scrape missing %q:\n%s", want, scrape)
+		}
 	}
 }
 

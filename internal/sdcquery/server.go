@@ -158,6 +158,14 @@ func (s *Server) Log() []Query {
 	return append([]Query(nil), s.log...)
 }
 
+// LogDepth returns the number of logged queries without copying the log —
+// cheap enough to sample on every metrics scrape.
+func (s *Server) LogDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}
+
 // Rows exposes the database size (public metadata).
 func (s *Server) Rows() int { return s.d.Rows() }
 
