@@ -1,17 +1,19 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench repro examples clean
+.PHONY: all build vet test race check bench benchall repro examples clean
 
 all: build vet test
 
-# check is the pre-merge gate: vet, build, and the full test suite under the
-# race detector — the concurrent HTTP serving layer (internal/obs,
-# sdcquery/pir front ends) relies on -race to enforce its data-race
-# guarantees on every change.
+# check is the pre-merge gate: vet, build, the full test suite under the
+# race detector — the parallel analytics engine (internal/par and every
+# kernel on it) and the concurrent HTTP serving layer rely on -race to
+# enforce their data-race guarantees on every change — and one short-mode
+# pass over the benchmarks (-benchtime 1x) so benchmark code cannot bit-rot.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 build:
 	$(GO) build ./...
@@ -25,7 +27,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench is the perf gate of the parallel analytics engine: it times the
+# linkage/MDAV hot paths on a 50k-row synthetic workload across worker
+# counts, hard-fails unless every parallel report is byte-identical to the
+# sequential reference, and records the trajectory in BENCH_linkage.json.
+# Measured speedup scales with the physical cores of the machine.
 bench:
+	$(GO) run ./cmd/benchlinkage -rows 50000 -workers 1,2,4,8 -out BENCH_linkage.json
+
+# benchall runs the full go-test benchmark battery (the paper experiments).
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and worked example of the paper.

@@ -1,0 +1,211 @@
+// Command benchlinkage is the benchmark gate of the parallel analytics
+// engine: it times the linkage/MDAV hot paths on a large synthetic dataset
+// across worker counts, verifies that every parallel report is
+// byte-identical to the workers=1 sequential reference, and writes the
+// perf trajectory to a JSON file (BENCH_linkage.json via make bench).
+//
+//	benchlinkage -rows 50000 -workers 1,2,4,8 -out BENCH_linkage.json
+//
+// The tool exits non-zero if any parallel run's report differs from the
+// sequential one — determinism is a hard gate. Speedup is reported as
+// measured; it scales with the physical cores available (see -minspeedup).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/microagg"
+	"privacy3d/internal/noise"
+	"privacy3d/internal/par"
+	"privacy3d/internal/risk"
+)
+
+// Entry is one (kernel, workers) measurement.
+type Entry struct {
+	Kernel  string `json:"kernel"`
+	Rows    int    `json:"rows"`
+	Cols    int    `json:"cols"`
+	Workers int    `json:"workers"`
+	NsOp    int64  `json:"ns_op"`
+	// SpeedupVsWorkers1 is wall-clock of the workers=1 run divided by this
+	// run's, on identical input.
+	SpeedupVsWorkers1 float64 `json:"speedup_vs_workers1"`
+	// IdenticalToWorkers1 records the byte-identity of this run's report
+	// against the sequential reference (always true, or the tool fails).
+	IdenticalToWorkers1 bool `json:"identical_to_workers1"`
+	// Result is the kernel's headline quantity (linkage rate, disclosure
+	// rate, group count) — a drift canary alongside the timing.
+	Result float64 `json:"result"`
+}
+
+// Report is the BENCH_linkage.json document.
+type Report struct {
+	Date       string  `json:"date"`
+	Rows       int     `json:"rows"`
+	Seed       uint64  `json:"seed"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Entries    []Entry `json:"entries"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchlinkage: ")
+	rows := flag.Int("rows", 50000, "synthetic dataset size for the linkage kernels")
+	mdavRows := flag.Int("mdav-rows", 20000, "dataset size for the MDAV kernel (capped at -rows)")
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts; must start with 1")
+	seed := flag.Uint64("seed", 20070923, "PRNG seed for the synthetic workload")
+	out := flag.String("out", "BENCH_linkage.json", "output JSON file")
+	minSpeedup := flag.Float64("minspeedup", 0, "fail unless the max-workers DistanceLinkage speedup reaches this (0 = report only)")
+	flag.Parse()
+	if err := run(*rows, *mdavRows, *workersList, *seed, *out, *minSpeedup); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var ws []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", f)
+		}
+		ws = append(ws, w)
+	}
+	if len(ws) == 0 || ws[0] != 1 {
+		return nil, fmt.Errorf("-workers must start with 1 (the sequential reference), got %q", s)
+	}
+	return ws, nil
+}
+
+// kernel runs one hot path and returns its report (for byte-identity
+// checking) plus a headline number.
+type kernel struct {
+	name string
+	rows int
+	cols int
+	run  func() (report any, headline float64, err error)
+}
+
+func run(rows, mdavRows int, workersList string, seed uint64, out string, minSpeedup float64) error {
+	ws, err := parseWorkers(workersList)
+	if err != nil {
+		return err
+	}
+	if rows < 1 {
+		return fmt.Errorf("-rows must be > 0, got %d", rows)
+	}
+	if mdavRows > rows {
+		mdavRows = rows
+	}
+	log.Printf("generating %d-row synthetic trial workload (seed %d)", rows, seed)
+	d, err := dataset.Synth("trial", rows, seed)
+	if err != nil {
+		return err
+	}
+	qi := d.QuasiIdentifiers()
+	masked, err := noise.AddUncorrelated(d, qi, 0.2, dataset.NewRand(seed^0xbe7c))
+	if err != nil {
+		return err
+	}
+	small := d
+	if mdavRows < rows {
+		idx := make([]int, mdavRows)
+		for i := range idx {
+			idx[i] = i
+		}
+		small = d.Select(idx)
+	}
+	smallFlat := small.NumericFlat(small.QuasiIdentifiers())
+
+	kernels := []kernel{
+		{
+			name: "distance_linkage", rows: rows, cols: len(qi),
+			run: func() (any, float64, error) {
+				rep, err := risk.DistanceLinkage(d, masked, qi)
+				return rep, rep.Rate, err
+			},
+		},
+		{
+			name: "interval_disclosure", rows: rows, cols: len(qi),
+			run: func() (any, float64, error) {
+				v, err := risk.IntervalDisclosure(d, masked, qi, 10)
+				return v, v, err
+			},
+		},
+		{
+			name: "mdav_groups", rows: mdavRows, cols: smallFlat.Cols(),
+			run: func() (any, float64, error) {
+				groups, err := microagg.MDAVGroupsFlat(smallFlat, 3)
+				return groups, float64(len(groups)), err
+			},
+		},
+	}
+
+	report := Report{
+		Date: time.Now().UTC().Format(time.RFC3339), Rows: rows, Seed: seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+	prev := par.SetWorkers(0)
+	defer par.SetWorkers(prev)
+	var linkageMaxSpeedup float64
+	for _, k := range kernels {
+		var baseNs int64
+		var baseBytes []byte
+		for _, w := range ws {
+			par.SetWorkers(w)
+			start := time.Now()
+			rep, headline, err := k.run()
+			elapsed := time.Since(start).Nanoseconds()
+			if err != nil {
+				return fmt.Errorf("%s workers=%d: %w", k.name, w, err)
+			}
+			repBytes, err := json.Marshal(rep)
+			if err != nil {
+				return err
+			}
+			e := Entry{
+				Kernel: k.name, Rows: k.rows, Cols: k.cols, Workers: w,
+				NsOp: elapsed, Result: headline,
+				SpeedupVsWorkers1: 1, IdenticalToWorkers1: true,
+			}
+			if w == 1 {
+				baseNs, baseBytes = elapsed, repBytes
+			} else {
+				e.SpeedupVsWorkers1 = float64(baseNs) / float64(elapsed)
+				e.IdenticalToWorkers1 = string(repBytes) == string(baseBytes)
+				if !e.IdenticalToWorkers1 {
+					return fmt.Errorf("%s workers=%d: report differs from the sequential reference — determinism gate failed", k.name, w)
+				}
+			}
+			if k.name == "distance_linkage" && e.SpeedupVsWorkers1 > linkageMaxSpeedup {
+				linkageMaxSpeedup = e.SpeedupVsWorkers1
+			}
+			log.Printf("%-20s rows=%-6d workers=%-2d %12s  speedup %.2fx  result %.4f",
+				k.name, k.rows, w, time.Duration(elapsed), e.SpeedupVsWorkers1, headline)
+			report.Entries = append(report.Entries, e)
+		}
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d entries); all parallel reports byte-identical to sequential", out, len(report.Entries))
+	if minSpeedup > 0 && linkageMaxSpeedup < minSpeedup {
+		return fmt.Errorf("DistanceLinkage best speedup %.2fx below required %.2fx (GOMAXPROCS=%d — speedup needs physical cores)",
+			linkageMaxSpeedup, minSpeedup, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}

@@ -97,6 +97,7 @@ func serve(args []string) error {
 	}
 	logger := log.Default()
 	reg := obs.NewRegistry()
+	obs.RegisterParallelism(reg)
 	reg.Gauge("pir_query_log_depth", func() float64 { return float64(len(srv.QueryLog())) })
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())

@@ -24,9 +24,27 @@ import (
 	"privacy3d/internal/generalize"
 	"privacy3d/internal/microagg"
 	"privacy3d/internal/noise"
+	"privacy3d/internal/par"
 	"privacy3d/internal/risk"
 	"privacy3d/internal/swap"
 )
+
+// workersFlag registers the shared -workers flag: the size of the
+// internal/par pool that the linkage attacks, MDAV and the Table 2
+// evaluator fan out on. Results are identical for every setting; only the
+// wall-clock changes.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "analytics worker-pool size (0 = all CPUs)")
+}
+
+// applyWorkers validates and installs the -workers value.
+func applyWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-workers must be ≥ 0, got %d", n)
+	}
+	par.SetWorkers(n)
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -51,6 +69,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "pipeline":
 		err = cmdPipeline(os.Args[2:])
+	case "synth":
+		err = cmdSynth(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -70,7 +90,8 @@ commands:
   serve     run an interactive statistical database over HTTP
   attack    run the tracker attack against a protected server
   query     evaluate one statistical query against a CSV under a protection
-  pipeline  evaluate a masking pipeline on the three privacy dimensions`)
+  pipeline  evaluate a masking pipeline on the three privacy dimensions
+  synth     generate a synthetic microdata CSV of a chosen size`)
 }
 
 func loadCSV(path, schema string) (*dataset.Dataset, error) {
@@ -116,7 +137,11 @@ func cmdMask(args []string) error {
 	amplitude := fs.Float64("amplitude", 0.35, "relative noise amplitude for noise/corrnoise")
 	window := fs.Float64("p", 5, "rank-swap window in percent")
 	seed := fs.Uint64("seed", 1, "PRNG seed")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
 	d, err := loadCSV(*in, *schema)
@@ -174,7 +199,11 @@ func cmdEvaluate(args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
 	class := fs.String("class", "", "evaluate a single class by name (default: all)")
 	n := fs.Int("n", 0, "population size override")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
 	cfg := core.DefaultEvalConfig()

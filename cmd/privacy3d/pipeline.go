@@ -21,7 +21,11 @@ func cmdPipeline(args []string) error {
 	stages := fs.String("stages", "mdav:qi:k=3,noise:confidential:amp=0.35", "stage list")
 	pir := fs.Bool("pir", true, "serve the release through PIR (user privacy)")
 	target := fs.String("target", "medium", "grade every dimension must reach: none, low, medium, medium-high, high")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
 	parsed, err := parseStages(*stages)

@@ -66,7 +66,11 @@ func cmdServe(args []string) error {
 	minSize := fs.Int("minsize", 3, "query-set-size threshold")
 	reqTimeout := fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
 	grace := fs.Duration("grace", obs.DefaultShutdownGrace, "graceful-shutdown drain window")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
 	var d *dataset.Dataset
@@ -89,6 +93,7 @@ func cmdServe(args []string) error {
 	}
 	logger := log.Default()
 	reg := obs.NewRegistry()
+	obs.RegisterParallelism(reg)
 	handler := obs.Chain(sdcquery.NewObservedHandler(srv, reg),
 		obs.Logging(logger),
 		obs.Instrument(reg, "/query", "/sql", "/log", "/metrics"),
@@ -107,7 +112,11 @@ func cmdAttack(args []string) error {
 	in := fs.String("in", "", "input CSV file (default: the paper's Dataset 2)")
 	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
 	protect := fs.String("protect", "size", protectHelp("protection to attack"))
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
 	var d *dataset.Dataset

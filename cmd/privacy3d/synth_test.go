@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCmdSynthRowsValidation exercises the -rows knob end to end: the
+// subcommand must reject non-positive sizes and unknown generators, and
+// must write exactly the requested number of records on success.
+func TestCmdSynthRowsValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error, "" = success
+		rows    int    // expected data rows on success
+	}{
+		{"default trial", []string{"-rows", "25"}, "", 25},
+		{"census", []string{"-kind", "census", "-rows", "12"}, "", 12},
+		{"zero rows", []string{"-rows", "0"}, "must be > 0", 0},
+		{"negative rows", []string{"-rows", "-3"}, "must be > 0", 0},
+		{"unknown kind", []string{"-kind", "warp", "-rows", "5"}, "unknown synthetic kind", 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "synth.csv")
+			err := cmdSynth(append(tt.args, "-out", out))
+			if tt.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("cmdSynth(%v) err = %v, want %q", tt.args, err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Count(strings.TrimSpace(string(data)), "\n")
+			if lines != tt.rows { // header + rows → rows newlines after trim
+				t.Errorf("wrote %d data rows, want %d", lines, tt.rows)
+			}
+		})
+	}
+}
+
+func TestApplyWorkersValidation(t *testing.T) {
+	if err := applyWorkers(-1); err == nil {
+		t.Error("applyWorkers accepted a negative pool size")
+	}
+	for _, n := range []int{0, 1, 8} {
+		if err := applyWorkers(n); err != nil {
+			t.Errorf("applyWorkers(%d) = %v", n, err)
+		}
+	}
+	applyWorkers(0) // restore the GOMAXPROCS default for other tests
+}

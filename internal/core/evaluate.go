@@ -7,6 +7,7 @@ import (
 	"privacy3d/internal/dataset"
 	"privacy3d/internal/microagg"
 	"privacy3d/internal/noise"
+	"privacy3d/internal/par"
 	"privacy3d/internal/pir"
 	"privacy3d/internal/risk"
 	"privacy3d/internal/sdcquery"
@@ -144,15 +145,23 @@ func (e *Evaluator) Evaluate(c Class) (Measurement, error) {
 	return Measurement{Class: c, Scores: s, Grades: GradesOf(s)}, nil
 }
 
-// Table2 evaluates every class, in paper order.
+// Table2 evaluates every class, in paper order. The eight technology
+// classes fan out across the internal/par worker pool: each Evaluate call
+// is self-contained — every masking and attack game seeds its own PRNG
+// from cfg.Seed and the class, and the shared workload is read-only — so
+// each class's measurement is bit-identical to a sequential run and the
+// rows come back in paper order regardless of the worker count.
 func (e *Evaluator) Table2() ([]Measurement, error) {
-	out := make([]Measurement, 0, len(Classes()))
-	for _, c := range Classes() {
-		m, err := e.Evaluate(c)
+	classes := Classes()
+	out := make([]Measurement, len(classes))
+	errs := make([]error, len(classes))
+	par.Tasks(len(classes), func(i int) {
+		out[i], errs[i] = e.Evaluate(classes[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, m)
 	}
 	return out, nil
 }

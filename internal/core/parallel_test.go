@@ -1,0 +1,77 @@
+package core
+
+// Table 2 fans the eight technology classes out across the worker pool;
+// the measurements must be bit-identical to the sequential per-class loop
+// for every worker count, because each class seeds its own PRNGs.
+
+import (
+	"reflect"
+	"testing"
+
+	"privacy3d/internal/par"
+)
+
+func smallEvalConfig() EvalConfig {
+	cfg := DefaultEvalConfig()
+	cfg.N = 220
+	cfg.UserGameTrials = 120
+	return cfg
+}
+
+func TestTable2IdenticalAcrossWorkers(t *testing.T) {
+	ev, err := NewEvaluator(smallEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := par.SetWorkers(0)
+	defer par.SetWorkers(prev)
+
+	// Sequential reference: the pre-engine per-class loop.
+	par.SetWorkers(1)
+	want := make([]Measurement, 0, len(Classes()))
+	for _, c := range Classes() {
+		m, err := ev.Evaluate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, m)
+	}
+
+	for _, w := range []int{1, 2, 8} {
+		par.SetWorkers(w)
+		got, err := ev.Table2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: Table2 differs from sequential per-class evaluation", w)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("  class %v: got %+v want %+v", got[i].Class, got[i].Scores, want[i].Scores)
+				}
+			}
+		}
+	}
+}
+
+func TestTable2RowsStayInPaperOrder(t *testing.T) {
+	ev, err := NewEvaluator(smallEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	ms, err := ev.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := Classes()
+	if len(ms) != len(classes) {
+		t.Fatalf("got %d rows, want %d", len(ms), len(classes))
+	}
+	for i, m := range ms {
+		if m.Class != classes[i] {
+			t.Errorf("row %d is %v, want %v", i, m.Class, classes[i])
+		}
+	}
+}

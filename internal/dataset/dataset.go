@@ -15,6 +15,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"privacy3d/internal/stats"
 )
 
 // Role classifies an attribute by its disclosure function, following the
@@ -330,6 +332,21 @@ func (d *Dataset) NumericMatrix(cols []int) [][]float64 {
 		m[i] = row
 	}
 	return m
+}
+
+// NumericFlat extracts the given numeric columns as a flat row-major
+// matrix backed by one contiguous allocation — the representation the
+// linkage/MDAV hot paths scan, where per-row pointer chasing would
+// dominate the O(n²) inner loops.
+func (d *Dataset) NumericFlat(cols []int) *stats.Flat {
+	f := stats.NewFlat(d.rows, len(cols))
+	for k, j := range cols {
+		col := d.NumColumn(j)
+		for i, v := range col {
+			f.Set(i, k, v)
+		}
+	}
+	return f
 }
 
 // SetNumericMatrix writes a row-major matrix back into the given numeric

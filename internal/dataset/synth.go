@@ -77,6 +77,24 @@ func SyntheticTrial(cfg TrialConfig) *Dataset {
 
 func round1(v float64) float64 { return math.Round(v*10) / 10 }
 
+// Synth is the size-parameterised front door to the synthetic generators,
+// used by the CLI synth subcommand and the benchmark harness. kind is
+// "trial" (clinical-trial schema, 4 numeric quasi-identifiers) or "census"
+// (all-numeric census-like file, 6 columns). rows must be positive.
+func Synth(kind string, rows int, seed uint64) (*Dataset, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("dataset: synthetic row count must be > 0, got %d", rows)
+	}
+	switch kind {
+	case "trial":
+		return SyntheticTrial(TrialConfig{N: rows, Seed: seed, ExtraQI: 2}), nil
+	case "census":
+		return SyntheticCensus(CensusConfig{N: rows, Dims: 6, Seed: seed, Corr: 0.3}), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown synthetic kind %q (want trial or census)", kind)
+	}
+}
+
 // CensusConfig parameterises SyntheticCensus.
 type CensusConfig struct {
 	N    int

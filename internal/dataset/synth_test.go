@@ -1,0 +1,68 @@
+package dataset
+
+import "testing"
+
+// TestSynthRowsValidation is the table-driven gate on the size knob the
+// CLI synth subcommand exposes: non-positive row counts and unknown kinds
+// must be rejected, valid requests must honour the exact size.
+func TestSynthRowsValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		kind    string
+		rows    int
+		wantErr bool
+	}{
+		{"trial ok", "trial", 50, false},
+		{"census ok", "census", 120, false},
+		{"single row", "trial", 1, false},
+		{"zero rows", "trial", 0, true},
+		{"negative rows", "trial", -7, true},
+		{"zero rows census", "census", 0, true},
+		{"unknown kind", "galaxy", 10, true},
+		{"unknown kind bad rows", "galaxy", -1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := Synth(tt.kind, tt.rows, 5)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("Synth(%q, %d) accepted", tt.kind, tt.rows)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Rows() != tt.rows {
+				t.Errorf("Rows() = %d, want %d", d.Rows(), tt.rows)
+			}
+		})
+	}
+}
+
+// TestSynthDeterministicAndShaped pins what the benchmark harness assumes:
+// same seed same data, and the trial kind carries ≥ 2 numeric
+// quasi-identifiers (the linkage attack surface).
+func TestSynthDeterministicAndShaped(t *testing.T) {
+	a, err := Synth("trial", 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synth("trial", 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualValues(a, b) {
+		t.Error("same seed produced different data")
+	}
+	if len(a.QuasiIdentifiers()) < 2 {
+		t.Errorf("trial kind has %d quasi-identifiers, want ≥ 2", len(a.QuasiIdentifiers()))
+	}
+	c, err := Synth("trial", 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EqualValues(a, c) {
+		t.Error("different seeds produced identical data")
+	}
+}

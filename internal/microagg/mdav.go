@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/par"
 	"privacy3d/internal/stats"
 )
 
@@ -32,21 +33,32 @@ func validateK(n, k int) error {
 // to Average Vector heuristic. Data is used as given; callers who want
 // scale-invariant groups should standardise first (see Mask).
 func MDAVGroups(data [][]float64, k int) ([][]int, error) {
-	if err := validateK(len(data), k); err != nil {
+	return MDAVGroupsFlat(stats.FlatFromRows(data), k)
+}
+
+// MDAVGroupsFlat is MDAVGroups over a flat row-major matrix — the native
+// form of the engine. Its centroid, farthest-record and nearest-k scans run
+// chunked on the internal/par pool; chunk partials merge in fixed chunk
+// order, so the partition is identical for every worker count.
+func MDAVGroupsFlat(f *stats.Flat, k int) ([][]int, error) {
+	if err := validateK(f.Rows(), k); err != nil {
 		return nil, err
 	}
-	remaining := make([]int, len(data))
+	pool := par.Default()
+	remaining := make([]int, f.Rows())
 	for i := range remaining {
 		remaining[i] = i
 	}
+	// One candidate scratch buffer for every takeNearest call in the run.
+	scratch := make([]cand, f.Rows())
 	var groups [][]int
 	for len(remaining) >= 3*k {
-		centroid := centroidOf(data, remaining)
+		centroid := centroidFlat(pool, f, remaining)
 		// r: most distant record from the centroid.
-		r := farthest(data, remaining, centroid)
+		r := farthestFlat(pool, f, remaining, centroid)
 		// s: most distant record from r.
-		s := farthest(data, remaining, data[r])
-		g1, rest := takeNearest(data, remaining, data[r], k, r)
+		s := farthestFlat(pool, f, remaining, f.Row(r))
+		g1, rest := takeNearestFlat(pool, f, remaining, f.Row(r), k, r, scratch)
 		groups = append(groups, g1)
 		// s may have been consumed into g1; if so pick the farthest
 		// remaining record from the old centroid instead.
@@ -55,16 +67,16 @@ func MDAVGroups(data [][]float64, k int) ([][]int, error) {
 			if len(rest) == 0 {
 				break
 			}
-			sIdx = farthest(data, rest, centroid)
+			sIdx = farthestFlat(pool, f, rest, centroid)
 		}
-		g2, rest2 := takeNearest(data, rest, data[sIdx], k, sIdx)
+		g2, rest2 := takeNearestFlat(pool, f, rest, f.Row(sIdx), k, sIdx, scratch)
 		groups = append(groups, g2)
 		remaining = rest2
 	}
 	if len(remaining) >= 2*k {
-		centroid := centroidOf(data, remaining)
-		r := farthest(data, remaining, centroid)
-		g1, rest := takeNearest(data, remaining, data[r], k, r)
+		centroid := centroidFlat(pool, f, remaining)
+		r := farthestFlat(pool, f, remaining, centroid)
+		g1, rest := takeNearestFlat(pool, f, remaining, f.Row(r), k, r, scratch)
 		groups = append(groups, g1)
 		remaining = rest
 	}
@@ -72,6 +84,100 @@ func MDAVGroups(data [][]float64, k int) ([][]int, error) {
 		groups = append(groups, append([]int(nil), remaining...))
 	}
 	return groups, nil
+}
+
+// centroidFlat averages the given rows. Chunk partial sums fold in chunk
+// order, keeping the result worker-count independent.
+func centroidFlat(pool *par.Pool, f *stats.Flat, rows []int) []float64 {
+	p := f.Cols()
+	parts := par.MapChunks(pool, len(rows), func(lo, hi int) []float64 {
+		sum := make([]float64, p)
+		for _, i := range rows[lo:hi] {
+			row := f.Row(i)
+			for j, v := range row {
+				sum[j] += v
+			}
+		}
+		return sum
+	})
+	c := make([]float64, p)
+	for _, part := range parts {
+		for j, v := range part {
+			c[j] += v
+		}
+	}
+	for j := range c {
+		c[j] /= float64(len(rows))
+	}
+	return c
+}
+
+// argMax is one chunk's farthest-record scan result.
+type argMax struct {
+	idx int
+	d   float64
+}
+
+// farthestFlat returns the row index most distant from the query point,
+// first index winning ties — exactly the sequential scan's answer, because
+// chunk partials are compared strictly-greater in chunk order.
+func farthestFlat(pool *par.Pool, f *stats.Flat, rows []int, from []float64) int {
+	parts := par.MapChunks(pool, len(rows), func(lo, hi int) argMax {
+		best := argMax{idx: rows[lo], d: -1}
+		for _, i := range rows[lo:hi] {
+			if d := stats.SquaredDist(f.Row(i), from); d > best.d {
+				best = argMax{idx: i, d: d}
+			}
+		}
+		return best
+	})
+	best := argMax{idx: rows[0], d: -1}
+	for _, part := range parts {
+		if part.d > best.d {
+			best = part
+		}
+	}
+	return best.idx
+}
+
+type cand struct {
+	idx int
+	d   float64
+}
+
+// takeNearestFlat removes the k records nearest to center (anchor first if
+// provided) from rows, returning the group and the remaining rows. The
+// distance fill runs in parallel into the caller's scratch buffer; the sort
+// breaks distance ties by index, so the split is deterministic.
+func takeNearestFlat(pool *par.Pool, f *stats.Flat, rows []int, center []float64, k, anchor int, scratch []cand) (group, rest []int) {
+	cands := scratch[:len(rows)]
+	pool.ForEachChunk(len(rows), func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			i := rows[t]
+			d := stats.SquaredDist(f.Row(i), center)
+			if i == anchor {
+				d = -1 // anchor always first
+			}
+			cands[t] = cand{i, d}
+		}
+	})
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	group = make([]int, 0, k)
+	for _, c := range cands[:k] {
+		group = append(group, c.idx)
+	}
+	rest = make([]int, 0, len(rows)-k)
+	for _, c := range cands[k:] {
+		rest = append(rest, c.idx)
+	}
+	sort.Ints(group)
+	sort.Ints(rest)
+	return group, rest
 }
 
 func contains(xs []int, v int) bool {

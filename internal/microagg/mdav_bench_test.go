@@ -1,0 +1,28 @@
+package microagg
+
+import (
+	"fmt"
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/par"
+)
+
+// BenchmarkMDAVGroupsFlat times the engine-native MDAV partition across
+// worker counts (make check runs it once so it cannot bit-rot).
+func BenchmarkMDAVGroupsFlat(b *testing.B) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 3000, Seed: 31, ExtraQI: 2})
+	f := d.NumericFlat(d.QuasiIdentifiers())
+	prev := par.SetWorkers(0)
+	defer par.SetWorkers(prev)
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			par.SetWorkers(w)
+			for i := 0; i < b.N; i++ {
+				if _, err := MDAVGroupsFlat(f, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package microagg
+
+// The MDAV partition must be exactly identical — same groups, same order —
+// for every worker count; see internal/risk/parallel_test.go for the
+// engine-wide determinism contract these tests instantiate.
+
+import (
+	"reflect"
+	"testing"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/par"
+)
+
+func TestMDAVGroupsIdenticalAcrossWorkers(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 1100, Seed: 19, ExtraQI: 2})
+	data := d.NumericMatrix(d.QuasiIdentifiers())
+	prev := par.SetWorkers(0)
+	defer par.SetWorkers(prev)
+	for _, k := range []int{3, 7} {
+		var want [][]int
+		for _, w := range []int{1, 2, 8} {
+			par.SetWorkers(w)
+			groups, err := MDAVGroups(data, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !GroupSizesValid(groups, k) {
+				t.Fatalf("workers=%d k=%d: invalid group sizes", w, k)
+			}
+			if w == 1 {
+				want = groups
+				continue
+			}
+			if !reflect.DeepEqual(groups, want) {
+				t.Errorf("workers=%d k=%d: partition differs from sequential", w, k)
+			}
+		}
+	}
+}
+
+func TestMaskResultIdenticalAcrossWorkers(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 900, Seed: 23})
+	prev := par.SetWorkers(0)
+	defer par.SetWorkers(prev)
+	var wantSSE, wantSST float64
+	var want *dataset.Dataset
+	for _, w := range []int{1, 2, 8} {
+		par.SetWorkers(w)
+		masked, res, err := Mask(d, NewOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w == 1 {
+			wantSSE, wantSST, want = res.SSE, res.SST, masked
+			continue
+		}
+		if res.SSE != wantSSE || res.SST != wantSST {
+			t.Errorf("workers=%d: SSE/SST %x/%x differ from sequential %x/%x",
+				w, res.SSE, res.SST, wantSSE, wantSST)
+		}
+		if !dataset.EqualValues(masked, want) {
+			t.Errorf("workers=%d: masked release differs from sequential", w)
+		}
+	}
+}

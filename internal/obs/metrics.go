@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"privacy3d/internal/par"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -233,6 +235,13 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// RegisterParallelism registers the par_workers gauge, reporting the
+// effective worker-pool size of the internal/par analytics engine so the
+// serving layer's parallelism is visible at GET /metrics.
+func RegisterParallelism(r *Registry) {
+	r.Gauge("par_workers", func() float64 { return float64(par.Workers()) })
 }
 
 // Handler serves the registry as GET /metrics plain text.

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"privacy3d/internal/par"
+)
+
+func TestParWorkersGaugeReportsPoolSize(t *testing.T) {
+	reg := NewRegistry()
+	RegisterParallelism(reg)
+	prev := par.SetWorkers(5)
+	defer par.SetWorkers(prev)
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "par_workers 5") {
+		t.Errorf("exposition missing par_workers gauge:\n%s", b.String())
+	}
+}

@@ -1,0 +1,193 @@
+// Package par is the dependency-free parallel-execution substrate of the
+// analytics engine: a bounded worker pool with chunked ForEach/MapReduce
+// over index ranges. The linkage attacks, MDAV microaggregation and the
+// Table 2 evaluator all fan their O(n²) scans out through this package.
+//
+// Determinism contract: work is split into fixed-size chunks whose size
+// depends only on the problem size, never on the worker count. Per-chunk
+// partial results are reduced sequentially in chunk order. Because
+// floating-point addition is not associative, this fixed chunking is what
+// makes every result bit-identical whether it ran on 1 worker or 64 — the
+// property the parallel_test.go files across the repository pin down.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunkSize is the fixed number of indices per work unit. It is a constant
+// of the engine (not a tuning knob) because the reduction order over chunks
+// defines the numeric result; see the package comment.
+const chunkSize = 512
+
+// defaultWorkers holds the pool size used by the package-level functions:
+// 0 means "GOMAXPROCS at call time".
+var defaultWorkers atomic.Int64
+
+// Workers returns the effective worker count of the default pool.
+func Workers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers fixes the default pool size and returns the previous setting
+// (0 = GOMAXPROCS). n ≤ 0 restores the GOMAXPROCS default. The CLI -workers
+// flag and the property tests are its callers.
+func SetWorkers(n int) (prev int) {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// Pool is a bounded worker pool. The zero value is ready to use and sized
+// to GOMAXPROCS; NewPool pins an explicit size (tests use 1, 2, 8).
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given worker bound; n ≤ 0 means
+// GOMAXPROCS at call time.
+func NewPool(n int) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	return &Pool{workers: n}
+}
+
+// Default returns a pool honouring the package-level SetWorkers setting.
+func Default() *Pool { return &Pool{workers: int(defaultWorkers.Load())} }
+
+// Workers returns the effective worker count of the pool.
+func (p *Pool) Workers() int {
+	if p != nil && p.workers > 0 {
+		return p.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// numChunks returns how many fixed-size chunks cover [0, n).
+func numChunks(n int) int { return (n + chunkSize - 1) / chunkSize }
+
+// ChunkBounds returns the half-open index range of chunk c over [0, n).
+func ChunkBounds(c, n int) (lo, hi int) {
+	lo = c * chunkSize
+	hi = lo + chunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// run executes exec(t) for every t in [0, tasks) on up to Workers()
+// goroutines, pulling task indices from a shared atomic counter (work
+// stealing keeps uneven chunks balanced). Panics in workers are captured
+// and re-raised on the caller's goroutine.
+func (p *Pool) run(tasks int, exec func(t int)) {
+	if tasks <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > tasks {
+		w = tasks
+	}
+	if w <= 1 {
+		for t := 0; t < tasks; t++ {
+			exec(t)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				exec(t)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("par: worker panicked: %v", panicked))
+	}
+}
+
+// ForEachChunk calls fn(lo, hi) once for every fixed-size chunk covering
+// [0, n). Chunks run concurrently; fn must only write state owned by its
+// index range (or private per-call state).
+func (p *Pool) ForEachChunk(n int, fn func(lo, hi int)) {
+	p.run(numChunks(n), func(c int) {
+		lo, hi := ChunkBounds(c, n)
+		fn(lo, hi)
+	})
+}
+
+// ForEach calls fn(i) for every i in [0, n), chunked across the pool.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.ForEachChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Tasks runs fn(i) for each i in [0, n) as one task per index, regardless
+// of chunking — the fan-out primitive for a small number of coarse jobs
+// (the eight Table 2 technology classes).
+func (p *Pool) Tasks(n int, fn func(i int)) { p.run(n, fn) }
+
+// MapChunks computes fn over every fixed-size chunk of [0, n) in parallel
+// and returns the per-chunk results in chunk order, ready for a
+// deterministic left-to-right reduction by the caller.
+func MapChunks[T any](p *Pool, n int, fn func(lo, hi int) T) []T {
+	out := make([]T, numChunks(n))
+	p.run(len(out), func(c int) {
+		lo, hi := ChunkBounds(c, n)
+		out[c] = fn(lo, hi)
+	})
+	return out
+}
+
+// MapReduce maps fn over the fixed-size chunks of [0, n) in parallel and
+// folds the partials left-to-right (chunk order) with reduce, starting
+// from zero. The reduction order is independent of the worker count.
+func MapReduce[T any](p *Pool, n int, zero T, fn func(lo, hi int) T, reduce func(acc, part T) T) T {
+	acc := zero
+	for _, part := range MapChunks(p, n, fn) {
+		acc = reduce(acc, part)
+	}
+	return acc
+}
+
+// ForEach runs fn over [0, n) on the default pool.
+func ForEach(n int, fn func(i int)) { Default().ForEach(n, fn) }
+
+// ForEachChunk runs fn over the chunks of [0, n) on the default pool.
+func ForEachChunk(n int, fn func(lo, hi int)) { Default().ForEachChunk(n, fn) }
+
+// Tasks runs n coarse tasks on the default pool.
+func Tasks(n int, fn func(i int)) { Default().Tasks(n, fn) }

@@ -1,0 +1,143 @@
+package par
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		p := NewPool(w)
+		for _, n := range []int{0, 1, chunkSize - 1, chunkSize, chunkSize + 1, 3*chunkSize + 17} {
+			hits := make([]int32, n)
+			p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", w, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunkBoundsPartitionRange(t *testing.T) {
+	n := 2*chunkSize + 99
+	seen := make([]int32, n)
+	NewPool(4).ForEachChunk(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d, %d)", lo, hi)
+		}
+		if hi-lo > chunkSize {
+			t.Errorf("chunk [%d, %d) exceeds fixed size %d", lo, hi, chunkSize)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, h := range seen {
+		if h != 1 {
+			t.Fatalf("index %d covered %d times", i, h)
+		}
+	}
+}
+
+// TestMapReduceBitIdenticalAcrossWorkers pins the engine's determinism
+// contract: chunked floating-point reductions give the same bits for every
+// worker count because chunk size and reduction order are fixed.
+func TestMapReduceBitIdenticalAcrossWorkers(t *testing.T) {
+	n := 5*chunkSize + 123
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1 / float64(i+3)
+	}
+	sum := func(p *Pool) float64 {
+		return MapReduce(p, n, 0.0,
+			func(lo, hi int) float64 {
+				var s float64
+				for i := lo; i < hi; i++ {
+					s += xs[i]
+				}
+				return s
+			},
+			func(a, b float64) float64 { return a + b })
+	}
+	want := sum(NewPool(1))
+	for _, w := range []int{2, 3, 8, 64} {
+		if got := sum(NewPool(w)); got != want {
+			t.Errorf("workers=%d: sum = %x, want %x (bit-identical)", w, got, want)
+		}
+	}
+}
+
+func TestMapChunksOrder(t *testing.T) {
+	n := 3*chunkSize + 1
+	parts := MapChunks(NewPool(8), n, func(lo, hi int) int { return lo })
+	for c, lo := range parts {
+		wantLo, _ := ChunkBounds(c, n)
+		if lo != wantLo {
+			t.Fatalf("chunk %d mapped lo=%d, want %d", c, lo, wantLo)
+		}
+	}
+}
+
+func TestTasksRunsEachOnce(t *testing.T) {
+	const n = 8
+	hits := make([]int32, n)
+	NewPool(3).Tasks(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate to caller")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	NewPool(4).ForEach(4*chunkSize, func(i int) {
+		if i == chunkSize+1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	if p := Default(); p.Workers() != 3 {
+		t.Errorf("Default().Workers() = %d", p.Workers())
+	}
+	SetWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d, want GOMAXPROCS", Workers())
+	}
+	if got := SetWorkers(-5); got != 0 {
+		t.Errorf("SetWorkers returned prev %d, want 0", got)
+	}
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative SetWorkers should mean default, got %d", Workers())
+	}
+}
+
+func TestZeroAndNilSafety(t *testing.T) {
+	var p Pool // zero value usable
+	ran := false
+	p.ForEach(1, func(int) { ran = true })
+	if !ran {
+		t.Error("zero-value pool did not run")
+	}
+	p.ForEach(0, func(int) { t.Error("n=0 must not call fn") })
+	NewPool(0).ForEachChunk(0, func(_, _ int) { t.Error("n=0 must not call fn") })
+}

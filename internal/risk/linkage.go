@@ -4,6 +4,12 @@
 // of the SDC literature (Domingo-Ferrer & Torra; Hundepool et al., the
 // paper's [17]). The three-dimensional evaluator in internal/core is built
 // on these measurements.
+//
+// The O(n²) attack kernels run on the internal/par worker pool over flat
+// row-major matrices (stats.Flat). Per-record contributions are written to
+// index-owned slots and folded sequentially, so every report is
+// bit-identical for any worker count — including workers=1, which is the
+// sequential reference the property tests compare against.
 package risk
 
 import (
@@ -11,6 +17,7 @@ import (
 	"math"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/par"
 	"privacy3d/internal/stats"
 )
 
@@ -34,7 +41,10 @@ type LinkageReport struct {
 // count fractionally.
 //
 // original and masked must have the same rows in the same order, and cols
-// must be numeric in both.
+// must be numeric in both. Original records are attacked in parallel on the
+// package-wide worker pool; each worker keeps a private tie buffer and
+// writes only its own records' match contributions, which are then summed
+// in record order, so the report does not depend on the worker count.
 func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageReport, error) {
 	var rep LinkageReport
 	if original.Rows() != masked.Rows() {
@@ -46,48 +56,65 @@ func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageRepo
 	if len(cols) == 0 {
 		return rep, fmt.Errorf("risk: no linkage columns")
 	}
-	o := original.NumericMatrix(cols)
-	m := masked.NumericMatrix(cols)
+	o := original.NumericFlat(cols)
+	m := masked.NumericFlat(cols)
 	// Standardise both on the original's moments so distances are
 	// comparable across attributes.
-	_, means, sds := stats.Standardize(o)
-	std := func(row []float64) []float64 {
-		z := make([]float64, len(row))
-		for j, v := range row {
-			z[j] = v - means[j]
-			if sds[j] > 0 {
-				z[j] /= sds[j]
+	zo, means, sds := stats.StandardizeFlat(o)
+	pool := par.Default()
+	zm := stats.NewFlat(m.Rows(), m.Cols())
+	pool.ForEachChunk(m.Rows(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src, dst := m.Row(i), zm.Row(i)
+			for j, v := range src {
+				dst[j] = v - means[j]
+				if sds[j] > 0 {
+					dst[j] /= sds[j]
+				}
 			}
 		}
-		return z
-	}
-	zm := make([][]float64, len(m))
-	for i, row := range m {
-		zm[i] = std(row)
-	}
+	})
 	const eps = 1e-12
-	for i, row := range o {
-		zo := std(row)
-		best := math.Inf(1)
-		var ties []int
-		for t, cand := range zm {
-			d := stats.SquaredDist(zo, cand)
-			switch {
-			case d < best-eps:
-				best = d
-				ties = ties[:0]
-				ties = append(ties, t)
-			case d <= best+eps:
-				ties = append(ties, t)
+	n := o.Rows()
+	p := zm.Cols()
+	zmData := zm.Data()
+	// contrib[i] is record i's expected correct-match mass (0 or 1/ties).
+	contrib := make([]float64, n)
+	pool.ForEachChunk(n, func(lo, hi int) {
+		// One tie buffer per chunk, reused across its records — the inner
+		// loop never allocates.
+		ties := make([]int, 0, 32)
+		for i := lo; i < hi; i++ {
+			zr := zo.Row(i)
+			best := math.Inf(1)
+			ties = ties[:0]
+			for t := 0; t < n; t++ {
+				cand := zmData[t*p : t*p+p]
+				var d float64
+				for j, v := range zr {
+					diff := v - cand[j]
+					d += diff * diff
+				}
+				switch {
+				case d < best-eps:
+					best = d
+					ties = ties[:0]
+					ties = append(ties, t)
+				case d <= best+eps:
+					ties = append(ties, t)
+				}
+			}
+			for _, t := range ties {
+				if t == i {
+					contrib[i] = 1 / float64(len(ties))
+				}
 			}
 		}
-		for _, t := range ties {
-			if t == i {
-				rep.Linked += 1 / float64(len(ties))
-			}
-		}
-		rep.Attacked++
+	})
+	for _, c := range contrib {
+		rep.Linked += c
 	}
+	rep.Attacked = n
 	rep.Rate = rep.Linked / float64(rep.Attacked)
 	return rep, nil
 }
@@ -95,7 +122,9 @@ func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageRepo
 // IntervalDisclosure returns the fraction of masked numeric values that fall
 // within ±p percent of the original value — the "interval disclosure" risk
 // measure: even without an exact link, a narrow interval around the released
-// value discloses the original.
+// value discloses the original. Columns are scanned in parallel chunks; the
+// per-chunk hit counts are integers, so the result is exact and
+// worker-count independent.
 func IntervalDisclosure(original, masked *dataset.Dataset, cols []int, p float64) (float64, error) {
 	if original.Rows() != masked.Rows() || original.Rows() == 0 {
 		return 0, fmt.Errorf("risk: datasets must be non-empty with equal rows")
@@ -103,18 +132,27 @@ func IntervalDisclosure(original, masked *dataset.Dataset, cols []int, p float64
 	if p <= 0 {
 		return 0, fmt.Errorf("risk: interval width must be > 0, got %g", p)
 	}
+	pool := par.Default()
 	var hits, total float64
 	for _, j := range cols {
 		oc := original.NumColumn(j)
 		mc := masked.NumColumn(j)
 		sd := stats.StdDev(oc)
-		for i := range oc {
-			// Interval of half-width p% of the attribute spread.
-			if math.Abs(mc[i]-oc[i]) <= p/100*sd {
-				hits++
+		width := p / 100 * sd
+		counts := par.MapChunks(pool, len(oc), func(lo, hi int) int {
+			c := 0
+			for i := lo; i < hi; i++ {
+				// Interval of half-width p% of the attribute spread.
+				if math.Abs(mc[i]-oc[i]) <= width {
+					c++
+				}
 			}
-			total++
+			return c
+		})
+		for _, c := range counts {
+			hits += float64(c)
 		}
+		total += float64(len(oc))
 	}
 	return hits / total, nil
 }
@@ -127,17 +165,18 @@ func MeanRecordDistance(original, masked *dataset.Dataset, cols []int) (float64,
 	if original.Rows() != masked.Rows() || original.Rows() == 0 {
 		return 0, fmt.Errorf("risk: datasets must be non-empty with equal rows")
 	}
-	o := original.NumericMatrix(cols)
-	m := masked.NumericMatrix(cols)
+	o := original.NumericFlat(cols)
+	m := masked.NumericFlat(cols)
 	sds := make([]float64, len(cols))
 	for j, c := range cols {
 		sds[j] = stats.StdDev(original.NumColumn(c))
 	}
 	var s float64
-	for i := range o {
+	for i := 0; i < o.Rows(); i++ {
+		or, mr := o.Row(i), m.Row(i)
 		var d float64
 		for j := range cols {
-			diff := o[i][j] - m[i][j]
+			diff := or[j] - mr[j]
 			if sds[j] > 0 {
 				diff /= sds[j]
 			}
@@ -145,5 +184,5 @@ func MeanRecordDistance(original, masked *dataset.Dataset, cols []int) (float64,
 		}
 		s += math.Sqrt(d)
 	}
-	return s / float64(len(o)), nil
+	return s / float64(o.Rows()), nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/par"
 	"privacy3d/internal/stats"
 )
 
@@ -15,6 +16,11 @@ import (
 // the highest match weight. It complements DistanceLinkage: distance-based
 // linkage is the geometric attack, probabilistic linkage the statistical
 // one; SDC evaluation practice reports the stronger of the two.
+//
+// The n² agreement scan, the EM expectation step and the final linking pass
+// all run on the internal/par pool, chunked over original records. EM
+// partial sums are reduced in fixed chunk order, so the fitted mixture —
+// and therefore the report — is bit-identical for every worker count.
 
 // ProbLinkageConfig parameterises ProbabilisticLinkage.
 type ProbLinkageConfig struct {
@@ -23,6 +29,12 @@ type ProbLinkageConfig struct {
 	Tolerance float64
 	// MaxIter bounds the EM iterations (default 50).
 	MaxIter int
+}
+
+// emPartial accumulates one chunk's expectation-step sums.
+type emPartial struct {
+	sumG, sumU     float64
+	gAgree, uAgree []float64
 }
 
 // ProbabilisticLinkage runs the attack over the given numeric columns.
@@ -43,8 +55,8 @@ func ProbabilisticLinkage(original, masked *dataset.Dataset, cols []int, cfg Pro
 	}
 	n := original.Rows()
 	p := len(cols)
-	o := original.NumericMatrix(cols)
-	m := masked.NumericMatrix(cols)
+	o := original.NumericFlat(cols)
+	m := masked.NumericFlat(cols)
 	tol := make([]float64, p)
 	for k, c := range cols {
 		sd := stats.StdDev(original.NumColumn(c))
@@ -57,19 +69,28 @@ func ProbabilisticLinkage(original, masked *dataset.Dataset, cols []int, cfg Pro
 	if p > 32 {
 		return rep, fmt.Errorf("risk: probabilistic linkage supports ≤ 32 columns, got %d", p)
 	}
+	pool := par.Default()
 	agree := make([]uint32, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			var mask uint32
-			for k := 0; k < p; k++ {
-				if math.Abs(o[i][k]-m[j][k]) <= tol[k] {
-					mask |= 1 << k
+	mData := m.Data()
+	pool.ForEachChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oi := o.Row(i)
+			out := agree[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				mj := mData[j*p : j*p+p]
+				var mask uint32
+				for k := 0; k < p; k++ {
+					if math.Abs(oi[k]-mj[k]) <= tol[k] {
+						mask |= 1 << k
+					}
 				}
+				out[j] = mask
 			}
-			agree[i*n+j] = mask
 		}
-	}
-	// EM over the mixture of match / non-match pair classes.
+	})
+	// EM over the mixture of match / non-match pair classes. The E-step
+	// fans out over chunks of original records (n pairs each); partials
+	// merge in chunk order for determinism.
 	mProb := make([]float64, p) // P(agree_k | match)
 	uProb := make([]float64, p) // P(agree_k | non-match)
 	for k := 0; k < p; k++ {
@@ -79,29 +100,40 @@ func ProbabilisticLinkage(original, masked *dataset.Dataset, cols []int, cfg Pro
 	lambda := 1 / float64(n) // prior match prevalence: n matches among n² pairs
 	total := float64(len(agree))
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		var sumG float64
-		gSumAgree := make([]float64, p)
-		uSumAgree := make([]float64, p)
-		var sumU float64
-		for _, mask := range agree {
-			pm, pu := lambda, 1-lambda
-			for k := 0; k < p; k++ {
-				if mask>>k&1 == 1 {
-					pm *= mProb[k]
-					pu *= uProb[k]
-				} else {
-					pm *= 1 - mProb[k]
-					pu *= 1 - uProb[k]
+		parts := par.MapChunks(pool, n, func(lo, hi int) emPartial {
+			pt := emPartial{gAgree: make([]float64, p), uAgree: make([]float64, p)}
+			for _, mask := range agree[lo*n : hi*n] {
+				pm, pu := lambda, 1-lambda
+				for k := 0; k < p; k++ {
+					if mask>>k&1 == 1 {
+						pm *= mProb[k]
+						pu *= uProb[k]
+					} else {
+						pm *= 1 - mProb[k]
+						pu *= 1 - uProb[k]
+					}
+				}
+				g := pm / (pm + pu + 1e-300)
+				pt.sumG += g
+				pt.sumU += 1 - g
+				for k := 0; k < p; k++ {
+					if mask>>k&1 == 1 {
+						pt.gAgree[k] += g
+						pt.uAgree[k] += 1 - g
+					}
 				}
 			}
-			g := pm / (pm + pu + 1e-300)
-			sumG += g
-			sumU += 1 - g
+			return pt
+		})
+		var sumG, sumU float64
+		gSumAgree := make([]float64, p)
+		uSumAgree := make([]float64, p)
+		for _, pt := range parts {
+			sumG += pt.sumG
+			sumU += pt.sumU
 			for k := 0; k < p; k++ {
-				if mask>>k&1 == 1 {
-					gSumAgree[k] += g
-					uSumAgree[k] += 1 - g
-				}
+				gSumAgree[k] += pt.gAgree[k]
+				uSumAgree[k] += pt.uAgree[k]
 			}
 		}
 		newLambda := sumG / total
@@ -124,35 +156,42 @@ func ProbabilisticLinkage(original, masked *dataset.Dataset, cols []int, cfg Pro
 		weights[2*k+1] = math.Log((1 - mProb[k] + 1e-12) / (1 - uProb[k] + 1e-12)) // disagree
 	}
 	const eps = 1e-9
-	for i := 0; i < n; i++ {
-		best := math.Inf(-1)
-		var ties []int
-		for j := 0; j < n; j++ {
-			mask := agree[i*n+j]
-			var w float64
-			for k := 0; k < p; k++ {
-				if mask>>k&1 == 1 {
-					w += weights[2*k]
-				} else {
-					w += weights[2*k+1]
+	contrib := make([]float64, n)
+	pool.ForEachChunk(n, func(lo, hi int) {
+		ties := make([]int, 0, 32) // per-chunk buffer, reused across records
+		for i := lo; i < hi; i++ {
+			row := agree[i*n : (i+1)*n]
+			best := math.Inf(-1)
+			ties = ties[:0]
+			for j, mask := range row {
+				var w float64
+				for k := 0; k < p; k++ {
+					if mask>>k&1 == 1 {
+						w += weights[2*k]
+					} else {
+						w += weights[2*k+1]
+					}
+				}
+				switch {
+				case w > best+eps:
+					best = w
+					ties = ties[:0]
+					ties = append(ties, j)
+				case w >= best-eps:
+					ties = append(ties, j)
 				}
 			}
-			switch {
-			case w > best+eps:
-				best = w
-				ties = ties[:0]
-				ties = append(ties, j)
-			case w >= best-eps:
-				ties = append(ties, j)
+			for _, j := range ties {
+				if j == i {
+					contrib[i] = 1 / float64(len(ties))
+				}
 			}
 		}
-		for _, j := range ties {
-			if j == i {
-				rep.Linked += 1 / float64(len(ties))
-			}
-		}
-		rep.Attacked++
+	})
+	for _, c := range contrib {
+		rep.Linked += c
 	}
+	rep.Attacked = n
 	rep.Rate = rep.Linked / float64(rep.Attacked)
 	return rep, nil
 }

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flat is a dense row-major matrix over a single contiguous []float64
+// backing array. The analytics hot paths (record linkage, MDAV scans) use
+// it instead of [][]float64 so inner loops walk one cache-friendly
+// allocation instead of chasing a pointer per row.
+type Flat struct {
+	data []float64
+	rows int
+	cols int
+}
+
+// NewFlat allocates a zeroed r×c flat matrix.
+func NewFlat(r, c int) *Flat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("stats: NewFlat(%d, %d) with negative shape", r, c))
+	}
+	return &Flat{data: make([]float64, r*c), rows: r, cols: c}
+}
+
+// FlatFromRows copies a row-major [][]float64 into a Flat. Every row must
+// have the same length.
+func FlatFromRows(m [][]float64) *Flat {
+	if len(m) == 0 {
+		return &Flat{}
+	}
+	f := NewFlat(len(m), len(m[0]))
+	for i, row := range m {
+		if len(row) != f.cols {
+			panic(fmt.Sprintf("stats: FlatFromRows row %d has %d values, want %d", i, len(row), f.cols))
+		}
+		copy(f.data[i*f.cols:], row)
+	}
+	return f
+}
+
+// Rows returns the number of rows.
+func (f *Flat) Rows() int { return f.rows }
+
+// Cols returns the number of columns.
+func (f *Flat) Cols() int { return f.cols }
+
+// Row returns row i as a full-capacity-limited view into the backing
+// array: appends to the returned slice cannot clobber the next row.
+func (f *Flat) Row(i int) []float64 {
+	off := i * f.cols
+	return f.data[off : off+f.cols : off+f.cols]
+}
+
+// At returns the element at (i, j).
+func (f *Flat) At(i, j int) float64 { return f.data[i*f.cols+j] }
+
+// Set stores v at (i, j).
+func (f *Flat) Set(i, j int, v float64) { f.data[i*f.cols+j] = v }
+
+// Data exposes the backing array (row-major). Mutating it mutates the
+// matrix.
+func (f *Flat) Data() []float64 { return f.data }
+
+// ToRows copies the matrix out as a [][]float64 (for callers that still
+// speak the slice-of-slices dialect).
+func (f *Flat) ToRows() [][]float64 {
+	out := make([][]float64, f.rows)
+	for i := range out {
+		out[i] = append([]float64(nil), f.Row(i)...)
+	}
+	return out
+}
+
+// Clone deep-copies the matrix.
+func (f *Flat) Clone() *Flat {
+	return &Flat{data: append([]float64(nil), f.data...), rows: f.rows, cols: f.cols}
+}
+
+// StandardizeFlat returns (x - mean)/sd per column along with the moments
+// used, exactly mirroring Standardize — same summation order, so the two
+// agree bit-for-bit — but over a Flat with a single output allocation.
+// Zero-variance columns are centred but not scaled.
+func StandardizeFlat(f *Flat) (z *Flat, means, sds []float64) {
+	if f == nil || f.rows == 0 {
+		return &Flat{}, nil, nil
+	}
+	means = make([]float64, f.cols)
+	for i := 0; i < f.rows; i++ {
+		row := f.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(f.rows)
+	}
+	sds = make([]float64, f.cols)
+	for i := 0; i < f.rows; i++ {
+		row := f.Row(i)
+		for j, v := range row {
+			d := v - means[j]
+			sds[j] += d * d
+		}
+	}
+	for j := range sds {
+		sds[j] = math.Sqrt(sds[j] / float64(f.rows))
+	}
+	z = NewFlat(f.rows, f.cols)
+	for i := 0; i < f.rows; i++ {
+		src, dst := f.Row(i), z.Row(i)
+		for j, v := range src {
+			dst[j] = v - means[j]
+			if sds[j] > 0 {
+				dst[j] /= sds[j]
+			}
+		}
+	}
+	return z, means, sds
+}

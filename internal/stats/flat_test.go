@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFlatBasics(t *testing.T) {
+	f := NewFlat(3, 2)
+	if f.Rows() != 3 || f.Cols() != 2 {
+		t.Fatalf("shape = %dx%d", f.Rows(), f.Cols())
+	}
+	f.Set(1, 1, 7)
+	if f.At(1, 1) != 7 {
+		t.Errorf("At(1,1) = %v", f.At(1, 1))
+	}
+	if got := f.Row(1); got[1] != 7 {
+		t.Errorf("Row(1) = %v", got)
+	}
+	// Row views alias the backing array.
+	f.Row(2)[0] = 5
+	if f.At(2, 0) != 5 {
+		t.Error("Row view does not alias backing array")
+	}
+	// Appending to a row view must not clobber the next row.
+	row := f.Row(0)
+	_ = append(row, 99)
+	if f.At(1, 0) != 0 {
+		t.Error("append to row view clobbered next row")
+	}
+	c := f.Clone()
+	c.Set(0, 0, -1)
+	if f.At(0, 0) == -1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFlatFromRowsRoundTrip(t *testing.T) {
+	m := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	f := FlatFromRows(m)
+	back := f.ToRows()
+	for i := range m {
+		for j := range m[i] {
+			if back[i][j] != m[i][j] {
+				t.Fatalf("round trip differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	if e := FlatFromRows(nil); e.Rows() != 0 {
+		t.Error("empty input should give empty matrix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged input accepted")
+		}
+	}()
+	FlatFromRows([][]float64{{1, 2}, {3}})
+}
+
+// TestStandardizeFlatMatchesStandardize pins the bit-level agreement the
+// linkage rewrite depends on: the flat standardisation must reproduce the
+// [][]float64 version exactly, not approximately.
+func TestStandardizeFlatMatchesStandardize(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n, p = 257, 5
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, p)
+		for j := range m[i] {
+			m[i][j] = 100*rng.NormFloat64() + float64(j)
+		}
+		m[i][p-1] = 42 // constant column: centred, not scaled
+	}
+	wantZ, wantMeans, wantSDs := Standardize(m)
+	z, means, sds := StandardizeFlat(FlatFromRows(m))
+	for j := 0; j < p; j++ {
+		if means[j] != wantMeans[j] || sds[j] != wantSDs[j] {
+			t.Fatalf("moments differ at column %d", j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := z.Row(i)
+		for j := 0; j < p; j++ {
+			if row[j] != wantZ[i][j] {
+				t.Fatalf("z differs at (%d,%d): %x vs %x", i, j, row[j], wantZ[i][j])
+			}
+		}
+	}
+}
