@@ -27,13 +27,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench is the perf gate of the parallel analytics engine: it times the
-# linkage/MDAV hot paths on a 50k-row synthetic workload across worker
-# counts, hard-fails unless every parallel report is byte-identical to the
-# sequential reference, and records the trajectory in BENCH_linkage.json.
+# bench is the perf gate of the parallel engines: benchlinkage times the
+# linkage/MDAV hot paths on a 50k-row synthetic workload, and benchpir
+# times the word-parallel PIR answer kernels (IT-PIR on a 64 MiB database,
+# CPIR, end-to-end RangeStats) across worker counts. Both hard-fail unless
+# every parallel result is byte-identical to the sequential reference, and
+# record their trajectories in BENCH_linkage.json / BENCH_pir.json.
 # Measured speedup scales with the physical cores of the machine.
 bench:
 	$(GO) run ./cmd/benchlinkage -rows 50000 -workers 1,2,4,8 -out BENCH_linkage.json
+	$(GO) run ./cmd/benchpir -blocks 65536 -blocksize 1024 -workers 1,2,4,8 -out BENCH_pir.json
 
 # benchall runs the full go-test benchmark battery (the paper experiments).
 benchall:

@@ -49,12 +49,24 @@ type Entry struct {
 
 // Report is the BENCH_linkage.json document.
 type Report struct {
-	Date       string  `json:"date"`
-	Rows       int     `json:"rows"`
-	Seed       uint64  `json:"seed"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"num_cpu"`
-	Entries    []Entry `json:"entries"`
+	Date       string `json:"date"`
+	Rows       int    `json:"rows"`
+	Seed       uint64 `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Warning flags measurement conditions under which the speedup columns
+	// are not meaningful (e.g. a single-CPU machine, where every
+	// speedup_vs_workers1 is ≈ 1.0 by construction).
+	Warning string  `json:"warning,omitempty"`
+	Entries []Entry `json:"entries"`
+}
+
+// cpuWarning returns the single-CPU caveat, or "" on multi-core machines.
+func cpuWarning() string {
+	if runtime.NumCPU() > 1 {
+		return ""
+	}
+	return "single-CPU machine: parallel speedups are ≈ 1.0 by construction and measure scheduling overhead, not scaling"
 }
 
 func main() {
@@ -154,6 +166,10 @@ func run(rows, mdavRows int, workersList string, seed uint64, out string, minSpe
 	report := Report{
 		Date: time.Now().UTC().Format(time.RFC3339), Rows: rows, Seed: seed,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Warning: cpuWarning(),
+	}
+	if report.Warning != "" {
+		log.Printf("WARNING: %s", report.Warning)
 	}
 	prev := par.SetWorkers(0)
 	defer par.SetWorkers(prev)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"privacy3d/internal/obs"
+	"privacy3d/internal/par"
 	"privacy3d/internal/pir"
 )
 
@@ -84,9 +85,15 @@ func serve(args []string) error {
 	addr := fs.String("addr", ":9001", "listen address")
 	reqTimeout := fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
 	grace := fs.Duration("grace", obs.DefaultShutdownGrace, "graceful-shutdown drain window")
+	workers := fs.Int("workers", 0, "answer-kernel worker-pool size (0 = all CPUs); answers are byte-identical at any setting")
+	logCap := fs.Int("querylog", pir.DefaultQueryLogCap, "query-log entries retained (newest window; drops are counted at /metrics)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0, got %d", *workers)
+	}
+	par.SetWorkers(*workers)
 	blocks, err := loadBlocks(*in)
 	if err != nil {
 		return err
@@ -95,22 +102,57 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	srv.SetQueryLogCap(*logCap)
 	logger := log.Default()
 	reg := obs.NewRegistry()
 	obs.RegisterParallelism(reg)
-	reg.Gauge("pir_query_log_depth", func() float64 { return float64(len(srv.QueryLog())) })
+	registerPIRMetrics(reg, srv)
+	answerHist := reg.Histogram("pir_answer_seconds", obs.DefaultKernelBuckets)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/", pir.NewHTTPServer(srv))
+	mux.Handle("/", observeAnswers(pir.NewHTTPServer(srv), answerHist))
 	handler := obs.Chain(mux,
 		obs.Logging(logger),
 		obs.Instrument(reg, "/pir", "/meta", "/metrics"),
 		obs.Recover(reg, logger),
 		obs.Timeout(*reqTimeout),
 	)
-	logger.Printf("serving %d blocks of %d bytes on %s (POST /pir, GET /meta, GET /metrics)",
-		srv.Blocks(), srv.BlockSize(), *addr)
+	logger.Printf("serving %d blocks of %d bytes on %s with %d answer worker(s) (POST /pir, GET /meta, GET /metrics)",
+		srv.Blocks(), srv.BlockSize(), *addr, par.Workers())
 	return obs.Run(obs.NewServer(*addr, handler), logger, *grace)
+}
+
+// registerPIRMetrics exposes the answering engine's counters: work done by
+// the word-parallel kernel and the bounded query log's retention state.
+func registerPIRMetrics(reg *obs.Registry, srv *pir.ITServer) {
+	reg.Gauge("pir_answers_total", func() float64 { return float64(srv.Answers()) })
+	reg.Gauge("pir_words_xored_total", func() float64 { return float64(srv.WordsXORed()) })
+	reg.Gauge("pir_query_log_depth", func() float64 {
+		retained, _, _ := srv.QueryLogStats()
+		return float64(retained)
+	})
+	reg.Gauge("pir_query_log_dropped_total", func() float64 {
+		_, dropped, _ := srv.QueryLogStats()
+		return float64(dropped)
+	})
+	reg.Gauge("pir_query_log_cap", func() float64 {
+		_, _, c := srv.QueryLogStats()
+		return float64(c)
+	})
+}
+
+// observeAnswers records the wall-clock of each POST /pir request (the
+// answer path, including transport encode/decode) into hist.
+func observeAnswers(next http.Handler, hist *obs.Histogram) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/pir" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	})
 }
 
 func fetch(args []string) error {

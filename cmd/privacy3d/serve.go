@@ -164,7 +164,11 @@ func cmdQuery(args []string) error {
 	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
 	protect := fs.String("protect", "none", protectHelp("protection to apply"))
 	q := fs.String("q", "", "query, e.g. \"SELECT AVG(blood_pressure) WHERE height < 165\"")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
 	var d *dataset.Dataset

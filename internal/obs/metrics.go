@@ -55,6 +55,14 @@ type Histogram struct {
 // request latencies (seconds).
 var DefaultLatencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
+// DefaultKernelBuckets resolves microsecond-scale compute kernels (the PIR
+// answer path, the linkage scans): a word-parallel answer over a small
+// database completes in tens of microseconds, far below the first HTTP
+// bucket, so kernel histograms need their own finer lower edges (seconds).
+var DefaultKernelBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1,
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)

@@ -114,3 +114,25 @@ func TestMetricsHandler(t *testing.T) {
 		t.Errorf("POST status = %d, want 405", resp2.StatusCode)
 	}
 }
+
+func TestDefaultKernelBucketsWellFormed(t *testing.T) {
+	if len(DefaultKernelBuckets) == 0 {
+		t.Fatal("no kernel buckets")
+	}
+	prev := 0.0
+	for i, b := range DefaultKernelBuckets {
+		if b <= prev {
+			t.Fatalf("bucket %d = %g not strictly increasing after %g", i, b, prev)
+		}
+		prev = b
+	}
+	if DefaultKernelBuckets[0] >= DefaultLatencyBuckets[0] {
+		t.Error("kernel buckets do not extend below the HTTP latency buckets")
+	}
+	// A microsecond-scale kernel sample must not land in the catch-all.
+	h := newHistogram(DefaultKernelBuckets)
+	h.Observe(5e-6)
+	if h.counts[len(h.bounds)].Load() != 0 {
+		t.Error("5µs sample fell through to the +Inf bucket")
+	}
+}

@@ -1,0 +1,71 @@
+package par
+
+import (
+	"sync"
+)
+
+// Ring is a bounded, concurrency-safe ring buffer that retains the newest
+// capacity items. It backs the PIR servers' query logs: a long-running
+// replica must record its view of user activity (the user-privacy evaluator
+// reads it) without letting an unbounded append grow until the process
+// OOMs. When the buffer is full the oldest entry is overwritten and the
+// drop counter advances, so observability can report exactly how much of
+// the view was shed.
+type Ring[T any] struct {
+	mu      sync.Mutex
+	buf     []T
+	start   int   // index of the oldest retained entry
+	n       int   // retained entries, ≤ cap(buf)
+	dropped int64 // entries overwritten since creation
+}
+
+// NewRing returns a ring retaining at most capacity entries; capacity ≤ 0
+// is normalised to 1 so Append is always safe.
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Append records v, overwriting the oldest entry when full.
+func (r *Ring[T]) Append(v T) {
+	r.mu.Lock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = v
+		r.n++
+	} else {
+		r.buf[r.start] = v
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained entries, oldest first.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many entries have been overwritten.
+func (r *Ring[T]) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Cap returns the retention capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }

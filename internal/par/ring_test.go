@@ -1,0 +1,80 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingRetainsNewestWindow(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", r.Cap())
+	}
+	for i := 1; i <= 5; i++ {
+		r.Append(i)
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Errorf("Snapshot = %v, want [3 4 5]", got)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestRingUnderCapacity(t *testing.T) {
+	r := NewRing[string](8)
+	r.Append("a")
+	r.Append("b")
+	got := r.Snapshot()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Snapshot = %v, want [a b]", got)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRingDegenerateCapacity(t *testing.T) {
+	r := NewRing[int](0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1 (normalised)", r.Cap())
+	}
+	r.Append(1)
+	r.Append(2)
+	if got := r.Snapshot(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Snapshot = %v, want [2]", got)
+	}
+}
+
+// TestRingConcurrentAppend pins the accounting invariant under -race:
+// retained + dropped equals the total number of appends.
+func TestRingConcurrentAppend(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	r := NewRing[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Append(g*perG + i)
+				_ = r.Snapshot()
+				_ = r.Dropped()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := int64(r.Len()) + r.Dropped(); got != goroutines*perG {
+		t.Errorf("retained+dropped = %d, want %d", got, goroutines*perG)
+	}
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want full ring (64)", r.Len())
+	}
+}

@@ -4,7 +4,8 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
-	"sync"
+
+	"privacy3d/internal/par"
 )
 
 // Single-server computational PIR following Kushilevitz & Ostrovsky (1997):
@@ -20,9 +21,9 @@ import (
 type CPIRServer struct {
 	rows, cols int
 	bits       [][]bool
-	mu         sync.Mutex
-	// queryLog records the column-vector queries received.
-	queryLog [][]*big.Int
+	// queryLog records the column-vector queries received, bounded to the
+	// newest DefaultQueryLogCap entries.
+	queryLog *par.Ring[[]*big.Int]
 }
 
 // NewCPIRServer builds a server over data laid out row-major as bits. The
@@ -45,22 +46,24 @@ func NewCPIRServer(bits []bool) (*CPIRServer, error) {
 			}
 		}
 	}
-	return &CPIRServer{rows: rows, cols: cols, bits: m}, nil
+	return &CPIRServer{rows: rows, cols: cols, bits: m,
+		queryLog: par.NewRing[[]*big.Int](DefaultQueryLogCap)}, nil
 }
 
 // Shape returns the matrix dimensions.
 func (s *CPIRServer) Shape() (rows, cols int) { return s.rows, s.cols }
 
-// Answer computes the per-row products for a column query modulo n.
+// Answer computes the per-row products for a column query modulo n. Rows
+// are independent modular products, so they fan out over the internal/par
+// pool one task per row; each out[r] is written by exactly one worker,
+// making the result trivially identical at any worker count.
 func (s *CPIRServer) Answer(query []*big.Int, n *big.Int) ([]*big.Int, error) {
 	if len(query) != s.cols {
 		return nil, fmt.Errorf("pir: query has %d columns, want %d", len(query), s.cols)
 	}
-	s.mu.Lock()
-	s.queryLog = append(s.queryLog, append([]*big.Int(nil), query...))
-	s.mu.Unlock()
+	s.queryLog.Append(append([]*big.Int(nil), query...))
 	out := make([]*big.Int, s.rows)
-	for r := 0; r < s.rows; r++ {
+	par.Tasks(s.rows, func(r int) {
 		z := big.NewInt(1)
 		for c := 0; c < s.cols; c++ {
 			if s.bits[r][c] {
@@ -69,15 +72,18 @@ func (s *CPIRServer) Answer(query []*big.Int, n *big.Int) ([]*big.Int, error) {
 			}
 		}
 		out[r] = z
-	}
+	})
 	return out, nil
 }
 
-// QueryLog returns a copy of the queries the server has seen.
+// QueryLog returns a copy of the retained queries the server has seen.
 func (s *CPIRServer) QueryLog() [][]*big.Int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([][]*big.Int(nil), s.queryLog...)
+	return s.queryLog.Snapshot()
+}
+
+// QueryLogStats reports the bounded log's retained, dropped and cap counts.
+func (s *CPIRServer) QueryLogStats() (retained int, dropped int64, capacity int) {
+	return s.queryLog.Len(), s.queryLog.Dropped(), s.queryLog.Cap()
 }
 
 // CPIRClient holds the trapdoor (factorization of N).

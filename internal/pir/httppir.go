@@ -7,6 +7,8 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"sync"
+	"sync/atomic"
 )
 
 // newSubsetRNG derives a per-retrieval PRNG so repeated retrievals use
@@ -103,13 +105,16 @@ func (h *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // HTTPClient retrieves blocks privately from replicated HTTP PIR servers.
+// It is safe for concurrent use; each Retrieve queries all replicas
+// concurrently, so the round trip costs one slowest-replica latency
+// instead of the sum over replicas.
 type HTTPClient struct {
 	urls      []string
 	client    *http.Client
 	blocks    int
 	blockSize int
 	seed      uint64
-	retrieves uint64
+	retrieves atomic.Uint64
 }
 
 // NewHTTPClient connects to k ≥ 2 server base URLs and fetches the database
@@ -152,59 +157,62 @@ func NewHTTPClient(urls []string, client *http.Client, seed uint64) (*HTTPClient
 func (c *HTTPClient) Blocks() int { return c.blocks }
 
 // Retrieve privately fetches a block over HTTP, mirroring ITClient.Retrieve.
+// All replicas are queried concurrently; answers are XOR-folded in server
+// order once every response has arrived.
 func (c *HTTPClient) Retrieve(index int) ([]byte, error) {
 	if index < 0 || index >= c.blocks {
 		return nil, fmt.Errorf("pir: index %d out of range [0,%d)", index, c.blocks)
 	}
-	c.retrieves++
-	rng := newSubsetRNG(c.seed, c.retrieves)
-	vecLen := (c.blocks + 7) / 8
+	rng := newSubsetRNG(c.seed, c.retrieves.Add(1))
 	k := len(c.urls)
-	subsets := make([][]byte, k)
-	last := make([]byte, vecLen)
-	for s := 0; s < k-1; s++ {
-		v := make([]byte, vecLen)
-		for j := range v {
-			v[j] = byte(rng.Uint64())
-		}
-		if c.blocks%8 != 0 {
-			v[vecLen-1] &= byte(1<<(c.blocks%8)) - 1
-		}
-		subsets[s] = v
-		for j := range last {
-			last[j] ^= v[j]
-		}
-	}
-	last[index>>3] ^= 1 << (index & 7)
-	subsets[k-1] = last
+	subsets := subsetQueries(k, c.blocks, index, func() byte { return byte(rng.Uint64()) })
 
+	answers := make([][]byte, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for s := range c.urls {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			answers[s], errs[s] = c.query(s, subsets[s])
+		}(s)
+	}
+	wg.Wait()
 	out := make([]byte, c.blockSize)
-	for s, u := range c.urls {
-		body, err := json.Marshal(pirRequest{Subset: subsets[s]})
-		if err != nil {
-			return nil, err
-		}
-		resp, err := c.client.Post(u+"/pir", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, fmt.Errorf("pir: query server %d: %w", s, err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
-			return nil, fmt.Errorf("pir: server %d returned %s: %s", s, resp.Status, msg)
-		}
-		var pr pirResponse
-		err = json.NewDecoder(resp.Body).Decode(&pr)
-		resp.Body.Close()
-		if err != nil {
-			return nil, fmt.Errorf("pir: decode answer from server %d: %w", s, err)
-		}
-		if len(pr.Block) != c.blockSize {
-			return nil, fmt.Errorf("pir: server %d answered %d bytes, want %d", s, len(pr.Block), c.blockSize)
+	for s := range c.urls {
+		if errs[s] != nil {
+			return nil, errs[s]
 		}
 		for j := range out {
-			out[j] ^= pr.Block[j]
+			out[j] ^= answers[s][j]
 		}
 	}
 	return out, nil
+}
+
+// query POSTs one subset vector to replica s and returns its answer block.
+func (c *HTTPClient) query(s int, subset []byte) ([]byte, error) {
+	body, err := json.Marshal(pirRequest{Subset: subset})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Post(c.urls[s]+"/pir", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("pir: query server %d: %w", s, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("pir: server %d returned %s: %s", s, resp.Status, msg)
+	}
+	var pr pirResponse
+	err = json.NewDecoder(resp.Body).Decode(&pr)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("pir: decode answer from server %d: %w", s, err)
+	}
+	if len(pr.Block) != c.blockSize {
+		return nil, fmt.Errorf("pir: server %d answered %d bytes, want %d", s, len(pr.Block), c.blockSize)
+	}
+	return pr.Block, nil
 }

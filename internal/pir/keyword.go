@@ -82,6 +82,51 @@ func (db *KeywordDB) Lookup(key string, seed uint64) (value []byte, ok bool, err
 	if err != nil {
 		return nil, false, err
 	}
+	return decodeValueBlock(block)
+}
+
+// LookupMany privately retrieves several keys in one batched round: keys
+// missing from the directory are resolved locally (no query sent), and the
+// present ones go through ITClient.RetrieveBatch so their retrievals run
+// concurrently on the worker pool. found[i] reports whether keys[i] was in
+// the directory.
+func (db *KeywordDB) LookupMany(keys []string, seed uint64) (values [][]byte, found []bool, err error) {
+	values = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	var indices []int
+	var at []int // position in keys of each batched index
+	for i, key := range keys {
+		j := sort.SearchStrings(db.keys, key)
+		if j >= len(db.keys) || db.keys[j] != key {
+			continue
+		}
+		found[i] = true
+		indices = append(indices, j)
+		at = append(at, i)
+	}
+	if len(indices) == 0 {
+		return values, found, nil
+	}
+	client, err := NewITClient(db.servers, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	blocks, err := client.RetrieveBatch(indices)
+	if err != nil {
+		return nil, nil, err
+	}
+	for b, block := range blocks {
+		v, _, err := decodeValueBlock(block)
+		if err != nil {
+			return nil, nil, err
+		}
+		values[at[b]] = v
+	}
+	return values, found, nil
+}
+
+// decodeValueBlock strips the 2-byte length prefix off a retrieved block.
+func decodeValueBlock(block []byte) ([]byte, bool, error) {
 	n := int(block[0]) | int(block[1])<<8
 	if n > len(block)-2 {
 		return nil, false, fmt.Errorf("pir: corrupt block length %d", n)

@@ -139,17 +139,25 @@ func (db *StatDB) RangeStats(xLo, xHi, yLo, yHi float64, seed uint64) (StatResul
 	if err != nil {
 		return res, err
 	}
+	// Batch every covered cell through one concurrent retrieval instead of
+	// paying k×cells sequential answer latencies; the fold below runs in
+	// cell order, so Count and Sum are bit-identical to the sequential
+	// loop at any worker count.
 	ny := len(db.yEdges) - 1
+	indices := make([]int, 0, (x1-x0)*(y1-y0))
 	for xi := x0; xi < x1; xi++ {
 		for yi := y0; yi < y1; yi++ {
-			block, err := client.Retrieve(xi*ny + yi)
-			if err != nil {
-				return res, err
-			}
-			res.CellsRetrieved++
-			res.Count += float64(binary.LittleEndian.Uint32(block))
-			res.Sum += math.Float64frombits(binary.LittleEndian.Uint64(block[4:]))
+			indices = append(indices, xi*ny+yi)
 		}
+	}
+	blocks, err := client.RetrieveBatch(indices)
+	if err != nil {
+		return res, err
+	}
+	for _, block := range blocks {
+		res.CellsRetrieved++
+		res.Count += float64(binary.LittleEndian.Uint32(block))
+		res.Sum += math.Float64frombits(binary.LittleEndian.Uint64(block[4:]))
 	}
 	return res, nil
 }
