@@ -1,19 +1,27 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchall repro examples clean
+.PHONY: all build vet lint test race check bench benchall repro examples clean
 
 all: build vet test
 
-# check is the pre-merge gate: vet, build, the full test suite under the
-# race detector — the parallel analytics engine (internal/par and every
-# kernel on it) and the concurrent HTTP serving layer rely on -race to
-# enforce their data-race guarantees on every change — and one short-mode
-# pass over the benchmarks (-benchtime 1x) so benchmark code cannot bit-rot.
-check:
-	$(GO) vet ./...
+# check is the pre-merge gate: vet + the generated-docs lint, build, the
+# full test suite under the race detector — the parallel analytics engine
+# (internal/par and every kernel on it) and the concurrent HTTP serving
+# layer rely on -race to enforce their data-race guarantees on every change
+# — and one short-mode pass over the benchmarks (-benchtime 1x) so
+# benchmark code cannot bit-rot.
+check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# lint runs go vet plus the generated-documentation consistency tests: the
+# CLI help, the `schema -methods` table and the README/EXPERIMENTS method
+# sections must all match the sdc registry (testdata/methods.golden pins
+# the rendered table; regenerate with `go test ./cmd/privacy3d -update`).
+lint:
+	$(GO) vet ./...
+	$(GO) test ./cmd/privacy3d -run 'TestMethodTableGolden|TestHelpListsEveryMethod|TestProtectionHelpMatchesParser'
 
 build:
 	$(GO) build ./...

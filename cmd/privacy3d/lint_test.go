@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privacy3d/internal/sdc"
+	"privacy3d/internal/sdcquery"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestMethodTableGolden pins the generated registry table: `privacy3d schema
+// -methods`, the README/EXPERIMENTS "Protection methods" sections and this
+// golden file are all the same sdc.MarkdownTable() output. Registering,
+// renaming or re-documenting a method fails this test until the golden (and
+// therefore the docs) are regenerated with -update.
+func TestMethodTableGolden(t *testing.T) {
+	got := sdc.MarkdownTable()
+	path := filepath.Join("testdata", "methods.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("registry table drifted from %s; run `go test ./cmd/privacy3d -run TestMethodTableGolden -update` and refresh the README/EXPERIMENTS sections\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestHelpListsEveryMethod asserts the CLI help is generated from the
+// registries: the mask -method help and the top-level usage name every sdc
+// method, and the -protect help names every query protection.
+func TestHelpListsEveryMethod(t *testing.T) {
+	maskHelp := "protection method: " + strings.Join(sdc.Names(), ", ")
+	for _, name := range sdc.Names() {
+		if !strings.Contains(maskHelp, name) {
+			t.Errorf("mask -method help missing %q", name)
+		}
+	}
+	help := protectHelp("protection to serve under")
+	for _, name := range sdcquery.ProtectionNames() {
+		if !strings.Contains(help, name) {
+			t.Errorf("-protect help missing %q", name)
+		}
+	}
+	// Every documented method must actually resolve, and vice versa every
+	// registered method must carry a non-empty schema for the table.
+	for _, m := range sdc.List() {
+		s := m.Params()
+		if s.Doc == "" || s.Class == "" || s.DefaultTarget == "" {
+			t.Errorf("method %s: incomplete schema %+v", s.Name, s)
+		}
+		if _, err := sdc.Lookup(s.Name); err != nil {
+			t.Errorf("listed method %s does not resolve: %v", s.Name, err)
+		}
+	}
+}

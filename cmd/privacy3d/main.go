@@ -13,20 +13,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	"privacy3d/internal/anonymity"
 	"privacy3d/internal/core"
 	"privacy3d/internal/dataset"
-	"privacy3d/internal/generalize"
-	"privacy3d/internal/microagg"
-	"privacy3d/internal/noise"
 	"privacy3d/internal/par"
 	"privacy3d/internal/risk"
-	"privacy3d/internal/swap"
+	"privacy3d/internal/sdc"
 )
 
 // workersFlag registers the shared -workers flag: the size of the
@@ -53,14 +55,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// One signal-bound context for the batch subcommands: ^C cancels an
+	// in-flight masking or evaluation at its next chunk boundary instead of
+	// killing the process mid-write. The serving subcommands install their
+	// own graceful-drain signal handling via obs.Run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "mask":
-		err = cmdMask(os.Args[2:])
+		err = cmdMask(ctx, os.Args[2:])
 	case "evaluate":
-		err = cmdEvaluate(os.Args[2:])
+		err = cmdEvaluate(ctx, os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "attack":
@@ -68,9 +76,11 @@ func main() {
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "pipeline":
-		err = cmdPipeline(os.Args[2:])
+		err = cmdPipeline(ctx, os.Args[2:])
 	case "synth":
 		err = cmdSynth(os.Args[2:])
+	case "schema":
+		err = cmdSchema(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -81,17 +91,21 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: privacy3d <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: privacy3d <command> [flags]
 
 commands:
   analyze   report k-anonymity, p-sensitivity, l-diversity, t-closeness of a CSV
-  mask      mask a CSV (methods: mdav, mondrian, noise, corrnoise, swap, condense)
+  mask      mask a CSV with a registered protection method
   evaluate  score technology classes on the three privacy dimensions
   serve     run an interactive statistical database over HTTP
   attack    run the tracker attack against a protected server
   query     evaluate one statistical query against a CSV under a protection
   pipeline  evaluate a masking pipeline on the three privacy dimensions
-  synth     generate a synthetic microdata CSV of a chosen size`)
+  synth     generate a synthetic microdata CSV of a chosen size
+  schema    print the protection-method registry (schema -methods)
+
+mask methods: %s
+`, strings.Join(sdc.Names(), ", "))
 }
 
 func loadCSV(path, schema string) (*dataset.Dataset, error) {
@@ -127,15 +141,40 @@ func cmdAnalyze(args []string) error {
 	return nil
 }
 
-func cmdMask(args []string) error {
+// parseSetFlag parses a -set value of the form "name=value[,name=value...]"
+// into sdc parameter values. Name validation is left to the registry, which
+// knows each method's schema and lists the accepted names in its error.
+func parseSetFlag(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	vals := map[string]float64{}
+	for _, kv := range strings.Split(s, ",") {
+		name, raw, ok := strings.Cut(kv, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-set: want name=value, got %q", kv)
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-set %s: %v", name, err)
+		}
+		vals[name] = v
+	}
+	return vals, nil
+}
+
+func cmdMask(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("mask", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV file")
 	out := fs.String("out", "", "output CSV file (default stdout)")
 	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
-	method := fs.String("method", "mdav", "mdav, mondrian, noise, corrnoise, swap or condense")
-	k := fs.Int("k", 3, "group size for mdav/mondrian/condense")
+	method := fs.String("method", "mdav", "protection method: "+strings.Join(sdc.Names(), ", "))
+	protect := fs.String("protect", "", "alias for -method")
+	k := fs.Int("k", 3, "group size for grouping methods")
 	amplitude := fs.Float64("amplitude", 0.35, "relative noise amplitude for noise/corrnoise")
 	window := fs.Float64("p", 5, "rank-swap window in percent")
+	set := fs.String("set", "", "extra method parameters as name=value[,name=value...]")
+	target := fs.String("target", "", "columns to mask: qi, confidential, numeric or categorical (default: the method's)")
 	seed := fs.Uint64("seed", 1, "PRNG seed")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -144,40 +183,59 @@ func cmdMask(args []string) error {
 	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	name := *method
+	if explicit["protect"] {
+		if explicit["method"] && *method != *protect {
+			return fmt.Errorf("-method %q and -protect %q disagree; set one", *method, *protect)
+		}
+		name = *protect
+	}
+	m, err := sdc.Lookup(name)
+	if err != nil {
+		return err
+	}
+	ms := m.Params()
+	vals, err := parseSetFlag(*set)
+	if err != nil {
+		return err
+	}
+	// The typed legacy flags feed the parameters they historically set, but
+	// only when given explicitly and declared by the method — so `-k 5` still
+	// tunes mdav, while an irrelevant leftover `-amplitude` is ignored just
+	// as the pre-registry switch ignored it.
+	legacy := map[string]float64{"k": float64(*k), "amplitude": *amplitude, "p": *window}
+	for flagName, paramName := range map[string]string{"k": "k", "amplitude": "amp", "p": "p"} {
+		if !explicit[flagName] {
+			continue
+		}
+		for _, spec := range ms.Params {
+			if spec.Name == paramName {
+				if vals == nil {
+					vals = map[string]float64{}
+				}
+				if _, dup := vals[paramName]; !dup {
+					vals[paramName] = legacy[flagName]
+				}
+			}
+		}
+	}
 	d, err := loadCSV(*in, *schema)
 	if err != nil {
 		return err
 	}
-	qi := d.QuasiIdentifiers()
-	rng := dataset.NewRand(*seed)
-	var masked *dataset.Dataset
-	switch *method {
-	case "mdav":
-		var res microagg.Result
-		masked, res, err = microagg.Mask(d, microagg.NewOptions(*k))
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "information loss (SSE/SST): %.4f\n", res.IL())
-		}
-	case "mondrian":
-		masked, _, err = generalize.MondrianMask(d, qi, *k)
-	case "noise":
-		masked, err = noise.AddUncorrelated(d, qi, *amplitude, rng)
-	case "corrnoise":
-		masked, err = noise.AddCorrelated(d, qi, *amplitude, rng)
-	case "swap":
-		masked, err = swap.RankSwap(d, qi, *window, rng)
-	case "condense":
-		masked, err = microagg.Condense(d, qi, *k, rng)
-	default:
-		return fmt.Errorf("unknown method %q", *method)
-	}
+	masked, rep, err := sdc.ApplySeed(ctx, name, d, sdc.Params{Target: *target, Values: vals}, *seed)
 	if err != nil {
 		return err
 	}
-	// Full risk/utility assessment on numeric quasi-identifiers (Mondrian
-	// recodes to intervals, so skip there).
-	if *method != "mondrian" {
-		a, err := risk.Assess(d, masked, qi, risk.AssessConfig{SkipProbabilistic: d.Rows() > 2000})
+	if rep.InfoLossValid {
+		fmt.Fprintf(os.Stderr, "information loss (SSE/SST): %.4f\n", rep.InfoLoss)
+	}
+	// Full risk/utility assessment on the numeric quasi-identifiers.
+	// Recoding methods replace values with intervals, so skip there.
+	if !ms.Recodes {
+		a, err := risk.Assess(d, masked, d.QuasiIdentifiers(), risk.AssessConfig{SkipProbabilistic: d.Rows() > 2000})
 		if err == nil {
 			fmt.Fprintln(os.Stderr, a)
 		}
@@ -195,7 +253,7 @@ func cmdMask(args []string) error {
 	return masked.WriteCSV(w)
 }
 
-func cmdEvaluate(args []string) error {
+func cmdEvaluate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
 	class := fs.String("class", "", "evaluate a single class by name (default: all)")
 	n := fs.Int("n", 0, "population size override")
@@ -228,7 +286,7 @@ func cmdEvaluate(args []string) error {
 	}
 	paper := core.PaperTable2()
 	for _, c := range classes {
-		m, err := ev.Evaluate(c)
+		m, err := ev.EvaluateCtx(ctx, c)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strconv"
@@ -13,10 +14,13 @@ import (
 //
 //	privacy3d pipeline -stages "mdav:qi:k=3,noise:confidential:amp=0.35" -pir
 //
-// Stage syntax: method:target[:param=value]... where method is mdav,
-// condense, noise, corrnoise or swap; target is qi, confidential or
-// numeric; params are k=<int>, amp=<float>, window=<float>.
-func cmdPipeline(args []string) error {
+// Stage syntax: method:target[:param=value]... where method is any name of
+// the sdc registry (see `privacy3d schema -methods`); target is qi,
+// confidential, numeric or categorical. k=<int>, amp=<float> and
+// window=<float> fill the classic typed stage fields; every other
+// param=value pair is handed to the method by name (e.g. gamma=0.3 for
+// vmdav), so new registry methods need no parser changes.
+func cmdPipeline(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
 	stages := fs.String("stages", "mdav:qi:k=3,noise:confidential:amp=0.35", "stage list")
 	pir := fs.Bool("pir", true, "serve the release through PIR (user privacy)")
@@ -41,7 +45,7 @@ func cmdPipeline(args []string) error {
 		return err
 	}
 	p := core.Pipeline{Name: *stages, Stages: parsed, ServeViaPIR: *pir}
-	rep, err := ev.EvaluatePipeline(p, grade)
+	rep, err := ev.EvaluatePipelineCtx(ctx, p, grade)
 	if err != nil {
 		return err
 	}
@@ -87,7 +91,14 @@ func parseStages(spec string) ([]core.Stage, error) {
 				}
 				st.Window = w
 			default:
-				return nil, fmt.Errorf("stage %q: unknown parameter %q", field, name)
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("stage %q: %s: %w", field, name, err)
+				}
+				if st.Extra == nil {
+					st.Extra = map[string]float64{}
+				}
+				st.Extra[name] = v
 			}
 		}
 		out = append(out, st)

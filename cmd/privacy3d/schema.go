@@ -1,11 +1,54 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/sdc"
 )
+
+// cmdSchema prints the protection-method registry. The -methods table is the
+// canonical, generated view of every registered sdc method — README's
+// "Protection methods" section and EXPERIMENTS.md reproduce its output, and
+// the lint golden test pins it, so documentation cannot drift from code.
+func cmdSchema(args []string) error {
+	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	methods := fs.Bool("methods", false, "print the protection-method registry as a Markdown table")
+	asJSON := fs.Bool("json", false, "print the registry as JSON instead of Markdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *asJSON:
+		methods := sdc.List()
+		schemas := make([]sdc.Schema, len(methods))
+		for i, m := range methods {
+			schemas[i] = m.Params()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(schemas)
+	case *methods:
+		fmt.Print(sdc.MarkdownTable())
+		return nil
+	default:
+		fmt.Printf(`CSV schema syntax (the -schema flag of analyze/mask/serve/attack/query):
+
+  name:role:kind[,name:role:kind...]
+
+  roles: id (identifier), qi (quasi-identifier), conf (confidential), other
+  kinds: num (numeric), cat (nominal), ord (ordinal)
+
+Protection methods: %s
+Run "privacy3d schema -methods" for the full registry table.
+`, strings.Join(sdc.Names(), ", "))
+		return nil
+	}
+}
 
 // parseSchema parses the CLI schema syntax: a comma-separated list of
 // name:role:kind triples, e.g.

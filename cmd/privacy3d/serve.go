@@ -9,32 +9,17 @@ import (
 
 	"privacy3d/internal/dataset"
 	"privacy3d/internal/obs"
+	"privacy3d/internal/sdc"
 	"privacy3d/internal/sdcquery"
 )
 
-// protections is the single source of truth for the -protect flag: the
-// parser, the help text of every subcommand and the error message all
-// derive from it, so they cannot drift apart.
-var protections = []struct {
-	name string
-	p    sdcquery.Protection
-}{
-	{"none", sdcquery.NoProtection},
-	{"size", sdcquery.SizeRestriction},
-	{"auditing", sdcquery.Auditing},
-	{"perturbation", sdcquery.Perturbation},
-	{"camouflage", sdcquery.Camouflage},
-	{"overlap", sdcquery.OverlapRestriction},
-	{"sample", sdcquery.RandomSample},
-}
+// The -protect flag of serve/attack/query names a query-protection strategy
+// of the sdcquery layer; parser, help text and error messages all derive
+// from sdcquery.ProtectionNames, so they cannot drift apart.
 
 // protectionNames lists every accepted -protect value, comma-separated.
 func protectionNames() string {
-	names := make([]string, len(protections))
-	for i, p := range protections {
-		names[i] = p.name
-	}
-	return strings.Join(names, ", ")
+	return strings.Join(sdcquery.ProtectionNames(), ", ")
 }
 
 // protectHelp is the shared -protect usage string.
@@ -43,12 +28,7 @@ func protectHelp(doing string) string {
 }
 
 func parseProtection(name string) (sdcquery.Protection, error) {
-	for _, p := range protections {
-		if p.name == name {
-			return p.p, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown protection %q (want %s)", name, protectionNames())
+	return sdcquery.ParseProtection(name)
 }
 
 // cmdServe exposes a protected statistical database over HTTP: POST /query
@@ -94,14 +74,18 @@ func cmdServe(args []string) error {
 	logger := log.Default()
 	reg := obs.NewRegistry()
 	obs.RegisterParallelism(reg)
+	// Route per-method masking metrics (sdc_apply_total, sdc_apply_seconds)
+	// from the /protect endpoint into this registry.
+	sdc.Instrument(reg)
 	handler := obs.Chain(sdcquery.NewObservedHandler(srv, reg),
 		obs.Logging(logger),
-		obs.Instrument(reg, "/query", "/sql", "/log", "/metrics"),
+		obs.Instrument(reg, "/query", "/sql", "/protect", "/log", "/metrics"),
 		obs.Recover(reg, logger),
 		obs.Timeout(*reqTimeout),
 	)
 	logger.Printf("serving %d records with %s protection on %s", d.Rows(), prot, *addr)
 	logger.Printf("the owner sees every query at GET /log — the no-user-privacy side of Section 3")
+	logger.Printf("masked releases at POST /protect (methods: %s)", strings.Join(sdc.Names(), ", "))
 	logger.Printf("request and denial-rate counters at GET /metrics")
 	return obs.Run(obs.NewServer(*addr, handler), logger, *grace)
 }

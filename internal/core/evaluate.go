@@ -1,15 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"privacy3d/internal/dataset"
-	"privacy3d/internal/microagg"
 	"privacy3d/internal/noise"
 	"privacy3d/internal/par"
 	"privacy3d/internal/pir"
 	"privacy3d/internal/risk"
+	"privacy3d/internal/sdc"
 	"privacy3d/internal/sdcquery"
 	"privacy3d/internal/smc"
 	"privacy3d/internal/stats"
@@ -119,17 +120,24 @@ func (e *Evaluator) Workload() *dataset.Dataset { return e.original }
 
 // Evaluate measures one technology class on the three dimensions.
 func (e *Evaluator) Evaluate(c Class) (Measurement, error) {
+	return e.EvaluateCtx(context.Background(), c)
+}
+
+// EvaluateCtx is Evaluate with cooperative cancellation: the maskings and
+// attack scans stop at the next chunk boundary once ctx is done and the
+// context's error is returned.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, c Class) (Measurement, error) {
 	var s Scores
 	var err error
 	switch c {
 	case SDC, SDCPlusPIR:
-		s, err = e.scoreRelease(e.maskSDC)
+		s, err = e.scoreRelease(ctx, e.maskSDC)
 	case UseSpecificPPDM, UseSpecificPPDMPlusPIR:
-		s, err = e.scoreRelease(e.maskNoise)
+		s, err = e.scoreRelease(ctx, e.maskNoise)
 	case GenericPPDM, GenericPPDMPlusPIR:
-		s, err = e.scoreRelease(e.maskCondense)
+		s, err = e.scoreRelease(ctx, e.maskCondense)
 	case PIR:
-		s, err = e.scoreRelease(e.maskIdentity)
+		s, err = e.scoreRelease(ctx, e.maskIdentity)
 	case CryptoPPDM:
 		s, err = e.scoreCrypto()
 	default:
@@ -152,12 +160,22 @@ func (e *Evaluator) Evaluate(c Class) (Measurement, error) {
 // each class's measurement is bit-identical to a sequential run and the
 // rows come back in paper order regardless of the worker count.
 func (e *Evaluator) Table2() ([]Measurement, error) {
+	return e.Table2Ctx(context.Background())
+}
+
+// Table2Ctx is Table2 with cooperative cancellation: classes not yet
+// started when ctx is cancelled never run, in-flight attack scans stop at
+// their next chunk boundary, and ctx.Err() is returned with no partial
+// table.
+func (e *Evaluator) Table2Ctx(ctx context.Context) ([]Measurement, error) {
 	classes := Classes()
 	out := make([]Measurement, len(classes))
 	errs := make([]error, len(classes))
-	par.Tasks(len(classes), func(i int) {
-		out[i], errs[i] = e.Evaluate(classes[i])
-	})
+	if err := par.TasksCtx(ctx, len(classes), func(i int) {
+		out[i], errs[i] = e.EvaluateCtx(ctx, classes[i])
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -168,8 +186,12 @@ func (e *Evaluator) Table2() ([]Measurement, error) {
 
 // --- releases ---------------------------------------------------------
 
-func (e *Evaluator) maskSDC() (*dataset.Dataset, error) {
-	m, _, err := microagg.Mask(e.original, microagg.NewOptions(e.cfg.SDCK))
+// maskSDC releases the workload through the registry's MDAV method — the
+// byte-identical successor of the old direct microagg.Mask call.
+func (e *Evaluator) maskSDC(ctx context.Context) (*dataset.Dataset, error) {
+	m, _, err := sdc.Apply(ctx, "mdav", e.original, sdc.Params{
+		Target: "qi", Values: map[string]float64{"k": float64(e.cfg.SDCK)},
+	}, nil)
 	return m, err
 }
 
@@ -186,17 +208,23 @@ func (e *Evaluator) numericCols() []int {
 	return cols
 }
 
-func (e *Evaluator) maskNoise() (*dataset.Dataset, error) {
+func (e *Evaluator) maskNoise(ctx context.Context) (*dataset.Dataset, error) {
 	rng := dataset.NewRand(e.cfg.Seed ^ 0xa11ce)
-	return noise.AddUncorrelated(e.original, e.numericCols(), e.cfg.NoiseAmplitude, rng)
+	m, _, err := sdc.Apply(ctx, "noise", e.original, sdc.Params{
+		Target: "numeric", Values: map[string]float64{"amp": e.cfg.NoiseAmplitude},
+	}, rng)
+	return m, err
 }
 
-func (e *Evaluator) maskCondense() (*dataset.Dataset, error) {
+func (e *Evaluator) maskCondense(ctx context.Context) (*dataset.Dataset, error) {
 	rng := dataset.NewRand(e.cfg.Seed ^ 0xb0b)
-	return microagg.Condense(e.original, e.numericCols(), e.cfg.CondenseK, rng)
+	m, _, err := sdc.Apply(ctx, "condense", e.original, sdc.Params{
+		Target: "numeric", Values: map[string]float64{"k": float64(e.cfg.CondenseK)},
+	}, rng)
+	return m, err
 }
 
-func (e *Evaluator) maskIdentity() (*dataset.Dataset, error) {
+func (e *Evaluator) maskIdentity(ctx context.Context) (*dataset.Dataset, error) {
 	return e.original.Clone(), nil
 }
 
@@ -213,13 +241,13 @@ func (e *Evaluator) maskIdentity() (*dataset.Dataset, error) {
 // attributes: the fraction of the owner's cell values an adversary recovers
 // from the release within 1 % (tight) and 25 % (loose) of a standard
 // deviation.
-func (e *Evaluator) scoreRelease(mask func() (*dataset.Dataset, error)) (Scores, error) {
+func (e *Evaluator) scoreRelease(ctx context.Context, mask func(context.Context) (*dataset.Dataset, error)) (Scores, error) {
 	var s Scores
-	released, err := mask()
+	released, err := mask(ctx)
 	if err != nil {
 		return s, err
 	}
-	link, err := risk.DistanceLinkage(e.original, released, e.qi)
+	link, err := risk.DistanceLinkageCtx(ctx, e.original, released, e.qi)
 	if err != nil {
 		return s, err
 	}
@@ -235,11 +263,11 @@ func (e *Evaluator) scoreRelease(mask func() (*dataset.Dataset, error)) (Scores,
 	s.Respondent = clamp01(1 - reid)
 
 	numeric := e.numericCols()
-	tight, err := risk.IntervalDisclosure(e.original, released, numeric, 1)
+	tight, err := risk.IntervalDisclosureCtx(ctx, e.original, released, numeric, 1)
 	if err != nil {
 		return s, err
 	}
-	loose, err := risk.IntervalDisclosure(e.original, released, numeric, 25)
+	loose, err := risk.IntervalDisclosureCtx(ctx, e.original, released, numeric, 25)
 	if err != nil {
 		return s, err
 	}

@@ -1,13 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"privacy3d/internal/dataset"
-	"privacy3d/internal/microagg"
-	"privacy3d/internal/noise"
 	"privacy3d/internal/risk"
-	"privacy3d/internal/swap"
+	"privacy3d/internal/sdc"
 )
 
 // Pipeline composes masking stages and an access mode into a candidate
@@ -27,19 +26,23 @@ type Pipeline struct {
 
 // Stage is one masking step of a pipeline.
 type Stage struct {
-	// Method is one of "mdav", "condense", "noise", "corrnoise", "swap".
+	// Method names any method of the internal/sdc registry ("mdav",
+	// "condense", "noise", "corrnoise", "swap", "pram", ...; see sdc.Names).
 	Method string
 	// Target selects the columns to mask: "qi" (default), "confidential"
-	// (numeric confidential attributes) or "numeric" (all numeric
-	// columns). Columns overrides Target when non-nil.
+	// (numeric confidential attributes), "numeric" (all numeric columns) or
+	// "categorical". Columns overrides Target when non-nil.
 	Target  string
 	Columns []int
-	// K is the group size for mdav/condense.
+	// K is the group size for grouping methods (the registry's "k" param).
 	K int
-	// Amplitude is the relative noise level for noise/corrnoise.
+	// Amplitude is the relative noise level for noise/corrnoise ("amp").
 	Amplitude float64
-	// Window is the rank-swap window percentage.
+	// Window is the rank-swap window percentage ("p").
 	Window float64
+	// Extra carries additional registry parameters by name (e.g. "gamma"
+	// for vmdav, "change" for pram); entries override the legacy fields.
+	Extra map[string]float64
 }
 
 // columnsFor resolves the stage's target columns on d.
@@ -71,31 +74,41 @@ func (st Stage) columnsFor(d *dataset.Dataset) ([]int, error) {
 	}
 }
 
+// params assembles the stage's sdc parameter values: the legacy typed
+// fields fill the parameters the method's schema declares (K → "k",
+// Amplitude → "amp", Window → "p" — always, so a zero K still fails
+// validation exactly like the pre-registry switch did), then Extra entries
+// override by name.
+func (st Stage) params(schema sdc.Schema) sdc.Params {
+	vals := map[string]float64{}
+	legacy := map[string]float64{"k": float64(st.K), "amp": st.Amplitude, "p": st.Window}
+	for _, spec := range schema.Params {
+		if v, ok := legacy[spec.Name]; ok {
+			vals[spec.Name] = v
+		}
+	}
+	for name, v := range st.Extra {
+		vals[name] = v
+	}
+	return sdc.Params{Columns: st.Columns, Target: st.Target, Values: vals}
+}
+
 // Apply runs the stage on d with the given seed.
 func (st Stage) Apply(d *dataset.Dataset, seed uint64) (*dataset.Dataset, error) {
-	cols, err := st.columnsFor(d)
+	return st.ApplyCtx(context.Background(), d, seed)
+}
+
+// ApplyCtx runs the stage through the sdc registry with cooperative
+// cancellation. At a given seed the release is byte-identical to the old
+// hand-written method switch: the registry adapters consume the stage rng
+// in the same order as the direct calls they replaced.
+func (st Stage) ApplyCtx(ctx context.Context, d *dataset.Dataset, seed uint64) (*dataset.Dataset, error) {
+	m, err := sdc.Lookup(st.Method)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: pipeline stage: %w", err)
 	}
-	if len(cols) == 0 {
-		return nil, fmt.Errorf("core: stage %q resolves to no columns", st.Method)
-	}
-	rng := dataset.NewRand(seed)
-	switch st.Method {
-	case "mdav":
-		out, _, err := microagg.Mask(d, microagg.Options{K: st.K, Columns: cols, Standardize: true})
-		return out, err
-	case "condense":
-		return microagg.Condense(d, cols, st.K, rng)
-	case "noise":
-		return noise.AddUncorrelated(d, cols, st.Amplitude, rng)
-	case "corrnoise":
-		return noise.AddCorrelated(d, cols, st.Amplitude, rng)
-	case "swap":
-		return swap.RankSwap(d, cols, st.Window, rng)
-	default:
-		return nil, fmt.Errorf("core: unknown pipeline stage %q", st.Method)
-	}
+	out, _, err := m.Apply(ctx, d, st.params(m.Params()), dataset.NewRand(seed))
+	return out, err
 }
 
 // PipelineReport is the three-dimensional evaluation of a pipeline plus its
@@ -114,17 +127,23 @@ type PipelineReport struct {
 // the three dimensions with the standard attack battery, and checks whether
 // all of them reach the target grade.
 func (e *Evaluator) EvaluatePipeline(p Pipeline, target Grade) (PipelineReport, error) {
+	return e.EvaluatePipelineCtx(context.Background(), p, target)
+}
+
+// EvaluatePipelineCtx is EvaluatePipeline with cooperative cancellation of
+// the stage maskings and the attack battery.
+func (e *Evaluator) EvaluatePipelineCtx(ctx context.Context, p Pipeline, target Grade) (PipelineReport, error) {
 	var rep PipelineReport
 	rep.Name = p.Name
 	released := e.original.Clone()
 	var err error
 	for i, st := range p.Stages {
-		released, err = st.Apply(released, e.cfg.Seed^uint64(i+1)*0x9e37)
+		released, err = st.ApplyCtx(ctx, released, e.cfg.Seed^uint64(i+1)*0x9e37)
 		if err != nil {
 			return rep, fmt.Errorf("core: pipeline %q stage %d: %w", p.Name, i, err)
 		}
 	}
-	s, err := e.scoreRelease(func() (*dataset.Dataset, error) { return released, nil })
+	s, err := e.scoreRelease(ctx, func(context.Context) (*dataset.Dataset, error) { return released, nil })
 	if err != nil {
 		return rep, err
 	}

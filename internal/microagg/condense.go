@@ -1,6 +1,7 @@
 package microagg
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -18,6 +19,12 @@ import (
 // preserved covariance structure keeps the data useful for mining — the
 // owner-privacy/utility combination of Section 2 of the paper.
 func Condense(d *dataset.Dataset, cols []int, k int, rng *rand.Rand) (*dataset.Dataset, error) {
+	return CondenseCtx(context.Background(), d, cols, k, rng)
+}
+
+// CondenseCtx is Condense with cooperative cancellation of the underlying
+// MDAV grouping scans.
+func CondenseCtx(ctx context.Context, d *dataset.Dataset, cols []int, k int, rng *rand.Rand) (*dataset.Dataset, error) {
 	if cols == nil {
 		cols = d.QuasiIdentifiers()
 	}
@@ -26,7 +33,7 @@ func Condense(d *dataset.Dataset, cols []int, k int, rng *rand.Rand) (*dataset.D
 	}
 	raw := d.NumericMatrix(cols)
 	space, _, _ := stats.Standardize(raw)
-	groups, err := MDAVGroups(space, k)
+	groups, err := MDAVGroupsFlatCtx(ctx, stats.FlatFromRows(space), k)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package microagg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,10 +38,17 @@ func MDAVGroups(data [][]float64, k int) ([][]int, error) {
 }
 
 // MDAVGroupsFlat is MDAVGroups over a flat row-major matrix — the native
-// form of the engine. Its centroid, farthest-record and nearest-k scans run
-// chunked on the internal/par pool; chunk partials merge in fixed chunk
-// order, so the partition is identical for every worker count.
+// form of the engine.
 func MDAVGroupsFlat(f *stats.Flat, k int) ([][]int, error) {
+	return MDAVGroupsFlatCtx(context.Background(), f, k)
+}
+
+// MDAVGroupsFlatCtx partitions the rows of a flat row-major matrix with the
+// MDAV heuristic. Its centroid, farthest-record and nearest-k scans run
+// chunked on the internal/par pool; chunk partials merge in fixed chunk
+// order, so the partition is identical for every worker count. Cancelling
+// ctx stops the run at the next chunk boundary and returns ctx.Err().
+func MDAVGroupsFlatCtx(ctx context.Context, f *stats.Flat, k int) ([][]int, error) {
 	if err := validateK(f.Rows(), k); err != nil {
 		return nil, err
 	}
@@ -49,34 +57,70 @@ func MDAVGroupsFlat(f *stats.Flat, k int) ([][]int, error) {
 	for i := range remaining {
 		remaining[i] = i
 	}
-	// One candidate scratch buffer for every takeNearest call in the run.
+	// One candidate scratch buffer for every takeNearest call in the run,
+	// and one membership array for the O(1) was-s-consumed-into-g1 check.
 	scratch := make([]cand, f.Rows())
+	inG1 := make([]bool, f.Rows())
 	var groups [][]int
 	for len(remaining) >= 3*k {
-		centroid := centroidFlat(pool, f, remaining)
+		centroid, err := centroidFlat(ctx, pool, f, remaining)
+		if err != nil {
+			return nil, err
+		}
 		// r: most distant record from the centroid.
-		r := farthestFlat(pool, f, remaining, centroid)
+		r, err := farthestFlat(ctx, pool, f, remaining, centroid)
+		if err != nil {
+			return nil, err
+		}
 		// s: most distant record from r.
-		s := farthestFlat(pool, f, remaining, f.Row(r))
-		g1, rest := takeNearestFlat(pool, f, remaining, f.Row(r), k, r, scratch)
+		s, err := farthestFlat(ctx, pool, f, remaining, f.Row(r))
+		if err != nil {
+			return nil, err
+		}
+		g1, rest, err := takeNearestFlat(ctx, pool, f, remaining, f.Row(r), k, r, scratch)
+		if err != nil {
+			return nil, err
+		}
 		groups = append(groups, g1)
 		// s may have been consumed into g1; if so pick the farthest
-		// remaining record from the old centroid instead.
-		sIdx := s
-		if !contains(rest, sIdx) {
+		// remaining record from the old centroid instead. g1 plus rest
+		// partition remaining, so membership in g1 answers "is s gone".
+		for _, i := range g1 {
+			inG1[i] = true
+		}
+		sIdx, consumed := s, inG1[s]
+		for _, i := range g1 {
+			inG1[i] = false
+		}
+		if consumed {
 			if len(rest) == 0 {
 				break
 			}
-			sIdx = farthestFlat(pool, f, rest, centroid)
+			sIdx, err = farthestFlat(ctx, pool, f, rest, centroid)
+			if err != nil {
+				return nil, err
+			}
 		}
-		g2, rest2 := takeNearestFlat(pool, f, rest, f.Row(sIdx), k, sIdx, scratch)
+		g2, rest2, err := takeNearestFlat(ctx, pool, f, rest, f.Row(sIdx), k, sIdx, scratch)
+		if err != nil {
+			return nil, err
+		}
 		groups = append(groups, g2)
 		remaining = rest2
 	}
 	if len(remaining) >= 2*k {
-		centroid := centroidFlat(pool, f, remaining)
-		r := farthestFlat(pool, f, remaining, centroid)
-		g1, rest := takeNearestFlat(pool, f, remaining, f.Row(r), k, r, scratch)
+		centroid, err := centroidFlat(ctx, pool, f, remaining)
+		if err != nil {
+			return nil, err
+		}
+		r, err := farthestFlat(ctx, pool, f, remaining, centroid)
+		if err != nil {
+			return nil, err
+		}
+		g1, rest, err := takeNearestFlat(ctx, pool, f, remaining, f.Row(r), k, r, scratch)
+		if err != nil {
+			return nil, err
+		}
 		groups = append(groups, g1)
 		remaining = rest
 	}
@@ -88,9 +132,9 @@ func MDAVGroupsFlat(f *stats.Flat, k int) ([][]int, error) {
 
 // centroidFlat averages the given rows. Chunk partial sums fold in chunk
 // order, keeping the result worker-count independent.
-func centroidFlat(pool *par.Pool, f *stats.Flat, rows []int) []float64 {
+func centroidFlat(ctx context.Context, pool *par.Pool, f *stats.Flat, rows []int) ([]float64, error) {
 	p := f.Cols()
-	parts := par.MapChunks(pool, len(rows), func(lo, hi int) []float64 {
+	parts, err := par.MapChunksCtx(ctx, pool, len(rows), func(lo, hi int) []float64 {
 		sum := make([]float64, p)
 		for _, i := range rows[lo:hi] {
 			row := f.Row(i)
@@ -100,6 +144,9 @@ func centroidFlat(pool *par.Pool, f *stats.Flat, rows []int) []float64 {
 		}
 		return sum
 	})
+	if err != nil {
+		return nil, err
+	}
 	c := make([]float64, p)
 	for _, part := range parts {
 		for j, v := range part {
@@ -109,7 +156,7 @@ func centroidFlat(pool *par.Pool, f *stats.Flat, rows []int) []float64 {
 	for j := range c {
 		c[j] /= float64(len(rows))
 	}
-	return c
+	return c, nil
 }
 
 // argMax is one chunk's farthest-record scan result.
@@ -121,8 +168,8 @@ type argMax struct {
 // farthestFlat returns the row index most distant from the query point,
 // first index winning ties — exactly the sequential scan's answer, because
 // chunk partials are compared strictly-greater in chunk order.
-func farthestFlat(pool *par.Pool, f *stats.Flat, rows []int, from []float64) int {
-	parts := par.MapChunks(pool, len(rows), func(lo, hi int) argMax {
+func farthestFlat(ctx context.Context, pool *par.Pool, f *stats.Flat, rows []int, from []float64) (int, error) {
+	parts, err := par.MapChunksCtx(ctx, pool, len(rows), func(lo, hi int) argMax {
 		best := argMax{idx: rows[lo], d: -1}
 		for _, i := range rows[lo:hi] {
 			if d := stats.SquaredDist(f.Row(i), from); d > best.d {
@@ -131,13 +178,16 @@ func farthestFlat(pool *par.Pool, f *stats.Flat, rows []int, from []float64) int
 		}
 		return best
 	})
+	if err != nil {
+		return 0, err
+	}
 	best := argMax{idx: rows[0], d: -1}
 	for _, part := range parts {
 		if part.d > best.d {
 			best = part
 		}
 	}
-	return best.idx
+	return best.idx, nil
 }
 
 type cand struct {
@@ -149,9 +199,9 @@ type cand struct {
 // provided) from rows, returning the group and the remaining rows. The
 // distance fill runs in parallel into the caller's scratch buffer; the sort
 // breaks distance ties by index, so the split is deterministic.
-func takeNearestFlat(pool *par.Pool, f *stats.Flat, rows []int, center []float64, k, anchor int, scratch []cand) (group, rest []int) {
+func takeNearestFlat(ctx context.Context, pool *par.Pool, f *stats.Flat, rows []int, center []float64, k, anchor int, scratch []cand) (group, rest []int, err error) {
 	cands := scratch[:len(rows)]
-	pool.ForEachChunk(len(rows), func(lo, hi int) {
+	if err := pool.ForEachChunkCtx(ctx, len(rows), func(lo, hi int) {
 		for t := lo; t < hi; t++ {
 			i := rows[t]
 			d := stats.SquaredDist(f.Row(i), center)
@@ -160,73 +210,8 @@ func takeNearestFlat(pool *par.Pool, f *stats.Flat, rows []int, center []float64
 			}
 			cands[t] = cand{i, d}
 		}
-	})
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].d != cands[b].d {
-			return cands[a].d < cands[b].d
-		}
-		return cands[a].idx < cands[b].idx
-	})
-	group = make([]int, 0, k)
-	for _, c := range cands[:k] {
-		group = append(group, c.idx)
-	}
-	rest = make([]int, 0, len(rows)-k)
-	for _, c := range cands[k:] {
-		rest = append(rest, c.idx)
-	}
-	sort.Ints(group)
-	sort.Ints(rest)
-	return group, rest
-}
-
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func centroidOf(data [][]float64, rows []int) []float64 {
-	p := len(data[0])
-	c := make([]float64, p)
-	for _, i := range rows {
-		for j, v := range data[i] {
-			c[j] += v
-		}
-	}
-	for j := range c {
-		c[j] /= float64(len(rows))
-	}
-	return c
-}
-
-func farthest(data [][]float64, rows []int, from []float64) int {
-	best, bestD := rows[0], -1.0
-	for _, i := range rows {
-		if d := stats.SquaredDist(data[i], from); d > bestD {
-			best, bestD = i, d
-		}
-	}
-	return best
-}
-
-// takeNearest removes the k records nearest to center (anchor first if
-// provided) from rows, returning the group and the remaining rows.
-func takeNearest(data [][]float64, rows []int, center []float64, k, anchor int) (group, rest []int) {
-	type cand struct {
-		idx int
-		d   float64
-	}
-	cands := make([]cand, 0, len(rows))
-	for _, i := range rows {
-		d := stats.SquaredDist(data[i], center)
-		if i == anchor {
-			d = -1 // anchor always first
-		}
-		cands = append(cands, cand{i, d})
+	}); err != nil {
+		return nil, nil, err
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].d != cands[b].d {
@@ -244,7 +229,7 @@ func takeNearest(data [][]float64, rows []int, center []float64, k, anchor int) 
 	}
 	sort.Ints(group)
 	sort.Ints(rest)
-	return group, rest
+	return group, rest, nil
 }
 
 // Result describes a microaggregation masking run.
@@ -289,6 +274,13 @@ func NewOptions(k int) Options { return Options{K: k, Standardize: true} }
 // clone: every record's values are replaced by its group centroid. Because
 // every group has ≥ k records, the masked columns are k-anonymous.
 func Mask(d *dataset.Dataset, opt Options) (*dataset.Dataset, Result, error) {
+	return MaskCtx(context.Background(), d, opt)
+}
+
+// MaskCtx is Mask with cooperative cancellation: the MDAV grouping scans
+// stop at the next chunk boundary once ctx is done and ctx.Err() is
+// returned.
+func MaskCtx(ctx context.Context, d *dataset.Dataset, opt Options) (*dataset.Dataset, Result, error) {
 	cols := opt.Columns
 	if cols == nil {
 		cols = d.QuasiIdentifiers()
@@ -301,7 +293,7 @@ func Mask(d *dataset.Dataset, opt Options) (*dataset.Dataset, Result, error) {
 	if opt.Standardize {
 		space, _, _ = stats.Standardize(raw)
 	}
-	groups, err := MDAVGroups(space, opt.K)
+	groups, err := MDAVGroupsFlatCtx(ctx, stats.FlatFromRows(space), opt.K)
 	if err != nil {
 		return nil, Result{}, err
 	}

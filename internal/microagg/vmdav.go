@@ -110,6 +110,69 @@ func VMDAVGroups(data [][]float64, k int, gamma float64) ([][]int, error) {
 	return groups, nil
 }
 
+// centroidOf averages the given rows of a [][]float64 matrix — the
+// sequential helper for the small candidate sets V-MDAV and aggregate work
+// over (the parallel flat path uses centroidFlat instead).
+func centroidOf(data [][]float64, rows []int) []float64 {
+	p := len(data[0])
+	c := make([]float64, p)
+	for _, i := range rows {
+		for j, v := range data[i] {
+			c[j] += v
+		}
+	}
+	for j := range c {
+		c[j] /= float64(len(rows))
+	}
+	return c
+}
+
+// farthest returns the row index most distant from the query point, first
+// index winning ties.
+func farthest(data [][]float64, rows []int, from []float64) int {
+	best, bestD := rows[0], -1.0
+	for _, i := range rows {
+		if d := stats.SquaredDist(data[i], from); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// takeNearest removes the k records nearest to center (anchor first if
+// provided) from rows, returning the group and the remaining rows.
+func takeNearest(data [][]float64, rows []int, center []float64, k, anchor int) (group, rest []int) {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([]cand, 0, len(rows))
+	for _, i := range rows {
+		d := stats.SquaredDist(data[i], center)
+		if i == anchor {
+			d = -1 // anchor always first
+		}
+		cands = append(cands, cand{i, d})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	group = make([]int, 0, k)
+	for _, c := range cands[:k] {
+		group = append(group, c.idx)
+	}
+	rest = make([]int, 0, len(rows)-k)
+	for _, c := range cands[k:] {
+		rest = append(rest, c.idx)
+	}
+	sort.Ints(group)
+	sort.Ints(rest)
+	return group, rest
+}
+
 // medianNearestNeighbor returns the median squared nearest-neighbour
 // distance of the data (0 for fewer than 2 records).
 func medianNearestNeighbor(data [][]float64) float64 {

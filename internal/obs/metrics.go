@@ -63,6 +63,13 @@ var DefaultKernelBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1,
 }
 
+// DefaultApplyBuckets covers whole-dataset masking runs (the sdc_apply_seconds
+// histogram): milliseconds for small tables up to minutes for 50k-row MDAV
+// (seconds).
+var DefaultApplyBuckets = []float64{
+	1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10, 30, 60, 120,
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)

@@ -1,0 +1,115 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachChunkCtxBackground(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		var sum atomic.Int64
+		err := p.ForEachChunkCtx(context.Background(), 5000, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want := int64(5000) * 4999 / 2; sum.Load() != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, sum.Load(), want)
+		}
+	}
+}
+
+func TestForEachChunkCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		var ran atomic.Int64
+		err := p.ForEachChunkCtx(ctx, 100000, func(lo, hi int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d chunks ran under a pre-cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachChunkCtxMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(4)
+	n := 1 << 20
+	var ran atomic.Int64
+	err := p.ForEachChunkCtx(ctx, n, func(lo, hi int) {
+		// Cancel from inside the first chunk: the remaining chunks must not
+		// be scheduled (beyond the ones already claimed by a worker).
+		if ran.Add(1) == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if total := int64(numChunks(n)); ran.Load() >= total {
+		t.Fatalf("all %d chunks ran despite cancellation", total)
+	}
+}
+
+func TestTasksCtxAndForEachCtx(t *testing.T) {
+	var hits atomic.Int64
+	if err := TasksCtx(context.Background(), 37, func(i int) { hits.Add(1) }); err != nil || hits.Load() != 37 {
+		t.Fatalf("TasksCtx: hits = %d, err = %v", hits.Load(), err)
+	}
+	hits.Store(0)
+	if err := Default().ForEachCtx(context.Background(), 1234, func(i int) { hits.Add(1) }); err != nil || hits.Load() != 1234 {
+		t.Fatalf("ForEachCtx: hits = %d, err = %v", hits.Load(), err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := TasksCtx(ctx, 10, func(i int) { t.Error("task ran") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TasksCtx pre-cancelled: err = %v", err)
+	}
+}
+
+func TestMapChunksCtxNoPartialResults(t *testing.T) {
+	p := NewPool(4)
+	got, err := MapChunksCtx(context.Background(), p, 3000, func(lo, hi int) int { return hi - lo })
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range got {
+		total += g
+	}
+	if total != 3000 {
+		t.Fatalf("covered %d of 3000 indices", total)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err = MapChunksCtx(ctx, p, 3000, func(lo, hi int) int { return 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if got != nil {
+		t.Fatalf("cancelled MapChunksCtx returned partial results %v", got)
+	}
+}
+
+func TestRunCtxPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate through ForEachChunkCtx")
+		}
+	}()
+	NewPool(4).ForEachChunkCtx(context.Background(), 10000, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}

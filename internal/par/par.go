@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -136,6 +137,71 @@ func (p *Pool) run(tasks int, exec func(t int)) {
 	}
 }
 
+// runCtx is run with cooperative cancellation: once ctx is done no further
+// task is started — workers stop pulling from the shared counter, already
+// running tasks finish — and the context's error is returned. Cancellation
+// granularity is therefore one task (one fixed-size chunk for the chunked
+// entry points), which is what lets a dropped HTTP connection stop an
+// in-flight 50k-row scan within one chunk boundary instead of burning
+// cores to completion.
+func (p *Pool) runCtx(ctx context.Context, tasks int, exec func(t int)) error {
+	if tasks <= 0 {
+		return ctx.Err()
+	}
+	w := p.Workers()
+	if w > tasks {
+		w = tasks
+	}
+	if w <= 1 {
+		for t := 0; t < tasks; t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			exec(t)
+		}
+		return ctx.Err()
+	}
+	done := ctx.Done()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				exec(t)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("par: worker panicked: %v", panicked))
+	}
+	return ctx.Err()
+}
+
 // ForEachChunk calls fn(lo, hi) once for every fixed-size chunk covering
 // [0, n). Chunks run concurrently; fn must only write state owned by its
 // index range (or private per-call state).
@@ -155,10 +221,36 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	})
 }
 
+// ForEachChunkCtx is ForEachChunk with cooperative cancellation: no new
+// chunk starts once ctx is done and ctx.Err() is returned. Chunks that
+// already ran produced exactly the state the uncancelled run would have, so
+// callers may retry or abandon freely.
+func (p *Pool) ForEachChunkCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
+	return p.runCtx(ctx, numChunks(n), func(c int) {
+		lo, hi := ChunkBounds(c, n)
+		fn(lo, hi)
+	})
+}
+
+// ForEachCtx is ForEach with cooperative cancellation at chunk granularity.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	return p.ForEachChunkCtx(ctx, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
 // Tasks runs fn(i) for each i in [0, n) as one task per index, regardless
 // of chunking — the fan-out primitive for a small number of coarse jobs
 // (the eight Table 2 technology classes).
 func (p *Pool) Tasks(n int, fn func(i int)) { p.run(n, fn) }
+
+// TasksCtx is Tasks with cooperative cancellation: tasks not yet started
+// when ctx is cancelled never run, and ctx.Err() is returned.
+func (p *Pool) TasksCtx(ctx context.Context, n int, fn func(i int)) error {
+	return p.runCtx(ctx, n, fn)
+}
 
 // MapChunks computes fn over every fixed-size chunk of [0, n) in parallel
 // and returns the per-chunk results in chunk order, ready for a
@@ -170,6 +262,20 @@ func MapChunks[T any](p *Pool, n int, fn func(lo, hi int) T) []T {
 		out[c] = fn(lo, hi)
 	})
 	return out
+}
+
+// MapChunksCtx is MapChunks with cooperative cancellation. On cancellation
+// it returns (nil, ctx.Err()): partially filled chunk results are never
+// exposed, so a caller cannot accidentally fold an incomplete reduction.
+func MapChunksCtx[T any](ctx context.Context, p *Pool, n int, fn func(lo, hi int) T) ([]T, error) {
+	out := make([]T, numChunks(n))
+	if err := p.runCtx(ctx, len(out), func(c int) {
+		lo, hi := ChunkBounds(c, n)
+		out[c] = fn(lo, hi)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // MapReduce maps fn over the fixed-size chunks of [0, n) in parallel and
@@ -191,3 +297,15 @@ func ForEachChunk(n int, fn func(lo, hi int)) { Default().ForEachChunk(n, fn) }
 
 // Tasks runs n coarse tasks on the default pool.
 func Tasks(n int, fn func(i int)) { Default().Tasks(n, fn) }
+
+// ForEachChunkCtx runs fn over the chunks of [0, n) on the default pool
+// with cooperative cancellation.
+func ForEachChunkCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
+	return Default().ForEachChunkCtx(ctx, n, fn)
+}
+
+// TasksCtx runs n coarse tasks on the default pool with cooperative
+// cancellation.
+func TasksCtx(ctx context.Context, n int, fn func(i int)) error {
+	return Default().TasksCtx(ctx, n, fn)
+}

@@ -13,6 +13,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -46,6 +47,14 @@ type LinkageReport struct {
 // writes only its own records' match contributions, which are then summed
 // in record order, so the report does not depend on the worker count.
 func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageReport, error) {
+	return DistanceLinkageCtx(context.Background(), original, masked, cols)
+}
+
+// DistanceLinkageCtx is DistanceLinkage with cooperative cancellation: once
+// ctx is done no further chunk of original records is attacked and ctx.Err()
+// is returned — the hook that lets a dropped HTTP client stop an in-flight
+// O(n²) linkage scan.
+func DistanceLinkageCtx(ctx context.Context, original, masked *dataset.Dataset, cols []int) (LinkageReport, error) {
 	var rep LinkageReport
 	if original.Rows() != masked.Rows() {
 		return rep, fmt.Errorf("risk: original has %d rows, masked %d", original.Rows(), masked.Rows())
@@ -63,7 +72,7 @@ func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageRepo
 	zo, means, sds := stats.StandardizeFlat(o)
 	pool := par.Default()
 	zm := stats.NewFlat(m.Rows(), m.Cols())
-	pool.ForEachChunk(m.Rows(), func(lo, hi int) {
+	if err := pool.ForEachChunkCtx(ctx, m.Rows(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			src, dst := m.Row(i), zm.Row(i)
 			for j, v := range src {
@@ -73,14 +82,16 @@ func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageRepo
 				}
 			}
 		}
-	})
+	}); err != nil {
+		return rep, err
+	}
 	const eps = 1e-12
 	n := o.Rows()
 	p := zm.Cols()
 	zmData := zm.Data()
 	// contrib[i] is record i's expected correct-match mass (0 or 1/ties).
 	contrib := make([]float64, n)
-	pool.ForEachChunk(n, func(lo, hi int) {
+	if err := pool.ForEachChunkCtx(ctx, n, func(lo, hi int) {
 		// One tie buffer per chunk, reused across its records — the inner
 		// loop never allocates.
 		ties := make([]int, 0, 32)
@@ -110,7 +121,9 @@ func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageRepo
 				}
 			}
 		}
-	})
+	}); err != nil {
+		return rep, err
+	}
 	for _, c := range contrib {
 		rep.Linked += c
 	}
@@ -126,6 +139,13 @@ func DistanceLinkage(original, masked *dataset.Dataset, cols []int) (LinkageRepo
 // per-chunk hit counts are integers, so the result is exact and
 // worker-count independent.
 func IntervalDisclosure(original, masked *dataset.Dataset, cols []int, p float64) (float64, error) {
+	return IntervalDisclosureCtx(context.Background(), original, masked, cols, p)
+}
+
+// IntervalDisclosureCtx is IntervalDisclosure with cooperative cancellation
+// at chunk granularity; on cancellation it returns ctx.Err() with no partial
+// rate.
+func IntervalDisclosureCtx(ctx context.Context, original, masked *dataset.Dataset, cols []int, p float64) (float64, error) {
 	if original.Rows() != masked.Rows() || original.Rows() == 0 {
 		return 0, fmt.Errorf("risk: datasets must be non-empty with equal rows")
 	}
@@ -139,7 +159,7 @@ func IntervalDisclosure(original, masked *dataset.Dataset, cols []int, p float64
 		mc := masked.NumColumn(j)
 		sd := stats.StdDev(oc)
 		width := p / 100 * sd
-		counts := par.MapChunks(pool, len(oc), func(lo, hi int) int {
+		counts, err := par.MapChunksCtx(ctx, pool, len(oc), func(lo, hi int) int {
 			c := 0
 			for i := lo; i < hi; i++ {
 				// Interval of half-width p% of the attribute spread.
@@ -149,6 +169,9 @@ func IntervalDisclosure(original, masked *dataset.Dataset, cols []int, p float64
 			}
 			return c
 		})
+		if err != nil {
+			return 0, err
+		}
 		for _, c := range counts {
 			hits += float64(c)
 		}

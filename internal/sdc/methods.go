@@ -1,0 +1,353 @@
+package sdc
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"privacy3d/internal/anonymity"
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/generalize"
+	"privacy3d/internal/microagg"
+	"privacy3d/internal/noise"
+	"privacy3d/internal/randresp"
+	"privacy3d/internal/swap"
+)
+
+// groupSizes flattens a partition into its size vector.
+func groupSizes(groups [][]int) []int {
+	sizes := make([]int, len(groups))
+	for i, g := range groups {
+		sizes[i] = len(g)
+	}
+	return sizes
+}
+
+// The built-in methods. Registration order is irrelevant — List sorts by
+// name — but each adapter must consume its rng in exactly the order of the
+// direct call it replaces (the byte-identity contract in the package doc).
+func init() {
+	register(Schema{
+		Name: "mdav", Class: "SDC microaggregation",
+		Doc:           "MDAV fixed-size microaggregation: records replaced by their group centroid (k-anonymous QIs)",
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "k", Doc: "minimum group size", Default: 3, Integer: true},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		out, res, err := microagg.MaskCtx(ctx, d, microagg.Options{
+			K: p.intValue(schemaOf("mdav"), "k"), Columns: cols, Standardize: true,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{GroupSizes: groupSizes(res.Groups), InfoLoss: res.IL(), InfoLossValid: true}, nil
+	})
+
+	register(Schema{
+		Name: "vmdav", Class: "SDC microaggregation",
+		Doc:           "V-MDAV variable-group-size microaggregation: groups grow up to 2k-1 in dense regions",
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "k", Doc: "minimum group size", Default: 3, Integer: true},
+			{Name: "gamma", Doc: "group-extension eagerness (0 never extends)", Default: 0.2},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		s := schemaOf("vmdav")
+		out, res, err := microagg.MaskVariable(d, microagg.Options{
+			K: p.intValue(s, "k"), Columns: cols, Standardize: true,
+		}, p.value(s, "gamma"))
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{GroupSizes: groupSizes(res.Groups), InfoLoss: res.IL(), InfoLossValid: true}, nil
+	})
+
+	register(Schema{
+		Name: "univariate", Class: "SDC microaggregation",
+		Doc:           "projection microaggregation: optimal Hansen-Mukherjee partition along the first principal component",
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "k", Doc: "minimum group size", Default: 3, Integer: true},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		out, res, err := microagg.MaskProjection(d, microagg.Options{
+			K: p.intValue(schemaOf("univariate"), "k"), Columns: cols, Standardize: true,
+		})
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{GroupSizes: groupSizes(res.Groups), InfoLoss: res.IL(), InfoLossValid: true}, nil
+	})
+
+	register(Schema{
+		Name: "condense", Class: "generic PPDM",
+		Doc:           "condensation: per-group synthetic records preserving means and covariances (Aggarwal-Yu)",
+		Randomized:    true,
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "k", Doc: "condensation group size", Default: 3, Integer: true},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		out, err := microagg.CondenseCtx(ctx, d, cols, p.intValue(schemaOf("condense"), "k"), rng)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{}, nil
+	})
+
+	register(Schema{
+		Name: "noise", Class: "use-specific PPDM",
+		Doc:           "uncorrelated Gaussian noise addition (Agrawal-Srikant style)",
+		Randomized:    true,
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "amp", Doc: "noise amplitude relative to each column's std dev", Default: 0.35},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		out, err := noise.AddUncorrelated(d, cols, p.value(schemaOf("noise"), "amp"), rng)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{}, nil
+	})
+
+	register(Schema{
+		Name: "corrnoise", Class: "use-specific PPDM",
+		Doc:           "correlated noise addition preserving the covariance structure",
+		Randomized:    true,
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "amp", Doc: "noise amplitude relative to each column's std dev", Default: 0.35},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		out, err := noise.AddCorrelated(d, cols, p.value(schemaOf("corrnoise"), "amp"), rng)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{}, nil
+	})
+
+	register(Schema{
+		Name: "multnoise", Class: "use-specific PPDM",
+		Doc:           "multiplicative lognormal noise: each value scaled by exp(N(0,sigma))",
+		Randomized:    true,
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "sigma", Doc: "std dev of the log-scale factor", Default: 0.1},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		out, err := noise.AddMultiplicative(d, cols, p.value(schemaOf("multnoise"), "sigma"), rng)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{}, nil
+	})
+
+	register(Schema{
+		Name: "swap", Class: "SDC masking",
+		Doc:           "rank swapping: values exchanged within a p% rank window per column",
+		Randomized:    true,
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "p", Doc: "swap window as a percentage of the rank range", Default: 5},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		out, err := swap.RankSwap(d, cols, p.value(schemaOf("swap"), "p"), rng)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{}, nil
+	})
+
+	register(Schema{
+		Name: "pram", Class: "SDC masking",
+		Doc:           "invariant PRAM: categorical values resampled from the empirical marginal with a change probability",
+		Randomized:    true,
+		DefaultTarget: "categorical",
+		Params: []ParamSpec{
+			{Name: "change", Doc: "per-cell change probability", Default: 0.2},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		change := p.value(schemaOf("pram"), "change")
+		// Columns are post-randomized in ascending index order so the rng
+		// stream — and hence the release — is deterministic.
+		ordered := append([]int(nil), cols...)
+		sort.Ints(ordered)
+		out := d
+		for _, col := range ordered {
+			var err error
+			out, err = swap.PRAM(out, col, change, rng)
+			if err != nil {
+				return nil, Report{}, err
+			}
+		}
+		return out, Report{}, nil
+	})
+
+	register(Schema{
+		Name: "recode", Class: "k-anonymity",
+		Doc:           "global recoding + local suppression over a generalization lattice (Samarati minimal height)",
+		Recodes:       true,
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "k", Doc: "anonymity parameter", Default: 3, Integer: true},
+			{Name: "maxsup", Doc: "suppression budget in records", Default: 10, Integer: true},
+			{Name: "levels", Doc: "interval levels of the auto-built numeric hierarchies", Default: 3, Integer: true},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		s := schemaOf("recode")
+		hier, err := autoHierarchies(d, cols, p.intValue(s, "levels"))
+		if err != nil {
+			return nil, Report{}, err
+		}
+		out, res, err := generalize.Anonymize(d, cols, hier, p.intValue(s, "k"), p.intValue(s, "maxsup"))
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{
+			Suppressed: res.Suppressed,
+			Extra:      map[string]float64{"lattice_height": float64(res.Height)},
+		}, nil
+	})
+
+	register(Schema{
+		Name: "mondrian", Class: "k-anonymity",
+		Doc:           "Mondrian multidimensional partitioning: numeric QIs recoded to per-partition interval labels",
+		Recodes:       true,
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "k", Doc: "anonymity parameter", Default: 3, Integer: true},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		out, groups, err := generalize.MondrianMask(d, cols, p.intValue(schemaOf("mondrian"), "k"))
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{
+			GroupSizes:    groupSizes(groups),
+			InfoLoss:      generalize.MondrianIL(d.NumericMatrix(cols), groups),
+			InfoLossValid: true,
+		}, nil
+	})
+
+	register(Schema{
+		Name: "kanon", Class: "k-anonymity",
+		Doc:           "p-sensitive k-anonymity enforcement: small or insensitive classes merged to their nearest class centroid",
+		DefaultTarget: "qi",
+		Params: []ParamSpec{
+			{Name: "k", Doc: "anonymity parameter", Default: 3, Integer: true},
+			{Name: "p", Doc: "required distinct confidential values per class", Default: 1, Integer: true},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		s := schemaOf("kanon")
+		out, merges, err := anonymity.EnforcePSensitive(d, p.intValue(s, "k"), p.intValue(s, "p"))
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return out, Report{Extra: map[string]float64{"merges": float64(merges)}}, nil
+	})
+
+	register(Schema{
+		Name: "randresp", Class: "randomized response",
+		Doc:           "Warner randomized response on binary categorical columns: each answer kept with probability truth",
+		Randomized:    true,
+		DefaultTarget: "categorical",
+		Params: []ParamSpec{
+			{Name: "truth", Doc: "probability of reporting the true value", Default: 0.9},
+		},
+	}, func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+		w, err := randresp.NewWarner(p.value(schemaOf("randresp"), "truth"))
+		if err != nil {
+			return nil, Report{}, err
+		}
+		out := d.Clone()
+		ordered := append([]int(nil), cols...)
+		sort.Ints(ordered)
+		for _, col := range ordered {
+			if d.Attr(col).Kind == dataset.Numeric {
+				return nil, Report{}, fmt.Errorf("sdc: randresp applies to categorical columns; %q is numeric", d.Attr(col).Name)
+			}
+			vals := d.CatColumn(col)
+			domain := distinct(vals)
+			if len(domain) != 2 {
+				return nil, Report{}, fmt.Errorf("sdc: randresp needs a binary column; %q has %d distinct values", d.Attr(col).Name, len(domain))
+			}
+			truth := make([]bool, len(vals))
+			for i, v := range vals {
+				truth[i] = v == domain[1]
+			}
+			resp := w.Randomize(truth, rng)
+			for i, r := range resp {
+				if r {
+					out.SetCat(i, col, domain[1])
+				} else {
+					out.SetCat(i, col, domain[0])
+				}
+			}
+		}
+		return out, Report{}, nil
+	})
+}
+
+// schemaOf fetches a registered schema by name; it exists so adapters can
+// resolve their own defaults without capturing the Schema literal twice.
+func schemaOf(name string) Schema {
+	m, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return m.Params()
+}
+
+// distinct returns the sorted distinct values of a string column.
+func distinct(vals []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// autoHierarchies builds a numeric interval hierarchy per column: intervals
+// align at the column minimum with a base width of 1/8 of the span, doubling
+// per level — a schema-free default good enough for lattice search on
+// arbitrary numeric quasi-identifiers.
+func autoHierarchies(d *dataset.Dataset, cols []int, levels int) (map[int]*generalize.Hierarchy, error) {
+	hier := make(map[int]*generalize.Hierarchy, len(cols))
+	for _, j := range cols {
+		if d.Attr(j).Kind != dataset.Numeric {
+			return nil, fmt.Errorf("sdc: recode auto-hierarchies require numeric columns; %q is %v",
+				d.Attr(j).Name, d.Attr(j).Kind)
+		}
+		col := d.NumColumn(j)
+		if len(col) == 0 {
+			return nil, fmt.Errorf("sdc: recode on empty dataset")
+		}
+		min, max := col[0], col[0]
+		for _, v := range col {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		base := (max - min) / 8
+		if base <= 0 {
+			base = 1
+		}
+		h, err := generalize.NewNumericHierarchy(d.Attr(j).Name, min, base, levels)
+		if err != nil {
+			return nil, err
+		}
+		hier[j] = h
+	}
+	return hier, nil
+}

@@ -1,0 +1,409 @@
+// Package sdc is the unified protection-method registry of the masking
+// layer: every disclosure-limitation technology of the repository —
+// microaggregation, noise addition, rank swapping, PRAM, global recoding,
+// Mondrian, k-anonymity enforcement and randomized response — is exposed
+// behind one Method interface with a self-describing parameter schema, a
+// uniform Report, and cooperative context cancellation.
+//
+// The paper's Table 2 treats the technology classes as interchangeable
+// points on a privacy/utility frontier; this package is that abstraction in
+// code. The CLI (`privacy3d mask`, `privacy3d schema -methods`), the
+// pipeline engine, the Table 2 evaluator and the POST /protect endpoint all
+// dispatch through Lookup/Apply, so the set of supported methods, their
+// help text and their parameter lists cannot drift apart — they are all
+// generated from the same registry.
+//
+// Determinism contract: an adapter consumes its *rand.Rand in exactly the
+// same order as the direct package call it wraps, so Apply at a given seed
+// is byte-identical to the pre-registry call path and to itself at any
+// worker-pool size.
+package sdc
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/obs"
+)
+
+// ParamSpec describes one tunable parameter of a method.
+type ParamSpec struct {
+	// Name is the key under which the parameter is passed in Params.Values
+	// (and on the CLI as -set name=value).
+	Name string `json:"name"`
+	// Doc is a one-line description.
+	Doc string `json:"doc"`
+	// Default is the value used when the caller does not set the parameter.
+	Default float64 `json:"default"`
+	// Integer marks parameters that are semantically integers (group sizes,
+	// suppression budgets); values are rounded via int() truncation.
+	Integer bool `json:"integer,omitempty"`
+}
+
+// Schema is a method's self-description: everything the CLI help, the
+// /protect endpoint and the docs tables need to present the method without
+// hand-written per-method text.
+type Schema struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// Class is the Table 2 technology class the method belongs to
+	// (e.g. "SDC masking", "PPDM noise").
+	Class string `json:"class"`
+	// Doc is a one-line description of the method.
+	Doc string `json:"doc"`
+	// Randomized methods consume a PRNG and require a non-nil rng.
+	Randomized bool `json:"randomized,omitempty"`
+	// Recodes marks methods whose output is not cell-by-cell numerically
+	// comparable to the input (quasi-identifiers recoded to interval labels
+	// or rows suppressed), so numeric risk/utility assessment against the
+	// original does not apply.
+	Recodes bool `json:"recodes,omitempty"`
+	// DefaultTarget is the column target used when Params.Target is empty:
+	// "qi", "confidential", "numeric" or "categorical".
+	DefaultTarget string `json:"default_target"`
+	// Params lists the method's tunable parameters.
+	Params []ParamSpec `json:"params,omitempty"`
+}
+
+// param returns the spec for name, if declared.
+func (s Schema) param(name string) (ParamSpec, bool) {
+	for _, p := range s.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ParamSpec{}, false
+}
+
+// Params is the uniform configuration accepted by every method.
+type Params struct {
+	// Columns explicitly selects the columns to protect; when nil, Target
+	// resolves the column set on the dataset.
+	Columns []int `json:"columns,omitempty"`
+	// Target selects columns by role/kind: "qi" (quasi-identifiers),
+	// "confidential" (numeric confidential), "numeric" (all numeric),
+	// "categorical" (all non-numeric). Empty means the method's
+	// DefaultTarget.
+	Target string `json:"target,omitempty"`
+	// Values holds named parameter overrides; unset parameters fall back to
+	// the schema defaults. Unknown keys are rejected.
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// value resolves parameter name against the schema defaults.
+func (p Params) value(s Schema, name string) float64 {
+	if v, ok := p.Values[name]; ok {
+		return v
+	}
+	spec, _ := s.param(name)
+	return spec.Default
+}
+
+// intValue resolves an integer-valued parameter.
+func (p Params) intValue(s Schema, name string) int {
+	return int(p.value(s, name))
+}
+
+// Report is the uniform outcome description of a masking run, replacing the
+// per-method result types (microagg.Result, suppression counts, merge
+// counts) with one serialisable shape.
+type Report struct {
+	// Method is the registry name of the method that produced the release.
+	Method string `json:"method"`
+	// Seed is the PRNG seed when the run came through ApplySeed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rows is the number of records in the release (may be smaller than the
+	// input under suppression).
+	Rows int `json:"rows"`
+	// Columns are the column indices that were protected.
+	Columns []int `json:"columns"`
+	// GroupSizes are the sizes of the aggregation groups, for grouping
+	// methods.
+	GroupSizes []int `json:"group_sizes,omitempty"`
+	// InfoLoss is the method's native information-loss measure (SSE/SST for
+	// microaggregation, normalised range spread for Mondrian); only
+	// meaningful when InfoLossValid.
+	InfoLoss      float64 `json:"info_loss,omitempty"`
+	InfoLossValid bool    `json:"info_loss_valid,omitempty"`
+	// Suppressed is the number of records removed by local suppression.
+	Suppressed int `json:"suppressed,omitempty"`
+	// Extra carries method-specific scalars (lattice height, class merges).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Method is one registered protection technology.
+type Method interface {
+	// Name returns the registry key.
+	Name() string
+	// Params returns the self-describing schema.
+	Params() Schema
+	// Apply protects dataset d and returns the release plus a Report.
+	// Cancellation of ctx stops pool-backed methods at the next chunk
+	// boundary with ctx.Err(). rng must be non-nil for randomized methods
+	// and is consumed deterministically.
+	Apply(ctx context.Context, d *dataset.Dataset, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error)
+}
+
+// method is the concrete adapter: schema plus a run function receiving the
+// resolved column set.
+type method struct {
+	schema Schema
+	run    func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error)
+}
+
+func (m *method) Name() string   { return m.schema.Name }
+func (m *method) Params() Schema { return m.schema }
+
+// Apply validates the call uniformly — context liveness, known parameter
+// names, the nil-rng footgun for randomized methods, a non-empty column
+// set — then runs the adapter and stamps the invariant Report fields.
+func (m *method) Apply(ctx context.Context, d *dataset.Dataset, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+	start := time.Now()
+	out, rep, err := m.apply(ctx, d, p, rng)
+	observeApply(m.schema.Name, time.Since(start), err)
+	return out, rep, err
+}
+
+func (m *method) apply(ctx context.Context, d *dataset.Dataset, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Report{}, err
+	}
+	if d == nil {
+		return nil, Report{}, fmt.Errorf("sdc: %s: nil dataset", m.schema.Name)
+	}
+	for name := range p.Values {
+		if _, ok := m.schema.param(name); !ok {
+			return nil, Report{}, fmt.Errorf("sdc: %s: unknown parameter %q (parameters: %s)",
+				m.schema.Name, name, paramNames(m.schema))
+		}
+	}
+	if m.schema.Randomized && rng == nil {
+		return nil, Report{}, fmt.Errorf("sdc: %s is randomized and requires a non-nil rng (use ApplySeed or dataset.NewRand)", m.schema.Name)
+	}
+	cols, err := ResolveColumns(d, p, m.schema)
+	if err != nil {
+		return nil, Report{}, fmt.Errorf("sdc: %s: %w", m.schema.Name, err)
+	}
+	out, rep, err := m.run(ctx, d, cols, p, rng)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep.Method = m.schema.Name
+	rep.Rows = out.Rows()
+	rep.Columns = cols
+	return out, rep, nil
+}
+
+// paramNames renders the schema's parameter names for error messages.
+func paramNames(s Schema) string {
+	if len(s.Params) == 0 {
+		return "none"
+	}
+	names := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// ResolveColumns resolves the column set of a call: explicit Params.Columns
+// win; otherwise the target (Params.Target, falling back to the schema's
+// DefaultTarget) selects columns by role and kind. An empty resolution is
+// an error — silently masking nothing would be a privacy bug.
+func ResolveColumns(d *dataset.Dataset, p Params, s Schema) ([]int, error) {
+	if p.Columns != nil {
+		if len(p.Columns) == 0 {
+			return nil, fmt.Errorf("empty column selection")
+		}
+		for _, j := range p.Columns {
+			if j < 0 || j >= d.Cols() {
+				return nil, fmt.Errorf("column index %d out of range [0,%d)", j, d.Cols())
+			}
+		}
+		return p.Columns, nil
+	}
+	target := p.Target
+	if target == "" {
+		target = s.DefaultTarget
+	}
+	var cols []int
+	switch target {
+	case "", "qi":
+		cols = d.QuasiIdentifiers()
+	case "confidential":
+		for j := 0; j < d.Cols(); j++ {
+			if d.Attr(j).Kind == dataset.Numeric && d.Attr(j).Role == dataset.Confidential {
+				cols = append(cols, j)
+			}
+		}
+	case "numeric":
+		for j := 0; j < d.Cols(); j++ {
+			if d.Attr(j).Kind == dataset.Numeric {
+				cols = append(cols, j)
+			}
+		}
+	case "categorical":
+		for j := 0; j < d.Cols(); j++ {
+			if d.Attr(j).Kind != dataset.Numeric {
+				cols = append(cols, j)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown target %q (want qi, confidential, numeric or categorical)", target)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("target %q resolves to no columns", target)
+	}
+	return cols, nil
+}
+
+// --- registry -----------------------------------------------------------
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Method{}
+)
+
+// Register adds a method under its schema name. Registering a duplicate
+// name panics: two methods answering to one name is a programming error the
+// process must not survive silently.
+func Register(m Method) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := m.Name()
+	if name == "" {
+		panic("sdc: Register with empty method name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sdc: duplicate method %q", name))
+	}
+	registry[name] = m
+}
+
+// register is the internal helper building a method from schema + run.
+func register(schema Schema, run func(ctx context.Context, d *dataset.Dataset, cols []int, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error)) {
+	Register(&method{schema: schema, run: run})
+}
+
+// Lookup returns the method registered under name.
+func Lookup(name string) (Method, error) {
+	regMu.RLock()
+	m := registry[name]
+	regMu.RUnlock()
+	if m == nil {
+		return nil, fmt.Errorf("sdc: unknown method %q (want %s)", name, strings.Join(Names(), ", "))
+	}
+	return m, nil
+}
+
+// List returns every registered method, sorted by name.
+func List() []Method {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Method, 0, len(registry))
+	for _, m := range registry {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns the sorted registry keys — the single source of the CLI
+// method list, its help text and the docs tables.
+func Names() []string {
+	ms := List()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// Apply looks name up and applies it — the front door used by the CLI, the
+// pipeline engine and the /protect endpoint.
+func Apply(ctx context.Context, name string, d *dataset.Dataset, p Params, rng *rand.Rand) (*dataset.Dataset, Report, error) {
+	m, err := Lookup(name)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return m.Apply(ctx, d, p, rng)
+}
+
+// ApplySeed is Apply with a fresh deterministic PRNG from seed, stamped
+// into the Report — the reproducible entry point of the CLI and servers.
+func ApplySeed(ctx context.Context, name string, d *dataset.Dataset, p Params, seed uint64) (*dataset.Dataset, Report, error) {
+	out, rep, err := Apply(ctx, name, d, p, dataset.NewRand(seed))
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Seed = seed
+	return out, rep, nil
+}
+
+// --- observability ------------------------------------------------------
+
+// metricsReg is the obs registry Apply reports into, when serving.
+var metricsReg atomic.Pointer[obs.Registry]
+
+// Instrument routes per-method apply metrics into reg: a
+// sdc_apply_total{method,outcome} counter and a sdc_apply_seconds{method}
+// latency histogram. Passing nil detaches.
+func Instrument(reg *obs.Registry) {
+	metricsReg.Store(reg)
+}
+
+func observeApply(name string, elapsed time.Duration, err error) {
+	reg := metricsReg.Load()
+	if reg == nil {
+		return
+	}
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			outcome = "canceled"
+		}
+	}
+	reg.Counter(obs.Label("sdc_apply_total", "method", name, "outcome", outcome)).Inc()
+	if err == nil {
+		reg.Histogram(obs.Label("sdc_apply_seconds", "method", name), obs.DefaultApplyBuckets).
+			Observe(elapsed.Seconds())
+	}
+}
+
+// --- docs ---------------------------------------------------------------
+
+// MarkdownTable renders the registry as a GitHub-flavoured markdown table —
+// the generated "Protection methods" section of README/EXPERIMENTS and the
+// `privacy3d schema -methods` output; the make lint golden test pins all
+// three to this one function.
+func MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| Method | Class | Target | Randomized | Parameters | Description |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, m := range List() {
+		s := m.Params()
+		params := make([]string, len(s.Params))
+		for i, p := range s.Params {
+			params[i] = fmt.Sprintf("%s=%g", p.Name, p.Default)
+		}
+		paramCell := strings.Join(params, ", ")
+		if paramCell == "" {
+			paramCell = "—"
+		}
+		rand := "no"
+		if s.Randomized {
+			rand = "yes"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s | %s |\n",
+			s.Name, s.Class, s.DefaultTarget, rand, paramCell, s.Doc)
+	}
+	return b.String()
+}

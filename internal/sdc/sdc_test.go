@@ -1,0 +1,236 @@
+package sdc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/obs"
+	"privacy3d/internal/par"
+)
+
+func trial(n int) *dataset.Dataset {
+	return dataset.SyntheticTrial(dataset.TrialConfig{N: n, Seed: 11, ExtraQI: 2})
+}
+
+// maskCSV runs one registered method end to end and returns the released
+// CSV bytes, so releases can be compared for byte-identity.
+func maskCSV(t *testing.T, name string, seed uint64) []byte {
+	t.Helper()
+	masked, _, err := ApplySeed(context.Background(), name, trial(300), Params{}, seed)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var buf bytes.Buffer
+	if err := masked.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEveryMethodReachable is the registry's core contract: all eight
+// technology classes of the paper are reachable via Lookup(name).Apply, each
+// returns a well-formed release plus a stamped report.
+func TestEveryMethodReachable(t *testing.T) {
+	d := trial(120)
+	for _, name := range Names() {
+		m, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked, rep, err := m.Apply(context.Background(), d, Params{}, dataset.NewRand(42))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if masked == nil {
+			t.Fatalf("%s: nil release", name)
+		}
+		// Recoding methods may suppress records within their budget; every
+		// suppressed record must be accounted for in the report.
+		if masked.Rows()+rep.Suppressed != d.Rows() {
+			t.Fatalf("%s: %d released + %d suppressed != %d input rows",
+				name, masked.Rows(), rep.Suppressed, d.Rows())
+		}
+		if rep.Method != name || rep.Rows != masked.Rows() || len(rep.Columns) == 0 {
+			t.Errorf("%s: report %+v not stamped", name, rep)
+		}
+	}
+}
+
+// TestByteIdenticalAcrossWorkers pins the determinism contract on every
+// registered method: the released CSV must be byte-identical whether the
+// worker pool runs 1, 2 or 8 goroutines.
+func TestByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, name := range Names() {
+		var want []byte
+		for _, workers := range []int{1, 2, 8} {
+			prev := par.SetWorkers(workers)
+			got := maskCSV(t, name, 7)
+			par.SetWorkers(prev)
+			if want == nil {
+				want = got
+			} else if !bytes.Equal(want, got) {
+				t.Errorf("%s: release differs at %d workers", name, workers)
+			}
+		}
+	}
+}
+
+// TestNilRngRejected checks the explicit failure mode of satellite 2: every
+// randomized method refuses a nil rng with a clear error, while the
+// deterministic methods accept one.
+func TestNilRngRejected(t *testing.T) {
+	d := trial(60)
+	for _, m := range List() {
+		s := m.Params()
+		_, _, err := Apply(context.Background(), s.Name, d, Params{}, nil)
+		if s.Randomized {
+			if err == nil || !strings.Contains(err.Error(), "rng") {
+				t.Errorf("%s: randomized method with nil rng: err = %v", s.Name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: deterministic method rejected nil rng: %v", s.Name, err)
+		}
+	}
+}
+
+func TestUnknownMethodAndParamErrors(t *testing.T) {
+	d := trial(60)
+	if _, err := Lookup("zap"); err == nil || !strings.Contains(err.Error(), "mdav") {
+		t.Errorf("Lookup(zap) = %v; want error listing registered names", err)
+	}
+	_, _, err := Apply(context.Background(), "mdav", d, Params{Values: map[string]float64{"zap": 1}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "zap") || !strings.Contains(err.Error(), "k") {
+		t.Errorf("unknown param: err = %v; want error naming the bad and accepted params", err)
+	}
+	if _, _, err := Apply(context.Background(), "mdav", nil, Params{}, nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, _, err := Apply(context.Background(), "mdav", d, Params{Target: "moon"}, nil); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, _, err := Apply(context.Background(), "mdav", d, Params{Columns: []int{99}}, nil); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestSeedStampedAndReproducible(t *testing.T) {
+	a := maskCSV(t, "noise", 5)
+	b := maskCSV(t, "noise", 5)
+	c := maskCSV(t, "noise", 6)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different releases")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced the same release")
+	}
+	_, rep, err := ApplySeed(context.Background(), "noise", trial(60), Params{}, 5)
+	if err != nil || rep.Seed != 5 {
+		t.Errorf("rep.Seed = %d, err = %v", rep.Seed, err)
+	}
+}
+
+// TestCancelPreApply: a context cancelled before Apply is even entered must
+// fail fast without touching the data.
+func TestCancelPreApply(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Apply(ctx, "mdav", trial(60), Params{}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+}
+
+// TestCancelMidMDAV is the acceptance check of the issue: cancelling the
+// context while MDAV churns through a 50k-row census file returns promptly
+// with context.Canceled and leaks no pool goroutines.
+func TestCancelMidMDAV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-row masking run")
+	}
+	d := dataset.SyntheticCensus(dataset.CensusConfig{N: 50000, Dims: 6, Seed: 3, Corr: 0.3})
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, _, err := Apply(ctx, "mdav", d, Params{Target: "numeric"}, nil)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the masking get going
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v; want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not stop the masking run")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v; want within a chunk boundary", elapsed)
+	}
+	// The pool goroutines must have drained; allow scheduler slack.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after cancellation", before, runtime.NumGoroutine())
+}
+
+// TestMarkdownTable sanity-checks the generated documentation table that
+// README/EXPERIMENTS embed and the CLI lint test pins.
+func TestMarkdownTable(t *testing.T) {
+	table := MarkdownTable()
+	for _, name := range Names() {
+		if !strings.Contains(table, "| `"+name+"` |") {
+			t.Errorf("table missing method %s", name)
+		}
+	}
+	if !strings.Contains(table, "k=3") || !strings.Contains(table, "amp=0.35") {
+		t.Error("table missing parameter defaults")
+	}
+}
+
+func TestInstrumentCountsOutcomes(t *testing.T) {
+	// Instrument is process-global; detach afterwards so other tests stay
+	// unobserved.
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	t.Cleanup(func() { Instrument(nil) })
+	d := trial(60)
+	if _, _, err := Apply(context.Background(), "mdav", d, Params{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Apply(context.Background(), "noise", d, Params{}, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	Apply(ctx, "mdav", d, Params{}, nil)
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	for _, want := range []string{
+		`sdc_apply_total{method="mdav",outcome="ok"} 1`,
+		`sdc_apply_total{method="noise",outcome="error"} 1`,
+		`sdc_apply_total{method="mdav",outcome="canceled"} 1`,
+		`sdc_apply_seconds_count{method="mdav"} 1`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -1,12 +1,16 @@
 package sdcquery
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"privacy3d/internal/obs"
+	"privacy3d/internal/sdc"
 )
 
 // HTTP front end for the protected statistical database, so the "owner sees
@@ -15,6 +19,7 @@ import (
 //
 //	POST /query   — structured JSON query
 //	POST /sql     — raw query text in the paper's dialect
+//	POST /protect — mask the served microdata with a registered sdc method
 //	GET  /log     — the owner's query log
 //	GET  /metrics — request/outcome counters (when built with a Registry)
 //
@@ -48,6 +53,24 @@ type AnswerJSON struct {
 	Lo       float64 `json:"lo"`
 	Hi       float64 `json:"hi"`
 	Interval bool    `json:"interval,omitempty"`
+}
+
+// ProtectRequest is the wire format of POST /protect: the name of a
+// registered sdc method plus its uniform parameters. The seed makes the
+// release reproducible — the same request always yields the same bytes.
+type ProtectRequest struct {
+	Method  string             `json:"method"`
+	Seed    uint64             `json:"seed"`
+	Target  string             `json:"target,omitempty"`
+	Columns []int              `json:"columns,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
+}
+
+// ProtectResponse carries the uniform masking report and the released
+// microdata as CSV.
+type ProtectResponse struct {
+	Report sdc.Report `json:"report"`
+	CSV    string     `json:"csv"`
 }
 
 // errorJSON is the uniform error body of every non-2xx response.
@@ -189,6 +212,36 @@ func NewObservedHandler(srv *Server, reg *obs.Registry) http.Handler {
 			return
 		}
 		answer(w, q)
+	})
+	mux.HandleFunc("/protect", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		var pr ProtectRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&pr); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed JSON protect request: "+err.Error())
+			return
+		}
+		// The request context carries the middleware timeout and the client
+		// connection: a dropped client or server drain cancels the masking
+		// run at its next chunk boundary instead of burning cores.
+		masked, rep, err := sdc.ApplySeed(r.Context(), pr.Method, srv.Dataset(), sdc.Params{
+			Target: pr.Target, Columns: pr.Columns, Values: pr.Params,
+		}, pr.Seed)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		var csv strings.Builder
+		if err := masked.WriteCSV(&csv); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, ProtectResponse{Report: rep, CSV: csv.String()})
 	})
 	mux.HandleFunc("/log", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {

@@ -1,0 +1,81 @@
+package sdcquery
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postProtect(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/protect", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestProtectEndpoint(t *testing.T) {
+	h, srv := newTestHTTP(t, NoProtection)
+	resp, body := postProtect(t, h.URL, `{"method":"mdav","seed":7,"params":{"k":2}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	var pr ProtectResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Report.Method != "mdav" || pr.Report.Seed != 7 || pr.Report.Rows != srv.Rows() {
+		t.Errorf("report = %+v", pr.Report)
+	}
+	if !pr.Report.InfoLossValid {
+		t.Error("mdav report missing information loss")
+	}
+	lines := strings.Split(strings.TrimSpace(pr.CSV), "\n")
+	if len(lines) != srv.Rows()+1 {
+		t.Errorf("CSV has %d lines, want header + %d rows", len(lines), srv.Rows())
+	}
+
+	// The same request must yield the same bytes: the seed pins the release.
+	_, again := postProtect(t, h.URL, `{"method":"mdav","seed":7,"params":{"k":2}}`)
+	if string(body) != string(again) {
+		t.Error("identical protect requests produced different releases")
+	}
+}
+
+func TestProtectEndpointErrors(t *testing.T) {
+	h, _ := newTestHTTP(t, NoProtection)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"unknown method", `{"method":"zap","seed":1}`},
+		{"unknown param", `{"method":"mdav","seed":1,"params":{"zap":1}}`},
+		{"malformed JSON", `{"method":`},
+	} {
+		resp, body := postProtect(t, h.URL, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, body %s", tc.name, resp.Status, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q", tc.name, body)
+		}
+	}
+	resp, err := http.Get(h.URL + "/protect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("GET /protect: status %s, Allow %q", resp.Status, resp.Header.Get("Allow"))
+	}
+}

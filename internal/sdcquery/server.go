@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand/v2"
+	"strings"
 	"sync"
 
 	"privacy3d/internal/dataset"
@@ -63,6 +64,43 @@ func (p Protection) String() string {
 	default:
 		return fmt.Sprintf("Protection(%d)", int(p))
 	}
+}
+
+// protectionsByName is the single source of truth for the short -protect
+// flag names: the CLI parser, its help text and the error messages all
+// derive from it, so they cannot drift apart (they did once; the lint
+// golden test now pins them).
+var protectionsByName = []struct {
+	Name string
+	P    Protection
+}{
+	{"none", NoProtection},
+	{"size", SizeRestriction},
+	{"auditing", Auditing},
+	{"perturbation", Perturbation},
+	{"camouflage", Camouflage},
+	{"overlap", OverlapRestriction},
+	{"sample", RandomSample},
+}
+
+// ProtectionNames lists every accepted short protection name, in canonical
+// order.
+func ProtectionNames() []string {
+	names := make([]string, len(protectionsByName))
+	for i, p := range protectionsByName {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ParseProtection resolves a short protection name ("size", "auditing", …).
+func ParseProtection(name string) (Protection, error) {
+	for _, p := range protectionsByName {
+		if p.Name == name {
+			return p.P, nil
+		}
+	}
+	return 0, fmt.Errorf("sdcquery: unknown protection %q (want %s)", name, strings.Join(ProtectionNames(), ", "))
 }
 
 // Answer is the server's response to a query.
@@ -168,6 +206,11 @@ func (s *Server) LogDepth() int {
 
 // Rows exposes the database size (public metadata).
 func (s *Server) Rows() int { return s.d.Rows() }
+
+// Dataset exposes the served microdata — the owner-side handle the
+// /protect endpoint masks releases from. The returned dataset must be
+// treated as read-only.
+func (s *Server) Dataset() *dataset.Dataset { return s.d }
 
 // Ask submits a query. Every query is logged before protection runs: the
 // owner sees denied queries too.

@@ -23,6 +23,7 @@
 package privacy3d
 
 import (
+	"context"
 	"math/rand/v2"
 	"net/http"
 
@@ -38,6 +39,7 @@ import (
 	"privacy3d/internal/randresp"
 	"privacy3d/internal/risk"
 	"privacy3d/internal/rulehide"
+	"privacy3d/internal/sdc"
 	"privacy3d/internal/sdcquery"
 	"privacy3d/internal/smc"
 	"privacy3d/internal/swap"
@@ -211,6 +213,45 @@ func IsPSensitiveKAnonymous(d *Dataset, cols, confCols []int, k, p int) bool {
 func EnforcePSensitive(d *Dataset, k, p int) (*Dataset, int, error) {
 	return anonymity.EnforcePSensitive(d, k, p)
 }
+
+// --- unified protection-method registry -----------------------------------
+
+// SDCMethod is one registered protection method: a self-describing schema
+// plus a context-aware Apply. SDCParams carries the uniform parameters and
+// SDCReport the uniform outcome of any method.
+type (
+	SDCMethod = sdc.Method
+	SDCSchema = sdc.Schema
+	SDCParams = sdc.Params
+	SDCReport = sdc.Report
+)
+
+// SDCMethods lists every registered method sorted by name — the eight
+// technology classes of the paper are all reachable here.
+func SDCMethods() []SDCMethod { return sdc.List() }
+
+// SDCMethodNames lists the registered method names.
+func SDCMethodNames() []string { return sdc.Names() }
+
+// LookupSDCMethod resolves a registered method by name.
+func LookupSDCMethod(name string) (SDCMethod, error) { return sdc.Lookup(name) }
+
+// Protect masks d with the named registered method. Cancelling ctx stops the
+// masking at its next chunk boundary; randomized methods require a non-nil
+// rng.
+func Protect(ctx context.Context, method string, d *Dataset, p SDCParams, rng *rand.Rand) (*Dataset, SDCReport, error) {
+	return sdc.Apply(ctx, method, d, p, rng)
+}
+
+// ProtectSeed is Protect with a deterministic rng derived from seed — the
+// same call always produces the same release bytes.
+func ProtectSeed(ctx context.Context, method string, d *Dataset, p SDCParams, seed uint64) (*Dataset, SDCReport, error) {
+	return sdc.ApplySeed(ctx, method, d, p, seed)
+}
+
+// SDCMethodTable renders the registry as a Markdown table (the generated
+// "Protection methods" documentation).
+func SDCMethodTable() string { return sdc.MarkdownTable() }
 
 // --- masking methods ------------------------------------------------------
 
