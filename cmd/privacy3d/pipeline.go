@@ -17,7 +17,8 @@ import (
 // Stage syntax: method:target[:param=value]... where method is any name of
 // the sdc registry (see `privacy3d schema -methods`); target is qi,
 // confidential, numeric or categorical. k=<int>, amp=<float> and
-// window=<float> fill the classic typed stage fields; every other
+// window=<float> (rank-swap window, swap only) fill the classic typed stage
+// fields — unset parameters use the registry defaults; every other
 // param=value pair is handed to the method by name (e.g. gamma=0.3 for
 // vmdav), so new registry methods need no parser changes.
 func cmdPipeline(ctx context.Context, args []string) error {

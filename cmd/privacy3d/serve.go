@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -42,6 +43,8 @@ func cmdServe(args []string) error {
 	in := fs.String("in", "", "input CSV file (default: the paper's Dataset 2)")
 	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
 	protect := fs.String("protect", "auditing", protectHelp("protection to serve under"))
+	ownerToken := fs.String("ownertoken", os.Getenv("PRIVACY3D_OWNER_TOKEN"),
+		"bearer token gating POST /protect (empty disables the endpoint; defaults to $PRIVACY3D_OWNER_TOKEN)")
 	addr := fs.String("addr", ":8733", "listen address")
 	minSize := fs.Int("minsize", 3, "query-set-size threshold")
 	reqTimeout := fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
@@ -77,7 +80,7 @@ func cmdServe(args []string) error {
 	// Route per-method masking metrics (sdc_apply_total, sdc_apply_seconds)
 	// from the /protect endpoint into this registry.
 	sdc.Instrument(reg)
-	handler := obs.Chain(sdcquery.NewObservedHandler(srv, reg),
+	handler := obs.Chain(sdcquery.NewHandler(srv, sdcquery.HandlerConfig{Registry: reg, OwnerToken: *ownerToken}),
 		obs.Logging(logger),
 		obs.Instrument(reg, "/query", "/sql", "/protect", "/log", "/metrics"),
 		obs.Recover(reg, logger),
@@ -85,7 +88,11 @@ func cmdServe(args []string) error {
 	)
 	logger.Printf("serving %d records with %s protection on %s", d.Rows(), prot, *addr)
 	logger.Printf("the owner sees every query at GET /log — the no-user-privacy side of Section 3")
-	logger.Printf("masked releases at POST /protect (methods: %s)", strings.Join(sdc.Names(), ", "))
+	if *ownerToken != "" {
+		logger.Printf("owner-gated masked releases at POST /protect (methods: %s)", strings.Join(sdc.Names(), ", "))
+	} else {
+		logger.Printf("POST /protect disabled — set -ownertoken (or $PRIVACY3D_OWNER_TOKEN) to enable owner-side masked releases")
+	}
 	logger.Printf("request and denial-rate counters at GET /metrics")
 	return obs.Run(obs.NewServer(*addr, handler), logger, *grace)
 }

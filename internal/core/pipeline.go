@@ -35,10 +35,14 @@ type Stage struct {
 	Target  string
 	Columns []int
 	// K is the group size for grouping methods (the registry's "k" param).
+	// Zero means unset: the registry default applies.
 	K int
 	// Amplitude is the relative noise level for noise/corrnoise ("amp").
+	// Zero means unset: the registry default applies.
 	Amplitude float64
-	// Window is the rank-swap window percentage ("p").
+	// Window is the rank-swap window percentage — the "swap" method's "p"
+	// parameter only; setting it on any other method is an error (kanon's
+	// "p" is the unrelated p-sensitivity, reachable via Extra).
 	Window float64
 	// Extra carries additional registry parameters by name (e.g. "gamma"
 	// for vmdav, "change" for pram); entries override the legacy fields.
@@ -74,23 +78,42 @@ func (st Stage) columnsFor(d *dataset.Dataset) ([]int, error) {
 	}
 }
 
-// params assembles the stage's sdc parameter values: the legacy typed
-// fields fill the parameters the method's schema declares (K → "k",
-// Amplitude → "amp", Window → "p" — always, so a zero K still fails
-// validation exactly like the pre-registry switch did), then Extra entries
-// override by name.
-func (st Stage) params(schema sdc.Schema) sdc.Params {
-	vals := map[string]float64{}
-	legacy := map[string]float64{"k": float64(st.K), "amp": st.Amplitude, "p": st.Window}
+// params assembles the stage's sdc parameter values. A legacy typed field
+// is forwarded only when explicitly set (non-zero), so the registry
+// defaults stay reachable from pipelines, and only to a parameter with the
+// same meaning: the mapping is keyed by method where a bare name is
+// ambiguous — Window is the rank-swap window and fills "p" on the "swap"
+// method only, never kanon's unrelated p-sensitivity "p". A set field that
+// does not apply to the method is an error, not a silent no-op. Extra
+// entries override by name.
+func (st Stage) params(schema sdc.Schema) (sdc.Params, error) {
+	declared := map[string]bool{}
 	for _, spec := range schema.Params {
-		if v, ok := legacy[spec.Name]; ok {
-			vals[spec.Name] = v
+		declared[spec.Name] = true
+	}
+	vals := map[string]float64{}
+	if st.K != 0 {
+		if !declared["k"] {
+			return sdc.Params{}, fmt.Errorf("method %q takes no group size k", schema.Name)
 		}
+		vals["k"] = float64(st.K)
+	}
+	if st.Amplitude != 0 {
+		if !declared["amp"] {
+			return sdc.Params{}, fmt.Errorf("method %q takes no noise amplitude", schema.Name)
+		}
+		vals["amp"] = st.Amplitude
+	}
+	if st.Window != 0 {
+		if schema.Name != "swap" {
+			return sdc.Params{}, fmt.Errorf("window is the rank-swap window and applies to method \"swap\" only, not %q", schema.Name)
+		}
+		vals["p"] = st.Window
 	}
 	for name, v := range st.Extra {
 		vals[name] = v
 	}
-	return sdc.Params{Columns: st.Columns, Target: st.Target, Values: vals}
+	return sdc.Params{Columns: st.Columns, Target: st.Target, Values: vals}, nil
 }
 
 // Apply runs the stage on d with the given seed.
@@ -107,7 +130,11 @@ func (st Stage) ApplyCtx(ctx context.Context, d *dataset.Dataset, seed uint64) (
 	if err != nil {
 		return nil, fmt.Errorf("core: pipeline stage: %w", err)
 	}
-	out, _, err := m.Apply(ctx, d, st.params(m.Params()), dataset.NewRand(seed))
+	p, err := st.params(m.Params())
+	if err != nil {
+		return nil, fmt.Errorf("core: pipeline stage %s: %w", st.Method, err)
+	}
+	out, _, err := m.Apply(ctx, d, p, dataset.NewRand(seed))
 	return out, err
 }
 
@@ -138,6 +165,13 @@ func (e *Evaluator) EvaluatePipelineCtx(ctx context.Context, p Pipeline, target 
 	released := e.original.Clone()
 	var err error
 	for i, st := range p.Stages {
+		// The attack battery and the info-loss measure compare the release
+		// to the original cell-by-cell numerically; a recoding method
+		// (intervals, suppression) breaks that comparison, so reject it here
+		// with an error instead of letting the scorer panic downstream.
+		if m, lerr := sdc.Lookup(st.Method); lerr == nil && m.Params().Recodes {
+			return rep, fmt.Errorf("core: pipeline %q stage %d: method %q recodes values to interval labels and cannot be evaluated on the numeric attack battery", p.Name, i, st.Method)
+		}
 		released, err = st.ApplyCtx(ctx, released, e.cfg.Seed^uint64(i+1)*0x9e37)
 		if err != nil {
 			return rep, fmt.Errorf("core: pipeline %q stage %d: %w", p.Name, i, err)

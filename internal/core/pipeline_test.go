@@ -81,6 +81,50 @@ func TestPipelineStageErrors(t *testing.T) {
 	if _, err := e.EvaluatePipeline(badTarget, Medium); err == nil {
 		t.Error("accepted unknown stage target")
 	}
+	// Recoding methods break the cell-wise numeric comparison of the attack
+	// battery: an error, not the historical panic in the scorer.
+	recoding := Pipeline{Name: "bad", Stages: []Stage{{Method: "mondrian"}}}
+	if _, err := e.EvaluatePipeline(recoding, Medium); err == nil {
+		t.Error("accepted a recoding method on the numeric attack battery")
+	}
+}
+
+// TestStageLegacyParamMapping pins the legacy-field → registry-parameter
+// rules: unset (zero) fields leave the registry defaults in force, so newly
+// exposed methods work from pipelines without setting k explicitly, and
+// Window fills the rank-swap "p" only — on kanon, whose "p" is the
+// unrelated p-sensitivity, a set Window is an error rather than a silent
+// parameter hijack.
+func TestStageLegacyParamMapping(t *testing.T) {
+	e, err := NewEvaluator(DefaultEvalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Workload()
+
+	// Unset K: mondrian must fall back to the registry default k=3 instead
+	// of failing validation with k=0.
+	if _, err := (Stage{Method: "mondrian"}).Apply(d, 1); err != nil {
+		t.Errorf("mondrian with default k: %v", err)
+	}
+
+	// Window on swap still reaches the "p" window parameter.
+	if _, err := (Stage{Method: "swap", Window: 5}).Apply(d, 1); err != nil {
+		t.Errorf("swap with window: %v", err)
+	}
+
+	// Window on kanon must error, not set p-sensitivity.
+	if _, err := (Stage{Method: "kanon", Window: 2}).Apply(d, 1); err == nil {
+		t.Error("kanon accepted Window as its unrelated p-sensitivity")
+	}
+
+	// A set field a method does not declare is an error, not a no-op.
+	if _, err := (Stage{Method: "mdav", Amplitude: 0.5}).Apply(d, 1); err == nil {
+		t.Error("mdav accepted a noise amplitude")
+	}
+	if _, err := (Stage{Method: "noise", K: 3}).Apply(d, 1); err == nil {
+		t.Error("noise accepted a group size")
+	}
 }
 
 func TestStageColumnResolution(t *testing.T) {

@@ -21,6 +21,7 @@ package sdc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -367,7 +368,7 @@ func observeApply(name string, elapsed time.Duration, err error) {
 	outcome := "ok"
 	if err != nil {
 		outcome = "error"
-		if err == context.Canceled || err == context.DeadlineExceeded {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			outcome = "canceled"
 		}
 	}

@@ -2,6 +2,8 @@ package sdcquery
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +11,7 @@ import (
 	"net/http"
 	"strings"
 
+	"privacy3d/internal/dataset"
 	"privacy3d/internal/obs"
 	"privacy3d/internal/sdc"
 )
@@ -20,12 +23,24 @@ import (
 //	POST /query   — structured JSON query
 //	POST /sql     — raw query text in the paper's dialect
 //	POST /protect — mask the served microdata with a registered sdc method
+//	               (owner-only: requires the configured bearer token)
 //	GET  /log     — the owner's query log
 //	GET  /metrics — request/outcome counters (when built with a Registry)
 //
+// /query and /sql are the untrusted-user surface and go through the
+// server's inference controls. /protect is an owner operation — the caller
+// chooses method, parameters and seed, so anyone allowed to call it can
+// reconstruct the microdata (a degenerate parameterisation, or averaging
+// seeded releases, returns the original values). It therefore requires
+// HandlerConfig.OwnerToken and is disabled when no token is configured, so
+// mounting the handler can never silently widen the user-facing API into a
+// raw-data oracle. Released datasets additionally have Identifier-role
+// columns stripped: direct identifiers never ship in a microdata release.
+//
 // All error responses are JSON objects {"error": "..."} with a correct
-// status code: 400 for malformed input, 405 for a wrong method (with an
-// Allow header), 404 for an unknown path.
+// status code: 400 for malformed input, 401/403 for missing or bad owner
+// credentials, 405 for a wrong method (with an Allow header), 404 for an
+// unknown path.
 
 // QueryJSON is the structured wire format of /query.
 type QueryJSON struct {
@@ -139,15 +154,57 @@ func (q QueryJSON) ToQuery() (Query, error) {
 	return out, nil
 }
 
-// NewHTTPHandler wraps a Server in the HTTP API without metrics.
-func NewHTTPHandler(srv *Server) http.Handler { return NewObservedHandler(srv, nil) }
+// HandlerConfig configures the HTTP API surface.
+type HandlerConfig struct {
+	// Registry, when non-nil, receives answer-outcome counters and the
+	// query-log depth gauge, and is mounted at GET /metrics.
+	Registry *obs.Registry
+	// OwnerToken is the bearer token required by POST /protect. When empty,
+	// /protect is disabled (403): masked releases expose record-level
+	// microdata and must never be reachable by the untrusted /query clients.
+	OwnerToken string
+}
 
-// NewObservedHandler wraps a Server in the HTTP API and, when reg is
-// non-nil, counts answer outcomes (answered / denied / interval / error),
-// exposes the query-log depth as a gauge — the tracker-relevant signal: how
-// much history an auditor must reason over — and mounts reg at GET
-// /metrics.
+// NewHTTPHandler wraps a Server in the HTTP API without metrics and with
+// /protect disabled.
+func NewHTTPHandler(srv *Server) http.Handler { return NewHandler(srv, HandlerConfig{}) }
+
+// NewObservedHandler wraps a Server in the HTTP API with metrics and with
+// /protect disabled.
 func NewObservedHandler(srv *Server, reg *obs.Registry) http.Handler {
+	return NewHandler(srv, HandlerConfig{Registry: reg})
+}
+
+// authorizeOwner checks the request's Authorization header against the
+// configured owner token in constant time. It writes the error response and
+// returns false when the request is not authorized.
+func authorizeOwner(w http.ResponseWriter, r *http.Request, token string) bool {
+	if token == "" {
+		writeError(w, http.StatusForbidden,
+			"POST /protect is disabled: the server was started without an owner token")
+		return false
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	// Compare digests so the comparison is constant-time regardless of
+	// token length.
+	want := sha256.Sum256([]byte(token))
+	have := sha256.Sum256([]byte(got))
+	if !ok || subtle.ConstantTimeCompare(want[:], have[:]) != 1 {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="owner"`)
+		writeError(w, http.StatusUnauthorized,
+			"POST /protect requires the owner bearer token")
+		return false
+	}
+	return true
+}
+
+// NewHandler wraps a Server in the HTTP API. When cfg.Registry is non-nil it
+// counts answer outcomes (answered / denied / interval / error), exposes the
+// query-log depth as a gauge — the tracker-relevant signal: how much history
+// an auditor must reason over — and mounts the registry at GET /metrics.
+// POST /protect is mounted but answers 403 unless cfg.OwnerToken is set.
+func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
+	reg := cfg.Registry
 	outcome := func(name string) {
 		if reg != nil {
 			reg.Counter(obs.Label("sdcquery_answers_total", "outcome", name)).Inc()
@@ -217,15 +274,23 @@ func NewObservedHandler(srv *Server, reg *obs.Registry) http.Handler {
 		if !requireMethod(w, r, http.MethodPost) {
 			return
 		}
+		if !authorizeOwner(w, r, cfg.OwnerToken) {
+			return
+		}
 		var pr ProtectRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&pr); err != nil {
 			writeError(w, http.StatusBadRequest, "malformed JSON protect request: "+err.Error())
 			return
 		}
+		// Direct identifiers never ship in a microdata release, whatever the
+		// masking method targets; stripping them before masking keeps the
+		// Report's column indices consistent with the released schema (the
+		// request's columns/target likewise address the identifier-free view).
+		release := srv.Dataset().DropRole(dataset.Identifier)
 		// The request context carries the middleware timeout and the client
 		// connection: a dropped client or server drain cancels the masking
 		// run at its next chunk boundary instead of burning cores.
-		masked, rep, err := sdc.ApplySeed(r.Context(), pr.Method, srv.Dataset(), sdc.Params{
+		masked, rep, err := sdc.ApplySeed(r.Context(), pr.Method, release, sdc.Params{
 			Target: pr.Target, Columns: pr.Columns, Values: pr.Params,
 		}, pr.Seed)
 		if err != nil {
