@@ -18,10 +18,13 @@ check: lint
 # lint runs go vet plus the generated-documentation consistency tests: the
 # CLI help, the `schema -methods` table and the README/EXPERIMENTS method
 # sections must all match the sdc registry (testdata/methods.golden pins
-# the rendered table; regenerate with `go test ./cmd/privacy3d -update`).
+# the rendered table), and the -protect table — including the dp flags
+# -epsilon/-delta/-budget/-principal — must match the sdcquery protection
+# list (testdata/protections.golden). Regenerate both goldens with
+# `go test ./cmd/privacy3d -update`.
 lint:
 	$(GO) vet ./...
-	$(GO) test ./cmd/privacy3d -run 'TestMethodTableGolden|TestHelpListsEveryMethod|TestProtectionHelpMatchesParser'
+	$(GO) test ./cmd/privacy3d -run 'TestMethodTableGolden|TestProtectionTableGolden|TestProtectionTableFlagsExist|TestHelpListsEveryMethod|TestProtectionHelpMatchesParser'
 
 build:
 	$(GO) build ./...

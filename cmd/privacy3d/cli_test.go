@@ -38,7 +38,7 @@ func TestParseProtection(t *testing.T) {
 		"none": sdcquery.NoProtection, "size": sdcquery.SizeRestriction,
 		"auditing": sdcquery.Auditing, "perturbation": sdcquery.Perturbation,
 		"camouflage": sdcquery.Camouflage, "overlap": sdcquery.OverlapRestriction,
-		"sample": sdcquery.RandomSample,
+		"sample": sdcquery.RandomSample, "dp": sdcquery.DifferentialPrivacy,
 	}
 	for name, p := range want {
 		got, err := parseProtection(name)
@@ -57,7 +57,7 @@ func TestParseProtection(t *testing.T) {
 // accepts (including overlap and sample, which the old help omitted).
 func TestProtectionHelpMatchesParser(t *testing.T) {
 	names := protectionNames()
-	for _, want := range []string{"none", "size", "auditing", "perturbation", "camouflage", "overlap", "sample"} {
+	for _, want := range []string{"none", "size", "auditing", "perturbation", "camouflage", "overlap", "sample", "dp"} {
 		if !strings.Contains(names, want) {
 			t.Errorf("protection list %q missing %q", names, want)
 		}

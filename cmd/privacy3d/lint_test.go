@@ -35,6 +35,63 @@ func TestMethodTableGolden(t *testing.T) {
 	}
 }
 
+// TestProtectionTableGolden pins the generated -protect table: the README
+// "Query protections" section and this golden file are the same
+// sdcquery.ProtectionTable() output. Adding, renaming or re-documenting a
+// protection fails this test until the golden (and the README section) are
+// regenerated with -update.
+func TestProtectionTableGolden(t *testing.T) {
+	got := sdcquery.ProtectionTable()
+	path := filepath.Join("testdata", "protections.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("protection table drifted from %s; run `go test ./cmd/privacy3d -run TestProtectionTableGolden -update` and refresh the README section\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestProtectionTableFlagsExist asserts the "Extra flags" column of the
+// generated -protect table only names flags the serve/query commands
+// actually register — the help-text consistency gate for the dp flags
+// (-epsilon, -delta, -budget, -principal).
+func TestProtectionTableFlagsExist(t *testing.T) {
+	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
+	fs.Int("minsize", 3, "")
+	fs.String("principal", "", "")
+	dpFlags(fs)
+	for _, line := range strings.Split(sdcquery.ProtectionTable(), "\n") {
+		cells := strings.Split(line, "|")
+		if len(cells) < 5 || !strings.HasPrefix(strings.TrimSpace(cells[1]), "`") ||
+			strings.TrimSpace(cells[1]) == "`-protect`" { // header row
+			continue
+		}
+		for _, f := range strings.Split(cells[3], ",") {
+			f = strings.TrimSpace(f)
+			if f == "" || f == "—" {
+				continue
+			}
+			name := strings.TrimPrefix(f, "-")
+			if fs.Lookup(name) == nil {
+				t.Errorf("protection table documents flag %q which no CLI command registers", f)
+			}
+		}
+	}
+	// And the dp row must document every dp flag the CLI registers.
+	table := sdcquery.ProtectionTable()
+	for _, name := range []string{"-epsilon", "-delta", "-budget", "-principal"} {
+		if !strings.Contains(table, name) {
+			t.Errorf("protection table missing dp flag %s", name)
+		}
+	}
+}
+
 // TestHelpListsEveryMethod asserts the CLI help is generated from the
 // registries: the mask -method help and the top-level usage name every sdc
 // method, and the -protect help names every query protection.

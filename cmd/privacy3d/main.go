@@ -272,10 +272,10 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	classes := core.Classes()
+	classes := core.AllClasses()
 	if *class != "" {
 		classes = nil
-		for _, c := range core.Classes() {
+		for _, c := range core.AllClasses() {
 			if c.String() == *class {
 				classes = []core.Class{c}
 			}
@@ -284,14 +284,14 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 			return fmt.Errorf("unknown class %q", *class)
 		}
 	}
-	paper := core.PaperTable2()
+	paper := core.ReferenceTable2()
 	for _, c := range classes {
 		m, err := ev.EvaluateCtx(ctx, c)
 		if err != nil {
 			return err
 		}
 		p := paper[c]
-		fmt.Printf("%-38s respondent=%s(%.2f) owner=%s(%.2f) user=%s(%.2f)  [paper: %s/%s/%s]\n",
+		fmt.Printf("%-38s respondent=%s(%.2f) owner=%s(%.2f) user=%s(%.2f)  [reference: %s/%s/%s]\n",
 			c, m.Grades.Respondent, m.Scores.Respondent,
 			m.Grades.Owner, m.Scores.Owner,
 			m.Grades.User, m.Scores.User,

@@ -32,6 +32,16 @@ func parseProtection(name string) (sdcquery.Protection, error) {
 	return sdcquery.ParseProtection(name)
 }
 
+// dpFlags registers the differential-privacy flags shared by serve and
+// query — the extra flags the `dp` row of sdcquery.ProtectionTable
+// documents. They are ignored under every other -protect mode.
+func dpFlags(fs *flag.FlagSet) (epsilon, delta, budget *float64) {
+	epsilon = fs.Float64("epsilon", 0.5, "dp: per-query privacy cost ε (> 0)")
+	delta = fs.Float64("delta", 0, "dp: 0 uses the Laplace mechanism; 0<δ<1 the Gaussian one")
+	budget = fs.Float64("budget", 10, "dp: total ε each principal may spend before queries are refused")
+	return epsilon, delta, budget
+}
+
 // cmdServe exposes a protected statistical database over HTTP: POST /query
 // (structured JSON), POST /sql (raw query text); GET /log shows the owner's
 // view of all submitted queries (making the absence of user privacy
@@ -47,6 +57,8 @@ func cmdServe(args []string) error {
 		"bearer token gating POST /protect (empty disables the endpoint; defaults to $PRIVACY3D_OWNER_TOKEN)")
 	addr := fs.String("addr", ":8733", "listen address")
 	minSize := fs.Int("minsize", 3, "query-set-size threshold")
+	epsilon, delta, budget := dpFlags(fs)
+	seed := fs.Uint64("seed", 20070923, "noise seed (dp answers are a pure function of seed, principal and query)")
 	reqTimeout := fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
 	grace := fs.Duration("grace", obs.DefaultShutdownGrace, "graceful-shutdown drain window")
 	workers := workersFlag(fs)
@@ -70,7 +82,10 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := sdcquery.NewServer(d, sdcquery.Config{Protection: prot, MinSetSize: *minSize})
+	srv, err := sdcquery.NewServer(d, sdcquery.Config{
+		Protection: prot, MinSetSize: *minSize, Seed: *seed,
+		Epsilon: *epsilon, Delta: *delta, EpsilonBudget: *budget,
+	})
 	if err != nil {
 		return err
 	}
@@ -87,6 +102,10 @@ func cmdServe(args []string) error {
 		obs.Timeout(*reqTimeout),
 	)
 	logger.Printf("serving %d records with %s protection on %s", d.Rows(), prot, *addr)
+	if prot == sdcquery.DifferentialPrivacy {
+		logger.Printf("dp: ε=%g per query, budget %g per principal; queries must carry the %s header",
+			*epsilon, *budget, sdcquery.PrincipalHeader)
+	}
 	logger.Printf("the owner sees every query at GET /log — the no-user-privacy side of Section 3")
 	if *ownerToken != "" {
 		logger.Printf("owner-gated masked releases at POST /protect (methods: %s)", strings.Join(sdc.Names(), ", "))
@@ -155,6 +174,9 @@ func cmdQuery(args []string) error {
 	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
 	protect := fs.String("protect", "none", protectHelp("protection to apply"))
 	q := fs.String("q", "", "query, e.g. \"SELECT AVG(blood_pressure) WHERE height < 165\"")
+	principal := fs.String("principal", "", "dp: budget-accounting identity the query is asked as")
+	epsilon, delta, budget := dpFlags(fs)
+	seed := fs.Uint64("seed", 20070923, "noise seed (dp answers are a pure function of seed, principal and query)")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,7 +198,10 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := sdcquery.NewServer(d, sdcquery.Config{Protection: prot})
+	srv, err := sdcquery.NewServer(d, sdcquery.Config{
+		Protection: prot, Seed: *seed,
+		Epsilon: *epsilon, Delta: *delta, EpsilonBudget: *budget,
+	})
 	if err != nil {
 		return err
 	}
@@ -184,7 +209,7 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := srv.Ask(query)
+	a, err := srv.AskAs(*principal, query)
 	if err != nil {
 		return err
 	}
@@ -193,6 +218,8 @@ func cmdQuery(args []string) error {
 		fmt.Printf("DENIED: %s\n", a.Reason)
 	case a.Interval:
 		fmt.Printf("[%g, %g]\n", a.Lo, a.Hi)
+	case a.Budgeted:
+		fmt.Printf("%g (spent ε=%g, ε=%g remaining)\n", a.Value, a.Epsilon, a.EpsilonRemaining)
 	default:
 		fmt.Printf("%g\n", a.Value)
 	}

@@ -79,30 +79,38 @@ func table2() error {
 		return err
 	}
 	paper := core.PaperTable2()
+	ref := core.ReferenceTable2()
 	ms, err := ev.Table2()
 	if err != nil {
 		return err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Technology class\tRespondent\tOwner\tUser\tpaper (R/O/U)\tmatch")
-	matched := 0
+	fmt.Fprintln(w, "Technology class\tRespondent\tOwner\tUser\treference (R/O/U)\tmatch")
+	matched, published := 0, 0
 	for _, m := range ms {
-		p := paper[m.Class]
-		ok := m.Grades == p
+		r := ref[m.Class]
+		ok := m.Grades == r
 		if ok {
 			matched++
 		}
-		fmt.Fprintf(w, "%s\t%s (%.2f)\t%s (%.2f)\t%s (%.2f)\t%s/%s/%s\t%v\n",
+		mark := ""
+		if _, inPaper := paper[m.Class]; !inPaper {
+			mark = " (not in paper)"
+		} else {
+			published++
+		}
+		fmt.Fprintf(w, "%s\t%s (%.2f)\t%s (%.2f)\t%s (%.2f)\t%s/%s/%s%s\t%v\n",
 			m.Class,
 			m.Grades.Respondent, m.Scores.Respondent,
 			m.Grades.Owner, m.Scores.Owner,
 			m.Grades.User, m.Scores.User,
-			p.Respondent, p.Owner, p.User, ok)
+			r.Respondent, r.Owner, r.User, mark, ok)
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("matched %d/%d rows of the paper's Table 2\n", matched, len(ms))
+	fmt.Printf("matched %d/%d rows (%d published in the paper's Table 2; the DP row is this repository's extension)\n",
+		matched, len(ms), published)
 	return nil
 }
 

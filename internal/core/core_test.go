@@ -50,15 +50,19 @@ func TestClassesAndStrings(t *testing.T) {
 	if len(cs) != 8 {
 		t.Fatalf("Classes() = %d rows, want 8 (Table 2)", len(cs))
 	}
+	all := AllClasses()
+	if len(all) != 9 || all[len(all)-1] != DP {
+		t.Fatalf("AllClasses() = %v, want the paper's 8 plus DP", all)
+	}
 	seen := map[string]bool{}
-	for _, c := range cs {
+	for _, c := range all {
 		name := c.String()
 		if name == "" || seen[name] {
 			t.Errorf("bad or duplicate class name %q", name)
 		}
 		seen[name] = true
 	}
-	if !PIR.HasPIR() || SDC.HasPIR() || !SDCPlusPIR.HasPIR() || CryptoPPDM.HasPIR() {
+	if !PIR.HasPIR() || SDC.HasPIR() || !SDCPlusPIR.HasPIR() || CryptoPPDM.HasPIR() || DP.HasPIR() {
 		t.Error("HasPIR wrong")
 	}
 }
@@ -68,6 +72,16 @@ func TestPaperTable2Complete(t *testing.T) {
 	for _, c := range Classes() {
 		if _, ok := paper[c]; !ok {
 			t.Errorf("PaperTable2 missing %v", c)
+		}
+	}
+	// The paper does not score DP; the reference table adds it on top.
+	if _, ok := paper[DP]; ok {
+		t.Error("PaperTable2 must not invent a DP row")
+	}
+	ref := ReferenceTable2()
+	for _, c := range AllClasses() {
+		if _, ok := ref[c]; !ok {
+			t.Errorf("ReferenceTable2 missing %v", c)
 		}
 	}
 	// Spot-check the printed table.
@@ -98,24 +112,26 @@ func TestEvaluatorValidation(t *testing.T) {
 }
 
 // TestTable2MatchesPaper is the headline reproduction: the empirical grades
-// of all eight technology classes coincide with the paper's Table 2.
+// of the eight published technology classes coincide with the paper's
+// Table 2, and the DP extension row matches this repository's reference
+// grades.
 func TestTable2MatchesPaper(t *testing.T) {
 	e, err := NewEvaluator(DefaultEvalConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	paper := PaperTable2()
+	ref := ReferenceTable2()
 	ms, err := e.Table2()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ms) != 8 {
-		t.Fatalf("measured %d rows", len(ms))
+	if len(ms) != 9 {
+		t.Fatalf("measured %d rows, want the paper's 8 plus DP", len(ms))
 	}
 	for _, m := range ms {
-		want := paper[m.Class]
+		want := ref[m.Class]
 		if m.Grades != want {
-			t.Errorf("%v: measured %+v, paper %+v (scores %+v)", m.Class, m.Grades, want, m.Scores)
+			t.Errorf("%v: measured %+v, reference %+v (scores %+v)", m.Class, m.Grades, want, m.Scores)
 		}
 	}
 }

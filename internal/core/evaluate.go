@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/dp"
 	"privacy3d/internal/noise"
 	"privacy3d/internal/par"
 	"privacy3d/internal/pir"
@@ -37,6 +38,11 @@ type EvalConfig struct {
 	// BinsPerDim controls the rare-combination disclosure measurement.
 	BinsPerDim int
 
+	// DPEpsilon is the per-cell privacy parameter of the DP row (default 1):
+	// the release carries Laplace noise with scale (column range)/ε per
+	// cell, the local-DP view of the internal/dp mechanism.
+	DPEpsilon float64
+
 	// UserGameTrials is the number of rounds of the query-inference game.
 	UserGameTrials int
 	// AnalysisTypes (M) and UseSpecificTypes (m ≤ M) parameterise the
@@ -51,7 +57,7 @@ func DefaultEvalConfig() EvalConfig {
 	return EvalConfig{
 		N: 1500, ExtraQI: 4, Seed: 20070923,
 		SDCK: 3, NoiseAmplitude: 0.35, CondenseK: 2,
-		BinsPerDim:     3,
+		BinsPerDim: 3, DPEpsilon: 1,
 		UserGameTrials: 400, AnalysisTypes: 16, UseSpecificTypes: 2,
 	}
 }
@@ -89,6 +95,9 @@ func NewEvaluatorFor(d *dataset.Dataset, cfg EvalConfig) (*Evaluator, error) {
 	}
 	if cfg.UseSpecificTypes < 1 || cfg.UseSpecificTypes > cfg.AnalysisTypes {
 		return nil, fmt.Errorf("core: need 1 ≤ UseSpecificTypes ≤ AnalysisTypes")
+	}
+	if cfg.DPEpsilon <= 0 {
+		cfg.DPEpsilon = 1
 	}
 	if d == nil || d.Rows() < 100 {
 		return nil, fmt.Errorf("core: evaluation dataset needs ≥ 100 records")
@@ -138,6 +147,8 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, c Class) (Measurement, erro
 		s, err = e.scoreRelease(ctx, e.maskCondense)
 	case PIR:
 		s, err = e.scoreRelease(ctx, e.maskIdentity)
+	case DP:
+		s, err = e.scoreRelease(ctx, e.maskDP)
 	case CryptoPPDM:
 		s, err = e.scoreCrypto()
 	default:
@@ -153,12 +164,13 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, c Class) (Measurement, erro
 	return Measurement{Class: c, Scores: s, Grades: GradesOf(s)}, nil
 }
 
-// Table2 evaluates every class, in paper order. The eight technology
-// classes fan out across the internal/par worker pool: each Evaluate call
-// is self-contained — every masking and attack game seeds its own PRNG
-// from cfg.Seed and the class, and the shared workload is read-only — so
-// each class's measurement is bit-identical to a sequential run and the
-// rows come back in paper order regardless of the worker count.
+// Table2 evaluates every implemented class: the paper's eight rows in
+// paper order, then the DP extension row. The classes fan out across the
+// internal/par worker pool: each Evaluate call is self-contained — every
+// masking and attack game seeds its own PRNG from cfg.Seed and the class,
+// and the shared workload is read-only — so each class's measurement is
+// bit-identical to a sequential run and the rows come back in order
+// regardless of the worker count.
 func (e *Evaluator) Table2() ([]Measurement, error) {
 	return e.Table2Ctx(context.Background())
 }
@@ -168,7 +180,7 @@ func (e *Evaluator) Table2() ([]Measurement, error) {
 // their next chunk boundary, and ctx.Err() is returned with no partial
 // table.
 func (e *Evaluator) Table2Ctx(ctx context.Context) ([]Measurement, error) {
-	classes := Classes()
+	classes := AllClasses()
 	out := make([]Measurement, len(classes))
 	errs := make([]error, len(classes))
 	if err := par.TasksCtx(ctx, len(classes), func(i int) {
@@ -226,6 +238,32 @@ func (e *Evaluator) maskCondense(ctx context.Context) (*dataset.Dataset, error) 
 
 func (e *Evaluator) maskIdentity(ctx context.Context) (*dataset.Dataset, error) {
 	return e.original.Clone(), nil
+}
+
+// maskDP releases the workload under per-cell ε-DP Laplace noise — the
+// local-DP view of the internal/dp mechanism, so the record-level release
+// attacks (linkage, sparse disclosure, interval recovery) can score the
+// same calibrated noise the interactive sdcquery server adds to aggregate
+// answers. Each cell's noise has sensitivity equal to its column's range
+// (one substitution can move a cell anywhere in the domain) and is keyed
+// on (row, column), so the release is deterministic per seed.
+func (e *Evaluator) maskDP(ctx context.Context) (*dataset.Dataset, error) {
+	m := e.original.Clone()
+	for _, j := range e.numericCols() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b := dp.ColumnBounds(e.original, j)
+		p := dp.NoiseParams{Mechanism: dp.Laplace, Sensitivity: b.Width(), Epsilon: e.cfg.DPEpsilon}
+		for i := 0; i < m.Rows(); i++ {
+			n, err := dp.Noise(e.cfg.Seed^0xd1f, fmt.Sprintf("%d:%d", i, j), p)
+			if err != nil {
+				return nil, err
+			}
+			m.SetFloat(i, j, m.Float(i, j)+n)
+		}
+	}
+	return m, nil
 }
 
 // --- respondent and owner scores on a record-level release -------------

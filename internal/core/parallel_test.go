@@ -1,6 +1,6 @@
 package core
 
-// Table 2 fans the eight technology classes out across the worker pool;
+// Table 2 fans the nine technology classes out across the worker pool;
 // the measurements must be bit-identical to the sequential per-class loop
 // for every worker count, because each class seeds its own PRNGs.
 
@@ -28,8 +28,8 @@ func TestTable2IdenticalAcrossWorkers(t *testing.T) {
 
 	// Sequential reference: the pre-engine per-class loop.
 	par.SetWorkers(1)
-	want := make([]Measurement, 0, len(Classes()))
-	for _, c := range Classes() {
+	want := make([]Measurement, 0, len(AllClasses()))
+	for _, c := range AllClasses() {
 		m, err := ev.Evaluate(c)
 		if err != nil {
 			t.Fatal(err)
@@ -65,7 +65,7 @@ func TestTable2RowsStayInPaperOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := Classes()
+	classes := AllClasses()
 	if len(ms) != len(classes) {
 		t.Fatalf("got %d rows, want %d", len(ms), len(classes))
 	}

@@ -1,0 +1,242 @@
+// Package dp implements differential privacy as an inference control for
+// interactive statistical databases — the third classical family of the
+// paper's Section 3 ("perturbing ... the answers to certain queries"),
+// here with the modern calibrated-noise semantics: an answer to an
+// aggregate query is released with Laplace or Gaussian noise scaled to the
+// query's sensitivity, and every release debits a per-principal ε budget
+// (Wang et al. ground the ε semantics via identifiability and
+// mutual-information privacy; Sankar et al. the privacy/utility
+// accounting).
+//
+// Everything is deterministic by construction: noise is drawn by inverse
+// transform sampling over the repository's seeded PCG rng plumbing
+// (dataset.NewRand), and the uniform variate is derived from a hash of
+// (seed, noise key) rather than from a shared stream — so the same seed
+// reproduces byte-identical perturbed answers regardless of request
+// interleaving or worker count. The budget Ledger is lock-striped so
+// concurrent check-and-debit from many principals does not serialize the
+// server.
+package dp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"privacy3d/internal/dataset"
+)
+
+// Mechanism selects the noise distribution of a release.
+type Mechanism int
+
+const (
+	// Laplace is the ε-DP Laplace mechanism: noise ~ Lap(Δ/ε).
+	Laplace Mechanism = iota
+	// Gaussian is the (ε,δ)-DP Gaussian mechanism:
+	// noise ~ N(0, σ²) with σ = Δ·√(2·ln(1.25/δ))/ε.
+	Gaussian
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case Laplace:
+		return "laplace"
+	case Gaussian:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Aggregate is a query aggregate the sensitivity rules cover.
+type Aggregate int
+
+const (
+	// Count is COUNT(*): adding or removing one record changes the answer
+	// by at most 1.
+	Count Aggregate = iota
+	// Sum is SUM(attr) over an attribute bounded to [Lo, Hi]: one record
+	// contributes at most max(|Lo|, |Hi|).
+	Sum
+	// Mean is AVG(attr) over an attribute bounded to [Lo, Hi] and a query
+	// set of n records: one substitution moves the mean by at most
+	// (Hi−Lo)/n.
+	Mean
+)
+
+// String names the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Mean:
+		return "mean"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// Bounds is the public value domain of one attribute. DP sensitivity is
+// only finite for bounded attributes; the bounds must be treated as domain
+// knowledge (schema metadata), not recomputed from live data per query —
+// the server derives them once at construction.
+type Bounds struct {
+	Lo, Hi float64
+}
+
+// Valid reports whether the bounds describe a non-empty interval.
+func (b Bounds) Valid() bool {
+	return !math.IsNaN(b.Lo) && !math.IsNaN(b.Hi) &&
+		!math.IsInf(b.Lo, 0) && !math.IsInf(b.Hi, 0) && b.Lo <= b.Hi
+}
+
+// Width returns Hi − Lo.
+func (b Bounds) Width() float64 { return b.Hi - b.Lo }
+
+// Sensitivity derives the L1 sensitivity Δ of an aggregate over an
+// attribute bounded to b, for a query set of n records:
+//
+//	count: Δ = 1
+//	sum:   Δ = max(|Lo|, |Hi|)
+//	mean:  Δ = (Hi − Lo)/max(n, 1)
+//
+// The mean rule is the bounded-mean sensitivity at the released query-set
+// size; the query-set size itself is treated as public (it is separately
+// obtainable through a COUNT release), which is the standard practical
+// compromise documented in DESIGN.md.
+func Sensitivity(a Aggregate, b Bounds, n int) (float64, error) {
+	if a == Count {
+		return 1, nil
+	}
+	if !b.Valid() {
+		return 0, fmt.Errorf("dp: %s needs finite attribute bounds, got [%g, %g]", a, b.Lo, b.Hi)
+	}
+	switch a {
+	case Sum:
+		return math.Max(math.Abs(b.Lo), math.Abs(b.Hi)), nil
+	case Mean:
+		if n < 1 {
+			n = 1
+		}
+		return b.Width() / float64(n), nil
+	default:
+		return 0, fmt.Errorf("dp: unknown aggregate %v", a)
+	}
+}
+
+// ColumnBounds derives the public bounds of numeric column j of d. This is
+// meant to run once, against the dataset the owner decides to serve — the
+// bounds become fixed schema metadata for the lifetime of the server, so
+// they do not leak per-query information.
+func ColumnBounds(d *dataset.Dataset, j int) Bounds {
+	b := Bounds{Lo: math.Inf(1), Hi: math.Inf(-1)}
+	for i := 0; i < d.Rows(); i++ {
+		v := d.Float(i, j)
+		if v < b.Lo {
+			b.Lo = v
+		}
+		if v > b.Hi {
+			b.Hi = v
+		}
+	}
+	return b
+}
+
+// --- calibrated noise ----------------------------------------------------
+
+// NoiseParams calibrates one release: mechanism, sensitivity and the
+// privacy parameters.
+type NoiseParams struct {
+	Mechanism   Mechanism
+	Sensitivity float64
+	Epsilon     float64
+	Delta       float64 // only used by Gaussian
+}
+
+// Scale returns the noise scale of the calibrated mechanism: the Laplace
+// scale b = Δ/ε, or the Gaussian σ = Δ·√(2·ln(1.25/δ))/ε.
+func (p NoiseParams) Scale() (float64, error) {
+	if p.Epsilon <= 0 {
+		return 0, fmt.Errorf("dp: epsilon must be > 0, got %g", p.Epsilon)
+	}
+	if p.Sensitivity < 0 || math.IsNaN(p.Sensitivity) || math.IsInf(p.Sensitivity, 0) {
+		return 0, fmt.Errorf("dp: sensitivity must be finite and ≥ 0, got %g", p.Sensitivity)
+	}
+	switch p.Mechanism {
+	case Laplace:
+		return p.Sensitivity / p.Epsilon, nil
+	case Gaussian:
+		if p.Delta <= 0 || p.Delta >= 1 {
+			return 0, fmt.Errorf("dp: gaussian mechanism needs 0 < delta < 1, got %g", p.Delta)
+		}
+		return p.Sensitivity * math.Sqrt(2*math.Log(1.25/p.Delta)) / p.Epsilon, nil
+	default:
+		return 0, fmt.Errorf("dp: unknown mechanism %v", p.Mechanism)
+	}
+}
+
+// LaplaceInv is the inverse CDF of the zero-mean Laplace distribution with
+// scale b, evaluated at u ∈ (0,1). Inverse transform sampling through this
+// function is what keeps releases reproducible: the noise is a pure
+// function of the uniform variate.
+func LaplaceInv(u, b float64) float64 {
+	u = clampOpen01(u) - 0.5
+	return -b * math.Copysign(math.Log(1-2*math.Abs(u)), -u)
+}
+
+// GaussianInv is the inverse CDF of the zero-mean normal distribution with
+// standard deviation sigma, evaluated at u ∈ (0,1).
+func GaussianInv(u, sigma float64) float64 {
+	return sigma * math.Sqrt2 * math.Erfinv(2*clampOpen01(u)-1)
+}
+
+// clampOpen01 nudges u off the endpoints so the inverse CDFs stay finite:
+// rand.Float64 can return exactly 0, whose preimage is ±∞. The margin is
+// 1e-15 — not smaller — because 1−2|u−1/2| cancels catastrophically near
+// the endpoints (1−2·(1/2−1e-300) rounds to exactly 1, then to log(0));
+// the cost is truncating the noise tail at ≈ 34 scale units, far beyond
+// any answer magnitude the mechanisms calibrate for.
+func clampOpen01(u float64) float64 {
+	const margin = 1e-15
+	if u < margin {
+		return margin
+	}
+	if u > 1-margin {
+		return 1 - margin
+	}
+	return u
+}
+
+// Noise draws the calibrated noise for one release, keyed on (seed, key).
+// The key must canonically identify the release — the server uses
+// "principal\x00query" — so that the same (seed, principal, query) triple
+// always yields the same perturbed answer: repeating a query re-releases
+// the identical value (averaging attacks gain nothing) and answers are
+// byte-identical across request interleavings and worker counts.
+func Noise(seed uint64, key string, p NoiseParams) (float64, error) {
+	scale, err := p.Scale()
+	if err != nil {
+		return 0, err
+	}
+	u := uniform(seed, key)
+	switch p.Mechanism {
+	case Gaussian:
+		return GaussianInv(u, scale), nil
+	default:
+		return LaplaceInv(u, scale), nil
+	}
+}
+
+// uniform derives the release's uniform variate: the (seed, key) pair is
+// hashed into a fresh PCG stream (the repository's standard rng plumbing)
+// and the first draw is taken. A fresh stream per key — rather than one
+// shared stream — is the seeding contract that makes answers independent
+// of request order.
+func uniform(seed uint64, key string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return dataset.NewRand(seed ^ h.Sum64()).Float64()
+}

@@ -1,0 +1,164 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLedgerChargeAndRemaining(t *testing.T) {
+	l, err := NewLedger(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Budget() != 1.0 || l.Remaining("alice", "d") != 1.0 {
+		t.Fatal("fresh ledger state wrong")
+	}
+	rem, err := l.Charge("alice", "d", 0.25)
+	if err != nil || rem != 0.75 {
+		t.Fatalf("Charge = %g, %v", rem, err)
+	}
+	if l.Spent("alice", "d") != 0.25 {
+		t.Errorf("Spent = %g", l.Spent("alice", "d"))
+	}
+	// Budgets are per (principal, dataset): neither bob nor another
+	// dataset is affected.
+	if l.Remaining("bob", "d") != 1.0 || l.Remaining("alice", "other") != 1.0 {
+		t.Error("charge leaked across principals or datasets")
+	}
+	// Overdraw refuses, debits nothing, and carries the remaining hint.
+	if _, err := l.Charge("alice", "d", 0.8); err == nil {
+		t.Fatal("accepted overdraw")
+	} else {
+		var be *BudgetError
+		if !errors.As(err, &be) || !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("overdraw error %T %v, want *BudgetError wrapping ErrBudgetExhausted", err, err)
+		}
+		if be.Remaining != 0.75 || be.Requested != 0.8 || be.Principal != "alice" {
+			t.Errorf("BudgetError = %+v", be)
+		}
+	}
+	if l.Remaining("alice", "d") != 0.75 {
+		t.Error("refused charge must not debit")
+	}
+	// Exact exhaustion is allowed; the next charge is not.
+	if rem, err := l.Charge("alice", "d", 0.75); err != nil || rem != 0 {
+		t.Fatalf("exact exhaustion = %g, %v", rem, err)
+	}
+	if _, err := l.Charge("alice", "d", 1e-9); !errors.Is(err, ErrBudgetExhausted) {
+		t.Error("post-exhaustion charge accepted")
+	}
+}
+
+func TestLedgerValidation(t *testing.T) {
+	if _, err := NewLedger(0); err == nil {
+		t.Error("accepted zero budget")
+	}
+	if _, err := NewLedger(math.NaN()); err == nil {
+		t.Error("accepted NaN budget")
+	}
+	l, _ := NewLedger(1)
+	if _, err := l.Charge("", "d", 0.1); !errors.Is(err, ErrNoPrincipal) {
+		t.Errorf("empty principal error = %v", err)
+	}
+	if _, err := l.Charge("alice", "d", 0); err == nil {
+		t.Error("accepted zero charge")
+	}
+	if _, err := l.Charge("alice", "d", -1); err == nil {
+		t.Error("accepted negative charge")
+	}
+}
+
+// TestLedgerConcurrentDebitsNeverOverspend is the contention hammer the
+// issue requires: many goroutines race check-and-debit against ONE
+// principal's budget. Run under -race (make check does). Invariants:
+// the successful charges sum to at most the budget (no overspend) and every
+// successful charge is accounted (no debit lost) — the ledger's final
+// spent figure equals the sum the winners observed.
+func TestLedgerConcurrentDebitsNeverOverspend(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 200
+		eps        = 0.01
+		budget     = 7.0 // 700 grants out of 6400 attempts
+	)
+	l, err := NewLedger(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var granted, refused atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := l.Charge("alice", "d", eps); err == nil {
+					granted.Add(1)
+				} else if errors.Is(err, ErrBudgetExhausted) {
+					refused.Add(1)
+				} else {
+					t.Errorf("unexpected charge error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	spent := l.Spent("alice", "d")
+	if spent > budget {
+		t.Fatalf("overspend: %g > budget %g", spent, budget)
+	}
+	wantSpent := float64(granted.Load()) * eps
+	if math.Abs(spent-wantSpent) > 1e-9 {
+		t.Fatalf("lost or duplicated debits: ledger spent %g, winners charged %g", spent, wantSpent)
+	}
+	if granted.Load()+refused.Load() != goroutines*perG {
+		t.Fatalf("accounting hole: %d granted + %d refused != %d attempts",
+			granted.Load(), refused.Load(), goroutines*perG)
+	}
+	// Demand far exceeded supply, so the budget must be exhausted to
+	// within one quantum.
+	if l.Remaining("alice", "d") >= eps {
+		t.Errorf("budget not drained under contention: %g remaining", l.Remaining("alice", "d"))
+	}
+}
+
+// TestLedgerConcurrentManyPrincipals exercises the stripes: distinct
+// principals debit concurrently and each account stays exact.
+func TestLedgerConcurrentManyPrincipals(t *testing.T) {
+	const principals = 128
+	l, err := NewLedger(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < principals; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			name := "user-" + string(rune('a'+p%26)) + string(rune('0'+p/26))
+			for i := 0; i < 10; i++ {
+				if _, err := l.Charge(name, "d", 0.05); err != nil {
+					t.Errorf("principal %s charge %d: %v", name, i, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < principals; p++ {
+		name := "user-" + string(rune('a'+p%26)) + string(rune('0'+p/26))
+		if got := l.Spent(name, "d"); math.Abs(got-0.5) > 1e-12 {
+			t.Errorf("principal %s spent %g, want 0.5", name, got)
+		}
+	}
+	if got := len(l.Principals("d")); got != principals {
+		t.Errorf("Principals lists %d, want %d", got, principals)
+	}
+	if got := len(l.Principals("other")); got != 0 {
+		t.Errorf("Principals(other) = %d, want 0", got)
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/dp"
 	"privacy3d/internal/obs"
 	"privacy3d/internal/sdc"
 )
@@ -60,7 +62,10 @@ type CondJSON struct {
 // AnswerJSON is the response of /query and /sql. The numeric fields are
 // deliberately NOT omitempty: a legitimate answer of 0 (COUNT over an empty
 // query set, a perturbed value landing on 0) must serialize as an explicit
-// "value":0, distinguishable from an absent field.
+// "value":0, distinguishable from an absent field. The ε fields follow the
+// same rule via pointers: they appear exactly when the answer was released
+// under differential privacy, and a remaining budget of 0 (this query spent
+// the last ε) serializes as an explicit "epsilon_remaining":0.
 type AnswerJSON struct {
 	Denied   bool    `json:"denied,omitempty"`
 	Reason   string  `json:"reason,omitempty"`
@@ -68,6 +73,11 @@ type AnswerJSON struct {
 	Lo       float64 `json:"lo"`
 	Hi       float64 `json:"hi"`
 	Interval bool    `json:"interval,omitempty"`
+	// Epsilon is the ε this answer debited; EpsilonRemaining the
+	// principal's unspent ε after the debit. Both are nil unless the
+	// server protection is DifferentialPrivacy.
+	Epsilon          *float64 `json:"epsilon,omitempty"`
+	EpsilonRemaining *float64 `json:"epsilon_remaining,omitempty"`
 }
 
 // ProtectRequest is the wire format of POST /protect: the name of a
@@ -198,11 +208,26 @@ func authorizeOwner(w http.ResponseWriter, r *http.Request, token string) bool {
 	return true
 }
 
+// PrincipalHeader carries the caller's budget-accounting identity on
+// /query and /sql requests. It is required when the server protection is
+// DifferentialPrivacy (400 without it) and ignored otherwise. In a real
+// deployment the header would be set by an authenticating proxy; the
+// server trusts it as-is.
+const PrincipalHeader = "X-Privacy3D-Principal"
+
+// epsilonRemainingHeader surfaces the principal's post-debit budget on DP
+// answers and budget refusals, so clients can pace themselves without
+// parsing bodies.
+const epsilonRemainingHeader = "X-Privacy3D-Epsilon-Remaining"
+
 // NewHandler wraps a Server in the HTTP API. When cfg.Registry is non-nil it
-// counts answer outcomes (answered / denied / interval / error), exposes the
-// query-log depth as a gauge — the tracker-relevant signal: how much history
-// an auditor must reason over — and mounts the registry at GET /metrics.
-// POST /protect is mounted but answers 403 unless cfg.OwnerToken is set.
+// counts answer outcomes (answered / denied / interval / error, plus the
+// distinct budget-exhausted and no-principal refusals of differential
+// privacy), exposes the query-log depth as a gauge — the tracker-relevant
+// signal: how much history an auditor must reason over — and, under
+// DifferentialPrivacy, one dp_epsilon_remaining{principal} gauge per
+// principal seen. POST /protect is mounted but answers 403 unless
+// cfg.OwnerToken is set.
 func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 	reg := cfg.Registry
 	outcome := func(name string) {
@@ -213,12 +238,52 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 	if reg != nil {
 		reg.Gauge("sdcquery_log_depth", func() float64 { return float64(srv.LogDepth()) })
 	}
-	answer := func(w http.ResponseWriter, q Query) {
-		a, err := srv.Ask(q)
-		if err != nil {
-			outcome("error")
-			writeError(w, http.StatusBadRequest, err.Error())
+	// Per-principal remaining-ε gauges, registered once per principal the
+	// moment it first appears (registration replaces the callback, so the
+	// seen-set only avoids re-locking the registry on every request).
+	var seenPrincipals sync.Map
+	principalGauge := func(p string) {
+		if reg == nil || p == "" {
 			return
+		}
+		if _, loaded := seenPrincipals.LoadOrStore(p, true); loaded {
+			return
+		}
+		reg.Gauge(obs.Label("dp_epsilon_remaining", "principal", p), func() float64 {
+			rem, ok := srv.BudgetRemaining(p)
+			if !ok {
+				return 0
+			}
+			return rem
+		})
+	}
+	answer := func(w http.ResponseWriter, r *http.Request, q Query) {
+		principal := r.Header.Get(PrincipalHeader)
+		a, err := srv.AskAs(principal, q)
+		if err != nil {
+			var be *dp.BudgetError
+			switch {
+			case errors.As(err, &be):
+				// The budget refusal is a 429 with the remaining ε as the
+				// Allow-style hint: the client learns how much (if any)
+				// smaller a charge could still succeed, and nothing else.
+				outcome("budget-exhausted")
+				principalGauge(principal)
+				w.Header().Set(epsilonRemainingHeader, fmt.Sprintf("%g", be.Remaining))
+				writeError(w, http.StatusTooManyRequests, err.Error())
+			case errors.Is(err, dp.ErrNoPrincipal):
+				outcome("no-principal")
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("%v; set the %s header", err, PrincipalHeader))
+			default:
+				outcome("error")
+				writeError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		aj := AnswerJSON{
+			Denied: a.Denied, Reason: a.Reason, Value: a.Value,
+			Lo: a.Lo, Hi: a.Hi, Interval: a.Interval,
 		}
 		switch {
 		case a.Denied:
@@ -228,10 +293,13 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 		default:
 			outcome("answered")
 		}
-		writeJSON(w, http.StatusOK, AnswerJSON{
-			Denied: a.Denied, Reason: a.Reason, Value: a.Value,
-			Lo: a.Lo, Hi: a.Hi, Interval: a.Interval,
-		})
+		if a.Budgeted {
+			principalGauge(principal)
+			eps, rem := a.Epsilon, a.EpsilonRemaining
+			aj.Epsilon, aj.EpsilonRemaining = &eps, &rem
+			w.Header().Set(epsilonRemainingHeader, fmt.Sprintf("%g", rem))
+		}
+		writeJSON(w, http.StatusOK, aj)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
@@ -250,7 +318,7 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		answer(w, q)
+		answer(w, r, q)
 	})
 	mux.HandleFunc("/sql", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodPost) {
@@ -268,7 +336,7 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		answer(w, q)
+		answer(w, r, q)
 	})
 	mux.HandleFunc("/protect", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodPost) {

@@ -2,11 +2,30 @@
 // paper's Section 3: users submit statistical queries (COUNT, SUM, AVG with
 // predicates) and the data owner applies an inference-control strategy —
 // query-set-size restriction, Chin–Ozsoyoglu auditing ([7]), output
-// perturbation (Duncan & Mukherjee, [14]) or interval camouflage (Gopal,
-// Garfinkel & Goes, [16]). The server records every query it sees, which is
-// precisely why this architecture offers no user privacy: "All SDC methods
-// for interactive statistical databases assume that the data owner ...
-// exactly knows the queries submitted by users."
+// perturbation (Duncan & Mukherjee, [14]), interval camouflage (Gopal,
+// Garfinkel & Goes, [16]), Denning's random sample queries, overlap
+// restriction, or differential privacy (calibrated Laplace/Gaussian noise
+// with a per-principal ε-budget ledger; see Protection and internal/dp).
+// The server records every query it sees, which is precisely why this
+// architecture offers no user privacy: "All SDC methods for interactive
+// statistical databases assume that the data owner ... exactly knows the
+// queries submitted by users."
+//
+// Queries are submitted with Server.Ask, or Server.AskAs when the caller
+// has a budget-accounting identity — DifferentialPrivacy requires one and
+// refuses anonymous queries with dp.ErrNoPrincipal; once a principal's ε
+// budget is spent further queries fail with an error wrapping
+// dp.ErrBudgetExhausted and release nothing.
+//
+// NewHandler exposes the server over HTTP. The untrusted-user surface
+// (POST /query, POST /sql) goes through the configured inference control
+// and, under DifferentialPrivacy, identifies callers by the
+// X-Privacy3D-Principal header (429 with the remaining ε once the budget
+// is spent). POST /protect — a seeded masked release of the served
+// microdata — is an owner-only operation gated by the HandlerConfig
+// bearer token and disabled entirely without one, and every release has
+// Identifier-role columns stripped first: direct identifiers never ship,
+// whatever masking method the owner picks.
 //
 // The package also implements the Schlörer tracker attack ([22]) that makes
 // size restriction alone insufficient.

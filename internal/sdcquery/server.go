@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/dp"
 	"privacy3d/internal/noise"
 	"privacy3d/internal/stats"
 )
@@ -42,6 +43,15 @@ const (
 	// working because the two differenced queries draw different samples,
 	// while aggregate answers stay approximately right (scaled back up).
 	RandomSample
+	// DifferentialPrivacy answers with Laplace (or Gaussian, when
+	// Config.Delta > 0) noise calibrated to the query's sensitivity, and
+	// debits a per-principal ε budget on every answer. Queries must carry
+	// a principal (AskAs / the X-Privacy3D-Principal header); once a
+	// principal's ε is spent, further queries are refused with a typed
+	// budget-exhausted error. Unlike the heuristic Perturbation mode, the
+	// noise scale follows the DP calibration Δ/ε and the same seed
+	// reproduces byte-identical answers at any concurrency level.
+	DifferentialPrivacy
 )
 
 // String names the protection.
@@ -61,26 +71,59 @@ func (p Protection) String() string {
 		return "overlap-restriction"
 	case RandomSample:
 		return "random-sample"
+	case DifferentialPrivacy:
+		return "differential-privacy"
 	default:
 		return fmt.Sprintf("Protection(%d)", int(p))
 	}
 }
 
 // protectionsByName is the single source of truth for the short -protect
-// flag names: the CLI parser, its help text and the error messages all
-// derive from it, so they cannot drift apart (they did once; the lint
-// golden test now pins them).
+// flag names: the CLI parser, its help text, the error messages and the
+// rendered ProtectionTable all derive from it, so they cannot drift apart
+// (they did once; the lint golden test now pins them). Flags lists the
+// extra CLI flags a mode consumes; Doc is the one-line description of the
+// generated table.
 var protectionsByName = []struct {
-	Name string
-	P    Protection
+	Name  string
+	P     Protection
+	Flags string
+	Doc   string
 }{
-	{"none", NoProtection},
-	{"size", SizeRestriction},
-	{"auditing", Auditing},
-	{"perturbation", Perturbation},
-	{"camouflage", Camouflage},
-	{"overlap", OverlapRestriction},
-	{"sample", RandomSample},
+	{"none", NoProtection, "",
+		"answers every query exactly (no respondent or user privacy)"},
+	{"size", SizeRestriction, "-minsize",
+		"denies queries whose query set is smaller than minsize or larger than n−minsize"},
+	{"auditing", Auditing, "-minsize",
+		"denies any query that, combined with the answered history, would determine one record's confidential value"},
+	{"perturbation", Perturbation, "",
+		"adds heuristic Laplace noise of fixed standard deviation to every answer"},
+	{"camouflage", Camouflage, "",
+		"answers with an interval guaranteed to contain the true value"},
+	{"overlap", OverlapRestriction, "-minsize",
+		"denies queries overlapping a previously answered query set in more than one record"},
+	{"sample", RandomSample, "",
+		"answers over a query-keyed pseudo-random subsample, defeating difference attacks"},
+	{"dp", DifferentialPrivacy, "-epsilon, -delta, -budget, -principal",
+		"adds Laplace (or Gaussian when δ>0) noise calibrated to the query's sensitivity and debits a per-principal ε budget; see DESIGN.md §Inference control"},
+}
+
+// ProtectionTable renders the -protect modes as a GitHub-flavoured markdown
+// table — the README "Query protections" section and the lint golden file
+// (cmd/privacy3d/testdata/protections.golden) are both this one output, so
+// the docs cannot drift from the parser.
+func ProtectionTable() string {
+	var b strings.Builder
+	b.WriteString("| `-protect` | Protection | Extra flags | Description |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, p := range protectionsByName {
+		flags := p.Flags
+		if flags == "" {
+			flags = "—"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", p.Name, p.P, flags, p.Doc)
+	}
+	return b.String()
 }
 
 // ProtectionNames lists every accepted short protection name, in canonical
@@ -115,6 +158,13 @@ type Answer struct {
 	Lo, Hi float64
 	// Interval reports that Lo/Hi carry the answer.
 	Interval bool
+	// Budgeted reports that this answer was released under
+	// DifferentialPrivacy and debited a budget: Epsilon is the ε this
+	// release cost and EpsilonRemaining the principal's unspent ε after
+	// the debit.
+	Budgeted         bool
+	Epsilon          float64
+	EpsilonRemaining float64
 }
 
 // Config parameterises a Server.
@@ -135,15 +185,42 @@ type Config struct {
 	// SampleRate is the inclusion probability of RandomSample
 	// (default 0.8).
 	SampleRate float64
-	// Seed drives the perturbation noise.
+	// Seed drives the perturbation noise. Under DifferentialPrivacy it is
+	// the root of the reproducibility contract: the released noise is a
+	// pure function of (Seed, principal, canonical query string), so the
+	// same seed yields byte-identical perturbed answers at any worker
+	// count and request interleaving.
 	Seed uint64
+
+	// Epsilon is the per-query privacy cost ε of DifferentialPrivacy
+	// (default 0.5). Each answered query debits this much from the
+	// asking principal's budget.
+	Epsilon float64
+	// Delta selects the mechanism of DifferentialPrivacy: 0 (default)
+	// uses the ε-DP Laplace mechanism; 0 < Delta < 1 uses the (ε,δ)-DP
+	// Gaussian mechanism with σ = Δ·√(2·ln(1.25/δ))/ε.
+	Delta float64
+	// EpsilonBudget is the total ε each (principal, dataset) pair may
+	// spend under DifferentialPrivacy (default 10). Once spent, further
+	// queries are refused with an error wrapping dp.ErrBudgetExhausted.
+	EpsilonBudget float64
+	// DatasetID names the served dataset in the budget ledger key
+	// (default "served"); distinct IDs keep budgets separate when one
+	// ledger fronts several releases.
+	DatasetID string
 }
 
 // Server is an interactively queryable statistical database. It records
 // every query submitted — the total absence of user privacy that Section 3
 // of the paper builds on.
-// Server is safe for concurrent use: Ask and Log are serialised by an
-// internal mutex (the HTTP front end serves requests concurrently).
+//
+// Server is safe for concurrent use. The stateful protections (auditing,
+// overlap control, the shared perturbation rng) and the query log are
+// serialised by an internal mutex; the DifferentialPrivacy answer path
+// holds that mutex only for the O(1) log append — its noise is derived
+// statelessly from (Seed, principal, query) and its budget accounting runs
+// on the lock-striped dp.Ledger — so concurrent DP queries from many
+// principals do not serialise behind one lock.
 type Server struct {
 	mu      sync.Mutex
 	d       *dataset.Dataset
@@ -152,6 +229,13 @@ type Server struct {
 	log     []Query
 	audn    *auditor
 	overlap *OverlapController
+
+	// DifferentialPrivacy state: the ε-budget ledger and the public
+	// per-attribute bounds the sensitivity rules use. Both are fixed at
+	// construction and internally synchronised (ledger) or immutable
+	// (bounds), so the DP path reads them without s.mu.
+	ledger *dp.Ledger
+	bounds map[string]dp.Bounds
 }
 
 // NewServer wraps a dataset in a protected query interface.
@@ -174,17 +258,45 @@ func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
 	if cfg.SampleRate <= 0 || cfg.SampleRate > 1 {
 		cfg.SampleRate = 0.8
 	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.5
+	}
+	if cfg.Delta < 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("sdcquery: delta must be in [0, 1), got %g", cfg.Delta)
+	}
+	if cfg.EpsilonBudget <= 0 {
+		cfg.EpsilonBudget = 10
+	}
+	if cfg.DatasetID == "" {
+		cfg.DatasetID = "served"
+	}
 	oc, err := NewOverlapController(cfg.MinSetSize, cfg.MaxOverlap)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		d:       d,
 		cfg:     cfg,
 		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5)),
 		audn:    newAuditor(d.Rows()),
 		overlap: oc,
-	}, nil
+	}
+	if cfg.Protection == DifferentialPrivacy {
+		if s.ledger, err = dp.NewLedger(cfg.EpsilonBudget); err != nil {
+			return nil, err
+		}
+		// The bounds of each numeric attribute become fixed public
+		// metadata for the server's lifetime — the sensitivity of SUM and
+		// AVG is derived from them, never from the live query set's
+		// values, so the noise scale leaks nothing per query.
+		s.bounds = make(map[string]dp.Bounds)
+		for j := 0; j < d.Cols(); j++ {
+			if a := d.Attr(j); a.Kind == dataset.Numeric {
+				s.bounds[a.Name] = dp.ColumnBounds(d, j)
+			}
+		}
+	}
+	return s, nil
 }
 
 // Log returns a copy of the queries the server has observed, in submission
@@ -212,12 +324,28 @@ func (s *Server) Rows() int { return s.d.Rows() }
 // treated as read-only.
 func (s *Server) Dataset() *dataset.Dataset { return s.d }
 
-// Ask submits a query. Every query is logged before protection runs: the
-// owner sees denied queries too.
-func (s *Server) Ask(q Query) (Answer, error) {
+// Ask submits an anonymous query. Every query is logged before protection
+// runs: the owner sees denied queries too. Under DifferentialPrivacy an
+// anonymous query cannot be budget-accounted and fails with
+// dp.ErrNoPrincipal — use AskAs.
+func (s *Server) Ask(q Query) (Answer, error) { return s.AskAs("", q) }
+
+// AskAs submits a query on behalf of a principal (the budget-accounting
+// identity under DifferentialPrivacy; ignored by the other protections).
+// Every query is logged before protection runs: the owner sees denied
+// queries too.
+func (s *Server) AskAs(principal string, q Query) (Answer, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.log = append(s.log, q)
+	if s.cfg.Protection == DifferentialPrivacy {
+		// The DP path leaves the server mutex after the log append:
+		// answer noise is a pure function of (Seed, principal, query) and
+		// the budget check-and-debit runs on the lock-striped ledger, so
+		// DP queries from distinct principals proceed in parallel.
+		s.mu.Unlock()
+		return s.dpAnswer(principal, q)
+	}
+	defer s.mu.Unlock()
 	rows, err := q.Where.QuerySet(s.d)
 	if err != nil {
 		return Answer{}, err
@@ -264,6 +392,110 @@ func (s *Server) exact(q Query) (Answer, error) {
 		return Answer{}, err
 	}
 	return Answer{Value: v}, nil
+}
+
+// --- differential privacy ------------------------------------------------
+
+// dpAnswer releases the query under the calibrated-noise mechanism and
+// debits the principal's ε budget. The order matters for both privacy and
+// accounting: the true answer and its sensitivity are computed first (no
+// side effects), then the ledger check-and-debit runs atomically — a
+// refused query releases nothing and costs nothing — and only a granted
+// charge proceeds to noise derivation. Errors wrap dp.ErrNoPrincipal
+// (unidentified caller) and dp.ErrBudgetExhausted (ε spent); both carry
+// no information about the data.
+func (s *Server) dpAnswer(principal string, q Query) (Answer, error) {
+	if principal == "" {
+		return Answer{}, fmt.Errorf("sdcquery: differential privacy needs a principal for budget accounting: %w", dp.ErrNoPrincipal)
+	}
+	rows, err := q.Where.QuerySet(s.d)
+	if err != nil {
+		return Answer{}, err
+	}
+	var agg dp.Aggregate
+	var bounds dp.Bounds
+	var v float64
+	switch q.Agg {
+	case Count:
+		agg = dp.Count
+		v = float64(len(rows))
+	case Sum, Avg:
+		j := s.d.Index(q.Attr)
+		if j < 0 {
+			return Answer{}, fmt.Errorf("sdcquery: unknown attribute %q", q.Attr)
+		}
+		if s.d.Attr(j).Kind != dataset.Numeric {
+			return Answer{}, fmt.Errorf("sdcquery: %s over non-numeric attribute %q", q.Agg, q.Attr)
+		}
+		bounds = s.bounds[q.Attr]
+		if q.Agg == Avg && len(rows) == 0 {
+			// AVG over an empty set has no true value to perturb; deny
+			// like the other protections rather than invent one. No ε is
+			// charged.
+			return Answer{Denied: true, Reason: "differential privacy: empty query set"}, nil
+		}
+		var sum float64
+		for _, i := range rows {
+			sum += s.d.Float(i, j)
+		}
+		if q.Agg == Sum {
+			agg = dp.Sum
+			v = sum
+		} else {
+			agg = dp.Mean
+			v = sum / float64(len(rows))
+		}
+	default:
+		return Answer{}, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
+	}
+	sens, err := dp.Sensitivity(agg, bounds, len(rows))
+	if err != nil {
+		return Answer{}, err
+	}
+	remaining, err := s.ledger.Charge(principal, s.cfg.DatasetID, s.cfg.Epsilon)
+	if err != nil {
+		return Answer{}, fmt.Errorf("sdcquery: %w", err)
+	}
+	mech := dp.Laplace
+	if s.cfg.Delta > 0 {
+		mech = dp.Gaussian
+	}
+	// The noise key is (principal, canonical query): repeating a query
+	// re-releases the identical perturbed value — averaging attacks gain
+	// nothing (though each repetition still debits ε; dedup is the
+	// caller's concern) — and the answer stream is byte-identical for any
+	// request interleaving or worker count.
+	n, err := dp.Noise(s.cfg.Seed, principal+"\x00"+q.String(), dp.NoiseParams{
+		Mechanism: mech, Sensitivity: sens, Epsilon: s.cfg.Epsilon, Delta: s.cfg.Delta,
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{
+		Value:            v + n,
+		Budgeted:         true,
+		Epsilon:          s.cfg.Epsilon,
+		EpsilonRemaining: remaining,
+	}, nil
+}
+
+// BudgetRemaining reports the principal's unspent ε and whether the server
+// runs budget accounting at all (only DifferentialPrivacy does). The
+// metrics layer samples this per principal at scrape time.
+func (s *Server) BudgetRemaining(principal string) (float64, bool) {
+	if s.ledger == nil {
+		return 0, false
+	}
+	return s.ledger.Remaining(principal, s.cfg.DatasetID), true
+}
+
+// BudgetPrincipals lists every principal the budget ledger has charged, in
+// sorted order; nil when the server does not run DifferentialPrivacy.
+func (s *Server) BudgetPrincipals() []string {
+	if s.ledger == nil {
+		return nil
+	}
+	return s.ledger.Principals(s.cfg.DatasetID)
 }
 
 // camouflage returns an interval that contains the true value but whose

@@ -30,6 +30,7 @@ import (
 	"privacy3d/internal/anonymity"
 	"privacy3d/internal/core"
 	"privacy3d/internal/dataset"
+	"privacy3d/internal/dp"
 	"privacy3d/internal/generalize"
 	"privacy3d/internal/hippocratic"
 	"privacy3d/internal/microagg"
@@ -113,7 +114,7 @@ const (
 // Class is a Table 2 technology class.
 type Class = core.Class
 
-// The eight technology classes of Table 2.
+// The eight technology classes of Table 2, plus the DP extension row.
 const (
 	ClassSDC                    = core.SDC
 	ClassUseSpecificPPDM        = core.UseSpecificPPDM
@@ -123,13 +124,21 @@ const (
 	ClassSDCPlusPIR             = core.SDCPlusPIR
 	ClassUseSpecificPPDMPlusPIR = core.UseSpecificPPDMPlusPIR
 	ClassGenericPPDMPlusPIR     = core.GenericPPDMPlusPIR
+	ClassDP                     = core.DP
 )
 
 // Classes lists the Table 2 rows in paper order.
 func Classes() []Class { return core.Classes() }
 
+// AllClasses lists every implemented class: the paper's eight rows plus DP.
+func AllClasses() []Class { return core.AllClasses() }
+
 // PaperTable2 returns the paper's published grades.
 func PaperTable2() map[Class]core.Grades { return core.PaperTable2() }
+
+// ReferenceTable2 returns the paper's grades extended with this
+// repository's reference grades for the DP row.
+func ReferenceTable2() map[Class]core.Grades { return core.ReferenceTable2() }
 
 // EvalConfig parameterises the empirical evaluator; Evaluator measures the
 // three dimensions of each technology class by attack simulation.
@@ -451,14 +460,36 @@ const (
 
 // Server protections.
 const (
-	NoProtection       = sdcquery.NoProtection
-	SizeRestriction    = sdcquery.SizeRestriction
-	Auditing           = sdcquery.Auditing
-	Perturbation       = sdcquery.Perturbation
-	Camouflage         = sdcquery.Camouflage
-	OverlapRestriction = sdcquery.OverlapRestriction
-	RandomSample       = sdcquery.RandomSample
+	NoProtection        = sdcquery.NoProtection
+	SizeRestriction     = sdcquery.SizeRestriction
+	Auditing            = sdcquery.Auditing
+	Perturbation        = sdcquery.Perturbation
+	Camouflage          = sdcquery.Camouflage
+	OverlapRestriction  = sdcquery.OverlapRestriction
+	RandomSample        = sdcquery.RandomSample
+	DifferentialPrivacy = sdcquery.DifferentialPrivacy
 )
+
+// Differential-privacy budget errors: AskAs under DifferentialPrivacy
+// returns errors wrapping these (match with errors.Is / errors.As on
+// *BudgetError).
+var (
+	ErrBudgetExhausted = dp.ErrBudgetExhausted
+	ErrNoPrincipal     = dp.ErrNoPrincipal
+)
+
+// BudgetError details a refused differential-privacy charge: who asked,
+// what it would have cost and how much ε is left.
+type BudgetError = dp.BudgetError
+
+// EpsilonLedger is the lock-striped per-(principal, dataset) ε-budget
+// ledger behind the DifferentialPrivacy protection, exported for callers
+// that meter their own mechanisms.
+type EpsilonLedger = dp.Ledger
+
+// NewEpsilonLedger returns a ledger granting each (principal, dataset)
+// pair the given total ε budget.
+func NewEpsilonLedger(budget float64) (*EpsilonLedger, error) { return dp.NewLedger(budget) }
 
 // ServerConfig configures an interactive statistical database server.
 type ServerConfig = sdcquery.Config
