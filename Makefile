@@ -18,13 +18,15 @@ check: lint
 # lint runs go vet plus the generated-documentation consistency tests: the
 # CLI help, the `schema -methods` table and the README/EXPERIMENTS method
 # sections must all match the sdc registry (testdata/methods.golden pins
-# the rendered table), and the -protect table — including the dp flags
+# the rendered table), the -protect table — including the dp flags
 # -epsilon/-delta/-budget/-principal — must match the sdcquery protection
-# list (testdata/protections.golden). Regenerate both goldens with
-# `go test ./cmd/privacy3d -update`.
+# list (testdata/protections.golden), and the serve command's flag surface
+# — including the sustained-load knobs -querylogcap/-cachecap/-ratelimit/
+# -burst — must match testdata/serveflags.golden. Regenerate the goldens
+# with `go test ./cmd/privacy3d -update`.
 lint:
 	$(GO) vet ./...
-	$(GO) test ./cmd/privacy3d -run 'TestMethodTableGolden|TestProtectionTableGolden|TestProtectionTableFlagsExist|TestHelpListsEveryMethod|TestProtectionHelpMatchesParser'
+	$(GO) test ./cmd/privacy3d -run 'TestMethodTableGolden|TestProtectionTableGolden|TestProtectionTableFlagsExist|TestServeFlagsGolden|TestHelpListsEveryMethod|TestProtectionHelpMatchesParser'
 
 build:
 	$(GO) build ./...
@@ -39,15 +41,19 @@ race:
 	$(GO) test -race ./...
 
 # bench is the perf gate of the parallel engines: benchlinkage times the
-# linkage/MDAV hot paths on a 50k-row synthetic workload, and benchpir
-# times the word-parallel PIR answer kernels (IT-PIR on a 64 MiB database,
-# CPIR, end-to-end RangeStats) across worker counts. Both hard-fail unless
-# every parallel result is byte-identical to the sequential reference, and
-# record their trajectories in BENCH_linkage.json / BENCH_pir.json.
-# Measured speedup scales with the physical cores of the machine.
+# linkage/MDAV hot paths on a 50k-row synthetic workload, benchpir times
+# the word-parallel PIR answer kernels (IT-PIR on a 64 MiB database, CPIR,
+# end-to-end RangeStats) across worker counts, and benchserve drives a
+# Zipf query workload against the statistical server across client counts,
+# recording sustained QPS and p50/p99 latency. All three hard-fail unless
+# every parallel/cached result is byte-identical to the sequential/uncached
+# reference, and record their trajectories in BENCH_linkage.json /
+# BENCH_pir.json / BENCH_serve.json. Measured speedup scales with the
+# physical cores of the machine.
 bench:
 	$(GO) run ./cmd/benchlinkage -rows 50000 -workers 1,2,4,8 -out BENCH_linkage.json
 	$(GO) run ./cmd/benchpir -blocks 65536 -blocksize 1024 -workers 1,2,4,8 -out BENCH_pir.json
+	$(GO) run ./cmd/benchserve -rows 20000 -queries 512 -clients 1,2,8 -duration 1s -out BENCH_serve.json
 
 # benchall runs the full go-test benchmark battery (the paper experiments).
 benchall:

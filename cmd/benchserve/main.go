@@ -1,0 +1,475 @@
+// Command benchserve is the sustained-load gate of the statistical serving
+// layer: it drives a Zipf-distributed query workload (a few hot query
+// shapes, a long tail — the distribution an interactive statistical server
+// actually sees) against sdcquery.Server across client counts, measures
+// sustained QPS and p50/p99 latency, and hard-fails unless every answer the
+// cached concurrent hot path releases is byte-identical to an uncached
+// server answering the same workload serially.
+//
+//	benchserve -rows 20000 -queries 512 -clients 1,2,8 -duration 1s -out BENCH_serve.json
+//
+// Per protection (every mode whose answers are a pure function of
+// (principal, query): none, size, perturbation, camouflage, sample, dp —
+// auditing and overlap restriction answer from mutable history and are
+// excluded from the identity gate by construction), the tool:
+//
+//  1. answers every distinct query shape once on a CACHE-DISABLED server —
+//     the uncached serial reference;
+//  2. replays a Zipf workload from {1,2,8} concurrent clients against a
+//     cached server and fails hard on any byte divergence from the
+//     reference (under dp it additionally fails unless the hammered server
+//     debited ε exactly once per distinct shape);
+//  3. runs a timed sustained-load phase per client count, reporting QPS,
+//     sampled p50/p99 latency and the cache hit rate.
+//
+// A final phase drives the HTTP front end with token-bucket admission
+// control enabled and records the admitted/throttled split and the
+// Retry-After contract. Exits non-zero if any gate fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/obs"
+	"privacy3d/internal/sdcquery"
+)
+
+// Entry is one (protection, clients) sustained-load measurement.
+type Entry struct {
+	Protection string `json:"protection"`
+	// Clients is the number of concurrent client goroutines (the identity
+	// gate and the load phase both run at this concurrency).
+	Clients int `json:"clients"`
+	// Queries answered during the timed window.
+	Queries int64 `json:"queries"`
+	// DurationNs is the timed window's wall clock.
+	DurationNs int64 `json:"duration_ns"`
+	// SustainedQPS is Queries / wall-clock — the headline number.
+	SustainedQPS float64 `json:"sustained_qps"`
+	// P50Ns / P99Ns are sampled per-query latency percentiles.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// CacheHitRate is hits/(hits+misses) over the timed window's server.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// IdenticalToUncachedSerial records the identity gate's verdict for
+	// this (protection, clients) point: every concurrent cached answer was
+	// byte-identical to the uncached serial reference. Always true — the
+	// tool exits non-zero otherwise.
+	IdenticalToUncachedSerial bool `json:"identical_to_uncached_serial"`
+}
+
+// Admission is the HTTP admission-control phase's record.
+type Admission struct {
+	RateLimit      float64 `json:"rate_limit_rps"`
+	Burst          int     `json:"burst"`
+	Sent           int     `json:"sent"`
+	Admitted       int     `json:"admitted"`
+	Throttled      int     `json:"throttled"`
+	RetryAfterSeen bool    `json:"retry_after_seen"`
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	Date            string  `json:"date"`
+	Rows            int     `json:"rows"`
+	DistinctQueries int     `json:"distinct_queries"`
+	ZipfS           float64 `json:"zipf_s"`
+	Seed            uint64  `json:"seed"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	// GatedProtections lists the modes under the byte-identity gate;
+	// auditing and overlap restriction answer from mutable history (their
+	// serial answers depend on interleaving) and are excluded by design.
+	GatedProtections []string `json:"gated_protections"`
+	// Warning flags measurement conditions under which concurrency scaling
+	// is not meaningful (e.g. a single-CPU machine).
+	Warning   string    `json:"warning,omitempty"`
+	Entries   []Entry   `json:"entries"`
+	Admission Admission `json:"admission"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchserve: ")
+	rows := flag.Int("rows", 20000, "synthetic dataset rows")
+	queries := flag.Int("queries", 512, "distinct query shapes in the workload")
+	clientsList := flag.String("clients", "1,2,8", "comma-separated concurrent client counts; must start with 1")
+	duration := flag.Duration("duration", time.Second, "timed window per (protection, clients) point")
+	zipfS := flag.Float64("zipf", 1.1, "Zipf exponent of the query-shape popularity distribution")
+	seed := flag.Uint64("seed", 20070923, "PRNG seed for the synthetic data and workload")
+	out := flag.String("out", "BENCH_serve.json", "output JSON file")
+	flag.Parse()
+	if err := run(*rows, *queries, *clientsList, *duration, *zipfS, *seed, *out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseClients(s string) ([]int, error) {
+	var cs []int
+	for _, f := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad -clients entry %q", f)
+		}
+		cs = append(cs, c)
+	}
+	if len(cs) == 0 || cs[0] != 1 {
+		return nil, fmt.Errorf("-clients must start with 1 (the serial reference), got %q", s)
+	}
+	return cs, nil
+}
+
+// cpuWarning returns the single-CPU caveat, or "" on multi-core machines.
+func cpuWarning() string {
+	if runtime.NumCPU() > 1 {
+		return ""
+	}
+	return "single-CPU machine: concurrent-client scaling measures scheduling overhead, not parallelism"
+}
+
+// answerBits collapses an answer to the released bits for the identity gate.
+func answerBits(a sdcquery.Answer) [3]uint64 {
+	return [3]uint64{math.Float64bits(a.Value), math.Float64bits(a.Lo), math.Float64bits(a.Hi)}
+}
+
+// buildWorkload derives the distinct query shapes: COUNT/SUM/AVG over the
+// numeric columns with thresholds swept across each column's value range,
+// built so no AVG query set is empty (Lt above the minimum, Ge below the
+// maximum).
+func buildWorkload(d *dataset.Dataset, n int) ([]sdcquery.Query, error) {
+	type span struct {
+		col    string
+		lo, hi float64
+	}
+	var spans []span
+	for j := 0; j < d.Cols(); j++ {
+		a := d.Attr(j)
+		if a.Kind != dataset.Numeric {
+			continue
+		}
+		lo, hi := d.Float(0, j), d.Float(0, j)
+		for i := 1; i < d.Rows(); i++ {
+			v := d.Float(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		spans = append(spans, span{a.Name, lo, hi})
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("dataset has no numeric columns")
+	}
+	aggs := []sdcquery.Agg{sdcquery.Count, sdcquery.Sum, sdcquery.Avg}
+	work := make([]sdcquery.Query, 0, n)
+	for i := 0; i < n; i++ {
+		sp := spans[i%len(spans)]
+		frac := float64(i/len(spans)%97+1) / 99 // in (0,1), varied per shape
+		q := sdcquery.Query{Agg: aggs[i%len(aggs)], Attr: sp.col}
+		if i%2 == 0 {
+			q.Where = sdcquery.Predicate{{Col: sp.col, Op: sdcquery.Lt, V: sp.lo + (sp.hi-sp.lo)*frac + 1e-9}}
+		} else {
+			q.Where = sdcquery.Predicate{{Col: sp.col, Op: sdcquery.Ge, V: sp.hi - (sp.hi-sp.lo)*frac - 1e-9}}
+		}
+		work = append(work, q)
+	}
+	return work, nil
+}
+
+// zipfSampler samples shape indices with P(i) ∝ 1/(i+1)^s — a few hot
+// shapes and a long tail. Each client gets its own sampler (own rng), so
+// clients hammer the hot shapes concurrently while still covering the tail.
+type zipfSampler struct {
+	z *rand.Zipf
+}
+
+func newZipfSampler(n int, s float64, seed uint64) *zipfSampler {
+	return &zipfSampler{z: rand.NewZipf(dataset.NewRand(seed), s, 1, uint64(n-1))}
+}
+
+func (z *zipfSampler) next() int {
+	return int(z.z.Uint64())
+}
+
+// protections under the identity gate: every mode whose answers are a pure
+// function of (principal, query).
+var gated = []struct {
+	name string
+	cfg  sdcquery.Config
+}{
+	{"none", sdcquery.Config{Protection: sdcquery.NoProtection}},
+	{"size", sdcquery.Config{Protection: sdcquery.SizeRestriction, MinSetSize: 3}},
+	{"perturbation", sdcquery.Config{Protection: sdcquery.Perturbation, NoiseSD: 2}},
+	{"camouflage", sdcquery.Config{Protection: sdcquery.Camouflage}},
+	{"sample", sdcquery.Config{Protection: sdcquery.RandomSample, SampleRate: 0.8}},
+	{"dp", sdcquery.Config{Protection: sdcquery.DifferentialPrivacy, Epsilon: 0.001, EpsilonBudget: 1e9}},
+}
+
+const principal = "bench" // single budget identity so dp answers are comparable across clients
+
+func run(rows, queries int, clientsList string, duration time.Duration, zipfS float64, seed uint64, out string) error {
+	cs, err := parseClients(clientsList)
+	if err != nil {
+		return err
+	}
+	if rows < 1 || queries < 1 || duration <= 0 {
+		return fmt.Errorf("-rows, -queries and -duration must all be positive")
+	}
+	if zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1 (rand.NewZipf requirement), got %g", zipfS)
+	}
+	d, err := dataset.Synth("trial", rows, seed)
+	if err != nil {
+		return err
+	}
+	work, err := buildWorkload(d, queries)
+	if err != nil {
+		return err
+	}
+	log.Printf("workload: %d rows, %d distinct query shapes, zipf s=%.2f, clients %v", rows, len(work), zipfS, cs)
+
+	report := Report{
+		Date: time.Now().UTC().Format(time.RFC3339),
+		Rows: rows, DistinctQueries: len(work), ZipfS: zipfS, Seed: seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Warning: cpuWarning(),
+	}
+	for _, g := range gated {
+		report.GatedProtections = append(report.GatedProtections, g.name)
+	}
+	if report.Warning != "" {
+		log.Printf("WARNING: %s", report.Warning)
+	}
+
+	for _, g := range gated {
+		cfg := g.cfg
+		cfg.Seed = seed
+
+		// Phase 1: the uncached serial reference — caching disabled, every
+		// shape answered once, single goroutine.
+		refCfg := cfg
+		refCfg.AnswerCacheCap = -1
+		refSrv, err := sdcquery.NewServer(d, refCfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.name, err)
+		}
+		ref := make(map[string][3]uint64, len(work))
+		for _, q := range work {
+			a, err := refSrv.AskAs(principal, q)
+			if err != nil {
+				return fmt.Errorf("%s reference: %q: %w", g.name, q, err)
+			}
+			ref[q.String()] = answerBits(a)
+		}
+
+		for _, clients := range cs {
+			// Phase 2: identity gate — a cached server hammered by
+			// `clients` goroutines replaying a Zipf workload (every shape
+			// is also visited at least once) must release byte-identical
+			// answers to the uncached serial reference.
+			srv, err := sdcquery.NewServer(d, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", g.name, err)
+			}
+			var wg sync.WaitGroup
+			gateErrs := make([]error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					z := newZipfSampler(len(work), zipfS, seed+uint64(c)*7919+1)
+					iters := 4*len(work)/clients + 1
+					if c == 0 && iters < len(work) {
+						iters = len(work) // client 0 must complete its sweep
+					}
+					for i := 0; i < iters; i++ {
+						idx := z.next()
+						if i < len(work) && c == 0 {
+							idx = i // client 0 sweeps every shape once
+						}
+						q := work[idx]
+						a, err := srv.AskAs(principal, q)
+						if err != nil {
+							gateErrs[c] = fmt.Errorf("%q: %w", q, err)
+							return
+						}
+						if answerBits(a) != ref[q.String()] {
+							gateErrs[c] = fmt.Errorf("%q: cached concurrent answer diverges from uncached serial reference", q)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			for _, err := range gateErrs {
+				if err != nil {
+					return fmt.Errorf("IDENTITY GATE FAILED: %s clients=%d: %w", g.name, clients, err)
+				}
+			}
+			if cfg.Protection == sdcquery.DifferentialPrivacy {
+				// The hammer visited every shape at least once, many several
+				// times: ε must have been debited exactly once per shape.
+				rem, _ := srv.BudgetRemaining(principal)
+				want := cfg.EpsilonBudget - cfg.Epsilon*float64(len(work))
+				if math.Abs(rem-want) > 1e-6 {
+					return fmt.Errorf("ACCOUNTING GATE FAILED: dp clients=%d: remaining ε %g, want %g (one debit per distinct shape)", clients, rem, want)
+				}
+			}
+
+			// Phase 3: timed sustained load on a fresh cached server.
+			loadSrv, err := sdcquery.NewServer(d, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", g.name, err)
+			}
+			var stop atomic.Bool
+			counts := make([]int64, clients)
+			samples := make([][]int64, clients) // every 64th query's latency
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					z := newZipfSampler(len(work), zipfS, seed+uint64(c)*104729+3)
+					for !stop.Load() {
+						q := work[z.next()]
+						t0 := time.Now()
+						if _, err := loadSrv.AskAs(principal, q); err != nil {
+							gateErrs[c] = err
+							return
+						}
+						if counts[c]%64 == 0 {
+							samples[c] = append(samples[c], time.Since(t0).Nanoseconds())
+						}
+						counts[c]++
+					}
+				}(c)
+			}
+			time.Sleep(duration)
+			stop.Store(true)
+			wg.Wait()
+			elapsed := time.Since(start)
+			for _, err := range gateErrs {
+				if err != nil {
+					return fmt.Errorf("%s clients=%d load phase: %w", g.name, clients, err)
+				}
+			}
+			var total int64
+			var lat []int64
+			for c := 0; c < clients; c++ {
+				total += counts[c]
+				lat = append(lat, samples[c]...)
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			pct := func(p float64) int64 {
+				if len(lat) == 0 {
+					return 0
+				}
+				i := int(p * float64(len(lat)-1))
+				return lat[i]
+			}
+			hits, misses, _, _ := loadSrv.CacheStats()
+			hitRate := 0.0
+			if hits+misses > 0 {
+				hitRate = float64(hits) / float64(hits+misses)
+			}
+			e := Entry{
+				Protection: g.name, Clients: clients,
+				Queries: total, DurationNs: elapsed.Nanoseconds(),
+				SustainedQPS:              float64(total) / elapsed.Seconds(),
+				P50Ns:                     pct(0.50),
+				P99Ns:                     pct(0.99),
+				CacheHitRate:              hitRate,
+				IdenticalToUncachedSerial: true,
+			}
+			report.Entries = append(report.Entries, e)
+			log.Printf("%-13s clients=%-2d %10.0f q/s  p50 %9s  p99 %9s  hit-rate %4.1f%%  identity OK",
+				g.name, clients, e.SustainedQPS,
+				time.Duration(e.P50Ns), time.Duration(e.P99Ns), 100*hitRate)
+		}
+	}
+
+	adm, err := admissionPhase(d, seed)
+	if err != nil {
+		return err
+	}
+	report.Admission = *adm
+	log.Printf("admission: sent %d → admitted %d, throttled %d (Retry-After seen: %v)",
+		adm.Sent, adm.Admitted, adm.Throttled, adm.RetryAfterSeen)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d entries); all cached answers byte-identical to the uncached serial path", out, len(report.Entries))
+	return nil
+}
+
+// admissionPhase drives the HTTP front end with token-bucket admission
+// control and verifies the shed contract: excess requests get 429 +
+// Retry-After, admitted ones get real answers.
+func admissionPhase(d *dataset.Dataset, seed uint64) (*Admission, error) {
+	srv, err := sdcquery.NewServer(d, sdcquery.Config{Protection: sdcquery.Perturbation, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	adm := &Admission{RateLimit: 50, Burst: 10, Sent: 200}
+	ts := httptest.NewServer(sdcquery.NewHandler(srv, sdcquery.HandlerConfig{
+		Registry:  obs.NewRegistry(),
+		RateLimit: adm.RateLimit,
+		RateBurst: adm.Burst,
+	}))
+	defer ts.Close()
+	body := `{"agg":"COUNT","where":[{"col":"height","op":"<","v":175}]}`
+	for i := 0; i < adm.Sent; i++ {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(sdcquery.PrincipalHeader, principal)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			adm.Admitted++
+		case http.StatusTooManyRequests:
+			adm.Throttled++
+			if resp.Header.Get("Retry-After") != "" {
+				adm.RetryAfterSeen = true
+			}
+		default:
+			resp.Body.Close()
+			return nil, fmt.Errorf("admission phase: unexpected status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if adm.Throttled == 0 {
+		return nil, fmt.Errorf("ADMISSION GATE FAILED: %d rapid requests against %g rps / burst %d were never throttled", adm.Sent, adm.RateLimit, adm.Burst)
+	}
+	if !adm.RetryAfterSeen {
+		return nil, fmt.Errorf("ADMISSION GATE FAILED: throttled responses lacked Retry-After")
+	}
+	return adm, nil
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,6 +89,44 @@ func TestProtectionTableFlagsExist(t *testing.T) {
 	for _, name := range []string{"-epsilon", "-delta", "-budget", "-principal"} {
 		if !strings.Contains(table, name) {
 			t.Errorf("protection table missing dp flag %s", name)
+		}
+	}
+}
+
+// TestServeFlagsGolden pins the serve command's full flag surface — name,
+// default and usage for every flag, including the sustained-load serving
+// knobs (-querylogcap, -cachecap, -ratelimit, -burst) — so the serving
+// configuration cannot change silently. Regenerate with -update.
+func TestServeFlagsGolden(t *testing.T) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	serveFlags(fs)
+	var b strings.Builder
+	fs.VisitAll(func(f *flag.Flag) {
+		def := f.DefValue
+		if f.Name == "ownertoken" {
+			def = "" // inherits $PRIVACY3D_OWNER_TOKEN: environment-dependent
+		}
+		fmt.Fprintf(&b, "-%s (default %q): %s\n", f.Name, def, f.Usage)
+	})
+	got := b.String()
+	path := filepath.Join("testdata", "serveflags.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("serve flag surface drifted from %s; run `go test ./cmd/privacy3d -run TestServeFlagsGolden -update` and refresh the README serving section\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+	// The sustained-load knobs must stay registered under their documented
+	// names — the README and DESIGN serving chapters reference them.
+	for _, name := range []string{"querylogcap", "cachecap", "ratelimit", "burst"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("serve is missing the documented -%s flag", name)
 		}
 	}
 }

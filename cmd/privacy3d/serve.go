@@ -42,29 +42,63 @@ func dpFlags(fs *flag.FlagSet) (epsilon, delta, budget *float64) {
 	return epsilon, delta, budget
 }
 
+// serveOpts holds the parsed serve flags. The registration lives in
+// serveFlags (not inline in cmdServe) so the lint suite can pin the full
+// serve flag surface in testdata/serveflags.golden.
+type serveOpts struct {
+	in, schema, protect, ownerToken, addr *string
+	minSize                               *int
+	epsilon, delta, budget                *float64
+	seed                                  *uint64
+	logCap, cacheCap                      *int
+	rateLimit                             *float64
+	rateBurst                             *int
+	reqTimeout, grace                     *time.Duration
+	workers                               *int
+}
+
+// serveFlags registers every flag of the serve command on fs.
+func serveFlags(fs *flag.FlagSet) *serveOpts {
+	o := &serveOpts{}
+	o.in = fs.String("in", "", "input CSV file (default: the paper's Dataset 2)")
+	o.schema = fs.String("schema", "", "schema as name:role:kind[,...]")
+	o.protect = fs.String("protect", "auditing", protectHelp("protection to serve under"))
+	o.ownerToken = fs.String("ownertoken", os.Getenv("PRIVACY3D_OWNER_TOKEN"),
+		"bearer token gating POST /protect (empty disables the endpoint; defaults to $PRIVACY3D_OWNER_TOKEN)")
+	o.addr = fs.String("addr", ":8733", "listen address")
+	o.minSize = fs.Int("minsize", 3, "query-set-size threshold")
+	o.epsilon, o.delta, o.budget = dpFlags(fs)
+	o.seed = fs.Uint64("seed", 20070923, "noise seed (dp answers are a pure function of seed, principal and query)")
+	o.logCap = fs.Int("querylogcap", sdcquery.DefaultQueryLogCap,
+		"owner query-log retention: newest entries kept for GET /log (0 uses the default; -1 retains everything, unbounded)")
+	o.cacheCap = fs.Int("cachecap", sdcquery.DefaultAnswerCacheCap,
+		"answer-cache entries (0 uses the default; -1 disables caching)")
+	o.rateLimit = fs.Float64("ratelimit", 0,
+		"per-client admission rate in requests/s; excess gets 429 + Retry-After (0 disables admission control)")
+	o.rateBurst = fs.Int("burst", 0, "admission burst: tokens an idle client may accumulate (0 derives from -ratelimit)")
+	o.reqTimeout = fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
+	o.grace = fs.Duration("grace", obs.DefaultShutdownGrace, "graceful-shutdown drain window")
+	o.workers = workersFlag(fs)
+	return o
+}
+
 // cmdServe exposes a protected statistical database over HTTP: POST /query
 // (structured JSON), POST /sql (raw query text); GET /log shows the owner's
 // view of all submitted queries (making the absence of user privacy
 // tangible); GET /metrics exposes request, latency and answer-outcome
-// counters. The server runs with hardened timeouts and drains in-flight
-// queries on SIGINT/SIGTERM before exiting 0.
+// counters. The query surface is cached, admission-controlled and
+// body-size-limited; the server runs with hardened timeouts and drains
+// in-flight queries on SIGINT/SIGTERM before exiting 0.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	in := fs.String("in", "", "input CSV file (default: the paper's Dataset 2)")
-	schema := fs.String("schema", "", "schema as name:role:kind[,...]")
-	protect := fs.String("protect", "auditing", protectHelp("protection to serve under"))
-	ownerToken := fs.String("ownertoken", os.Getenv("PRIVACY3D_OWNER_TOKEN"),
-		"bearer token gating POST /protect (empty disables the endpoint; defaults to $PRIVACY3D_OWNER_TOKEN)")
-	addr := fs.String("addr", ":8733", "listen address")
-	minSize := fs.Int("minsize", 3, "query-set-size threshold")
-	epsilon, delta, budget := dpFlags(fs)
-	seed := fs.Uint64("seed", 20070923, "noise seed (dp answers are a pure function of seed, principal and query)")
-	reqTimeout := fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
-	grace := fs.Duration("grace", obs.DefaultShutdownGrace, "graceful-shutdown drain window")
-	workers := workersFlag(fs)
+	o := serveFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	in, schema, protect, ownerToken, addr := o.in, o.schema, o.protect, o.ownerToken, o.addr
+	minSize, epsilon, delta, budget, seed := o.minSize, o.epsilon, o.delta, o.budget, o.seed
+	logCap, cacheCap, rateLimit, rateBurst := o.logCap, o.cacheCap, o.rateLimit, o.rateBurst
+	reqTimeout, grace, workers := o.reqTimeout, o.grace, o.workers
 	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
@@ -82,10 +116,17 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := sdcquery.NewServer(d, sdcquery.Config{
+	cfg := sdcquery.Config{
 		Protection: prot, MinSetSize: *minSize, Seed: *seed,
 		Epsilon: *epsilon, Delta: *delta, EpsilonBudget: *budget,
-	})
+		AnswerCacheCap: *cacheCap,
+	}
+	if *logCap < 0 {
+		cfg.UnboundedQueryLog = true
+	} else {
+		cfg.QueryLogCap = *logCap
+	}
+	srv, err := sdcquery.NewServer(d, cfg)
 	if err != nil {
 		return err
 	}
@@ -95,7 +136,10 @@ func cmdServe(args []string) error {
 	// Route per-method masking metrics (sdc_apply_total, sdc_apply_seconds)
 	// from the /protect endpoint into this registry.
 	sdc.Instrument(reg)
-	handler := obs.Chain(sdcquery.NewHandler(srv, sdcquery.HandlerConfig{Registry: reg, OwnerToken: *ownerToken}),
+	handler := obs.Chain(sdcquery.NewHandler(srv, sdcquery.HandlerConfig{
+		Registry: reg, OwnerToken: *ownerToken,
+		RateLimit: *rateLimit, RateBurst: *rateBurst,
+	}),
 		obs.Logging(logger),
 		obs.Instrument(reg, "/query", "/sql", "/protect", "/log", "/metrics"),
 		obs.Recover(reg, logger),
@@ -111,6 +155,9 @@ func cmdServe(args []string) error {
 		logger.Printf("owner-gated masked releases at POST /protect (methods: %s)", strings.Join(sdc.Names(), ", "))
 	} else {
 		logger.Printf("POST /protect disabled — set -ownertoken (or $PRIVACY3D_OWNER_TOKEN) to enable owner-side masked releases")
+	}
+	if *rateLimit > 0 {
+		logger.Printf("admission control: %g requests/s per client (burst %d); excess gets 429 + Retry-After", *rateLimit, *rateBurst)
 	}
 	logger.Printf("request and denial-rate counters at GET /metrics")
 	return obs.Run(obs.NewServer(*addr, handler), logger, *grace)

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Token-bucket admission control for the serving front ends. A server whose
+// inference controls are cheap enough to answer thousands of queries per
+// second still has finite capacity; admission control sheds the excess at
+// the door with a 429 + Retry-After instead of letting a hot client queue
+// everyone else into timeout. Buckets are per client (the budget principal
+// when present, the remote address otherwise), so one greedy client cannot
+// starve the rest.
+
+// DefaultMaxClients bounds the per-client bucket map: past it, idle buckets
+// are recycled. A bucket is tiny, so the default is generous.
+const DefaultMaxClients = 65536
+
+// TokenBuckets tracks one token bucket per client. Each bucket holds up to
+// burst tokens and refills at rate tokens/second (lazily, on access — no
+// background goroutine); a request costs one token. Safe for concurrent
+// use.
+type TokenBuckets struct {
+	rate       float64
+	burst      float64
+	maxClients int
+	now        func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	clients map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBuckets builds admission control admitting a sustained rate of
+// rate requests/second per client with bursts of up to burst requests.
+// burst < 1 defaults to max(2·rate, 1); maxClients < 1 defaults to
+// DefaultMaxClients.
+func NewTokenBuckets(rate float64, burst, maxClients int) (*TokenBuckets, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("obs: token-bucket rate must be > 0, got %g", rate)
+	}
+	b := float64(burst)
+	if burst < 1 {
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	if maxClients < 1 {
+		maxClients = DefaultMaxClients
+	}
+	return &TokenBuckets{
+		rate:       rate,
+		burst:      b,
+		maxClients: maxClients,
+		now:        time.Now,
+		clients:    map[string]*tokenBucket{},
+	}, nil
+}
+
+// Allow reports whether one request from client is admitted now and, when
+// it is not, how long the client should wait before retrying (the
+// Retry-After value).
+func (t *TokenBuckets) Allow(client string) (ok bool, retryAfter time.Duration) {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.clients[client]
+	if b == nil {
+		if len(t.clients) >= t.maxClients {
+			t.evictIdleLocked(now)
+		}
+		b = &tokenBucket{tokens: t.burst, last: now}
+		t.clients[client] = b
+	} else if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * t.rate
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+}
+
+// evictIdleLocked reclaims fully-refilled (hence idle ≥ burst/rate seconds)
+// buckets; if none are idle it drops one arbitrary bucket so the map stays
+// bounded. Dropping a bucket resets the client to a full burst — a small
+// admission-control leak under client-count overload, never a memory leak.
+func (t *TokenBuckets) evictIdleLocked(now time.Time) {
+	for k, b := range t.clients {
+		if b.tokens+now.Sub(b.last).Seconds()*t.rate >= t.burst {
+			delete(t.clients, k)
+		}
+	}
+	if len(t.clients) >= t.maxClients {
+		for k := range t.clients {
+			delete(t.clients, k)
+			break
+		}
+	}
+}
+
+// Clients reports how many client buckets are currently tracked (a metrics
+// gauge feed).
+func (t *TokenBuckets) Clients() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.clients)
+}

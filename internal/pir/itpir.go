@@ -196,6 +196,88 @@ func (s *ITServer) Answer(subset []byte) ([]byte, error) {
 	return out, nil
 }
 
+// AnswerBatch answers m subset queries in ONE pass over the database: each
+// block row is loaded once and XORed into every selected per-query
+// accumulator, instead of m separate passes re-streaming the whole word
+// array through the cache. XOR is exact and associative, so each returned
+// answer is byte-identical to Answer on the same subset, at any worker
+// count. Every query in the batch is logged and counted individually; a
+// malformed subset fails the whole batch before any work or logging.
+func (s *ITServer) AnswerBatch(subsets [][]byte) ([][]byte, error) {
+	for i, sub := range subsets {
+		if err := s.checkSubset(sub); err != nil {
+			return nil, fmt.Errorf("pir: batch query %d: %w", i, err)
+		}
+	}
+	if len(subsets) == 0 {
+		return nil, nil
+	}
+	for _, sub := range subsets {
+		s.queryLog.Append(append([]byte(nil), sub...))
+	}
+	s.answers.Add(int64(len(subsets)))
+
+	wpb, m := s.wpb, len(subsets)
+	acc := par.MapReduce(par.Default(), s.numBlocks, nil,
+		func(lo, hi int) [][]uint64 {
+			var part [][]uint64
+			var xored int64
+			for b := lo; b < hi; b++ {
+				row := s.words[b*wpb : (b+1)*wpb]
+				for q := 0; q < m; q++ {
+					if subsets[q][b>>3]>>(b&7)&1 == 0 {
+						continue
+					}
+					if part == nil {
+						part = make([][]uint64, m)
+					}
+					if part[q] == nil {
+						part[q] = make([]uint64, wpb)
+					}
+					dst := part[q]
+					for w, v := range row {
+						dst[w] ^= v
+					}
+					xored += int64(wpb)
+				}
+			}
+			if xored > 0 {
+				s.wordsXORed.Add(xored)
+			}
+			return part
+		},
+		func(acc, part [][]uint64) [][]uint64 {
+			if part == nil {
+				return acc
+			}
+			if acc == nil {
+				return part // freshly allocated per chunk: safe to adopt
+			}
+			for q := range part {
+				switch {
+				case part[q] == nil:
+				case acc[q] == nil:
+					acc[q] = part[q]
+				default:
+					dst := acc[q]
+					for w, v := range part[q] {
+						dst[w] ^= v
+					}
+				}
+			}
+			return acc
+		})
+
+	out := make([][]byte, m)
+	for q := range out {
+		out[q] = make([]byte, s.blockSize)
+		if acc != nil && acc[q] != nil {
+			unpackWords(out[q], acc[q])
+		}
+	}
+	return out, nil
+}
+
 // QueryLog returns a copy of the retained subset vectors this server has
 // observed (oldest first) — its window onto all users' activity.
 func (s *ITServer) QueryLog() [][]byte {
@@ -315,12 +397,13 @@ func (c *ITClient) Retrieve(index int) ([]byte, error) {
 	return out, nil
 }
 
-// RetrieveBatch privately fetches the given block indices, fanning the
-// index×server answer computations out over the internal/par pool — the
-// batched path the Section 3 RangeStats scenario uses instead of paying
-// per-cell sequential round trips. The query randomness is drawn
-// sequentially in index order, and per-index answers are XOR-folded in
-// server order, so results are identical to len(indices) sequential
+// RetrieveBatch privately fetches the given block indices — the batched
+// path the Section 3 RangeStats scenario uses instead of paying per-cell
+// sequential round trips. Each server receives its whole column of subset
+// vectors as ONE AnswerBatch call, so the replica streams its database once
+// for the entire batch instead of once per index. The query randomness is
+// drawn sequentially in index order, and per-index answers are XOR-folded
+// in server order, so results are identical to len(indices) sequential
 // Retrieve calls at any worker count.
 func (c *ITClient) RetrieveBatch(indices []int) ([][]byte, error) {
 	n := c.servers[0].Blocks()
@@ -329,23 +412,34 @@ func (c *ITClient) RetrieveBatch(indices []int) ([][]byte, error) {
 			return nil, fmt.Errorf("pir: index %d out of range [0,%d)", idx, n)
 		}
 	}
+	if len(indices) == 0 {
+		return nil, nil
+	}
 	k := len(c.servers)
-	queries := make([][][]byte, len(indices))
+	perServer := make([][][]byte, k)
+	for s := range perServer {
+		perServer[s] = make([][]byte, len(indices))
+	}
 	for i, idx := range indices {
-		queries[i] = c.queriesFor(idx)
+		qs := c.queriesFor(idx)
+		for s := 0; s < k; s++ {
+			perServer[s][i] = qs[s]
+		}
 	}
-	answers := make([][][]byte, len(indices))
-	for i := range answers {
-		answers[i] = make([][]byte, k)
+	answers := make([][][]byte, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for s := range c.servers {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			answers[s], errs[s] = c.servers[s].AnswerBatch(perServer[s])
+		}(s)
 	}
-	errs := make([]error, len(indices)*k)
-	par.Tasks(len(indices)*k, func(t int) {
-		i, s := t/k, t%k
-		answers[i][s], errs[t] = c.servers[s].Answer(queries[i][s])
-	})
-	for t, err := range errs {
+	wg.Wait()
+	for s, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("pir: index %d server %d: %w", indices[t/k], t%k, err)
+			return nil, fmt.Errorf("pir: server %d: %w", s, err)
 		}
 	}
 	out := make([][]byte, len(indices))
@@ -354,7 +448,7 @@ func (c *ITClient) RetrieveBatch(indices []int) ([][]byte, error) {
 		b := make([]byte, bs)
 		for s := 0; s < k; s++ {
 			for j := range b {
-				b[j] ^= answers[i][s][j]
+				b[j] ^= answers[s][i][j]
 			}
 		}
 		out[i] = b

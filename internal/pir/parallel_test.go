@@ -74,6 +74,70 @@ func TestITAnswerMatchesBytewiseReference(t *testing.T) {
 	}
 }
 
+// TestITAnswerBatchMatchesAnswer is the identity gate of the one-pass
+// batched kernel: on odd shapes (partial tail words and subset bytes),
+// AnswerBatch must return, per query, exactly the bytes Answer returns —
+// at every worker count — while counting each query individually.
+func TestITAnswerBatchMatchesAnswer(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(0))
+	shapes := []struct{ n, size int }{
+		{1, 1}, {13, 13}, {100, 17}, {1025, 31},
+	}
+	for _, sh := range shapes {
+		blocks := testBlocks(sh.n, sh.size, uint64(sh.n*7777+sh.size))
+		srv, err := NewITServer(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := dataset.NewRand(uint64(sh.n) ^ 0xbadc)
+		subsets := make([][]byte, 9)
+		for i := range subsets {
+			subsets[i] = randomSubset(sh.n, rng)
+		}
+		subsets[3] = make([]byte, (sh.n+7)/8) // include an empty subset
+		want := make([][]byte, len(subsets))
+		for i, sub := range subsets {
+			if want[i], err = srv.Answer(sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, w := range []int{1, 2, 8} {
+			par.SetWorkers(w)
+			before := srv.Answers()
+			got, err := srv.AnswerBatch(subsets)
+			if err != nil {
+				t.Fatalf("n=%d size=%d workers=%d: %v", sh.n, sh.size, w, err)
+			}
+			for i := range subsets {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("n=%d size=%d workers=%d: batch answer %d differs from Answer", sh.n, sh.size, w, i)
+				}
+			}
+			if srv.Answers() != before+int64(len(subsets)) {
+				t.Errorf("batch counted %d answers, want %d", srv.Answers()-before, len(subsets))
+			}
+		}
+	}
+	// A malformed subset anywhere fails the whole batch before logging.
+	srv, err := NewITServer(testBlocks(37, 4, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retainedBefore, _, _ := srv.QueryLogStats()
+	bad := make([]byte, 5)
+	bad[4] |= 1 << 6 // bit 38 of a 37-block database
+	if _, err := srv.AnswerBatch([][]byte{make([]byte, 5), bad}); err == nil {
+		t.Error("batch accepted a subset with tail bits set")
+	}
+	if retained, _, _ := srv.QueryLogStats(); retained != retainedBefore {
+		t.Error("failed batch left queries in the log")
+	}
+	// The empty batch is a no-op.
+	if out, err := srv.AnswerBatch(nil); err != nil || out != nil {
+		t.Errorf("empty batch = %v, %v", out, err)
+	}
+}
+
 // TestITAnswerRejectsTailBits pins the malformed-query contract: a subset
 // vector with bits set beyond the block count must be rejected, not
 // silently answered as if the tail were clear.

@@ -74,14 +74,25 @@ func TestDPRepeatAnswersIdenticallyAndBudgetExhausts(t *testing.T) {
 			t.Fatalf("query %d: %v", i, err)
 		}
 		values = append(values, a.Value)
+		// A repeat is a re-release of a value alice already holds: ε is
+		// debited exactly once, on the first release.
+		if a.EpsilonRemaining != 2 {
+			t.Errorf("repeat %d: remaining ε = %g, want 2 (repeats must not debit)", i, a.EpsilonRemaining)
+		}
 	}
 	// The seeding contract: a repeated (principal, query) re-releases the
 	// identical perturbed value, so averaging repetitions gains nothing.
 	if values[0] != values[1] || values[1] != values[2] {
 		t.Errorf("repeated query drew fresh noise: %v", values)
 	}
-	// The fourth query overdraws the ε=3 budget.
-	_, err := srv.AskAs("alice", q)
+	// Distinct queries each debit; the fourth distinct query overdraws the
+	// ε=3 budget.
+	for i, v := range []float64{80, 70} {
+		if _, err := srv.AskAs("alice", Query{Agg: Count, Where: Predicate{{Col: "weight", Op: Gt, V: v}}}); err != nil {
+			t.Fatalf("distinct query %d: %v", i, err)
+		}
+	}
+	_, err := srv.AskAs("alice", Query{Agg: Count, Where: Predicate{{Col: "weight", Op: Gt, V: 60}}})
 	if !errors.Is(err, dp.ErrBudgetExhausted) {
 		t.Fatalf("post-exhaustion error = %v", err)
 	}
@@ -89,12 +100,69 @@ func TestDPRepeatAnswersIdenticallyAndBudgetExhausts(t *testing.T) {
 	if !errors.As(err, &be) || be.Remaining != 0 {
 		t.Errorf("budget error detail = %v", err)
 	}
+	// The exhausted principal can still re-fetch answers it already holds.
+	a, err := srv.AskAs("alice", q)
+	if err != nil {
+		t.Fatalf("exhausted re-release: %v", err)
+	}
+	if a.Value != values[0] || a.EpsilonRemaining != 0 {
+		t.Errorf("exhausted re-release = %+v, want value %g and remaining 0", a, values[0])
+	}
 	// A different principal is unaffected, and principals are listed.
 	if _, err := srv.AskAs("bob", q); err != nil {
 		t.Errorf("bob blocked by alice's exhaustion: %v", err)
 	}
 	if got := srv.BudgetPrincipals(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
 		t.Errorf("BudgetPrincipals = %v", got)
+	}
+}
+
+// TestDPCacheHitAccounting pins the cache-side of the accounting rule: the
+// first release of a (principal, query) is a cache miss that debits ε; every
+// repeat is a cache hit that debits nothing and reports the CURRENT
+// remaining budget, not a stale snapshot.
+func TestDPCacheHitAccounting(t *testing.T) {
+	srv := dpServer(t, Config{Seed: 17, Epsilon: 1, EpsilonBudget: 10})
+	q := Query{Agg: Sum, Attr: "weight", Where: Predicate{{Col: "height", Op: Lt, V: 180}}}
+	first, err := srv.AskAs("alice", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.EpsilonRemaining != 9 {
+		t.Fatalf("first release remaining = %g, want 9", first.EpsilonRemaining)
+	}
+	// Spend some budget on a different query, then repeat the first.
+	if _, err := srv.AskAs("alice", Query{Agg: Count, Where: nil}); err != nil {
+		t.Fatal(err)
+	}
+	repeat, err := srv.AskAs("alice", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.Value != first.Value || !repeat.Budgeted || repeat.Epsilon != 1 {
+		t.Errorf("repeat = %+v, want re-release of %+v", repeat, first)
+	}
+	if repeat.EpsilonRemaining != 8 {
+		t.Errorf("repeat remaining = %g, want current ledger state 8 (charged once, refreshed on hit)", repeat.EpsilonRemaining)
+	}
+	if rem, _ := srv.BudgetRemaining("alice"); rem != 8 {
+		t.Errorf("ledger remaining = %g after repeat, want 8 (repeat must not debit)", rem)
+	}
+	hits, misses, _, ok := srv.CacheStats()
+	if !ok || hits != 1 || misses != 2 {
+		t.Errorf("CacheStats = hits %d misses %d ok %v, want 1/2/true", hits, misses, ok)
+	}
+	// Per-principal isolation: bob asking alice's query is a miss and a
+	// fresh release with bob's own noise key.
+	bob, err := srv.AskAs("bob", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bob.Value == first.Value {
+		t.Error("bob received alice's noise draw")
+	}
+	if rem, _ := srv.BudgetRemaining("bob"); rem != 9 {
+		t.Errorf("bob remaining = %g, want 9", rem)
 	}
 }
 
@@ -256,8 +324,14 @@ func TestDPHTTPBudgetFlow(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || a.EpsilonRemaining == nil || *a.EpsilonRemaining != 0 {
 		t.Fatalf("second answer = %d %+v", resp.StatusCode, a)
 	}
-	// The third is refused with 429 and the remaining-ε hint.
-	resp, _, msg = post("alice", q)
+	// Repeating an already-released query is a free re-release: 200 with
+	// the ε fields showing the exhausted budget but no fresh debit.
+	resp, a, _ = post("alice", q)
+	if resp.StatusCode != http.StatusOK || a.EpsilonRemaining == nil || *a.EpsilonRemaining != 0 {
+		t.Fatalf("cached repeat = %d %+v", resp.StatusCode, a)
+	}
+	// A third DISTINCT query is refused with 429 and the remaining-ε hint.
+	resp, _, msg = post("alice", "SELECT COUNT(*) WHERE height < 170")
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("exhausted status = %d (%s)", resp.StatusCode, msg)
 	}
@@ -279,7 +353,7 @@ func TestDPHTTPBudgetFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		`sdcquery_answers_total{outcome="answered"} 3`,
+		`sdcquery_answers_total{outcome="answered"} 4`,
 		`sdcquery_answers_total{outcome="budget-exhausted"} 1`,
 		`sdcquery_answers_total{outcome="no-principal"} 1`,
 		`dp_epsilon_remaining{principal="alice"} 0`,
@@ -327,11 +401,12 @@ func ExampleServer_AskAs_budgetExhausted() {
 	srv, _ := NewServer(dataset.Dataset2(), Config{
 		Protection: DifferentialPrivacy, Epsilon: 1, EpsilonBudget: 1, Seed: 1,
 	})
-	q := Query{Agg: Count, Where: nil}
-	if _, err := srv.AskAs("alice", q); err != nil {
+	if _, err := srv.AskAs("alice", Query{Agg: Count, Where: nil}); err != nil {
 		fmt.Println(err)
 	}
-	_, err := srv.AskAs("alice", q)
+	// A second DISTINCT query overdraws the ε=1 budget (repeating the first
+	// would be a free cache re-release).
+	_, err := srv.AskAs("alice", Query{Agg: Count, Where: Predicate{{Col: "height", Op: Ge, V: 170}}})
 	fmt.Println(errors.Is(err, dp.ErrBudgetExhausted))
 	// Output: true
 }

@@ -8,15 +8,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"privacy3d/internal/dataset"
 	"privacy3d/internal/dp"
 	"privacy3d/internal/obs"
 	"privacy3d/internal/sdc"
 )
+
+// maxBodyBytes caps request bodies on every POST surface; oversized bodies
+// are refused with a clean 413 via http.MaxBytesReader.
+const maxBodyBytes = 1 << 16
 
 // HTTP front end for the protected statistical database, so the "owner sees
 // every query" property of Section 3 is tangible: the /log endpoint IS the
@@ -173,6 +182,15 @@ type HandlerConfig struct {
 	// /protect is disabled (403): masked releases expose record-level
 	// microdata and must never be reachable by the untrusted /query clients.
 	OwnerToken string
+	// RateLimit enables per-client token-bucket admission control on the
+	// query surface (/query and /sql): each client is admitted RateLimit
+	// requests/second sustained, with bursts up to RateBurst. Excess
+	// requests are shed with 429 + Retry-After before touching the server.
+	// Clients are identified by the principal header when present, else by
+	// remote address. 0 disables admission control.
+	RateLimit float64
+	// RateBurst is the bucket depth; < 1 defaults to max(2·RateLimit, 1).
+	RateBurst int
 }
 
 // NewHTTPHandler wraps a Server in the HTTP API without metrics and with
@@ -237,6 +255,85 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 	}
 	if reg != nil {
 		reg.Gauge("sdcquery_log_depth", func() float64 { return float64(srv.LogDepth()) })
+		reg.Gauge("sdcquery_log_dropped", func() float64 {
+			_, dropped, _ := srv.LogStats()
+			return float64(dropped)
+		})
+		reg.Gauge("sdcquery_cache_hits", func() float64 {
+			hits, _, _, _ := srv.CacheStats()
+			return float64(hits)
+		})
+		reg.Gauge("sdcquery_cache_misses", func() float64 {
+			_, misses, _, _ := srv.CacheStats()
+			return float64(misses)
+		})
+		reg.Gauge("sdcquery_cache_entries", func() float64 {
+			_, _, entries, _ := srv.CacheStats()
+			return float64(entries)
+		})
+	}
+	// Admission control: shed excess per-client load at the door. The
+	// in-flight gauge is the serving queue depth — requests admitted but
+	// not yet answered.
+	var inflight atomic.Int64
+	var buckets *obs.TokenBuckets
+	if cfg.RateLimit > 0 {
+		var err error
+		if buckets, err = obs.NewTokenBuckets(cfg.RateLimit, cfg.RateBurst, 0); err != nil {
+			panic(err) // unreachable: RateLimit > 0 is the only requirement
+		}
+	}
+	if reg != nil {
+		reg.Gauge("sdcquery_inflight_requests", func() float64 { return float64(inflight.Load()) })
+		if buckets != nil {
+			reg.Gauge("sdcquery_admission_clients", func() float64 { return float64(buckets.Clients()) })
+		}
+	}
+	admitted := func(decision string) {
+		if reg != nil {
+			reg.Counter(obs.Label("sdcquery_admission_total", "decision", decision)).Inc()
+		}
+	}
+	// admit applies admission control; a false return means the 429 has
+	// been written.
+	admit := func(w http.ResponseWriter, r *http.Request) bool {
+		if buckets == nil {
+			return true
+		}
+		client := r.Header.Get(PrincipalHeader)
+		if client == "" {
+			client = r.RemoteAddr
+			if host, _, err := net.SplitHostPort(client); err == nil {
+				client = host
+			}
+		}
+		ok, retry := buckets.Allow(client)
+		if !ok {
+			admitted("throttled")
+			secs := int(math.Ceil(retry.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("admission control: client %q over %g requests/s; retry in %s", client, cfg.RateLimit, retry.Round(time.Millisecond)))
+			return false
+		}
+		admitted("admitted")
+		return true
+	}
+	// readBody enforces the body cap via http.MaxBytesReader: an oversized
+	// body is a clean 413 (with its own outcome label), not a JSON
+	// unexpected-EOF 400.
+	tooLarge := func(w http.ResponseWriter, err error) bool {
+		var mbe *http.MaxBytesError
+		if !errors.As(err, &mbe) {
+			return false
+		}
+		outcome("too-large")
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		return true
 	}
 	// Per-principal remaining-ε gauges, registered once per principal the
 	// moment it first appears (registration replaces the callback, so the
@@ -306,8 +403,16 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 		if !requireMethod(w, r, http.MethodPost) {
 			return
 		}
+		if !admit(w, r) {
+			return
+		}
+		inflight.Add(1)
+		defer inflight.Add(-1)
 		var qj QueryJSON
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&qj); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&qj); err != nil {
+			if tooLarge(w, err) {
+				return
+			}
 			outcome("error")
 			writeError(w, http.StatusBadRequest, "malformed JSON query: "+err.Error())
 			return
@@ -324,8 +429,16 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 		if !requireMethod(w, r, http.MethodPost) {
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if !admit(w, r) {
+			return
+		}
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		if err != nil {
+			if tooLarge(w, err) {
+				return
+			}
 			outcome("error")
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -346,7 +459,10 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 			return
 		}
 		var pr ProtectRequest
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&pr); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&pr); err != nil {
+			if tooLarge(w, err) {
+				return
+			}
 			writeError(w, http.StatusBadRequest, "malformed JSON protect request: "+err.Error())
 			return
 		}

@@ -1,13 +1,14 @@
 package sdcquery
 
 import (
+	"math/rand/v2"
 	"testing"
 
 	"privacy3d/internal/dataset"
 )
 
 func TestOverlapControllerBasics(t *testing.T) {
-	oc, err := NewOverlapController(2, 1)
+	oc, err := NewOverlapController(2, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,11 +40,79 @@ func TestOverlapControllerBasics(t *testing.T) {
 }
 
 func TestOverlapControllerValidation(t *testing.T) {
-	if _, err := NewOverlapController(0, 1); err == nil {
+	if _, err := NewOverlapController(0, 1, 0); err == nil {
 		t.Error("accepted minSetSize 0")
 	}
-	if _, err := NewOverlapController(1, -1); err == nil {
+	if _, err := NewOverlapController(1, -1, 0); err == nil {
 		t.Error("accepted negative overlap")
+	}
+}
+
+func TestOverlapControllerDenyWhenFull(t *testing.T) {
+	oc, err := NewOverlapController(1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := oc.Admit([]int{1}); !ok {
+		t.Fatal("first admit failed")
+	}
+	if ok, _ := oc.Admit([]int{2}); !ok {
+		t.Fatal("second admit failed")
+	}
+	ok, reason := oc.Admit([]int{3})
+	if ok {
+		t.Error("admit beyond maxTracked succeeded")
+	}
+	if reason == "" {
+		t.Error("full-history denial without reason")
+	}
+	if tracked, capacity := oc.Stats(); tracked != 2 || capacity != 2 {
+		t.Errorf("Stats() = (%d, %d), want (2, 2)", tracked, capacity)
+	}
+	// Denied-when-full queries are not remembered.
+	if oc.Answered() != 2 {
+		t.Errorf("Answered() = %d after full denial, want 2", oc.Answered())
+	}
+}
+
+// TestOverlapIndexMatchesReference drives the inverted-index Admit and an
+// exhaustive sortedOverlap reference over the same random workload and
+// requires identical admit/deny decisions at every step.
+func TestOverlapIndexMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	const universe = 40
+	oc, err := NewOverlapController(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var answered [][]int
+	refAdmit := func(rows []int) bool {
+		for _, prev := range answered {
+			if sortedOverlap(prev, rows) > 2 {
+				return false
+			}
+		}
+		answered = append(answered, append([]int(nil), rows...))
+		return true
+	}
+	for step := 0; step < 500; step++ {
+		var rows []int
+		for r := 0; r < universe; r++ {
+			if rng.IntN(8) == 0 {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			rows = []int{rng.IntN(universe)}
+		}
+		got, _ := oc.Admit(rows)
+		want := refAdmit(rows)
+		if got != want {
+			t.Fatalf("step %d: indexed Admit(%v) = %v, reference = %v", step, rows, got, want)
+		}
+	}
+	if oc.Answered() != len(answered) {
+		t.Errorf("Answered() = %d, reference tracked %d", oc.Answered(), len(answered))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"privacy3d/internal/dataset"
 	"privacy3d/internal/dp"
 	"privacy3d/internal/noise"
+	"privacy3d/internal/par"
 	"privacy3d/internal/stats"
 )
 
@@ -30,6 +31,10 @@ const (
 	// confidential value (Chin & Ozsoyoglu 1982).
 	Auditing
 	// Perturbation answers with additive noise (Duncan & Mukherjee 2000).
+	// The noise is derived statelessly from (Seed, canonical query), so a
+	// repeated query re-releases the identical perturbed value — averaging
+	// repetitions gains nothing — and perturbed answers need no shared rng
+	// on the hot path.
 	Perturbation
 	// Camouflage answers with an interval guaranteed to contain the true
 	// value (CVC, Gopal et al. 2002).
@@ -45,12 +50,16 @@ const (
 	RandomSample
 	// DifferentialPrivacy answers with Laplace (or Gaussian, when
 	// Config.Delta > 0) noise calibrated to the query's sensitivity, and
-	// debits a per-principal ε budget on every answer. Queries must carry
-	// a principal (AskAs / the X-Privacy3D-Principal header); once a
+	// debits a per-principal ε budget on every fresh answer. Queries must
+	// carry a principal (AskAs / the X-Privacy3D-Principal header); once a
 	// principal's ε is spent, further queries are refused with a typed
 	// budget-exhausted error. Unlike the heuristic Perturbation mode, the
 	// noise scale follows the DP calibration Δ/ε and the same seed
-	// reproduces byte-identical answers at any concurrency level.
+	// reproduces byte-identical answers at any concurrency level. A
+	// repeated identical (principal, query) is served from the answer
+	// cache as a re-release of the identical value and debits ε exactly
+	// once — re-releasing what the principal already holds leaks nothing
+	// new, so charging it again was pure loss (the seed double-debited).
 	DifferentialPrivacy
 )
 
@@ -159,13 +168,28 @@ type Answer struct {
 	// Interval reports that Lo/Hi carry the answer.
 	Interval bool
 	// Budgeted reports that this answer was released under
-	// DifferentialPrivacy and debited a budget: Epsilon is the ε this
-	// release cost and EpsilonRemaining the principal's unspent ε after
-	// the debit.
+	// DifferentialPrivacy and is budget-accounted: Epsilon is the ε the
+	// release cost (charged once, at first release — a cache-served
+	// repeat is a re-release and costs nothing) and EpsilonRemaining the
+	// principal's unspent ε after accounting.
 	Budgeted         bool
 	Epsilon          float64
 	EpsilonRemaining float64
 }
+
+// Serving-layer defaults. Both logs and caches are bounded by default: a
+// server meant to survive sustained traffic must not hold state that grows
+// linearly with the query stream.
+const (
+	// DefaultQueryLogCap bounds Server's query log to the newest window
+	// (mirrors pir.DefaultQueryLogCap).
+	DefaultQueryLogCap = 4096
+	// DefaultAnswerCacheCap bounds the answer cache.
+	DefaultAnswerCacheCap = 4096
+	// DefaultMaxTrackedQueries caps the overlap controller's answered-set
+	// history.
+	DefaultMaxTrackedQueries = 65536
+)
 
 // Config parameterises a Server.
 type Config struct {
@@ -185,16 +209,16 @@ type Config struct {
 	// SampleRate is the inclusion probability of RandomSample
 	// (default 0.8).
 	SampleRate float64
-	// Seed drives the perturbation noise. Under DifferentialPrivacy it is
-	// the root of the reproducibility contract: the released noise is a
-	// pure function of (Seed, principal, canonical query string), so the
-	// same seed yields byte-identical perturbed answers at any worker
-	// count and request interleaving.
+	// Seed drives the perturbation noise. Under Perturbation and
+	// DifferentialPrivacy it is the root of the reproducibility contract:
+	// the released noise is a pure function of (Seed, [principal,]
+	// canonical query string), so the same seed yields byte-identical
+	// perturbed answers at any worker count and request interleaving.
 	Seed uint64
 
 	// Epsilon is the per-query privacy cost ε of DifferentialPrivacy
-	// (default 0.5). Each answered query debits this much from the
-	// asking principal's budget.
+	// (default 0.5). Each freshly answered query debits this much from
+	// the asking principal's budget; cache-served repeats debit nothing.
 	Epsilon float64
 	// Delta selects the mechanism of DifferentialPrivacy: 0 (default)
 	// uses the ε-DP Laplace mechanism; 0 < Delta < 1 uses the (ε,δ)-DP
@@ -208,34 +232,79 @@ type Config struct {
 	// (default "served"); distinct IDs keep budgets separate when one
 	// ledger fronts several releases.
 	DatasetID string
+
+	// QueryLogCap bounds the query log to the newest entries (default
+	// DefaultQueryLogCap). The owner's view becomes a sliding window;
+	// LogStats reports exactly how much older history was shed. Ignored
+	// when UnboundedQueryLog is set.
+	QueryLogCap int
+	// UnboundedQueryLog opts into the original append-only full-log
+	// semantics — the user-privacy evaluator's literal "the owner sees
+	// every query" reading. A server under sustained load must leave
+	// this off: an unbounded log grows until the process OOMs.
+	UnboundedQueryLog bool
+	// AnswerCacheCap bounds the answer cache (default
+	// DefaultAnswerCacheCap entries; negative disables caching). The
+	// cache serves repeated (principal, canonical query) shapes without
+	// re-scanning the dataset; under DifferentialPrivacy it also makes a
+	// repeat a free re-release instead of a second ε debit.
+	AnswerCacheCap int
+	// MaxTrackedQueries caps the overlap controller's answered-set
+	// history (default DefaultMaxTrackedQueries). When the cap is
+	// reached, further new query sets are denied — deny-when-full:
+	// forgetting answered sets would re-admit exactly the difference
+	// attacks overlap control exists to stop, so the controller
+	// sacrifices availability, never the overlap bound. Only
+	// OverlapRestriction reads this.
+	MaxTrackedQueries int
 }
 
 // Server is an interactively queryable statistical database. It records
 // every query submitted — the total absence of user privacy that Section 3
-// of the paper builds on.
+// of the paper builds on. The log is a bounded newest-window ring by
+// default (Config.QueryLogCap, drops counted); the evaluator's full-log
+// semantics are an explicit opt-in (Config.UnboundedQueryLog).
 //
-// Server is safe for concurrent use. The stateful protections (auditing,
-// overlap control, the shared perturbation rng) and the query log are
-// serialised by an internal mutex; the DifferentialPrivacy answer path
-// holds that mutex only for the O(1) log append — its noise is derived
-// statelessly from (Seed, principal, query) and its budget accounting runs
-// on the lock-striped dp.Ledger — so concurrent DP queries from many
-// principals do not serialise behind one lock.
+// Server is safe for concurrent use, and the hot path is built for
+// sustained load: the stateless protections (none, size restriction,
+// perturbation, camouflage, random sample, differential privacy) evaluate
+// the query set and compute their answer without taking any server-wide
+// lock — the dataset is immutable, perturbation/camouflage/sample/dp noise
+// is a pure function of (Seed, [principal,] query), the query-log append is
+// an O(1) bounded-ring operation, and dp budget accounting runs on the
+// lock-striped dp.Ledger. Only the stateful protections (auditing, overlap
+// control) serialize, on their own mutex, and only around their
+// check-and-commit — never around the full-table scan. Repeated
+// (principal, query) shapes are served from a bounded answer cache without
+// re-scanning at all.
 type Server struct {
-	mu      sync.Mutex
-	d       *dataset.Dataset
-	cfg     Config
-	rng     *rand.Rand
-	log     []Query
+	d   *dataset.Dataset
+	cfg Config
+
+	// Query log: the bounded ring is the default; the unbounded slice
+	// (logMu-guarded) is the explicit evaluator opt-in.
+	logRing *par.Ring[Query]
+	logMu   sync.Mutex
+	fullLog []Query
+
+	// cache serves repeated (principal, query) shapes; nil when disabled.
+	cache *answerCache
+
+	// The stateful protections are serialized by stateMu, separately from
+	// the lock-free stateless read path.
+	stateMu sync.Mutex
 	audn    *auditor
 	overlap *OverlapController
 
 	// DifferentialPrivacy state: the ε-budget ledger and the public
 	// per-attribute bounds the sensitivity rules use. Both are fixed at
 	// construction and internally synchronised (ledger) or immutable
-	// (bounds), so the DP path reads them without s.mu.
-	ledger *dp.Ledger
-	bounds map[string]dp.Bounds
+	// (bounds), so the DP path reads them without locking. dpFlight
+	// serializes identical in-flight (principal, query) first releases on
+	// a striped lock so a concurrent duplicate cannot double-debit ε.
+	ledger   *dp.Ledger
+	bounds   map[string]dp.Bounds
+	dpFlight [64]sync.Mutex
 }
 
 // NewServer wraps a dataset in a protected query interface.
@@ -270,16 +339,39 @@ func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
 	if cfg.DatasetID == "" {
 		cfg.DatasetID = "served"
 	}
-	oc, err := NewOverlapController(cfg.MinSetSize, cfg.MaxOverlap)
+	if cfg.QueryLogCap <= 0 {
+		cfg.QueryLogCap = DefaultQueryLogCap
+	}
+	if cfg.AnswerCacheCap == 0 {
+		cfg.AnswerCacheCap = DefaultAnswerCacheCap
+	}
+	if cfg.MaxTrackedQueries <= 0 {
+		cfg.MaxTrackedQueries = DefaultMaxTrackedQueries
+	}
+	// A two-sided size restriction needs room for an admissible set size:
+	// with fewer than 2·MinSetSize rows every possible query set is either
+	// below MinSetSize or above Rows−MinSetSize, so the server would deny
+	// every query it will ever see. That is a configuration error, not a
+	// server.
+	if cfg.Protection == SizeRestriction && d.Rows() < 2*cfg.MinSetSize {
+		return nil, fmt.Errorf("sdcquery: size restriction with minsize %d can never answer over %d rows (every query set size falls outside [%d,%d]); lower minsize or serve more rows",
+			cfg.MinSetSize, d.Rows(), cfg.MinSetSize, d.Rows()-cfg.MinSetSize)
+	}
+	oc, err := NewOverlapController(cfg.MinSetSize, cfg.MaxOverlap, cfg.MaxTrackedQueries)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		d:       d,
 		cfg:     cfg,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5)),
 		audn:    newAuditor(d.Rows()),
 		overlap: oc,
+	}
+	if !cfg.UnboundedQueryLog {
+		s.logRing = par.NewRing[Query](cfg.QueryLogCap)
+	}
+	if cfg.AnswerCacheCap > 0 {
+		s.cache = newAnswerCache(cfg.AnswerCacheCap)
 	}
 	if cfg.Protection == DifferentialPrivacy {
 		if s.ledger, err = dp.NewLedger(cfg.EpsilonBudget); err != nil {
@@ -299,21 +391,71 @@ func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Log returns a copy of the queries the server has observed, in submission
-// order. The user-privacy evaluator reads this: for a plaintext statistical
-// server the log IS the user's query stream.
-func (s *Server) Log() []Query {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Query(nil), s.log...)
+// logQuery records q in the owner's log: an O(1) ring append on the
+// bounded default, a slice append under logMu on the unbounded opt-in.
+func (s *Server) logQuery(q Query) {
+	if s.logRing != nil {
+		s.logRing.Append(q)
+		return
+	}
+	s.logMu.Lock()
+	s.fullLog = append(s.fullLog, q)
+	s.logMu.Unlock()
 }
 
-// LogDepth returns the number of logged queries without copying the log —
+// Log returns a copy of the queries the server retains, in submission
+// order. The user-privacy evaluator reads this: for a plaintext statistical
+// server the log IS the user's query stream. Under the default bounded log
+// it is the newest Config.QueryLogCap window; LogStats reports how much
+// older history was dropped.
+func (s *Server) Log() []Query {
+	if s.logRing != nil {
+		return s.logRing.Snapshot()
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return append([]Query(nil), s.fullLog...)
+}
+
+// LogDepth returns the number of retained queries without copying the log —
 // cheap enough to sample on every metrics scrape.
 func (s *Server) LogDepth() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.log)
+	if s.logRing != nil {
+		return s.logRing.Len()
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return len(s.fullLog)
+}
+
+// LogStats reports the query log's state: entries retained, entries
+// dropped (overwritten) since construction, and the retention cap.
+// capacity is 0 under the unbounded opt-in, where nothing is ever dropped.
+func (s *Server) LogStats() (retained int, dropped int64, capacity int) {
+	if s.logRing != nil {
+		return s.logRing.Len(), s.logRing.Dropped(), s.logRing.Cap()
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return len(s.fullLog), 0, 0
+}
+
+// CacheStats reports the answer cache's lifetime hits and misses and its
+// current entry count; ok is false when caching is disabled.
+func (s *Server) CacheStats() (hits, misses int64, entries int, ok bool) {
+	if s.cache == nil {
+		return 0, 0, 0, false
+	}
+	hits, misses, entries = s.cache.stats()
+	return hits, misses, entries, true
+}
+
+// OverlapStats reports the overlap controller's answered-history size and
+// its cap (the Config.MaxTrackedQueries bound).
+func (s *Server) OverlapStats() (tracked, capacity int) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.overlap.Stats()
 }
 
 // Rows exposes the database size (public metadata).
@@ -334,51 +476,114 @@ func (s *Server) Ask(q Query) (Answer, error) { return s.AskAs("", q) }
 // identity under DifferentialPrivacy; ignored by the other protections).
 // Every query is logged before protection runs: the owner sees denied
 // queries too.
+//
+// Repeated (principal, canonical query) shapes are served from the bounded
+// answer cache: a hit releases exactly the bytes the uncached serial path
+// would have released — every cached protection answers a repeat as a pure
+// function of (principal, query) — without re-scanning the dataset. Under
+// DifferentialPrivacy a hit is a re-release of a value the principal
+// already holds and therefore debits no additional ε (only
+// EpsilonRemaining is refreshed to the current ledger state). Overlap
+// restriction is never cached: its repeat-denials depend on the answered
+// history, so a cached answer would diverge from the serial path.
 func (s *Server) AskAs(principal string, q Query) (Answer, error) {
-	s.mu.Lock()
-	s.log = append(s.log, q)
+	s.logQuery(q)
+	key, cacheable := s.cacheKey(principal, q)
+	if cacheable && s.cfg.Protection == DifferentialPrivacy {
+		// Under DP the cache IS the accounting dedup, so two concurrent
+		// identical first requests must not both miss and both charge:
+		// identical keys serialize on a lock stripe, and the second
+		// arrival finds the cache filled. The stateless protections skip
+		// this — a duplicated computation there is byte-identical and
+		// side-effect-free, so their fast path stays lock-free.
+		m := &s.dpFlight[fnvStripe(key, uint64(len(s.dpFlight)))]
+		m.Lock()
+		defer m.Unlock()
+	}
+	if cacheable {
+		if a, ok := s.cache.get(key); ok {
+			if a.Budgeted {
+				a.EpsilonRemaining = s.ledger.Remaining(principal, s.cfg.DatasetID)
+			}
+			return a, nil
+		}
+	}
+	a, err := s.answer(principal, q)
+	if err != nil {
+		return a, err
+	}
+	if cacheable {
+		s.cache.put(key, a)
+	}
+	return a, nil
+}
+
+// fnvStripe maps a key to one of n lock stripes via FNV-1a.
+func fnvStripe(key string, n uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64() % n
+}
+
+// cacheKey returns the answer-cache key of (principal, q) and whether the
+// configured protection admits caching at all. The principal joins the key
+// only under DifferentialPrivacy — the one protection whose answers depend
+// on who asks; every other protection shares hits across principals.
+func (s *Server) cacheKey(principal string, q Query) (string, bool) {
+	if s.cache == nil || s.cfg.Protection == OverlapRestriction {
+		return "", false
+	}
 	if s.cfg.Protection == DifferentialPrivacy {
-		// The DP path leaves the server mutex after the log append:
-		// answer noise is a pure function of (Seed, principal, query) and
-		// the budget check-and-debit runs on the lock-striped ledger, so
-		// DP queries from distinct principals proceed in parallel.
-		s.mu.Unlock()
+		return principal + "\x00" + q.String(), true
+	}
+	return q.String(), true
+}
+
+// answer runs the configured protection. The query-set evaluation — the
+// full-table scan that dominates the hot path — always runs outside any
+// server-wide lock (the dataset is immutable); only the stateful
+// protections then serialize, on stateMu, around their atomic
+// check-and-commit.
+func (s *Server) answer(principal string, q Query) (Answer, error) {
+	if s.cfg.Protection == DifferentialPrivacy {
 		return s.dpAnswer(principal, q)
 	}
-	defer s.mu.Unlock()
 	rows, err := q.Where.QuerySet(s.d)
 	if err != nil {
 		return Answer{}, err
 	}
 	switch s.cfg.Protection {
 	case NoProtection:
-		return s.exact(q)
+		return s.exact(q, rows)
 	case SizeRestriction:
 		if len(rows) < s.cfg.MinSetSize || len(rows) > s.d.Rows()-s.cfg.MinSetSize {
 			return Answer{Denied: true, Reason: fmt.Sprintf("query set size %d outside [%d,%d]",
 				len(rows), s.cfg.MinSetSize, s.d.Rows()-s.cfg.MinSetSize)}, nil
 		}
-		return s.exact(q)
+		return s.exact(q, rows)
 	case Auditing:
 		return s.audited(q, rows)
 	case Perturbation:
-		a, err := s.exact(q)
+		a, err := s.exact(q, rows)
 		if err != nil || a.Denied {
 			return a, err
 		}
-		a.Value += noise.Laplace(s.rng, s.cfg.NoiseSD)
+		a.Value += s.perturbNoise(q)
 		return a, nil
 	case Camouflage:
-		a, err := s.exact(q)
+		a, err := s.exact(q, rows)
 		if err != nil || a.Denied {
 			return a, err
 		}
 		return s.camouflage(q, a.Value), nil
 	case OverlapRestriction:
-		if ok, reason := s.overlap.Admit(rows); !ok {
+		s.stateMu.Lock()
+		ok, reason := s.overlap.Admit(rows)
+		s.stateMu.Unlock()
+		if !ok {
 			return Answer{Denied: true, Reason: "overlap control: " + reason}, nil
 		}
-		return s.exact(q)
+		return s.exact(q, rows)
 	case RandomSample:
 		return s.sampled(q, rows)
 	default:
@@ -386,12 +591,58 @@ func (s *Server) AskAs(principal string, q Query) (Answer, error) {
 	}
 }
 
-func (s *Server) exact(q Query) (Answer, error) {
-	v, err := q.Evaluate(s.d)
+// evalRows computes the true aggregate over an already-evaluated query set
+// — the single-scan replacement for Query.Evaluate on the hot path, which
+// would re-run the predicate over the whole table. Error cases and float
+// summation order match Query.Evaluate exactly.
+func (s *Server) evalRows(q Query, rows []int) (float64, error) {
+	if q.Agg == Count {
+		return float64(len(rows)), nil
+	}
+	j := s.d.Index(q.Attr)
+	if j < 0 {
+		return 0, fmt.Errorf("sdcquery: unknown attribute %q", q.Attr)
+	}
+	if s.d.Attr(j).Kind != dataset.Numeric {
+		return 0, fmt.Errorf("sdcquery: %s over non-numeric attribute %q", q.Agg, q.Attr)
+	}
+	var sum float64
+	for _, i := range rows {
+		sum += s.d.Float(i, j)
+	}
+	switch q.Agg {
+	case Sum:
+		return sum, nil
+	case Avg:
+		if len(rows) == 0 {
+			return 0, fmt.Errorf("sdcquery: AVG over empty query set")
+		}
+		return sum / float64(len(rows)), nil
+	default:
+		return 0, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
+	}
+}
+
+func (s *Server) exact(q Query, rows []int) (Answer, error) {
+	v, err := s.evalRows(q, rows)
 	if err != nil {
 		return Answer{}, err
 	}
 	return Answer{Value: v}, nil
+}
+
+// perturbNoise derives the Perturbation mode's Laplace noise statelessly
+// from (Seed, canonical query). The shared-rng design this replaces
+// serialized every perturbed answer behind one mutex AND let users average
+// the noise out by repeating a query; the query-keyed derivation fixes
+// both, following the same determinism contract as camouflage, random
+// sample and dp.
+func (s *Server) perturbNoise(q Query) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(q.String()))
+	k := h.Sum64()
+	rng := rand.New(rand.NewPCG(s.cfg.Seed^k, k*0x9e3779b97f4a7c15+1))
+	return noise.Laplace(rng, s.cfg.NoiseSD)
 }
 
 // --- differential privacy ------------------------------------------------
@@ -462,9 +713,10 @@ func (s *Server) dpAnswer(principal string, q Query) (Answer, error) {
 	}
 	// The noise key is (principal, canonical query): repeating a query
 	// re-releases the identical perturbed value — averaging attacks gain
-	// nothing (though each repetition still debits ε; dedup is the
-	// caller's concern) — and the answer stream is byte-identical for any
-	// request interleaving or worker count.
+	// nothing — and the answer stream is byte-identical for any request
+	// interleaving or worker count. The answer cache exploits exactly this:
+	// a repeat is served from the cache as a free re-release, so ε is
+	// debited once per distinct (principal, query), not once per request.
 	n, err := dp.Noise(s.cfg.Seed, principal+"\x00"+q.String(), dp.NoiseParams{
 		Mechanism: mech, Sensitivity: sens, Epsilon: s.cfg.Epsilon, Delta: s.cfg.Delta,
 	})
@@ -576,9 +828,11 @@ func (s *Server) sampled(q Query, rows []int) (Answer, error) {
 
 // audited runs the Chin–Ozsoyoglu check: the query is answered only if the
 // linear system of all answered SUM/AVG/COUNT queries, extended with this
-// one, still leaves every record's confidential value undetermined.
+// one, still leaves every record's confidential value undetermined. The
+// aggregate and the indicator vector are computed before the lock; only
+// the atomic would-disclose check plus commit serialize on stateMu.
 func (s *Server) audited(q Query, rows []int) (Answer, error) {
-	v, err := q.Evaluate(s.d)
+	v, err := s.evalRows(q, rows)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -597,14 +851,13 @@ func (s *Server) audited(q Query, rows []int) (Answer, error) {
 		// AVG(set) with known |set| is SUM(set); audit the sum.
 		v = v * float64(len(rows))
 	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if s.audn.wouldDisclose(key, indicator, v) {
 		return Answer{Denied: true, Reason: "auditing: answering would disclose an individual value"}, nil
 	}
 	s.audn.commit(key, indicator, v)
 	if q.Agg == Avg {
-		if len(rows) == 0 {
-			return Answer{Denied: true, Reason: "auditing: empty query set"}, nil
-		}
 		return Answer{Value: v / float64(len(rows))}, nil
 	}
 	return Answer{Value: v}, nil
