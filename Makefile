@@ -43,17 +43,22 @@ race:
 # bench is the perf gate of the parallel engines: benchlinkage times the
 # linkage/MDAV hot paths on a 50k-row synthetic workload, benchpir times
 # the word-parallel PIR answer kernels (IT-PIR on a 64 MiB database, CPIR,
-# end-to-end RangeStats) across worker counts, and benchserve drives a
+# end-to-end RangeStats) across worker counts, benchserve drives a
 # Zipf query workload against the statistical server across client counts,
-# recording sustained QPS and p50/p99 latency. All three hard-fail unless
-# every parallel/cached result is byte-identical to the sequential/uncached
+# recording sustained QPS and p50/p99 latency, and benchstore compares the
+# columnar segment store's indexed path against the compiled row scan at
+# 100k/1M rows (cache disabled, so every query is a miss), requiring ≥ 5×
+# on selective predicates at 1M plus a pinned-snapshot stability check
+# under concurrent ingest. All four hard-fail unless every parallel/cached/
+# indexed result is byte-identical to the sequential/uncached/scan
 # reference, and record their trajectories in BENCH_linkage.json /
-# BENCH_pir.json / BENCH_serve.json. Measured speedup scales with the
-# physical cores of the machine.
+# BENCH_pir.json / BENCH_serve.json / BENCH_store.json. Measured speedup
+# scales with the physical cores of the machine.
 bench:
 	$(GO) run ./cmd/benchlinkage -rows 50000 -workers 1,2,4,8 -out BENCH_linkage.json
 	$(GO) run ./cmd/benchpir -blocks 65536 -blocksize 1024 -workers 1,2,4,8 -out BENCH_pir.json
 	$(GO) run ./cmd/benchserve -rows 20000 -queries 512 -clients 1,2,8 -duration 1s -out BENCH_serve.json
+	$(GO) run ./cmd/benchstore -rows 100000,1000000 -workers 1,2,8 -out BENCH_store.json
 
 # benchall runs the full go-test benchmark battery (the paper experiments).
 benchall:

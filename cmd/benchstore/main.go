@@ -1,0 +1,456 @@
+// Command benchstore is the perf gate of the columnar segment store: it
+// measures cache-miss query throughput of the indexed path (zone maps +
+// sorted per-segment indexes + bitmap intersection) against the compiled
+// row-scan baseline on synthetic clinical-trial data, and hard-fails unless
+//
+//  1. every indexed answer is byte-identical to the scan-path answer AND to
+//     the seed evaluator Query.Evaluate (identity gate),
+//  2. the indexed path sustains at least -minspeedup× the scan path's QPS
+//     on selective predicates at the largest row count (speedup gate), and
+//  3. a snapshot pinned before a burst of concurrent ingest keeps returning
+//     bit-identical counts and sums while the store grows underneath it —
+//     the property the query auditor's view depends on (snapshot gate).
+//
+//	benchstore -rows 100000,1000000 -workers 1,2,8 -out BENCH_store.json
+//
+// Both paths run with the answer cache disabled, so every measured query
+// pays full predicate evaluation: the numbers isolate the storage engine,
+// not the cache. Workers sweeps par.SetWorkers, which bounds the per-segment
+// fan-out of both paths. Exits non-zero if any gate fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/par"
+	"privacy3d/internal/sdcquery"
+	"privacy3d/internal/store"
+)
+
+// Entry is one (rows, workers, workload, path) timed measurement.
+type Entry struct {
+	Rows    int `json:"rows"`
+	Workers int `json:"workers"`
+	// Workload is "selective" (narrow bands, the index's home turf) or
+	// "broad" (threshold sweeps that match large fractions of the data).
+	Workload string `json:"workload"`
+	// Path is "indexed" (segment indexes + bitmaps) or "scan" (the
+	// compiled row-at-a-time baseline, -scan on the serve command).
+	Path string `json:"path"`
+	// Queries answered during the timed window (cache disabled: every one
+	// paid full predicate evaluation).
+	Queries    int64   `json:"queries"`
+	DurationNs int64   `json:"duration_ns"`
+	QPS        float64 `json:"qps"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+}
+
+// Speedup is the headline gate record: indexed vs. scan cache-miss QPS on
+// the selective workload, per (rows, workers).
+type Speedup struct {
+	Rows       int     `json:"rows"`
+	Workers    int     `json:"workers"`
+	IndexedQPS float64 `json:"indexed_qps"`
+	ScanQPS    float64 `json:"scan_qps"`
+	Speedup    float64 `json:"speedup"`
+	// Gated marks the points under the -minspeedup requirement (the
+	// largest row count, where indexing matters most).
+	Gated bool `json:"gated"`
+}
+
+// SnapshotGate records the concurrent-ingest pinning check.
+type SnapshotGate struct {
+	Rows     int  `json:"rows"`
+	Ingested int  `json:"ingested"`
+	Reevals  int  `json:"reevals"`
+	Stable   bool `json:"stable"`
+}
+
+// Report is the BENCH_store.json document.
+type Report struct {
+	Date            string  `json:"date"`
+	RowSizes        []int   `json:"row_sizes"`
+	Workers         []int   `json:"workers"`
+	SelectiveShapes int     `json:"selective_shapes"`
+	BroadShapes     int     `json:"broad_shapes"`
+	Seed            uint64  `json:"seed"`
+	MinSpeedup      float64 `json:"min_speedup"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	// Warning flags measurement conditions under which worker scaling is
+	// not meaningful (e.g. a single-CPU machine).
+	Warning string `json:"warning,omitempty"`
+	// IdenticalAnswers records the identity gate's verdict: for every shape
+	// at every row count, indexed ≡ scan ≡ Query.Evaluate, bit for bit.
+	// Always true — the tool exits non-zero otherwise.
+	IdenticalAnswers bool          `json:"identical_answers"`
+	Entries          []Entry       `json:"entries"`
+	Speedups         []Speedup     `json:"speedups"`
+	Snapshot         *SnapshotGate `json:"snapshot"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchstore: ")
+	rowsList := flag.String("rows", "100000,1000000", "comma-separated synthetic dataset sizes; the speedup gate applies at the largest")
+	workersList := flag.String("workers", "1,2,8", "comma-separated par.SetWorkers values")
+	shapes := flag.Int("queries", 24, "query shapes per workload class")
+	duration := flag.Duration("duration", 500*time.Millisecond, "timed window per (rows, workers, workload, path) point")
+	minSpeedup := flag.Float64("minspeedup", 5, "required indexed/scan QPS ratio on selective predicates at the largest row count")
+	ingest := flag.Int("ingest", 25000, "rows appended concurrently during the snapshot gate")
+	seed := flag.Uint64("seed", 20070923, "PRNG seed for the synthetic data")
+	out := flag.String("out", "BENCH_store.json", "output JSON file")
+	flag.Parse()
+	if err := run(*rowsList, *workersList, *shapes, *duration, *minSpeedup, *ingest, *seed, *out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseInts(flagName, s string) ([]int, error) {
+	var vs []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad %s entry %q", flagName, f)
+		}
+		vs = append(vs, v)
+	}
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("%s must list at least one value", flagName)
+	}
+	return vs, nil
+}
+
+// cpuWarning returns the single-CPU caveat, or "" on multi-core machines.
+func cpuWarning() string {
+	if runtime.NumCPU() > 1 {
+		return ""
+	}
+	return "single-CPU machine: worker scaling measures scheduling overhead, not parallelism"
+}
+
+// answerBits collapses an answer to the released bits for the identity gate.
+func answerBits(a sdcquery.Answer) [3]uint64 {
+	return [3]uint64{math.Float64bits(a.Value), math.Float64bits(a.Lo), math.Float64bits(a.Hi)}
+}
+
+// span is a numeric column's observed value range.
+type span struct {
+	col    string
+	lo, hi float64
+}
+
+func numericSpans(d *dataset.Dataset) []span {
+	var spans []span
+	for j := 0; j < d.Cols(); j++ {
+		a := d.Attr(j)
+		if a.Kind != dataset.Numeric {
+			continue
+		}
+		lo, hi := d.Float(0, j), d.Float(0, j)
+		for i := 1; i < d.Rows(); i++ {
+			v := d.Float(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		spans = append(spans, span{a.Name, lo, hi})
+	}
+	return spans
+}
+
+// selectiveWorkload builds narrow-band conjunctions — col ∈ [v, v+δ) with δ
+// a fraction of the column's range, every third shape additionally pinned to
+// the rare categorical value — the shapes where a sorted index turns a full
+// sweep into two binary searches. COUNT and SUM only: a band in a sparse
+// tail may legitimately match nothing, which AVG would reject.
+func selectiveWorkload(d *dataset.Dataset, spans []span, n int) []sdcquery.Query {
+	work := make([]sdcquery.Query, 0, n)
+	for i := 0; i < n; i++ {
+		sp := spans[i%len(spans)]
+		pos := 0.25 + 0.5*float64(i/len(spans)%13)/13 // central band: bands land where data lives
+		v := sp.lo + (sp.hi-sp.lo)*pos
+		delta := (sp.hi - sp.lo) * 0.002
+		where := sdcquery.Predicate{
+			{Col: sp.col, Op: sdcquery.Ge, V: v},
+			{Col: sp.col, Op: sdcquery.Lt, V: v + delta},
+		}
+		if i%3 == 0 {
+			where = append(where, sdcquery.Cond{Col: "aids", Op: sdcquery.Eq, S: "Y", Str: true})
+		}
+		q := sdcquery.Query{Agg: sdcquery.Count, Where: where}
+		if i%2 == 1 {
+			q = sdcquery.Query{Agg: sdcquery.Sum, Attr: "blood_pressure", Where: where}
+		}
+		work = append(work, q)
+	}
+	return work
+}
+
+// broadWorkload sweeps COUNT/SUM/AVG thresholds across each numeric
+// column's range, built so no AVG query set is empty (Lt above the minimum,
+// Ge below the maximum) — the shapes where the index degrades to a full
+// range and must still not lose to the scan by more than bookkeeping.
+func broadWorkload(d *dataset.Dataset, spans []span, n int) []sdcquery.Query {
+	aggs := []sdcquery.Agg{sdcquery.Count, sdcquery.Sum, sdcquery.Avg}
+	work := make([]sdcquery.Query, 0, n)
+	for i := 0; i < n; i++ {
+		sp := spans[i%len(spans)]
+		frac := float64(i/len(spans)%97+1) / 99
+		q := sdcquery.Query{Agg: aggs[i%len(aggs)], Attr: sp.col}
+		if i%2 == 0 {
+			q.Where = sdcquery.Predicate{{Col: sp.col, Op: sdcquery.Lt, V: sp.lo + (sp.hi-sp.lo)*frac + 1e-9}}
+		} else {
+			q.Where = sdcquery.Predicate{{Col: sp.col, Op: sdcquery.Ge, V: sp.hi - (sp.hi-sp.lo)*frac - 1e-9}}
+		}
+		work = append(work, q)
+	}
+	return work
+}
+
+func run(rowsList, workersList string, shapes int, duration time.Duration, minSpeedup float64, ingest int, seed uint64, out string) error {
+	sizes, err := parseInts("-rows", rowsList)
+	if err != nil {
+		return err
+	}
+	workers, err := parseInts("-workers", workersList)
+	if err != nil {
+		return err
+	}
+	if shapes < 1 || duration <= 0 || ingest < 1 {
+		return fmt.Errorf("-queries, -duration and -ingest must all be positive")
+	}
+	largest := sizes[0]
+	for _, r := range sizes {
+		if r > largest {
+			largest = r
+		}
+	}
+
+	report := Report{
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		RowSizes: sizes, Workers: workers,
+		SelectiveShapes: shapes, BroadShapes: shapes,
+		Seed: seed, MinSpeedup: minSpeedup,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Warning:          cpuWarning(),
+		IdenticalAnswers: true,
+	}
+	if report.Warning != "" {
+		log.Printf("WARNING: %s", report.Warning)
+	}
+
+	for _, rows := range sizes {
+		d, err := dataset.Synth("trial", rows, seed)
+		if err != nil {
+			return err
+		}
+		spans := numericSpans(d)
+		workloads := []struct {
+			name string
+			qs   []sdcquery.Query
+		}{
+			{"selective", selectiveWorkload(d, spans, shapes)},
+			{"broad", broadWorkload(d, spans, shapes)},
+		}
+
+		// Both servers run cache-disabled so every answer below is a miss.
+		indexed, err := sdcquery.NewServer(d, sdcquery.Config{Protection: sdcquery.NoProtection, AnswerCacheCap: -1})
+		if err != nil {
+			return err
+		}
+		scan, err := sdcquery.NewServer(d, sdcquery.Config{Protection: sdcquery.NoProtection, AnswerCacheCap: -1, ForceScan: true})
+		if err != nil {
+			return err
+		}
+
+		// Identity gate: indexed ≡ scan ≡ the seed evaluator, bit for bit,
+		// on every shape of both workloads.
+		for _, w := range workloads {
+			for _, q := range w.qs {
+				want, err := q.Evaluate(d)
+				if err != nil {
+					return fmt.Errorf("rows=%d %s: Evaluate(%q): %w", rows, w.name, q, err)
+				}
+				ai, err := indexed.Ask(q)
+				if err != nil {
+					return fmt.Errorf("rows=%d %s: indexed Ask(%q): %w", rows, w.name, q, err)
+				}
+				as, err := scan.Ask(q)
+				if err != nil {
+					return fmt.Errorf("rows=%d %s: scan Ask(%q): %w", rows, w.name, q, err)
+				}
+				ref := [3]uint64{math.Float64bits(want), 0, 0}
+				if answerBits(ai) != ref || answerBits(as) != ref {
+					return fmt.Errorf("IDENTITY GATE FAILED: rows=%d %q: indexed %x, scan %x, Evaluate %x",
+						rows, q, answerBits(ai), answerBits(as), ref)
+				}
+			}
+		}
+		log.Printf("rows=%-8d identity OK: %d shapes, indexed ≡ scan ≡ Evaluate", rows, 2*shapes)
+
+		// Timed phase: cache-miss QPS and latency percentiles per
+		// (workers, workload, path).
+		for _, w := range workers {
+			par.SetWorkers(w)
+			for _, wl := range workloads {
+				var qps [2]float64
+				for pi, p := range []struct {
+					name string
+					srv  *sdcquery.Server
+				}{{"indexed", indexed}, {"scan", scan}} {
+					e, err := timedPhase(rows, w, wl.name, p.name, p.srv, wl.qs, duration)
+					if err != nil {
+						return err
+					}
+					qps[pi] = e.QPS
+					report.Entries = append(report.Entries, *e)
+					log.Printf("rows=%-8d workers=%-2d %-9s %-7s %10.0f q/s  p50 %9s  p99 %9s",
+						rows, w, wl.name, p.name, e.QPS, time.Duration(e.P50Ns), time.Duration(e.P99Ns))
+				}
+				if wl.name == "selective" {
+					sp := Speedup{
+						Rows: rows, Workers: w,
+						IndexedQPS: qps[0], ScanQPS: qps[1],
+						Speedup: qps[0] / qps[1],
+						Gated:   rows == largest,
+					}
+					report.Speedups = append(report.Speedups, sp)
+					if sp.Gated && sp.Speedup < minSpeedup {
+						return fmt.Errorf("SPEEDUP GATE FAILED: rows=%d workers=%d selective: indexed %.0f q/s vs scan %.0f q/s = %.1f×, need ≥ %.1f×",
+							rows, w, sp.IndexedQPS, sp.ScanQPS, sp.Speedup, minSpeedup)
+					}
+				}
+			}
+		}
+
+		// Snapshot gate once, at the smallest row count (the property is
+		// size-independent; the big sizes would only slow the gate down).
+		if rows == sizes[0] {
+			sg, err := snapshotGate(d, ingest, 64)
+			if err != nil {
+				return err
+			}
+			report.Snapshot = sg
+			log.Printf("rows=%-8d snapshot OK: %d re-evals bit-stable while %d rows ingested concurrently",
+				rows, sg.Reevals, sg.Ingested)
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d entries); every indexed answer byte-identical to the scan path and the seed evaluator", out, len(report.Entries))
+	return nil
+}
+
+// timedPhase drives one server with one workload, round-robin, for at least
+// the duration and at least eight queries, recording every query's latency.
+func timedPhase(rows, workers int, workload, path string, srv *sdcquery.Server, qs []sdcquery.Query, duration time.Duration) (*Entry, error) {
+	var lat []int64
+	var n int64
+	start := time.Now()
+	for time.Since(start) < duration || n < 8 {
+		q := qs[int(n)%len(qs)]
+		t0 := time.Now()
+		if _, err := srv.Ask(q); err != nil {
+			return nil, fmt.Errorf("rows=%d %s/%s: Ask(%q): %w", rows, workload, path, q, err)
+		}
+		lat = append(lat, time.Since(t0).Nanoseconds())
+		n++
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	return &Entry{
+		Rows: rows, Workers: workers, Workload: workload, Path: path,
+		Queries: n, DurationNs: elapsed.Nanoseconds(),
+		QPS:   float64(n) / elapsed.Seconds(),
+		P50Ns: pct(0.50), P99Ns: pct(0.99),
+	}, nil
+}
+
+// snapshotGate pins a snapshot, then keeps re-evaluating a predicate and a
+// confidential-attribute sum against it while another goroutine appends
+// rows. Every re-evaluation must return the same count and the bit-identical
+// sum — the view an in-flight audit holds must not move — and afterwards a
+// fresh snapshot must see every ingested row.
+func snapshotGate(d *dataset.Dataset, ingest, reevals int) (*SnapshotGate, error) {
+	st, err := store.FromDataset(d, 0)
+	if err != nil {
+		return nil, err
+	}
+	snap := st.Snapshot()
+	wcol := numericSpans(d)[1] // weight
+	conds := []store.Cond{{Col: wcol.col, Op: store.Ge, V: wcol.lo + (wcol.hi-wcol.lo)*0.5}}
+	bp := snap.Index("blood_pressure")
+	bm, err := snap.Eval(conds)
+	if err != nil {
+		return nil, err
+	}
+	refCount, refSum := bm.Count(), math.Float64bits(snap.Sum(bm, bp))
+
+	attrs := d.Attrs()
+	done := make(chan error, 1)
+	go func() {
+		vals := make([]any, len(attrs))
+		for i := 0; i < ingest; i++ {
+			src := i % d.Rows()
+			for j, a := range attrs {
+				if a.Kind == dataset.Numeric {
+					vals[j] = d.Float(src, j)
+				} else {
+					vals[j] = d.Cat(src, j)
+				}
+			}
+			if err := st.Append(vals...); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < reevals; i++ {
+		bm, err := snap.Eval(conds)
+		if err != nil {
+			return nil, err
+		}
+		if c, s := bm.Count(), math.Float64bits(snap.Sum(bm, bp)); c != refCount || s != refSum {
+			return nil, fmt.Errorf("SNAPSHOT GATE FAILED: pinned view drifted under ingest: count %d→%d, sum bits %x→%x", refCount, c, refSum, s)
+		}
+	}
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	if got, want := st.Rows(), d.Rows()+ingest; got != want {
+		return nil, fmt.Errorf("SNAPSHOT GATE FAILED: store has %d rows after ingest, want %d", got, want)
+	}
+	if snap.Rows() != d.Rows() {
+		return nil, fmt.Errorf("SNAPSHOT GATE FAILED: pinned snapshot grew to %d rows", snap.Rows())
+	}
+	return &SnapshotGate{Rows: d.Rows(), Ingested: ingest, Reevals: reevals, Stable: true}, nil
+}

@@ -55,6 +55,8 @@ type serveOpts struct {
 	rateBurst                             *int
 	reqTimeout, grace                     *time.Duration
 	workers                               *int
+	segment                               *int
+	scan                                  *bool
 }
 
 // serveFlags registers every flag of the serve command on fs.
@@ -79,6 +81,10 @@ func serveFlags(fs *flag.FlagSet) *serveOpts {
 	o.reqTimeout = fs.Duration("reqtimeout", 10*time.Second, "per-request timeout")
 	o.grace = fs.Duration("grace", obs.DefaultShutdownGrace, "graceful-shutdown drain window")
 	o.workers = workersFlag(fs)
+	o.segment = fs.Int("segment", 0,
+		"columnar store rows per sealed segment, a positive multiple of 64 (0 uses the default, 8192)")
+	o.scan = fs.Bool("scan", false,
+		"answer predicates by the compiled row scan instead of the segment indexes (A/B baseline; answers are byte-identical)")
 	return o
 }
 
@@ -120,6 +126,7 @@ func cmdServe(args []string) error {
 		Protection: prot, MinSetSize: *minSize, Seed: *seed,
 		Epsilon: *epsilon, Delta: *delta, EpsilonBudget: *budget,
 		AnswerCacheCap: *cacheCap,
+		SegmentSize:    *o.segment, ForceScan: *o.scan,
 	}
 	if *logCap < 0 {
 		cfg.UnboundedQueryLog = true

@@ -117,6 +117,34 @@ func New(attrs ...Attribute) *Dataset {
 	return d
 }
 
+// NewFromColumns builds a dataset directly from column slices — the bulk
+// import path used by the columnar store when materializing a snapshot.
+// nums[j] must be non-nil (length rows) exactly when attrs[j] is Numeric,
+// cats[j] exactly otherwise. The columns are adopted, not copied: the
+// caller must not mutate them afterwards.
+func NewFromColumns(attrs []Attribute, rows int, nums [][]float64, cats [][]string) (*Dataset, error) {
+	if len(nums) != len(attrs) || len(cats) != len(attrs) {
+		return nil, fmt.Errorf("dataset: got %d/%d columns for %d attributes", len(nums), len(cats), len(attrs))
+	}
+	d := &Dataset{attrs: append([]Attribute(nil), attrs...), rows: rows}
+	d.nums = make([][]float64, len(attrs))
+	d.cats = make([][]string, len(attrs))
+	for j, a := range attrs {
+		if a.Kind == Numeric {
+			if nums[j] == nil || len(nums[j]) != rows {
+				return nil, fmt.Errorf("dataset: numeric column %q has %d values for %d rows", a.Name, len(nums[j]), rows)
+			}
+			d.nums[j] = nums[j]
+		} else {
+			if cats[j] == nil || len(cats[j]) != rows {
+				return nil, fmt.Errorf("dataset: categorical column %q has %d values for %d rows", a.Name, len(cats[j]), rows)
+			}
+			d.cats[j] = cats[j]
+		}
+	}
+	return d, nil
+}
+
 // Rows returns the number of records.
 func (d *Dataset) Rows() int { return d.rows }
 

@@ -60,12 +60,16 @@ type QueryJSON struct {
 	Where []CondJSON `json:"where"`
 }
 
-// CondJSON is one predicate condition on the wire.
+// CondJSON is one predicate condition on the wire. Str marks the condition
+// as a string comparison even when S is empty — without it a predicate on
+// the empty string is indistinguishable from one on the number 0. Clients
+// sending a non-empty S may omit it.
 type CondJSON struct {
 	Col string  `json:"col"`
 	Op  string  `json:"op"` // <, <=, >, >=, =, !=
 	V   float64 `json:"v"`
 	S   string  `json:"s"`
+	Str bool    `json:"str,omitempty"`
 }
 
 // AnswerJSON is the response of /query and /sql. The numeric fields are
@@ -168,7 +172,7 @@ func (q QueryJSON) ToQuery() (Query, error) {
 		default:
 			return out, fmt.Errorf("sdcquery: unknown operator %q", c.Op)
 		}
-		out.Where = append(out.Where, Cond{Col: c.Col, Op: op, V: c.V, S: c.S})
+		out.Where = append(out.Where, Cond{Col: c.Col, Op: op, V: c.V, S: c.S, Str: c.Str || c.S != ""})
 	}
 	return out, nil
 }

@@ -246,10 +246,12 @@ func (p *parser) parseCond() (Cond, error) {
 		}
 		c.V = f
 	case tokString:
-		c.S = v.text
+		// Str makes the empty-string literal ('') distinct from any numeric
+		// value in the condition's canonical rendering.
+		c.S, c.Str = v.text, true
 	case tokIdent:
 		// Bare words compare as strings (aids = Y).
-		c.S = v.text
+		c.S, c.Str = v.text, true
 	default:
 		return c, fmt.Errorf("expected value, got %q", v.text)
 	}

@@ -1,6 +1,7 @@
 package sdcquery
 
 import (
+	"strings"
 	"testing"
 
 	"privacy3d/internal/dataset"
@@ -116,6 +117,88 @@ func TestParseRoundTripThroughString(t *testing.T) {
 	}
 	if parsed.Where[1].S != "Y" {
 		t.Errorf("categorical condition lost: %+v", parsed.Where[1])
+	}
+}
+
+func TestParseQuotedAndBareStringsSetStr(t *testing.T) {
+	// Every string-literal form — single-quoted, double-quoted, bare word —
+	// must mark the condition as a string comparison, so the canonical
+	// rendering is kind-explicit even for the empty string.
+	cases := []struct {
+		in   string
+		s    string
+		want string // canonical rendering of the condition
+	}{
+		{`COUNT(*) WHERE tag = 'a b'`, "a b", `tag = "a b"`},
+		{`COUNT(*) WHERE tag = "x"`, "x", `tag = "x"`},
+		{`COUNT(*) WHERE aids = Y`, "Y", `aids = "Y"`},
+		{`COUNT(*) WHERE tag = ''`, "", `tag = ""`},
+		{`COUNT(*) WHERE tag != ""`, "", `tag != ""`},
+	}
+	for _, c := range cases {
+		q, err := ParseQuery(c.in)
+		if err != nil {
+			t.Errorf("ParseQuery(%q): %v", c.in, err)
+			continue
+		}
+		cond := q.Where[0]
+		if !cond.Str || cond.S != c.s {
+			t.Errorf("ParseQuery(%q) cond = %+v, want Str=true S=%q", c.in, cond, c.s)
+		}
+		if got := cond.String(); got != c.want {
+			t.Errorf("ParseQuery(%q) renders %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseEmptyStringRoundTrip(t *testing.T) {
+	// The empty-string literal survives String() → ParseQuery() → String()
+	// unchanged and never degrades into a numeric condition — the exact
+	// ambiguity the Str flag exists to kill.
+	orig, err := ParseQuery(`COUNT(*) WHERE tag = ''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseQuery(orig.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", orig.String(), err)
+	}
+	if reparsed.String() != orig.String() {
+		t.Fatalf("round trip drifted: %q -> %q", orig.String(), reparsed.String())
+	}
+	if !reparsed.Where[0].Str || reparsed.Where[0].S != "" {
+		t.Fatalf("empty-string literal degraded to %+v", reparsed.Where[0])
+	}
+	numeric := Query{Agg: Count, Where: Predicate{{Col: "tag", Op: Eq, V: 0}}}
+	if orig.String() == numeric.String() {
+		t.Fatalf("empty-string query renders like the numeric-0 query: %q", orig.String())
+	}
+}
+
+func TestParsedKindMismatchesCaughtAtCompile(t *testing.T) {
+	// Parsing is schema-free, so kind mismatches surface at compile time —
+	// with the parsed condition carrying enough information (Str) for the
+	// error to be unambiguous in both directions.
+	d := dataset.Dataset2() // height numeric, aids categorical
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{`COUNT(*) WHERE height = 'tall'`, "string value"},
+		{`COUNT(*) WHERE height = ''`, "string value"},
+		{`COUNT(*) WHERE aids = 3`, "numeric value"},
+		{`COUNT(*) WHERE aids < 'Y'`, "not valid for categorical"},
+	}
+	for _, c := range cases {
+		q, err := ParseQuery(c.in)
+		if err != nil {
+			t.Errorf("ParseQuery(%q): %v", c.in, err)
+			continue
+		}
+		_, err = q.Where.Compile(d.Attrs())
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(parse(%q)) err = %v, want %q", c.in, err, c.want)
+		}
 	}
 }
 

@@ -91,13 +91,25 @@ func (o Op) Negate() Op {
 }
 
 // Cond is one atomic condition: column OP value. For numeric columns V is
-// used; for categorical columns S is used and only Eq/Ne are meaningful.
+// used; for categorical columns S is used (with Str set) and only Eq/Ne are
+// meaningful.
 type Cond struct {
 	Col string
 	Op  Op
 	V   float64
 	S   string
+	// Str marks the condition as a string comparison even when S is the
+	// empty string. Without it `c = ""` and `c = 0` are indistinguishable
+	// and would render to the same canonical string — which is the answer
+	// cache and camouflage key, so the ambiguity was a correctness bug,
+	// not a cosmetic one. A non-empty S implies a string comparison whether
+	// or not Str is set, keeping hand-built literals working.
+	Str bool
 }
+
+// IsString reports whether the condition carries a string value (S), as
+// opposed to a numeric one (V).
+func (c Cond) IsString() bool { return c.Str || c.S != "" }
 
 // Negate returns the logical complement of the condition.
 func (c Cond) Negate() Cond {
@@ -105,9 +117,11 @@ func (c Cond) Negate() Cond {
 	return c
 }
 
-// String renders the condition.
+// String renders the condition kind-explicitly: string values are always
+// quoted (including the empty string), numeric values never are, so two
+// distinct conditions can never share a rendering.
 func (c Cond) String() string {
-	if c.S != "" {
+	if c.IsString() {
 		return fmt.Sprintf("%s %s %q", c.Col, c.Op, c.S)
 	}
 	return fmt.Sprintf("%s %s %g", c.Col, c.Op, c.V)
@@ -137,62 +151,117 @@ func (p Predicate) And(conds ...Cond) Predicate {
 	return out
 }
 
-// Match reports whether record i of d satisfies the predicate. Unknown
-// columns or operator/kind mismatches yield an error.
-func (p Predicate) Match(d *dataset.Dataset, i int) (bool, error) {
-	for _, c := range p {
-		j := d.Index(c.Col)
-		if j < 0 {
-			return false, fmt.Errorf("sdcquery: unknown column %q", c.Col)
-		}
-		if d.Attr(j).Kind == dataset.Numeric {
-			v := d.Float(i, j)
-			ok := false
-			switch c.Op {
-			case Lt:
-				ok = v < c.V
-			case Le:
-				ok = v <= c.V
-			case Gt:
-				ok = v > c.V
-			case Ge:
-				ok = v >= c.V
-			case Eq:
-				ok = v == c.V
-			case Ne:
-				ok = v != c.V
-			}
-			if !ok {
-				return false, nil
-			}
-		} else {
-			s := d.Cat(i, j)
-			var ok bool
-			switch c.Op {
-			case Eq:
-				ok = s == c.S
-			case Ne:
-				ok = s != c.S
-			default:
-				return false, fmt.Errorf("sdcquery: operator %s not valid for categorical column %q", c.Op, c.Col)
-			}
-			if !ok {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+// compiledCond is one condition with its column index and kind resolved.
+type compiledCond struct {
+	col     int
+	numeric bool
+	op      Op
+	v       float64
+	s       string
 }
 
-// QuerySet returns the indices of records matching the predicate.
+// CompiledPredicate is a Predicate resolved once against a schema: column
+// indices, kinds, and operator validity are checked up front, so per-row
+// matching is pure comparisons — no map lookups, no error paths. The seed
+// Predicate.Match re-resolved every column for every row of every
+// condition, which dominated the scan cost on wide predicates.
+type CompiledPredicate struct {
+	conds []compiledCond
+}
+
+// Compile resolves the predicate against a schema. Unknown columns,
+// ordered operators on categorical columns, and value/column kind
+// mismatches are reported here, once, instead of per row.
+func (p Predicate) Compile(attrs []dataset.Attribute) (*CompiledPredicate, error) {
+	cc := make([]compiledCond, len(p))
+	for i, c := range p {
+		j := attrIndex(attrs, c.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("sdcquery: unknown column %q", c.Col)
+		}
+		out := compiledCond{col: j, op: c.Op}
+		if attrs[j].Kind == dataset.Numeric {
+			if c.IsString() {
+				return nil, fmt.Errorf("sdcquery: string value %q for numeric column %q", c.S, c.Col)
+			}
+			out.numeric = true
+			out.v = c.V
+		} else {
+			if c.Op != Eq && c.Op != Ne {
+				return nil, fmt.Errorf("sdcquery: operator %s not valid for categorical column %q", c.Op, c.Col)
+			}
+			if !c.IsString() {
+				return nil, fmt.Errorf("sdcquery: numeric value %g for categorical column %q", c.V, c.Col)
+			}
+			out.s = c.S
+		}
+		cc[i] = out
+	}
+	return &CompiledPredicate{conds: cc}, nil
+}
+
+// Match reports whether record i of d satisfies the compiled predicate.
+// d must have the schema the predicate was compiled against.
+func (cp *CompiledPredicate) Match(d *dataset.Dataset, i int) bool {
+	for _, c := range cp.conds {
+		var ok bool
+		if c.numeric {
+			v := d.Float(i, c.col)
+			switch c.op {
+			case Lt:
+				ok = v < c.v
+			case Le:
+				ok = v <= c.v
+			case Gt:
+				ok = v > c.v
+			case Ge:
+				ok = v >= c.v
+			case Eq:
+				ok = v == c.v
+			case Ne:
+				ok = v != c.v
+			}
+		} else {
+			ok = (d.Cat(i, c.col) == c.s) == (c.op == Eq)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// attrIndex returns the column index of name in attrs, or -1.
+func attrIndex(attrs []dataset.Attribute, name string) int {
+	for j, a := range attrs {
+		if a.Name == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// Match reports whether record i of d satisfies the predicate. Unknown
+// columns or operator/kind mismatches yield an error. For repeated calls
+// compile once with Compile and use CompiledPredicate.Match.
+func (p Predicate) Match(d *dataset.Dataset, i int) (bool, error) {
+	cp, err := p.Compile(d.Attrs())
+	if err != nil {
+		return false, err
+	}
+	return cp.Match(d, i), nil
+}
+
+// QuerySet returns the indices of records matching the predicate. The
+// predicate is compiled once; the sweep is per-row comparisons only.
 func (p Predicate) QuerySet(d *dataset.Dataset) ([]int, error) {
+	cp, err := p.Compile(d.Attrs())
+	if err != nil {
+		return nil, err
+	}
 	var rows []int
 	for i := 0; i < d.Rows(); i++ {
-		ok, err := p.Match(d, i)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
+		if cp.Match(d, i) {
 			rows = append(rows, i)
 		}
 	}
@@ -239,35 +308,71 @@ func (q Query) String() string {
 	return fmt.Sprintf("SELECT %s(%s) WHERE %s", q.Agg, attr, q.Where)
 }
 
-// Evaluate computes the true (unprotected) answer of the query on d.
-func (q Query) Evaluate(d *dataset.Dataset) (float64, error) {
-	rows, err := q.Where.QuerySet(d)
-	if err != nil {
-		return 0, err
-	}
+// aggColumn validates the query's aggregate against the schema and returns
+// the column index to sum, or -1 for COUNT (which reads no column). The
+// server's bitmap path and Query.Evaluate share this validation, so both
+// report identical errors.
+func aggColumn(attrs []dataset.Attribute, q Query) (int, error) {
 	if q.Agg == Count {
-		return float64(len(rows)), nil
+		return -1, nil
 	}
-	j := d.Index(q.Attr)
+	if q.Agg != Sum && q.Agg != Avg {
+		return 0, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
+	}
+	j := attrIndex(attrs, q.Attr)
 	if j < 0 {
 		return 0, fmt.Errorf("sdcquery: unknown attribute %q", q.Attr)
 	}
-	if d.Attr(j).Kind != dataset.Numeric {
+	if attrs[j].Kind != dataset.Numeric {
 		return 0, fmt.Errorf("sdcquery: %s over non-numeric attribute %q", q.Agg, q.Attr)
 	}
-	var s float64
-	for _, i := range rows {
-		s += d.Float(i, j)
-	}
-	switch q.Agg {
+	return j, nil
+}
+
+// finishAgg turns the accumulated (count, sum) of a sweep into the query's
+// answer — the single aggregate finisher shared by Query.Evaluate and the
+// server's bitmap path, so every evaluator agrees byte for byte.
+func finishAgg(agg Agg, count int, sum float64) (float64, error) {
+	switch agg {
+	case Count:
+		return float64(count), nil
 	case Sum:
-		return s, nil
+		return sum, nil
 	case Avg:
-		if len(rows) == 0 {
+		if count == 0 {
 			return 0, fmt.Errorf("sdcquery: AVG over empty query set")
 		}
-		return s / float64(len(rows)), nil
+		return sum / float64(count), nil
 	default:
-		return 0, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
+		return 0, fmt.Errorf("sdcquery: unsupported aggregate %v", agg)
 	}
+}
+
+// Evaluate computes the true (unprotected) answer of the query on d in one
+// compiled sweep: the predicate is compiled once, and count and sum
+// accumulate together row by row. The seed ran two passes — QuerySet
+// building an index slice, then a re-walk summing it — with the predicate
+// re-resolving columns per row; library callers and the server's scan
+// fallback now share this single evaluator.
+func (q Query) Evaluate(d *dataset.Dataset) (float64, error) {
+	cp, err := q.Where.Compile(d.Attrs())
+	if err != nil {
+		return 0, err
+	}
+	j, err := aggColumn(d.Attrs(), q)
+	if err != nil {
+		return 0, err
+	}
+	var count int
+	var sum float64
+	for i := 0; i < d.Rows(); i++ {
+		if !cp.Match(d, i) {
+			continue
+		}
+		count++
+		if j >= 0 {
+			sum += d.Float(i, j)
+		}
+	}
+	return finishAgg(q.Agg, count, sum)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand/v2"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -12,6 +13,7 @@ import (
 	"privacy3d/internal/noise"
 	"privacy3d/internal/par"
 	"privacy3d/internal/stats"
+	"privacy3d/internal/store"
 )
 
 // Protection selects the inference-control strategy of a Server. The three
@@ -257,6 +259,17 @@ type Config struct {
 	// sacrifices availability, never the overlap bound. Only
 	// OverlapRestriction reads this.
 	MaxTrackedQueries int
+
+	// SegmentSize is the rows-per-segment of the columnar store backing
+	// the server (default store.DefaultSegmentSize; must be a positive
+	// multiple of 64). Smaller segments seal — and therefore index —
+	// ingested rows sooner at the cost of more per-segment overhead.
+	SegmentSize int
+	// ForceScan answers predicates by the compiled row-at-a-time scan
+	// instead of the segment indexes. Answers are byte-identical either
+	// way (cmd/benchstore gates on it); the switch exists for A/B
+	// benchmarking and as an escape hatch.
+	ForceScan bool
 }
 
 // Server is an interactively queryable statistical database. It records
@@ -278,8 +291,15 @@ type Config struct {
 // (principal, query) shapes are served from a bounded answer cache without
 // re-scanning at all.
 type Server struct {
-	d   *dataset.Dataset
-	cfg Config
+	// st is the columnar segment store the server answers from; every
+	// query pins one store.Snapshot, so concurrent Ingest never changes
+	// an in-flight answer's (or audit's) view of the data. d retains the
+	// construction-time dataset only so Dataset() can hand it back
+	// without materializing while nothing has been ingested.
+	st          *store.Store
+	d           *dataset.Dataset
+	baseVersion uint64
+	cfg         Config
 
 	// Query log: the bounded ring is the default; the unbounded slice
 	// (logMu-guarded) is the explicit evaluator opt-in.
@@ -361,11 +381,17 @@ func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	st, err := store.FromDataset(d, cfg.SegmentSize)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		d:       d,
-		cfg:     cfg,
-		audn:    newAuditor(d.Rows()),
-		overlap: oc,
+		st:          st,
+		d:           d,
+		baseVersion: st.Version(),
+		cfg:         cfg,
+		audn:        newAuditor(),
+		overlap:     oc,
 	}
 	if !cfg.UnboundedQueryLog {
 		s.logRing = par.NewRing[Query](cfg.QueryLogCap)
@@ -458,13 +484,39 @@ func (s *Server) OverlapStats() (tracked, capacity int) {
 	return s.overlap.Stats()
 }
 
-// Rows exposes the database size (public metadata).
-func (s *Server) Rows() int { return s.d.Rows() }
+// Rows exposes the current database size (public metadata). It grows as
+// rows are ingested.
+func (s *Server) Rows() int { return s.st.Rows() }
+
+// Version identifies the currently visible data (the store's append-only
+// row count). Answer-cache keys embed it, so answers computed against one
+// version are never served for another.
+func (s *Server) Version() uint64 { return s.st.Version() }
 
 // Dataset exposes the served microdata — the owner-side handle the
-// /protect endpoint masks releases from. The returned dataset must be
-// treated as read-only.
-func (s *Server) Dataset() *dataset.Dataset { return s.d }
+// /protect endpoint masks releases from. It pins the current snapshot:
+// while nothing has been ingested this is the construction-time dataset
+// itself; afterwards it is a fresh materialization of the pinned version,
+// so a masking run is never affected by ingest that lands mid-release.
+// The returned dataset must be treated as read-only.
+func (s *Server) Dataset() *dataset.Dataset {
+	snap := s.st.Snapshot()
+	if snap.Version() == s.baseVersion {
+		return s.d
+	}
+	return snap.Materialize()
+}
+
+// Ingest appends one record to the served microdata (same value contract
+// as dataset.Append). In-flight queries, audits and releases pinned an
+// earlier snapshot and are unaffected; the next query sees the new row.
+//
+// Under DifferentialPrivacy the per-attribute sensitivity bounds remain
+// the fixed public metadata captured at construction — by design the noise
+// scale never tracks the live data, so ingested values outside the
+// original bounds are the owner's responsibility (deriving new bounds from
+// ingested values would leak them).
+func (s *Server) Ingest(vals ...any) error { return s.st.Append(vals...) }
 
 // Ask submits an anonymous query. Every query is logged before protection
 // runs: the owner sees denied queries too. Under DifferentialPrivacy an
@@ -488,7 +540,11 @@ func (s *Server) Ask(q Query) (Answer, error) { return s.AskAs("", q) }
 // history, so a cached answer would diverge from the serial path.
 func (s *Server) AskAs(principal string, q Query) (Answer, error) {
 	s.logQuery(q)
-	key, cacheable := s.cacheKey(principal, q)
+	// Pin the snapshot first: the cache key embeds its version, so a hit
+	// can only ever serve an answer computed against this exact view —
+	// ingest between requests changes the key, never a cached answer.
+	snap := s.st.Snapshot()
+	key, cacheable := s.cacheKey(principal, snap.Version(), q)
 	if cacheable && s.cfg.Protection == DifferentialPrivacy {
 		// Under DP the cache IS the accounting dedup, so two concurrent
 		// identical first requests must not both miss and both charge:
@@ -508,7 +564,7 @@ func (s *Server) AskAs(principal string, q Query) (Answer, error) {
 			return a, nil
 		}
 	}
-	a, err := s.answer(principal, q)
+	a, err := s.answer(principal, snap, q)
 	if err != nil {
 		return a, err
 	}
@@ -525,106 +581,115 @@ func fnvStripe(key string, n uint64) uint64 {
 	return h.Sum64() % n
 }
 
-// cacheKey returns the answer-cache key of (principal, q) and whether the
-// configured protection admits caching at all. The principal joins the key
-// only under DifferentialPrivacy — the one protection whose answers depend
-// on who asks; every other protection shares hits across principals.
-func (s *Server) cacheKey(principal string, q Query) (string, bool) {
+// cacheKey returns the answer-cache key of (principal, version, q) and
+// whether the configured protection admits caching at all. The snapshot
+// version joins every key — an answer computed against one version of the
+// growing store must never be served for another. The principal joins only
+// under DifferentialPrivacy — the one protection whose answers depend on
+// who asks; every other protection shares hits across principals.
+func (s *Server) cacheKey(principal string, version uint64, q Query) (string, bool) {
 	if s.cache == nil || s.cfg.Protection == OverlapRestriction {
 		return "", false
 	}
+	v := strconv.FormatUint(version, 10)
 	if s.cfg.Protection == DifferentialPrivacy {
-		return principal + "\x00" + q.String(), true
+		return v + "\x00" + principal + "\x00" + q.String(), true
 	}
-	return q.String(), true
+	return v + "\x00" + q.String(), true
 }
 
-// answer runs the configured protection. The query-set evaluation — the
-// full-table scan that dominates the hot path — always runs outside any
-// server-wide lock (the dataset is immutable); only the stateful
-// protections then serialize, on stateMu, around their atomic
-// check-and-commit.
-func (s *Server) answer(principal string, q Query) (Answer, error) {
+// answer runs the configured protection against the pinned snapshot. The
+// query-set evaluation — index range scans intersected into a bitmap —
+// always runs outside any server-wide lock (the snapshot is immutable);
+// only the stateful protections then serialize, on stateMu, around their
+// atomic check-and-commit.
+func (s *Server) answer(principal string, snap *store.Snapshot, q Query) (Answer, error) {
 	if s.cfg.Protection == DifferentialPrivacy {
-		return s.dpAnswer(principal, q)
+		return s.dpAnswer(principal, snap, q)
 	}
-	rows, err := q.Where.QuerySet(s.d)
+	bm, err := s.eval(snap, q.Where)
 	if err != nil {
 		return Answer{}, err
 	}
+	n := bm.Count()
 	switch s.cfg.Protection {
 	case NoProtection:
-		return s.exact(q, rows)
+		return s.exact(snap, q, bm, n)
 	case SizeRestriction:
-		if len(rows) < s.cfg.MinSetSize || len(rows) > s.d.Rows()-s.cfg.MinSetSize {
+		if n < s.cfg.MinSetSize || n > snap.Rows()-s.cfg.MinSetSize {
 			return Answer{Denied: true, Reason: fmt.Sprintf("query set size %d outside [%d,%d]",
-				len(rows), s.cfg.MinSetSize, s.d.Rows()-s.cfg.MinSetSize)}, nil
+				n, s.cfg.MinSetSize, snap.Rows()-s.cfg.MinSetSize)}, nil
 		}
-		return s.exact(q, rows)
+		return s.exact(snap, q, bm, n)
 	case Auditing:
-		return s.audited(q, rows)
+		return s.audited(snap, q, bm, n)
 	case Perturbation:
-		a, err := s.exact(q, rows)
+		a, err := s.exact(snap, q, bm, n)
 		if err != nil || a.Denied {
 			return a, err
 		}
 		a.Value += s.perturbNoise(q)
 		return a, nil
 	case Camouflage:
-		a, err := s.exact(q, rows)
+		a, err := s.exact(snap, q, bm, n)
 		if err != nil || a.Denied {
 			return a, err
 		}
 		return s.camouflage(q, a.Value), nil
 	case OverlapRestriction:
+		rows := bm.Rows()
 		s.stateMu.Lock()
 		ok, reason := s.overlap.Admit(rows)
 		s.stateMu.Unlock()
 		if !ok {
 			return Answer{Denied: true, Reason: "overlap control: " + reason}, nil
 		}
-		return s.exact(q, rows)
+		return s.exact(snap, q, bm, n)
 	case RandomSample:
-		return s.sampled(q, rows)
+		return s.sampled(snap, q, bm)
 	default:
 		return Answer{}, fmt.Errorf("sdcquery: unknown protection %v", s.cfg.Protection)
 	}
 }
 
-// evalRows computes the true aggregate over an already-evaluated query set
-// — the single-scan replacement for Query.Evaluate on the hot path, which
-// would re-run the predicate over the whole table. Error cases and float
-// summation order match Query.Evaluate exactly.
-func (s *Server) evalRows(q Query, rows []int) (float64, error) {
-	if q.Agg == Count {
-		return float64(len(rows)), nil
+// eval answers the predicate over the snapshot as a row bitmap — via the
+// segment indexes by default, via the compiled scan under Config.ForceScan.
+// The predicate is validated against the schema first so error text matches
+// the library evaluator (Predicate.Compile) byte for byte.
+func (s *Server) eval(snap *store.Snapshot, p Predicate) (*store.Bitmap, error) {
+	if _, err := p.Compile(snap.Attrs()); err != nil {
+		return nil, err
 	}
-	j := s.d.Index(q.Attr)
-	if j < 0 {
-		return 0, fmt.Errorf("sdcquery: unknown attribute %q", q.Attr)
+	conds := make([]store.Cond, len(p))
+	for i, c := range p {
+		conds[i] = store.Cond{Col: c.Col, Op: store.Op(c.Op), V: c.V, S: c.S, Str: c.IsString()}
 	}
-	if s.d.Attr(j).Kind != dataset.Numeric {
-		return 0, fmt.Errorf("sdcquery: %s over non-numeric attribute %q", q.Agg, q.Attr)
+	if s.cfg.ForceScan {
+		return snap.EvalScan(conds)
 	}
-	var sum float64
-	for _, i := range rows {
-		sum += s.d.Float(i, j)
-	}
-	switch q.Agg {
-	case Sum:
-		return sum, nil
-	case Avg:
-		if len(rows) == 0 {
-			return 0, fmt.Errorf("sdcquery: AVG over empty query set")
-		}
-		return sum / float64(len(rows)), nil
-	default:
-		return 0, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
-	}
+	return snap.Eval(conds)
 }
 
-func (s *Server) exact(q Query, rows []int) (Answer, error) {
-	v, err := s.evalRows(q, rows)
+// evalBitmap computes the true aggregate over an evaluated query set:
+// COUNT is the bitmap's popcount (already taken by the caller), SUM/AVG a
+// bitmap-driven column sweep in ascending row order — the identical float64
+// summation order as the scan paths, so every evaluator agrees byte for
+// byte. Validation and finishing are shared with Query.Evaluate
+// (aggColumn, finishAgg).
+func (s *Server) evalBitmap(snap *store.Snapshot, q Query, bm *store.Bitmap, n int) (float64, error) {
+	j, err := aggColumn(snap.Attrs(), q)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	if j >= 0 {
+		sum = snap.Sum(bm, j)
+	}
+	return finishAgg(q.Agg, n, sum)
+}
+
+func (s *Server) exact(snap *store.Snapshot, q Query, bm *store.Bitmap, n int) (Answer, error) {
+	v, err := s.evalBitmap(snap, q, bm, n)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -655,51 +720,46 @@ func (s *Server) perturbNoise(q Query) float64 {
 // charge proceeds to noise derivation. Errors wrap dp.ErrNoPrincipal
 // (unidentified caller) and dp.ErrBudgetExhausted (ε spent); both carry
 // no information about the data.
-func (s *Server) dpAnswer(principal string, q Query) (Answer, error) {
+func (s *Server) dpAnswer(principal string, snap *store.Snapshot, q Query) (Answer, error) {
 	if principal == "" {
 		return Answer{}, fmt.Errorf("sdcquery: differential privacy needs a principal for budget accounting: %w", dp.ErrNoPrincipal)
 	}
-	rows, err := q.Where.QuerySet(s.d)
+	bm, err := s.eval(snap, q.Where)
 	if err != nil {
 		return Answer{}, err
 	}
+	n := bm.Count()
 	var agg dp.Aggregate
 	var bounds dp.Bounds
 	var v float64
 	switch q.Agg {
 	case Count:
 		agg = dp.Count
-		v = float64(len(rows))
+		v = float64(n)
 	case Sum, Avg:
-		j := s.d.Index(q.Attr)
-		if j < 0 {
-			return Answer{}, fmt.Errorf("sdcquery: unknown attribute %q", q.Attr)
-		}
-		if s.d.Attr(j).Kind != dataset.Numeric {
-			return Answer{}, fmt.Errorf("sdcquery: %s over non-numeric attribute %q", q.Agg, q.Attr)
+		j, err := aggColumn(snap.Attrs(), q)
+		if err != nil {
+			return Answer{}, err
 		}
 		bounds = s.bounds[q.Attr]
-		if q.Agg == Avg && len(rows) == 0 {
+		if q.Agg == Avg && n == 0 {
 			// AVG over an empty set has no true value to perturb; deny
 			// like the other protections rather than invent one. No ε is
 			// charged.
 			return Answer{Denied: true, Reason: "differential privacy: empty query set"}, nil
 		}
-		var sum float64
-		for _, i := range rows {
-			sum += s.d.Float(i, j)
-		}
+		sum := snap.Sum(bm, j)
 		if q.Agg == Sum {
 			agg = dp.Sum
 			v = sum
 		} else {
 			agg = dp.Mean
-			v = sum / float64(len(rows))
+			v = sum / float64(n)
 		}
 	default:
 		return Answer{}, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
 	}
-	sens, err := dp.Sensitivity(agg, bounds, len(rows))
+	sens, err := dp.Sensitivity(agg, bounds, n)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -717,14 +777,14 @@ func (s *Server) dpAnswer(principal string, q Query) (Answer, error) {
 	// interleaving or worker count. The answer cache exploits exactly this:
 	// a repeat is served from the cache as a free re-release, so ε is
 	// debited once per distinct (principal, query), not once per request.
-	n, err := dp.Noise(s.cfg.Seed, principal+"\x00"+q.String(), dp.NoiseParams{
+	nz, err := dp.Noise(s.cfg.Seed, principal+"\x00"+q.String(), dp.NoiseParams{
 		Mechanism: mech, Sensitivity: sens, Epsilon: s.cfg.Epsilon, Delta: s.cfg.Delta,
 	})
 	if err != nil {
 		return Answer{}, err
 	}
 	return Answer{
-		Value:            v + n,
+		Value:            v + nz,
 		Budgeted:         true,
 		Epsilon:          s.cfg.Epsilon,
 		EpsilonRemaining: remaining,
@@ -778,49 +838,42 @@ func maxAbs(v, floor float64) float64 {
 // independent samples and difference attacks no longer telescope — while
 // repeating the same query returns the same answer (no averaging attack)
 // and every aggregate remains an unbiased scaled estimate.
-func (s *Server) sampled(q Query, rows []int) (Answer, error) {
+func (s *Server) sampled(snap *store.Snapshot, q Query, bm *store.Bitmap) (Answer, error) {
+	j, err := aggColumn(snap.Attrs(), q)
+	if err != nil {
+		return Answer{}, err
+	}
 	qh := fnv.New64a()
 	qh.Write([]byte(q.String()))
 	qkey := qh.Sum64() ^ s.cfg.Seed
-	included := rows[:0:0]
-	for _, i := range rows {
+	// One ascending pass over the bitmap draws the per-record inclusion
+	// coins and accumulates count and sum together — same visit order and
+	// float64 summation order as the seed's row-slice loop.
+	var included int
+	var sum float64
+	bm.ForEach(func(i int) {
 		h := (uint64(i) + 0x9e3779b97f4a7c15) * 0xff51afd7ed558ccd
 		h ^= qkey
 		h ^= h >> 33
 		h *= 0xc4ceb9fe1a85ec53
 		h ^= h >> 33
 		if float64(h%1_000_003)/1_000_003 < s.cfg.SampleRate {
-			included = append(included, i)
+			included++
+			if j >= 0 {
+				sum += snap.Float(i, j)
+			}
 		}
-	}
-	j := -1
-	if q.Agg != Count {
-		j = s.d.Index(q.Attr)
-		if j < 0 {
-			return Answer{}, fmt.Errorf("sdcquery: unknown attribute %q", q.Attr)
-		}
-		if s.d.Attr(j).Kind != dataset.Numeric {
-			return Answer{}, fmt.Errorf("sdcquery: %s over non-numeric attribute %q", q.Agg, q.Attr)
-		}
-	}
+	})
 	switch q.Agg {
 	case Count:
-		return Answer{Value: float64(len(included)) / s.cfg.SampleRate}, nil
+		return Answer{Value: float64(included) / s.cfg.SampleRate}, nil
 	case Sum:
-		var sum float64
-		for _, i := range included {
-			sum += s.d.Float(i, j)
-		}
 		return Answer{Value: sum / s.cfg.SampleRate}, nil
 	case Avg:
-		if len(included) == 0 {
+		if included == 0 {
 			return Answer{Denied: true, Reason: "random sample: empty sample"}, nil
 		}
-		var sum float64
-		for _, i := range included {
-			sum += s.d.Float(i, j)
-		}
-		return Answer{Value: sum / float64(len(included))}, nil
+		return Answer{Value: sum / float64(included)}, nil
 	default:
 		return Answer{}, fmt.Errorf("sdcquery: unsupported aggregate %v", q.Agg)
 	}
@@ -829,17 +882,17 @@ func (s *Server) sampled(q Query, rows []int) (Answer, error) {
 // audited runs the Chin–Ozsoyoglu check: the query is answered only if the
 // linear system of all answered SUM/AVG/COUNT queries, extended with this
 // one, still leaves every record's confidential value undetermined. The
-// aggregate and the indicator vector are computed before the lock; only
-// the atomic would-disclose check plus commit serialize on stateMu.
-func (s *Server) audited(q Query, rows []int) (Answer, error) {
-	v, err := s.evalRows(q, rows)
+// aggregate and the indicator vector are computed before the lock — over
+// the pinned snapshot, so an audit in flight reasons about one consistent
+// version even while ingest continues; only the atomic would-disclose
+// check plus commit serialize on stateMu.
+func (s *Server) audited(snap *store.Snapshot, q Query, bm *store.Bitmap, n int) (Answer, error) {
+	v, err := s.evalBitmap(snap, q, bm, n)
 	if err != nil {
 		return Answer{}, err
 	}
-	indicator := make([]float64, s.d.Rows())
-	for _, i := range rows {
-		indicator[i] = 1
-	}
+	indicator := make([]float64, snap.Rows())
+	bm.ForEach(func(i int) { indicator[i] = 1 })
 	key := q.Attr
 	switch q.Agg {
 	case Count:
@@ -849,7 +902,7 @@ func (s *Server) audited(q Query, rows []int) (Answer, error) {
 		key = "*count*"
 	case Avg:
 		// AVG(set) with known |set| is SUM(set); audit the sum.
-		v = v * float64(len(rows))
+		v = v * float64(n)
 	}
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -858,7 +911,7 @@ func (s *Server) audited(q Query, rows []int) (Answer, error) {
 	}
 	s.audn.commit(key, indicator, v)
 	if q.Agg == Avg {
-		return Answer{Value: v / float64(len(rows))}, nil
+		return Answer{Value: v / float64(n)}, nil
 	}
 	return Answer{Value: v}, nil
 }
@@ -867,38 +920,53 @@ func (s *Server) audited(q Query, rows []int) (Answer, error) {
 // queries: each row is the query-set indicator vector with the answer as the
 // right-hand side. A record's value is disclosed when reduced row echelon
 // form contains a row with exactly one non-zero coefficient.
+//
+// The database grows under ingest, so indicator vectors of different
+// lengths coexist: a query answered when the store held n₀ rows simply has
+// zero coefficients for every row ingested later (those rows were not in
+// its query set by construction), so older vectors are zero-padded to the
+// current width at elimination time.
 type auditor struct {
-	n       int
-	systems map[string][][]float64
+	systems map[string][]auditRow
 }
 
-func newAuditor(n int) *auditor {
-	return &auditor{n: n, systems: map[string][][]float64{}}
+// auditRow is one answered query: its indicator vector (at the length of
+// the database when it was answered) and its answer.
+type auditRow struct {
+	ind []float64
+	ans float64
+}
+
+func newAuditor() *auditor {
+	return &auditor{systems: map[string][]auditRow{}}
 }
 
 func (a *auditor) wouldDisclose(attr string, indicator []float64, answer float64) bool {
-	rows := cloneSystem(a.systems[attr])
-	rows = append(rows, augment(indicator, answer))
-	return disclosesAny(rows, a.n)
+	n := len(indicator)
+	for _, r := range a.systems[attr] {
+		if len(r.ind) > n {
+			n = len(r.ind)
+		}
+	}
+	rows := make([][]float64, 0, len(a.systems[attr])+1)
+	for _, r := range a.systems[attr] {
+		rows = append(rows, augmentTo(r.ind, r.ans, n))
+	}
+	rows = append(rows, augmentTo(indicator, answer, n))
+	return disclosesAny(rows, n)
 }
 
 func (a *auditor) commit(attr string, indicator []float64, answer float64) {
-	a.systems[attr] = append(a.systems[attr], augment(indicator, answer))
+	a.systems[attr] = append(a.systems[attr], auditRow{ind: indicator, ans: answer})
 }
 
-func augment(indicator []float64, answer float64) []float64 {
-	row := make([]float64, len(indicator)+1)
-	copy(row, indicator)
-	row[len(indicator)] = answer
+// augmentTo builds the width-n augmented row [ind… 0… | ans], zero-padding
+// indicators recorded when the database was smaller.
+func augmentTo(ind []float64, ans float64, n int) []float64 {
+	row := make([]float64, n+1)
+	copy(row, ind)
+	row[n] = ans
 	return row
-}
-
-func cloneSystem(rows [][]float64) [][]float64 {
-	out := make([][]float64, len(rows))
-	for i, r := range rows {
-		out[i] = append([]float64(nil), r...)
-	}
-	return out
 }
 
 func disclosesAny(rows [][]float64, n int) bool {

@@ -1,0 +1,229 @@
+package sdcquery
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+// mixedDataset builds a schema with a categorical column that genuinely
+// contains the empty string next to numeric zeros — the shape that made the
+// seed's Cond.String() ambiguous.
+func mixedDataset() *dataset.Dataset {
+	d := dataset.New(
+		dataset.Attribute{Name: "x", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric},
+		dataset.Attribute{Name: "tag", Role: dataset.NonConfidential, Kind: dataset.Nominal},
+		dataset.Attribute{Name: "v", Role: dataset.Confidential, Kind: dataset.Numeric},
+	)
+	vals := []struct {
+		x   float64
+		tag string
+		v   float64
+	}{
+		{0, "", 10}, {0, "zero", 20}, {1, "", 30}, {2, "a", 40},
+		{3, "a", 50}, {0, "b", 60}, {4, "", 70}, {5, "b", 80},
+	}
+	for _, r := range vals {
+		d.MustAppend(r.x, r.tag, r.v)
+	}
+	return d
+}
+
+// TestCondStringCollisionRegression pins the satellite fix: a categorical
+// condition on the empty string and a numeric condition on 0 used to render
+// to the same canonical string — which is the answer-cache and camouflage
+// key, so the two DISTINCT queries shared cached answers. The renderings
+// must differ, and a server must answer the two queries differently.
+func TestCondStringCollisionRegression(t *testing.T) {
+	strCond := Cond{Col: "tag", Op: Eq, S: "", Str: true}
+	numCond := Cond{Col: "tag", Op: Eq, V: 0}
+	if strCond.String() == numCond.String() {
+		t.Fatalf("collision: %q renders both the empty-string and the numeric-0 condition", strCond.String())
+	}
+	if got, want := strCond.String(), `tag = ""`; got != want {
+		t.Fatalf("string cond renders %q, want %q", got, want)
+	}
+	if got, want := numCond.String(), "tag = 0"; got != want {
+		t.Fatalf("numeric cond renders %q, want %q", got, want)
+	}
+
+	// End to end: on a server, COUNT(tag = "") and COUNT(x = 0) are
+	// different queries with different answers; with the seed's ambiguous
+	// rendering and an answer cache, look-alike canonical strings could
+	// serve one query's cached answer for the other.
+	d := mixedDataset()
+	srv, err := NewServer(d, Config{Protection: NoProtection, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qStr := Query{Agg: Count, Where: Predicate{strCond}}
+	qNum := Query{Agg: Count, Where: Predicate{{Col: "x", Op: Eq, V: 0}}}
+	if qStr.String() == qNum.String() {
+		t.Fatalf("distinct queries share the canonical string %q", qStr.String())
+	}
+	aStr, err := srv.Ask(qStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aNum, err := srv.Ask(qNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aStr.Value != 3 {
+		t.Fatalf(`COUNT(tag = "") = %g, want 3`, aStr.Value)
+	}
+	if aNum.Value != 3 {
+		t.Fatalf("COUNT(x = 0) = %g, want 3", aNum.Value)
+	}
+}
+
+// TestCompileKindMismatch pins the compiled predicate's up-front
+// validation: string values on numeric columns and numeric values on
+// categorical columns are errors, reported once at compile time.
+func TestCompileKindMismatch(t *testing.T) {
+	d := mixedDataset()
+	cases := []struct {
+		p    Predicate
+		want string
+	}{
+		{Predicate{{Col: "x", Op: Eq, S: "hello", Str: true}}, "string value"},
+		{Predicate{{Col: "x", Op: Eq, Str: true}}, "string value"},
+		{Predicate{{Col: "tag", Op: Eq, V: 7}}, "numeric value"},
+		{Predicate{{Col: "tag", Op: Lt, S: "a", Str: true}}, "not valid for categorical"},
+		{Predicate{{Col: "missing", Op: Eq, V: 1}}, "unknown column"},
+	}
+	for _, c := range cases {
+		_, err := c.p.Compile(d.Attrs())
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%v) err = %v, want %q", c.p, err, c.want)
+		}
+		// The query evaluator and the server must report the same error.
+		if _, err2 := (Query{Agg: Count, Where: c.p}).Evaluate(d); err2 == nil || err2.Error() != err.Error() {
+			t.Errorf("Evaluate(%v) err = %v, want %v", c.p, err2, err)
+		}
+	}
+}
+
+// TestServerMatchesEvaluate pins the shared-evaluator satellite across the
+// storage rewire: for every aggregate the unprotected server answer —
+// computed via segment indexes and bitmap-driven sweeps — is byte-identical
+// to Query.Evaluate's compiled scan, on both the indexed and ForceScan
+// configurations and across segment boundaries.
+func TestServerMatchesEvaluate(t *testing.T) {
+	d := mixedDataset()
+	queries := []Query{
+		{Agg: Count, Where: Predicate{{Col: "x", Op: Ge, V: 1}}},
+		{Agg: Sum, Attr: "v", Where: Predicate{{Col: "tag", Op: Ne, S: "a"}}},
+		{Agg: Avg, Attr: "v", Where: Predicate{{Col: "tag", Op: Eq, S: "", Str: true}}},
+		{Agg: Sum, Attr: "v", Where: Predicate{}},
+	}
+	for _, forceScan := range []bool{false, true} {
+		srv, err := NewServer(d, Config{Protection: NoProtection, SegmentSize: 64, ForceScan: forceScan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			want, err := q.Evaluate(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := srv.Ask(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(a.Value) != math.Float64bits(want) {
+				t.Errorf("forceScan=%v: server %s = %x, Evaluate = %x (byte identity)",
+					forceScan, q, math.Float64bits(a.Value), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestServerIngest pins the growing-database semantics: ingested rows are
+// visible to the next query (the versioned cache key prevents stale hits),
+// Rows/Version advance, and Dataset() materializes the grown view while
+// the pre-ingest handle stays untouched.
+func TestServerIngest(t *testing.T) {
+	d := mixedDataset()
+	srv, err := NewServer(d, Config{Protection: NoProtection, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Agg: Count, Where: Predicate{{Col: "x", Op: Ge, V: 0}}}
+	a, err := srv.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != 8 {
+		t.Fatalf("pre-ingest COUNT = %g, want 8", a.Value)
+	}
+	if srv.Dataset() != d {
+		t.Fatal("pre-ingest Dataset() should hand back the construction dataset")
+	}
+	v0 := srv.Version()
+	for i := 0; i < 100; i++ {
+		if err := srv.Ingest(float64(i), "new", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Rows() != 108 || srv.Version() != v0+100 {
+		t.Fatalf("rows=%d version=%d after ingest, want 108/%d", srv.Rows(), srv.Version(), v0+100)
+	}
+	// The identical query re-asked must see the new rows — a stale cache
+	// hit here is exactly what the versioned cache key rules out.
+	a, err = srv.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != 108 {
+		t.Fatalf("post-ingest COUNT = %g, want 108 (stale cached answer?)", a.Value)
+	}
+	got := srv.Dataset()
+	if got == d {
+		t.Fatal("post-ingest Dataset() returned the stale construction handle")
+	}
+	if got.Rows() != 108 || d.Rows() != 8 {
+		t.Fatalf("materialized rows=%d, original rows=%d; want 108/8", got.Rows(), d.Rows())
+	}
+	if got.Cat(107, got.Index("tag")) != "new" {
+		t.Fatal("materialized dataset missing ingested values")
+	}
+}
+
+// TestAuditedConsistentUnderIngest pins the snapshot semantics the auditor
+// needs: audited answers stay self-consistent while the database grows
+// mid-stream — the indicator system mixes vector widths across versions
+// without panicking or losing the disclosure property.
+func TestAuditedConsistentUnderIngest(t *testing.T) {
+	d := mixedDataset()
+	srv, err := NewServer(d, Config{Protection: Auditing, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SUM over x >= 1 (5 records) answers fine at version 0.
+	a, err := srv.Ask(Query{Agg: Sum, Attr: "v", Where: Predicate{{Col: "x", Op: Ge, V: 1}}})
+	if err != nil || a.Denied {
+		t.Fatalf("first audited sum: %+v, %v", a, err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := srv.Ingest(100+float64(i), "grown", 1000+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A query isolating one record must still be caught after growth —
+	// x = 1 matches exactly one original record.
+	a, err = srv.Ask(Query{Agg: Sum, Attr: "v", Where: Predicate{{Col: "x", Op: Eq, V: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Denied {
+		t.Fatal("auditing answered a single-record sum after ingest")
+	}
+	// A broad query over the grown database still answers.
+	a, err = srv.Ask(Query{Agg: Sum, Attr: "v", Where: Predicate{{Col: "x", Op: Ge, V: 0}}})
+	if err != nil || a.Denied {
+		t.Fatalf("broad audited sum after ingest: %+v, %v", a, err)
+	}
+}

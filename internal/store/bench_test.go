@@ -1,0 +1,56 @@
+package store
+
+import (
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+// The Eval/EvalScan benchmarks compare the two storage paths on the same
+// selective band — the workload cmd/benchstore gates at full scale. Sizes
+// stay modest so `make check`'s -benchtime 1x smoke pass stays cheap.
+
+func benchSnapshot(b *testing.B, rows int) *Snapshot {
+	b.Helper()
+	d, err := dataset.Synth("trial", rows, 20070923)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := FromDataset(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Snapshot()
+}
+
+var benchConds = []Cond{
+	{Col: "height", Op: Ge, V: 165},
+	{Col: "height", Op: Lt, V: 166},
+	{Col: "aids", Op: Eq, S: "Y", Str: true},
+}
+
+func BenchmarkEvalIndexed100k(b *testing.B) {
+	snap := benchSnapshot(b, 100_000)
+	bp := snap.Index("blood_pressure")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm, err := snap.Eval(benchConds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = snap.Sum(bm, bp)
+	}
+}
+
+func BenchmarkEvalScan100k(b *testing.B) {
+	snap := benchSnapshot(b, 100_000)
+	bp := snap.Index("blood_pressure")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm, err := snap.EvalScan(benchConds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = snap.Sum(bm, bp)
+	}
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130) // non-word-aligned length exercises the tail mask
+	if b.Len() != 130 || b.Count() != 0 || b.Any() {
+		t.Fatal("fresh bitmap not empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(0) || !b.Get(63) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("Set/Get mismatch")
+	}
+	if b.Count() != 4 || !b.Any() {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	if got := b.Rows(); len(got) != 4 || got[0] != 0 || got[3] != 129 {
+		t.Fatalf("Rows = %v", got)
+	}
+	b.SetAll()
+	if b.Count() != 130 {
+		t.Fatalf("SetAll count = %d, want 130 (tail bits must stay clear)", b.Count())
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Fatal("Clear left bits set")
+	}
+}
+
+func TestBitmapCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 1000
+	a, b := NewBitmap(n), NewBitmap(n)
+	av, bv := make([]bool, n), make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			a.Set(i)
+			av[i] = true
+		}
+		if rng.Intn(3) == 0 {
+			b.Set(i)
+			bv[i] = true
+		}
+	}
+	and := NewBitmap(n)
+	copy(and.words, a.words)
+	and.And(b)
+	andNot := NewBitmap(n)
+	copy(andNot.words, a.words)
+	andNot.AndNot(b)
+	or := NewBitmap(n)
+	copy(or.words, a.words)
+	or.Or(b)
+	for i := 0; i < n; i++ {
+		if and.Get(i) != (av[i] && bv[i]) {
+			t.Fatalf("And bit %d", i)
+		}
+		if andNot.Get(i) != (av[i] && !bv[i]) {
+			t.Fatalf("AndNot bit %d", i)
+		}
+		if or.Get(i) != (av[i] || bv[i]) {
+			t.Fatalf("Or bit %d", i)
+		}
+	}
+}
+
+func TestBitmapForEachAscending(t *testing.T) {
+	b := NewBitmap(500)
+	want := []int{0, 1, 64, 127, 128, 300, 499}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}

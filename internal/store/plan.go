@@ -1,0 +1,102 @@
+package store
+
+import "math"
+
+// Query planning for the index path. A compiled conjunction often carries
+// several range conditions on the same numeric column — a band predicate
+// like `x >= v AND x < v+δ` is two half-ranges whose individual matches can
+// each cover half the data while their intersection is tiny. Evaluating the
+// halves separately would scatter-set millions of bits only to AND most of
+// them away again; merging them into one interval first turns the band into
+// two binary searches plus a walk over just the intersection's permutation
+// range. The scan path is untouched, so the plan's answers stay checkable
+// against it bit for bit.
+
+// numInterval is the merged interval of every ordered/equality condition on
+// one numeric column. Bounds start at ±Inf inclusive (i.e. unconstrained).
+type numInterval struct {
+	col            int
+	lo, hi         float64
+	loIncl, hiIncl bool
+}
+
+// applyLo tightens the lower bound: keep the larger, and at a tie the
+// strict one (x > v ∧ x >= v  ⇒  x > v).
+func (iv *numInterval) applyLo(v float64, incl bool) {
+	if v > iv.lo || (v == iv.lo && !incl && iv.loIncl) {
+		iv.lo, iv.loIncl = v, incl
+	}
+}
+
+// applyHi tightens the upper bound symmetrically.
+func (iv *numInterval) applyHi(v float64, incl bool) {
+	if v < iv.hi || (v == iv.hi && !incl && iv.hiIncl) {
+		iv.hi, iv.hiIncl = v, incl
+	}
+}
+
+// vacuous reports an interval no value can satisfy.
+func (iv *numInterval) vacuous() bool {
+	return iv.lo > iv.hi || (iv.lo == iv.hi && !(iv.loIncl && iv.hiIncl))
+}
+
+// plan is a compiled conjunction regrouped for the index path: one merged
+// interval per constrained numeric column, plus the residual conditions
+// (categorical, and numeric !=, whose match set is not an interval).
+type plan struct {
+	ivs  []numInterval
+	rest []compiledCond
+	// empty marks a conjunction no row can satisfy — contradictory bounds,
+	// or an ordered/equality comparison against NaN (false for every value,
+	// exactly as the scan path evaluates it).
+	empty bool
+}
+
+// planConds builds the index-path plan. It only regroups exact set algebra
+// — intersection is commutative — so the planned result is identical to
+// evaluating the conditions one by one, and to the row-at-a-time scan.
+func planConds(cc []compiledCond) *plan {
+	p := &plan{}
+	byCol := map[int]int{}
+	for _, c := range cc {
+		if !c.numeric || c.op == Ne {
+			p.rest = append(p.rest, c)
+			continue
+		}
+		if math.IsNaN(c.v) {
+			p.empty = true
+			return p
+		}
+		k, ok := byCol[c.col]
+		if !ok {
+			k = len(p.ivs)
+			byCol[c.col] = k
+			p.ivs = append(p.ivs, numInterval{
+				col: c.col,
+				lo:  math.Inf(-1), loIncl: true,
+				hi: math.Inf(1), hiIncl: true,
+			})
+		}
+		iv := &p.ivs[k]
+		switch c.op {
+		case Lt:
+			iv.applyHi(c.v, false)
+		case Le:
+			iv.applyHi(c.v, true)
+		case Gt:
+			iv.applyLo(c.v, false)
+		case Ge:
+			iv.applyLo(c.v, true)
+		case Eq:
+			iv.applyLo(c.v, true)
+			iv.applyHi(c.v, true)
+		}
+	}
+	for i := range p.ivs {
+		if p.ivs[i].vacuous() {
+			p.empty = true
+			return p
+		}
+	}
+	return p
+}

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"math"
+	"sort"
+)
+
+// A segment is an immutable, fully indexed block of exactly segSize rows.
+// Columns are contiguous: numeric attributes as []float64, categorical ones
+// dictionary-encoded as []uint32 codes. Each numeric column carries a zone
+// map (min/max over the non-NaN values) for whole-segment skipping and a
+// sorted permutation index for range conditions; each categorical column a
+// code-sorted permutation whose equal ranges are per-code posting lists.
+// Once built, a segment is never mutated — the immutability that gives
+// snapshots their isolation for free.
+type segment struct {
+	base int // global row index of the segment's first row
+	n    int // rows in the segment (== the store's segSize)
+	nums [][]float64
+	cats [][]uint32
+	nidx []numIndex
+	cidx []catIndex
+}
+
+// numIndex is the per-segment index of one numeric column.
+type numIndex struct {
+	// min/max are the zone map over the non-NaN values; meaningless when
+	// every value is NaN (perm empty).
+	min, max float64
+	// perm holds the segment-local rows sorted ascending by value, NaN rows
+	// excluded; sorted[k] is the value at perm[k], kept as a contiguous
+	// copy so range binary searches don't chase the permutation.
+	perm   []uint32
+	sorted []float64
+	// nan lists the rows whose value is NaN. They fail every comparison
+	// except !=, exactly as the row-at-a-time scan path treats them.
+	nan []uint32
+}
+
+// catIndex is the per-segment index of one categorical column: the
+// code-sorted permutation. The equal range of a code inside sorted IS that
+// code's posting list (perm[lo:hi] are the rows holding it).
+type catIndex struct {
+	min, max uint32
+	perm     []uint32
+	sorted   []uint32
+}
+
+// buildSegment indexes one sealed block. nums/cats are the frozen column
+// buffers, owned by the segment from here on.
+func buildSegment(base int, nums [][]float64, cats [][]uint32) *segment {
+	sg := &segment{base: base, nums: nums, cats: cats}
+	for _, col := range nums {
+		if col != nil {
+			sg.n = len(col)
+			break
+		}
+	}
+	for _, col := range cats {
+		if col != nil {
+			sg.n = len(col)
+			break
+		}
+	}
+	sg.nidx = make([]numIndex, len(nums))
+	sg.cidx = make([]catIndex, len(cats))
+	for j, col := range nums {
+		if col != nil {
+			sg.nidx[j] = buildNumIndex(col)
+		}
+	}
+	for j, col := range cats {
+		if col != nil {
+			sg.cidx[j] = buildCatIndex(col)
+		}
+	}
+	return sg
+}
+
+func buildNumIndex(col []float64) numIndex {
+	idx := numIndex{}
+	idx.perm = make([]uint32, 0, len(col))
+	for i, v := range col {
+		if math.IsNaN(v) {
+			idx.nan = append(idx.nan, uint32(i))
+		} else {
+			idx.perm = append(idx.perm, uint32(i))
+		}
+	}
+	sort.Slice(idx.perm, func(a, b int) bool {
+		va, vb := col[idx.perm[a]], col[idx.perm[b]]
+		if va != vb {
+			return va < vb
+		}
+		// Equal values stay in row order so posting ranges are ascending.
+		return idx.perm[a] < idx.perm[b]
+	})
+	idx.sorted = make([]float64, len(idx.perm))
+	for k, r := range idx.perm {
+		idx.sorted[k] = col[r]
+	}
+	if len(idx.sorted) > 0 {
+		idx.min, idx.max = idx.sorted[0], idx.sorted[len(idx.sorted)-1]
+	}
+	return idx
+}
+
+func buildCatIndex(col []uint32) catIndex {
+	idx := catIndex{perm: make([]uint32, len(col))}
+	for i := range col {
+		idx.perm[i] = uint32(i)
+	}
+	sort.Slice(idx.perm, func(a, b int) bool {
+		ca, cb := col[idx.perm[a]], col[idx.perm[b]]
+		if ca != cb {
+			return ca < cb
+		}
+		return idx.perm[a] < idx.perm[b]
+	})
+	idx.sorted = make([]uint32, len(col))
+	for k, r := range idx.perm {
+		idx.sorted[k] = col[r]
+	}
+	if len(idx.sorted) > 0 {
+		idx.min, idx.max = idx.sorted[0], idx.sorted[len(idx.sorted)-1]
+	}
+	return idx
+}
+
+// eval evaluates a planned conjunction over the segment into words, the
+// segment's word-aligned window of the snapshot bitmap (len n/64). scratch
+// is a caller-owned window of the same length. The result is exactly the
+// rows a row-at-a-time scan would match.
+func (sg *segment) eval(p *plan, words, scratch []uint64) {
+	first := true
+	for i := range p.ivs {
+		if !sg.step(&first, words, scratch, func(out []uint64) { sg.evalInterval(&p.ivs[i], out) }) {
+			return
+		}
+	}
+	for i := range p.rest {
+		if !sg.step(&first, words, scratch, func(out []uint64) { sg.evalCond(p.rest[i], out) }) {
+			return
+		}
+	}
+	if first {
+		setAllWords(words)
+	}
+}
+
+// step runs one conjunct: the first fills words directly, later ones fill
+// scratch and intersect. Returns false once the conjunction is empty, so
+// remaining indexes are skipped.
+func (sg *segment) step(first *bool, words, scratch []uint64, fill func([]uint64)) bool {
+	if *first {
+		fill(words)
+		*first = false
+		return anyWord(words)
+	}
+	zeroWords(scratch)
+	fill(scratch)
+	andWords(words, scratch)
+	return anyWord(words)
+}
+
+// evalInterval fills out with the rows inside one merged interval — a
+// single contiguous range of the sorted permutation found by two binary
+// searches, however many range conditions produced it. NaN rows are not in
+// perm, so they fail the interval exactly as they fail every ordered
+// comparison in the scan path.
+func (sg *segment) evalInterval(iv *numInterval, out []uint64) {
+	idx := &sg.nidx[iv.col]
+	var lo, hi int
+	if iv.loIncl {
+		lo = lowerBound(idx.sorted, iv.lo)
+	} else {
+		lo = upperBound(idx.sorted, iv.lo)
+	}
+	if iv.hiIncl {
+		hi = upperBound(idx.sorted, iv.hi)
+	} else {
+		hi = lowerBound(idx.sorted, iv.hi)
+	}
+	if hi <= lo {
+		return
+	}
+	if hi-lo == sg.n {
+		// Zone-map fast path: the whole segment matches (implies no NaNs).
+		setAllSegment(out, sg.n)
+		return
+	}
+	for _, r := range idx.perm[lo:hi] {
+		setBit(out, r)
+	}
+}
+
+// evalCond fills out (assumed zero) with the rows matching one condition,
+// via the column's index — never a row sweep.
+func (sg *segment) evalCond(c compiledCond, out []uint64) {
+	if c.numeric {
+		sg.evalNum(c, out)
+	} else {
+		sg.evalCat(c, out)
+	}
+}
+
+func (sg *segment) evalNum(c compiledCond, out []uint64) {
+	idx := &sg.nidx[c.col]
+	if math.IsNaN(c.v) {
+		// v OP NaN is false for every ordered comparison and for ==;
+		// v != NaN is true for every v (including NaN).
+		if c.op == Ne {
+			setAllSegment(out, sg.n)
+		}
+		return
+	}
+	// Range [lo, hi) in the sorted permutation holding the matching rows
+	// (for the positive operators).
+	var lo, hi int
+	switch c.op {
+	case Lt:
+		lo, hi = 0, lowerBound(idx.sorted, c.v)
+	case Le:
+		lo, hi = 0, upperBound(idx.sorted, c.v)
+	case Gt:
+		lo, hi = upperBound(idx.sorted, c.v), len(idx.sorted)
+	case Ge:
+		lo, hi = lowerBound(idx.sorted, c.v), len(idx.sorted)
+	case Eq:
+		lo, hi = lowerBound(idx.sorted, c.v), upperBound(idx.sorted, c.v)
+	case Ne:
+		// Everything (NaN rows included: NaN != v) except the equal range.
+		setAllSegment(out, sg.n)
+		for _, r := range idx.perm[lowerBound(idx.sorted, c.v):upperBound(idx.sorted, c.v)] {
+			clearBit(out, r)
+		}
+		return
+	}
+	if hi-lo == sg.n {
+		// Zone-map fast path: the whole segment matches (implies no NaNs).
+		setAllSegment(out, sg.n)
+		return
+	}
+	for _, r := range idx.perm[lo:hi] {
+		setBit(out, r)
+	}
+}
+
+func (sg *segment) evalCat(c compiledCond, out []uint64) {
+	idx := &sg.cidx[c.col]
+	switch c.op {
+	case Eq:
+		if !c.codeOK || len(idx.sorted) == 0 || c.code < idx.min || c.code > idx.max {
+			return // value absent from the dictionary or outside the zone
+		}
+		for _, r := range idx.perm[lowerBound32(idx.sorted, c.code):upperBound32(idx.sorted, c.code)] {
+			setBit(out, r)
+		}
+	case Ne:
+		setAllSegment(out, sg.n)
+		if !c.codeOK || len(idx.sorted) == 0 || c.code < idx.min || c.code > idx.max {
+			return
+		}
+		for _, r := range idx.perm[lowerBound32(idx.sorted, c.code):upperBound32(idx.sorted, c.code)] {
+			clearBit(out, r)
+		}
+	}
+}
+
+// setAllSegment fills the window's first n bits (n is a multiple of 64 for
+// sealed segments, so this is a plain word fill).
+func setAllSegment(out []uint64, n int) {
+	full := n >> 6
+	setAllWords(out[:full])
+	if r := uint(n) & 63; r != 0 {
+		out[full] |= (1 << r) - 1
+	}
+}
+
+// lowerBound returns the first index with s[i] >= v.
+func lowerBound(s []float64, v float64) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= v })
+}
+
+// upperBound returns the first index with s[i] > v.
+func upperBound(s []float64, v float64) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] > v })
+}
+
+func lowerBound32(s []uint32, v uint32) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= v })
+}
+
+func upperBound32(s []uint32, v uint32) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] > v })
+}

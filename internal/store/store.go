@@ -1,0 +1,606 @@
+// Package store is the columnar segment engine behind the statistical
+// server: an immutable, column-oriented row store with per-segment sorted
+// indexes and zone maps, built so a compiled predicate evaluates as index
+// range scans intersected into a row bitmap instead of the row-at-a-time
+// full-table sweep that capped the server at toy sizes.
+//
+// Layout. Rows are ingested append-only into fixed-size segments
+// (DefaultSegmentSize rows, always a multiple of 64). Numeric attributes
+// are contiguous []float64 per segment; categorical attributes are
+// dictionary-encoded []uint32 codes against a store-wide append-only
+// dictionary. When a segment fills it is sealed: a zone map (min/max) and a
+// sorted permutation index are built per numeric column, a code-sorted
+// posting index per categorical column, and the segment never changes
+// again. The open tail stays unindexed and is evaluated by a compiled scan
+// — it is at most one segment of rows.
+//
+// Snapshots. Because sealed segments are immutable and tail buffers are
+// never recycled (sealing allocates fresh ones), a Snapshot is just the
+// segment list plus the tail lengths at pin time: zero-copy, always
+// consistent, and completely unaffected by concurrent ingest. The
+// statistical server pins one Snapshot per query, the auditor reasons over
+// the pinned version, and masked releases materialize it — audits see a
+// consistent database while ingest continues.
+//
+// Evaluation. Eval answers a conjunction of conditions with one bitmap per
+// snapshot: per segment, each condition resolves to a permutation range
+// (binary search over the sorted index, zone map for whole-segment
+// skip/accept) whose rows are set in the segment's word-aligned bitmap
+// window, and conditions intersect word-parallel (Bitmap). Aggregates then
+// run off the bitmap: COUNT is a popcount, SUM/AVG a bitmap-driven sweep
+// of the column in ascending row order — the identical float64 summation
+// order as the scan path, so indexed answers are byte-identical to it.
+package store
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"privacy3d/internal/dataset"
+	"privacy3d/internal/par"
+)
+
+// DefaultSegmentSize is the number of rows per sealed segment. It must be a
+// multiple of 64 so every segment owns a word-aligned window of the
+// snapshot bitmap (parallel segment evaluation then writes disjoint words).
+const DefaultSegmentSize = 8192
+
+// Op is a comparison operator, ordinal-compatible with sdcquery's.
+type Op int
+
+const (
+	Lt Op = iota // <
+	Le           // <=
+	Gt           // >
+	Ge           // >=
+	Eq           // ==
+	Ne           // !=
+)
+
+// Cond is one predicate condition: column OP value. Numeric conditions use
+// V; string conditions use S with Str set (Str disambiguates the empty
+// string from an absent value, the same contract as sdcquery.Cond).
+type Cond struct {
+	Col string
+	Op  Op
+	V   float64
+	S   string
+	Str bool
+}
+
+// isStr reports whether the condition carries a string value.
+func (c Cond) isStr() bool { return c.Str || c.S != "" }
+
+// compiledCond is a condition resolved against the schema: column index,
+// kind, and (for categorical conditions) the dictionary code.
+type compiledCond struct {
+	col     int
+	numeric bool
+	op      Op
+	v       float64
+	code    uint32
+	codeOK  bool // S is present in the dictionary; if not, Eq matches nothing and Ne everything
+}
+
+// dict is the store-wide string dictionary: append-only, so codes handed to
+// sealed segments never change meaning and snapshot readers need no copy.
+type dict struct {
+	mu    sync.RWMutex
+	codes map[string]uint32
+	strs  []string
+}
+
+func newDict() *dict { return &dict{codes: map[string]uint32{}} }
+
+func (d *dict) lookup(s string) (uint32, bool) {
+	d.mu.RLock()
+	c, ok := d.codes[s]
+	d.mu.RUnlock()
+	return c, ok
+}
+
+func (d *dict) intern(s string) uint32 {
+	d.mu.Lock()
+	c, ok := d.codes[s]
+	if !ok {
+		c = uint32(len(d.strs))
+		d.codes[s] = c
+		d.strs = append(d.strs, s)
+	}
+	d.mu.Unlock()
+	return c
+}
+
+func (d *dict) str(c uint32) string {
+	d.mu.RLock()
+	s := d.strs[c]
+	d.mu.RUnlock()
+	return s
+}
+
+// Store is the append-only columnar engine. Ingest (Append/AppendDataset)
+// is serialized on an internal mutex; Snapshot is a lock-free atomic load
+// and may be called from any number of readers while ingest continues.
+type Store struct {
+	attrs   []dataset.Attribute
+	segSize int
+	dict    *dict
+
+	mu       sync.Mutex // serializes ingest and snapshot publication
+	segs     []*segment // sealed, immutable; replaced (never appended in place) on seal
+	tailNums [][]float64
+	tailCats [][]uint32
+	tailLen  int
+
+	snap atomic.Pointer[Snapshot]
+}
+
+// New creates an empty store with the given schema. segSize ≤ 0 selects
+// DefaultSegmentSize; other values must be positive multiples of 64.
+func New(attrs []dataset.Attribute, segSize int) (*Store, error) {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	if segSize%64 != 0 {
+		return nil, fmt.Errorf("store: segment size must be a multiple of 64, got %d", segSize)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("store: schema needs at least one attribute")
+	}
+	s := &Store{
+		attrs:   append([]dataset.Attribute(nil), attrs...),
+		segSize: segSize,
+		dict:    newDict(),
+	}
+	s.freshTail()
+	s.publishLocked()
+	return s, nil
+}
+
+// FromDataset builds a store holding a copy of d's rows (column-wise bulk
+// ingest; d is not retained).
+func FromDataset(d *dataset.Dataset, segSize int) (*Store, error) {
+	s, err := New(d.Attrs(), segSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AppendDataset(d); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// freshTail allocates new open-segment buffers. Buffers are never reused
+// after sealing — pinned snapshots keep reading the old ones.
+func (s *Store) freshTail() {
+	s.tailNums = make([][]float64, len(s.attrs))
+	s.tailCats = make([][]uint32, len(s.attrs))
+	for j, a := range s.attrs {
+		if a.Kind == dataset.Numeric {
+			s.tailNums[j] = make([]float64, 0, s.segSize)
+		} else {
+			s.tailCats[j] = make([]uint32, 0, s.segSize)
+		}
+	}
+	s.tailLen = 0
+}
+
+// sealLocked freezes the full tail into an indexed immutable segment. The
+// segment list is replaced, not appended in place, so snapshots holding the
+// old slice header are unaffected.
+func (s *Store) sealLocked() {
+	sg := buildSegment(len(s.segs)*s.segSize, s.tailNums, s.tailCats)
+	segs := make([]*segment, len(s.segs)+1)
+	copy(segs, s.segs)
+	segs[len(s.segs)] = sg
+	s.segs = segs
+	s.freshTail()
+}
+
+// publishLocked installs the current state as the live snapshot.
+func (s *Store) publishLocked() {
+	sn := &Snapshot{
+		store:   s,
+		segs:    s.segs,
+		tailLen: s.tailLen,
+		rows:    len(s.segs)*s.segSize + s.tailLen,
+	}
+	sn.tailNums = make([][]float64, len(s.tailNums))
+	sn.tailCats = make([][]uint32, len(s.tailCats))
+	for j := range s.attrs {
+		if s.tailNums[j] != nil {
+			sn.tailNums[j] = s.tailNums[j][:s.tailLen]
+		}
+		if s.tailCats[j] != nil {
+			sn.tailCats[j] = s.tailCats[j][:s.tailLen]
+		}
+	}
+	s.snap.Store(sn)
+}
+
+// Append ingests one row; vals must match the schema like dataset.Append
+// (float64 or int for numeric attributes, string for categorical ones).
+func (s *Store) Append(vals ...any) error {
+	if len(vals) != len(s.attrs) {
+		return fmt.Errorf("store: got %d values for %d attributes", len(vals), len(s.attrs))
+	}
+	fs := make([]float64, len(vals))
+	cs := make([]uint32, len(vals))
+	for j, v := range vals {
+		if s.attrs[j].Kind == dataset.Numeric {
+			switch x := v.(type) {
+			case float64:
+				fs[j] = x
+			case int:
+				fs[j] = float64(x)
+			default:
+				return fmt.Errorf("store: attribute %q is numeric, got %T", s.attrs[j].Name, v)
+			}
+		} else {
+			str, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("store: attribute %q is categorical, got %T", s.attrs[j].Name, v)
+			}
+			cs[j] = s.dict.intern(str)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for j, a := range s.attrs {
+		if a.Kind == dataset.Numeric {
+			s.tailNums[j] = append(s.tailNums[j], fs[j])
+		} else {
+			s.tailCats[j] = append(s.tailCats[j], cs[j])
+		}
+	}
+	s.tailLen++
+	if s.tailLen == s.segSize {
+		s.sealLocked()
+	}
+	s.publishLocked()
+	return nil
+}
+
+// AppendDataset bulk-ingests every row of d (schema names and kinds must
+// match), copying column-wise without per-value boxing. One snapshot is
+// published at the end.
+func (s *Store) AppendDataset(d *dataset.Dataset) error {
+	if d.Cols() != len(s.attrs) {
+		return fmt.Errorf("store: dataset has %d columns, store schema %d", d.Cols(), len(s.attrs))
+	}
+	for j, a := range s.attrs {
+		da := d.Attr(j)
+		if da.Name != a.Name || da.Kind != a.Kind {
+			return fmt.Errorf("store: column %d is %s/%v, store schema %s/%v", j, da.Name, da.Kind, a.Name, a.Kind)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for r := 0; r < d.Rows(); {
+		take := s.segSize - s.tailLen
+		if rem := d.Rows() - r; take > rem {
+			take = rem
+		}
+		for j, a := range s.attrs {
+			if a.Kind == dataset.Numeric {
+				s.tailNums[j] = append(s.tailNums[j], d.NumColumn(j)[r:r+take]...)
+			} else {
+				col := d.CatColumn(j)
+				for i := r; i < r+take; i++ {
+					s.tailCats[j] = append(s.tailCats[j], s.dict.intern(col[i]))
+				}
+			}
+		}
+		s.tailLen += take
+		r += take
+		if s.tailLen == s.segSize {
+			s.sealLocked()
+		}
+	}
+	s.publishLocked()
+	return nil
+}
+
+// Snapshot pins the current version: an immutable view unaffected by any
+// ingest that happens after the call. Lock-free.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Rows returns the current row count.
+func (s *Store) Rows() int { return s.Snapshot().rows }
+
+// Version returns the current version (the row count — the store is
+// append-only, so it is monotonic and identifies the visible data).
+func (s *Store) Version() uint64 { return uint64(s.Rows()) }
+
+// Attrs returns the schema. The returned slice must not be modified.
+func (s *Store) Attrs() []dataset.Attribute { return s.attrs }
+
+// SegmentSize returns the rows per sealed segment.
+func (s *Store) SegmentSize() int { return s.segSize }
+
+// Index returns the column index of the named attribute, or -1.
+func (s *Store) Index(name string) int {
+	for j, a := range s.attrs {
+		if a.Name == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// Snapshot is an immutable view of the store at pin time: the sealed
+// segments plus a frozen prefix of the open tail. All methods are safe for
+// concurrent use and never observe later ingest.
+type Snapshot struct {
+	store    *Store
+	segs     []*segment
+	tailNums [][]float64
+	tailCats [][]uint32
+	tailLen  int
+	rows     int
+}
+
+// Rows returns the snapshot's row count.
+func (s *Snapshot) Rows() int { return s.rows }
+
+// Version identifies the snapshot (its row count; the store is
+// append-only). Answer caches key on it so answers computed against one
+// version are never served for another.
+func (s *Snapshot) Version() uint64 { return uint64(s.rows) }
+
+// Attrs returns the schema.
+func (s *Snapshot) Attrs() []dataset.Attribute { return s.store.attrs }
+
+// Index returns the column index of the named attribute, or -1.
+func (s *Snapshot) Index(name string) int { return s.store.Index(name) }
+
+// compile resolves conditions against the schema. The rules match the
+// sdcquery compiled predicate exactly: unknown columns, ordered operators
+// on categorical columns, and value/column kind mismatches are errors.
+func (s *Snapshot) compile(conds []Cond) ([]compiledCond, error) {
+	out := make([]compiledCond, len(conds))
+	for i, c := range conds {
+		j := s.store.Index(c.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("store: unknown column %q", c.Col)
+		}
+		cc := compiledCond{col: j, op: c.Op}
+		if c.Op < Lt || c.Op > Ne {
+			return nil, fmt.Errorf("store: unknown operator %v", c.Op)
+		}
+		if s.store.attrs[j].Kind == dataset.Numeric {
+			if c.isStr() {
+				return nil, fmt.Errorf("store: string value %q for numeric column %q", c.S, c.Col)
+			}
+			cc.numeric = true
+			cc.v = c.V
+		} else {
+			if !c.isStr() {
+				return nil, fmt.Errorf("store: numeric value %g for categorical column %q", c.V, c.Col)
+			}
+			if c.Op != Eq && c.Op != Ne {
+				return nil, fmt.Errorf("store: operator %v not valid for categorical column %q", c.Op, c.Col)
+			}
+			cc.code, cc.codeOK = s.store.dict.lookup(c.S)
+		}
+		out[i] = cc
+	}
+	return out, nil
+}
+
+// Eval answers the conjunction via the segment indexes: the conjunction is
+// planned once (range conditions on one column merge into a single
+// interval), then per segment each conjunct becomes a permutation range set
+// into the segment's word window (zone maps skip or accept whole segments),
+// conjuncts intersect word-parallel, and the unindexed tail falls back to a
+// compiled scan. Segments evaluate concurrently on the default worker pool
+// — each owns a disjoint word-aligned window, so no synchronisation is
+// needed, and the bitmap is exact, so the parallelism cannot perturb any
+// answer.
+func (s *Snapshot) Eval(conds []Cond) (*Bitmap, error) {
+	cc, err := s.compile(conds)
+	if err != nil {
+		return nil, err
+	}
+	bm := NewBitmap(s.rows)
+	if len(cc) == 0 {
+		bm.SetAll()
+		return bm, nil
+	}
+	p := planConds(cc)
+	if p.empty {
+		return bm, nil
+	}
+	tasks := len(s.segs)
+	if s.tailLen > 0 {
+		tasks++
+	}
+	par.Default().Tasks(tasks, func(t int) {
+		if t < len(s.segs) {
+			sg := s.segs[t]
+			w := bm.words[sg.base>>6 : (sg.base+sg.n+63)>>6]
+			sg.eval(p, w, make([]uint64, len(w)))
+			return
+		}
+		base := len(s.segs) * s.store.segSize
+		for i := 0; i < s.tailLen; i++ {
+			if s.matchTail(cc, i) {
+				bm.Set(base + i)
+			}
+		}
+	})
+	return bm, nil
+}
+
+// EvalScan answers the conjunction by a compiled row-at-a-time sweep over
+// every segment and the tail — the reference path the indexes must stay
+// byte-identical to, and the fallback a -scan server runs. It parallelises
+// over segments exactly like Eval, so indexed-vs-scan benchmarks compare
+// index structure, not scheduling.
+func (s *Snapshot) EvalScan(conds []Cond) (*Bitmap, error) {
+	cc, err := s.compile(conds)
+	if err != nil {
+		return nil, err
+	}
+	bm := NewBitmap(s.rows)
+	if len(cc) == 0 {
+		bm.SetAll()
+		return bm, nil
+	}
+	tasks := len(s.segs)
+	if s.tailLen > 0 {
+		tasks++
+	}
+	par.Default().Tasks(tasks, func(t int) {
+		if t < len(s.segs) {
+			sg := s.segs[t]
+			w := bm.words[sg.base>>6 : (sg.base+sg.n+63)>>6]
+			for i := 0; i < sg.n; i++ {
+				if matchRow(cc, sg.nums, sg.cats, i) {
+					setBit(w, uint32(i))
+				}
+			}
+			return
+		}
+		base := len(s.segs) * s.store.segSize
+		for i := 0; i < s.tailLen; i++ {
+			if s.matchTail(cc, i) {
+				bm.Set(base + i)
+			}
+		}
+	})
+	return bm, nil
+}
+
+// matchTail evaluates the compiled conjunction against tail row i.
+func (s *Snapshot) matchTail(cc []compiledCond, i int) bool {
+	return matchRow(cc, s.tailNums, s.tailCats, i)
+}
+
+// matchRow is the compiled row-at-a-time evaluator shared by the tail and
+// the scan path. Float comparisons give NaN exactly the semantics the
+// index path reproduces (NaN fails everything except !=).
+func matchRow(cc []compiledCond, nums [][]float64, cats [][]uint32, i int) bool {
+	for _, c := range cc {
+		if c.numeric {
+			v := nums[c.col][i]
+			var ok bool
+			switch c.op {
+			case Lt:
+				ok = v < c.v
+			case Le:
+				ok = v <= c.v
+			case Gt:
+				ok = v > c.v
+			case Ge:
+				ok = v >= c.v
+			case Eq:
+				ok = v == c.v
+			case Ne:
+				ok = v != c.v
+			}
+			if !ok {
+				return false
+			}
+		} else {
+			eq := c.codeOK && cats[c.col][i] == c.code
+			if (c.op == Eq) != eq {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Count returns the number of rows set in bm (popcount).
+func (s *Snapshot) Count(bm *Bitmap) int { return bm.Count() }
+
+// Sum adds up column col over the rows of bm in ascending row order — the
+// identical float64 summation order as a sequential scan, which is what
+// keeps indexed SUM/AVG answers byte-identical to the scan path. It panics
+// if col is not numeric, mirroring dataset.NumColumn.
+func (s *Snapshot) Sum(bm *Bitmap, col int) float64 {
+	if s.store.attrs[col].Kind != dataset.Numeric {
+		panic(fmt.Sprintf("store: attribute %q is not numeric", s.store.attrs[col].Name))
+	}
+	var sum float64
+	for _, sg := range s.segs {
+		colv := sg.nums[col]
+		words := bm.words[sg.base>>6 : (sg.base+sg.n+63)>>6]
+		for wi, w := range words {
+			base := wi << 6
+			for w != 0 {
+				sum += colv[base+bits.TrailingZeros64(w)]
+				w &= w - 1
+			}
+		}
+	}
+	if s.tailLen > 0 {
+		base := len(s.segs) * s.store.segSize
+		colv := s.tailNums[col]
+		for i := 0; i < s.tailLen; i++ {
+			if bm.Get(base + i) {
+				sum += colv[i]
+			}
+		}
+	}
+	return sum
+}
+
+// Float returns the numeric value at (row i, column col). It panics on a
+// non-numeric column or out-of-range row, mirroring slice indexing.
+func (s *Snapshot) Float(i, col int) float64 {
+	if sg := i / s.store.segSize; sg < len(s.segs) {
+		return s.segs[sg].nums[col][i%s.store.segSize]
+	}
+	return s.tailNums[col][i-len(s.segs)*s.store.segSize]
+}
+
+// Cat returns the categorical value at (row i, column col).
+func (s *Snapshot) Cat(i, col int) string {
+	var code uint32
+	if sg := i / s.store.segSize; sg < len(s.segs) {
+		code = s.segs[sg].cats[col][i%s.store.segSize]
+	} else {
+		code = s.tailCats[col][i-len(s.segs)*s.store.segSize]
+	}
+	return s.store.dict.str(code)
+}
+
+// Materialize exports the snapshot as a dataset (column-wise copy,
+// dictionary codes decoded). Masked releases run off this, so /protect
+// sees exactly the version pinned at request time.
+func (s *Snapshot) Materialize() *dataset.Dataset {
+	nums := make([][]float64, len(s.store.attrs))
+	cats := make([][]string, len(s.store.attrs))
+	for j, a := range s.store.attrs {
+		if a.Kind == dataset.Numeric {
+			col := make([]float64, 0, s.rows)
+			for _, sg := range s.segs {
+				col = append(col, sg.nums[j]...)
+			}
+			col = append(col, s.tailNums[j]...)
+			nums[j] = col
+		} else {
+			col := make([]string, 0, s.rows)
+			for _, sg := range s.segs {
+				for _, code := range sg.cats[j] {
+					col = append(col, s.store.dict.str(code))
+				}
+			}
+			for _, code := range s.tailCats[j] {
+				col = append(col, s.store.dict.str(code))
+			}
+			cats[j] = col
+		}
+	}
+	d, err := dataset.NewFromColumns(s.store.attrs, s.rows, nums, cats)
+	if err != nil {
+		// The snapshot's own columns always satisfy NewFromColumns'
+		// invariants; a failure here is a store bug.
+		panic(fmt.Sprintf("store: materialize: %v", err))
+	}
+	return d
+}
