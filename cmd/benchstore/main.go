@@ -5,13 +5,15 @@
 //
 //  1. every indexed answer is byte-identical to the scan-path answer AND to
 //     the seed evaluator Query.Evaluate (identity gate),
+//
 //  2. the indexed path sustains at least -minspeedup× the scan path's QPS
 //     on selective predicates at the largest row count (speedup gate), and
+//
 //  3. a snapshot pinned before a burst of concurrent ingest keeps returning
 //     bit-identical counts and sums while the store grows underneath it —
 //     the property the query auditor's view depends on (snapshot gate).
 //
-//	benchstore -rows 100000,1000000 -workers 1,2,8 -out BENCH_store.json
+//     benchstore -rows 100000,1000000 -workers 1,2,8 -out BENCH_store.json
 //
 // Both paths run with the answer cache disabled, so every measured query
 // pays full predicate evaluation: the numbers isolate the storage engine,

@@ -103,7 +103,12 @@ type Cond struct {
 	// and would render to the same canonical string — which is the answer
 	// cache and camouflage key, so the ambiguity was a correctness bug,
 	// not a cosmetic one. A non-empty S implies a string comparison whether
-	// or not Str is set, keeping hand-built literals working.
+	// or not Str is set, keeping hand-built literals working; and for
+	// backward compatibility Compile still accepts a fully zero-valued
+	// comparison (Str unset, S == "", V == 0) against a categorical column
+	// as an empty-string comparison — only V != 0 is a kind mismatch. Note
+	// that such a condition renders numerically (`c = 0`), so set Str when
+	// an empty-string match is intended.
 	Str bool
 }
 
@@ -190,9 +195,12 @@ func (p Predicate) Compile(attrs []dataset.Attribute) (*CompiledPredicate, error
 			if c.Op != Eq && c.Op != Ne {
 				return nil, fmt.Errorf("sdcquery: operator %s not valid for categorical column %q", c.Op, c.Col)
 			}
-			if !c.IsString() {
+			if !c.IsString() && c.V != 0 {
 				return nil, fmt.Errorf("sdcquery: numeric value %g for categorical column %q", c.V, c.Col)
 			}
+			// A fully zero-valued Cond (Str unset, S=="", V==0) compiles as
+			// an empty-string comparison — the behavior hand-built literals
+			// had before Str existed.
 			out.s = c.S
 		}
 		cc[i] = out

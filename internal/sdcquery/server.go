@@ -628,14 +628,14 @@ func (s *Server) answer(principal string, snap *store.Snapshot, q Query) (Answer
 		if err != nil || a.Denied {
 			return a, err
 		}
-		a.Value += s.perturbNoise(q)
+		a.Value += s.perturbNoise(snap.Version(), q)
 		return a, nil
 	case Camouflage:
 		a, err := s.exact(snap, q, bm, n)
 		if err != nil || a.Denied {
 			return a, err
 		}
-		return s.camouflage(q, a.Value), nil
+		return s.camouflage(snap.Version(), q, a.Value), nil
 	case OverlapRestriction:
 		rows := bm.Rows()
 		s.stateMu.Lock()
@@ -657,12 +657,18 @@ func (s *Server) answer(principal string, snap *store.Snapshot, q Query) (Answer
 // The predicate is validated against the schema first so error text matches
 // the library evaluator (Predicate.Compile) byte for byte.
 func (s *Server) eval(snap *store.Snapshot, p Predicate) (*store.Bitmap, error) {
-	if _, err := p.Compile(snap.Attrs()); err != nil {
+	attrs := snap.Attrs()
+	cp, err := p.Compile(attrs)
+	if err != nil {
 		return nil, err
 	}
-	conds := make([]store.Cond, len(p))
-	for i, c := range p {
-		conds[i] = store.Cond{Col: c.Col, Op: store.Op(c.Op), V: c.V, S: c.S, Str: c.IsString()}
+	// Build the store conditions from the compiled form, not the raw one:
+	// Compile has already resolved each condition's kind (including the
+	// lenient zero-valued-Cond-as-empty-string case), so the store sees
+	// exactly the comparison the library evaluator will run.
+	conds := make([]store.Cond, len(cp.conds))
+	for i, c := range cp.conds {
+		conds[i] = store.Cond{Col: attrs[c.col].Name, Op: store.Op(c.op), V: c.v, S: c.s, Str: !c.numeric}
 	}
 	if s.cfg.ForceScan {
 		return snap.EvalScan(conds)
@@ -696,15 +702,27 @@ func (s *Server) exact(snap *store.Snapshot, q Query, bm *store.Bitmap, n int) (
 	return Answer{Value: v}, nil
 }
 
+// noiseKey renders the derivation key shared by every stateless noise
+// mechanism: the pinned snapshot version, the principal (empty outside DP),
+// and the canonical query, mirroring cacheKey. Repeats within one data
+// version re-release identically (no averaging attack); each version draws
+// independently (differencing across an Ingest cancels nothing).
+func noiseKey(version uint64, principal string, q Query) string {
+	return strconv.FormatUint(version, 10) + "\x00" + principal + "\x00" + q.String()
+}
+
 // perturbNoise derives the Perturbation mode's Laplace noise statelessly
-// from (Seed, canonical query). The shared-rng design this replaces
-// serialized every perturbed answer behind one mutex AND let users average
-// the noise out by repeating a query; the query-keyed derivation fixes
-// both, following the same determinism contract as camouflage, random
-// sample and dp.
-func (s *Server) perturbNoise(q Query) float64 {
+// from (Seed, snapshot version, canonical query). The shared-rng design
+// this replaces serialized every perturbed answer behind one mutex AND let
+// users average the noise out by repeating a query; the query-keyed
+// derivation fixes both, following the same determinism contract as
+// camouflage, random sample and dp. The version joins the key for the same
+// reason as in dpAnswer: with a draw shared across versions, querying
+// before and after an Ingest would disclose the ingested rows' exact
+// aggregate contribution as the noiseless difference of the two answers.
+func (s *Server) perturbNoise(version uint64, q Query) float64 {
 	h := fnv.New64a()
-	h.Write([]byte(q.String()))
+	h.Write([]byte(noiseKey(version, "", q)))
 	k := h.Sum64()
 	rng := rand.New(rand.NewPCG(s.cfg.Seed^k, k*0x9e3779b97f4a7c15+1))
 	return noise.Laplace(rng, s.cfg.NoiseSD)
@@ -771,13 +789,18 @@ func (s *Server) dpAnswer(principal string, snap *store.Snapshot, q Query) (Answ
 	if s.cfg.Delta > 0 {
 		mech = dp.Gaussian
 	}
-	// The noise key is (principal, canonical query): repeating a query
-	// re-releases the identical perturbed value — averaging attacks gain
-	// nothing — and the answer stream is byte-identical for any request
-	// interleaving or worker count. The answer cache exploits exactly this:
-	// a repeat is served from the cache as a free re-release, so ε is
-	// debited once per distinct (principal, query), not once per request.
-	nz, err := dp.Noise(s.cfg.Seed, principal+"\x00"+q.String(), dp.NoiseParams{
+	// The noise key is (version, principal, canonical query), mirroring
+	// cacheKey: repeating a query at one data version re-releases the
+	// identical perturbed value — averaging attacks gain nothing — and the
+	// answer stream is byte-identical for any request interleaving or
+	// worker count. The answer cache exploits exactly this: a repeat is
+	// served from the cache as a free re-release, so ε is debited once per
+	// distinct (principal, query), not once per request. The version MUST
+	// join the key: were the draw shared across versions, asking before and
+	// after an Ingest would release v1+nz and v2+nz, and v2−v1 — the exact
+	// aggregate contribution of the ingested rows — would difference out
+	// with zero noise.
+	nz, err := dp.Noise(s.cfg.Seed, noiseKey(snap.Version(), principal, q), dp.NoiseParams{
 		Mechanism: mech, Sensitivity: sens, Epsilon: s.cfg.Epsilon, Delta: s.cfg.Delta,
 	})
 	if err != nil {
@@ -811,12 +834,16 @@ func (s *Server) BudgetPrincipals() []string {
 }
 
 // camouflage returns an interval that contains the true value but whose
-// midpoint is a deterministic, query-keyed offset from it, so repeating the
-// query gains the user nothing and the exact value is never released.
-func (s *Server) camouflage(q Query, v float64) Answer {
+// midpoint is a deterministic, (version, query)-keyed offset from it, so
+// repeating the query gains the user nothing and the exact value is never
+// released. The snapshot version joins the offset key like every other
+// noise derivation: a version-independent offset would let the interval
+// midpoints before and after an Ingest difference to the ingested rows'
+// exact aggregate contribution.
+func (s *Server) camouflage(version uint64, q Query, v float64) Answer {
 	w := s.cfg.CamouflageWidth * maxAbs(v, 1)
 	h := fnv.New64a()
-	h.Write([]byte(q.String()))
+	h.Write([]byte(noiseKey(version, "", q)))
 	// Deterministic offset in [-w/2, w/2].
 	off := (float64(h.Sum64()%1_000_003)/1_000_003 - 0.5) * w
 	return Answer{Interval: true, Lo: v + off - w, Hi: v + off + w}

@@ -192,6 +192,105 @@ func TestServerIngest(t *testing.T) {
 	}
 }
 
+// TestNoiseIndependentAcrossVersions pins the fix for the cross-ingest
+// differencing leak: every noise derivation (perturbation, camouflage, dp)
+// keys on the snapshot version, so asking the same query before and after
+// an Ingest draws independent noise — the difference of the two answers
+// must NOT equal the exact aggregate contribution of the ingested rows.
+// (With the old version-free keys it always did: v1+nz and v2+nz difference
+// to v2−v1 with zero noise, even though under DP ε was charged twice.)
+// Repeats within one version must still re-release identically.
+func TestNoiseIndependentAcrossVersions(t *testing.T) {
+	q := Query{Agg: Sum, Attr: "v", Where: Predicate{{Col: "x", Op: Ge, V: 0}}}
+	configs := []Config{
+		{Protection: Perturbation, Seed: 11, SegmentSize: 64},
+		{Protection: Camouflage, Seed: 11, SegmentSize: 64},
+		{Protection: DifferentialPrivacy, Seed: 11, SegmentSize: 64, Epsilon: 0.5, EpsilonBudget: 10},
+	}
+	for _, cfg := range configs {
+		srv, err := NewServer(mixedDataset(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth1, err := q.Evaluate(srv.Dataset())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := srv.AskAs("alice", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := srv.Ingest(1.0, "new", 50.0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		truth2, err := q.Evaluate(srv.Dataset())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := srv.AskAs("alice", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		released := func(a Answer) float64 {
+			if a.Interval {
+				return (a.Lo + a.Hi) / 2 // camouflage: the midpoint carries the offset
+			}
+			return a.Value
+		}
+		if released(a2)-released(a1) == truth2-truth1 {
+			t.Errorf("%v: answers across an Ingest difference to the exact ingested contribution %g — noise reused across versions",
+				cfg.Protection, truth2-truth1)
+		}
+		// Within one version, a repeat is still the identical re-release.
+		a3, err := srv.AskAs("alice", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(released(a3)) != math.Float64bits(released(a2)) {
+			t.Errorf("%v: repeat at one version released %x then %x", cfg.Protection, math.Float64bits(released(a2)), math.Float64bits(released(a3)))
+		}
+	}
+}
+
+// TestZeroValueCondCompat pins the compile lenience for hand-built library
+// conditions: Cond{Col: catCol, Op: Eq} (all fields zero) compiles as an
+// empty-string comparison — the behavior Predicate.Match had before Str
+// existed — on both the library evaluator and the server's index path,
+// while a non-zero V stays a kind-mismatch error.
+func TestZeroValueCondCompat(t *testing.T) {
+	d := mixedDataset()
+	zero := Predicate{{Col: "tag", Op: Eq}}
+	rows, err := zero.QuerySet(d)
+	if err != nil {
+		t.Fatalf("zero-valued categorical cond rejected: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("QuerySet matched %d rows, want the 3 empty-tag rows", len(rows))
+	}
+	for _, forceScan := range []bool{false, true} {
+		srv, err := NewServer(d, Config{Protection: NoProtection, SegmentSize: 64, ForceScan: forceScan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := srv.Ask(Query{Agg: Count, Where: zero})
+		if err != nil {
+			t.Fatalf("forceScan=%v: %v", forceScan, err)
+		}
+		if a.Value != 3 {
+			t.Errorf("forceScan=%v: COUNT = %g, want 3", forceScan, a.Value)
+		}
+	}
+	// Ne complement and the surviving error case.
+	if rows, err = (Predicate{{Col: "tag", Op: Ne}}).QuerySet(d); err != nil || len(rows) != 5 {
+		t.Errorf("Ne zero-valued cond: rows=%d err=%v, want 5 rows", len(rows), err)
+	}
+	if _, err := (Predicate{{Col: "tag", Op: Eq, V: 7}}).Compile(d.Attrs()); err == nil {
+		t.Error("non-zero numeric value against categorical column accepted")
+	}
+}
+
 // TestAuditedConsistentUnderIngest pins the snapshot semantics the auditor
 // needs: audited answers stay self-consistent while the database grows
 // mid-stream — the indicator system mixes vector widths across versions

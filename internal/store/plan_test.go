@@ -51,10 +51,10 @@ func TestPlanTieStrictness(t *testing.T) {
 
 func TestPlanVacuousAndNaNAreEmpty(t *testing.T) {
 	cases := [][]Cond{
-		{{Col: "x", Op: Gt, V: 5}, {Col: "x", Op: Lt, V: 3}},  // disjoint
-		{{Col: "x", Op: Gt, V: 3}, {Col: "x", Op: Le, V: 3}},  // touching, open
-		{{Col: "x", Op: Eq, V: 4}, {Col: "x", Op: Eq, V: 5}},  // two equalities
-		{{Col: "x", Op: Lt, V: math.NaN()}},                   // ordered vs NaN
+		{{Col: "x", Op: Gt, V: 5}, {Col: "x", Op: Lt, V: 3}}, // disjoint
+		{{Col: "x", Op: Gt, V: 3}, {Col: "x", Op: Le, V: 3}}, // touching, open
+		{{Col: "x", Op: Eq, V: 4}, {Col: "x", Op: Eq, V: 5}}, // two equalities
+		{{Col: "x", Op: Lt, V: math.NaN()}},                  // ordered vs NaN
 		{{Col: "x", Op: Eq, V: math.NaN()}, {Col: "y", Op: Ge, V: 0}},
 	}
 	for _, conds := range cases {

@@ -170,6 +170,23 @@ func (sg *segment) step(first *bool, words, scratch []uint64, fill func([]uint64
 // comparison in the scan path.
 func (sg *segment) evalInterval(iv *numInterval, out []uint64) {
 	idx := &sg.nidx[iv.col]
+	if len(idx.sorted) == 0 {
+		return // every value NaN; NaN fails every interval
+	}
+	// Zone-map skip: the interval is disjoint from [min,max], so no row can
+	// match — the whole segment is skipped without touching the sorted index.
+	if iv.lo > idx.max || (iv.lo == idx.max && !iv.loIncl) ||
+		iv.hi < idx.min || (iv.hi == idx.min && !iv.hiIncl) {
+		return
+	}
+	// Zone-map accept: [min,max] lies inside the interval and the segment has
+	// no NaN rows, so every row matches — one word fill, no binary searches.
+	if len(idx.perm) == sg.n &&
+		(iv.lo < idx.min || (iv.lo == idx.min && iv.loIncl)) &&
+		(iv.hi > idx.max || (iv.hi == idx.max && iv.hiIncl)) {
+		setAllSegment(out, sg.n)
+		return
+	}
 	var lo, hi int
 	if iv.loIncl {
 		lo = lowerBound(idx.sorted, iv.lo)
@@ -180,14 +197,6 @@ func (sg *segment) evalInterval(iv *numInterval, out []uint64) {
 		hi = upperBound(idx.sorted, iv.hi)
 	} else {
 		hi = lowerBound(idx.sorted, iv.hi)
-	}
-	if hi <= lo {
-		return
-	}
-	if hi-lo == sg.n {
-		// Zone-map fast path: the whole segment matches (implies no NaNs).
-		setAllSegment(out, sg.n)
-		return
 	}
 	for _, r := range idx.perm[lo:hi] {
 		setBit(out, r)
@@ -214,6 +223,65 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 		}
 		return
 	}
+	if len(idx.sorted) == 0 {
+		// Every value NaN: fails everything except !=.
+		if c.op == Ne {
+			setAllSegment(out, sg.n)
+		}
+		return
+	}
+	// Zone-map skip/accept: when [min,max] puts the whole segment on one
+	// side of the comparison, answer without a binary search. Accepting all
+	// additionally requires no NaN rows (perm covers the segment); Ne's
+	// accept does not, since NaN != v.
+	allNonNaN := len(idx.perm) == sg.n
+	switch c.op {
+	case Lt:
+		if c.v <= idx.min {
+			return
+		}
+		if c.v > idx.max && allNonNaN {
+			setAllSegment(out, sg.n)
+			return
+		}
+	case Le:
+		if c.v < idx.min {
+			return
+		}
+		if c.v >= idx.max && allNonNaN {
+			setAllSegment(out, sg.n)
+			return
+		}
+	case Gt:
+		if c.v >= idx.max {
+			return
+		}
+		if c.v < idx.min && allNonNaN {
+			setAllSegment(out, sg.n)
+			return
+		}
+	case Ge:
+		if c.v > idx.max {
+			return
+		}
+		if c.v <= idx.min && allNonNaN {
+			setAllSegment(out, sg.n)
+			return
+		}
+	case Eq:
+		if c.v < idx.min || c.v > idx.max {
+			return
+		}
+		if c.v == idx.min && c.v == idx.max && allNonNaN {
+			setAllSegment(out, sg.n)
+			return
+		}
+	case Ne:
+		if c.v < idx.min || c.v > idx.max {
+			setAllSegment(out, sg.n)
+			return
+		}
+	}
 	// Range [lo, hi) in the sorted permutation holding the matching rows
 	// (for the positive operators).
 	var lo, hi int
@@ -234,11 +302,6 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 		for _, r := range idx.perm[lowerBound(idx.sorted, c.v):upperBound(idx.sorted, c.v)] {
 			clearBit(out, r)
 		}
-		return
-	}
-	if hi-lo == sg.n {
-		// Zone-map fast path: the whole segment matches (implies no NaNs).
-		setAllSegment(out, sg.n)
 		return
 	}
 	for _, r := range idx.perm[lo:hi] {

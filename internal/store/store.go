@@ -377,7 +377,10 @@ func (s *Snapshot) compile(conds []Cond) ([]compiledCond, error) {
 			cc.numeric = true
 			cc.v = c.V
 		} else {
-			if !c.isStr() {
+			// Mirrors sdcquery's lenience: a fully zero-valued condition
+			// (Str unset, S == "", V == 0) is an empty-string comparison;
+			// only V != 0 is a kind mismatch.
+			if !c.isStr() && c.V != 0 {
 				return nil, fmt.Errorf("store: numeric value %g for categorical column %q", c.V, c.Col)
 			}
 			if c.Op != Eq && c.Op != Ne {

@@ -232,6 +232,132 @@ func TestEmptyStringIsAValue(t *testing.T) {
 	}
 }
 
+// TestZoneMapSkipAndAccept drives the numeric zone maps down both fast
+// paths: monotonically increasing data makes segment ranges disjoint, so a
+// band predicate must skip every segment but the one it covers (and accept
+// that one whole), while a constant column exercises the Eq/Ne zone
+// decisions. Every answer is cross-checked against the scan path.
+func TestZoneMapSkipAndAccept(t *testing.T) {
+	attrs := []dataset.Attribute{
+		{Name: "x", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric},
+		{Name: "k", Role: dataset.Confidential, Kind: dataset.Numeric},
+	}
+	s, err := New(attrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ { // 4 sealed segments, empty tail
+		if err := s.Append(float64(i), 7.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	cases := []struct {
+		conds []Cond
+		want  int
+	}{
+		// Band covering exactly segment 1: zone accept there, skip elsewhere.
+		{[]Cond{{Col: "x", Op: Ge, V: 64}, {Col: "x", Op: Lt, V: 128}}, 64},
+		// Below/above every zone: all four segments skip.
+		{[]Cond{{Col: "x", Op: Lt, V: 0}}, 0},
+		{[]Cond{{Col: "x", Op: Ge, V: 256}}, 0},
+		{[]Cond{{Col: "x", Op: Gt, V: 255}}, 0},
+		// Interval containing every zone: all four segments accept whole.
+		{[]Cond{{Col: "x", Op: Le, V: 1000}}, 256},
+		// Boundary exclusivity at a zone edge.
+		{[]Cond{{Col: "x", Op: Gt, V: 63}, {Col: "x", Op: Le, V: 64}}, 1},
+		// Ne outside every zone accepts whole segments.
+		{[]Cond{{Col: "x", Op: Ne, V: 300}}, 256},
+		// Constant column: Eq in/outside the degenerate [7,7] zone.
+		{[]Cond{{Col: "k", Op: Eq, V: 7}}, 256},
+		{[]Cond{{Col: "k", Op: Eq, V: 8}}, 0},
+		{[]Cond{{Col: "k", Op: Ne, V: 7}}, 0},
+	}
+	for _, c := range cases {
+		idx, err := snap.Eval(c.conds)
+		if err != nil {
+			t.Fatalf("Eval(%v): %v", c.conds, err)
+		}
+		if idx.Count() != c.want {
+			t.Errorf("Eval(%v) matched %d rows, want %d", c.conds, idx.Count(), c.want)
+		}
+		scan, err := snap.EvalScan(c.conds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < snap.Rows(); i++ {
+			if idx.Get(i) != scan.Get(i) {
+				t.Fatalf("Eval(%v) row %d = %v, scan = %v", c.conds, i, idx.Get(i), scan.Get(i))
+			}
+		}
+	}
+}
+
+// TestZoneMapAllNaNSegment pins the degenerate zone: a segment whose numeric
+// column is entirely NaN has an empty sorted index, fails every interval and
+// comparison, and matches != like the scan path.
+func TestZoneMapAllNaNSegment(t *testing.T) {
+	attrs := []dataset.Attribute{{Name: "x", Role: dataset.QuasiIdentifier, Kind: dataset.Numeric}}
+	s, err := New(attrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 128; i++ { // segment 0 all NaN, segment 1 numeric
+		v := math.NaN()
+		if i >= 64 {
+			v = float64(i)
+		}
+		if err := s.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	bm, err := snap.Eval([]Cond{{Col: "x", Op: Ge, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Count() != 64 {
+		t.Fatalf("x >= 0 matched %d rows, want 64 (NaN segment must skip)", bm.Count())
+	}
+	bm, err = snap.Eval([]Cond{{Col: "x", Op: Ne, V: 70}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Count() != 127 {
+		t.Fatalf("x != 70 matched %d rows, want 127 (NaN rows match !=)", bm.Count())
+	}
+}
+
+// TestZeroValueCondIsEmptyString pins the compile lenience shared with
+// sdcquery: a fully zero-valued condition (Str unset, S == "", V == 0)
+// against a categorical column is an empty-string comparison, while any
+// non-zero V stays a kind-mismatch error.
+func TestZeroValueCondIsEmptyString(t *testing.T) {
+	d := synthRows(500, 5)
+	s, err := FromDataset(d, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	explicit, err := snap.Eval([]Cond{{Col: "c", Op: Eq, S: "", Str: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := snap.Eval([]Cond{{Col: "c", Op: Eq}})
+	if err != nil {
+		t.Fatalf("zero-valued categorical cond rejected: %v", err)
+	}
+	if explicit.Count() == 0 {
+		t.Fatal("fixture has no empty-string rows; test is vacuous")
+	}
+	if zero.Count() != explicit.Count() {
+		t.Fatalf("zero-valued cond matched %d rows, explicit empty-string %d", zero.Count(), explicit.Count())
+	}
+	if _, err := snap.Eval([]Cond{{Col: "c", Op: Eq, V: 2}}); err == nil {
+		t.Fatal("non-zero numeric value against categorical column accepted")
+	}
+}
+
 func TestMaterializeRoundTrip(t *testing.T) {
 	d := synthRows(700, 6)
 	s, err := FromDataset(d, 128)
