@@ -70,8 +70,21 @@ type Report struct {
 	NumCPU     int    `json:"num_cpu"`
 	// Warning flags measurement conditions under which the speedup columns
 	// are not meaningful (e.g. a single-CPU machine).
-	Warning string  `json:"warning,omitempty"`
-	Entries []Entry `json:"entries"`
+	Warning string       `json:"warning,omitempty"`
+	Entries []Entry      `json:"entries"`
+	Scaling *ScalingGate `json:"scaling,omitempty"`
+}
+
+// ScalingGate records the worker-scaling requirement on the itpir_answer
+// kernel: on a multi-core machine, the max-workers run must beat the
+// workers=1 reference by at least -minscaling×. On a single-CPU machine the
+// gate degrades to the report warning.
+type ScalingGate struct {
+	Kernel     string  `json:"kernel"`
+	MaxWorkers int     `json:"max_workers"`
+	Scaling    float64 `json:"scaling"`
+	MinScaling float64 `json:"min_scaling"`
+	Enforced   bool    `json:"enforced"`
 }
 
 func main() {
@@ -87,8 +100,10 @@ func main() {
 	out := flag.String("out", "BENCH_pir.json", "output JSON file")
 	minWordSpeedup := flag.Float64("minwordspeedup", 0,
 		"fail unless the workers=1 word kernel beats the byte-wise kernel by this factor (0 = report only)")
+	minScaling := flag.Float64("minscaling", 2,
+		"required itpir_answer speedup at max workers vs workers=1 (skipped on single-CPU machines; 0 = report only)")
 	flag.Parse()
-	if err := run(*blocks, *blockSize, *cpirBits, *statRows, *workersList, *seed, *iters, *out, *minWordSpeedup); err != nil {
+	if err := run(*blocks, *blockSize, *cpirBits, *statRows, *workersList, *seed, *iters, *out, *minWordSpeedup, *minScaling); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -153,7 +168,7 @@ func timeKernel(k kernel, iters int) (int64, []byte, error) {
 	return best, answer, nil
 }
 
-func run(blocks, blockSize, cpirBits, statRows int, workersList string, seed uint64, iters int, out string, minWordSpeedup float64) error {
+func run(blocks, blockSize, cpirBits, statRows int, workersList string, seed uint64, iters int, out string, minWordSpeedup, minScaling float64) error {
 	ws, err := parseWorkers(workersList)
 	if err != nil {
 		return err
@@ -291,6 +306,36 @@ func run(blocks, blockSize, cpirBits, statRows int, workersList string, seed uin
 			report.Entries = append(report.Entries, e)
 			log.Printf("%-22s workers=%-2d %12s  %8.0f MiB/s  speedup %.2fx",
 				k.name, w, time.Duration(ns), e.ThroughputMiBs, e.SpeedupVsWorkers1)
+		}
+	}
+
+	// Scaling gate: itpir_answer at the largest worker count vs. the
+	// workers=1 reference. Enforced only on multi-core machines — on a
+	// single CPU the speedup is ≈ 1.0 by construction, so the gate degrades
+	// to the warning already in the report.
+	maxW := ws[0]
+	for _, w := range ws {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 1 && minScaling > 0 {
+		sg := &ScalingGate{
+			Kernel: "itpir_answer", MaxWorkers: maxW,
+			MinScaling: minScaling, Enforced: runtime.NumCPU() > 1,
+		}
+		for _, e := range report.Entries {
+			if e.Kernel == "itpir_answer" && e.Workers == maxW {
+				sg.Scaling = e.SpeedupVsWorkers1
+			}
+		}
+		report.Scaling = sg
+		if !sg.Enforced {
+			log.Printf("scaling gate skipped (%s): itpir_answer workers=%d speedup %.2fx", report.Warning, maxW, sg.Scaling)
+		} else if sg.Scaling < minScaling {
+			return fmt.Errorf("SCALING GATE FAILED: itpir_answer workers=%d speedup %.2fx below required %.2fx", maxW, sg.Scaling, minScaling)
+		} else {
+			log.Printf("scaling OK: itpir_answer workers=%d speedup %.2fx (need ≥ %.1fx)", maxW, sg.Scaling, minScaling)
 		}
 	}
 

@@ -47,8 +47,10 @@ type Entry struct {
 	// Workload is "selective" (narrow bands, the index's home turf) or
 	// "broad" (threshold sweeps that match large fractions of the data).
 	Workload string `json:"workload"`
-	// Path is "indexed" (segment indexes + bitmaps) or "scan" (the
-	// compiled row-at-a-time baseline, -scan on the serve command).
+	// Path is "indexed" (segment indexes + bitmaps), "scan" (the compiled
+	// row-at-a-time baseline, -scan on the serve command), or "batched"
+	// (AskBatch answering the whole workload in one sharded column sweep;
+	// latency percentiles are then per batch call, not per query).
 	Path string `json:"path"`
 	// Queries answered during the timed window (cache disabled: every one
 	// paid full predicate evaluation).
@@ -72,6 +74,21 @@ type Speedup struct {
 	Gated bool `json:"gated"`
 }
 
+// ScalingGate records the worker-scaling requirement on the indexed path:
+// on a multi-core machine, QPS at the largest worker count must beat QPS at
+// the smallest by at least -minscaling× at the largest row count. On a
+// single-CPU machine the gate degrades to the report warning.
+type ScalingGate struct {
+	Rows        int     `json:"rows"`
+	BaseWorkers int     `json:"base_workers"`
+	MaxWorkers  int     `json:"max_workers"`
+	BaseQPS     float64 `json:"base_qps"`
+	MaxQPS      float64 `json:"max_qps"`
+	Scaling     float64 `json:"scaling"`
+	MinScaling  float64 `json:"min_scaling"`
+	Enforced    bool    `json:"enforced"`
+}
+
 // SnapshotGate records the concurrent-ingest pinning check.
 type SnapshotGate struct {
 	Rows     int  `json:"rows"`
@@ -91,6 +108,10 @@ type Report struct {
 	MinSpeedup      float64 `json:"min_speedup"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
 	NumCPU          int     `json:"num_cpu"`
+	// Shards is the store's segment-shard count; BatchWidth the number of
+	// queries each timed AskBatch call carries on the "batched" path.
+	Shards     int `json:"shards"`
+	BatchWidth int `json:"batch_width"`
 	// Warning flags measurement conditions under which worker scaling is
 	// not meaningful (e.g. a single-CPU machine).
 	Warning string `json:"warning,omitempty"`
@@ -100,6 +121,7 @@ type Report struct {
 	IdenticalAnswers bool          `json:"identical_answers"`
 	Entries          []Entry       `json:"entries"`
 	Speedups         []Speedup     `json:"speedups"`
+	Scaling          *ScalingGate  `json:"scaling,omitempty"`
 	Snapshot         *SnapshotGate `json:"snapshot"`
 }
 
@@ -111,11 +133,12 @@ func main() {
 	shapes := flag.Int("queries", 24, "query shapes per workload class")
 	duration := flag.Duration("duration", 500*time.Millisecond, "timed window per (rows, workers, workload, path) point")
 	minSpeedup := flag.Float64("minspeedup", 5, "required indexed/scan QPS ratio on selective predicates at the largest row count")
+	minScaling := flag.Float64("minscaling", 2, "required indexed QPS at max workers vs workers=1 at the largest row count (skipped on single-CPU machines)")
 	ingest := flag.Int("ingest", 25000, "rows appended concurrently during the snapshot gate")
 	seed := flag.Uint64("seed", 20070923, "PRNG seed for the synthetic data")
 	out := flag.String("out", "BENCH_store.json", "output JSON file")
 	flag.Parse()
-	if err := run(*rowsList, *workersList, *shapes, *duration, *minSpeedup, *ingest, *seed, *out); err != nil {
+	if err := run(*rowsList, *workersList, *shapes, *duration, *minSpeedup, *minScaling, *ingest, *seed, *out); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -225,7 +248,7 @@ func broadWorkload(d *dataset.Dataset, spans []span, n int) []sdcquery.Query {
 	return work
 }
 
-func run(rowsList, workersList string, shapes int, duration time.Duration, minSpeedup float64, ingest int, seed uint64, out string) error {
+func run(rowsList, workersList string, shapes int, duration time.Duration, minSpeedup, minScaling float64, ingest int, seed uint64, out string) error {
 	sizes, err := parseInts("-rows", rowsList)
 	if err != nil {
 		return err
@@ -282,7 +305,10 @@ func run(rowsList, workersList string, shapes int, duration time.Duration, minSp
 		}
 
 		// Identity gate: indexed ≡ scan ≡ the seed evaluator, bit for bit,
-		// on every shape of both workloads.
+		// on every shape of both workloads. The selective refs are kept so
+		// the batched gate below can re-check them at every worker count
+		// without re-running the O(rows) seed evaluator.
+		selRefs := make([][3]uint64, 0, shapes)
 		for _, w := range workloads {
 			for _, q := range w.qs {
 				want, err := q.Evaluate(d)
@@ -302,14 +328,37 @@ func run(rowsList, workersList string, shapes int, duration time.Duration, minSp
 					return fmt.Errorf("IDENTITY GATE FAILED: rows=%d %q: indexed %x, scan %x, Evaluate %x",
 						rows, q, answerBits(ai), answerBits(as), ref)
 				}
+				if w.name == "selective" {
+					selRefs = append(selRefs, ref)
+				}
 			}
 		}
 		log.Printf("rows=%-8d identity OK: %d shapes, indexed ≡ scan ≡ Evaluate", rows, 2*shapes)
+		report.Shards = indexed.Shards()
+		report.BatchWidth = shapes
 
 		// Timed phase: cache-miss QPS and latency percentiles per
 		// (workers, workload, path).
 		for _, w := range workers {
 			par.SetWorkers(w)
+			// Batched identity gate at this worker count: one AskBatch must
+			// answer the whole selective set bit-identically to the per-query
+			// refs, on both the sharded and the forced-scan path.
+			for _, p := range []struct {
+				name string
+				srv  *sdcquery.Server
+			}{{"indexed", indexed}, {"scan", scan}} {
+				answers, errs := p.srv.AskBatch("", workloads[0].qs)
+				for i, q := range workloads[0].qs {
+					if errs[i] != nil {
+						return fmt.Errorf("rows=%d workers=%d %s AskBatch(%q): %w", rows, w, p.name, q, errs[i])
+					}
+					if answerBits(answers[i]) != selRefs[i] {
+						return fmt.Errorf("BATCH IDENTITY GATE FAILED: rows=%d workers=%d %s %q: batch %x, per-query %x",
+							rows, w, p.name, q, answerBits(answers[i]), selRefs[i])
+					}
+				}
+			}
 			for _, wl := range workloads {
 				var qps [2]float64
 				for pi, p := range []struct {
@@ -339,6 +388,15 @@ func run(rowsList, workersList string, shapes int, duration time.Duration, minSp
 					}
 				}
 			}
+			// Batched path: the same selective queries, answered one
+			// AskBatch at a time instead of one Ask at a time.
+			e, err := timedBatchPhase(rows, w, indexed, workloads[0].qs, duration)
+			if err != nil {
+				return err
+			}
+			report.Entries = append(report.Entries, *e)
+			log.Printf("rows=%-8d workers=%-2d %-9s %-7s %10.0f q/s  p50 %9s  p99 %9s",
+				rows, w, "selective", e.Path, e.QPS, time.Duration(e.P50Ns), time.Duration(e.P99Ns))
 		}
 
 		// Snapshot gate once, at the smallest row count (the property is
@@ -354,6 +412,25 @@ func run(rowsList, workersList string, shapes int, duration time.Duration, minSp
 		}
 	}
 
+	// Scaling gate: indexed QPS at the largest worker count vs. the smallest,
+	// at the largest row count. Enforced only on multi-core machines — on a
+	// single CPU, worker fan-out measures scheduling overhead, so the gate
+	// degrades to the warning already in the report.
+	if sg := scalingGate(report.Speedups, workers, largest, minScaling); sg != nil {
+		report.Scaling = sg
+		switch {
+		case !sg.Enforced:
+			log.Printf("scaling gate skipped (%s): workers=%d %.0f q/s vs workers=%d %.0f q/s",
+				report.Warning, sg.MaxWorkers, sg.MaxQPS, sg.BaseWorkers, sg.BaseQPS)
+		case sg.Scaling < minScaling:
+			return fmt.Errorf("SCALING GATE FAILED: rows=%d indexed: workers=%d %.0f q/s vs workers=%d %.0f q/s = %.2f×, need ≥ %.1f×",
+				sg.Rows, sg.MaxWorkers, sg.MaxQPS, sg.BaseWorkers, sg.BaseQPS, sg.Scaling, minScaling)
+		default:
+			log.Printf("rows=%-8d scaling OK: workers=%d %.0f q/s vs workers=%d %.0f q/s = %.2f× (need ≥ %.1f×)",
+				sg.Rows, sg.MaxWorkers, sg.MaxQPS, sg.BaseWorkers, sg.BaseQPS, sg.Scaling, minScaling)
+		}
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -363,6 +440,44 @@ func run(rowsList, workersList string, shapes int, duration time.Duration, minSp
 	}
 	log.Printf("wrote %s (%d entries); every indexed answer byte-identical to the scan path and the seed evaluator", out, len(report.Entries))
 	return nil
+}
+
+// scalingGate reduces the selective Speedup records at the largest row count
+// to a base-vs-max-workers comparison. Returns nil when the workers sweep has
+// a single point, so there is nothing to compare.
+func scalingGate(speedups []Speedup, workers []int, largest int, minScaling float64) *ScalingGate {
+	base, max := workers[0], workers[0]
+	for _, w := range workers {
+		if w < base {
+			base = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	if base == max {
+		return nil
+	}
+	sg := &ScalingGate{
+		Rows: largest, BaseWorkers: base, MaxWorkers: max,
+		MinScaling: minScaling,
+		Enforced:   runtime.NumCPU() > 1,
+	}
+	for _, sp := range speedups {
+		if sp.Rows != largest {
+			continue
+		}
+		if sp.Workers == base {
+			sg.BaseQPS = sp.IndexedQPS
+		}
+		if sp.Workers == max {
+			sg.MaxQPS = sp.IndexedQPS
+		}
+	}
+	if sg.BaseQPS > 0 {
+		sg.Scaling = sg.MaxQPS / sg.BaseQPS
+	}
+	return sg
 }
 
 // timedPhase drives one server with one workload, round-robin, for at least
@@ -390,6 +505,37 @@ func timedPhase(rows, workers int, workload, path string, srv *sdcquery.Server, 
 	}
 	return &Entry{
 		Rows: rows, Workers: workers, Workload: workload, Path: path,
+		Queries: n, DurationNs: elapsed.Nanoseconds(),
+		QPS:   float64(n) / elapsed.Seconds(),
+		P50Ns: pct(0.50), P99Ns: pct(0.99),
+	}, nil
+}
+
+// timedBatchPhase drives one server with whole-workload AskBatch calls for
+// at least the duration and at least one batch. QPS counts queries; the
+// latency percentiles are per batch call.
+func timedBatchPhase(rows, workers int, srv *sdcquery.Server, qs []sdcquery.Query, duration time.Duration) (*Entry, error) {
+	var lat []int64
+	var n int64
+	start := time.Now()
+	for time.Since(start) < duration || n == 0 {
+		t0 := time.Now()
+		_, errs := srv.AskBatch("", qs)
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("rows=%d batched: AskBatch(%q): %w", rows, qs[i], err)
+			}
+		}
+		lat = append(lat, time.Since(t0).Nanoseconds())
+		n += int64(len(qs))
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 {
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	return &Entry{
+		Rows: rows, Workers: workers, Workload: "selective", Path: "batched",
 		Queries: n, DurationNs: elapsed.Nanoseconds(),
 		QPS:   float64(n) / elapsed.Seconds(),
 		P50Ns: pct(0.50), P99Ns: pct(0.99),

@@ -57,6 +57,8 @@ type serveOpts struct {
 	workers                               *int
 	segment                               *int
 	scan                                  *bool
+	shards                                *int
+	batchMax                              *int
 }
 
 // serveFlags registers every flag of the serve command on fs.
@@ -85,6 +87,10 @@ func serveFlags(fs *flag.FlagSet) *serveOpts {
 		"columnar store rows per sealed segment, a positive multiple of 64 (0 uses the default, 8192)")
 	o.scan = fs.Bool("scan", false,
 		"answer predicates by the compiled row scan instead of the segment indexes (A/B baseline; answers are byte-identical)")
+	o.shards = fs.Int("shards", 0,
+		"segment shards evaluated in parallel per query (0 uses the default, 16; answers are byte-identical at any count)")
+	o.batchMax = fs.Int("batchmax", 0,
+		"queries accepted per POST /querybatch request (0 uses the default, 256; negative disables the endpoint)")
 	return o
 }
 
@@ -127,6 +133,7 @@ func cmdServe(args []string) error {
 		Epsilon: *epsilon, Delta: *delta, EpsilonBudget: *budget,
 		AnswerCacheCap: *cacheCap,
 		SegmentSize:    *o.segment, ForceScan: *o.scan,
+		Shards:         *o.shards,
 	}
 	if *logCap < 0 {
 		cfg.UnboundedQueryLog = true
@@ -146,6 +153,7 @@ func cmdServe(args []string) error {
 	handler := obs.Chain(sdcquery.NewHandler(srv, sdcquery.HandlerConfig{
 		Registry: reg, OwnerToken: *ownerToken,
 		RateLimit: *rateLimit, RateBurst: *rateBurst,
+		BatchMax: *o.batchMax,
 	}),
 		obs.Logging(logger),
 		obs.Instrument(reg, "/query", "/sql", "/protect", "/log", "/metrics"),

@@ -278,6 +278,19 @@ func MapChunksCtx[T any](ctx context.Context, p *Pool, n int, fn func(lo, hi int
 	return out, nil
 }
 
+// MapTasks computes fn over n coarse tasks in parallel and returns the
+// per-task results in task order — the gather half of a scatter-gather.
+// Callers fold the slice left-to-right for a worker-count-independent
+// reduction: the same in-order discipline as MapChunks, at task
+// granularity. The segment-shard scatter in internal/store rides on this.
+func MapTasks[T any](p *Pool, n int, fn func(t int) T) []T {
+	out := make([]T, n)
+	p.run(n, func(t int) {
+		out[t] = fn(t)
+	})
+	return out
+}
+
 // MapReduce maps fn over the fixed-size chunks of [0, n) in parallel and
 // folds the partials left-to-right (chunk order) with reduce, starting
 // from zero. The reduction order is independent of the worker count.

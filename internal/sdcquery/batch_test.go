@@ -1,0 +1,306 @@
+package sdcquery
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+// batchTestQueries is a mixed workload: distinct shapes, exact repeats
+// (cache hits), broad and narrow sets, every aggregate.
+func batchTestQueries() []Query {
+	qs := []Query{
+		{Agg: Count, Where: Predicate{{Col: "height", Op: Ge, V: 150}}},
+		{Agg: Sum, Attr: "blood_pressure", Where: Predicate{{Col: "height", Op: Ge, V: 160}, {Col: "height", Op: Lt, V: 170}}},
+		{Agg: Avg, Attr: "height", Where: Predicate{{Col: "aids", Op: Eq, S: "Y"}}},
+		{Agg: Count, Where: Predicate{{Col: "height", Op: Lt, V: 100}}}, // empty set
+		{Agg: Count, Where: nil}, // unconstrained
+		{Agg: Avg, Attr: "blood_pressure", Where: Predicate{{Col: "aids", Op: Ne, S: "Y"}}},
+	}
+	return append(qs, qs[0], qs[2]) // exact repeats
+}
+
+// sameAnswer compares two answers byte for byte (float fields via their
+// bit patterns).
+func sameAnswer(a, b Answer) bool {
+	return a.Denied == b.Denied && a.Reason == b.Reason &&
+		math.Float64bits(a.Value) == math.Float64bits(b.Value) &&
+		math.Float64bits(a.Lo) == math.Float64bits(b.Lo) &&
+		math.Float64bits(a.Hi) == math.Float64bits(b.Hi) &&
+		a.Interval == b.Interval && a.Budgeted == b.Budgeted &&
+		math.Float64bits(a.Epsilon) == math.Float64bits(b.Epsilon) &&
+		math.Float64bits(a.EpsilonRemaining) == math.Float64bits(b.EpsilonRemaining)
+}
+
+// TestAskBatchMatchesAskAs pins the batch contract: for every protection,
+// AskBatch against one server produces byte-identical answers to a serial
+// AskAs loop against an identically configured twin — including the
+// stateful protections, whose history must advance in batch order, and
+// differential privacy, whose ε accounting must debit identically.
+func TestAskBatchMatchesAskAs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"none", Config{Protection: NoProtection}},
+		{"size", Config{Protection: SizeRestriction, MinSetSize: 3}},
+		{"auditing", Config{Protection: Auditing}},
+		{"perturbation", Config{Protection: Perturbation, Seed: 7}},
+		{"camouflage", Config{Protection: Camouflage, Seed: 7}},
+		{"overlap", Config{Protection: OverlapRestriction}},
+		{"sample", Config{Protection: RandomSample, Seed: 7}},
+		{"dp", Config{Protection: DifferentialPrivacy, Seed: 7, Epsilon: 0.5, EpsilonBudget: 100}},
+		{"scan", Config{Protection: NoProtection, ForceScan: true}},
+		{"sharded3", Config{Protection: NoProtection, Shards: 3, SegmentSize: 64}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := dataset.SyntheticTrial(dataset.TrialConfig{N: 500, Seed: 11})
+			serial, err := NewServer(d, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := NewServer(d, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			principal := ""
+			if tc.cfg.Protection == DifferentialPrivacy {
+				principal = "alice"
+			}
+			qs := batchTestQueries()
+			want := make([]Answer, len(qs))
+			wantErr := make([]error, len(qs))
+			for i, q := range qs {
+				want[i], wantErr[i] = serial.AskAs(principal, q)
+			}
+			got, errs := batched.AskBatch(principal, qs)
+			for i := range qs {
+				if (errs[i] == nil) != (wantErr[i] == nil) {
+					t.Fatalf("query %d: batch err %v, serial err %v", i, errs[i], wantErr[i])
+				}
+				if errs[i] != nil {
+					if errs[i].Error() != wantErr[i].Error() {
+						t.Fatalf("query %d: batch err %q, serial err %q", i, errs[i], wantErr[i])
+					}
+					continue
+				}
+				if !sameAnswer(got[i], want[i]) {
+					t.Fatalf("query %d: batch answer %+v, serial answer %+v", i, got[i], want[i])
+				}
+			}
+			if got := batched.LogDepth(); got != len(qs) {
+				t.Fatalf("batch logged %d queries, want %d", got, len(qs))
+			}
+			if batches, queries := batched.BatchStats(); batches != 1 || queries != int64(len(qs)) {
+				t.Fatalf("BatchStats = (%d, %d), want (1, %d)", batches, queries, len(qs))
+			}
+			if tc.cfg.Protection == DifferentialPrivacy {
+				sr, _ := serial.BudgetRemaining(principal)
+				br, _ := batched.BudgetRemaining(principal)
+				if math.Float64bits(sr) != math.Float64bits(br) {
+					t.Fatalf("batch debited to %g, serial to %g", br, sr)
+				}
+			}
+		})
+	}
+}
+
+// TestAskBatchPartialFailure pins per-item degradation: a malformed query
+// gets its error while its neighbours answer, and the error text matches
+// the serial path's.
+func TestAskBatchPartialFailure(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 100, Seed: 5})
+	srv, err := NewServer(d, Config{Protection: NoProtection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Query{Agg: Count, Where: Predicate{{Col: "no_such_column", Op: Eq, V: 1}}}
+	good := Query{Agg: Count, Where: Predicate{{Col: "height", Op: Ge, V: 150}}}
+	answers, errs := srv.AskBatch("", []Query{good, bad, good})
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good queries failed: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("bad query succeeded")
+	}
+	if _, serialErr := srv.Ask(bad); serialErr == nil || serialErr.Error() != errs[1].Error() {
+		t.Fatalf("batch error %q, serial error %q", errs[1], serialErr)
+	}
+	if answers[0].Value != answers[2].Value {
+		t.Fatalf("repeated good query answered differently: %g vs %g", answers[0].Value, answers[2].Value)
+	}
+}
+
+// TestAskBatchNoPrincipalDP pins that an unidentified DP batch fails every
+// item with ErrNoPrincipal before any evaluation or ε accounting.
+func TestAskBatchNoPrincipalDP(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 100, Seed: 5})
+	srv, err := NewServer(d, Config{Protection: DifferentialPrivacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := srv.AskBatch("", batchTestQueries())
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "principal") {
+			t.Fatalf("query %d: err %v, want no-principal", i, err)
+		}
+	}
+}
+
+// TestAskBatchConcurrentIngest hammers AskBatch against concurrent Ingest
+// and concurrent single-query traffic (run with -race). Each batch pins one
+// snapshot, so within a batch the unconstrained COUNT can never regress
+// below the dataset's initial size.
+func TestAskBatchConcurrentIngest(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 200, Seed: 9})
+	srv, err := NewServer(d, Config{Protection: NoProtection, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Query{Agg: Count, Where: nil}
+	band := Query{Agg: Count, Where: Predicate{{Col: "height", Op: Ge, V: 150}}}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		row := make([]any, d.Cols())
+		for j := range row {
+			row[j] = d.Value(0, j)
+		}
+		for i := 0; i < 300; i++ {
+			if err := srv.Ingest(row...); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				answers, errs := srv.AskBatch("", []Query{all, band, all})
+				for k, err := range errs {
+					if err != nil {
+						t.Errorf("batch query %d: %v", k, err)
+						return
+					}
+				}
+				if answers[0].Value != answers[2].Value {
+					t.Errorf("one batch saw two versions: %g vs %g", answers[0].Value, answers[2].Value)
+					return
+				}
+				if answers[0].Value < 200 {
+					t.Errorf("unconstrained COUNT %g below initial size", answers[0].Value)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestQueryBatchHTTP drives POST /querybatch end to end: per-item answers
+// and errors in request order, agreement with the single-query endpoint,
+// and the batch-width cap.
+func TestQueryBatchHTTP(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 300, Seed: 13})
+	srv, err := NewServer(d, Config{Protection: NoProtection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(srv, HandlerConfig{BatchMax: 4})
+	post := func(t *testing.T, body string) (*httptest.ResponseRecorder, BatchResponseJSON) {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodPost, "/querybatch", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		var resp BatchResponseJSON
+		if rr.Code == http.StatusOK {
+			if err := json.NewDecoder(rr.Body).Decode(&resp); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+		}
+		return rr, resp
+	}
+
+	rr, resp := post(t, `{"queries":[
+		{"agg":"COUNT","where":[{"col":"height","op":">=","v":150}]},
+		{"agg":"FROB"},
+		{"agg":"SUM","attr":"blood_pressure","where":[{"col":"no_such","op":"=","v":1}]},
+		{"agg":"COUNT","where":[{"col":"height","op":">=","v":150}]}]}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+	if len(resp.Answers) != 4 {
+		t.Fatalf("got %d answers, want 4", len(resp.Answers))
+	}
+	if resp.Answers[0].Error != "" || resp.Answers[3].Error != "" {
+		t.Fatalf("good queries errored: %q, %q", resp.Answers[0].Error, resp.Answers[3].Error)
+	}
+	if !strings.Contains(resp.Answers[1].Error, "FROB") {
+		t.Fatalf("conversion error lost: %+v", resp.Answers[1])
+	}
+	if !strings.Contains(resp.Answers[2].Error, "no_such") {
+		t.Fatalf("evaluation error lost: %+v", resp.Answers[2])
+	}
+	if resp.Answers[0].Value != resp.Answers[3].Value {
+		t.Fatalf("repeat answered differently: %g vs %g", resp.Answers[0].Value, resp.Answers[3].Value)
+	}
+	// Agreement with the single-query endpoint.
+	sq := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"agg":"COUNT","where":[{"col":"height","op":">=","v":150}]}`))
+	srr := httptest.NewRecorder()
+	h.ServeHTTP(srr, sq)
+	var single AnswerJSON
+	if err := json.NewDecoder(srr.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Value != resp.Answers[0].Value {
+		t.Fatalf("/querybatch %g disagrees with /query %g", resp.Answers[0].Value, single.Value)
+	}
+
+	// Cap and empty-batch validation.
+	var many bytes.Buffer
+	many.WriteString(`{"queries":[`)
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			many.WriteString(",")
+		}
+		fmt.Fprintf(&many, `{"agg":"COUNT"}`)
+	}
+	many.WriteString(`]}`)
+	if rr, _ := post(t, many.String()); rr.Code != http.StatusBadRequest {
+		t.Fatalf("over-cap batch: status %d", rr.Code)
+	}
+	if rr, _ := post(t, `{"queries":[]}`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", rr.Code)
+	}
+	if rr, _ := post(t, `not json`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("malformed batch: status %d", rr.Code)
+	}
+}
+
+// TestQueryBatchHTTPDisabled pins that BatchMax < 0 turns the endpoint off.
+func TestQueryBatchHTTPDisabled(t *testing.T) {
+	d := dataset.SyntheticTrial(dataset.TrialConfig{N: 50, Seed: 3})
+	srv, err := NewServer(d, Config{Protection: NoProtection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(srv, HandlerConfig{BatchMax: -1})
+	req := httptest.NewRequest(http.MethodPost, "/querybatch", strings.NewReader(`{"queries":[{"agg":"COUNT"}]}`))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusForbidden {
+		t.Fatalf("disabled endpoint: status %d", rr.Code)
+	}
+}

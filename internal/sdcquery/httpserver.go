@@ -27,6 +27,12 @@ import (
 // are refused with a clean 413 via http.MaxBytesReader.
 const maxBodyBytes = 1 << 16
 
+// DefaultBatchMax bounds the queries one POST /querybatch request may
+// carry (HandlerConfig.BatchMax overrides). The cap exists for the same
+// reason as maxBodyBytes: a single request must not be able to schedule
+// unbounded work.
+const DefaultBatchMax = 256
+
 // HTTP front end for the protected statistical database, so the "owner sees
 // every query" property of Section 3 is tangible: the /log endpoint IS the
 // owner's complete view of the users' activity.
@@ -91,6 +97,28 @@ type AnswerJSON struct {
 	// server protection is DifferentialPrivacy.
 	Epsilon          *float64 `json:"epsilon,omitempty"`
 	EpsilonRemaining *float64 `json:"epsilon_remaining,omitempty"`
+}
+
+// BatchRequestJSON is the wire format of POST /querybatch: a list of
+// structured queries answered against one pinned snapshot, with the
+// answer-cache misses evaluated in one sharded column sweep.
+type BatchRequestJSON struct {
+	Queries []QueryJSON `json:"queries"`
+}
+
+// BatchItemJSON is one element of a /querybatch response: either the
+// query's answer (same field contract as AnswerJSON) or its error. The
+// batch degrades per item — one malformed or budget-refused query never
+// fails its neighbours.
+type BatchItemJSON struct {
+	AnswerJSON
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponseJSON carries the per-query results of POST /querybatch in
+// request order.
+type BatchResponseJSON struct {
+	Answers []BatchItemJSON `json:"answers"`
 }
 
 // ProtectRequest is the wire format of POST /protect: the name of a
@@ -195,6 +223,11 @@ type HandlerConfig struct {
 	RateLimit float64
 	// RateBurst is the bucket depth; < 1 defaults to max(2·RateLimit, 1).
 	RateBurst int
+	// BatchMax caps the queries one POST /querybatch request may carry
+	// (default DefaultBatchMax; negative disables the batch endpoint).
+	// Admission control charges a batch once — the cap is what bounds the
+	// work a single admitted request can schedule.
+	BatchMax int
 }
 
 // NewHTTPHandler wraps a Server in the HTTP API without metrics and with
@@ -274,6 +307,25 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 		reg.Gauge("sdcquery_cache_entries", func() float64 {
 			_, _, entries, _ := srv.CacheStats()
 			return float64(entries)
+		})
+		reg.Gauge("store_shards", func() float64 { return float64(srv.Shards()) })
+		reg.Gauge("store_scratch_hit_rate", func() float64 {
+			gets, news := srv.ScratchStats()
+			if gets == 0 {
+				return 0
+			}
+			return float64(gets-news) / float64(gets)
+		})
+		reg.Gauge("sdcquery_batches", func() float64 {
+			batches, _ := srv.BatchStats()
+			return float64(batches)
+		})
+		reg.Gauge("sdcquery_batch_width_avg", func() float64 {
+			batches, queries := srv.BatchStats()
+			if batches == 0 {
+				return 0
+			}
+			return float64(queries) / float64(batches)
 		})
 	}
 	// Admission control: shed excess per-client load at the door. The
@@ -402,7 +454,109 @@ func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, aj)
 	}
+	// batchItem renders one batch element with the same outcome accounting
+	// and ε surfacing as the single-query path; only the transport differs
+	// (an in-body error string instead of a per-request status code).
+	batchItem := func(principal string, a Answer, err error) BatchItemJSON {
+		if err != nil {
+			var be *dp.BudgetError
+			switch {
+			case errors.As(err, &be):
+				outcome("budget-exhausted")
+				principalGauge(principal)
+			case errors.Is(err, dp.ErrNoPrincipal):
+				outcome("no-principal")
+			default:
+				outcome("error")
+			}
+			return BatchItemJSON{Error: err.Error()}
+		}
+		item := BatchItemJSON{AnswerJSON: AnswerJSON{
+			Denied: a.Denied, Reason: a.Reason, Value: a.Value,
+			Lo: a.Lo, Hi: a.Hi, Interval: a.Interval,
+		}}
+		switch {
+		case a.Denied:
+			outcome("denied")
+		case a.Interval:
+			outcome("interval")
+		default:
+			outcome("answered")
+		}
+		if a.Budgeted {
+			principalGauge(principal)
+			eps, rem := a.Epsilon, a.EpsilonRemaining
+			item.Epsilon, item.EpsilonRemaining = &eps, &rem
+		}
+		return item
+	}
+	batchMax := cfg.BatchMax
+	if batchMax == 0 {
+		batchMax = DefaultBatchMax
+	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/querybatch", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		if batchMax < 0 {
+			writeError(w, http.StatusForbidden, "POST /querybatch is disabled")
+			return
+		}
+		// One admission charge per batch: batchMax, not the rate limit, is
+		// what bounds the work an admitted request can schedule.
+		if !admit(w, r) {
+			return
+		}
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		var br BatchRequestJSON
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&br); err != nil {
+			if tooLarge(w, err) {
+				return
+			}
+			outcome("error")
+			writeError(w, http.StatusBadRequest, "malformed JSON batch: "+err.Error())
+			return
+		}
+		if len(br.Queries) == 0 {
+			writeError(w, http.StatusBadRequest, "batch carries no queries")
+			return
+		}
+		if len(br.Queries) > batchMax {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch carries %d queries, cap is %d", len(br.Queries), batchMax))
+			return
+		}
+		// Wire-format conversion degrades per item; only convertible
+		// queries reach the server (and its log), mirroring how a malformed
+		// /query body is rejected before AskAs.
+		convErr := make([]error, len(br.Queries))
+		qs := make([]Query, 0, len(br.Queries))
+		qIdx := make([]int, 0, len(br.Queries))
+		for i, qj := range br.Queries {
+			q, err := qj.ToQuery()
+			if err != nil {
+				convErr[i] = err
+				continue
+			}
+			qs = append(qs, q)
+			qIdx = append(qIdx, i)
+		}
+		principal := r.Header.Get(PrincipalHeader)
+		answers, errs := srv.AskBatch(principal, qs)
+		resp := BatchResponseJSON{Answers: make([]BatchItemJSON, len(br.Queries))}
+		for i, err := range convErr {
+			if err != nil {
+				outcome("error")
+				resp.Answers[i] = BatchItemJSON{Error: err.Error()}
+			}
+		}
+		for k, i := range qIdx {
+			resp.Answers[i] = batchItem(principal, answers[k], errs[k])
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodPost) {
 			return

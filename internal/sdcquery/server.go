@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"privacy3d/internal/dataset"
 	"privacy3d/internal/dp"
@@ -270,6 +271,11 @@ type Config struct {
 	// way (cmd/benchstore gates on it); the switch exists for A/B
 	// benchmarking and as an escape hatch.
 	ForceScan bool
+	// Shards is the number of goroutine-owned segment shards queries
+	// scatter across in the columnar store (default store.DefaultShards).
+	// Answers are byte-identical at any shard count; the knob trades
+	// scheduling granularity against per-shard locality.
+	Shards int
 }
 
 // Server is an interactively queryable statistical database. It records
@@ -325,6 +331,11 @@ type Server struct {
 	ledger   *dp.Ledger
 	bounds   map[string]dp.Bounds
 	dpFlight [64]sync.Mutex
+
+	// Batch telemetry: AskBatch submissions and the queries they carried
+	// (batchQueries/batches is the mean batch width the metrics export).
+	batches      atomic.Int64
+	batchQueries atomic.Int64
 }
 
 // NewServer wraps a dataset in a protected query interface.
@@ -381,7 +392,7 @@ func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := store.FromDataset(d, cfg.SegmentSize)
+	st, err := store.FromDatasetSharded(d, cfg.SegmentSize, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -488,10 +499,23 @@ func (s *Server) OverlapStats() (tracked, capacity int) {
 // rows are ingested.
 func (s *Server) Rows() int { return s.st.Rows() }
 
-// Version identifies the currently visible data (the store's append-only
-// row count). Answer-cache keys embed it, so answers computed against one
-// version are never served for another.
+// Version identifies the currently visible data (the store's monotonic
+// publish counter). Answer-cache and noise keys embed it, so answers
+// computed against one version are never served for another.
 func (s *Server) Version() uint64 { return s.st.Version() }
+
+// Shards reports the columnar store's segment-shard count.
+func (s *Server) Shards() int { return s.st.Shards() }
+
+// ScratchStats reports the store's pooled-scratch leases and pool misses;
+// the metrics layer derives the pooled-bitmap hit rate from them.
+func (s *Server) ScratchStats() (gets, news int64) { return s.st.ScratchStats() }
+
+// BatchStats reports how many AskBatch submissions the server has seen and
+// how many queries they carried in total.
+func (s *Server) BatchStats() (batches, queries int64) {
+	return s.batches.Load(), s.batchQueries.Load()
+}
 
 // Dataset exposes the served microdata — the owner-side handle the
 // /protect endpoint masks releases from. It pins the current snapshot:
@@ -545,6 +569,14 @@ func (s *Server) AskAs(principal string, q Query) (Answer, error) {
 	// ingest between requests changes the key, never a cached answer.
 	snap := s.st.Snapshot()
 	key, cacheable := s.cacheKey(principal, snap.Version(), q)
+	return s.askOne(principal, snap, q, key, cacheable, nil)
+}
+
+// askOne is the post-log tail shared by AskAs and AskBatch: cache probe,
+// protection dispatch, cache fill. bm, when non-nil, is the query set
+// already evaluated against snap (AskBatch precomputes it in one sharded
+// sweep); a nil bm evaluates inside the protection path exactly as before.
+func (s *Server) askOne(principal string, snap *store.Snapshot, q Query, key string, cacheable bool, bm *store.Bitmap) (Answer, error) {
 	if cacheable && s.cfg.Protection == DifferentialPrivacy {
 		// Under DP the cache IS the accounting dedup, so two concurrent
 		// identical first requests must not both miss and both charge:
@@ -564,7 +596,7 @@ func (s *Server) AskAs(principal string, q Query) (Answer, error) {
 			return a, nil
 		}
 	}
-	a, err := s.answer(principal, snap, q)
+	a, err := s.answer(principal, snap, q, bm)
 	if err != nil {
 		return a, err
 	}
@@ -572,6 +604,122 @@ func (s *Server) AskAs(principal string, q Query) (Answer, error) {
 		s.cache.put(key, a)
 	}
 	return a, nil
+}
+
+// AskBatch submits several queries on behalf of one principal and answers
+// them in submission order. Every query is logged (denied and failed ones
+// too) and the whole batch pins ONE snapshot, so the batch answers a single
+// consistent version. The point of the entry is the miss path: the query
+// sets of every answer-cache miss are evaluated together in one sharded
+// column sweep (store.Snapshot.EvalBatch) — each segment's columns and
+// indexes are loaded once and tested against every missed predicate — and
+// the per-query protection logic then runs in order on the precomputed
+// bitmaps. Each answer is byte-identical to what the equivalent serial
+// AskAs loop would have produced: the stateful protections (auditing,
+// overlap restriction) commit their state per answer in batch order, and
+// the noise/cache keys depend only on (version, principal, query).
+//
+// errs[i] reports the i'th query's failure; one malformed query never
+// sinks the rest of the batch.
+func (s *Server) AskBatch(principal string, qs []Query) (answers []Answer, errs []error) {
+	answers = make([]Answer, len(qs))
+	errs = make([]error, len(qs))
+	if len(qs) == 0 {
+		return answers, errs
+	}
+	s.batches.Add(1)
+	s.batchQueries.Add(int64(len(qs)))
+	for _, q := range qs {
+		s.logQuery(q)
+	}
+	snap := s.st.Snapshot()
+	if s.cfg.Protection == DifferentialPrivacy && principal == "" {
+		// Same precedence as the serial path: the principal check precedes
+		// any evaluation, so nothing is computed for a caller who cannot be
+		// budget-accounted.
+		for i := range qs {
+			errs[i] = fmt.Errorf("sdcquery: differential privacy needs a principal for budget accounting: %w", dp.ErrNoPrincipal)
+		}
+		return answers, errs
+	}
+	keys := make([]string, len(qs))
+	cacheable := make([]bool, len(qs))
+	hit := make([]bool, len(qs))
+	hitA := make([]Answer, len(qs))
+	for i, q := range qs {
+		keys[i], cacheable[i] = s.cacheKey(principal, snap.Version(), q)
+		if !cacheable[i] {
+			continue
+		}
+		// For the stateless protections this probe is authoritative (cached
+		// answers are immutable pure functions of the key). Under DP it is
+		// only a skip-the-eval hint: the authoritative re-check runs under
+		// the flight stripe in askOne, so a racing eviction costs at worst
+		// one single-query evaluation, never a double ε debit.
+		if a, ok := s.cache.get(keys[i]); ok {
+			hit[i], hitA[i] = true, a
+		}
+	}
+	// Evaluate every miss in one sharded sweep. Queries that fail predicate
+	// compilation get their error now and are excluded — EvalBatch itself
+	// fails whole batches, so it only ever sees pre-validated conjunctions.
+	missIdx := make([]int, 0, len(qs))
+	batch := make([][]store.Cond, 0, len(qs))
+	for i, q := range qs {
+		if hit[i] {
+			continue
+		}
+		conds, err := s.storeConds(snap, q.Where)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		missIdx = append(missIdx, i)
+		batch = append(batch, conds)
+	}
+	bms := make(map[int]*store.Bitmap, len(missIdx))
+	if len(batch) > 0 {
+		var evaled []*store.Bitmap
+		var err error
+		if s.cfg.ForceScan {
+			evaled = make([]*store.Bitmap, len(batch))
+			for k, conds := range batch {
+				if evaled[k], err = snap.EvalScan(conds); err != nil {
+					break
+				}
+			}
+		} else {
+			evaled, err = snap.EvalBatch(batch)
+		}
+		if err != nil {
+			// Unreachable for pre-compiled conjunctions; fail the affected
+			// queries rather than the process if it ever happens.
+			for _, i := range missIdx {
+				errs[i] = err
+			}
+			return answers, errs
+		}
+		for k, i := range missIdx {
+			bms[i] = evaled[k]
+		}
+	}
+	// Answer in submission order so the stateful protections mutate their
+	// history exactly like the equivalent serial AskAs loop.
+	for i, q := range qs {
+		if errs[i] != nil {
+			continue
+		}
+		if hit[i] {
+			a := hitA[i]
+			if a.Budgeted {
+				a.EpsilonRemaining = s.ledger.Remaining(principal, s.cfg.DatasetID)
+			}
+			answers[i] = a
+			continue
+		}
+		answers[i], errs[i] = s.askOne(principal, snap, q, keys[i], cacheable[i], bms[i])
+	}
+	return answers, errs
 }
 
 // fnvStripe maps a key to one of n lock stripes via FNV-1a.
@@ -602,14 +750,24 @@ func (s *Server) cacheKey(principal string, version uint64, q Query) (string, bo
 // query-set evaluation — index range scans intersected into a bitmap —
 // always runs outside any server-wide lock (the snapshot is immutable);
 // only the stateful protections then serialize, on stateMu, around their
-// atomic check-and-commit.
-func (s *Server) answer(principal string, snap *store.Snapshot, q Query) (Answer, error) {
-	if s.cfg.Protection == DifferentialPrivacy {
-		return s.dpAnswer(principal, snap, q)
+// atomic check-and-commit. bm, when non-nil, is the already-evaluated
+// query set (the batched miss path); protection dispatch is identical
+// either way, so a precomputed bitmap cannot change a single answer byte.
+func (s *Server) answer(principal string, snap *store.Snapshot, q Query, bm *store.Bitmap) (Answer, error) {
+	if s.cfg.Protection == DifferentialPrivacy && principal == "" {
+		// Checked before any evaluation, matching the historical precedence:
+		// an unidentified DP caller learns nothing, not even whether the
+		// predicate compiles.
+		return Answer{}, fmt.Errorf("sdcquery: differential privacy needs a principal for budget accounting: %w", dp.ErrNoPrincipal)
 	}
-	bm, err := s.eval(snap, q.Where)
-	if err != nil {
-		return Answer{}, err
+	if bm == nil {
+		var err error
+		if bm, err = s.eval(snap, q.Where); err != nil {
+			return Answer{}, err
+		}
+	}
+	if s.cfg.Protection == DifferentialPrivacy {
+		return s.dpAnswer(principal, snap, q, bm)
 	}
 	n := bm.Count()
 	switch s.cfg.Protection {
@@ -652,23 +810,33 @@ func (s *Server) answer(principal string, snap *store.Snapshot, q Query) (Answer
 	}
 }
 
-// eval answers the predicate over the snapshot as a row bitmap — via the
-// segment indexes by default, via the compiled scan under Config.ForceScan.
-// The predicate is validated against the schema first so error text matches
-// the library evaluator (Predicate.Compile) byte for byte.
-func (s *Server) eval(snap *store.Snapshot, p Predicate) (*store.Bitmap, error) {
+// storeConds validates the predicate against the schema and lowers it to
+// store conditions. Validation runs through Predicate.Compile so the error
+// text matches the library evaluator byte for byte, and the conditions are
+// built from the compiled form, not the raw one: Compile has already
+// resolved each condition's kind (including the lenient
+// zero-valued-Cond-as-empty-string case), so the store sees exactly the
+// comparison the library evaluator will run.
+func (s *Server) storeConds(snap *store.Snapshot, p Predicate) ([]store.Cond, error) {
 	attrs := snap.Attrs()
 	cp, err := p.Compile(attrs)
 	if err != nil {
 		return nil, err
 	}
-	// Build the store conditions from the compiled form, not the raw one:
-	// Compile has already resolved each condition's kind (including the
-	// lenient zero-valued-Cond-as-empty-string case), so the store sees
-	// exactly the comparison the library evaluator will run.
 	conds := make([]store.Cond, len(cp.conds))
 	for i, c := range cp.conds {
 		conds[i] = store.Cond{Col: attrs[c.col].Name, Op: store.Op(c.op), V: c.v, S: c.s, Str: !c.numeric}
+	}
+	return conds, nil
+}
+
+// eval answers the predicate over the snapshot as a row bitmap — via the
+// sharded segment indexes by default, via the compiled scan under
+// Config.ForceScan.
+func (s *Server) eval(snap *store.Snapshot, p Predicate) (*store.Bitmap, error) {
+	conds, err := s.storeConds(snap, p)
+	if err != nil {
+		return nil, err
 	}
 	if s.cfg.ForceScan {
 		return snap.EvalScan(conds)
@@ -730,22 +898,15 @@ func (s *Server) perturbNoise(version uint64, q Query) float64 {
 
 // --- differential privacy ------------------------------------------------
 
-// dpAnswer releases the query under the calibrated-noise mechanism and
-// debits the principal's ε budget. The order matters for both privacy and
+// dpAnswer releases the evaluated query set bm under the calibrated-noise
+// mechanism and debits the principal's ε budget (answer has already
+// rejected unidentified callers). The order matters for both privacy and
 // accounting: the true answer and its sensitivity are computed first (no
 // side effects), then the ledger check-and-debit runs atomically — a
 // refused query releases nothing and costs nothing — and only a granted
-// charge proceeds to noise derivation. Errors wrap dp.ErrNoPrincipal
-// (unidentified caller) and dp.ErrBudgetExhausted (ε spent); both carry
-// no information about the data.
-func (s *Server) dpAnswer(principal string, snap *store.Snapshot, q Query) (Answer, error) {
-	if principal == "" {
-		return Answer{}, fmt.Errorf("sdcquery: differential privacy needs a principal for budget accounting: %w", dp.ErrNoPrincipal)
-	}
-	bm, err := s.eval(snap, q.Where)
-	if err != nil {
-		return Answer{}, err
-	}
+// charge proceeds to noise derivation. Errors wrap dp.ErrBudgetExhausted
+// (ε spent) and carry no information about the data.
+func (s *Server) dpAnswer(principal string, snap *store.Snapshot, q Query, bm *store.Bitmap) (Answer, error) {
 	n := bm.Count()
 	var agg dp.Aggregate
 	var bounds dp.Bounds

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"math/bits"
 	"testing"
 
 	"privacy3d/internal/dataset"
@@ -52,5 +53,113 @@ func BenchmarkEvalScan100k(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = snap.Sum(bm, bp)
+	}
+}
+
+// BenchmarkEvalBatch8x100k evaluates eight predicates in one sharded column
+// sweep; BenchmarkEvalLoop8x100k answers the same eight one Eval at a time —
+// the pair quantifies what the batch amortises.
+func batchBenchShapes() [][]Cond {
+	out := make([][]Cond, 8)
+	for k := range out {
+		out[k] = []Cond{
+			{Col: "height", Op: Ge, V: float64(150 + 4*k)},
+			{Col: "height", Op: Lt, V: float64(152 + 4*k)},
+			{Col: "aids", Op: Eq, S: "Y", Str: true},
+		}
+	}
+	return out
+}
+
+func BenchmarkEvalBatch8x100k(b *testing.B) {
+	snap := benchSnapshot(b, 100_000)
+	shapes := batchBenchShapes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.EvalBatch(shapes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalLoop8x100k(b *testing.B) {
+	snap := benchSnapshot(b, 100_000)
+	shapes := batchBenchShapes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, conds := range shapes {
+			if _, err := snap.Eval(conds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// sumFullSweep is the pre-optimisation Sum loop (no zero-word or zero-
+// segment skipping), kept as the baseline BenchmarkSumSparse* measures the
+// popcount-guided skip against. Identical summation order, so both produce
+// the same float64 bit pattern.
+func sumFullSweep(s *Snapshot, bm *Bitmap, col int) float64 {
+	var sum float64
+	for _, sg := range s.segs {
+		colv := sg.nums[col]
+		words := sg.window(bm.words)
+		for wi, w := range words {
+			base := wi << 6
+			for w != 0 {
+				sum += colv[base+bits.TrailingZeros64(w)]
+				w &= w - 1
+			}
+		}
+	}
+	if s.tailLen > 0 {
+		base := len(s.segs) * s.store.segSize
+		colv := s.tailNums[col]
+		for i := 0; i < s.tailLen; i++ {
+			if bm.Get(base + i) {
+				sum += colv[i]
+			}
+		}
+	}
+	return sum
+}
+
+// sparseBenchBitmap selects one narrow height band: a handful of rows
+// spread over a 100k-row store, leaving almost every bitmap word zero.
+func sparseBenchBitmap(b *testing.B, snap *Snapshot) *Bitmap {
+	b.Helper()
+	bm, err := snap.Eval([]Cond{
+		{Col: "height", Op: Ge, V: 190},
+		{Col: "height", Op: Lt, V: 190.2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n := bm.Count(); n == 0 || n > 2000 {
+		b.Fatalf("sparse selection has %d rows", n)
+	}
+	return bm
+}
+
+func BenchmarkSumSparse100k(b *testing.B) {
+	snap := benchSnapshot(b, 100_000)
+	bm := sparseBenchBitmap(b, snap)
+	bp := snap.Index("blood_pressure")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap.Sum(bm, bp)
+	}
+}
+
+func BenchmarkSumSparseFullSweep100k(b *testing.B) {
+	snap := benchSnapshot(b, 100_000)
+	bm := sparseBenchBitmap(b, snap)
+	bp := snap.Index("blood_pressure")
+	if a, o := snap.Sum(bm, bp), sumFullSweep(snap, bm, bp); a != o {
+		b.Fatalf("skip-optimised Sum %g differs from full sweep %g", a, o)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sumFullSweep(snap, bm, bp)
 	}
 }

@@ -1,0 +1,285 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"privacy3d/internal/par"
+)
+
+// Sharded scatter-gather execution. Sealed segments are partitioned into
+// shards — goroutine-owned groups of segments — and a query scatters one
+// task per non-empty shard (plus one for the unindexed tail) instead of one
+// task per segment. Each shard task walks its own segments sequentially,
+// reusing one pooled scratch window across all of them, so the per-segment
+// allocation and per-segment scheduling the flat fan-out paid are gone from
+// the hot path.
+//
+// Determinism. The segment→shard assignment is a pure function of the
+// segment's ordinal (shardOf), so it never moves as the store grows: new
+// segments hash onto shards, existing ones stay put, and every snapshot
+// pins the per-shard segment lists it was published with (copy-on-write at
+// seal time, exactly like the flat segment list). Because every segment
+// owns a disjoint word-aligned window of the snapshot bitmap, the shards
+// write disjoint words and the gathered bitmap is exact — byte-identical to
+// the single-threaded single-query path at any worker or shard count.
+// Aggregates then run off the bitmap in ascending row order (Sum), so no
+// float ever re-associates: the scatter parallelises predicate evaluation,
+// never the summation order.
+
+// DefaultShards is the number of segment shards a store partitions sealed
+// segments across. Sixteen keeps at least two shards per worker at the
+// benchmark's workers=8 sweep, so work stealing can balance uneven shards.
+const DefaultShards = 16
+
+// shardOf maps a segment ordinal to its shard: a splitmix64 finalizer over
+// the ordinal, reduced modulo the shard count. Pure and stateless, so the
+// assignment is identical across snapshots, stores and processes.
+func shardOf(seg, shards int) int {
+	x := uint64(seg) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// rebuildShardsLocked regroups the sealed segment list into fresh per-shard
+// lists (ascending base within each shard, since segments are visited in
+// ordinal order). The old lists are never mutated — snapshots pinned before
+// a seal keep reading them.
+func (s *Store) rebuildShardsLocked() {
+	byShard := make([][]*segment, s.shards)
+	for i, sg := range s.segs {
+		sh := shardOf(i, s.shards)
+		byShard[sh] = append(byShard[sh], sg)
+	}
+	s.byShard = byShard
+}
+
+// Shards returns the store's shard count.
+func (s *Store) Shards() int { return s.shards }
+
+// Shards returns the shard count of the snapshot's store.
+func (s *Snapshot) Shards() int { return s.store.shards }
+
+// getScratch leases a segment-width scratch window from the store's pool;
+// putScratch returns it. Scratch is always zeroed before use by the
+// evaluation kernels (segment.step), so a dirty reused window is fine.
+func (s *Store) getScratch() *[]uint64 {
+	s.scratchGets.Add(1)
+	return s.scratch.Get().(*[]uint64)
+}
+
+func (s *Store) putScratch(ws *[]uint64) { s.scratch.Put(ws) }
+
+// ScratchStats reports the scratch pool's lifetime leases and how many of
+// them had to allocate a fresh window (pool miss). The pooled-bitmap hit
+// rate gauge is (gets-news)/gets.
+func (s *Store) ScratchStats() (gets, news int64) {
+	return s.scratchGets.Load(), s.scratchNews.Load()
+}
+
+// SegmentEvals reports the cumulative number of sealed segments scheduled
+// for evaluation across all Eval/EvalScan/EvalBatch calls — the raw work
+// volume the shards carried.
+func (s *Store) SegmentEvals() int64 { return s.segEvals.Load() }
+
+// scatter fans perSeg out across the snapshot's shards on the default
+// worker pool: one task per non-empty shard, each walking its segments in
+// ascending base order with one pooled scratch window, plus one task for
+// the unindexed tail. The per-shard segment counts are gathered in shard
+// order (par.MapTasks) and folded into the store's work counter with a
+// single atomic add — no per-segment synchronisation anywhere.
+func (s *Snapshot) scatter(perSeg func(sg *segment, scratch []uint64), tail func()) {
+	active := make([]int, 0, len(s.byShard))
+	for i := range s.byShard {
+		if len(s.byShard[i]) > 0 {
+			active = append(active, i)
+		}
+	}
+	tasks := len(active)
+	if s.tailLen > 0 {
+		tasks++
+	}
+	if tasks == 0 {
+		return
+	}
+	counts := par.MapTasks(par.Default(), tasks, func(t int) int {
+		if t >= len(active) {
+			tail()
+			return 0
+		}
+		segs := s.byShard[active[t]]
+		sw := s.store.getScratch()
+		for _, sg := range segs {
+			perSeg(sg, *sw)
+		}
+		s.store.putScratch(sw)
+		return len(segs)
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	s.store.segEvals.Add(int64(total))
+}
+
+// evalTail scans the unindexed open tail with the compiled conjunction.
+func (s *Snapshot) evalTail(cc []compiledCond, bm *Bitmap) {
+	base := len(s.segs) * s.store.segSize
+	for i := 0; i < s.tailLen; i++ {
+		if s.matchTail(cc, i) {
+			bm.Set(base + i)
+		}
+	}
+}
+
+// window returns the segment's word-aligned window of the bitmap's words.
+func (sg *segment) window(words []uint64) []uint64 {
+	return words[sg.base>>6 : (sg.base+sg.n+63)>>6]
+}
+
+// Eval answers the conjunction via the segment indexes: the conjunction is
+// planned once (range conditions on one column merge into a single
+// interval), then the plan scatters across the shards — each shard task
+// evaluates its own segments locally (zone-map skip, sorted-index binary
+// search, word-parallel intersection) into the segment's disjoint window of
+// the snapshot bitmap, reusing one pooled scratch window — and the
+// unindexed tail falls back to a compiled scan. The gathered bitmap is
+// exact, so the parallelism cannot perturb any answer: byte-identical to
+// the single-threaded path at every worker and shard count.
+func (s *Snapshot) Eval(conds []Cond) (*Bitmap, error) {
+	cc, err := s.compile(conds)
+	if err != nil {
+		return nil, err
+	}
+	bm := NewBitmap(s.rows)
+	if len(cc) == 0 {
+		bm.SetAll()
+		return bm, nil
+	}
+	p := planConds(cc)
+	if p.empty {
+		return bm, nil
+	}
+	s.scatter(
+		func(sg *segment, scratch []uint64) { sg.eval(p, sg.window(bm.words), scratch) },
+		func() { s.evalTail(cc, bm) },
+	)
+	return bm, nil
+}
+
+// EvalScan answers the conjunction by a compiled row-at-a-time sweep over
+// every segment and the tail — the reference path the indexes must stay
+// byte-identical to, and the fallback a -scan server runs. It scatters over
+// the same shards as Eval, so indexed-vs-scan benchmarks compare index
+// structure, not scheduling.
+func (s *Snapshot) EvalScan(conds []Cond) (*Bitmap, error) {
+	cc, err := s.compile(conds)
+	if err != nil {
+		return nil, err
+	}
+	bm := NewBitmap(s.rows)
+	if len(cc) == 0 {
+		bm.SetAll()
+		return bm, nil
+	}
+	s.scatter(
+		func(sg *segment, _ []uint64) {
+			w := sg.window(bm.words)
+			for i := 0; i < sg.n; i++ {
+				if matchRow(cc, sg.nums, sg.cats, i) {
+					setBit(w, uint32(i))
+				}
+			}
+		},
+		func() { s.evalTail(cc, bm) },
+	)
+	return bm, nil
+}
+
+// EvalBatch evaluates a matrix of conjunctions in one column sweep per
+// shard: every shard task visits each of its segments once and tests all
+// planned conjunctions against it while the segment's columns and indexes
+// are hot — the cache-locality amortisation the PIR AnswerBatch kernel gets
+// from answering a query matrix in one database pass, applied to the
+// answer-cache miss path. Each query gets its own bitmap, produced by
+// exactly the per-segment operations Eval would run for it alone, so every
+// batched bitmap is word-identical to the corresponding single-query Eval.
+// An uncompilable conjunction fails the whole batch (callers validating
+// queries individually should compile them first).
+func (s *Snapshot) EvalBatch(batch [][]Cond) ([]*Bitmap, error) {
+	out := make([]*Bitmap, len(batch))
+	ccs := make([][]compiledCond, len(batch))
+	plans := make([]*plan, len(batch))
+	active := make([]int, 0, len(batch)) // queries that must visit segments
+	for k, conds := range batch {
+		cc, err := s.compile(conds)
+		if err != nil {
+			return nil, fmt.Errorf("store: batch query %d: %w", k, err)
+		}
+		out[k] = NewBitmap(s.rows)
+		if len(cc) == 0 {
+			out[k].SetAll()
+			continue
+		}
+		p := planConds(cc)
+		if p.empty {
+			continue
+		}
+		ccs[k], plans[k] = cc, p
+		active = append(active, k)
+	}
+	if len(active) == 0 {
+		return out, nil
+	}
+	s.scatter(
+		func(sg *segment, scratch []uint64) {
+			for _, k := range active {
+				sg.eval(plans[k], sg.window(out[k].words), scratch)
+			}
+		},
+		func() {
+			base := len(s.segs) * s.store.segSize
+			for i := 0; i < s.tailLen; i++ {
+				for _, k := range active {
+					if s.matchTail(ccs[k], i) {
+						out[k].Set(base + i)
+					}
+				}
+			}
+		},
+	)
+	return out, nil
+}
+
+// shardState is the store's sharded-execution state, embedded in Store so
+// the constructor can initialise it in one place.
+type shardState struct {
+	shards  int
+	byShard [][]*segment // shard → sealed segments ascending by base; replaced at seal
+
+	scratch     sync.Pool // *[]uint64 of segSize/64 words
+	scratchGets atomic.Int64
+	scratchNews atomic.Int64
+	segEvals    atomic.Int64
+}
+
+// initShards sets up the shard state for a store with the given segment
+// size. shards ≤ 0 selects DefaultShards.
+func (st *shardState) initShards(shards, segSize int) {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	st.shards = shards
+	st.byShard = make([][]*segment, shards)
+	words := segSize >> 6
+	st.scratch.New = func() any {
+		st.scratchNews.Add(1)
+		ws := make([]uint64, words)
+		return &ws
+	}
+}

@@ -88,8 +88,9 @@ func (s *Store) mustAppendRow(t *testing.T, i int) {
 	}
 }
 
-// TestVersionMonotonic pins that Version is the row count and moves only
-// forward — the property answer-cache keys rely on.
+// TestVersionMonotonic pins that Version is a publish counter that moves
+// only forward, one step per Append — the property answer-cache and noise
+// keys rely on.
 func TestVersionMonotonic(t *testing.T) {
 	s, err := New(testSchema(), 64)
 	if err != nil {

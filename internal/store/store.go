@@ -30,6 +30,9 @@
 // run off the bitmap: COUNT is a popcount, SUM/AVG a bitmap-driven sweep
 // of the column in ascending row order — the identical float64 summation
 // order as the scan path, so indexed answers are byte-identical to it.
+// Sealed segments are partitioned into goroutine-owned shards and queries
+// scatter one task per shard rather than per segment; see shard.go for the
+// execution model and the determinism argument.
 package store
 
 import (
@@ -39,7 +42,6 @@ import (
 	"sync/atomic"
 
 	"privacy3d/internal/dataset"
-	"privacy3d/internal/par"
 )
 
 // DefaultSegmentSize is the number of rows per sealed segment. It must be a
@@ -133,13 +135,24 @@ type Store struct {
 	tailNums [][]float64
 	tailCats [][]uint32
 	tailLen  int
+	version  uint64 // publish counter; bumped by publishLocked
+
+	shardState
 
 	snap atomic.Pointer[Snapshot]
 }
 
-// New creates an empty store with the given schema. segSize ≤ 0 selects
-// DefaultSegmentSize; other values must be positive multiples of 64.
+// New creates an empty store with the given schema and the default shard
+// count. segSize ≤ 0 selects DefaultSegmentSize; other values must be
+// positive multiples of 64.
 func New(attrs []dataset.Attribute, segSize int) (*Store, error) {
+	return NewSharded(attrs, segSize, 0)
+}
+
+// NewSharded creates an empty store partitioned into the given number of
+// segment shards (≤ 0 selects DefaultShards). The shard count is fixed for
+// the store's lifetime: segment→shard assignment is deterministic in it.
+func NewSharded(attrs []dataset.Attribute, segSize, shards int) (*Store, error) {
 	if segSize <= 0 {
 		segSize = DefaultSegmentSize
 	}
@@ -154,15 +167,24 @@ func New(attrs []dataset.Attribute, segSize int) (*Store, error) {
 		segSize: segSize,
 		dict:    newDict(),
 	}
+	s.initShards(shards, segSize)
 	s.freshTail()
+	s.mu.Lock()
 	s.publishLocked()
+	s.mu.Unlock()
 	return s, nil
 }
 
 // FromDataset builds a store holding a copy of d's rows (column-wise bulk
 // ingest; d is not retained).
 func FromDataset(d *dataset.Dataset, segSize int) (*Store, error) {
-	s, err := New(d.Attrs(), segSize)
+	return FromDatasetSharded(d, segSize, 0)
+}
+
+// FromDatasetSharded is FromDataset with an explicit shard count (≤ 0
+// selects DefaultShards).
+func FromDatasetSharded(d *dataset.Dataset, segSize, shards int) (*Store, error) {
+	s, err := NewSharded(d.Attrs(), segSize, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -196,14 +218,22 @@ func (s *Store) sealLocked() {
 	copy(segs, s.segs)
 	segs[len(s.segs)] = sg
 	s.segs = segs
+	s.rebuildShardsLocked()
 	s.freshTail()
 }
 
-// publishLocked installs the current state as the live snapshot.
+// publishLocked installs the current state as the live snapshot and bumps
+// the publish counter that becomes the snapshot's version. The counter —
+// not the row count — is the version so that two publishes with equal row
+// counts but different content (future delete/compact paths, FromDataset
+// rebuilds) can never collide on answer-cache or noise keys.
 func (s *Store) publishLocked() {
+	s.version++
 	sn := &Snapshot{
 		store:   s,
 		segs:    s.segs,
+		byShard: s.byShard,
+		version: s.version,
 		tailLen: s.tailLen,
 		rows:    len(s.segs)*s.segSize + s.tailLen,
 	}
@@ -310,9 +340,10 @@ func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
 // Rows returns the current row count.
 func (s *Store) Rows() int { return s.Snapshot().rows }
 
-// Version returns the current version (the row count — the store is
-// append-only, so it is monotonic and identifies the visible data).
-func (s *Store) Version() uint64 { return uint64(s.Rows()) }
+// Version returns the current version: a monotonic publish counter bumped
+// on every snapshot publication, so it uniquely identifies the visible
+// data even across publishes that leave the row count unchanged.
+func (s *Store) Version() uint64 { return s.Snapshot().version }
 
 // Attrs returns the schema. The returned slice must not be modified.
 func (s *Store) Attrs() []dataset.Attribute { return s.attrs }
@@ -336,6 +367,8 @@ func (s *Store) Index(name string) int {
 type Snapshot struct {
 	store    *Store
 	segs     []*segment
+	byShard  [][]*segment // shard → sealed segments, pinned at publish
+	version  uint64
 	tailNums [][]float64
 	tailCats [][]uint32
 	tailLen  int
@@ -345,10 +378,11 @@ type Snapshot struct {
 // Rows returns the snapshot's row count.
 func (s *Snapshot) Rows() int { return s.rows }
 
-// Version identifies the snapshot (its row count; the store is
-// append-only). Answer caches key on it so answers computed against one
-// version are never served for another.
-func (s *Snapshot) Version() uint64 { return uint64(s.rows) }
+// Version identifies the snapshot: the store's publish counter at pin
+// time. Answer caches and noise keys embed it so answers computed against
+// one version are never served for another — including publishes that kept
+// the row count unchanged.
+func (s *Snapshot) Version() uint64 { return s.version }
 
 // Attrs returns the schema.
 func (s *Snapshot) Attrs() []dataset.Attribute { return s.store.attrs }
@@ -391,90 +425,6 @@ func (s *Snapshot) compile(conds []Cond) ([]compiledCond, error) {
 		out[i] = cc
 	}
 	return out, nil
-}
-
-// Eval answers the conjunction via the segment indexes: the conjunction is
-// planned once (range conditions on one column merge into a single
-// interval), then per segment each conjunct becomes a permutation range set
-// into the segment's word window (zone maps skip or accept whole segments),
-// conjuncts intersect word-parallel, and the unindexed tail falls back to a
-// compiled scan. Segments evaluate concurrently on the default worker pool
-// — each owns a disjoint word-aligned window, so no synchronisation is
-// needed, and the bitmap is exact, so the parallelism cannot perturb any
-// answer.
-func (s *Snapshot) Eval(conds []Cond) (*Bitmap, error) {
-	cc, err := s.compile(conds)
-	if err != nil {
-		return nil, err
-	}
-	bm := NewBitmap(s.rows)
-	if len(cc) == 0 {
-		bm.SetAll()
-		return bm, nil
-	}
-	p := planConds(cc)
-	if p.empty {
-		return bm, nil
-	}
-	tasks := len(s.segs)
-	if s.tailLen > 0 {
-		tasks++
-	}
-	par.Default().Tasks(tasks, func(t int) {
-		if t < len(s.segs) {
-			sg := s.segs[t]
-			w := bm.words[sg.base>>6 : (sg.base+sg.n+63)>>6]
-			sg.eval(p, w, make([]uint64, len(w)))
-			return
-		}
-		base := len(s.segs) * s.store.segSize
-		for i := 0; i < s.tailLen; i++ {
-			if s.matchTail(cc, i) {
-				bm.Set(base + i)
-			}
-		}
-	})
-	return bm, nil
-}
-
-// EvalScan answers the conjunction by a compiled row-at-a-time sweep over
-// every segment and the tail — the reference path the indexes must stay
-// byte-identical to, and the fallback a -scan server runs. It parallelises
-// over segments exactly like Eval, so indexed-vs-scan benchmarks compare
-// index structure, not scheduling.
-func (s *Snapshot) EvalScan(conds []Cond) (*Bitmap, error) {
-	cc, err := s.compile(conds)
-	if err != nil {
-		return nil, err
-	}
-	bm := NewBitmap(s.rows)
-	if len(cc) == 0 {
-		bm.SetAll()
-		return bm, nil
-	}
-	tasks := len(s.segs)
-	if s.tailLen > 0 {
-		tasks++
-	}
-	par.Default().Tasks(tasks, func(t int) {
-		if t < len(s.segs) {
-			sg := s.segs[t]
-			w := bm.words[sg.base>>6 : (sg.base+sg.n+63)>>6]
-			for i := 0; i < sg.n; i++ {
-				if matchRow(cc, sg.nums, sg.cats, i) {
-					setBit(w, uint32(i))
-				}
-			}
-			return
-		}
-		base := len(s.segs) * s.store.segSize
-		for i := 0; i < s.tailLen; i++ {
-			if s.matchTail(cc, i) {
-				bm.Set(base + i)
-			}
-		}
-	})
-	return bm, nil
 }
 
 // matchTail evaluates the compiled conjunction against tail row i.
@@ -522,17 +472,29 @@ func (s *Snapshot) Count(bm *Bitmap) int { return bm.Count() }
 
 // Sum adds up column col over the rows of bm in ascending row order — the
 // identical float64 summation order as a sequential scan, which is what
-// keeps indexed SUM/AVG answers byte-identical to the scan path. It panics
-// if col is not numeric, mirroring dataset.NumColumn.
+// keeps indexed SUM/AVG answers byte-identical to the scan path. Zero
+// words contribute nothing to the sum, so they are skipped before any bit
+// iteration, and a segment whose whole window is zero is skipped before
+// its column is even touched — sparse selections over wide segments pay
+// for the rows they select, not for the full sweep. Adding zero terms in
+// order and skipping them produce the same float64, so the skips cannot
+// change a single byte of the answer. It panics if col is not numeric,
+// mirroring dataset.NumColumn.
 func (s *Snapshot) Sum(bm *Bitmap, col int) float64 {
 	if s.store.attrs[col].Kind != dataset.Numeric {
 		panic(fmt.Sprintf("store: attribute %q is not numeric", s.store.attrs[col].Name))
 	}
 	var sum float64
 	for _, sg := range s.segs {
+		words := sg.window(bm.words)
+		if !anyWord(words) {
+			continue
+		}
 		colv := sg.nums[col]
-		words := bm.words[sg.base>>6 : (sg.base+sg.n+63)>>6]
 		for wi, w := range words {
+			if w == 0 {
+				continue
+			}
 			base := wi << 6
 			for w != 0 {
 				sum += colv[base+bits.TrailingZeros64(w)]

@@ -375,8 +375,9 @@ func TestAppendRowAndAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Rows() != 0 || s.Version() != 0 {
-		t.Fatalf("fresh store rows=%d version=%d", s.Rows(), s.Version())
+	v0 := s.Version() // the empty store is already published once
+	if s.Rows() != 0 || v0 == 0 {
+		t.Fatalf("fresh store rows=%d version=%d", s.Rows(), v0)
 	}
 	for i := 0; i < 130; i++ { // crosses two seal boundaries
 		if err := s.Append(float64(i), float64(-i), "a", "p"); err != nil {
@@ -384,8 +385,9 @@ func TestAppendRowAndAccessors(t *testing.T) {
 		}
 	}
 	snap := s.Snapshot()
-	if snap.Rows() != 130 || snap.Version() != 130 {
-		t.Fatalf("rows=%d version=%d, want 130", snap.Rows(), snap.Version())
+	// Version is a publish counter, not the row count: one publish per Append.
+	if snap.Rows() != 130 || snap.Version() != v0+130 {
+		t.Fatalf("rows=%d version=%d, want rows 130 version %d", snap.Rows(), snap.Version(), v0+130)
 	}
 	xj, cj := snap.Index("x"), snap.Index("c")
 	for _, i := range []int{0, 63, 64, 127, 128, 129} {
