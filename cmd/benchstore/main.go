@@ -97,6 +97,22 @@ type SnapshotGate struct {
 	Stable   bool `json:"stable"`
 }
 
+// PersistGate records the tiered-storage check: the dataset is ingested
+// into a data directory, the store closed, then reopened cold twice — once
+// uncapped and once with a resident-byte cap well below the dataset's
+// decoded footprint, so most answers read segments through the disk tier's
+// pager. Both reopens must answer the selective workload byte-identically
+// to the resident store.
+type PersistGate struct {
+	Rows          int   `json:"rows"`
+	Queries       int   `json:"queries"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	MemCap        int64 `json:"mem_cap"`
+	SpilledSegs   int   `json:"spilled_segments"`
+	PagerMisses   int64 `json:"pager_misses"`
+	Identical     bool  `json:"identical"`
+}
+
 // Report is the BENCH_store.json document.
 type Report struct {
 	Date            string  `json:"date"`
@@ -123,6 +139,7 @@ type Report struct {
 	Speedups         []Speedup     `json:"speedups"`
 	Scaling          *ScalingGate  `json:"scaling,omitempty"`
 	Snapshot         *SnapshotGate `json:"snapshot"`
+	Persist          *PersistGate  `json:"persist"`
 }
 
 func main() {
@@ -409,6 +426,17 @@ func run(rowsList, workersList string, shapes int, duration time.Duration, minSp
 			report.Snapshot = sg
 			log.Printf("rows=%-8d snapshot OK: %d re-evals bit-stable while %d rows ingested concurrently",
 				rows, sg.Reevals, sg.Ingested)
+
+			// Persistence gate, same size rationale: byte-identity across a
+			// close/reopen cycle and across the spilled tier does not depend
+			// on row count.
+			pg, err := persistGate(d, workloads[0].qs, selRefs)
+			if err != nil {
+				return err
+			}
+			report.Persist = pg
+			log.Printf("rows=%-8d persist OK: cold reopen byte-identical on %d queries; memcap %d of %d bytes kept %d segments spilled (%d pager misses)",
+				rows, pg.Queries, pg.MemCap, pg.ResidentBytes, pg.SpilledSegs, pg.PagerMisses)
 		}
 	}
 
@@ -601,4 +629,87 @@ func snapshotGate(d *dataset.Dataset, ingest, reevals int) (*SnapshotGate, error
 		return nil, fmt.Errorf("SNAPSHOT GATE FAILED: pinned snapshot grew to %d rows", snap.Rows())
 	}
 	return &SnapshotGate{Rows: d.Rows(), Ingested: ingest, Reevals: reevals, Stable: true}, nil
+}
+
+// persistGate ingests d into a temporary data directory, closes the store,
+// and reopens it cold twice: first uncapped, then with a resident-byte cap
+// at a quarter of the decoded footprint so most segments answer from the
+// disk tier. Every answer in both runs must match refs — the bit patterns
+// the resident identity gate already certified against the seed evaluator.
+func persistGate(d *dataset.Dataset, qs []sdcquery.Query, refs [][3]uint64) (*PersistGate, error) {
+	dir, err := os.MkdirTemp("", "benchstore-persist-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.CreateFromDataset(dir, d, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	residentBytes := st.TierStats().ResidentBytes
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	askAll := func(st *store.Store, label string) error {
+		srv, err := sdcquery.NewServerFromStore(st, sdcquery.Config{Protection: sdcquery.NoProtection, AnswerCacheCap: -1})
+		if err != nil {
+			st.Close()
+			return err
+		}
+		for i, q := range qs {
+			a, err := srv.Ask(q)
+			if err != nil {
+				srv.Close()
+				return fmt.Errorf("%s: Ask(%q): %w", label, q, err)
+			}
+			if answerBits(a) != refs[i] {
+				srv.Close()
+				return fmt.Errorf("PERSIST GATE FAILED: %s: %q answered %x, resident store %x",
+					label, q, answerBits(a), refs[i])
+			}
+		}
+		return nil
+	}
+
+	// Cold reopen, everything promotable: recovery must serve the exact
+	// sealed state the ingest committed.
+	st, err = store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("persist gate: reopen: %w", err)
+	}
+	if err := askAll(st, "cold open"); err != nil {
+		return nil, err
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	// Spill run: the cap keeps most of the dataset on disk, so answers read
+	// columns through the pager; they must still be bit-identical.
+	memCap := residentBytes / 4
+	if memCap < 1 {
+		memCap = 1 // a cap below one segment still admits one at a time
+	}
+	st, err = store.Open(dir, store.Options{MemCap: memCap})
+	if err != nil {
+		return nil, fmt.Errorf("persist gate: capped reopen: %w", err)
+	}
+	if err := askAll(st, fmt.Sprintf("memcap %d", memCap)); err != nil {
+		return nil, err
+	}
+	ts := st.TierStats()
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	if ts.Spilled == 0 {
+		return nil, fmt.Errorf("PERSIST GATE FAILED: memcap %d of %d bytes left no segment spilled", memCap, residentBytes)
+	}
+	return &PersistGate{
+		Rows: d.Rows(), Queries: len(qs),
+		ResidentBytes: residentBytes, MemCap: memCap,
+		SpilledSegs: ts.Spilled, PagerMisses: ts.PagerMisses,
+		Identical: true,
+	}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"privacy3d/internal/obs"
 	"privacy3d/internal/sdc"
 	"privacy3d/internal/sdcquery"
+	"privacy3d/internal/store"
 )
 
 // The -protect flag of serve/attack/query names a query-protection strategy
@@ -59,6 +60,8 @@ type serveOpts struct {
 	scan                                  *bool
 	shards                                *int
 	batchMax                              *int
+	datadir                               *string
+	memcap                                *int64
 }
 
 // serveFlags registers every flag of the serve command on fs.
@@ -91,7 +94,46 @@ func serveFlags(fs *flag.FlagSet) *serveOpts {
 		"segment shards evaluated in parallel per query (0 uses the default, 16; answers are byte-identical at any count)")
 	o.batchMax = fs.Int("batchmax", 0,
 		"queries accepted per POST /querybatch request (0 uses the default, 256; negative disables the endpoint)")
+	o.datadir = fs.String("datadir", "",
+		"directory for a durable columnar store (empty serves memory-only; a directory already holding a store is recovered, and -in must then be unset)")
+	o.memcap = fs.Int64("memcap", 0,
+		"with -datadir: resident-byte cap for sealed segments — segments beyond it spill to disk and answers stay byte-identical (0 keeps everything resident)")
 	return o
+}
+
+// validateServeStorage rejects bad storage flags before any data is loaded,
+// so misconfiguration surfaces as one clean error instead of a panic or a
+// half-built store directory. It returns whether datadir already holds a
+// store (the recovery path).
+func validateServeStorage(o *serveOpts) (recover bool, err error) {
+	if *o.shards < 0 {
+		return false, fmt.Errorf("serve: -shards must be >= 0, got %d", *o.shards)
+	}
+	if *o.memcap < 0 {
+		return false, fmt.Errorf("serve: -memcap must be >= 0, got %d", *o.memcap)
+	}
+	if *o.datadir == "" {
+		if *o.memcap > 0 {
+			return false, fmt.Errorf("serve: -memcap needs -datadir (there is no disk tier to spill to)")
+		}
+		return false, nil
+	}
+	if err := os.MkdirAll(*o.datadir, 0o755); err != nil {
+		return false, fmt.Errorf("serve: -datadir: %w", err)
+	}
+	probe, err := os.CreateTemp(*o.datadir, ".probe-*")
+	if err != nil {
+		return false, fmt.Errorf("serve: -datadir %s is not writable: %w", *o.datadir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	if store.Exists(*o.datadir) {
+		if *o.in != "" {
+			return false, fmt.Errorf("serve: -datadir %s already holds a store; recovery serves its committed rows, so -in must be unset (or point -datadir at a fresh directory)", *o.datadir)
+		}
+		return true, nil
+	}
+	return false, nil
 }
 
 // cmdServe exposes a protected statistical database over HTTP: POST /query
@@ -114,15 +156,9 @@ func cmdServe(args []string) error {
 	if err := applyWorkers(*workers); err != nil {
 		return err
 	}
-	var d *dataset.Dataset
-	var err error
-	if *in == "" {
-		d = dataset.Dataset2()
-	} else {
-		d, err = loadCSV(*in, *schema)
-		if err != nil {
-			return err
-		}
+	recovery, err := validateServeStorage(o)
+	if err != nil {
+		return err
 	}
 	prot, err := parseProtection(*protect)
 	if err != nil {
@@ -140,13 +176,42 @@ func cmdServe(args []string) error {
 	} else {
 		cfg.QueryLogCap = *logCap
 	}
-	srv, err := sdcquery.NewServer(d, cfg)
-	if err != nil {
-		return err
+	var srv *sdcquery.Server
+	if recovery {
+		st, err := store.Open(*o.datadir, store.Options{
+			SegmentSize: *o.segment, Shards: *o.shards, MemCap: *o.memcap,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: recover %s: %w", *o.datadir, err)
+		}
+		srv, err = sdcquery.NewServerFromStore(st, cfg)
+		if err != nil {
+			st.Close()
+			return err
+		}
+	} else {
+		var d *dataset.Dataset
+		if *in == "" {
+			d = dataset.Dataset2()
+		} else {
+			d, err = loadCSV(*in, *schema)
+			if err != nil {
+				return err
+			}
+		}
+		cfg.DataDir, cfg.MemCap = *o.datadir, *o.memcap
+		srv, err = sdcquery.NewServer(d, cfg)
+		if err != nil {
+			return err
+		}
 	}
+	// Close commits the durable store's final state (tail included) and
+	// releases its directory lock once the server has drained.
+	defer srv.Close()
 	logger := log.Default()
 	reg := obs.NewRegistry()
 	obs.RegisterParallelism(reg)
+	obs.RegisterStoreTiers(reg)
 	// Route per-method masking metrics (sdc_apply_total, sdc_apply_seconds)
 	// from the /protect endpoint into this registry.
 	sdc.Instrument(reg)
@@ -160,7 +225,14 @@ func cmdServe(args []string) error {
 		obs.Recover(reg, logger),
 		obs.Timeout(*reqTimeout),
 	)
-	logger.Printf("serving %d records with %s protection on %s", d.Rows(), prot, *addr)
+	logger.Printf("serving %d records with %s protection on %s", srv.Rows(), prot, *addr)
+	if *o.datadir != "" {
+		mode := "created"
+		if recovery {
+			mode = "recovered"
+		}
+		logger.Printf("durable store %s in %s (memcap %d bytes; tier gauges at GET /metrics)", mode, *o.datadir, *o.memcap)
+	}
 	if prot == sdcquery.DifferentialPrivacy {
 		logger.Printf("dp: ε=%g per query, budget %g per principal; queries must carry the %s header",
 			*epsilon, *budget, sdcquery.PrincipalHeader)

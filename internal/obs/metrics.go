@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"privacy3d/internal/par"
+	"privacy3d/internal/store"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -257,6 +258,22 @@ func sortedKeys[V any](m map[string]V) []string {
 // serving layer's parallelism is visible at GET /metrics.
 func RegisterParallelism(r *Registry) {
 	r.Gauge("par_workers", func() float64 { return float64(par.Workers()) })
+}
+
+// RegisterStoreTiers registers the storage-tier gauges: how many sealed
+// segments currently sit in memory versus on disk across the process's
+// live stores, and the cumulative pager cache traffic behind the spilled
+// tier. A serve process without a data directory reports its whole store
+// resident and an idle pager.
+func RegisterStoreTiers(r *Registry) {
+	gauge := func(pick func(resident, spilled, hits, misses, evictions int64) int64) func() float64 {
+		return func() float64 { return float64(pick(store.TierGauges())) }
+	}
+	r.Gauge("store_segments_resident", gauge(func(resident, _, _, _, _ int64) int64 { return resident }))
+	r.Gauge("store_segments_spilled", gauge(func(_, spilled, _, _, _ int64) int64 { return spilled }))
+	r.Gauge("store_pager_hits", gauge(func(_, _, hits, _, _ int64) int64 { return hits }))
+	r.Gauge("store_pager_misses", gauge(func(_, _, _, misses, _ int64) int64 { return misses }))
+	r.Gauge("store_pager_evictions", gauge(func(_, _, _, _, evictions int64) int64 { return evictions }))
 }
 
 // Handler serves the registry as GET /metrics plain text.

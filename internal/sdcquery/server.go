@@ -276,6 +276,18 @@ type Config struct {
 	// Answers are byte-identical at any shard count; the knob trades
 	// scheduling granularity against per-shard locality.
 	Shards int
+	// DataDir makes the backing store durable: sealed segments spill to
+	// checksummed files under this directory behind a manifest, so the
+	// served data survives restarts (store.Open + NewServerFromStore
+	// recovers it). Empty keeps the store memory-only. NewServer creates a
+	// fresh store here and fails if the directory already holds one.
+	DataDir string
+	// MemCap caps the decoded resident bytes of sealed segments when
+	// DataDir is set (0 = uncapped): segments beyond the cap are evicted
+	// after being persisted and read back through the pager on demand,
+	// letting the served dataset exceed RAM. Answers are byte-identical
+	// across tiers.
+	MemCap int64
 }
 
 // Server is an interactively queryable statistical database. It records
@@ -338,10 +350,50 @@ type Server struct {
 	batchQueries atomic.Int64
 }
 
-// NewServer wraps a dataset in a protected query interface.
+// NewServer wraps a dataset in a protected query interface. With
+// cfg.DataDir set, the backing columnar store is created durable in that
+// directory (which must not already contain a store — recover an existing
+// one with store.Open + NewServerFromStore instead).
 func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
 	if d == nil || d.Rows() == 0 {
 		return nil, fmt.Errorf("sdcquery: server needs a non-empty dataset")
+	}
+	var (
+		st  *store.Store
+		err error
+	)
+	if cfg.DataDir != "" {
+		st, err = store.CreateFromDataset(cfg.DataDir, d, store.Options{
+			SegmentSize: cfg.SegmentSize,
+			Shards:      cfg.Shards,
+			MemCap:      cfg.MemCap,
+		})
+	} else {
+		st, err = store.FromDatasetSharded(d, cfg.SegmentSize, cfg.Shards)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewServerFromStore(st, cfg)
+	if err != nil {
+		if cfg.DataDir != "" {
+			st.Close()
+		}
+		return nil, err
+	}
+	// Retain the construction-time dataset so Dataset() can hand it back
+	// without materializing while nothing has been ingested.
+	s.d = d
+	return s, nil
+}
+
+// NewServerFromStore serves an existing columnar store — the recovery
+// path: store.Open(datadir) hands back the last committed sealed state and
+// this wraps it in the same protected query interface NewServer builds.
+// The server takes ownership of the store; Close releases it.
+func NewServerFromStore(st *store.Store, cfg Config) (*Server, error) {
+	if st == nil || st.Rows() == 0 {
+		return nil, fmt.Errorf("sdcquery: server needs a non-empty store")
 	}
 	if cfg.MinSetSize <= 0 {
 		cfg.MinSetSize = 3
@@ -384,21 +436,16 @@ func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
 	// below MinSetSize or above Rows−MinSetSize, so the server would deny
 	// every query it will ever see. That is a configuration error, not a
 	// server.
-	if cfg.Protection == SizeRestriction && d.Rows() < 2*cfg.MinSetSize {
+	if cfg.Protection == SizeRestriction && st.Rows() < 2*cfg.MinSetSize {
 		return nil, fmt.Errorf("sdcquery: size restriction with minsize %d can never answer over %d rows (every query set size falls outside [%d,%d]); lower minsize or serve more rows",
-			cfg.MinSetSize, d.Rows(), cfg.MinSetSize, d.Rows()-cfg.MinSetSize)
+			cfg.MinSetSize, st.Rows(), cfg.MinSetSize, st.Rows()-cfg.MinSetSize)
 	}
 	oc, err := NewOverlapController(cfg.MinSetSize, cfg.MaxOverlap, cfg.MaxTrackedQueries)
 	if err != nil {
 		return nil, err
 	}
-	st, err := store.FromDatasetSharded(d, cfg.SegmentSize, cfg.Shards)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
 		st:          st,
-		d:           d,
 		baseVersion: st.Version(),
 		cfg:         cfg,
 		audn:        newAuditor(),
@@ -417,16 +464,25 @@ func NewServer(d *dataset.Dataset, cfg Config) (*Server, error) {
 		// The bounds of each numeric attribute become fixed public
 		// metadata for the server's lifetime — the sensitivity of SUM and
 		// AVG is derived from them, never from the live query set's
-		// values, so the noise scale leaks nothing per query.
+		// values, so the noise scale leaks nothing per query. The snapshot
+		// answers min/max from the per-segment zone maps, identical to a
+		// row sweep over the column.
+		snap := st.Snapshot()
 		s.bounds = make(map[string]dp.Bounds)
-		for j := 0; j < d.Cols(); j++ {
-			if a := d.Attr(j); a.Kind == dataset.Numeric {
-				s.bounds[a.Name] = dp.ColumnBounds(d, j)
+		for j, a := range st.Attrs() {
+			if a.Kind == dataset.Numeric {
+				lo, hi := snap.NumRange(j)
+				s.bounds[a.Name] = dp.Bounds{Lo: lo, Hi: hi}
 			}
 		}
 	}
 	return s, nil
 }
+
+// Close releases the backing store: a durable store commits its final
+// state (including the open tail) and drops its directory lock. The
+// server must not answer queries afterwards.
+func (s *Server) Close() error { return s.st.Close() }
 
 // logQuery records q in the owner's log: an O(1) ring append on the
 // bounded default, a slice append under logMu on the unbounded opt-in.
@@ -525,7 +581,7 @@ func (s *Server) BatchStats() (batches, queries int64) {
 // The returned dataset must be treated as read-only.
 func (s *Server) Dataset() *dataset.Dataset {
 	snap := s.st.Snapshot()
-	if snap.Version() == s.baseVersion {
+	if s.d != nil && snap.Version() == s.baseVersion {
 		return s.d
 	}
 	return snap.Materialize()

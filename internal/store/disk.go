@@ -1,0 +1,397 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"privacy3d/internal/dataset"
+)
+
+// On-disk sealed-segment format (little-endian throughout):
+//
+//	magic   8B  "P3DSEG01" (tail files use "P3DTAIL1")
+//	ncols   u32 column count (must match the schema)
+//	rows    u32 rows in the block
+//	base    u64 global row index of the first row
+//	per column, in schema order:
+//	  tag   u8  1 = numeric, 2 = categorical
+//	  numeric:     rows × f64 values
+//	               permLen u32, then permLen × u32 perm,
+//	               permLen × f64 sorted, (rows-permLen) × u32 nan rows
+//	  categorical: rows × u32 dictionary codes
+//	               rows × u32 perm, rows × u32 sorted
+//	crc     u32 CRC-32 (IEEE) over everything before it
+//
+// The indexes (zone maps fall out of sorted[0]/sorted[permLen-1]) are
+// persisted exactly as buildSegData produced them, so a decoded segment is
+// bit-for-bit the segData that was sealed — byte-identical answers across
+// tiers reduce to that equality. Tail files persist only the raw columns
+// (permLen == 0 convention is not used; tails simply carry no index
+// sections) because the tail is always evaluated by the compiled scan.
+const (
+	segMagic  = "P3DSEG01"
+	tailMagic = "P3DTAIL1"
+
+	tagNumeric     = 1
+	tagCategorical = 2
+
+	blockHeaderSize = 8 + 4 + 4 + 8
+)
+
+// crcWriter tees writes into a running CRC-32.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+func (cw *crcWriter) u8(v uint8) error { return cw.bytes([]byte{v}) }
+
+func (cw *crcWriter) u32(v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return cw.bytes(b[:])
+}
+
+func (cw *crcWriter) u64(v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return cw.bytes(b[:])
+}
+
+func (cw *crcWriter) bytes(p []byte) error {
+	_, err := cw.Write(p)
+	return err
+}
+
+func (cw *crcWriter) f64s(vals []float64) error {
+	var b [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		if err := cw.bytes(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cw *crcWriter) u32s(vals []uint32) error {
+	var b [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(b[:], v)
+		if err := cw.bytes(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBlockFile writes one sealed segment (withIndexes) or tail block to
+// name inside dir via tmp + fsync + atomic rename, returning the final
+// size and CRC (of the whole file, footer included, for manifest
+// validation). nums/cats are the block's columns in schema order; for
+// sealed segments they are the segData's own slices.
+func writeBlockFile(dir, name, magic string, base int, rows int, nums [][]float64, cats [][]uint32, idx *segData) (int64, uint32, error) {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.Remove(tmp.Name())
+	cw := &crcWriter{w: bufio.NewWriter(tmp)}
+	if err := cw.bytes([]byte(magic)); err != nil {
+		return 0, 0, err
+	}
+	ncols := len(nums)
+	if err := cw.u32(uint32(ncols)); err != nil {
+		return 0, 0, err
+	}
+	if err := cw.u32(uint32(rows)); err != nil {
+		return 0, 0, err
+	}
+	if err := cw.u64(uint64(base)); err != nil {
+		return 0, 0, err
+	}
+	for j := 0; j < ncols; j++ {
+		switch {
+		case nums[j] != nil:
+			if err := cw.u8(tagNumeric); err != nil {
+				return 0, 0, err
+			}
+			if err := cw.f64s(nums[j][:rows]); err != nil {
+				return 0, 0, err
+			}
+			if idx != nil {
+				ni := &idx.nidx[j]
+				if err := cw.u32(uint32(len(ni.perm))); err != nil {
+					return 0, 0, err
+				}
+				if err := cw.u32s(ni.perm); err != nil {
+					return 0, 0, err
+				}
+				if err := cw.f64s(ni.sorted); err != nil {
+					return 0, 0, err
+				}
+				if err := cw.u32s(ni.nan); err != nil {
+					return 0, 0, err
+				}
+			}
+		case cats[j] != nil:
+			if err := cw.u8(tagCategorical); err != nil {
+				return 0, 0, err
+			}
+			if err := cw.u32s(cats[j][:rows]); err != nil {
+				return 0, 0, err
+			}
+			if idx != nil {
+				ci := &idx.cidx[j]
+				if err := cw.u32s(ci.perm); err != nil {
+					return 0, 0, err
+				}
+				if err := cw.u32s(ci.sorted); err != nil {
+					return 0, 0, err
+				}
+			}
+		default:
+			return 0, 0, fmt.Errorf("store: column %d has neither numeric nor categorical data", j)
+		}
+	}
+	bodyCRC := cw.crc
+	if err := cw.u32(bodyCRC); err != nil {
+		return 0, 0, err
+	}
+	fileCRC := cw.crc // CRC including the footer, what the manifest records
+	if err := cw.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, 0, err
+	}
+	size, err := tmp.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, 0, err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return 0, 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, 0, err
+	}
+	return size, fileCRC, nil
+}
+
+// blockReader decodes a block file sequentially through any ReaderAt —
+// directly for tails at Open, through the pager for spilled segments.
+type blockReader struct {
+	src  io.ReaderAt
+	size int64
+	off  int64
+	read func(off int64, dst []byte) error
+	name string
+}
+
+func (br *blockReader) bytes(dst []byte) error {
+	if br.off+int64(len(dst)) > br.size-4 { // never read into the CRC footer
+		return fmt.Errorf("store: %s: truncated block (want %d bytes at %d, size %d)", br.name, len(dst), br.off, br.size)
+	}
+	if err := br.read(br.off, dst); err != nil {
+		return err
+	}
+	br.off += int64(len(dst))
+	return nil
+}
+
+func (br *blockReader) u8() (uint8, error) {
+	var b [1]byte
+	err := br.bytes(b[:])
+	return b[0], err
+}
+
+func (br *blockReader) u32() (uint32, error) {
+	var b [4]byte
+	err := br.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:]), err
+}
+
+func (br *blockReader) u64() (uint64, error) {
+	var b [8]byte
+	err := br.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:]), err
+}
+
+func (br *blockReader) f64s(n int) ([]float64, error) {
+	buf := make([]byte, n*8)
+	if err := br.bytes(buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return out, nil
+}
+
+func (br *blockReader) u32s(n int) ([]uint32, error) {
+	buf := make([]byte, n*4)
+	if err := br.bytes(buf); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[i*4:])
+	}
+	return out, nil
+}
+
+// decodeBlock decodes a block file into columns (and, when withIndexes,
+// the persisted per-column indexes) against the given schema. It validates
+// structure — magic, column count, tags, index lengths — but not the CRC:
+// every committed file's checksum was verified when the manifest was
+// chosen at Open, and immutable files don't decay between Open and read in
+// any failure model short of external corruption, which the structural
+// checks turn into an error rather than garbage.
+func decodeBlock(br *blockReader, magic string, attrs []dataset.Attribute, withIndexes bool) (base int, d *segData, err error) {
+	head := make([]byte, 8)
+	if err := br.bytes(head); err != nil {
+		return 0, nil, err
+	}
+	if string(head) != magic {
+		return 0, nil, fmt.Errorf("store: %s: bad magic %q (want %q)", br.name, head, magic)
+	}
+	ncols, err := br.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if int(ncols) != len(attrs) {
+		return 0, nil, fmt.Errorf("store: %s: %d columns, schema has %d", br.name, ncols, len(attrs))
+	}
+	rows32, err := br.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	rows := int(rows32)
+	base64, err := br.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	d = &segData{
+		n:    rows,
+		nums: make([][]float64, len(attrs)),
+		cats: make([][]uint32, len(attrs)),
+		nidx: make([]numIndex, len(attrs)),
+		cidx: make([]catIndex, len(attrs)),
+	}
+	for j, a := range attrs {
+		tag, err := br.u8()
+		if err != nil {
+			return 0, nil, err
+		}
+		wantTag := uint8(tagCategorical)
+		if a.Kind == dataset.Numeric {
+			wantTag = tagNumeric
+		}
+		if tag != wantTag {
+			return 0, nil, fmt.Errorf("store: %s: column %d tag %d, schema wants %d", br.name, j, tag, wantTag)
+		}
+		if tag == tagNumeric {
+			if d.nums[j], err = br.f64s(rows); err != nil {
+				return 0, nil, err
+			}
+			if !withIndexes {
+				continue
+			}
+			permLen, err := br.u32()
+			if err != nil {
+				return 0, nil, err
+			}
+			if int(permLen) > rows {
+				return 0, nil, fmt.Errorf("store: %s: column %d perm length %d > rows %d", br.name, j, permLen, rows)
+			}
+			ni := numIndex{}
+			if ni.perm, err = br.u32s(int(permLen)); err != nil {
+				return 0, nil, err
+			}
+			if ni.sorted, err = br.f64s(int(permLen)); err != nil {
+				return 0, nil, err
+			}
+			if ni.nan, err = br.u32s(rows - int(permLen)); err != nil {
+				return 0, nil, err
+			}
+			if len(ni.nan) == 0 {
+				ni.nan = nil
+			}
+			if len(ni.sorted) > 0 {
+				ni.min, ni.max = ni.sorted[0], ni.sorted[len(ni.sorted)-1]
+			}
+			d.nidx[j] = ni
+		} else {
+			if d.cats[j], err = br.u32s(rows); err != nil {
+				return 0, nil, err
+			}
+			if !withIndexes {
+				continue
+			}
+			ci := catIndex{}
+			if ci.perm, err = br.u32s(rows); err != nil {
+				return 0, nil, err
+			}
+			if ci.sorted, err = br.u32s(rows); err != nil {
+				return 0, nil, err
+			}
+			if len(ci.sorted) > 0 {
+				ci.min, ci.max = ci.sorted[0], ci.sorted[len(ci.sorted)-1]
+			}
+			d.cidx[j] = ci
+		}
+	}
+	if br.off != br.size-4 {
+		return 0, nil, fmt.Errorf("store: %s: %d trailing bytes after block body", br.name, br.size-4-br.off)
+	}
+	return int(base64), d, nil
+}
+
+// fileCRC computes the CRC-32 (IEEE) of the first limit bytes of the file
+// (limit < 0 means the whole file), streaming so Open-time verification of
+// large segment files never materializes them.
+func fileCRC(path string, limit int64) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var r io.Reader = bufio.NewReaderSize(f, 1<<20)
+	if limit >= 0 {
+		r = io.LimitReader(r, limit)
+	}
+	h := crc32.NewIEEE()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return 0, err
+	}
+	if limit >= 0 && n != limit {
+		return 0, fmt.Errorf("store: %s: %d bytes, want at least %d", path, n, limit)
+	}
+	return h.Sum32(), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

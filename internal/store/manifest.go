@@ -1,0 +1,272 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"privacy3d/internal/dataset"
+)
+
+// Manifest + commit protocol.
+//
+// A durable store directory contains:
+//
+//	LOCK              flock'd for the store's lifetime (double-open guard)
+//	DICT              append-only string dictionary (uvarint len + bytes)
+//	SEG-0000000N      sealed segment N (segMagic block file, immutable)
+//	TAIL-000000000S   open-tail rows at commit S (tailMagic block file)
+//	MANIFEST-000000000S  commit S
+//
+// A manifest file is: 8-byte magic "P3DMAN01", u32 payload length, JSON
+// payload, u32 CRC-32 of the payload. Commits write the manifest to a temp
+// file, fsync it, atomically rename it to its sequence name, and fsync the
+// directory — so a manifest either exists completely or not at all, and
+// every file it references was fsync'd before the rename. Recovery (Open)
+// walks manifests newest-first and adopts the first one whose own checksum
+// AND every referenced file's size+checksum verify; anything newer is a
+// torn or corrupted commit and is deleted, and data files no manifest
+// references (torn tail of a crashed ingest) are swept. The two newest
+// manifests are kept after each commit so external corruption of the
+// newest still leaves a valid fallback.
+const (
+	manifestMagic  = "P3DMAN01"
+	manifestPrefix = "MANIFEST-"
+	segPrefix      = "SEG-"
+	tailPrefix     = "TAIL-"
+	dictFileName   = "DICT"
+	lockFileName   = "LOCK"
+)
+
+// manifestBlock describes one committed block file (sealed segment or
+// tail): its name, row count, exact file size, checksum of the whole file,
+// and the decoded in-memory footprint (what the resident-tier memory cap
+// accounts, unknowable from the file size alone because NaN counts change
+// index shapes).
+type manifestBlock struct {
+	File    string `json:"file"`
+	Rows    int    `json:"rows"`
+	Size    int64  `json:"size"`
+	CRC     uint32 `json:"crc"`
+	Decoded int64  `json:"decoded,omitempty"`
+}
+
+// manifest is commit S's full description of the durable state.
+type manifest struct {
+	SegSize   int                 `json:"seg_size"`
+	Shards    int                 `json:"shards"`
+	Epoch     uint64              `json:"epoch"`
+	Version   uint64              `json:"version"` // informational; epoch is what recovery needs
+	Attrs     []dataset.Attribute `json:"attrs"`
+	DictLen   int                 `json:"dict_len"`   // committed dictionary entries
+	DictBytes int64               `json:"dict_bytes"` // committed DICT prefix length
+	DictCRC   uint32              `json:"dict_crc"`   // CRC-32 of that prefix
+	Segments  []manifestBlock     `json:"segments"`
+	Tail      *manifestBlock      `json:"tail,omitempty"`
+}
+
+func segFileName(ord int) string { return fmt.Sprintf("%s%08d", segPrefix, ord) }
+
+func tailFileName(seq uint64) string { return fmt.Sprintf("%s%010d", tailPrefix, seq) }
+
+func manifestFileName(seq uint64) string { return fmt.Sprintf("%s%010d", manifestPrefix, seq) }
+
+// manifestSeq parses the sequence number out of a manifest file name.
+func manifestSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, manifestPrefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimPrefix(name, manifestPrefix), 10, 64)
+	return n, err == nil
+}
+
+// listManifests returns the manifest sequence numbers present in dir,
+// newest first.
+func listManifests(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := manifestSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] > seqs[b] })
+	return seqs, nil
+}
+
+// writeManifest commits m as sequence seq: temp write + fsync + atomic
+// rename + directory fsync.
+func writeManifest(dir string, seq uint64, m *manifest) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(manifestMagic)+8+len(payload))
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	tmp, err := os.CreateTemp(dir, "manifest.tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestFileName(seq))); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest parses and checksum-verifies one manifest file.
+func readManifest(path string) (*manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(manifestMagic)+8 || string(raw[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("store: %s: not a manifest", path)
+	}
+	n := binary.LittleEndian.Uint32(raw[len(manifestMagic):])
+	body := raw[len(manifestMagic)+4:]
+	if uint32(len(body)) != n+4 {
+		return nil, fmt.Errorf("store: %s: truncated manifest (%d payload bytes, header says %d)", path, len(body)-4, n)
+	}
+	payload, sum := body[:n], binary.LittleEndian.Uint32(body[n:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("store: %s: manifest checksum mismatch", path)
+	}
+	var m manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// validateManifest verifies every file the manifest references: exact size
+// and streaming CRC for each sealed segment and the tail, and the
+// committed DICT prefix. A manifest that passes describes state that Open
+// can serve verbatim.
+func validateManifest(dir string, m *manifest) error {
+	for i := range m.Segments {
+		b := &m.Segments[i]
+		if err := validateBlockFile(dir, b); err != nil {
+			return err
+		}
+	}
+	if m.Tail != nil {
+		if err := validateBlockFile(dir, m.Tail); err != nil {
+			return err
+		}
+	}
+	if m.DictBytes > 0 {
+		crc, err := fileCRC(filepath.Join(dir, dictFileName), m.DictBytes)
+		if err != nil {
+			return fmt.Errorf("store: dictionary: %w", err)
+		}
+		if crc != m.DictCRC {
+			return fmt.Errorf("store: dictionary checksum mismatch over committed prefix")
+		}
+	}
+	return nil
+}
+
+func validateBlockFile(dir string, b *manifestBlock) error {
+	path := filepath.Join(dir, b.File)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if fi.Size() != b.Size {
+		return fmt.Errorf("store: %s: size %d, manifest says %d", path, fi.Size(), b.Size)
+	}
+	crc, err := fileCRC(path, -1)
+	if err != nil {
+		return err
+	}
+	if crc != b.CRC {
+		return fmt.Errorf("store: %s: checksum mismatch", path)
+	}
+	return nil
+}
+
+// recoverManifest picks the newest fully-valid manifest in dir, deleting
+// any newer (torn or corrupted) ones so they can never shadow the adopted
+// state, and returns its sequence number. An error naming the first
+// failure is returned when no manifest validates.
+func recoverManifest(dir string) (*manifest, uint64, error) {
+	seqs, err := listManifests(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(seqs) == 0 {
+		return nil, 0, fmt.Errorf("store: no manifest in %s", dir)
+	}
+	var firstErr error
+	for _, seq := range seqs {
+		path := filepath.Join(dir, manifestFileName(seq))
+		m, err := readManifest(path)
+		if err == nil {
+			err = validateManifest(dir, m)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// Adopted: anything newer failed validation — remove it so later
+		// commits and cleanups reason only about manifests that were ever
+		// servable.
+		for _, bad := range seqs {
+			if bad > seq {
+				os.Remove(filepath.Join(dir, manifestFileName(bad)))
+			}
+		}
+		return m, seq, nil
+	}
+	return nil, 0, fmt.Errorf("store: no valid manifest in %s: %w", dir, firstErr)
+}
+
+// sweepOrphans removes data files referenced by neither of the kept
+// manifests: segment files at ordinals past the committed list (torn
+// seals) and tail files from superseded commits. Best-effort — a failure
+// leaves garbage, never breaks state.
+func sweepOrphans(dir string, keep map[string]bool, committedSegs int) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, tailPrefix):
+			if !keep[name] {
+				os.Remove(filepath.Join(dir, name))
+			}
+		case strings.HasPrefix(name, segPrefix):
+			if ord, err := strconv.Atoi(strings.TrimPrefix(name, segPrefix)); err == nil && ord >= committedSegs && !keep[name] {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPageSize is the pager's fixed page size. 64 KiB keeps a whole
+// numeric column stripe of an 8192-row segment in one page while staying
+// small enough that a byte-capped cache holds pages from many segments.
+const DefaultPageSize = 64 << 10
+
+// pageKey addresses one fixed-size page of one backing file.
+type pageKey struct {
+	file uint32
+	page uint32
+}
+
+// page is one cached fixed-size slice of a backing file. pins counts
+// outstanding leases; a pinned page is never evicted. elem is the page's
+// position in the pager's LRU list while unpinned (nil while pinned).
+type page struct {
+	key  pageKey
+	buf  []byte
+	pins int
+	elem *list.Element
+}
+
+// pager is the fixed-page cache between spilled segments and their files:
+// every cold read lands in a page, leases pin pages against eviction while
+// bytes are being copied out, and unpinned pages age out LRU-wise under a
+// byte cap. One pager serves a whole store, so hot segment files share the
+// budget and a scan of one cold segment cannot wipe another's hot pages
+// beyond the cap's mercy.
+type pager struct {
+	pageSize int
+	capBytes int64
+
+	mu    sync.Mutex
+	pages map[pageKey]*page
+	lru   *list.List // front = most recently unpinned
+	bytes int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+func newPager(pageSize int, capBytes int64) *pager {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if capBytes < int64(pageSize) {
+		capBytes = int64(pageSize) // always room to pin at least one page
+	}
+	return &pager{
+		pageSize: pageSize,
+		capBytes: capBytes,
+		pages:    make(map[pageKey]*page),
+		lru:      list.New(),
+	}
+}
+
+// lease pins the page covering byte offset page*pageSize of file, reading
+// it through src on a miss. The returned buffer is valid until release is
+// called; callers copy out what they need and release promptly. size is
+// the file's total length, bounding the final partial page.
+func (p *pager) lease(file uint32, pageNo uint32, src io.ReaderAt, size int64) ([]byte, func(), error) {
+	key := pageKey{file: file, page: pageNo}
+	p.mu.Lock()
+	if pg, ok := p.pages[key]; ok {
+		p.pin(pg)
+		p.mu.Unlock()
+		p.hits.Add(1)
+		gPagerHits.Add(1)
+		return pg.buf, func() { p.release(pg) }, nil
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	gPagerMisses.Add(1)
+
+	off := int64(pageNo) * int64(p.pageSize)
+	n := int64(p.pageSize)
+	if off+n > size {
+		n = size - off
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("pager: page %d beyond file size %d", pageNo, size)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(src, off, n), buf); err != nil {
+		return nil, nil, fmt.Errorf("pager: read page %d: %w", pageNo, err)
+	}
+
+	p.mu.Lock()
+	if pg, ok := p.pages[key]; ok {
+		// Lost the fill race; adopt the winner's page and drop our copy.
+		p.pin(pg)
+		p.mu.Unlock()
+		return pg.buf, func() { p.release(pg) }, nil
+	}
+	pg := &page{key: key, buf: buf, pins: 1}
+	p.pages[key] = pg
+	p.bytes += int64(len(buf))
+	p.evictLocked()
+	p.mu.Unlock()
+	return pg.buf, func() { p.release(pg) }, nil
+}
+
+// pin takes a lease on a cached page, removing it from the LRU while any
+// lease is outstanding. Caller holds p.mu.
+func (p *pager) pin(pg *page) {
+	if pg.elem != nil {
+		p.lru.Remove(pg.elem)
+		pg.elem = nil
+	}
+	pg.pins++
+}
+
+// release drops one lease; the last release parks the page at the front of
+// the LRU and trims the cache back under its cap.
+func (p *pager) release(pg *page) {
+	p.mu.Lock()
+	pg.pins--
+	if pg.pins == 0 {
+		pg.elem = p.lru.PushFront(pg)
+		p.evictLocked()
+	}
+	p.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used unpinned pages until the cache is
+// back under capBytes. Pinned pages are untouchable, so a burst of leases
+// can exceed the cap transiently; it drains as leases release.
+func (p *pager) evictLocked() {
+	for p.bytes > p.capBytes {
+		back := p.lru.Back()
+		if back == nil {
+			return // everything over the cap is pinned
+		}
+		pg := back.Value.(*page)
+		p.lru.Remove(back)
+		pg.elem = nil
+		delete(p.pages, pg.key)
+		p.bytes -= int64(len(pg.buf))
+		p.evictions.Add(1)
+		gPagerEvictions.Add(1)
+	}
+}
+
+// readAt copies file bytes [off, off+len(dst)) into dst through the page
+// cache, pinning each spanned page only for the duration of its copy.
+func (p *pager) readAt(file uint32, src io.ReaderAt, size int64, off int64, dst []byte) error {
+	if off < 0 || off+int64(len(dst)) > size {
+		return fmt.Errorf("pager: read [%d,%d) beyond file size %d", off, off+int64(len(dst)), size)
+	}
+	for len(dst) > 0 {
+		pageNo := uint32(off / int64(p.pageSize))
+		buf, release, err := p.lease(file, pageNo, src, size)
+		if err != nil {
+			return err
+		}
+		inPage := int(off - int64(pageNo)*int64(p.pageSize))
+		n := copy(dst, buf[inPage:])
+		release()
+		dst = dst[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// pagerStats is a point-in-time snapshot of the pager counters.
+type pagerStats struct {
+	hits, misses, evictions int64
+	bytes                   int64
+}
+
+func (p *pager) stats() pagerStats {
+	p.mu.Lock()
+	bytes := p.bytes
+	p.mu.Unlock()
+	return pagerStats{
+		hits:      p.hits.Load(),
+		misses:    p.misses.Load(),
+		evictions: p.evictions.Load(),
+		bytes:     bytes,
+	}
+}

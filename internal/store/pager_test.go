@@ -1,0 +1,105 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func pagerSource(n int) ([]byte, *bytes.Reader) {
+	src := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	return src, bytes.NewReader(src)
+}
+
+func TestPagerReadAtCrossesPages(t *testing.T) {
+	src, r := pagerSource(1000)
+	p := newPager(64, 1<<20)
+	for _, span := range []struct{ off, n int }{
+		{0, 64}, {60, 10}, {0, 1000}, {999, 1}, {100, 500}, {63, 2},
+	} {
+		dst := make([]byte, span.n)
+		if err := p.readAt(1, r, int64(len(src)), int64(span.off), dst); err != nil {
+			t.Fatalf("readAt(%d,%d): %v", span.off, span.n, err)
+		}
+		if !bytes.Equal(dst, src[span.off:span.off+span.n]) {
+			t.Fatalf("readAt(%d,%d) returned wrong bytes", span.off, span.n)
+		}
+	}
+	if err := p.readAt(1, r, int64(len(src)), 990, make([]byte, 20)); err == nil {
+		t.Fatalf("read past EOF succeeded")
+	}
+}
+
+func TestPagerHitsAndLRUEviction(t *testing.T) {
+	src, r := pagerSource(1024)
+	p := newPager(64, 128) // room for exactly two pages
+	lease := func(pageNo uint32) func() {
+		t.Helper()
+		_, release, err := p.lease(7, pageNo, r, int64(len(src)))
+		if err != nil {
+			t.Fatalf("lease page %d: %v", pageNo, err)
+		}
+		return release
+	}
+	lease(0)()
+	lease(1)()
+	if s := p.stats(); s.misses != 2 || s.hits != 0 || s.evictions != 0 {
+		t.Fatalf("after two cold leases: %+v", s)
+	}
+	lease(0)() // hit
+	if s := p.stats(); s.hits != 1 {
+		t.Fatalf("page 0 not served from cache: %+v", s)
+	}
+	lease(2)() // evicts page 1 (LRU; page 0 was touched more recently)
+	if s := p.stats(); s.evictions != 1 {
+		t.Fatalf("third page did not evict: %+v", s)
+	}
+	lease(0)() // still cached
+	if s := p.stats(); s.hits != 2 {
+		t.Fatalf("LRU evicted the recently used page: %+v", s)
+	}
+	lease(1)() // miss again
+	if s := p.stats(); s.misses != 4 {
+		t.Fatalf("evicted page served without a read: %+v", s)
+	}
+}
+
+func TestPagerPinnedPageSurvivesEviction(t *testing.T) {
+	src, r := pagerSource(1024)
+	p := newPager(64, 64) // one page of budget
+	_, release, err := p.lease(7, 0, r, int64(len(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill way past the cap while page 0 stays pinned.
+	for pg := uint32(1); pg < 8; pg++ {
+		_, rel, err := p.lease(7, pg, r, int64(len(src)))
+		if err != nil {
+			t.Fatalf("lease %d: %v", pg, err)
+		}
+		rel()
+	}
+	misses := p.stats().misses
+	_, rel2, err := p.lease(7, 0, r, int64(len(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+	if got := p.stats(); got.misses != misses {
+		t.Fatalf("pinned page was evicted (misses %d -> %d)", misses, got.misses)
+	}
+	release()
+	// Unpinned now; pressure can evict it.
+	for pg := uint32(1); pg < 4; pg++ {
+		_, rel, err := p.lease(7, pg, r, int64(len(src)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	if p.stats().bytes > 64 {
+		t.Fatalf("cache stayed over cap with nothing pinned: %d bytes", p.stats().bytes)
+	}
+}

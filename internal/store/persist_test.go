@@ -1,0 +1,402 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privacy3d/internal/dataset"
+)
+
+// persistTestRows is enough rows to seal several segments at the small
+// test segment size and leave a non-empty tail.
+const (
+	persistSegSize  = 256
+	persistTestRows = 5*persistSegSize + 77
+)
+
+func persistDataset(t *testing.T, rows int) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Synth("trial", rows, 42)
+	if err != nil {
+		t.Fatalf("Synth: %v", err)
+	}
+	return d
+}
+
+// Queries over the synthetic trial schema: height, weight, qi3, qi4,
+// blood_pressure numeric; aids nominal.
+var persistQueries = [][]Cond{
+	nil,
+	{{Col: "height", Op: Ge, V: 150}, {Col: "height", Op: Lt, V: 180}},
+	{{Col: "weight", Op: Gt, V: 70}},
+	{{Col: "aids", Op: Eq, S: "Y", Str: true}},
+	{{Col: "aids", Op: Ne, S: "Y", Str: true}, {Col: "blood_pressure", Op: Le, V: 120}},
+}
+
+// queryFingerprint answers every persist query (count + bit-exact sums
+// over every numeric column) against the snapshot.
+func queryFingerprint(t *testing.T, snap *Snapshot) []uint64 {
+	t.Helper()
+	var numCols []int
+	for j, a := range snap.Attrs() {
+		if a.Kind == dataset.Numeric {
+			numCols = append(numCols, j)
+		}
+	}
+	var fp []uint64
+	for qi, q := range persistQueries {
+		bm, err := snap.Eval(q)
+		if err != nil {
+			t.Fatalf("Eval query %d: %v", qi, err)
+		}
+		fp = append(fp, uint64(snap.Count(bm)))
+		for _, j := range numCols {
+			fp = append(fp, math.Float64bits(snap.Sum(bm, j)))
+		}
+	}
+	return fp
+}
+
+func fingerprintsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func createPersistStore(t *testing.T, dir string, rows int, opts Options) *Store {
+	t.Helper()
+	if opts.SegmentSize == 0 {
+		opts.SegmentSize = persistSegSize
+	}
+	d := persistDataset(t, rows)
+	s, err := CreateFromDataset(dir, d, opts)
+	if err != nil {
+		t.Fatalf("CreateFromDataset: %v", err)
+	}
+	return s
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := createPersistStore(t, dir, persistTestRows, Options{})
+	want := queryFingerprint(t, s.Snapshot())
+	wantRows := s.Rows()
+	wantVersion := s.Version()
+	wantMat := s.Snapshot().Materialize()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if r.Rows() != wantRows {
+		t.Fatalf("reopened store has %d rows, want %d", r.Rows(), wantRows)
+	}
+	if got := queryFingerprint(t, r.Snapshot()); !fingerprintsEqual(got, want) {
+		t.Fatalf("reopened answers differ from pre-close answers")
+	}
+	if r.Version() <= wantVersion {
+		t.Fatalf("reopened version %d not past pre-close version %d (epoch must advance)", r.Version(), wantVersion)
+	}
+	gotMat := r.Snapshot().Materialize()
+	for j, a := range wantMat.Attrs() {
+		for i := 0; i < wantMat.Rows(); i++ {
+			if a.Kind == dataset.Numeric {
+				if math.Float64bits(wantMat.Float(i, j)) != math.Float64bits(gotMat.Float(i, j)) {
+					t.Fatalf("row %d col %d: %v != %v after reopen", i, j, wantMat.Float(i, j), gotMat.Float(i, j))
+				}
+			} else if wantMat.Cat(i, j) != gotMat.Cat(i, j) {
+				t.Fatalf("row %d col %d: %q != %q after reopen", i, j, wantMat.Cat(i, j), gotMat.Cat(i, j))
+			}
+		}
+	}
+}
+
+func TestReopenedStoreKeepsIngesting(t *testing.T) {
+	dir := t.TempDir()
+	s := createPersistStore(t, dir, persistTestRows, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Appends continue from the recovered tail, sealing across the old
+	// boundary and interning new dictionary strings.
+	extra := persistDataset(t, persistSegSize)
+	if err := r.AppendDataset(extra); err != nil {
+		t.Fatalf("AppendDataset after reopen: %v", err)
+	}
+	if err := r.Append(170.0, 70.0, 50.0, 50.0, 120.0, "reopened-dict-entry"); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	wantRows := persistTestRows + persistSegSize + 1
+	if r.Rows() != wantRows {
+		t.Fatalf("rows = %d, want %d", r.Rows(), wantRows)
+	}
+	snap := r.Snapshot()
+	if got := snap.Cat(wantRows-1, snap.Index("aids")); got != "reopened-dict-entry" {
+		t.Fatalf("aids of appended row = %q", got)
+	}
+	want := queryFingerprint(t, snap)
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("second Open: %v", err)
+	}
+	defer r2.Close()
+	if r2.Rows() != wantRows {
+		t.Fatalf("second reopen rows = %d, want %d", r2.Rows(), wantRows)
+	}
+	if got := queryFingerprint(t, r2.Snapshot()); !fingerprintsEqual(got, want) {
+		t.Fatalf("answers changed across second reopen")
+	}
+	snap2 := r2.Snapshot()
+	if got := snap2.Cat(wantRows-1, snap2.Index("aids")); got != "reopened-dict-entry" {
+		t.Fatalf("aids after second reopen = %q", got)
+	}
+}
+
+func TestSpillUnderMemCapByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	d := persistDataset(t, persistTestRows)
+	ref, err := FromDataset(d, persistSegSize)
+	if err != nil {
+		t.Fatalf("FromDataset: %v", err)
+	}
+	want := queryFingerprint(t, ref.Snapshot())
+
+	// Cap the resident tier below two segments' decoded footprint so most
+	// sealed segments are evicted as ingest rolls on.
+	s, err := CreateFromDataset(dir, d, Options{SegmentSize: persistSegSize, MemCap: 32 << 10, PageBytes: 16 << 10})
+	if err != nil {
+		t.Fatalf("CreateFromDataset: %v", err)
+	}
+	defer s.Close()
+	st := s.TierStats()
+	if st.Spilled == 0 {
+		t.Fatalf("no segments spilled under a %d-byte cap (resident=%d bytes=%d)", 32<<10, st.Resident, st.ResidentBytes)
+	}
+	if got := queryFingerprint(t, s.Snapshot()); !fingerprintsEqual(got, want) {
+		t.Fatalf("spilled answers differ from resident answers")
+	}
+	st = s.TierStats()
+	if st.PagerHits+st.PagerMisses == 0 {
+		t.Fatalf("queries over spilled segments never touched the pager")
+	}
+	// Repeat: answers stay identical while segments promote/evict.
+	if got := queryFingerprint(t, s.Snapshot()); !fingerprintsEqual(got, want) {
+		t.Fatalf("second spilled pass differs")
+	}
+}
+
+func TestColdOpenAllSpilledThenPromotes(t *testing.T) {
+	dir := t.TempDir()
+	s := createPersistStore(t, dir, persistTestRows, Options{})
+	want := queryFingerprint(t, s.Snapshot())
+	s.Close()
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if st := r.TierStats(); st.Resident != 0 || st.Spilled != 5 {
+		t.Fatalf("cold open: resident=%d spilled=%d, want 0/5", st.Resident, st.Spilled)
+	}
+	if got := queryFingerprint(t, r.Snapshot()); !fingerprintsEqual(got, want) {
+		t.Fatalf("cold answers differ")
+	}
+	// Uncapped store: the queries should have promoted every touched
+	// segment back to the resident tier.
+	if st := r.TierStats(); st.Resident == 0 {
+		t.Fatalf("no segment promoted on an uncapped store")
+	}
+}
+
+// corruptFile truncates or scribbles over a file to simulate torn writes
+// and external corruption.
+func corruptFile(t *testing.T, path string, truncateTo int64) {
+	t.Helper()
+	if truncateTo >= 0 {
+		if err := os.Truncate(path, truncateTo); err != nil {
+			t.Fatalf("truncate %s: %v", path, err)
+		}
+		return
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("XXXXXXXX"), 16); err != nil {
+		t.Fatalf("scribble %s: %v", path, err)
+	}
+}
+
+func newestManifest(t *testing.T, dir string) string {
+	t.Helper()
+	seqs, err := listManifests(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("listManifests: %v (%d found)", err, len(seqs))
+	}
+	return filepath.Join(dir, manifestFileName(seqs[0]))
+}
+
+func TestTruncatedManifestFallsBackToPreviousCommit(t *testing.T) {
+	dir := t.TempDir()
+	// Sealed-only ingest: commit A holds exactly the sealed segments.
+	s := createPersistStore(t, dir, 3*persistSegSize, Options{})
+	// Tail-only append, then Close: commit B = A + tail.
+	if err := s.Append(170.0, 70.0, 50.0, 50.0, 120.0, "N"); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	corruptFile(t, newestManifest(t, dir), 10) // torn commit B
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after torn manifest: %v", err)
+	}
+	defer r.Close()
+	if r.Rows() != 3*persistSegSize {
+		t.Fatalf("recovered %d rows, want the previous commit's %d", r.Rows(), 3*persistSegSize)
+	}
+}
+
+func TestTornTailFileFallsBackToPreviousCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := createPersistStore(t, dir, 3*persistSegSize, Options{})
+	if err := s.Append(170.0, 70.0, 50.0, 50.0, 120.0, "N"); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Corrupt the tail block file the newest manifest references: its
+	// checksum no longer matches, so the commit must be rejected whole.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := false
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), tailPrefix) {
+			corruptFile(t, filepath.Join(dir, e.Name()), -1)
+			torn = true
+		}
+	}
+	if !torn {
+		t.Fatalf("no tail file on disk to corrupt")
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	defer r.Close()
+	if r.Rows() != 3*persistSegSize {
+		t.Fatalf("recovered %d rows, want the previous commit's %d", r.Rows(), 3*persistSegSize)
+	}
+}
+
+func TestTornUncommittedSegmentIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := createPersistStore(t, dir, 3*persistSegSize, Options{})
+	want := queryFingerprint(t, s.Snapshot())
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A crashed ingest can leave a half-written segment file past the
+	// committed list (and a stray tail). Open must ignore and sweep both.
+	junkSeg := filepath.Join(dir, segFileName(3))
+	if err := os.WriteFile(junkSeg, []byte("P3DSEG01 torn half-written segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	junkTail := filepath.Join(dir, tailFileName(99))
+	if err := os.WriteFile(junkTail, []byte("P3DTAIL1 torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open with torn uncommitted files: %v", err)
+	}
+	defer r.Close()
+	if r.Rows() != 3*persistSegSize {
+		t.Fatalf("rows = %d, want %d", r.Rows(), 3*persistSegSize)
+	}
+	if got := queryFingerprint(t, r.Snapshot()); !fingerprintsEqual(got, want) {
+		t.Fatalf("answers differ after ignoring torn files")
+	}
+	if _, err := os.Stat(junkSeg); !os.IsNotExist(err) {
+		t.Errorf("torn segment file not swept")
+	}
+	if _, err := os.Stat(junkTail); !os.IsNotExist(err) {
+		t.Errorf("torn tail file not swept")
+	}
+}
+
+func TestDoubleOpenFailsWithLockError(t *testing.T) {
+	dir := t.TempDir()
+	s := createPersistStore(t, dir, persistSegSize, Options{})
+	defer s.Close()
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatalf("second Open of a live datadir succeeded")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("double-open error %q does not mention the lock", err)
+	}
+	// The lock dies with the store: after Close, Open succeeds.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	r.Close()
+}
+
+func TestCreateRefusesExistingStore(t *testing.T) {
+	dir := t.TempDir()
+	s := createPersistStore(t, dir, persistSegSize, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := Create(dir, s.Attrs(), Options{}); err == nil {
+		t.Fatalf("Create over an existing store succeeded")
+	}
+}
+
+func TestOpenRejectsSegmentSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := createPersistStore(t, dir, persistSegSize, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := Open(dir, Options{SegmentSize: 2 * persistSegSize}); err == nil {
+		t.Fatalf("Open with mismatched segment size succeeded")
+	}
+}
+
+func TestOpenEmptyDirFails(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{}); err == nil {
+		t.Fatalf("Open of an empty directory succeeded")
+	}
+}

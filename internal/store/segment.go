@@ -3,19 +3,109 @@ package store
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // A segment is an immutable, fully indexed block of exactly segSize rows.
-// Columns are contiguous: numeric attributes as []float64, categorical ones
-// dictionary-encoded as []uint32 codes. Each numeric column carries a zone
-// map (min/max over the non-NaN values) for whole-segment skipping and a
-// sorted permutation index for range conditions; each categorical column a
-// code-sorted permutation whose equal ranges are per-code posting lists.
-// Once built, a segment is never mutated — the immutability that gives
-// snapshots their isolation for free.
+// The segment value itself is only the handle — global position, row count
+// and tier state; the decoded columns and indexes live in a segData that
+// the handle either holds resident (the in-memory tier) or reloads on
+// demand from its SegmentSource (the spilled tier, backed by the pager and
+// the on-disk segment file). Every reader goes through acquire, so the
+// evaluation kernels are tier-blind. Once built, a segment's data is never
+// mutated — the immutability that gives snapshots their isolation for free.
 type segment struct {
-	base int // global row index of the segment's first row
-	n    int // rows in the segment (== the store's segSize)
+	base  int   // global row index of the segment's first row
+	n     int   // rows in the segment (== the store's segSize)
+	ord   int   // ordinal in the sealed-segment list (names the spill file)
+	bytes int64 // decoded footprint of the segData, for the memory cap
+
+	tier *tierState
+	src  SegmentSource // durable backing; nil for memory-only segments
+
+	// data is the resident decoded form. Non-nil means the segment is in
+	// the resident tier; nil means it is spilled and acquire reloads it
+	// through src. Promotion and eviction flip it with CAS, so a reader
+	// that loaded a non-nil pointer keeps a consistent immutable view even
+	// if the segment is evicted underneath it.
+	data atomic.Pointer[segData]
+
+	// lastUse orders eviction: the tier's use clock at the last acquire.
+	lastUse atomic.Int64
+}
+
+// SegmentSource is the tier read abstraction: where a sealed segment's
+// bytes come from when its decoded form is not resident. The only
+// implementation today is the pager-backed segment file (fileSource); the
+// planner, zone-map pruning, shard scatter-gather and EvalBatch never see
+// the difference because they all read columns through segment.acquire.
+type SegmentSource interface {
+	// Load decodes the segment into its evaluable form. The returned
+	// segData is immutable and exactly what buildSegData produced at seal
+	// time — byte-identical answers across tiers follow from that.
+	Load() (*segData, error)
+	// Name identifies the backing (the segment file name) for diagnostics.
+	Name() string
+}
+
+// noopRelease is the release of a resident acquire (shared to keep the
+// fast path allocation-free).
+func noopRelease() {}
+
+// acquire returns the segment's decoded data and a release that ends the
+// lease. The fast path — resident data — is one atomic load. A spilled
+// segment is decoded through its SegmentSource (pager-cached pages, column
+// decode, index rebuild) and, when the memory cap has room, promoted back
+// into the resident tier so later queries pay nothing. Decode failures
+// panic: the manifest verified every committed file at Open, so a failure
+// here means the file was corrupted or removed underneath a live store —
+// an invariant violation, not a recoverable condition.
+func (sg *segment) acquire() (*segData, func()) {
+	if sg.tier != nil {
+		sg.lastUse.Store(sg.tier.useClock.Add(1))
+	}
+	if d := sg.data.Load(); d != nil {
+		return d, noopRelease
+	}
+	d, err := sg.src.Load()
+	if err != nil {
+		panic("store: segment " + sg.src.Name() + " unreadable under a live store: " + err.Error())
+	}
+	if sg.tier.admit(sg.bytes) {
+		if sg.data.CompareAndSwap(nil, d) {
+			sg.tier.noteResident(sg.bytes)
+		} else {
+			sg.tier.unadmit(sg.bytes)
+			d = sg.data.Load() // another reader promoted first; share its copy
+		}
+	}
+	return d, noopRelease
+}
+
+// evict drops the resident decoded form (the segment must be durably
+// persisted). Returns false if the segment was already spilled. In-flight
+// readers that acquired before the flip keep their immutable segData.
+func (sg *segment) evict() bool {
+	d := sg.data.Load()
+	if d == nil || sg.src == nil {
+		return false
+	}
+	if !sg.data.CompareAndSwap(d, nil) {
+		return false
+	}
+	sg.tier.noteSpilled(sg.bytes)
+	return true
+}
+
+// resident reports whether the decoded form is currently in memory.
+func (sg *segment) resident() bool { return sg.data.Load() != nil }
+
+// segData is the decoded, evaluable form of one sealed segment: contiguous
+// columns (numeric as []float64, categorical as dictionary codes) plus the
+// per-column indexes. It is immutable after buildSegData and shared freely
+// across goroutines and snapshots.
+type segData struct {
+	n    int
 	nums [][]float64
 	cats [][]uint32
 	nidx []numIndex
@@ -46,35 +136,56 @@ type catIndex struct {
 	sorted   []uint32
 }
 
-// buildSegment indexes one sealed block. nums/cats are the frozen column
-// buffers, owned by the segment from here on.
-func buildSegment(base int, nums [][]float64, cats [][]uint32) *segment {
-	sg := &segment{base: base, nums: nums, cats: cats}
+// buildSegData indexes one sealed block. nums/cats are the frozen column
+// buffers, owned by the segData from here on. The build is deterministic in
+// the column values alone, which is what makes a reload from disk
+// indistinguishable from the original resident form.
+func buildSegData(nums [][]float64, cats [][]uint32) *segData {
+	d := &segData{nums: nums, cats: cats}
 	for _, col := range nums {
 		if col != nil {
-			sg.n = len(col)
+			d.n = len(col)
 			break
 		}
 	}
 	for _, col := range cats {
 		if col != nil {
-			sg.n = len(col)
+			d.n = len(col)
 			break
 		}
 	}
-	sg.nidx = make([]numIndex, len(nums))
-	sg.cidx = make([]catIndex, len(cats))
+	d.nidx = make([]numIndex, len(nums))
+	d.cidx = make([]catIndex, len(cats))
 	for j, col := range nums {
 		if col != nil {
-			sg.nidx[j] = buildNumIndex(col)
+			d.nidx[j] = buildNumIndex(col)
 		}
 	}
 	for j, col := range cats {
 		if col != nil {
-			sg.cidx[j] = buildCatIndex(col)
+			d.cidx[j] = buildCatIndex(col)
 		}
 	}
-	return sg
+	return d
+}
+
+// footprint estimates the decoded byte size of the segData (columns plus
+// indexes) for the resident-tier memory accounting.
+func (d *segData) footprint() int64 {
+	var b int64
+	for _, col := range d.nums {
+		b += int64(len(col)) * 8
+	}
+	for _, col := range d.cats {
+		b += int64(len(col)) * 4
+	}
+	for _, idx := range d.nidx {
+		b += int64(len(idx.perm))*4 + int64(len(idx.sorted))*8 + int64(len(idx.nan))*4
+	}
+	for _, idx := range d.cidx {
+		b += int64(len(idx.perm))*4 + int64(len(idx.sorted))*4
+	}
+	return b
 }
 
 func buildNumIndex(col []float64) numIndex {
@@ -131,15 +242,15 @@ func buildCatIndex(col []uint32) catIndex {
 // segment's word-aligned window of the snapshot bitmap (len n/64). scratch
 // is a caller-owned window of the same length. The result is exactly the
 // rows a row-at-a-time scan would match.
-func (sg *segment) eval(p *plan, words, scratch []uint64) {
+func (d *segData) eval(p *plan, words, scratch []uint64) {
 	first := true
 	for i := range p.ivs {
-		if !sg.step(&first, words, scratch, func(out []uint64) { sg.evalInterval(&p.ivs[i], out) }) {
+		if !d.step(&first, words, scratch, func(out []uint64) { d.evalInterval(&p.ivs[i], out) }) {
 			return
 		}
 	}
 	for i := range p.rest {
-		if !sg.step(&first, words, scratch, func(out []uint64) { sg.evalCond(p.rest[i], out) }) {
+		if !d.step(&first, words, scratch, func(out []uint64) { d.evalCond(p.rest[i], out) }) {
 			return
 		}
 	}
@@ -151,7 +262,7 @@ func (sg *segment) eval(p *plan, words, scratch []uint64) {
 // step runs one conjunct: the first fills words directly, later ones fill
 // scratch and intersect. Returns false once the conjunction is empty, so
 // remaining indexes are skipped.
-func (sg *segment) step(first *bool, words, scratch []uint64, fill func([]uint64)) bool {
+func (d *segData) step(first *bool, words, scratch []uint64, fill func([]uint64)) bool {
 	if *first {
 		fill(words)
 		*first = false
@@ -168,8 +279,8 @@ func (sg *segment) step(first *bool, words, scratch []uint64, fill func([]uint64
 // searches, however many range conditions produced it. NaN rows are not in
 // perm, so they fail the interval exactly as they fail every ordered
 // comparison in the scan path.
-func (sg *segment) evalInterval(iv *numInterval, out []uint64) {
-	idx := &sg.nidx[iv.col]
+func (d *segData) evalInterval(iv *numInterval, out []uint64) {
+	idx := &d.nidx[iv.col]
 	if len(idx.sorted) == 0 {
 		return // every value NaN; NaN fails every interval
 	}
@@ -181,10 +292,10 @@ func (sg *segment) evalInterval(iv *numInterval, out []uint64) {
 	}
 	// Zone-map accept: [min,max] lies inside the interval and the segment has
 	// no NaN rows, so every row matches — one word fill, no binary searches.
-	if len(idx.perm) == sg.n &&
+	if len(idx.perm) == d.n &&
 		(iv.lo < idx.min || (iv.lo == idx.min && iv.loIncl)) &&
 		(iv.hi > idx.max || (iv.hi == idx.max && iv.hiIncl)) {
-		setAllSegment(out, sg.n)
+		setAllSegment(out, d.n)
 		return
 	}
 	var lo, hi int
@@ -205,28 +316,28 @@ func (sg *segment) evalInterval(iv *numInterval, out []uint64) {
 
 // evalCond fills out (assumed zero) with the rows matching one condition,
 // via the column's index — never a row sweep.
-func (sg *segment) evalCond(c compiledCond, out []uint64) {
+func (d *segData) evalCond(c compiledCond, out []uint64) {
 	if c.numeric {
-		sg.evalNum(c, out)
+		d.evalNum(c, out)
 	} else {
-		sg.evalCat(c, out)
+		d.evalCat(c, out)
 	}
 }
 
-func (sg *segment) evalNum(c compiledCond, out []uint64) {
-	idx := &sg.nidx[c.col]
+func (d *segData) evalNum(c compiledCond, out []uint64) {
+	idx := &d.nidx[c.col]
 	if math.IsNaN(c.v) {
 		// v OP NaN is false for every ordered comparison and for ==;
 		// v != NaN is true for every v (including NaN).
 		if c.op == Ne {
-			setAllSegment(out, sg.n)
+			setAllSegment(out, d.n)
 		}
 		return
 	}
 	if len(idx.sorted) == 0 {
 		// Every value NaN: fails everything except !=.
 		if c.op == Ne {
-			setAllSegment(out, sg.n)
+			setAllSegment(out, d.n)
 		}
 		return
 	}
@@ -234,14 +345,14 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 	// side of the comparison, answer without a binary search. Accepting all
 	// additionally requires no NaN rows (perm covers the segment); Ne's
 	// accept does not, since NaN != v.
-	allNonNaN := len(idx.perm) == sg.n
+	allNonNaN := len(idx.perm) == d.n
 	switch c.op {
 	case Lt:
 		if c.v <= idx.min {
 			return
 		}
 		if c.v > idx.max && allNonNaN {
-			setAllSegment(out, sg.n)
+			setAllSegment(out, d.n)
 			return
 		}
 	case Le:
@@ -249,7 +360,7 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 			return
 		}
 		if c.v >= idx.max && allNonNaN {
-			setAllSegment(out, sg.n)
+			setAllSegment(out, d.n)
 			return
 		}
 	case Gt:
@@ -257,7 +368,7 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 			return
 		}
 		if c.v < idx.min && allNonNaN {
-			setAllSegment(out, sg.n)
+			setAllSegment(out, d.n)
 			return
 		}
 	case Ge:
@@ -265,7 +376,7 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 			return
 		}
 		if c.v <= idx.min && allNonNaN {
-			setAllSegment(out, sg.n)
+			setAllSegment(out, d.n)
 			return
 		}
 	case Eq:
@@ -273,12 +384,12 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 			return
 		}
 		if c.v == idx.min && c.v == idx.max && allNonNaN {
-			setAllSegment(out, sg.n)
+			setAllSegment(out, d.n)
 			return
 		}
 	case Ne:
 		if c.v < idx.min || c.v > idx.max {
-			setAllSegment(out, sg.n)
+			setAllSegment(out, d.n)
 			return
 		}
 	}
@@ -298,7 +409,7 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 		lo, hi = lowerBound(idx.sorted, c.v), upperBound(idx.sorted, c.v)
 	case Ne:
 		// Everything (NaN rows included: NaN != v) except the equal range.
-		setAllSegment(out, sg.n)
+		setAllSegment(out, d.n)
 		for _, r := range idx.perm[lowerBound(idx.sorted, c.v):upperBound(idx.sorted, c.v)] {
 			clearBit(out, r)
 		}
@@ -309,8 +420,8 @@ func (sg *segment) evalNum(c compiledCond, out []uint64) {
 	}
 }
 
-func (sg *segment) evalCat(c compiledCond, out []uint64) {
-	idx := &sg.cidx[c.col]
+func (d *segData) evalCat(c compiledCond, out []uint64) {
+	idx := &d.cidx[c.col]
 	switch c.op {
 	case Eq:
 		if !c.codeOK || len(idx.sorted) == 0 || c.code < idx.min || c.code > idx.max {
@@ -320,7 +431,7 @@ func (sg *segment) evalCat(c compiledCond, out []uint64) {
 			setBit(out, r)
 		}
 	case Ne:
-		setAllSegment(out, sg.n)
+		setAllSegment(out, d.n)
 		if !c.codeOK || len(idx.sorted) == 0 || c.code < idx.min || c.code > idx.max {
 			return
 		}

@@ -90,10 +90,14 @@ func (s *Store) SegmentEvals() int64 { return s.segEvals.Load() }
 // scatter fans perSeg out across the snapshot's shards on the default
 // worker pool: one task per non-empty shard, each walking its segments in
 // ascending base order with one pooled scratch window, plus one task for
-// the unindexed tail. The per-shard segment counts are gathered in shard
-// order (par.MapTasks) and folded into the store's work counter with a
-// single atomic add — no per-segment synchronisation anywhere.
-func (s *Snapshot) scatter(perSeg func(sg *segment, scratch []uint64), tail func()) {
+// the unindexed tail. Each segment's decoded data is acquired once around
+// the perSeg call — the single point where the resident/spilled tiers
+// converge for query execution — so a spilled segment is decoded once per
+// shard visit no matter how many conjunctions perSeg evaluates against it.
+// The per-shard segment counts are gathered in shard order (par.MapTasks)
+// and folded into the store's work counter with a single atomic add — no
+// per-segment synchronisation anywhere.
+func (s *Snapshot) scatter(perSeg func(sg *segment, d *segData, scratch []uint64), tail func()) {
 	active := make([]int, 0, len(s.byShard))
 	for i := range s.byShard {
 		if len(s.byShard[i]) > 0 {
@@ -115,7 +119,9 @@ func (s *Snapshot) scatter(perSeg func(sg *segment, scratch []uint64), tail func
 		segs := s.byShard[active[t]]
 		sw := s.store.getScratch()
 		for _, sg := range segs {
-			perSeg(sg, *sw)
+			d, release := sg.acquire()
+			perSeg(sg, d, *sw)
+			release()
 		}
 		s.store.putScratch(sw)
 		return len(segs)
@@ -166,7 +172,7 @@ func (s *Snapshot) Eval(conds []Cond) (*Bitmap, error) {
 		return bm, nil
 	}
 	s.scatter(
-		func(sg *segment, scratch []uint64) { sg.eval(p, sg.window(bm.words), scratch) },
+		func(sg *segment, d *segData, scratch []uint64) { d.eval(p, sg.window(bm.words), scratch) },
 		func() { s.evalTail(cc, bm) },
 	)
 	return bm, nil
@@ -188,10 +194,10 @@ func (s *Snapshot) EvalScan(conds []Cond) (*Bitmap, error) {
 		return bm, nil
 	}
 	s.scatter(
-		func(sg *segment, _ []uint64) {
+		func(sg *segment, d *segData, _ []uint64) {
 			w := sg.window(bm.words)
 			for i := 0; i < sg.n; i++ {
-				if matchRow(cc, sg.nums, sg.cats, i) {
+				if matchRow(cc, d.nums, d.cats, i) {
 					setBit(w, uint32(i))
 				}
 			}
@@ -237,9 +243,9 @@ func (s *Snapshot) EvalBatch(batch [][]Cond) ([]*Bitmap, error) {
 		return out, nil
 	}
 	s.scatter(
-		func(sg *segment, scratch []uint64) {
+		func(sg *segment, d *segData, scratch []uint64) {
 			for _, k := range active {
-				sg.eval(plans[k], sg.window(out[k].words), scratch)
+				d.eval(plans[k], sg.window(out[k].words), scratch)
 			}
 		},
 		func() {

@@ -33,11 +33,23 @@
 // Sealed segments are partitioned into goroutine-owned shards and queries
 // scatter one task per shard rather than per segment; see shard.go for the
 // execution model and the determinism argument.
+//
+// Tiers. A store opened with a data directory (Create/Open) is durable and
+// two-tiered: sealing also writes the segment — raw columns plus its
+// indexes, CRC-checksummed — to disk, and under Options.MemCap decoded
+// segments spill out of memory and are re-read on demand through a
+// pinned-page LRU pager. Every reader goes through segment.acquire, which
+// is tier-blind, so answers are byte-identical wherever the bytes live.
+// Durability is manifest-based: immutable data files, atomic-rename
+// commits, recovery to the last fully-validated manifest; see manifest.go
+// for the file layout and tier.go for Create/Open/recovery.
 package store
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -129,13 +141,29 @@ type Store struct {
 	attrs   []dataset.Attribute
 	segSize int
 	dict    *dict
+	tier    *tierState // tier bookkeeping; dir == "" for memory-only stores
 
-	mu       sync.Mutex // serializes ingest and snapshot publication
+	mu       sync.Mutex // serializes ingest, snapshot publication, and commits
 	segs     []*segment // sealed, immutable; replaced (never appended in place) on seal
 	tailNums [][]float64
 	tailCats [][]uint32
 	tailLen  int
-	version  uint64 // publish counter; bumped by publishLocked
+	version  uint64 // (epoch<<32)|publish counter; bumped by publishLocked
+	closed   bool
+
+	// Durable-store state (zero for memory-only stores). epoch counts
+	// Open/Create incarnations and occupies the version's high 32 bits, so
+	// snapshot versions — and the answer-cache and noise keys derived from
+	// them — can never collide across restarts even when a crash discarded
+	// unpublished commits.
+	epoch         uint64
+	manifestSeq   uint64
+	lockF         *os.File
+	dictF         *os.File
+	dictCommitted int   // dictionary entries flushed to DICT
+	dictBytes     int64 // committed DICT prefix length
+	dictCRC       uint32
+	tailKeep      [2]string // tail files referenced by the two kept manifests
 
 	shardState
 
@@ -153,6 +181,20 @@ func New(attrs []dataset.Attribute, segSize int) (*Store, error) {
 // segment shards (≤ 0 selects DefaultShards). The shard count is fixed for
 // the store's lifetime: segment→shard assignment is deterministic in it.
 func NewSharded(attrs []dataset.Attribute, segSize, shards int) (*Store, error) {
+	s, err := newStore(attrs, segSize, shards, "", Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// newStore builds a store shell (schema, shard state, tier bookkeeping,
+// fresh tail) without publishing a snapshot; Create/Open finish durable
+// setup before the first publish.
+func newStore(attrs []dataset.Attribute, segSize, shards int, dir string, opts Options) (*Store, error) {
 	if segSize <= 0 {
 		segSize = DefaultSegmentSize
 	}
@@ -162,16 +204,17 @@ func NewSharded(attrs []dataset.Attribute, segSize, shards int) (*Store, error) 
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("store: schema needs at least one attribute")
 	}
+	if opts.MemCap < 0 {
+		return nil, fmt.Errorf("store: negative memory cap %d", opts.MemCap)
+	}
 	s := &Store{
 		attrs:   append([]dataset.Attribute(nil), attrs...),
 		segSize: segSize,
 		dict:    newDict(),
 	}
+	s.tier = newTierState(dir, s.attrs, segSize, opts)
 	s.initShards(shards, segSize)
 	s.freshTail()
-	s.mu.Lock()
-	s.publishLocked()
-	s.mu.Unlock()
 	return s, nil
 }
 
@@ -209,17 +252,38 @@ func (s *Store) freshTail() {
 	s.tailLen = 0
 }
 
-// sealLocked freezes the full tail into an indexed immutable segment. The
-// segment list is replaced, not appended in place, so snapshots holding the
-// old slice header are unaffected.
-func (s *Store) sealLocked() {
-	sg := buildSegment(len(s.segs)*s.segSize, s.tailNums, s.tailCats)
+// sealLocked freezes the full tail into an indexed immutable segment. A
+// durable store also writes the segment's checksummed file (tmp + fsync +
+// rename) before the segment becomes visible, so every sealed segment a
+// manifest will ever reference is already safely on disk. The segment list
+// is replaced, not appended in place, so snapshots holding the old slice
+// header are unaffected.
+func (s *Store) sealLocked() error {
+	d := buildSegData(s.tailNums, s.tailCats)
+	sg := &segment{
+		base:  len(s.segs) * s.segSize,
+		n:     d.n,
+		ord:   len(s.segs),
+		bytes: d.footprint(),
+		tier:  s.tier,
+	}
+	if s.tier.durable() {
+		name := segFileName(sg.ord)
+		size, crc, err := writeBlockFile(s.tier.dir, name, segMagic, sg.base, d.n, d.nums, d.cats, d)
+		if err != nil {
+			return err
+		}
+		sg.src = &fileSource{t: s.tier, ord: sg.ord, name: name, size: size, crc: crc, decoded: sg.bytes}
+	}
+	sg.data.Store(d)
+	s.tier.noteSealed(sg.bytes)
 	segs := make([]*segment, len(s.segs)+1)
 	copy(segs, s.segs)
 	segs[len(s.segs)] = sg
 	s.segs = segs
 	s.rebuildShardsLocked()
 	s.freshTail()
+	return nil
 }
 
 // publishLocked installs the current state as the live snapshot and bumps
@@ -278,6 +342,9 @@ func (s *Store) Append(vals ...any) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: append on closed store")
+	}
 	for j, a := range s.attrs {
 		if a.Kind == dataset.Numeric {
 			s.tailNums[j] = append(s.tailNums[j], fs[j])
@@ -287,9 +354,40 @@ func (s *Store) Append(vals ...any) error {
 	}
 	s.tailLen++
 	if s.tailLen == s.segSize {
-		s.sealLocked()
+		if err := s.sealLocked(); err != nil {
+			// Roll the row back so the tail stays exactly one short of a
+			// seal and the caller can retry.
+			for j, a := range s.attrs {
+				if a.Kind == dataset.Numeric {
+					s.tailNums[j] = s.tailNums[j][:len(s.tailNums[j])-1]
+				} else {
+					s.tailCats[j] = s.tailCats[j][:len(s.tailCats[j])-1]
+				}
+			}
+			s.tailLen--
+			return err
+		}
+		if err := s.commitSpillLocked(); err != nil {
+			// The seal is consistent in memory but not yet durable; the
+			// next successful commit (seal or Close) carries it.
+			return err
+		}
 	}
 	s.publishLocked()
+	return nil
+}
+
+// commitSpillLocked commits the current sealed state of a durable store
+// and re-balances the resident tier under the memory cap. A no-op for
+// memory-only stores.
+func (s *Store) commitSpillLocked() error {
+	if !s.tier.durable() {
+		return nil
+	}
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	s.spillLocked()
 	return nil
 }
 
@@ -308,6 +406,10 @@ func (s *Store) AppendDataset(d *dataset.Dataset) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: append on closed store")
+	}
+	sealed := false
 	for r := 0; r < d.Rows(); {
 		take := s.segSize - s.tailLen
 		if rem := d.Rows() - r; take > rem {
@@ -326,7 +428,20 @@ func (s *Store) AppendDataset(d *dataset.Dataset) error {
 		s.tailLen += take
 		r += take
 		if s.tailLen == s.segSize {
-			s.sealLocked()
+			if err := s.sealLocked(); err != nil {
+				// Publish the consistent prefix (earlier seals + current
+				// tail rows minus this failed block stay as a full tail).
+				s.publishLocked()
+				return err
+			}
+			sealed = true
+		}
+	}
+	// One commit for the whole bulk ingest, not one per sealed segment.
+	if sealed {
+		if err := s.commitSpillLocked(); err != nil {
+			s.publishLocked()
+			return err
 		}
 	}
 	s.publishLocked()
@@ -490,7 +605,8 @@ func (s *Snapshot) Sum(bm *Bitmap, col int) float64 {
 		if !anyWord(words) {
 			continue
 		}
-		colv := sg.nums[col]
+		d, release := sg.acquire()
+		colv := d.nums[col]
 		for wi, w := range words {
 			if w == 0 {
 				continue
@@ -501,6 +617,7 @@ func (s *Snapshot) Sum(bm *Bitmap, col int) float64 {
 				w &= w - 1
 			}
 		}
+		release()
 	}
 	if s.tailLen > 0 {
 		base := len(s.segs) * s.store.segSize
@@ -518,7 +635,10 @@ func (s *Snapshot) Sum(bm *Bitmap, col int) float64 {
 // non-numeric column or out-of-range row, mirroring slice indexing.
 func (s *Snapshot) Float(i, col int) float64 {
 	if sg := i / s.store.segSize; sg < len(s.segs) {
-		return s.segs[sg].nums[col][i%s.store.segSize]
+		d, release := s.segs[sg].acquire()
+		v := d.nums[col][i%s.store.segSize]
+		release()
+		return v
 	}
 	return s.tailNums[col][i-len(s.segs)*s.store.segSize]
 }
@@ -527,11 +647,48 @@ func (s *Snapshot) Float(i, col int) float64 {
 func (s *Snapshot) Cat(i, col int) string {
 	var code uint32
 	if sg := i / s.store.segSize; sg < len(s.segs) {
-		code = s.segs[sg].cats[col][i%s.store.segSize]
+		d, release := s.segs[sg].acquire()
+		code = d.cats[col][i%s.store.segSize]
+		release()
 	} else {
 		code = s.tailCats[col][i-len(s.segs)*s.store.segSize]
 	}
 	return s.store.dict.str(code)
+}
+
+// NumRange returns the minimum and maximum of numeric column col over the
+// snapshot, skipping NaN values exactly like a plain `v < lo / v > hi`
+// sweep would (+Inf, -Inf when no comparable value exists). Sealed
+// segments answer straight from their zone maps — the zone map of a
+// spilled segment still costs an acquire, but never a column sweep.
+func (s *Snapshot) NumRange(col int) (lo, hi float64) {
+	if s.store.attrs[col].Kind != dataset.Numeric {
+		panic(fmt.Sprintf("store: attribute %q is not numeric", s.store.attrs[col].Name))
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, sg := range s.segs {
+		d, release := sg.acquire()
+		idx := &d.nidx[col]
+		if len(idx.sorted) > 0 {
+			if idx.min < lo {
+				lo = idx.min
+			}
+			if idx.max > hi {
+				hi = idx.max
+			}
+		}
+		release()
+	}
+	colv := s.tailNums[col]
+	for i := 0; i < s.tailLen; i++ {
+		if colv[i] < lo {
+			lo = colv[i]
+		}
+		if colv[i] > hi {
+			hi = colv[i]
+		}
+	}
+	return lo, hi
 }
 
 // Materialize exports the snapshot as a dataset (column-wise copy,
@@ -542,23 +699,33 @@ func (s *Snapshot) Materialize() *dataset.Dataset {
 	cats := make([][]string, len(s.store.attrs))
 	for j, a := range s.store.attrs {
 		if a.Kind == dataset.Numeric {
-			col := make([]float64, 0, s.rows)
-			for _, sg := range s.segs {
-				col = append(col, sg.nums[j]...)
-			}
-			col = append(col, s.tailNums[j]...)
-			nums[j] = col
+			nums[j] = make([]float64, 0, s.rows)
 		} else {
-			col := make([]string, 0, s.rows)
-			for _, sg := range s.segs {
-				for _, code := range sg.cats[j] {
-					col = append(col, s.store.dict.str(code))
+			cats[j] = make([]string, 0, s.rows)
+		}
+	}
+	// Segment-outer order so each spilled segment is decoded once for all
+	// of its columns, not once per column.
+	for _, sg := range s.segs {
+		d, release := sg.acquire()
+		for j, a := range s.store.attrs {
+			if a.Kind == dataset.Numeric {
+				nums[j] = append(nums[j], d.nums[j]...)
+			} else {
+				for _, code := range d.cats[j] {
+					cats[j] = append(cats[j], s.store.dict.str(code))
 				}
 			}
+		}
+		release()
+	}
+	for j, a := range s.store.attrs {
+		if a.Kind == dataset.Numeric {
+			nums[j] = append(nums[j], s.tailNums[j]...)
+		} else {
 			for _, code := range s.tailCats[j] {
-				col = append(col, s.store.dict.str(code))
+				cats[j] = append(cats[j], s.store.dict.str(code))
 			}
-			cats[j] = col
 		}
 	}
 	d, err := dataset.NewFromColumns(s.store.attrs, s.rows, nums, cats)

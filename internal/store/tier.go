@@ -1,0 +1,650 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"privacy3d/internal/dataset"
+)
+
+// Two-tier storage. Every store owns a tierState; a memory-only store
+// (New/FromDataset) has dir == "" and keeps every sealed segment resident
+// forever, while a durable store (Create/Open) writes each sealed segment
+// to its own checksummed file at seal time and may then evict the decoded
+// form under a memory cap — the segment stays queryable through its
+// SegmentSource, which decodes pages leased from the store's pager.
+// Promotion is read-through: an acquire of a spilled segment re-admits it
+// to the resident tier whenever the cap has room.
+
+// Process-wide tier gauges, aggregated over every live (un-Closed) store
+// so serve binaries can surface them on /metrics without holding a store
+// reference. Memory-only stores count toward the resident gauge too — a
+// serve process without -datadir reports its whole store resident.
+var (
+	gSegResident    atomic.Int64
+	gSegSpilled     atomic.Int64
+	gPagerHits      atomic.Int64
+	gPagerMisses    atomic.Int64
+	gPagerEvictions atomic.Int64
+)
+
+// TierGauges reports the process-wide tier gauges: resident and spilled
+// sealed-segment counts across live stores, and cumulative pager hits,
+// misses and evictions.
+func TierGauges() (resident, spilled, pagerHits, pagerMisses, pagerEvictions int64) {
+	return gSegResident.Load(), gSegSpilled.Load(), gPagerHits.Load(),
+		gPagerMisses.Load(), gPagerEvictions.Load()
+}
+
+// Options configures a durable store.
+type Options struct {
+	// SegmentSize is the rows per sealed segment (0 selects
+	// DefaultSegmentSize on Create; on Open it must match the manifest or
+	// be 0).
+	SegmentSize int
+	// Shards is the segment shard count (0 selects DefaultShards on
+	// Create, the manifest's count on Open).
+	Shards int
+	// MemCap caps the decoded resident bytes of sealed segments; 0 means
+	// uncapped (segments are still persisted, never evicted).
+	MemCap int64
+	// PageBytes caps the pager's page cache; 0 derives it from MemCap
+	// (or 64 MiB when MemCap is 0 too).
+	PageBytes int64
+}
+
+// tierState is the per-store tier bookkeeping shared by its segments.
+type tierState struct {
+	dir     string // "" for memory-only stores
+	memCap  int64
+	pg      *pager
+	attrs   []dataset.Attribute
+	segSize int
+
+	useClock      atomic.Int64 // logical clock stamping acquires (LRU order)
+	residentBytes atomic.Int64 // decoded bytes admitted to the resident tier
+	residentSegs  atomic.Int64
+	spilledSegs   atomic.Int64
+
+	fmu    sync.Mutex
+	files  map[int]*os.File // ord → open segment file
+	closed bool
+}
+
+func newTierState(dir string, attrs []dataset.Attribute, segSize int, opts Options) *tierState {
+	pageBytes := opts.PageBytes
+	if pageBytes <= 0 {
+		if opts.MemCap > 0 {
+			pageBytes = opts.MemCap
+		} else {
+			pageBytes = 64 << 20
+		}
+	}
+	return &tierState{
+		dir:     dir,
+		memCap:  opts.MemCap,
+		pg:      newPager(DefaultPageSize, pageBytes),
+		attrs:   attrs,
+		segSize: segSize,
+		files:   map[int]*os.File{},
+	}
+}
+
+// durable reports whether the tier has a backing directory.
+func (t *tierState) durable() bool { return t.dir != "" }
+
+// admit reserves b decoded bytes of resident budget. With no cap it always
+// succeeds; under a cap it fails when the budget is exhausted (but a store
+// whose cap is smaller than a single segment may still admit it when
+// nothing else is resident, so progress never wedges).
+func (t *tierState) admit(b int64) bool {
+	if t.memCap <= 0 {
+		t.residentBytes.Add(b)
+		return true
+	}
+	for {
+		cur := t.residentBytes.Load()
+		if cur+b > t.memCap && cur > 0 {
+			return false
+		}
+		if t.residentBytes.CompareAndSwap(cur, cur+b) {
+			return true
+		}
+	}
+}
+
+func (t *tierState) unadmit(b int64) { t.residentBytes.Add(-b) }
+
+// noteResident flips a spilled segment's accounting to resident (its bytes
+// were already reserved by admit).
+func (t *tierState) noteResident(int64) {
+	t.residentSegs.Add(1)
+	t.spilledSegs.Add(-1)
+	gSegResident.Add(1)
+	gSegSpilled.Add(-1)
+}
+
+// noteSealed accounts a freshly sealed (resident) segment.
+func (t *tierState) noteSealed(b int64) {
+	t.residentBytes.Add(b)
+	t.residentSegs.Add(1)
+	gSegResident.Add(1)
+}
+
+// noteSpilled flips a resident segment's accounting to spilled.
+func (t *tierState) noteSpilled(b int64) {
+	t.residentBytes.Add(-b)
+	t.residentSegs.Add(-1)
+	t.spilledSegs.Add(1)
+	gSegResident.Add(-1)
+	gSegSpilled.Add(1)
+}
+
+// file returns the open handle for segment ord, opening (and caching) it
+// on first use.
+func (t *tierState) file(ord int, name string) (*os.File, error) {
+	t.fmu.Lock()
+	defer t.fmu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("store: %s: store is closed", name)
+	}
+	if f, ok := t.files[ord]; ok {
+		return f, nil
+	}
+	f, err := os.Open(filepath.Join(t.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	t.files[ord] = f
+	return f, nil
+}
+
+// close drops the file handles and retires the store's gauge contribution.
+func (t *tierState) close() {
+	t.fmu.Lock()
+	if !t.closed {
+		t.closed = true
+		for _, f := range t.files {
+			f.Close()
+		}
+		t.files = nil
+		gSegResident.Add(-t.residentSegs.Load())
+		gSegSpilled.Add(-t.spilledSegs.Load())
+	}
+	t.fmu.Unlock()
+}
+
+// fileSource is the SegmentSource for a sealed segment persisted in the
+// store directory: it decodes the segment file through the store's pager.
+type fileSource struct {
+	t       *tierState
+	ord     int
+	name    string
+	size    int64
+	crc     uint32 // whole-file CRC, as recorded in the manifest
+	decoded int64  // decoded footprint, for the resident-tier accounting
+}
+
+func (fs *fileSource) Name() string { return fs.name }
+
+func (fs *fileSource) Load() (*segData, error) {
+	f, err := fs.t.file(fs.ord, fs.name)
+	if err != nil {
+		return nil, err
+	}
+	br := &blockReader{
+		src:  f,
+		size: fs.size,
+		name: fs.name,
+		read: func(off int64, dst []byte) error {
+			return fs.t.pg.readAt(uint32(fs.ord), f, fs.size, off, dst)
+		},
+	}
+	_, d, err := decodeBlock(br, segMagic, fs.t.attrs, true)
+	if err == nil && d.n != fs.t.segSize {
+		return nil, fmt.Errorf("store: %s: %d rows, segment size is %d", fs.name, d.n, fs.t.segSize)
+	}
+	return d, err
+}
+
+// TierStats is a point-in-time view of one store's tier state.
+type TierStats struct {
+	Resident      int   // sealed segments whose decoded form is in memory
+	Spilled       int   // sealed segments served through the pager
+	ResidentBytes int64 // decoded bytes admitted against MemCap
+	PagerHits     int64
+	PagerMisses   int64
+	PagerEvictions int64
+	PagerBytes    int64
+}
+
+// TierStats reports the store's tier counters.
+func (s *Store) TierStats() TierStats {
+	t := s.tier
+	ps := t.pg.stats()
+	return TierStats{
+		Resident:       int(t.residentSegs.Load()),
+		Spilled:        int(t.spilledSegs.Load()),
+		ResidentBytes:  t.residentBytes.Load(),
+		PagerHits:      ps.hits,
+		PagerMisses:    ps.misses,
+		PagerEvictions: ps.evictions,
+		PagerBytes:     ps.bytes,
+	}
+}
+
+// Exists reports whether dir holds a committed store (any manifest file).
+func Exists(dir string) bool {
+	seqs, err := listManifests(dir)
+	return err == nil && len(seqs) > 0
+}
+
+// lockDir takes the directory's exclusive flock. The lock lives on the
+// open file description, so it is released by Close, by process exit, and
+// by a crash — stale locks cannot wedge a restart.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another store instance (close it first): %w", dir, err)
+	}
+	return f, nil
+}
+
+// Create initialises a new durable store in dir (created if missing, must
+// not already contain a store) and commits an empty manifest so the
+// directory is recoverable from the first moment.
+func Create(dir string, attrs []dataset.Attribute, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if Exists(dir) {
+		return nil, fmt.Errorf("store: %s already contains a store (use Open)", dir)
+	}
+	lockF, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newStore(attrs, opts.SegmentSize, opts.Shards, dir, opts)
+	if err != nil {
+		lockF.Close()
+		return nil, err
+	}
+	s.lockF = lockF
+	s.dictF, err = os.OpenFile(filepath.Join(dir, dictFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		lockF.Close()
+		return nil, err
+	}
+	s.epoch = 1
+	s.version = s.epoch << 32
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.commitLocked(); err != nil {
+		s.dictF.Close()
+		lockF.Close()
+		return nil, err
+	}
+	s.publishLocked()
+	return s, nil
+}
+
+// CreateFromDataset is Create followed by a bulk ingest of d's rows.
+func CreateFromDataset(dir string, d *dataset.Dataset, opts Options) (*Store, error) {
+	s, err := Create(dir, d.Attrs(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AppendDataset(d); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open recovers the store committed in dir: it adopts the newest manifest
+// whose checksum and every referenced file's checksum verify (deleting
+// torn newer ones), loads the committed dictionary prefix and tail, and
+// registers every sealed segment as spilled — decoded forms stream back in
+// through the pager as queries touch them. The epoch is bumped and
+// committed before the store is returned, so snapshot versions from this
+// incarnation can never collide with versions any previous incarnation may
+// have handed out after its last commit.
+func Open(dir string, opts Options) (*Store, error) {
+	lockF, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	m, seq, err := recoverManifest(dir)
+	if err != nil {
+		lockF.Close()
+		return nil, err
+	}
+	if opts.SegmentSize > 0 && opts.SegmentSize != m.SegSize {
+		lockF.Close()
+		return nil, fmt.Errorf("store: %s has segment size %d, requested %d", dir, m.SegSize, opts.SegmentSize)
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = m.Shards
+	}
+	s, err := newStore(m.Attrs, m.SegSize, shards, dir, opts)
+	if err != nil {
+		lockF.Close()
+		return nil, err
+	}
+	s.lockF = lockF
+	s.manifestSeq = seq
+	s.epoch = m.Epoch + 1
+	s.version = s.epoch << 32
+	fail := func(err error) (*Store, error) {
+		s.tier.close()
+		lockF.Close()
+		return nil, err
+	}
+
+	// Dictionary: load the committed prefix, truncate any uncommitted
+	// trailing bytes a crashed ingest appended, and keep appending.
+	s.dictF, err = os.OpenFile(filepath.Join(dir, dictFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	if err := s.loadDict(m); err != nil {
+		s.dictF.Close()
+		return fail(err)
+	}
+
+	// Sealed segments: handles only, all spilled. Decoded footprints come
+	// from the manifest so the memory cap can account a segment it has
+	// never decoded.
+	segs := make([]*segment, len(m.Segments))
+	for i := range m.Segments {
+		b := &m.Segments[i]
+		sg := &segment{
+			base:  i * s.segSize,
+			n:     b.Rows,
+			ord:   i,
+			bytes: b.Decoded,
+			tier:  s.tier,
+			src:   &fileSource{t: s.tier, ord: i, name: b.File, size: b.Size, crc: b.CRC, decoded: b.Decoded},
+		}
+		segs[i] = sg
+	}
+	s.segs = segs
+	s.tier.spilledSegs.Store(int64(len(segs)))
+	gSegSpilled.Add(int64(len(segs)))
+
+	// Open tail: decoded directly (it is at most one segment of rows).
+	if m.Tail != nil {
+		if err := s.loadTail(m.Tail); err != nil {
+			s.dictF.Close()
+			return fail(err)
+		}
+		s.tailKeep[0] = m.Tail.File
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildShardsLocked()
+	// Commit the epoch bump immediately (same data, new epoch) so a crash
+	// before the next natural commit still leaves the epoch consumed.
+	if err := s.commitLocked(); err != nil {
+		s.dictF.Close()
+		s.tier.close()
+		lockF.Close()
+		return nil, err
+	}
+	s.publishLocked()
+	return s, nil
+}
+
+// loadDict reads the committed dictionary prefix and positions the file
+// for appends.
+func (s *Store) loadDict(m *manifest) error {
+	if m.DictBytes > 0 {
+		buf := make([]byte, m.DictBytes)
+		if _, err := io.ReadFull(io.NewSectionReader(s.dictF, 0, m.DictBytes), buf); err != nil {
+			return fmt.Errorf("store: dictionary: %w", err)
+		}
+		for len(buf) > 0 {
+			n, w := binary.Uvarint(buf)
+			if w <= 0 || uint64(len(buf)-w) < n {
+				return fmt.Errorf("store: dictionary: corrupt entry at byte %d", m.DictBytes-int64(len(buf)))
+			}
+			s.dict.intern(string(buf[w : w+int(n)]))
+			buf = buf[w+int(n):]
+		}
+	}
+	if len(s.dict.strs) != m.DictLen {
+		return fmt.Errorf("store: dictionary has %d committed entries, manifest says %d", len(s.dict.strs), m.DictLen)
+	}
+	if err := s.dictF.Truncate(m.DictBytes); err != nil {
+		return err
+	}
+	if _, err := s.dictF.Seek(m.DictBytes, io.SeekStart); err != nil {
+		return err
+	}
+	s.dictCommitted = m.DictLen
+	s.dictBytes = m.DictBytes
+	s.dictCRC = m.DictCRC
+	return nil
+}
+
+// loadTail decodes the committed tail file into fresh tail buffers.
+func (s *Store) loadTail(b *manifestBlock) error {
+	f, err := os.Open(filepath.Join(s.tier.dir, b.File))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := &blockReader{
+		src:  f,
+		size: b.Size,
+		name: b.File,
+		read: func(off int64, dst []byte) error {
+			_, err := f.ReadAt(dst, off)
+			return err
+		},
+	}
+	_, d, err := decodeBlock(br, tailMagic, s.attrs, false)
+	if err != nil {
+		return err
+	}
+	if d.n != b.Rows || d.n > s.segSize {
+		return fmt.Errorf("store: %s: %d rows, manifest says %d (segment size %d)", b.File, d.n, b.Rows, s.segSize)
+	}
+	for j := range s.attrs {
+		if d.nums[j] != nil {
+			s.tailNums[j] = append(s.tailNums[j], d.nums[j]...)
+		}
+		if d.cats[j] != nil {
+			s.tailCats[j] = append(s.tailCats[j], d.cats[j]...)
+		}
+	}
+	s.tailLen = d.n
+	return nil
+}
+
+// flushDictLocked appends the uncommitted dictionary entries to DICT and
+// fsyncs, maintaining the running committed CRC.
+func (s *Store) flushDictLocked() error {
+	s.dict.mu.RLock()
+	n := len(s.dict.strs)
+	var buf []byte
+	for _, str := range s.dict.strs[s.dictCommitted:n] {
+		buf = binary.AppendUvarint(buf, uint64(len(str)))
+		buf = append(buf, str...)
+	}
+	s.dict.mu.RUnlock()
+	if len(buf) == 0 {
+		s.dictCommitted = n
+		return nil
+	}
+	if _, err := s.dictF.Write(buf); err != nil {
+		return err
+	}
+	if err := s.dictF.Sync(); err != nil {
+		return err
+	}
+	s.dictCommitted = n
+	s.dictBytes += int64(len(buf))
+	s.dictCRC = crc32.Update(s.dictCRC, crc32.IEEETable, buf)
+	return nil
+}
+
+// commitLocked makes the current sealed state (and open tail) durable:
+// flush the dictionary, write a fresh tail file when the tail is
+// non-empty, and commit a new manifest via atomic rename. Sealed segment
+// files were already written (and fsync'd) at seal time. After the commit,
+// manifests and tail files superseded twice over are removed — the
+// previous commit stays on disk as the fallback recovery point.
+func (s *Store) commitLocked() error {
+	if err := s.flushDictLocked(); err != nil {
+		return err
+	}
+	seq := s.manifestSeq + 1
+	m := &manifest{
+		SegSize:   s.segSize,
+		Shards:    s.shards,
+		Epoch:     s.epoch,
+		Version:   s.version,
+		Attrs:     s.attrs,
+		DictLen:   s.dictCommitted,
+		DictBytes: s.dictBytes,
+		DictCRC:   s.dictCRC,
+	}
+	m.Segments = make([]manifestBlock, len(s.segs))
+	for i, sg := range s.segs {
+		src := sg.src.(*fileSource)
+		m.Segments[i] = manifestBlock{File: src.name, Rows: sg.n, Size: src.size, CRC: src.crc, Decoded: src.decoded}
+	}
+	var tailName string
+	if s.tailLen > 0 {
+		tailName = tailFileName(seq)
+		nums := make([][]float64, len(s.attrs))
+		cats := make([][]uint32, len(s.attrs))
+		for j := range s.attrs {
+			if s.tailNums[j] != nil {
+				nums[j] = s.tailNums[j][:s.tailLen]
+			}
+			if s.tailCats[j] != nil {
+				cats[j] = s.tailCats[j][:s.tailLen]
+			}
+		}
+		size, crc, err := writeBlockFile(s.tier.dir, tailName, tailMagic, len(s.segs)*s.segSize, s.tailLen, nums, cats, nil)
+		if err != nil {
+			return err
+		}
+		m.Tail = &manifestBlock{File: tailName, Rows: s.tailLen, Size: size, CRC: crc}
+	}
+	if err := writeManifest(s.tier.dir, seq, m); err != nil {
+		return err
+	}
+	s.manifestSeq = seq
+	s.tailKeep[1] = s.tailKeep[0]
+	s.tailKeep[0] = tailName
+	s.cleanupLocked(seq)
+	return nil
+}
+
+// cleanupLocked removes manifests and tail files older than the previous
+// commit. Best-effort.
+func (s *Store) cleanupLocked(seq uint64) {
+	seqs, err := listManifests(s.tier.dir)
+	if err != nil {
+		return
+	}
+	for _, old := range seqs {
+		if old < seq && old != s.prevManifestSeq(seqs, seq) {
+			os.Remove(filepath.Join(s.tier.dir, manifestFileName(old)))
+		}
+	}
+	sweepOrphans(s.tier.dir, s.keepFiles(), len(s.segs))
+}
+
+// prevManifestSeq returns the newest sequence below seq (the fallback
+// commit), or seq itself when none exists.
+func (s *Store) prevManifestSeq(seqs []uint64, seq uint64) uint64 {
+	best := seq
+	for _, c := range seqs {
+		if c < seq && (best == seq || c > best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// keepFiles names the tail files the two retained manifests reference.
+func (s *Store) keepFiles() map[string]bool {
+	keep := map[string]bool{}
+	for _, name := range s.tailKeep {
+		if name != "" {
+			keep[name] = true
+		}
+	}
+	return keep
+}
+
+// Close commits the final state (a durable store's open tail becomes part
+// of the committed manifest, so a clean shutdown loses nothing), releases
+// the directory lock, and retires the store's gauge contribution. The
+// store must not be used afterwards; snapshots still held may keep reading
+// resident data but will panic if they touch a spilled segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.tier.durable() {
+		err = s.commitLocked()
+		if cerr := s.dictF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.tier.close()
+	if s.lockF != nil {
+		syscall.Flock(int(s.lockF.Fd()), syscall.LOCK_UN)
+		if cerr := s.lockF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// spillLocked evicts least-recently-used resident segments until the
+// decoded resident bytes fit the cap. Only durably persisted segments are
+// evictable; in-flight readers keep the immutable segData they acquired.
+func (s *Store) spillLocked() {
+	t := s.tier
+	if !t.durable() || t.memCap <= 0 {
+		return
+	}
+	for t.residentBytes.Load() > t.memCap {
+		var victim *segment
+		var oldest int64
+		for _, sg := range s.segs {
+			if sg.src == nil || !sg.resident() {
+				continue
+			}
+			if lu := sg.lastUse.Load(); victim == nil || lu < oldest {
+				victim, oldest = sg, lu
+			}
+		}
+		if victim == nil || !victim.evict() {
+			return
+		}
+	}
+}
